@@ -1,0 +1,37 @@
+//! Compilation errors, distinguishing "outside the fragment entirely"
+//! from "evaluable, but not incrementally maintainable" — the distinction
+//! the paper's research question is about.
+
+use std::fmt;
+
+/// Errors from the Cypher → GRA → NRA → FRA pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// The construct is outside the supported language fragment
+    /// (OPTIONAL MATCH, WITH, parameters, ...). Neither engine can run it.
+    Unsupported(String),
+    /// The construct parses and the *baseline* evaluator can run it, but
+    /// no incremental view can be maintained for it (ORDER BY / SKIP /
+    /// LIMIT / top-k — exactly the trade-off of the paper's Section 4).
+    NotMaintainable(String),
+    /// A variable was referenced but never bound.
+    UnknownVariable(String),
+    /// The query is malformed at a semantic level (rebinding a variable
+    /// to a different kind, property access on a path, ...).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Unsupported(s) => write!(f, "unsupported construct: {s}"),
+            AlgebraError::NotMaintainable(s) => {
+                write!(f, "not incrementally maintainable: {s}")
+            }
+            AlgebraError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            AlgebraError::InvalidQuery(s) => write!(f, "invalid query: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}

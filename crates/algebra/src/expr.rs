@@ -1,0 +1,715 @@
+//! Column-resolved scalar expressions — the expression language of FRA.
+//!
+//! After the paper's step 3 (schema inference + property push-down), every
+//! property access in a query has been replaced by a *column reference*
+//! into the operator's inferred schema. A [`ScalarExpr`] therefore
+//! evaluates over a [`Tuple`] alone, with **no access to the graph** —
+//! which is precisely what makes operators incrementally maintainable:
+//! they are pure functions of their input tuples.
+//!
+//! Evaluation follows Cypher's three-valued logic: comparisons involving
+//! `null` (or incomparable types) yield `null`; boolean connectives use
+//! Kleene logic; a filter keeps only tuples whose predicate is `true`.
+
+use pgq_common::error::CommonError;
+use pgq_common::path::PathValue;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_parser::ast::{BinOp, UnOp};
+
+/// A scalar expression over a fixed-width tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference (position in the input schema).
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary operation (shares the parser's operator vocabulary).
+    Binary(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<ScalarExpr>),
+    /// Built-in function call.
+    Func {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<ScalarExpr>,
+    },
+    /// `IS NULL` / `IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<ScalarExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// List construction.
+    List(Vec<ScalarExpr>),
+    /// Map construction.
+    Map(Vec<(String, ScalarExpr)>),
+    /// Subscript.
+    Index(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Internal: zero-length path anchored at a node column.
+    PathSingle(Box<ScalarExpr>),
+    /// Internal: extend a path by one hop (path, edge, node).
+    PathExtend(Box<ScalarExpr>, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Internal: concatenate two paths sharing a seam vertex.
+    PathConcat(Box<ScalarExpr>, Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> ScalarExpr {
+        ScalarExpr::Col(i)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    /// Evaluate against `tuple`.
+    ///
+    /// Comparison and logic never error (they produce `null` per Cypher
+    /// 3VL); arithmetic and function type mismatches do.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, CommonError> {
+        match self {
+            ScalarExpr::Col(i) => Ok(tuple.get(*i).clone()),
+            ScalarExpr::Lit(v) => Ok(v.clone()),
+            ScalarExpr::Binary(op, l, r) => eval_binary(*op, l, r, tuple),
+            ScalarExpr::Unary(UnOp::Not, e) => Ok(not3(truth(&e.eval(tuple)?))),
+            ScalarExpr::Unary(UnOp::Neg, e) => e.eval(tuple)?.neg(),
+            ScalarExpr::Func { name, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(tuple))
+                    .collect::<Result<_, _>>()?;
+                call_function(name, &vals)
+            }
+            ScalarExpr::IsNull { expr, negated } => {
+                let isnull = expr.eval(tuple)?.is_null();
+                Ok(Value::Bool(isnull != *negated))
+            }
+            ScalarExpr::List(items) => Ok(Value::list(
+                items
+                    .iter()
+                    .map(|e| e.eval(tuple))
+                    .collect::<Result<_, _>>()?,
+            )),
+            ScalarExpr::Map(entries) => {
+                let mut m = Vec::with_capacity(entries.len());
+                for (k, e) in entries {
+                    m.push((k.clone(), e.eval(tuple)?));
+                }
+                Ok(Value::map(m))
+            }
+            ScalarExpr::Index(b, i) => {
+                let base = b.eval(tuple)?;
+                let idx = i.eval(tuple)?;
+                index_value(&base, &idx)
+            }
+            ScalarExpr::PathSingle(n) => match n.eval(tuple)? {
+                Value::Node(v) => Ok(Value::path(PathValue::single(v))),
+                Value::Null => Ok(Value::Null),
+                other => Err(type_err("path start", &other)),
+            },
+            ScalarExpr::PathExtend(p, e, n) => {
+                match (p.eval(tuple)?, e.eval(tuple)?, n.eval(tuple)?) {
+                    (Value::Path(path), Value::Rel(edge), Value::Node(node)) => {
+                        Ok(Value::path(path.extend(edge, node)))
+                    }
+                    (Value::Null, _, _) | (_, Value::Null, _) | (_, _, Value::Null) => {
+                        Ok(Value::Null)
+                    }
+                    (p, _, _) => Err(type_err("path extension", &p)),
+                }
+            }
+            ScalarExpr::PathConcat(a, b) => match (a.eval(tuple)?, b.eval(tuple)?) {
+                (Value::Path(x), Value::Path(y)) => x
+                    .concat(&y)
+                    .map(Value::path)
+                    .ok_or_else(|| CommonError::TypeMismatch {
+                        operation: "path concatenation".into(),
+                        detail: "paths do not share a seam vertex".into(),
+                    }),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (p, _) => Err(type_err("path concatenation", &p)),
+            },
+        }
+    }
+
+    /// Evaluate as a predicate: `true` keeps the tuple; `false`, `null`
+    /// and evaluation errors drop it (errors additionally fire a debug
+    /// assertion, since a well-typed compiled plan should not produce
+    /// them).
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match self.eval(tuple) {
+            Ok(v) => truth(&v) == Some(true),
+            Err(_e) => {
+                debug_assert!(false, "predicate evaluation error: {_e}");
+                false
+            }
+        }
+    }
+
+    /// All column indexes referenced.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Col(i) => out.push(*i),
+            ScalarExpr::Lit(_) => {}
+            ScalarExpr::Binary(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            ScalarExpr::Unary(_, e) => e.collect_columns(out),
+            ScalarExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            ScalarExpr::IsNull { expr, .. } => expr.collect_columns(out),
+            ScalarExpr::List(items) => {
+                for e in items {
+                    e.collect_columns(out);
+                }
+            }
+            ScalarExpr::Map(entries) => {
+                for (_, e) in entries {
+                    e.collect_columns(out);
+                }
+            }
+            ScalarExpr::Index(b, i) => {
+                b.collect_columns(out);
+                i.collect_columns(out);
+            }
+            ScalarExpr::PathSingle(e) => e.collect_columns(out),
+            ScalarExpr::PathExtend(a, b, c) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+                c.collect_columns(out);
+            }
+            ScalarExpr::PathConcat(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite column references through `mapping` (old index → new index).
+    pub fn remap_columns(&self, mapping: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Col(i) => ScalarExpr::Col(mapping(*i)),
+            ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+            ScalarExpr::Binary(op, l, r) => ScalarExpr::Binary(
+                *op,
+                Box::new(l.remap_columns(mapping)),
+                Box::new(r.remap_columns(mapping)),
+            ),
+            ScalarExpr::Unary(op, e) => {
+                ScalarExpr::Unary(*op, Box::new(e.remap_columns(mapping)))
+            }
+            ScalarExpr::Func { name, args } => ScalarExpr::Func {
+                name: name.clone(),
+                args: args.iter().map(|a| a.remap_columns(mapping)).collect(),
+            },
+            ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(expr.remap_columns(mapping)),
+                negated: *negated,
+            },
+            ScalarExpr::List(items) => {
+                ScalarExpr::List(items.iter().map(|e| e.remap_columns(mapping)).collect())
+            }
+            ScalarExpr::Map(entries) => ScalarExpr::Map(
+                entries
+                    .iter()
+                    .map(|(k, e)| (k.clone(), e.remap_columns(mapping)))
+                    .collect(),
+            ),
+            ScalarExpr::Index(b, i) => ScalarExpr::Index(
+                Box::new(b.remap_columns(mapping)),
+                Box::new(i.remap_columns(mapping)),
+            ),
+            ScalarExpr::PathSingle(e) => {
+                ScalarExpr::PathSingle(Box::new(e.remap_columns(mapping)))
+            }
+            ScalarExpr::PathExtend(a, b, c) => ScalarExpr::PathExtend(
+                Box::new(a.remap_columns(mapping)),
+                Box::new(b.remap_columns(mapping)),
+                Box::new(c.remap_columns(mapping)),
+            ),
+            ScalarExpr::PathConcat(a, b) => ScalarExpr::PathConcat(
+                Box::new(a.remap_columns(mapping)),
+                Box::new(b.remap_columns(mapping)),
+            ),
+        }
+    }
+}
+
+fn type_err(op: &str, v: &Value) -> CommonError {
+    CommonError::TypeMismatch {
+        operation: op.into(),
+        detail: v.type_name().into(),
+    }
+}
+
+/// Kleene truth value of `v`: `Some(bool)` or `None` for null/non-boolean.
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn not3(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(!b),
+        None => Value::Null,
+    }
+}
+
+fn bool3(v: Option<bool>) -> Value {
+    match v {
+        Some(b) => Value::Bool(b),
+        None => Value::Null,
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    l: &ScalarExpr,
+    r: &ScalarExpr,
+    t: &Tuple,
+) -> Result<Value, CommonError> {
+    use BinOp::*;
+    // Short-circuiting Kleene logic for AND/OR.
+    match op {
+        And => {
+            let lv = truth(&l.eval(t)?);
+            if lv == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let rv = truth(&r.eval(t)?);
+            return Ok(match (lv, rv) {
+                (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
+        }
+        Or => {
+            let lv = truth(&l.eval(t)?);
+            if lv == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let rv = truth(&r.eval(t)?);
+            return Ok(match (lv, rv) {
+                (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        Xor => {
+            let lv = truth(&l.eval(t)?);
+            let rv = truth(&r.eval(t)?);
+            return Ok(match (lv, rv) {
+                (Some(a), Some(b)) => Value::Bool(a != b),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+
+    let lv = l.eval(t)?;
+    let rv = r.eval(t)?;
+    Ok(match op {
+        Add => lv.add(&rv)?,
+        Sub => lv.sub(&rv)?,
+        Mul => lv.mul(&rv)?,
+        Div => lv.div(&rv)?,
+        Mod => lv.modulo(&rv)?,
+        Pow => match (lv.as_f64(), rv.as_f64()) {
+            (Some(a), Some(b)) => Value::float(a.powf(b)),
+            _ if lv.is_null() || rv.is_null() => Value::Null,
+            _ => {
+                return Err(CommonError::TypeMismatch {
+                    operation: "^".into(),
+                    detail: format!("{} ^ {}", lv.type_name(), rv.type_name()),
+                })
+            }
+        },
+        Eq => bool3(lv.cypher_eq(&rv)),
+        Neq => not3(lv.cypher_eq(&rv)),
+        Lt => bool3(lv.compare(&rv).map(|o| o == std::cmp::Ordering::Less)),
+        Le => bool3(lv.compare(&rv).map(|o| o != std::cmp::Ordering::Greater)),
+        Gt => bool3(lv.compare(&rv).map(|o| o == std::cmp::Ordering::Greater)),
+        Ge => bool3(lv.compare(&rv).map(|o| o != std::cmp::Ordering::Less)),
+        In => match (&lv, &rv) {
+            (_, Value::Null) | (Value::Null, _) => Value::Null,
+            (x, Value::List(items)) => Value::Bool(items.iter().any(|i| i == x)),
+            _ => {
+                return Err(CommonError::TypeMismatch {
+                    operation: "IN".into(),
+                    detail: format!("{} IN {}", lv.type_name(), rv.type_name()),
+                })
+            }
+        },
+        StartsWith | EndsWith | Contains => match (&lv, &rv) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Str(a), Value::Str(b)) => Value::Bool(match op {
+                StartsWith => a.starts_with(b.as_ref()),
+                EndsWith => a.ends_with(b.as_ref()),
+                _ => a.contains(b.as_ref()),
+            }),
+            _ => Value::Null,
+        },
+        And | Or | Xor => unreachable!("handled above"),
+    })
+}
+
+fn index_value(base: &Value, idx: &Value) -> Result<Value, CommonError> {
+    match (base, idx) {
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::List(items), Value::Int(i)) => {
+            let len = items.len() as i64;
+            let j = if *i < 0 { len + i } else { *i };
+            if j < 0 || j >= len {
+                Ok(Value::Null)
+            } else {
+                Ok(items[j as usize].clone())
+            }
+        }
+        (Value::Map(m), Value::Str(k)) => Ok(m.get(k.as_ref()).cloned().unwrap_or(Value::Null)),
+        _ => Err(CommonError::TypeMismatch {
+            operation: "subscript".into(),
+            detail: format!("{}[{}]", base.type_name(), idx.type_name()),
+        }),
+    }
+}
+
+/// Built-in scalar functions.
+pub fn call_function(name: &str, args: &[Value]) -> Result<Value, CommonError> {
+    let arity_err = || CommonError::TypeMismatch {
+        operation: format!("{name}()"),
+        detail: format!("wrong number of arguments ({})", args.len()),
+    };
+    match name {
+        "id" => match args {
+            [Value::Node(v)] => Ok(Value::Int(v.raw() as i64)),
+            [Value::Rel(e)] => Ok(Value::Int(e.raw() as i64)),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("id()", v)),
+            _ => Err(arity_err()),
+        },
+        "size" => match args {
+            [Value::List(items)] => Ok(Value::Int(items.len() as i64)),
+            [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            [Value::Map(m)] => Ok(Value::Int(m.len() as i64)),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("size()", v)),
+            _ => Err(arity_err()),
+        },
+        "length" => match args {
+            [Value::Path(p)] => Ok(Value::Int(p.len() as i64)),
+            [Value::List(items)] => Ok(Value::Int(items.len() as i64)),
+            [Value::Str(s)] => Ok(Value::Int(s.chars().count() as i64)),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("length()", v)),
+            _ => Err(arity_err()),
+        },
+        "nodes" => match args {
+            [Value::Path(p)] => Ok(Value::list(
+                p.vertices().iter().map(|&v| Value::Node(v)).collect(),
+            )),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("nodes()", v)),
+            _ => Err(arity_err()),
+        },
+        "relationships" => match args {
+            [Value::Path(p)] => Ok(Value::list(
+                p.edges().iter().map(|&e| Value::Rel(e)).collect(),
+            )),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("relationships()", v)),
+            _ => Err(arity_err()),
+        },
+        "head" => match args {
+            [Value::List(items)] => Ok(items.first().cloned().unwrap_or(Value::Null)),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("head()", v)),
+            _ => Err(arity_err()),
+        },
+        "last" => match args {
+            [Value::List(items)] => Ok(items.last().cloned().unwrap_or(Value::Null)),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("last()", v)),
+            _ => Err(arity_err()),
+        },
+        "abs" => match args {
+            [Value::Int(i)] => Ok(Value::Int(i.checked_abs().ok_or(
+                CommonError::ArithmeticOverflow("abs"),
+            )?)),
+            [Value::Float(f)] => Ok(Value::float(f.get().abs())),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("abs()", v)),
+            _ => Err(arity_err()),
+        },
+        "sign" => match args {
+            [Value::Int(i)] => Ok(Value::Int(i.signum())),
+            [Value::Float(f)] => Ok(Value::Int(if f.get() > 0.0 {
+                1
+            } else if f.get() < 0.0 {
+                -1
+            } else {
+                0
+            })),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("sign()", v)),
+            _ => Err(arity_err()),
+        },
+        "toupper" => match args {
+            [Value::Str(s)] => Ok(Value::str(s.to_uppercase())),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("toUpper()", v)),
+            _ => Err(arity_err()),
+        },
+        "tolower" => match args {
+            [Value::Str(s)] => Ok(Value::str(s.to_lowercase())),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("toLower()", v)),
+            _ => Err(arity_err()),
+        },
+        "tostring" => match args {
+            [Value::Null] => Ok(Value::Null),
+            [Value::Str(s)] => Ok(Value::Str(s.clone())),
+            [v] => Ok(Value::str(v.to_string())),
+            _ => Err(arity_err()),
+        },
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        "exists" => match args {
+            [v] => Ok(Value::Bool(!v.is_null())),
+            _ => Err(arity_err()),
+        },
+        "startnode" => match args {
+            [Value::Path(p)] => Ok(Value::Node(p.source())),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("startNode()", v)),
+            _ => Err(arity_err()),
+        },
+        "endnode" => match args {
+            [Value::Path(p)] => Ok(Value::Node(p.target())),
+            [Value::Null] => Ok(Value::Null),
+            [v] => Err(type_err("endNode()", v)),
+            _ => Err(arity_err()),
+        },
+        other => Err(CommonError::TypeMismatch {
+            operation: format!("{other}()"),
+            detail: "unknown function".into(),
+        }),
+    }
+}
+
+/// Aggregate functions of the (paper-future-work) aggregation extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    CountStar,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Collect,
+}
+
+impl AggFunc {
+    /// Parse from a lower-cased function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            "collect" => AggFunc::Collect,
+            _ => return None,
+        })
+    }
+}
+
+/// One aggregate call in an `Aggregate` operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument (absent for `count(*)`).
+    pub arg: Option<ScalarExpr>,
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::ids::{EdgeId, VertexId};
+
+    fn t(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let row = t(vec![Value::Int(7)]);
+        assert_eq!(ScalarExpr::col(0).eval(&row).unwrap(), Value::Int(7));
+        assert_eq!(ScalarExpr::lit(3).eval(&row).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let row = t(vec![]);
+        let tru = ScalarExpr::lit(true);
+        let fal = ScalarExpr::lit(false);
+        let nul = ScalarExpr::Lit(Value::Null);
+        let and = |a: &ScalarExpr, b: &ScalarExpr| {
+            ScalarExpr::Binary(BinOp::And, Box::new(a.clone()), Box::new(b.clone()))
+                .eval(&row)
+                .unwrap()
+        };
+        let or = |a: &ScalarExpr, b: &ScalarExpr| {
+            ScalarExpr::Binary(BinOp::Or, Box::new(a.clone()), Box::new(b.clone()))
+                .eval(&row)
+                .unwrap()
+        };
+        assert_eq!(and(&nul, &fal), Value::Bool(false));
+        assert_eq!(and(&nul, &tru), Value::Null);
+        assert_eq!(or(&nul, &tru), Value::Bool(true));
+        assert_eq!(or(&nul, &fal), Value::Null);
+        let not_null = ScalarExpr::Unary(UnOp::Not, Box::new(nul.clone()))
+            .eval(&row)
+            .unwrap();
+        assert_eq!(not_null, Value::Null);
+    }
+
+    #[test]
+    fn null_comparison_filters_out() {
+        let row = t(vec![Value::Null, Value::Int(1)]);
+        let pred = ScalarExpr::Binary(
+            BinOp::Eq,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::col(1)),
+        );
+        assert!(!pred.matches(&row));
+    }
+
+    #[test]
+    fn path_builders() {
+        let row = t(vec![
+            Value::Node(VertexId(1)),
+            Value::Rel(EdgeId(10)),
+            Value::Node(VertexId(2)),
+        ]);
+        let p = ScalarExpr::PathExtend(
+            Box::new(ScalarExpr::PathSingle(Box::new(ScalarExpr::col(0)))),
+            Box::new(ScalarExpr::col(1)),
+            Box::new(ScalarExpr::col(2)),
+        );
+        let v = p.eval(&row).unwrap();
+        let path = v.as_path().unwrap();
+        assert_eq!(path.len(), 1);
+        assert_eq!(path.source(), VertexId(1));
+        assert_eq!(path.target(), VertexId(2));
+    }
+
+    #[test]
+    fn functions_on_paths() {
+        let path = PathValue::single(VertexId(1)).extend(EdgeId(5), VertexId(2));
+        let row = t(vec![Value::path(path)]);
+        let nodes = ScalarExpr::Func {
+            name: "nodes".into(),
+            args: vec![ScalarExpr::col(0)],
+        }
+        .eval(&row)
+        .unwrap();
+        assert_eq!(
+            nodes,
+            Value::list(vec![Value::Node(VertexId(1)), Value::Node(VertexId(2))])
+        );
+        let len = ScalarExpr::Func {
+            name: "length".into(),
+            args: vec![ScalarExpr::col(0)],
+        }
+        .eval(&row)
+        .unwrap();
+        assert_eq!(len, Value::Int(1));
+    }
+
+    #[test]
+    fn in_and_string_ops() {
+        let row = t(vec![Value::str("en")]);
+        let pred = ScalarExpr::Binary(
+            BinOp::In,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::List(vec![
+                ScalarExpr::lit("de"),
+                ScalarExpr::lit("en"),
+            ])),
+        );
+        assert!(pred.matches(&row));
+        let starts = ScalarExpr::Binary(
+            BinOp::StartsWith,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::lit("e")),
+        );
+        assert!(starts.matches(&row));
+    }
+
+    #[test]
+    fn subscripts() {
+        let row = t(vec![Value::list(vec![10.into(), 20.into()])]);
+        let ix = |i: i64| {
+            ScalarExpr::Index(Box::new(ScalarExpr::col(0)), Box::new(ScalarExpr::lit(i)))
+                .eval(&row)
+                .unwrap()
+        };
+        assert_eq!(ix(0), Value::Int(10));
+        assert_eq!(ix(-1), Value::Int(20));
+        assert_eq!(ix(5), Value::Null);
+    }
+
+    #[test]
+    fn coalesce_and_exists() {
+        assert_eq!(
+            call_function("coalesce", &[Value::Null, Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            call_function("exists", &[Value::Null]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn remap_columns() {
+        let e = ScalarExpr::Binary(
+            BinOp::Add,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::col(2)),
+        );
+        let remapped = e.remap_columns(&|i| i + 10);
+        assert_eq!(remapped.columns(), vec![10, 12]);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        assert!(call_function("frobnicate", &[]).is_err());
+    }
+}

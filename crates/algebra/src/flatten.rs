@@ -1,0 +1,705 @@
+//! Step 3 of the paper's workflow: flatten NRA to FRA with **query-driven
+//! schema inference**.
+//!
+//! Property graphs have no a-priori schema, so the schema of every nested
+//! base relation is inferred from the query itself: the µ unnest operators
+//! introduced in step 2 are collected and *pushed down* into the © / ⇑
+//! base operators (`©(p:Post{lang→pL})` in the paper's notation). After
+//! this pass every operator is flat and positional, and every expression
+//! references columns only.
+//!
+//! The module also implements the **no-push-down ablation**
+//! ([`SchemaMode::CarryMaps`]): base scans carry the whole property map as
+//! one nested column and property access happens above, which is what a
+//! naive flattening without schema inference would do. Experiment E10
+//! measures the difference.
+
+use std::collections::{HashMap, HashSet};
+
+use pgq_common::intern::Symbol;
+use pgq_parser::ast::Expr;
+
+use crate::error::AlgebraError;
+use crate::expr::{AggCall, AggFunc, ScalarExpr};
+use crate::fra::{map_col, Fra, PropPush, VarLenSpec};
+use crate::gra::VarKind;
+use crate::nra::Nra;
+
+/// How base relations obtain the properties the query needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchemaMode {
+    /// The paper's approach: infer the minimal schema and push property
+    /// attributes down into the © / ⇑ scans.
+    #[default]
+    Inferred,
+    /// Ablation: carry whole property maps as nested columns and extract
+    /// above (no schema inference).
+    CarryMaps,
+}
+
+/// Flatten `nra` into an executable FRA tree.
+pub fn flatten(
+    nra: &Nra,
+    kinds: &HashMap<String, VarKind>,
+    mode: SchemaMode,
+) -> Result<Fra, AlgebraError> {
+    let mut wanted: HashMap<String, Vec<(Symbol, String)>> = HashMap::new();
+    collect_wanted(nra, &mut wanted);
+    let mut cx = Cx {
+        kinds,
+        wanted,
+        satisfied: HashSet::new(),
+        mode,
+        fresh: 0,
+    };
+    cx.build(nra)
+}
+
+fn collect_wanted(nra: &Nra, wanted: &mut HashMap<String, Vec<(Symbol, String)>>) {
+    match nra {
+        Nra::Unnest {
+            input,
+            var,
+            prop,
+            col,
+        } => {
+            let entry = wanted.entry(var.clone()).or_default();
+            if !entry.iter().any(|(_, c)| c == col) {
+                entry.push((*prop, col.clone()));
+            }
+            collect_wanted(input, wanted);
+        }
+        Nra::NaturalJoin { left, right, .. } => {
+            collect_wanted(left, wanted);
+            collect_wanted(right, wanted);
+        }
+        Nra::SemiJoin { left, .. } => collect_wanted(left, wanted),
+        Nra::TransitiveJoin { left, .. } => collect_wanted(left, wanted),
+        Nra::PathStart { input, .. }
+        | Nra::Select { input, .. }
+        | Nra::Project { input, .. }
+        | Nra::Distinct { input }
+        | Nra::Aggregate { input, .. }
+        | Nra::Unwind { input, .. } => collect_wanted(input, wanted),
+        Nra::Unit | Nra::GetVertices { .. } | Nra::GetEdges(_) => {}
+    }
+}
+
+struct Cx<'a> {
+    kinds: &'a HashMap<String, VarKind>,
+    wanted: HashMap<String, Vec<(Symbol, String)>>,
+    satisfied: HashSet<String>,
+    mode: SchemaMode,
+    fresh: usize,
+}
+
+fn pos(schema: &[String], name: &str) -> Result<usize, AlgebraError> {
+    schema
+        .iter()
+        .position(|c| c == name)
+        .ok_or_else(|| AlgebraError::UnknownVariable(name.to_string()))
+}
+
+/// Identity projection items over `schema`.
+fn identity(schema: &[String]) -> Vec<(ScalarExpr, String)> {
+    schema
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (ScalarExpr::Col(i), n.clone()))
+        .collect()
+}
+
+impl Cx<'_> {
+    fn take_props(&mut self, var: &str) -> Vec<PropPush> {
+        if self.mode == SchemaMode::CarryMaps || self.satisfied.contains(var) {
+            return Vec::new();
+        }
+        match self.wanted.get(var) {
+            Some(props) if !props.is_empty() => {
+                self.satisfied.insert(var.to_string());
+                props
+                    .iter()
+                    .map(|(prop, col)| PropPush {
+                        prop: *prop,
+                        col: col.clone(),
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn take_map(&mut self, var: &str) -> bool {
+        if self.mode != SchemaMode::CarryMaps || self.satisfied.contains(var) {
+            return false;
+        }
+        if self.wanted.get(var).is_some_and(|w| !w.is_empty()) {
+            self.satisfied.insert(var.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    fn build(&mut self, nra: &Nra) -> Result<Fra, AlgebraError> {
+        Ok(match nra {
+            Nra::Unit => Fra::Unit,
+            Nra::GetVertices { var, labels } => {
+                let props = self.take_props(var);
+                let carry_map = self.take_map(var);
+                Fra::ScanVertices {
+                    var: var.clone(),
+                    labels: labels.clone(),
+                    props,
+                    carry_map,
+                }
+            }
+            Nra::GetEdges(ge) => {
+                let src_props = self.take_props(&ge.src);
+                let edge_props = self.take_props(&ge.edge);
+                let dst_props = self.take_props(&ge.dst);
+                let carry_maps = (
+                    self.take_map(&ge.src),
+                    self.take_map(&ge.edge),
+                    self.take_map(&ge.dst),
+                );
+                let scan = Fra::ScanEdges {
+                    src: ge.src.clone(),
+                    edge: ge.edge.clone(),
+                    dst: ge.dst.clone(),
+                    types: ge.types.clone(),
+                    src_labels: ge.src_labels.clone(),
+                    dst_labels: ge.dst_labels.clone(),
+                    src_props,
+                    edge_props,
+                    dst_props,
+                    dir: ge.dir,
+                    carry_maps,
+                };
+                // Edge-property equality filters on single hops are
+                // normally σ conjuncts; filters attached to the ⇑ itself
+                // (from variable-length patterns lowered to single scans)
+                // become a Filter here.
+                if ge.edge_prop_filters.is_empty() {
+                    scan
+                } else {
+                    let schema = scan.schema();
+                    let mut preds: Vec<ScalarExpr> = Vec::new();
+                    for (prop, value) in &ge.edge_prop_filters {
+                        // The filter needs the property as a column.
+                        let col = crate::to_nra::prop_col(&ge.edge, &prop.resolve());
+                        let idx = pos(&schema, &col)?;
+                        preds.push(ScalarExpr::Binary(
+                            pgq_parser::ast::BinOp::Eq,
+                            Box::new(ScalarExpr::Col(idx)),
+                            Box::new(ScalarExpr::Lit(value.clone())),
+                        ));
+                    }
+                    let predicate = preds
+                        .into_iter()
+                        .reduce(|a, b| {
+                            ScalarExpr::Binary(
+                                pgq_parser::ast::BinOp::And,
+                                Box::new(a),
+                                Box::new(b),
+                            )
+                        })
+                        .expect("non-empty");
+                    Fra::Filter {
+                        input: Box::new(scan),
+                        predicate,
+                    }
+                }
+            }
+            Nra::SemiJoin { left, right, anti } => {
+                let l = self.build(left)?;
+                let ls = l.schema();
+                // Fresh context: the existential branch resolves its own
+                // attribute accesses against its own scans.
+                let mut wanted = HashMap::new();
+                collect_wanted(right, &mut wanted);
+                let mut sub = Cx {
+                    kinds: self.kinds,
+                    wanted,
+                    satisfied: HashSet::new(),
+                    mode: self.mode,
+                    fresh: self.fresh + 1000,
+                };
+                let r = sub.build(right)?;
+                let rs = r.schema();
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                for (ri, name) in rs.iter().enumerate() {
+                    if let Some(li) = ls.iter().position(|c| c == name) {
+                        left_keys.push(li);
+                        right_keys.push(ri);
+                    }
+                }
+                Fra::SemiJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    left_keys,
+                    right_keys,
+                    anti: *anti,
+                }
+            }
+            Nra::NaturalJoin {
+                left,
+                right,
+                path_append,
+            } => {
+                let l = self.build(left)?;
+                let r = self.build(right)?;
+                let ls = l.schema();
+                let rs = r.schema();
+                let mut left_keys = Vec::new();
+                let mut right_keys = Vec::new();
+                for (ri, name) in rs.iter().enumerate() {
+                    if let Some(li) = ls.iter().position(|c| c == name) {
+                        left_keys.push(li);
+                        right_keys.push(ri);
+                    }
+                }
+                let join = Fra::HashJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    left_keys,
+                    right_keys,
+                };
+                match path_append {
+                    None => join,
+                    Some((path, edge, dst)) => {
+                        let schema = join.schema();
+                        let pi = pos(&schema, path)?;
+                        let ei = pos(&schema, edge)?;
+                        let di = pos(&schema, dst)?;
+                        let mut items = identity(&schema);
+                        items[pi].0 = ScalarExpr::PathExtend(
+                            Box::new(ScalarExpr::Col(pi)),
+                            Box::new(ScalarExpr::Col(ei)),
+                            Box::new(ScalarExpr::Col(di)),
+                        );
+                        Fra::Project {
+                            input: Box::new(join),
+                            items,
+                        }
+                    }
+                }
+            }
+            Nra::TransitiveJoin {
+                left,
+                edges: ge,
+                src,
+                range,
+                path_col,
+                concat_into,
+                rel_alias,
+            } => {
+                let l = self.build(left)?;
+                let ls = l.schema();
+                let src_col = pos(&ls, src)?;
+                let prebound = ls.iter().any(|c| c == &ge.dst);
+                let dst_out = if prebound {
+                    self.fresh += 1;
+                    format!("__dst{}", self.fresh)
+                } else {
+                    ge.dst.clone()
+                };
+                let dst_props = self.take_props(&ge.dst);
+                let dst_carry_map = self.take_map(&ge.dst);
+                let spec = VarLenSpec {
+                    types: ge.types.clone(),
+                    dir: ge.dir,
+                    dst_labels: ge.dst_labels.clone(),
+                    dst_props,
+                    dst_carry_map,
+                    edge_prop_filters: ge.edge_prop_filters.clone(),
+                    min: range.min,
+                    max: range.max,
+                };
+                let mut cur = Fra::VarLengthJoin {
+                    left: Box::new(l),
+                    src_col,
+                    spec,
+                    dst: dst_out.clone(),
+                    path: path_col.clone(),
+                };
+                if prebound {
+                    let schema = cur.schema();
+                    let new_i = pos(&schema, &dst_out)?;
+                    let old_i = pos(&schema, &ge.dst)?;
+                    cur = Fra::Filter {
+                        input: Box::new(cur),
+                        predicate: ScalarExpr::Binary(
+                            pgq_parser::ast::BinOp::Eq,
+                            Box::new(ScalarExpr::Col(new_i)),
+                            Box::new(ScalarExpr::Col(old_i)),
+                        ),
+                    };
+                    let items = identity(&schema)
+                        .into_iter()
+                        .filter(|(_, n)| n != &dst_out)
+                        .collect();
+                    cur = Fra::Project {
+                        input: Box::new(cur),
+                        items,
+                    };
+                }
+                if let Some(alias) = rel_alias {
+                    let schema = cur.schema();
+                    let pi = pos(&schema, path_col)?;
+                    let mut items = identity(&schema);
+                    items.push((
+                        ScalarExpr::Func {
+                            name: "relationships".into(),
+                            args: vec![ScalarExpr::Col(pi)],
+                        },
+                        alias.clone(),
+                    ));
+                    cur = Fra::Project {
+                        input: Box::new(cur),
+                        items,
+                    };
+                }
+                if let Some(into) = concat_into {
+                    let schema = cur.schema();
+                    let ti = pos(&schema, into)?;
+                    let pi = pos(&schema, path_col)?;
+                    let mut items = identity(&schema);
+                    items[ti].0 = ScalarExpr::PathConcat(
+                        Box::new(ScalarExpr::Col(ti)),
+                        Box::new(ScalarExpr::Col(pi)),
+                    );
+                    let items = items.into_iter().filter(|(_, n)| n != path_col).collect();
+                    cur = Fra::Project {
+                        input: Box::new(cur),
+                        items,
+                    };
+                }
+                cur
+            }
+            Nra::PathStart { input, node, path } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                let ni = pos(&schema, node)?;
+                let mut items = identity(&schema);
+                items.push((
+                    ScalarExpr::PathSingle(Box::new(ScalarExpr::Col(ni))),
+                    path.clone(),
+                ));
+                Fra::Project {
+                    input: Box::new(l),
+                    items,
+                }
+            }
+            Nra::Unnest {
+                input,
+                var,
+                prop,
+                col,
+            } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                if schema.iter().any(|c| c == col) {
+                    // Push-down satisfied the request below us.
+                    return Ok(l);
+                }
+                match self.mode {
+                    SchemaMode::CarryMaps if schema.iter().any(|c| c == &map_col(var)) => {
+                        let mi = pos(&schema, &map_col(var))?;
+                        let mut items = identity(&schema);
+                        items.push((
+                            ScalarExpr::Index(
+                                Box::new(ScalarExpr::Col(mi)),
+                                Box::new(ScalarExpr::Lit(pgq_common::value::Value::str(
+                                    prop.resolve().as_ref(),
+                                ))),
+                            ),
+                            col.clone(),
+                        ));
+                        Fra::Project {
+                            input: Box::new(l),
+                            items,
+                        }
+                    }
+                    _ => {
+                        // The variable is not bound by any base scan in
+                        // *this* subtree (introduced by UNWIND, or its
+                        // scan's pushed column was dropped by a WITH
+                        // projection): join with an auxiliary © / ⇑ scan
+                        // that fetches the missing property.
+                        self.join_aux_scan(l, var, *prop, col)?
+                    }
+                }
+            }
+            Nra::Select { input, predicate } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                let predicate = self.resolve(predicate, &schema)?;
+                Fra::Filter {
+                    input: Box::new(l),
+                    predicate,
+                }
+            }
+            Nra::Project { input, items } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                let items = items
+                    .iter()
+                    .map(|(e, n)| Ok((self.resolve(e, &schema)?, n.clone())))
+                    .collect::<Result<_, AlgebraError>>()?;
+                Fra::Project {
+                    input: Box::new(l),
+                    items,
+                }
+            }
+            Nra::Distinct { input } => Fra::Distinct {
+                input: Box::new(self.build(input)?),
+            },
+            Nra::Aggregate { input, group, aggs } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                let group = group
+                    .iter()
+                    .map(|(e, n)| Ok((self.resolve(e, &schema)?, n.clone())))
+                    .collect::<Result<Vec<_>, AlgebraError>>()?;
+                let aggs = aggs
+                    .iter()
+                    .map(|(e, n)| Ok((self.resolve_agg(e, &schema)?, n.clone())))
+                    .collect::<Result<Vec<_>, AlgebraError>>()?;
+                Fra::Aggregate {
+                    input: Box::new(l),
+                    group,
+                    aggs,
+                }
+            }
+            Nra::Unwind { input, expr, alias } => {
+                let l = self.build(input)?;
+                let schema = l.schema();
+                let expr = self.resolve(expr, &schema)?;
+                Fra::Unwind {
+                    input: Box::new(l),
+                    expr,
+                    alias: alias.clone(),
+                }
+            }
+        })
+    }
+
+    /// Join an auxiliary base scan to obtain a property of a variable not
+    /// bound by any scan in the current subtree (an `UNWIND` alias, or a
+    /// pushed column dropped by a WITH projection). The scan always
+    /// fetches `(prop → col)`, plus any still-unclaimed wanted props of
+    /// the variable.
+    fn join_aux_scan(
+        &mut self,
+        left: Fra,
+        var: &str,
+        prop: Symbol,
+        col: &str,
+    ) -> Result<Fra, AlgebraError> {
+        let kind = self.kinds.get(var).copied();
+        let ls = left.schema();
+        let li = pos(&ls, var)?;
+        let ensure = |mut props: Vec<PropPush>, carry: bool| {
+            if !carry && !props.iter().any(|p| p.col == col) {
+                props.push(PropPush {
+                    prop,
+                    col: col.to_string(),
+                });
+            }
+            props
+        };
+        let right: Fra = match kind {
+            Some(VarKind::Node) => {
+                let carry_map =
+                    self.mode == SchemaMode::CarryMaps || self.take_map(var);
+                let props = ensure(self.take_props(var), carry_map);
+                Fra::ScanVertices {
+                    var: var.to_string(),
+                    labels: Vec::new(),
+                    props,
+                    carry_map,
+                }
+            }
+            Some(VarKind::Rel) => {
+                self.fresh += 1;
+                let s = format!("__s{}", self.fresh);
+                self.fresh += 1;
+                let d = format!("__d{}", self.fresh);
+                let carry = self.mode == SchemaMode::CarryMaps || self.take_map(var);
+                let edge_props = ensure(self.take_props(var), carry);
+                Fra::ScanEdges {
+                    src: s,
+                    edge: var.to_string(),
+                    dst: d,
+                    types: Vec::new(),
+                    src_labels: Vec::new(),
+                    dst_labels: Vec::new(),
+                    src_props: Vec::new(),
+                    edge_props,
+                    dst_props: Vec::new(),
+                    dir: pgq_common::dir::Direction::Out,
+                    carry_maps: (false, carry, false),
+                }
+            }
+            _ => {
+                return Err(AlgebraError::NotMaintainable(format!(
+                    "property access on `{var}`, whose binding cannot be traced to a \
+                     vertex or edge scan"
+                )))
+            }
+        };
+        let rs = right.schema();
+        let ri = pos(&rs, var)?;
+        let join = Fra::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys: vec![li],
+            right_keys: vec![ri],
+        };
+        // In carry-maps mode the aux scan supplies the whole map; the
+        // requested column still needs extracting.
+        let schema = join.schema();
+        if schema.iter().any(|c| c == col) {
+            Ok(join)
+        } else {
+            let mi = pos(&schema, &map_col(var))?;
+            let mut items = identity(&schema);
+            items.push((
+                ScalarExpr::Index(
+                    Box::new(ScalarExpr::Col(mi)),
+                    Box::new(ScalarExpr::Lit(pgq_common::value::Value::str(
+                        prop.resolve().as_ref(),
+                    ))),
+                ),
+                col.to_string(),
+            ));
+            Ok(Fra::Project {
+                input: Box::new(join),
+                items,
+            })
+        }
+    }
+
+    /// Resolve a (rewritten) parser expression to a column-indexed
+    /// [`ScalarExpr`] against `schema`.
+    pub(crate) fn resolve(
+        &self,
+        e: &Expr,
+        schema: &[String],
+    ) -> Result<ScalarExpr, AlgebraError> {
+        Ok(match e {
+            Expr::Literal(v) => ScalarExpr::Lit(v.clone()),
+            Expr::Variable(name) => ScalarExpr::Col(pos(schema, name)?),
+            Expr::Property(base, key) => {
+                // Only map-valued bases survive to this point (node/rel
+                // property accesses were rewritten to columns in step 2).
+                let b = self.resolve(base, schema)?;
+                ScalarExpr::Index(
+                    Box::new(b),
+                    Box::new(ScalarExpr::Lit(pgq_common::value::Value::str(key))),
+                )
+            }
+            Expr::Binary(op, l, r) => ScalarExpr::Binary(
+                *op,
+                Box::new(self.resolve(l, schema)?),
+                Box::new(self.resolve(r, schema)?),
+            ),
+            Expr::Unary(op, x) => ScalarExpr::Unary(*op, Box::new(self.resolve(x, schema)?)),
+            Expr::Function {
+                name,
+                distinct,
+                args,
+            } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(AlgebraError::InvalidQuery(format!(
+                        "aggregate {name}() outside an aggregating RETURN"
+                    )));
+                }
+                if *distinct {
+                    return Err(AlgebraError::Unsupported(
+                        "DISTINCT inside a non-aggregate function".into(),
+                    ));
+                }
+                ScalarExpr::Func {
+                    name: name.clone(),
+                    args: args
+                        .iter()
+                        .map(|a| self.resolve(a, schema))
+                        .collect::<Result<_, _>>()?,
+                }
+            }
+            Expr::CountStar => {
+                return Err(AlgebraError::InvalidQuery(
+                    "count(*) outside an aggregating RETURN".into(),
+                ))
+            }
+            Expr::List(items) => ScalarExpr::List(
+                items
+                    .iter()
+                    .map(|a| self.resolve(a, schema))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Map(entries) => ScalarExpr::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), self.resolve(v, schema)?)))
+                    .collect::<Result<_, AlgebraError>>()?,
+            ),
+            Expr::Index(b, i) => ScalarExpr::Index(
+                Box::new(self.resolve(b, schema)?),
+                Box::new(self.resolve(i, schema)?),
+            ),
+            Expr::IsNull { expr, negated } => ScalarExpr::IsNull {
+                expr: Box::new(self.resolve(expr, schema)?),
+                negated: *negated,
+            },
+            Expr::HasLabel(..) => {
+                return Err(AlgebraError::NotMaintainable(
+                    "nested label predicate".into(),
+                ))
+            }
+            Expr::Parameter(p) => {
+                return Err(AlgebraError::Unsupported(format!("parameter ${p}")))
+            }
+            Expr::PatternPredicate(_) => {
+                return Err(AlgebraError::NotMaintainable(
+                    "exists(pattern) nested inside an expression".into(),
+                ))
+            }
+        })
+    }
+
+    fn resolve_agg(&self, e: &Expr, schema: &[String]) -> Result<AggCall, AlgebraError> {
+        match e {
+            Expr::CountStar => Ok(AggCall {
+                func: AggFunc::CountStar,
+                arg: None,
+                distinct: false,
+            }),
+            Expr::Function {
+                name,
+                distinct,
+                args,
+            } => {
+                let func = AggFunc::from_name(name).ok_or_else(|| {
+                    AlgebraError::InvalidQuery(format!("{name}() is not an aggregate"))
+                })?;
+                if args.len() != 1 {
+                    return Err(AlgebraError::InvalidQuery(format!(
+                        "{name}() takes exactly one argument"
+                    )));
+                }
+                Ok(AggCall {
+                    func,
+                    arg: Some(self.resolve(&args[0], schema)?),
+                    distinct: *distinct,
+                })
+            }
+            other => Err(AlgebraError::InvalidQuery(format!(
+                "expected an aggregate call, found {other}"
+            ))),
+        }
+    }
+}

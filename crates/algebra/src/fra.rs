@@ -1,0 +1,295 @@
+//! Flat relational algebra (FRA) — the paper's step-3 representation.
+//!
+//! FRA is positional and *self-contained*: after schema inference every
+//! property the query needs has been pushed down into the base scans
+//! (`©(p:Post{lang→pL})` in the paper's notation), so all higher
+//! operators are pure functions of their input tuples. This is the
+//! representation both engines execute: the IVM network maintains it
+//! incrementally, and the baseline evaluator recomputes it from scratch.
+
+use pgq_common::dir::Direction;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+
+use crate::expr::{AggCall, ScalarExpr};
+
+pub use crate::gra::VarLen;
+
+/// Column name of the full-property-map column used by the no-push-down
+/// ablation mode.
+pub fn map_col(var: &str) -> String {
+    format!("{var}.__map")
+}
+
+/// A property pushed down into a base scan: fetch `prop` of the scanned
+/// element and expose it as output column `col`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropPush {
+    /// Property key.
+    pub prop: Symbol,
+    /// Output column name.
+    pub col: String,
+}
+
+/// Specification of the edges traversed by a variable-length join.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarLenSpec {
+    /// Admissible edge types (empty = any).
+    pub types: Vec<Symbol>,
+    /// Orientation of each hop.
+    pub dir: Direction,
+    /// Labels required of the destination vertex.
+    pub dst_labels: Vec<Symbol>,
+    /// Properties of the destination pushed into the output.
+    pub dst_props: Vec<PropPush>,
+    /// Ablation mode: carry the destination's whole property map.
+    pub dst_carry_map: bool,
+    /// Literal equality constraints on every traversed edge.
+    pub edge_prop_filters: Vec<(Symbol, Value)>,
+    /// Minimum hops.
+    pub min: u32,
+    /// Maximum hops (`None` = unbounded).
+    pub max: Option<u32>,
+}
+
+/// An FRA operator tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fra {
+    /// Single empty tuple.
+    Unit,
+    /// © with pushed-down properties. Schema: `[var, props..., var.__map?]`.
+    ScanVertices {
+        /// Bound variable.
+        var: String,
+        /// Required labels (conjunctive).
+        labels: Vec<Symbol>,
+        /// Pushed-down properties.
+        props: Vec<PropPush>,
+        /// Ablation mode (no schema inference): carry the whole property
+        /// map as an extra column `var.__map` instead of pushed columns.
+        carry_map: bool,
+    },
+    /// ⇑ with pushed-down properties.
+    /// Schema: `[src, edge, dst, src_props..., edge_props..., dst_props...]`.
+    ScanEdges {
+        /// Source variable.
+        src: String,
+        /// Edge variable.
+        edge: String,
+        /// Target variable.
+        dst: String,
+        /// Admissible edge types.
+        types: Vec<Symbol>,
+        /// Labels required on the source.
+        src_labels: Vec<Symbol>,
+        /// Labels required on the target.
+        dst_labels: Vec<Symbol>,
+        /// Pushed source-vertex properties.
+        src_props: Vec<PropPush>,
+        /// Pushed edge properties.
+        edge_props: Vec<PropPush>,
+        /// Pushed target-vertex properties.
+        dst_props: Vec<PropPush>,
+        /// Orientation (`Both` emits each edge in both orientations).
+        dir: Direction,
+        /// Ablation mode: carry whole property maps (`src.__map`,
+        /// `edge.__map`, `dst.__map`) for the listed positions.
+        carry_maps: (bool, bool, bool),
+    },
+    /// ⋉ / ▷ semijoin / antijoin. Schema: identical to the left input.
+    SemiJoin {
+        /// Left input.
+        left: Box<Fra>,
+        /// Right (existence) input.
+        right: Box<Fra>,
+        /// Key columns in the left schema.
+        left_keys: Vec<usize>,
+        /// Matching key columns in the right schema.
+        right_keys: Vec<usize>,
+        /// Antijoin (`NOT exists`)?
+        anti: bool,
+    },
+    /// Hash join; `keys` are column positions equated pairwise.
+    /// Schema: left ++ (right minus its key columns).
+    HashJoin {
+        /// Left input.
+        left: Box<Fra>,
+        /// Right input.
+        right: Box<Fra>,
+        /// Key columns in the left schema.
+        left_keys: Vec<usize>,
+        /// Matching key columns in the right schema.
+        right_keys: Vec<usize>,
+    },
+    /// ⋈* variable-length (transitive) join.
+    /// Schema: left ++ `[dst, dst_props..., path]`.
+    VarLengthJoin {
+        /// Left input.
+        left: Box<Fra>,
+        /// Column of the left schema to start traversal from.
+        src_col: usize,
+        /// Edge traversal specification.
+        spec: VarLenSpec,
+        /// Output name for the destination vertex.
+        dst: String,
+        /// Output name for the materialised (atomic) path.
+        path: String,
+    },
+    /// σ.
+    Filter {
+        /// Input.
+        input: Box<Fra>,
+        /// Predicate over the input schema.
+        predicate: ScalarExpr,
+    },
+    /// π (generalised projection; also used to rebind path columns).
+    Project {
+        /// Input.
+        input: Box<Fra>,
+        /// `(expression, output name)` pairs.
+        items: Vec<(ScalarExpr, String)>,
+    },
+    /// δ duplicate elimination (bag → set).
+    Distinct {
+        /// Input.
+        input: Box<Fra>,
+    },
+    /// γ grouping aggregation. Schema: group names ++ agg names.
+    Aggregate {
+        /// Input.
+        input: Box<Fra>,
+        /// Group-by expressions.
+        group: Vec<(ScalarExpr, String)>,
+        /// Aggregate calls.
+        aggs: Vec<(AggCall, String)>,
+    },
+    /// ω unwind. Schema: input ++ `[alias]`.
+    Unwind {
+        /// Input.
+        input: Box<Fra>,
+        /// List-valued expression over the input schema.
+        expr: ScalarExpr,
+        /// Introduced column.
+        alias: String,
+    },
+}
+
+impl Fra {
+    /// Output column names, in positional order.
+    pub fn schema(&self) -> Vec<String> {
+        match self {
+            Fra::Unit => vec![],
+            Fra::ScanVertices {
+                var,
+                props,
+                carry_map,
+                ..
+            } => {
+                let mut s = vec![var.clone()];
+                s.extend(props.iter().map(|p| p.col.clone()));
+                if *carry_map {
+                    s.push(map_col(var));
+                }
+                s
+            }
+            Fra::ScanEdges {
+                src,
+                edge,
+                dst,
+                src_props,
+                edge_props,
+                dst_props,
+                carry_maps,
+                ..
+            } => {
+                let mut s = vec![src.clone(), edge.clone(), dst.clone()];
+                s.extend(src_props.iter().map(|p| p.col.clone()));
+                s.extend(edge_props.iter().map(|p| p.col.clone()));
+                s.extend(dst_props.iter().map(|p| p.col.clone()));
+                if carry_maps.0 {
+                    s.push(map_col(src));
+                }
+                if carry_maps.1 {
+                    s.push(map_col(edge));
+                }
+                if carry_maps.2 {
+                    s.push(map_col(dst));
+                }
+                s
+            }
+            Fra::HashJoin {
+                left,
+                right,
+                right_keys,
+                ..
+            } => {
+                let mut s = left.schema();
+                for (i, col) in right.schema().into_iter().enumerate() {
+                    if !right_keys.contains(&i) {
+                        s.push(col);
+                    }
+                }
+                s
+            }
+            Fra::VarLengthJoin {
+                left, spec, dst, path, ..
+            } => {
+                let mut s = left.schema();
+                s.push(dst.clone());
+                s.extend(spec.dst_props.iter().map(|p| p.col.clone()));
+                if spec.dst_carry_map {
+                    s.push(map_col(dst));
+                }
+                s.push(path.clone());
+                s
+            }
+            Fra::SemiJoin { left, .. } => left.schema(),
+            Fra::Filter { input, .. } | Fra::Distinct { input } => input.schema(),
+            Fra::Project { items, .. } => items.iter().map(|(_, n)| n.clone()).collect(),
+            Fra::Aggregate { group, aggs, .. } => group
+                .iter()
+                .map(|(_, n)| n.clone())
+                .chain(aggs.iter().map(|(_, n)| n.clone()))
+                .collect(),
+            Fra::Unwind { input, alias, .. } => {
+                let mut s = input.schema();
+                s.push(alias.clone());
+                s
+            }
+        }
+    }
+
+    /// Number of operators in the tree (for plan statistics).
+    pub fn operator_count(&self) -> usize {
+        1 + match self {
+            Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. } => 0,
+            Fra::HashJoin { left, right, .. } | Fra::SemiJoin { left, right, .. } => {
+                left.operator_count() + right.operator_count()
+            }
+            Fra::VarLengthJoin { left, .. } => left.operator_count(),
+            Fra::Filter { input, .. }
+            | Fra::Project { input, .. }
+            | Fra::Distinct { input }
+            | Fra::Aggregate { input, .. }
+            | Fra::Unwind { input, .. } => input.operator_count(),
+        }
+    }
+
+    /// Total width (columns) summed over all operators — the metric the
+    /// push-down ablation (experiment E10) reports.
+    pub fn total_width(&self) -> usize {
+        let mine = self.schema().len();
+        mine + match self {
+            Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. } => 0,
+            Fra::HashJoin { left, right, .. } | Fra::SemiJoin { left, right, .. } => {
+                left.total_width() + right.total_width()
+            }
+            Fra::VarLengthJoin { left, .. } => left.total_width(),
+            Fra::Filter { input, .. }
+            | Fra::Project { input, .. }
+            | Fra::Distinct { input }
+            | Fra::Aggregate { input, .. }
+            | Fra::Unwind { input, .. } => input.total_width(),
+        }
+    }
+}

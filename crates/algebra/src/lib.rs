@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # pgq-algebra
+//!
+//! The paper's primary contribution: a compiler from openCypher queries to
+//! an incrementally maintainable flat relational algebra, in three stages:
+//!
+//! 1. [`compile`] — openCypher AST → **GRA** (graph relational algebra
+//!    with © get-vertices and ↑ expand-out operators);
+//! 2. [`to_nra`] — GRA → **NRA** (expands become joins with the ⇑
+//!    get-edges operator, transitive expands become transitive joins ⋈*,
+//!    property accesses become explicit µ unnests);
+//! 3. [`flatten`] — NRA → **FRA** (query-driven schema inference pushes
+//!    the µ-unnested attributes down into the base scans; every operator
+//!    becomes flat, positional and graph-independent).
+//!
+//! [`pipeline::compile_query`] runs all three stages and reports the
+//! maintainability verdict (ORDER BY / SKIP / LIMIT mark a query as
+//! evaluable-but-not-maintainable, exactly the fragment boundary the
+//! paper proposes).
+
+pub mod compile;
+pub mod error;
+pub mod expr;
+pub mod flatten;
+pub mod fra;
+pub mod gra;
+pub mod nra;
+pub mod opt;
+pub mod pipeline;
+pub mod pretty;
+pub mod to_nra;
+
+pub use error::AlgebraError;
+pub use expr::{AggCall, AggFunc, ScalarExpr};
+pub use flatten::SchemaMode;
+pub use fra::Fra;
+pub use gra::{Gra, VarKind};
+pub use nra::Nra;
+pub use pipeline::{compile_bindings, compile_query, compile_query_with, CompiledQuery, CompileOptions};

@@ -1,0 +1,575 @@
+//! FRA optimisation passes.
+//!
+//! The paper's pipeline stops at a *correct* FRA plan; this module adds
+//! the classic algebraic clean-ups an engine would apply before building
+//! the dataflow network:
+//!
+//! * **constant folding** of scalar expressions;
+//! * **filter fusion** (σ∘σ → σ∧);
+//! * **filter push-down** through projections, joins, distinct and
+//!   unwind — pushing predicates closer to the base scans so the IVM
+//!   network filters deltas before they hit join memories;
+//! * **identity-projection elimination**.
+//!
+//! Optimisation is *optional* (off by default) so that the golden tests
+//! of experiments E2–E4 keep pinning the paper's unoptimised pipeline;
+//! the engine and benchmarks opt in via
+//! [`crate::pipeline::CompileOptions::optimize`].
+
+use pgq_common::tuple::Tuple;
+use pgq_parser::ast::BinOp;
+
+use crate::expr::ScalarExpr;
+use crate::fra::Fra;
+
+/// Optimise a plan. The result computes the same bag for every graph.
+pub fn optimize(fra: Fra) -> Fra {
+    // Two passes reach a fixpoint for the rewrites implemented here
+    // (push-down may expose new fusion opportunities).
+    let once = rewrite(fra);
+    rewrite(once)
+}
+
+fn rewrite(fra: Fra) -> Fra {
+    match fra {
+        Fra::Filter { input, predicate } => {
+            let input = rewrite(*input);
+            let predicate = fold(predicate);
+            match predicate {
+                // σ[true] is a no-op.
+                ScalarExpr::Lit(pgq_common::value::Value::Bool(true)) => input,
+                predicate => push_filter(predicate, input),
+            }
+        }
+        Fra::Project { input, items } => {
+            let input = rewrite(*input);
+            let items: Vec<(ScalarExpr, String)> =
+                items.into_iter().map(|(e, n)| (fold(e), n)).collect();
+            if is_identity(&items, &input) {
+                input
+            } else {
+                Fra::Project {
+                    input: Box::new(input),
+                    items,
+                }
+            }
+        }
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => Fra::HashJoin {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            left_keys,
+            right_keys,
+        },
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => Fra::SemiJoin {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            left_keys,
+            right_keys,
+            anti,
+        },
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            dst,
+            path,
+        } => Fra::VarLengthJoin {
+            left: Box::new(rewrite(*left)),
+            src_col,
+            spec,
+            dst,
+            path,
+        },
+        Fra::Distinct { input } => Fra::Distinct {
+            input: Box::new(rewrite(*input)),
+        },
+        Fra::Aggregate { input, group, aggs } => Fra::Aggregate {
+            input: Box::new(rewrite(*input)),
+            group: group.into_iter().map(|(e, n)| (fold(e), n)).collect(),
+            aggs,
+        },
+        Fra::Unwind { input, expr, alias } => Fra::Unwind {
+            input: Box::new(rewrite(*input)),
+            expr: fold(expr),
+            alias,
+        },
+        leaf @ (Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. }) => leaf,
+    }
+}
+
+/// Push `predicate` as deep as possible above/into `input`.
+fn push_filter(predicate: ScalarExpr, input: Fra) -> Fra {
+    match input {
+        // σ p (σ q (x)) → σ (p ∧ q) (x), then retry as one predicate.
+        Fra::Filter {
+            input: inner,
+            predicate: q,
+        } => push_filter(
+            fold(ScalarExpr::Binary(
+                BinOp::And,
+                Box::new(q),
+                Box::new(predicate),
+            )),
+            *inner,
+        ),
+        // σ p (π items (x)) → π items (σ p[items] (x)).
+        Fra::Project { input: inner, items } => {
+            let substituted = substitute(&predicate, &items);
+            let pushed = push_filter(fold(substituted), *inner);
+            Fra::Project {
+                input: Box::new(pushed),
+                items,
+            }
+        }
+        // σ (δ x) → δ (σ x).
+        Fra::Distinct { input: inner } => Fra::Distinct {
+            input: Box::new(push_filter(predicate, *inner)),
+        },
+        // Split conjuncts over a join: left-only ones go left, right-only
+        // ones go right (remapped), the rest stays above.
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let left_arity = left.schema().len();
+            let right_schema = right.schema();
+            // Output position → right-side position for non-key columns.
+            let mut out_to_right: Vec<Option<usize>> = vec![None; left_arity];
+            for (ri, _) in right_schema.iter().enumerate() {
+                if !right_keys.contains(&ri) {
+                    out_to_right.push(Some(ri));
+                }
+            }
+            let mut stay = Vec::new();
+            let mut push_left = Vec::new();
+            let mut push_right = Vec::new();
+            for conj in conjuncts(predicate) {
+                let cols = conj.columns();
+                if cols.iter().all(|&c| c < left_arity) {
+                    push_left.push(conj);
+                } else if cols
+                    .iter()
+                    .all(|&c| out_to_right.get(c).copied().flatten().is_some())
+                {
+                    let remapped = conj.remap_columns(&|c| {
+                        out_to_right[c].expect("checked right-only")
+                    });
+                    push_right.push(remapped);
+                } else {
+                    stay.push(conj);
+                }
+            }
+            let mut l = rewrite(*left);
+            if let Some(p) = conjoin(push_left) {
+                l = push_filter(p, l);
+            }
+            let mut r = rewrite(*right);
+            if let Some(p) = conjoin(push_right) {
+                r = push_filter(p, r);
+            }
+            let join = Fra::HashJoin {
+                left: Box::new(l),
+                right: Box::new(r),
+                left_keys,
+                right_keys,
+            };
+            match conjoin(stay) {
+                Some(p) => Fra::Filter {
+                    input: Box::new(join),
+                    predicate: p,
+                },
+                None => join,
+            }
+        }
+        // σ(L ⋉ R) = σ(L) ⋉ R — the whole predicate moves to the left.
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => Fra::SemiJoin {
+            left: Box::new(push_filter(predicate, *left)),
+            right: Box::new(rewrite(*right)),
+            left_keys,
+            right_keys,
+            anti,
+        },
+        // Conjuncts over the left columns of ⋈* go below it.
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            dst,
+            path,
+        } => {
+            let left_arity = left.schema().len();
+            let mut stay = Vec::new();
+            let mut below = Vec::new();
+            for conj in conjuncts(predicate) {
+                if conj.columns().iter().all(|&c| c < left_arity) {
+                    below.push(conj);
+                } else {
+                    stay.push(conj);
+                }
+            }
+            let mut l = rewrite(*left);
+            if let Some(p) = conjoin(below) {
+                l = push_filter(p, l);
+            }
+            let vlj = Fra::VarLengthJoin {
+                left: Box::new(l),
+                src_col,
+                spec,
+                dst,
+                path,
+            };
+            match conjoin(stay) {
+                Some(p) => Fra::Filter {
+                    input: Box::new(vlj),
+                    predicate: p,
+                },
+                None => vlj,
+            }
+        }
+        // Conjuncts not touching the unwound column go below ω.
+        Fra::Unwind { input: inner, expr, alias } => {
+            let inner_arity = inner.schema().len();
+            let mut stay = Vec::new();
+            let mut below = Vec::new();
+            for conj in conjuncts(predicate) {
+                if conj.columns().iter().all(|&c| c < inner_arity) {
+                    below.push(conj);
+                } else {
+                    stay.push(conj);
+                }
+            }
+            let mut i = rewrite(*inner);
+            if let Some(p) = conjoin(below) {
+                i = push_filter(p, i);
+            }
+            let unwound = Fra::Unwind {
+                input: Box::new(i),
+                expr,
+                alias,
+            };
+            match conjoin(stay) {
+                Some(p) => Fra::Filter {
+                    input: Box::new(unwound),
+                    predicate: p,
+                },
+                None => unwound,
+            }
+        }
+        other => Fra::Filter {
+            input: Box::new(rewrite(other)),
+            predicate,
+        },
+    }
+}
+
+/// Split a predicate into AND-conjuncts.
+fn conjuncts(e: ScalarExpr) -> Vec<ScalarExpr> {
+    match e {
+        ScalarExpr::Binary(BinOp::And, l, r) => {
+            let mut out = conjuncts(*l);
+            out.extend(conjuncts(*r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+fn conjoin(preds: Vec<ScalarExpr>) -> Option<ScalarExpr> {
+    preds
+        .into_iter()
+        .reduce(|a, b| ScalarExpr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+}
+
+/// Replace `Col(i)` with the i-th projection expression.
+fn substitute(e: &ScalarExpr, items: &[(ScalarExpr, String)]) -> ScalarExpr {
+    match e {
+        ScalarExpr::Col(i) => items[*i].0.clone(),
+        ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+        ScalarExpr::Binary(op, l, r) => ScalarExpr::Binary(
+            *op,
+            Box::new(substitute(l, items)),
+            Box::new(substitute(r, items)),
+        ),
+        ScalarExpr::Unary(op, x) => ScalarExpr::Unary(*op, Box::new(substitute(x, items))),
+        ScalarExpr::Func { name, args } => ScalarExpr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| substitute(a, items)).collect(),
+        },
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(substitute(expr, items)),
+            negated: *negated,
+        },
+        ScalarExpr::List(xs) => {
+            ScalarExpr::List(xs.iter().map(|a| substitute(a, items)).collect())
+        }
+        ScalarExpr::Map(entries) => ScalarExpr::Map(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), substitute(v, items)))
+                .collect(),
+        ),
+        ScalarExpr::Index(b, i) => ScalarExpr::Index(
+            Box::new(substitute(b, items)),
+            Box::new(substitute(i, items)),
+        ),
+        ScalarExpr::PathSingle(x) => ScalarExpr::PathSingle(Box::new(substitute(x, items))),
+        ScalarExpr::PathExtend(a, b, c) => ScalarExpr::PathExtend(
+            Box::new(substitute(a, items)),
+            Box::new(substitute(b, items)),
+            Box::new(substitute(c, items)),
+        ),
+        ScalarExpr::PathConcat(a, b) => ScalarExpr::PathConcat(
+            Box::new(substitute(a, items)),
+            Box::new(substitute(b, items)),
+        ),
+    }
+}
+
+/// Is this projection the identity over its input?
+fn is_identity(items: &[(ScalarExpr, String)], input: &Fra) -> bool {
+    let schema = input.schema();
+    items.len() == schema.len()
+        && items.iter().enumerate().all(|(i, (e, name))| {
+            matches!(e, ScalarExpr::Col(c) if *c == i) && name == &schema[i]
+        })
+}
+
+/// Fold constant subexpressions (and simplify boolean identities).
+pub fn fold(e: ScalarExpr) -> ScalarExpr {
+    use pgq_common::value::Value;
+    let e = match e {
+        ScalarExpr::Binary(op, l, r) => {
+            ScalarExpr::Binary(op, Box::new(fold(*l)), Box::new(fold(*r)))
+        }
+        ScalarExpr::Unary(op, x) => ScalarExpr::Unary(op, Box::new(fold(*x))),
+        ScalarExpr::Func { name, args } => ScalarExpr::Func {
+            name,
+            args: args.into_iter().map(fold).collect(),
+        },
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(fold(*expr)),
+            negated,
+        },
+        ScalarExpr::List(xs) => ScalarExpr::List(xs.into_iter().map(fold).collect()),
+        ScalarExpr::Map(entries) => {
+            ScalarExpr::Map(entries.into_iter().map(|(k, v)| (k, fold(v))).collect())
+        }
+        ScalarExpr::Index(b, i) => {
+            ScalarExpr::Index(Box::new(fold(*b)), Box::new(fold(*i)))
+        }
+        other => other,
+    };
+    // Boolean identities.
+    if let ScalarExpr::Binary(op, l, r) = &e {
+        let tru = ScalarExpr::Lit(Value::Bool(true));
+        let fal = ScalarExpr::Lit(Value::Bool(false));
+        match op {
+            BinOp::And => {
+                if **l == tru {
+                    return r.as_ref().clone();
+                }
+                if **r == tru {
+                    return l.as_ref().clone();
+                }
+                if **l == fal || **r == fal {
+                    return fal;
+                }
+            }
+            BinOp::Or => {
+                if **l == fal {
+                    return r.as_ref().clone();
+                }
+                if **r == fal {
+                    return l.as_ref().clone();
+                }
+                if **l == tru || **r == tru {
+                    return tru;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Full constant evaluation when no columns are referenced.
+    if e.columns().is_empty() && !matches!(e, ScalarExpr::Lit(_)) {
+        if let Ok(v) = e.eval(&Tuple::unit()) {
+            return ScalarExpr::Lit(v);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile_query_with, CompileOptions};
+    use pgq_common::value::Value;
+    use pgq_parser::parse_query;
+
+    fn lit(v: impl Into<Value>) -> ScalarExpr {
+        ScalarExpr::Lit(v.into())
+    }
+
+    #[test]
+    fn folds_arithmetic_constants() {
+        let e = ScalarExpr::Binary(BinOp::Add, Box::new(lit(2)), Box::new(lit(3)));
+        assert_eq!(fold(e), lit(5));
+    }
+
+    #[test]
+    fn folds_boolean_identities() {
+        let c = ScalarExpr::Col(0);
+        let e = ScalarExpr::Binary(BinOp::And, Box::new(lit(true)), Box::new(c.clone()));
+        assert_eq!(fold(e), c);
+        let e = ScalarExpr::Binary(BinOp::Or, Box::new(lit(true)), Box::new(ScalarExpr::Col(1)));
+        assert_eq!(fold(e), lit(true));
+    }
+
+    #[test]
+    fn does_not_fold_column_expressions() {
+        let e = ScalarExpr::Binary(BinOp::Add, Box::new(ScalarExpr::Col(0)), Box::new(lit(1)));
+        assert_eq!(fold(e.clone()), e);
+    }
+
+    fn compile_opt(q: &str) -> crate::fra::Fra {
+        let cq = compile_query_with(&parse_query(q).unwrap(), CompileOptions::default())
+            .unwrap();
+        optimize(cq.fra)
+    }
+
+    fn count_filters_above_joins(f: &crate::fra::Fra) -> (usize, usize) {
+        // (filters directly above scans, filters elsewhere)
+        fn walk(f: &crate::fra::Fra, at_scan: &mut usize, other: &mut usize) {
+            use crate::fra::Fra::*;
+            match f {
+                Filter { input, .. } => {
+                    match input.as_ref() {
+                        ScanVertices { .. } | ScanEdges { .. } => *at_scan += 1,
+                        _ => *other += 1,
+                    }
+                    walk(input, at_scan, other);
+                }
+                HashJoin { left, right, .. } => {
+                    walk(left, at_scan, other);
+                    walk(right, at_scan, other);
+                }
+                VarLengthJoin { left, .. } => walk(left, at_scan, other),
+                Project { input, .. }
+                | Distinct { input }
+                | Aggregate { input, .. }
+                | Unwind { input, .. } => walk(input, at_scan, other),
+                _ => {}
+            }
+        }
+        let mut a = 0;
+        let mut b = 0;
+        walk(f, &mut a, &mut b);
+        (a, b)
+    }
+
+    #[test]
+    fn filter_pushes_to_scans_through_join() {
+        let plan = compile_opt(
+            "MATCH (a:Person)-[:KNOWS]->(b:Person) \
+             WHERE a.age > 30 AND b.age > 40 RETURN a, b",
+        );
+        let (at_scan, elsewhere) = count_filters_above_joins(&plan);
+        assert!(at_scan >= 1, "expected pushed filters:\n{}", plan.explain());
+        // The join-crossing conjunct count should have dropped to zero
+        // here (both conjuncts are single-side).
+        assert_eq!(elsewhere, 0, "{}", plan.explain());
+    }
+
+    #[test]
+    fn cross_side_predicates_stay_above_join() {
+        let plan = compile_opt(
+            "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > b.age RETURN a, b",
+        );
+        let (_, elsewhere) = count_filters_above_joins(&plan);
+        assert!(elsewhere >= 1, "{}", plan.explain());
+    }
+
+    #[test]
+    fn filter_pushes_below_varlength_left_side() {
+        let plan = compile_opt(
+            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = 'en' RETURN p, t",
+        );
+        // p.lang = 'en' concerns the © side and must sit below the ⋈*.
+        fn varlen_left_has_filter(f: &crate::fra::Fra) -> bool {
+            use crate::fra::Fra::*;
+            match f {
+                VarLengthJoin { left, .. } => {
+                    fn contains_filter(f: &crate::fra::Fra) -> bool {
+                        match f {
+                            Filter { .. } => true,
+                            Project { input, .. } | Distinct { input } => {
+                                contains_filter(input)
+                            }
+                            _ => false,
+                        }
+                    }
+                    contains_filter(left)
+                }
+                Filter { input, .. }
+                | Project { input, .. }
+                | Distinct { input }
+                | Aggregate { input, .. }
+                | Unwind { input, .. } => varlen_left_has_filter(input),
+                HashJoin { left, right, .. } => {
+                    varlen_left_has_filter(left) || varlen_left_has_filter(right)
+                }
+                _ => false,
+            }
+        }
+        assert!(varlen_left_has_filter(&plan), "{}", plan.explain());
+    }
+
+    #[test]
+    fn identity_projection_removed() {
+        let scan = crate::fra::Fra::ScanVertices {
+            var: "n".into(),
+            labels: vec![],
+            props: vec![],
+            carry_map: false,
+        };
+        let proj = crate::fra::Fra::Project {
+            items: vec![(ScalarExpr::Col(0), "n".into())],
+            input: Box::new(scan.clone()),
+        };
+        assert_eq!(optimize(proj), scan);
+    }
+
+    #[test]
+    fn optimized_plan_keeps_schema() {
+        for q in [
+            "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > 30 RETURN a, b",
+            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+            "MATCH (p:Post) RETURN p.lang AS l, count(*) AS n",
+        ] {
+            let cq =
+                compile_query_with(&parse_query(q).unwrap(), CompileOptions::default())
+                    .unwrap();
+            let before = cq.fra.schema();
+            let after = optimize(cq.fra).schema();
+            assert_eq!(before, after, "{q}");
+        }
+    }
+}

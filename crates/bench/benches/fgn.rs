@@ -1,0 +1,85 @@
+//! Experiment E8 (Criterion): fine-grained property updates (FGN) — a
+//! single `SET lang` against the same logical change expressed as a
+//! coarse delete+recreate, and against full recompute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgq_algebra::pipeline::CompileOptions;
+use pgq_bench::compile;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_graph::tx::Transaction;
+use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
+
+fn bench_fgn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fgn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    let net = generate_social(SocialParams::scale(0.25, 42));
+    let post = net.posts[0];
+
+    let mut engine = GraphEngine::from_graph(net.graph.clone());
+    engine
+        .register_view("threads", sq::SAME_LANG_THREAD)
+        .unwrap();
+
+    group.bench_function("fine_grained_set", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| {
+                let mut tx = Transaction::new();
+                tx.set_vertex_prop(post, Symbol::intern("lang"), Value::str("zz"));
+                e.apply(&tx).unwrap();
+                e
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("coarse_delete_recreate", |b| {
+        b.iter_batched(
+            || engine.clone(),
+            |mut e| {
+                let data = e.graph().vertex(post).unwrap().clone();
+                let out: Vec<_> = e
+                    .graph()
+                    .out_edges(post)
+                    .iter()
+                    .map(|&ed| e.graph().edge(ed).unwrap().clone())
+                    .collect();
+                let inc: Vec<_> = e
+                    .graph()
+                    .in_edges(post)
+                    .iter()
+                    .map(|&ed| e.graph().edge(ed).unwrap().clone())
+                    .collect();
+                let mut tx = Transaction::new();
+                tx.delete_vertex(post, true);
+                let mut props = data.props.clone();
+                props.set(Symbol::intern("lang"), Value::str("zz"));
+                let nv = tx.create_vertex(data.labels.iter().copied(), props);
+                for ed in out {
+                    tx.create_edge(nv, ed.dst, ed.ty, ed.props.clone());
+                }
+                for ed in inc {
+                    tx.create_edge(ed.src, nv, ed.ty, ed.props.clone());
+                }
+                e.apply(&tx).unwrap();
+                e
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let compiled = compile(sq::SAME_LANG_THREAD, CompileOptions::default());
+    group.bench_function("recompute", |b| {
+        b.iter(|| criterion::black_box(evaluate_consolidated(&compiled.fra, &net.graph)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fgn);
+criterion_main!(benches);

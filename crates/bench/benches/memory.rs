@@ -1,0 +1,53 @@
+//! Experiment E9 (Criterion): the IVM trade-off — initial view build
+//! (network construction + first evaluation, paying for the memories)
+//! against a single from-scratch evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_algebra::pipeline::CompileOptions;
+use pgq_bench::compile;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_tradeoff");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for k in [2u32, 4, 6] {
+        let rw = generate_railway(RailwayParams::size(k, 7));
+        for (name, q) in [
+            ("RouteSensor", rq::ROUTE_SENSOR),
+            ("SegmentReach", rq::SEGMENT_REACH),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ivm_build/{name}"), 1u32 << k),
+                &rw.graph,
+                |b, graph| {
+                    b.iter_batched(
+                        || GraphEngine::from_graph(graph.clone()),
+                        |mut e| {
+                            e.register_view(name, q).unwrap();
+                            e
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+            let compiled = compile(q, CompileOptions::default());
+            group.bench_with_input(
+                BenchmarkId::new(format!("one_recompute/{name}"), 1u32 << k),
+                &rw.graph,
+                |b, graph| {
+                    b.iter(|| {
+                        criterion::black_box(evaluate_consolidated(&compiled.fra, graph))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Experiment E6 (Criterion): the paper's running-example query
+//! maintained under a social-network update stream, across scale
+//! factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_algebra::pipeline::CompileOptions;
+use pgq_bench::compile;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
+
+fn bench_social(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social_ivm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for sf in [0.1f64, 0.5, 1.0] {
+        let mut net = generate_social(SocialParams::scale(sf, 42));
+        let stream = net.update_stream(50, (4, 2, 3, 1));
+
+        let mut engine = GraphEngine::from_graph(net.graph.clone());
+        engine
+            .register_view("threads", sq::SAME_LANG_THREAD)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("ivm", sf), &stream, |b, stream| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| {
+                    for tx in stream {
+                        e.apply(tx).unwrap();
+                    }
+                    e
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let compiled = compile(sq::SAME_LANG_THREAD, CompileOptions::default());
+        group.bench_with_input(BenchmarkId::new("recompute", sf), &stream, |b, stream| {
+            b.iter_batched(
+                || net.graph.clone(),
+                |mut g| {
+                    for tx in stream {
+                        g.apply(tx).unwrap();
+                        criterion::black_box(evaluate_consolidated(&compiled.fra, &g));
+                    }
+                    g
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        // Initial view build (the IVM's upfront cost).
+        group.bench_with_input(
+            BenchmarkId::new("ivm_build", sf),
+            &net.graph,
+            |b, graph| {
+                b.iter_batched(
+                    || GraphEngine::from_graph(graph.clone()),
+                    |mut e| {
+                        e.register_view("threads", sq::SAME_LANG_THREAD).unwrap();
+                        e
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_social);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Experiment E5 (Criterion): per-transaction view maintenance vs
+//! from-scratch recompute on the railway validation workload, across
+//! model sizes and all four validation queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_algebra::pipeline::CompileOptions;
+use pgq_bench::compile;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
+
+fn bench_train(c: &mut Criterion) {
+    let queries = [
+        ("PosLength", rq::POS_LENGTH),
+        ("SwitchSet", rq::SWITCH_SET),
+        ("RouteSensor", rq::ROUTE_SENSOR),
+        ("ConnectedSegments", rq::CONNECTED_SEGMENTS),
+    ];
+    let mut group = c.benchmark_group("train_benchmark");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for k in [2u32, 4, 6] {
+        let mut rw = generate_railway(RailwayParams::size(k, 7));
+        let stream = rw.fault_stream(50);
+        for (name, q) in queries {
+            // IVM: engine with the view registered; each iteration applies
+            // the whole 50-transaction stream on a fresh clone.
+            let mut engine = GraphEngine::from_graph(rw.graph.clone());
+            engine.register_view(name, q).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("ivm/{name}"), 1u32 << k),
+                &stream,
+                |b, stream| {
+                    b.iter_batched(
+                        || engine.clone(),
+                        |mut e| {
+                            for tx in stream {
+                                e.apply(tx).unwrap();
+                            }
+                            e
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+            // Recompute: apply + full re-evaluation per transaction.
+            let compiled = compile(q, CompileOptions::default());
+            group.bench_with_input(
+                BenchmarkId::new(format!("recompute/{name}"), 1u32 << k),
+                &stream,
+                |b, stream| {
+                    b.iter_batched(
+                        || rw.graph.clone(),
+                        |mut g| {
+                            for tx in stream {
+                                g.apply(tx).unwrap();
+                                criterion::black_box(evaluate_consolidated(
+                                    &compiled.fra,
+                                    &g,
+                                ));
+                            }
+                            g
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

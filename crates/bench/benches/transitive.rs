@@ -1,0 +1,55 @@
+//! Experiment E7 (Criterion): incremental transitive closure — edge
+//! churn at the leaf vs near the root of reply trees, against full
+//! recompute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_algebra::pipeline::CompileOptions;
+use pgq_bench::compile;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_graph::tx::Transaction;
+use pgq_workloads::trees::reply_tree;
+use pgq_workloads::EXAMPLE_QUERY;
+
+fn bench_transitive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transitive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for (depth, fanout) in [(4usize, 2usize), (6, 2), (3, 4)] {
+        let label = format!("{depth}x{fanout}");
+        let tree = reply_tree(depth, fanout);
+        let leaf_edge = *tree.edges.last().unwrap();
+        let root_edge = tree.edges[0];
+
+        for (which, edge) in [("leaf", leaf_edge), ("root", root_edge)] {
+            let data = tree.graph.edge(edge).unwrap().clone();
+            let mut engine = GraphEngine::from_graph(tree.graph.clone());
+            engine.register_view("t", EXAMPLE_QUERY).unwrap();
+            group.bench_function(BenchmarkId::new(format!("ivm_churn/{which}"), &label), |b| {
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| {
+                        let mut tx = Transaction::new();
+                        tx.delete_edge(edge);
+                        e.apply(&tx).unwrap();
+                        let mut tx = Transaction::new();
+                        tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
+                        e.apply(&tx).unwrap();
+                        e
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+
+        let compiled = compile(EXAMPLE_QUERY, CompileOptions::default());
+        group.bench_function(BenchmarkId::new("recompute", &label), |b| {
+            b.iter(|| criterion::black_box(evaluate_consolidated(&compiled.fra, &tree.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive);
+criterion_main!(benches);

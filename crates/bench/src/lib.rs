@@ -1,0 +1,214 @@
+#![warn(missing_docs)]
+//! Shared measurement harness for the experiment suite (E5–E10).
+//!
+//! Every experiment compares two maintenance strategies over the same
+//! update stream:
+//!
+//! * **IVM** — a [`pgq_core::GraphEngine`] with registered views applies
+//!   each transaction and lets the dataflow propagate deltas;
+//! * **recompute** — the paper's implicit baseline: apply the
+//!   transaction, then re-evaluate the query from scratch with
+//!   [`pgq_eval`].
+//!
+//! The binary `report` prints the EXPERIMENTS.md tables; the Criterion
+//! benches under `benches/` wrap the same routines for statistically
+//! robust timings.
+
+use std::time::{Duration, Instant};
+
+use pgq_algebra::pipeline::{compile_query_with, CompileOptions};
+use pgq_algebra::CompiledQuery;
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use pgq_parser::parse_query;
+
+/// Compile a query with options (panicking on error — benchmark inputs
+/// are fixed).
+pub fn compile(query: &str, options: CompileOptions) -> CompiledQuery {
+    compile_query_with(&parse_query(query).expect("parses"), options).expect("compiles")
+}
+
+/// Outcome of streaming updates through one strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamCost {
+    /// Total wall time for the whole stream.
+    pub total: Duration,
+    /// Number of transactions.
+    pub transactions: usize,
+}
+
+impl StreamCost {
+    /// Mean latency per transaction in microseconds.
+    pub fn us_per_tx(&self) -> f64 {
+        self.total.as_micros() as f64 / self.transactions.max(1) as f64
+    }
+}
+
+/// Apply `stream` to an engine with views registered for `queries`;
+/// returns (initial build time, stream cost, final engine).
+pub fn run_ivm(
+    graph: &PropertyGraph,
+    queries: &[(&str, &str)],
+    options: CompileOptions,
+    stream: &[Transaction],
+) -> (Duration, StreamCost, GraphEngine) {
+    let mut engine = GraphEngine::from_graph(graph.clone());
+    let t0 = Instant::now();
+    for (name, q) in queries {
+        engine
+            .register_view_with(name, q, options)
+            .unwrap_or_else(|e| panic!("register {name}: {e}"));
+    }
+    let build = t0.elapsed();
+    let t0 = Instant::now();
+    for tx in stream {
+        engine.apply(tx).expect("stream applies");
+    }
+    let total = t0.elapsed();
+    (
+        build,
+        StreamCost {
+            total,
+            transactions: stream.len(),
+        },
+        engine,
+    )
+}
+
+/// Apply `stream`, re-evaluating every query from scratch after each
+/// transaction; returns (first evaluation time, stream cost).
+pub fn run_recompute(
+    graph: &PropertyGraph,
+    compiled: &[CompiledQuery],
+    stream: &[Transaction],
+) -> (Duration, StreamCost) {
+    let mut g = graph.clone();
+    let t0 = Instant::now();
+    for cq in compiled {
+        let _ = evaluate_consolidated(&cq.fra, &g);
+    }
+    let first = t0.elapsed();
+    let t0 = Instant::now();
+    for tx in stream {
+        g.apply(tx).expect("stream applies");
+        for cq in compiled {
+            let _ = evaluate_consolidated(&cq.fra, &g);
+        }
+    }
+    let total = t0.elapsed();
+    (
+        first,
+        StreamCost {
+            total,
+            transactions: stream.len(),
+        },
+    )
+}
+
+/// Assert the IVM result equals recompute at the end of a run (sanity
+/// guard inside benchmarks — a fast benchmark on a wrong answer is
+/// worthless).
+pub fn check_agreement(engine: &GraphEngine, queries: &[(&str, &str)]) {
+    for (name, _) in queries {
+        let id = engine.view_by_name(name).expect("registered");
+        let compiled = engine.view_compiled(id).expect("compiled");
+        let want = evaluate_consolidated(&compiled.fra, engine.graph());
+        assert_eq!(
+            engine.view(id).expect("view").results(),
+            want,
+            "view {name} diverged from recompute"
+        );
+    }
+}
+
+/// Markdown table writer used by the `report` binary.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:<w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration as microseconds with sensible precision.
+pub fn us(d: Duration) -> String {
+    let v = d.as_micros() as f64;
+    if v >= 1000.0 {
+        format!("{:.1} ms", v / 1000.0)
+    } else {
+        format!("{v:.1} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_workloads::railway::{generate_railway, queries, RailwayParams};
+
+    #[test]
+    fn harness_runs_and_agrees() {
+        let mut rw = generate_railway(RailwayParams::size(2, 1));
+        let stream = rw.fault_stream(20);
+        let qs = [("PosLength", queries::POS_LENGTH)];
+        let (_, ivm, engine) =
+            run_ivm(&rw.graph, &qs, CompileOptions::default(), &stream);
+        check_agreement(&engine, &qs);
+        let compiled = [compile(queries::POS_LENGTH, CompileOptions::default())];
+        let (_, rec) = run_recompute(&rw.graph, &compiled, &stream);
+        assert!(ivm.total.as_nanos() > 0 && rec.total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "22".into()]);
+        let md = t.render();
+        assert!(md.starts_with("| a"));
+        assert!(md.contains("| 1"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Shared error scaffolding.
+
+use std::fmt;
+
+/// Errors raised by value-level operations (type mismatches in arithmetic
+/// or comparisons, invalid property access targets, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommonError {
+    /// An operation received operands of incompatible types.
+    TypeMismatch {
+        /// The operation attempted, e.g. `+` or `property access`.
+        operation: String,
+        /// A rendering of the offending operand types.
+        detail: String,
+    },
+    /// Arithmetic overflow on 64-bit integers.
+    ArithmeticOverflow(&'static str),
+    /// Division or modulo by zero.
+    DivisionByZero,
+    /// Index out of bounds on a list.
+    IndexOutOfBounds {
+        /// The requested index.
+        index: i64,
+        /// The list length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::TypeMismatch { operation, detail } => {
+                write!(f, "type mismatch in {operation}: {detail}")
+            }
+            CommonError::ArithmeticOverflow(op) => write!(f, "integer overflow in {op}"),
+            CommonError::DivisionByZero => write!(f, "division by zero"),
+            CommonError::IndexOutOfBounds { index, len } => {
+                write!(f, "list index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}

@@ -1,0 +1,219 @@
+//! Atomic path values.
+//!
+//! Section 4 of the paper proposes keeping *paths* as the only ordered
+//! collection in the data model, updated **atomically**: a maintained view
+//! never edits a path in place — the old path is retracted and the new one
+//! asserted. [`PathValue`] is therefore immutable after construction and
+//! shared via `Arc` inside [`crate::value::Value::Path`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EdgeId, VertexId};
+
+/// An alternating sequence `v0 -e0-> v1 -e1-> ... -e(n-1)-> vn`.
+///
+/// Invariant: `vertices.len() == edges.len() + 1` and `vertices` is
+/// non-empty. A zero-length path (single vertex, no edges) is legal and is
+/// produced by `[:T*0..]` patterns.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct PathValue {
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+}
+
+impl PathValue {
+    /// A zero-length path anchored at `v`.
+    pub fn single(v: VertexId) -> Self {
+        PathValue {
+            vertices: vec![v],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Build from alternating parts; panics if the alternation invariant
+    /// is violated (programming error, not data error).
+    pub fn new(vertices: Vec<VertexId>, edges: Vec<EdgeId>) -> Self {
+        assert!(
+            !vertices.is_empty() && vertices.len() == edges.len() + 1,
+            "path must alternate v,e,v,...: {} vertices, {} edges",
+            vertices.len(),
+            edges.len()
+        );
+        PathValue { vertices, edges }
+    }
+
+    /// Number of edges (the path *length* in Cypher terms).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for single-vertex paths.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn source(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn target(&self) -> VertexId {
+        *self.vertices.last().expect("non-empty by invariant")
+    }
+
+    /// All vertices in order.
+    #[inline]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// All edges in order.
+    #[inline]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Does the path traverse `e`?
+    #[inline]
+    pub fn contains_edge(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Does the path visit `v`?
+    #[inline]
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// `self` extended by one hop over `e` to `w`. The result is a new
+    /// path; `self` is untouched (atomic-path discipline).
+    pub fn extend(&self, e: EdgeId, w: VertexId) -> Self {
+        let mut vertices = Vec::with_capacity(self.vertices.len() + 1);
+        vertices.extend_from_slice(&self.vertices);
+        vertices.push(w);
+        let mut edges = Vec::with_capacity(self.edges.len() + 1);
+        edges.extend_from_slice(&self.edges);
+        edges.push(e);
+        PathValue { vertices, edges }
+    }
+
+    /// Concatenate `self` with `other`; `other` must start where `self`
+    /// ends. Returns `None` (rather than panicking) on a seam mismatch so
+    /// the transitive-closure operator can treat it as a join miss.
+    pub fn concat(&self, other: &PathValue) -> Option<Self> {
+        if self.target() != other.source() {
+            return None;
+        }
+        let mut vertices = self.vertices.clone();
+        vertices.extend_from_slice(&other.vertices[1..]);
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        Some(PathValue { vertices, edges })
+    }
+
+    /// Are all traversed edges distinct? Cypher's relationship-isomorphism
+    /// rule requires this of every matched path, and it is what keeps path
+    /// sets finite on cyclic graphs.
+    pub fn edges_distinct(&self) -> bool {
+        let mut seen: Vec<EdgeId> = Vec::with_capacity(self.edges.len());
+        for &e in &self.edges {
+            if seen.contains(&e) {
+                return false;
+            }
+            seen.push(e);
+        }
+        true
+    }
+}
+
+impl fmt::Display for PathValue {
+    /// Renders like the paper: `[1, 2, 3]` — vertex ids only, "for
+    /// conciseness, edges are omitted from paths".
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+    fn e(i: u64) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let p = PathValue::single(v(1));
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.source(), v(1));
+        assert_eq!(p.target(), v(1));
+        assert_eq!(p.to_string(), "[1]");
+    }
+
+    #[test]
+    fn extend_builds_alternation() {
+        let p = PathValue::single(v(1)).extend(e(10), v(2)).extend(e(11), v(3));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.vertices(), &[v(1), v(2), v(3)]);
+        assert_eq!(p.edges(), &[e(10), e(11)]);
+        assert_eq!(p.to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "alternate")]
+    fn new_rejects_bad_alternation() {
+        PathValue::new(vec![v(1), v(2)], vec![]);
+    }
+
+    #[test]
+    fn concat_matches_seam() {
+        let a = PathValue::single(v(1)).extend(e(10), v(2));
+        let b = PathValue::single(v(2)).extend(e(11), v(3));
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.vertices(), &[v(1), v(2), v(3)]);
+        assert_eq!(c.edges(), &[e(10), e(11)]);
+    }
+
+    #[test]
+    fn concat_rejects_seam_mismatch() {
+        let a = PathValue::single(v(1)).extend(e(10), v(2));
+        let b = PathValue::single(v(9)).extend(e(11), v(3));
+        assert!(a.concat(&b).is_none());
+    }
+
+    #[test]
+    fn edge_distinctness() {
+        let ok = PathValue::single(v(1)).extend(e(1), v(2)).extend(e(2), v(1));
+        assert!(ok.edges_distinct());
+        let bad = PathValue::new(vec![v(1), v(2), v(1)], vec![e(1), e(1)]);
+        assert!(!bad.edges_distinct());
+    }
+
+    #[test]
+    fn contains_queries() {
+        let p = PathValue::single(v(1)).extend(e(7), v(2));
+        assert!(p.contains_edge(e(7)));
+        assert!(!p.contains_edge(e(8)));
+        assert!(p.contains_vertex(v(2)));
+        assert!(!p.contains_vertex(v(3)));
+    }
+}

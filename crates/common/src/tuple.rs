@@ -1,0 +1,147 @@
+//! Row representation for graph relations.
+//!
+//! A [`Tuple`] is a fixed-width sequence of [`Value`]s whose meaning is
+//! given by the operator's inferred schema (attribute names live in the
+//! algebra layer, not here — the paper's step 3 infers them per query).
+//! Tuples are `Eq + Hash` so they can key multiplicity maps in the IVM
+//! network.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable row of values, cheap to clone (`Arc`-backed).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Empty tuple (unit row) — the identity for [`Tuple::concat`].
+    pub fn unit() -> Tuple {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// Build from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(Arc::from(values))
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Attribute at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// All values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project the positions in `cols`, in order.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Append one value.
+    pub fn push(&self, value: Value) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(value);
+        Tuple::new(v)
+    }
+
+    /// Replace position `i` with `value` (copy-on-write).
+    pub fn with(&self, i: usize, value: Value) -> Tuple {
+        let mut v = self.0.to_vec();
+        v[i] = value;
+        Tuple::new(v)
+    }
+
+    /// Iterate values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn unit_is_identity_for_concat() {
+        let a = t(&[1, 2]);
+        assert_eq!(Tuple::unit().concat(&a), a);
+        assert_eq!(a.concat(&Tuple::unit()), a);
+    }
+
+    #[test]
+    fn project_reorders_and_duplicates() {
+        let a = t(&[10, 20, 30]);
+        assert_eq!(a.project(&[2, 0, 0]), t(&[30, 10, 10]));
+    }
+
+    #[test]
+    fn push_and_with() {
+        let a = t(&[1]);
+        assert_eq!(a.push(Value::Int(2)), t(&[1, 2]));
+        assert_eq!(t(&[1, 2]).with(0, Value::Int(9)), t(&[9, 2]));
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use crate::fxhash::FxHashMap;
+        let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
+        m.insert(t(&[1, 2]), 1);
+        *m.entry(t(&[1, 2])).or_insert(0) += 1;
+        assert_eq!(m[&t(&[1, 2])], 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(t(&[1, 2]).to_string(), "⟨1, 2⟩");
+    }
+}

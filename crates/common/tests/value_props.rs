@@ -1,0 +1,141 @@
+//! Property-based tests for the value model: algebraic laws that the
+//! IVM engine's correctness silently depends on (hash/eq consistency for
+//! memory keys, total-order laws for deterministic output, arithmetic
+//! sanity).
+
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::path::PathValue;
+use pgq_common::value::Value;
+use proptest::prelude::*;
+
+fn atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::float),
+        "[a-z]{0,8}".prop_map(Value::str),
+        (0u64..50).prop_map(|i| Value::Node(VertexId(i))),
+        (0u64..50).prop_map(|i| Value::Rel(EdgeId(i))),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    atom().prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            proptest::collection::vec(("[a-c]", inner), 0..3)
+                .prop_map(|kv| Value::map(kv.into_iter())),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    use std::hash::BuildHasher;
+    pgq_common::fxhash::FxBuildHasher::default().hash_one(v)
+}
+
+proptest! {
+    #[test]
+    fn eq_implies_same_hash(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_antisymmetric(a in value(), b in value()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn total_cmp_is_transitive(a in value(), b in value(), c in value()) {
+        use std::cmp::Ordering::*;
+        let mut vals = [a, b, c];
+        vals.sort_by(|x, y| x.total_cmp(y));
+        // After sorting, pairwise comparisons must agree with the order.
+        prop_assert_ne!(vals[0].total_cmp(&vals[1]), Greater);
+        prop_assert_ne!(vals[1].total_cmp(&vals[2]), Greater);
+        prop_assert_ne!(vals[0].total_cmp(&vals[2]), Greater);
+    }
+
+    #[test]
+    fn comparability_is_symmetric(a in atom(), b in atom()) {
+        let ab = a.compare(&b);
+        let ba = b.compare(&a);
+        prop_assert_eq!(ab.map(|o| o.reverse()), ba);
+    }
+
+    #[test]
+    fn int_addition_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let got = Value::Int(a).add(&Value::Int(b)).unwrap();
+        prop_assert_eq!(got, Value::Int(a + b));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let sum = Value::Int(a).add(&Value::Int(b)).unwrap();
+        let back = sum.sub(&Value::Int(b)).unwrap();
+        prop_assert_eq!(back, Value::Int(a));
+    }
+
+    #[test]
+    fn null_absorbs_arithmetic(v in atom()) {
+        // Arithmetic with null is null whenever the op accepts the type.
+        if let Ok(r) = v.add(&Value::Null) {
+            prop_assert_eq!(r, Value::Null);
+        }
+        if let Ok(r) = Value::Null.mul(&v) {
+            prop_assert_eq!(r, Value::Null);
+        }
+    }
+
+    #[test]
+    fn display_is_deterministic(v in value()) {
+        prop_assert_eq!(v.to_string(), v.to_string());
+    }
+}
+
+proptest! {
+    #[test]
+    fn path_concat_is_associative(
+        edges_a in proptest::collection::vec(0u64..100, 0..4),
+        edges_b in proptest::collection::vec(100u64..200, 0..4),
+        edges_c in proptest::collection::vec(200u64..300, 0..4),
+    ) {
+        // Build three chains sharing seam vertices.
+        let build = |start: u64, edges: &[u64]| {
+            let mut p = PathValue::single(VertexId(start));
+            let mut at = start;
+            for &e in edges {
+                at += 1;
+                p = p.extend(EdgeId(e), VertexId(at));
+            }
+            p
+        };
+        let a = build(0, &edges_a);
+        let b = build(a.target().raw(), &edges_b);
+        let c = build(b.target().raw(), &edges_c);
+        let left = a.concat(&b).unwrap().concat(&c).unwrap();
+        let right = a.concat(&b.concat(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn path_extend_preserves_invariants(
+        hops in proptest::collection::vec((0u64..1000, 0u64..1000), 0..8)
+    ) {
+        let mut p = PathValue::single(VertexId(0));
+        for (e, v) in hops {
+            p = p.extend(EdgeId(e), VertexId(v));
+        }
+        prop_assert_eq!(p.vertices().len(), p.edges().len() + 1);
+        prop_assert_eq!(p.source(), VertexId(0));
+    }
+}

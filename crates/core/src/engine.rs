@@ -1,0 +1,816 @@
+//! The `GraphEngine` façade: graph + views + openCypher execution.
+
+use pgq_algebra::pipeline::{
+    compile_bindings, compile_query_with, CompileOptions, CompiledQuery,
+};
+use pgq_common::intern::Symbol;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::delta::ChangeEvent;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::{NodeRef, Transaction};
+use pgq_ivm::{Delta, MaterializedView};
+use pgq_parser::ast::{Clause, Expr, Pattern, Query, RemoveItem, SetItem};
+use pgq_parser::parse_query;
+
+use crate::error::EngineError;
+use crate::subscribe::{Subscriber, ViewDelta};
+
+/// Handle of a registered view.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ViewId(usize);
+
+#[derive(Clone)]
+struct ViewEntry {
+    view: MaterializedView,
+    compiled: CompiledQuery,
+    query_text: String,
+}
+
+/// Counters reported by update queries (mirrors Neo4j's summary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Vertices created.
+    pub nodes_created: usize,
+    /// Edges created.
+    pub relationships_created: usize,
+    /// Vertices deleted.
+    pub nodes_deleted: usize,
+    /// Edges deleted.
+    pub relationships_deleted: usize,
+    /// Properties written (set or removed).
+    pub properties_set: usize,
+    /// Labels attached.
+    pub labels_added: usize,
+    /// Labels detached.
+    pub labels_removed: usize,
+}
+
+/// Result of [`GraphEngine::execute`].
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionResult {
+    /// Output column names (read queries only).
+    pub columns: Vec<String>,
+    /// Result rows (read queries only).
+    pub rows: Vec<Tuple>,
+    /// Update counters (update queries only).
+    pub stats: UpdateStats,
+}
+
+/// The main entry point: a property graph with incrementally maintained
+/// openCypher views.
+#[derive(Default)]
+pub struct GraphEngine {
+    graph: PropertyGraph,
+    views: Vec<Option<ViewEntry>>,
+    subscribers: Vec<(ViewId, Subscriber)>,
+}
+
+impl Clone for GraphEngine {
+    /// Clones the graph and all view state. Subscribers are **not**
+    /// cloned (callbacks are tied to the original engine's consumers).
+    fn clone(&self) -> GraphEngine {
+        GraphEngine {
+            graph: self.graph.clone(),
+            views: self.views.clone(),
+            subscribers: Vec::new(),
+        }
+    }
+}
+
+impl GraphEngine {
+    /// Fresh engine with an empty graph.
+    pub fn new() -> GraphEngine {
+        GraphEngine::default()
+    }
+
+    /// Wrap an existing graph (views can be registered afterwards).
+    pub fn from_graph(graph: PropertyGraph) -> GraphEngine {
+        GraphEngine {
+            graph,
+            views: Vec::new(),
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// The underlying graph (read-only; mutate via [`GraphEngine::apply`]
+    /// or [`GraphEngine::execute`] so views stay consistent).
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    // ---- transactions ------------------------------------------------------
+
+    /// Apply a transaction and maintain every registered view.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, EngineError> {
+        let events = self.graph.apply(tx)?;
+        self.maintain(&events);
+        Ok(events)
+    }
+
+    fn maintain(&mut self, events: &[ChangeEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        for (i, entry) in self.views.iter_mut().enumerate() {
+            let Some(entry) = entry else { continue };
+            let delta = entry.view.on_transaction(&self.graph, events);
+            if delta.is_empty() {
+                continue;
+            }
+            let id = ViewId(i);
+            let mut notification: Option<ViewDelta> = None;
+            for (sid, callback) in &mut self.subscribers {
+                if *sid == id {
+                    let vd = notification.get_or_insert_with(|| {
+                        ViewDelta::from_delta(entry.view.name(), &delta)
+                    });
+                    callback(vd);
+                }
+            }
+        }
+    }
+
+    /// Apply a transaction and also return each view's delta (for
+    /// subscribers/benchmarks).
+    pub fn apply_with_deltas(
+        &mut self,
+        tx: &Transaction,
+    ) -> Result<Vec<(ViewId, Delta)>, EngineError> {
+        let events = self.graph.apply(tx)?;
+        let mut out = Vec::new();
+        for (i, entry) in self.views.iter_mut().enumerate() {
+            if let Some(e) = entry {
+                let d = e.view.on_transaction(&self.graph, &events);
+                out.push((ViewId(i), d));
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- views ---------------------------------------------------------------
+
+    /// Register an incrementally maintained view. Fails with
+    /// [`pgq_algebra::AlgebraError::NotMaintainable`] for queries outside
+    /// the paper's fragment.
+    pub fn register_view(&mut self, name: &str, cypher: &str) -> Result<ViewId, EngineError> {
+        self.register_view_with(name, cypher, CompileOptions::default())
+    }
+
+    /// Register a view with explicit compile options (e.g. the
+    /// no-push-down ablation mode).
+    pub fn register_view_with(
+        &mut self,
+        name: &str,
+        cypher: &str,
+        options: CompileOptions,
+    ) -> Result<ViewId, EngineError> {
+        if self.view_by_name(name).is_some() {
+            return Err(EngineError::DuplicateView(name.to_string()));
+        }
+        let query = parse_query(cypher)?;
+        let compiled = compile_query_with(&query, options)?;
+        let view = MaterializedView::create(name, &compiled, &self.graph)?;
+        let id = ViewId(self.views.len());
+        self.views.push(Some(ViewEntry {
+            view,
+            compiled,
+            query_text: cypher.to_string(),
+        }));
+        Ok(id)
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&mut self, id: ViewId) -> Result<(), EngineError> {
+        match self.views.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                Ok(())
+            }
+            _ => Err(EngineError::UnknownView),
+        }
+    }
+
+    /// Look up a view id by name.
+    pub fn view_by_name(&self, name: &str) -> Option<ViewId> {
+        self.views.iter().enumerate().find_map(|(i, e)| {
+            e.as_ref()
+                .filter(|e| e.view.name() == name)
+                .map(|_| ViewId(i))
+        })
+    }
+
+    /// Access a view.
+    pub fn view(&self, id: ViewId) -> Result<&MaterializedView, EngineError> {
+        self.views
+            .get(id.0)
+            .and_then(|e| e.as_ref())
+            .map(|e| &e.view)
+            .ok_or(EngineError::UnknownView)
+    }
+
+    /// The view's current rows (multiplicities expanded).
+    pub fn view_results(&self, id: ViewId) -> Result<Vec<Tuple>, EngineError> {
+        Ok(self.view(id)?.rows())
+    }
+
+    /// All registered views.
+    pub fn views(&self) -> impl Iterator<Item = (ViewId, &MaterializedView)> {
+        self.views
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (ViewId(i), &e.view)))
+    }
+
+    // ---- queries -------------------------------------------------------------
+
+    /// One-shot (non-incremental) query via the baseline evaluator.
+    /// Supports the full parsed fragment including ORDER BY / SKIP /
+    /// LIMIT.
+    pub fn query(&self, cypher: &str) -> Result<ExecutionResult, EngineError> {
+        let query = parse_query(cypher)?;
+        if query.is_update() {
+            return Err(EngineError::Unsupported(
+                "query() is read-only; use execute() for updates".into(),
+            ));
+        }
+        let compiled = compile_query_with(&query, CompileOptions::default())?;
+        let rows = pgq_eval::evaluate_query(&compiled, &self.graph);
+        Ok(ExecutionResult {
+            columns: compiled.columns.clone(),
+            rows,
+            stats: UpdateStats::default(),
+        })
+    }
+
+    /// Execute any supported statement: read queries are evaluated
+    /// one-shot; update queries run their reading part, apply the update
+    /// clauses atomically, and maintain all views.
+    pub fn execute(&mut self, cypher: &str) -> Result<ExecutionResult, EngineError> {
+        let query = parse_query(cypher)?;
+        if !query.is_update() {
+            return self.query(cypher);
+        }
+        if query.return_clause().is_some() {
+            return Err(EngineError::Unsupported(
+                "RETURN combined with update clauses".into(),
+            ));
+        }
+        let plan = UpdatePlan::build(&query)?;
+        let (tx, stats) = plan.to_transaction(&query, &self.graph)?;
+        self.apply(&tx)?;
+        Ok(ExecutionResult {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            stats,
+        })
+    }
+
+    /// Execute a `;`-separated script of statements in order. The whole
+    /// script is parsed up-front (a syntax error executes nothing); at
+    /// runtime the atomicity unit is the statement, as in cypher-shell —
+    /// statements before a failing one stay committed.
+    pub fn execute_script(
+        &mut self,
+        script: &str,
+    ) -> Result<Vec<ExecutionResult>, EngineError> {
+        let queries = pgq_parser::parse_script(script)?;
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            // Re-render is lossless (tested by the parser's round-trip
+            // suite), so reuse the single-statement path for uniform
+            // handling.
+            out.push(self.execute(&q.to_string())?);
+        }
+        Ok(out)
+    }
+
+    /// EXPLAIN: render all three pipeline stages and the maintainability
+    /// verdict.
+    pub fn explain(&self, cypher: &str) -> Result<String, EngineError> {
+        let query = parse_query(cypher)?;
+        let compiled = compile_query_with(&query, CompileOptions::default())?;
+        let mut out = String::new();
+        out.push_str("== Stage 1: GRA (graph relational algebra)\n");
+        out.push_str(&format!("{}\n", compiled.gra));
+        out.push_str("\n== Stage 2: NRA (nested relational algebra)\n");
+        out.push_str(&format!("{}\n", compiled.nra));
+        out.push_str("\n== Stage 3: FRA (flat relational algebra, inferred schema)\n");
+        out.push_str(&compiled.fra.explain());
+        out.push_str("\n== Maintainability\n");
+        if compiled.is_maintainable() {
+            out.push_str("incrementally maintainable\n");
+        } else {
+            for reason in &compiled.not_maintainable {
+                out.push_str(&format!("NOT maintainable: {reason}\n"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Query text a view was registered with.
+    pub fn view_query(&self, id: ViewId) -> Result<&str, EngineError> {
+        self.views
+            .get(id.0)
+            .and_then(|e| e.as_ref())
+            .map(|e| e.query_text.as_str())
+            .ok_or(EngineError::UnknownView)
+    }
+
+    /// Compiled pipeline of a view (for reports).
+    pub fn view_compiled(&self, id: ViewId) -> Result<&CompiledQuery, EngineError> {
+        self.views
+            .get(id.0)
+            .and_then(|e| e.as_ref())
+            .map(|e| &e.compiled)
+            .ok_or(EngineError::UnknownView)
+    }
+
+    /// Subscribe to a view's deltas (Graphflow-style active query): the
+    /// callback fires after every transaction that changes the view's
+    /// result, with the inserted and removed rows.
+    pub fn subscribe(
+        &mut self,
+        id: ViewId,
+        callback: impl FnMut(&ViewDelta) + Send + 'static,
+    ) -> Result<(), EngineError> {
+        if self.views.get(id.0).and_then(|e| e.as_ref()).is_none() {
+            return Err(EngineError::UnknownView);
+        }
+        self.subscribers.push((id, Box::new(callback)));
+        Ok(())
+    }
+
+    /// Per-operator network statistics of a view (EXPLAIN-ANALYZE-style).
+    pub fn view_stats(&self, id: ViewId) -> Result<pgq_ivm::stats::OpStats, EngineError> {
+        Ok(self.view(id)?.network_stats())
+    }
+}
+
+/// Interpreter for the update clauses of a query.
+struct UpdatePlan {
+    /// Projection items for the bindings query: bound variables first,
+    /// then every value expression appearing in SET / CREATE props.
+    items: Vec<(Expr, String)>,
+    /// Does the query have any reading clause (MATCH/UNWIND)?
+    has_reading: bool,
+}
+
+impl UpdatePlan {
+    fn build(query: &Query) -> Result<UpdatePlan, EngineError> {
+        let mut bound_vars: Vec<String> = Vec::new();
+        let mut has_reading = false;
+        // First pass: find variables bound by reading clauses.
+        for clause in &query.clauses {
+            match clause {
+                Clause::Match { pattern, .. } => {
+                    has_reading = true;
+                    for p in &pattern.paths {
+                        if let Some(v) = &p.variable {
+                            push_unique(&mut bound_vars, v);
+                        }
+                        if let Some(v) = &p.start.variable {
+                            push_unique(&mut bound_vars, v);
+                        }
+                        for (r, n) in &p.steps {
+                            if let Some(v) = &r.variable {
+                                push_unique(&mut bound_vars, v);
+                            }
+                            if let Some(v) = &n.variable {
+                                push_unique(&mut bound_vars, v);
+                            }
+                        }
+                    }
+                }
+                Clause::Unwind { alias, .. } => {
+                    has_reading = true;
+                    push_unique(&mut bound_vars, alias);
+                }
+                _ => {}
+            }
+        }
+        // Second pass: which bound vars and value expressions do the
+        // update clauses need?
+        let mut items: Vec<(Expr, String)> = Vec::new();
+        let mut exprs = 0usize;
+        let need_var = |items: &mut Vec<(Expr, String)>, v: &str| {
+            if bound_vars.iter().any(|b| b == v)
+                && !items.iter().any(|(_, n)| n == v)
+            {
+                items.push((Expr::Variable(v.to_string()), v.to_string()));
+            }
+        };
+        let mut need_expr = |items: &mut Vec<(Expr, String)>, e: &Expr| -> String {
+            let name = format!("__u{exprs}");
+            exprs += 1;
+            items.push((e.clone(), name.clone()));
+            name
+        };
+        let mut created: Vec<String> = Vec::new();
+        let mut clause_plans: Vec<()> = Vec::new();
+        let _ = &mut clause_plans;
+        for clause in &query.clauses {
+            match clause {
+                Clause::Create(pattern) => {
+                    for p in &pattern.paths {
+                        for node in std::iter::once(&p.start)
+                            .chain(p.steps.iter().map(|(_, n)| n))
+                        {
+                            if let Some(v) = &node.variable {
+                                if bound_vars.iter().any(|b| b == v) {
+                                    need_var(&mut items, v);
+                                } else if !created.contains(v) {
+                                    created.push(v.clone());
+                                }
+                            }
+                            for (_, e) in &node.props {
+                                for v in e.free_variables() {
+                                    need_var(&mut items, &v);
+                                }
+                            }
+                        }
+                        for (r, _) in &p.steps {
+                            for (_, e) in &r.props {
+                                for v in e.free_variables() {
+                                    need_var(&mut items, &v);
+                                }
+                            }
+                        }
+                    }
+                }
+                Clause::Delete { exprs: es, .. } => {
+                    for e in es {
+                        match e {
+                            Expr::Variable(v) => need_var(&mut items, v),
+                            _ => {
+                                return Err(EngineError::Unsupported(
+                                    "DELETE of a non-variable expression".into(),
+                                ))
+                            }
+                        }
+                    }
+                }
+                Clause::Set(sets) => {
+                    for item in sets {
+                        match item {
+                            SetItem::Property {
+                                variable, value, ..
+                            } => {
+                                need_var(&mut items, variable);
+                                for v in value.free_variables() {
+                                    need_var(&mut items, &v);
+                                }
+                            }
+                            SetItem::Labels { variable, .. } => {
+                                need_var(&mut items, variable)
+                            }
+                        }
+                    }
+                }
+                Clause::Remove(removes) => {
+                    for item in removes {
+                        match item {
+                            RemoveItem::Property { variable, .. }
+                            | RemoveItem::Labels { variable, .. } => {
+                                need_var(&mut items, variable)
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Value expressions are projected too (so SET values can reference
+        // matched properties). We project them as extra columns.
+        let mut items_with_values = items.clone();
+        for clause in &query.clauses {
+            match clause {
+                Clause::Set(sets) => {
+                    for item in sets {
+                        if let SetItem::Property { value, .. } = item {
+                            if !matches!(value, Expr::Literal(_)) {
+                                need_expr(&mut items_with_values, value);
+                            }
+                        }
+                    }
+                }
+                Clause::Create(pattern) => {
+                    for p in &pattern.paths {
+                        for node in std::iter::once(&p.start)
+                            .chain(p.steps.iter().map(|(_, n)| n))
+                        {
+                            for (_, e) in &node.props {
+                                if !matches!(e, Expr::Literal(_)) {
+                                    need_expr(&mut items_with_values, e);
+                                }
+                            }
+                        }
+                        for (r, _) in &p.steps {
+                            for (_, e) in &r.props {
+                                if !matches!(e, Expr::Literal(_)) {
+                                    need_expr(&mut items_with_values, e);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(UpdatePlan {
+            items: items_with_values,
+            has_reading,
+        })
+    }
+
+    /// Evaluate the reading part and build the atomic transaction.
+    fn to_transaction(
+        &self,
+        query: &Query,
+        graph: &PropertyGraph,
+    ) -> Result<(Transaction, UpdateStats), EngineError> {
+        // Bindings: one row per match (bag semantics).
+        let (columns, rows): (Vec<String>, Vec<Tuple>) = if self.has_reading {
+            let compiled = compile_bindings(query, &self.items)?;
+            let bag = pgq_eval::evaluate(&compiled.fra, graph);
+            let mut rows = Vec::new();
+            for (t, m) in bag {
+                for _ in 0..m.max(0) {
+                    rows.push(t.clone());
+                }
+            }
+            (compiled.columns.clone(), rows)
+        } else {
+            (Vec::new(), vec![Tuple::unit()])
+        };
+        let col =
+            |name: &str| -> Option<usize> { columns.iter().position(|c| c == name) };
+        // Column index for a projected value expression.
+        let expr_col = |e: &Expr| -> Option<usize> {
+            self.items
+                .iter()
+                .position(|(ie, _)| ie == e)
+        };
+
+        let mut tx = Transaction::new();
+        let mut stats = UpdateStats::default();
+        let mut deleted_nodes: Vec<pgq_common::ids::VertexId> = Vec::new();
+        let mut deleted_edges: Vec<pgq_common::ids::EdgeId> = Vec::new();
+
+        for clause in &query.clauses {
+            match clause {
+                Clause::Create(pattern) => {
+                    for row in &rows {
+                        self.create_pattern(
+                            pattern, row, &columns, &mut tx, &mut stats, expr_col,
+                        )?;
+                    }
+                }
+                Clause::Delete { detach, exprs } => {
+                    for row in &rows {
+                        for e in exprs {
+                            let Expr::Variable(v) = e else { unreachable!() };
+                            let i = col(v).ok_or_else(|| {
+                                EngineError::Unsupported(format!(
+                                    "DELETE of unbound variable `{v}`"
+                                ))
+                            })?;
+                            match row.get(i) {
+                                Value::Node(n) => {
+                                    if !deleted_nodes.contains(n) {
+                                        deleted_nodes.push(*n);
+                                        tx.delete_vertex(*n, *detach);
+                                        stats.nodes_deleted += 1;
+                                    }
+                                }
+                                Value::Rel(r) => {
+                                    if !deleted_edges.contains(r) {
+                                        deleted_edges.push(*r);
+                                        tx.delete_edge(*r);
+                                        stats.relationships_deleted += 1;
+                                    }
+                                }
+                                Value::Null => {}
+                                other => {
+                                    return Err(EngineError::Unsupported(format!(
+                                        "DELETE of a {} value",
+                                        other.type_name()
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                Clause::Set(sets) => {
+                    for row in &rows {
+                        for item in sets {
+                            match item {
+                                SetItem::Property {
+                                    variable,
+                                    key,
+                                    value,
+                                } => {
+                                    let vi = col(variable).ok_or_else(|| {
+                                        EngineError::Unsupported(format!(
+                                            "SET on unbound variable `{variable}`"
+                                        ))
+                                    })?;
+                                    let val = match value {
+                                        Expr::Literal(v) => v.clone(),
+                                        e => {
+                                            let ci = expr_col(e).expect("projected");
+                                            row.get(ci).clone()
+                                        }
+                                    };
+                                    let key = Symbol::intern(key);
+                                    match row.get(vi) {
+                                        Value::Node(n) => {
+                                            tx.set_vertex_prop(*n, key, val);
+                                            stats.properties_set += 1;
+                                        }
+                                        Value::Rel(r) => {
+                                            tx.set_edge_prop(*r, key, val);
+                                            stats.properties_set += 1;
+                                        }
+                                        Value::Null => {}
+                                        other => {
+                                            return Err(EngineError::Unsupported(
+                                                format!(
+                                                    "SET on a {} value",
+                                                    other.type_name()
+                                                ),
+                                            ))
+                                        }
+                                    }
+                                }
+                                SetItem::Labels { variable, labels } => {
+                                    let vi = col(variable).ok_or_else(|| {
+                                        EngineError::Unsupported(format!(
+                                            "SET on unbound variable `{variable}`"
+                                        ))
+                                    })?;
+                                    if let Value::Node(n) = row.get(vi) {
+                                        for l in labels {
+                                            tx.add_label(*n, Symbol::intern(l));
+                                            stats.labels_added += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Clause::Remove(removes) => {
+                    for row in &rows {
+                        for item in removes {
+                            match item {
+                                RemoveItem::Property { variable, key } => {
+                                    let vi = col(variable).ok_or_else(|| {
+                                        EngineError::Unsupported(format!(
+                                            "REMOVE on unbound variable `{variable}`"
+                                        ))
+                                    })?;
+                                    let key = Symbol::intern(key);
+                                    match row.get(vi) {
+                                        Value::Node(n) => {
+                                            tx.set_vertex_prop(*n, key, Value::Null);
+                                            stats.properties_set += 1;
+                                        }
+                                        Value::Rel(r) => {
+                                            tx.set_edge_prop(*r, key, Value::Null);
+                                            stats.properties_set += 1;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                                RemoveItem::Labels { variable, labels } => {
+                                    let vi = col(variable).ok_or_else(|| {
+                                        EngineError::Unsupported(format!(
+                                            "REMOVE on unbound variable `{variable}`"
+                                        ))
+                                    })?;
+                                    if let Value::Node(n) = row.get(vi) {
+                                        for l in labels {
+                                            tx.remove_label(*n, Symbol::intern(l));
+                                            stats.labels_removed += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok((tx, stats))
+    }
+
+    fn create_pattern(
+        &self,
+        pattern: &Pattern,
+        row: &Tuple,
+        columns: &[String],
+        tx: &mut Transaction,
+        stats: &mut UpdateStats,
+        expr_col: impl Fn(&Expr) -> Option<usize> + Copy,
+    ) -> Result<(), EngineError> {
+        let col = |name: &str| columns.iter().position(|c| c == name);
+        let eval_props = |props: &[(String, Expr)]| -> Result<Properties, EngineError> {
+            let mut out = Properties::new();
+            for (k, e) in props {
+                let v = match e {
+                    Expr::Literal(v) => v.clone(),
+                    e => {
+                        let ci = expr_col(e).ok_or_else(|| {
+                            EngineError::Unsupported(format!(
+                                "unprojected CREATE property expression {e}"
+                            ))
+                        })?;
+                        row.get(ci).clone()
+                    }
+                };
+                out.set(Symbol::intern(k), v);
+            }
+            Ok(out)
+        };
+        // Per-row map from variable name to the node it denotes.
+        let mut local: Vec<(String, NodeRef)> = Vec::new();
+        for path in &pattern.paths {
+            if path.variable.is_some() {
+                return Err(EngineError::Unsupported(
+                    "named paths in CREATE".into(),
+                ));
+            }
+            let mut resolve_node = |node: &pgq_parser::ast::NodePattern,
+                                    tx: &mut Transaction,
+                                    stats: &mut UpdateStats|
+             -> Result<NodeRef, EngineError> {
+                if let Some(v) = &node.variable {
+                    if let Some((_, r)) = local.iter().find(|(n, _)| n == v) {
+                        return Ok(*r);
+                    }
+                    if let Some(i) = col(v) {
+                        let Value::Node(n) = row.get(i) else {
+                            return Err(EngineError::Unsupported(format!(
+                                "CREATE endpoint `{v}` is not a node"
+                            )));
+                        };
+                        let r = NodeRef::Existing(*n);
+                        local.push((v.clone(), r));
+                        return Ok(r);
+                    }
+                }
+                let labels: Vec<Symbol> =
+                    node.labels.iter().map(|l| Symbol::intern(l)).collect();
+                let props = eval_props(&node.props)?;
+                let r = tx.create_vertex(labels, props);
+                stats.nodes_created += 1;
+                if let Some(v) = &node.variable {
+                    local.push((v.clone(), r));
+                }
+                Ok(r)
+            };
+            let mut prev = resolve_node(&path.start, tx, stats)?;
+            for (rel, node) in &path.steps {
+                if rel.range.is_some() {
+                    return Err(EngineError::Unsupported(
+                        "variable-length relationships in CREATE".into(),
+                    ));
+                }
+                if rel.types.len() != 1 {
+                    return Err(EngineError::Unsupported(
+                        "CREATE relationships need exactly one type".into(),
+                    ));
+                }
+                let next = resolve_node(node, tx, stats)?;
+                let ty = Symbol::intern(&rel.types[0]);
+                let props = eval_props(&rel.props)?;
+                use pgq_common::dir::Direction;
+                match rel.direction {
+                    Direction::Out => {
+                        tx.create_edge(prev, next, ty, props);
+                    }
+                    Direction::In => {
+                        tx.create_edge(next, prev, ty, props);
+                    }
+                    Direction::Both => {
+                        return Err(EngineError::Unsupported(
+                            "undirected relationships in CREATE".into(),
+                        ))
+                    }
+                }
+                stats.relationships_created += 1;
+                prev = next;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}

@@ -1,0 +1,57 @@
+//! Engine-level errors.
+
+use std::fmt;
+
+use pgq_algebra::AlgebraError;
+use pgq_graph::store::GraphError;
+use pgq_parser::ParseError;
+
+/// Anything that can go wrong when driving the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query text failed to parse.
+    Parse(ParseError),
+    /// The query failed to compile (outside the fragment, unknown
+    /// variables, or not incrementally maintainable when registering a
+    /// view).
+    Algebra(AlgebraError),
+    /// The store rejected an update.
+    Graph(GraphError),
+    /// Referenced view does not exist.
+    UnknownView,
+    /// A view with this name already exists.
+    DuplicateView(String),
+    /// Valid Cypher the engine's update interpreter does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::Graph(e) => write!(f, "{e}"),
+            EngineError::UnknownView => write!(f, "unknown view"),
+            EngineError::DuplicateView(n) => write!(f, "view `{n}` already exists"),
+            EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<AlgebraError> for EngineError {
+    fn from(e: AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # pgq-core
+//!
+//! Public façade of the pgq stack: [`GraphEngine`] combines the property
+//! graph store, the openCypher front-end, the GRA→NRA→FRA compilation
+//! pipeline and the IVM network behind one API:
+//!
+//! ```
+//! use pgq_core::GraphEngine;
+//!
+//! let mut engine = GraphEngine::new();
+//! engine.execute("CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm {lang: 'en'})").unwrap();
+//! let view = engine
+//!     .register_view(
+//!         "same-lang",
+//!         "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+//!     )
+//!     .unwrap();
+//! assert_eq!(engine.view_results(view).unwrap().len(), 1);
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod subscribe;
+
+pub use engine::{ExecutionResult, GraphEngine, UpdateStats, ViewId};
+pub use error::EngineError;
+pub use subscribe::ViewDelta;

@@ -1,0 +1,425 @@
+//! From-scratch (non-incremental) evaluation of FRA plans — the baseline
+//! comparator of every benchmark, and the executor for queries outside
+//! the maintainable fragment (ORDER BY / SKIP / LIMIT).
+
+use std::cmp::Ordering;
+
+use pgq_algebra::expr::{AggCall, AggFunc, ScalarExpr};
+use pgq_algebra::fra::{Fra, PropPush};
+use pgq_algebra::CompiledQuery;
+use pgq_common::dir::Direction;
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::store::PropertyGraph;
+
+use crate::paths::enumerate_paths;
+
+/// A bag of result tuples.
+pub type Bag = Vec<(Tuple, i64)>;
+
+/// Evaluate an FRA plan against the current graph.
+pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
+    match fra {
+        Fra::Unit => vec![(Tuple::unit(), 1)],
+        Fra::ScanVertices {
+            labels,
+            props,
+            carry_map,
+            ..
+        } => {
+            let ids: Vec<_> = if labels.is_empty() {
+                g.vertex_ids().collect()
+            } else {
+                g.vertices_with_label(labels[0]).to_vec()
+            };
+            let mut out = Vec::new();
+            for v in ids {
+                let data = g.vertex(v).expect("listed");
+                if !labels.iter().all(|&l| data.has_label(l)) {
+                    continue;
+                }
+                let mut vals = vec![Value::Node(v)];
+                for p in props {
+                    vals.push(data.props.get_or_null(p.prop));
+                }
+                if *carry_map {
+                    vals.push(data.props.to_value_map());
+                }
+                out.push((Tuple::new(vals), 1));
+            }
+            out
+        }
+        Fra::ScanEdges {
+            types,
+            src_labels,
+            dst_labels,
+            src_props,
+            edge_props,
+            dst_props,
+            dir,
+            carry_maps,
+            ..
+        } => {
+            let ids: Vec<_> = if types.is_empty() {
+                g.edge_ids().collect()
+            } else {
+                types
+                    .iter()
+                    .flat_map(|&t| g.edges_with_type(t).iter().copied())
+                    .collect()
+            };
+            let mut out = Vec::new();
+            for e in ids {
+                let data = g.edge(e).expect("listed");
+                if !types.is_empty() && !types.contains(&data.ty) {
+                    continue;
+                }
+                let orientations: &[(_, _)] = match dir {
+                    Direction::Out => &[(data.src, data.dst)],
+                    Direction::In => &[(data.dst, data.src)],
+                    Direction::Both => {
+                        if data.src == data.dst {
+                            &[(data.src, data.dst)]
+                        } else {
+                            &[(data.src, data.dst), (data.dst, data.src)]
+                        }
+                    }
+                };
+                for &(s, d) in orientations {
+                    let (Some(sd), Some(dd)) = (g.vertex(s), g.vertex(d)) else {
+                        continue;
+                    };
+                    if !src_labels.iter().all(|&l| sd.has_label(l))
+                        || !dst_labels.iter().all(|&l| dd.has_label(l))
+                    {
+                        continue;
+                    }
+                    let mut vals = vec![Value::Node(s), Value::Rel(e), Value::Node(d)];
+                    for p in src_props {
+                        vals.push(sd.props.get_or_null(p.prop));
+                    }
+                    for p in edge_props {
+                        vals.push(data.props.get_or_null(p.prop));
+                    }
+                    for p in dst_props {
+                        vals.push(dd.props.get_or_null(p.prop));
+                    }
+                    if carry_maps.0 {
+                        vals.push(sd.props.to_value_map());
+                    }
+                    if carry_maps.1 {
+                        vals.push(data.props.to_value_map());
+                    }
+                    if carry_maps.2 {
+                        vals.push(dd.props.to_value_map());
+                    }
+                    out.push((Tuple::new(vals), 1));
+                }
+            }
+            out
+        }
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = evaluate(left, g);
+            let r = evaluate(right, g);
+            let right_keep: Vec<usize> = (0..right.schema().len())
+                .filter(|i| !right_keys.contains(i))
+                .collect();
+            let mut index: FxHashMap<Tuple, Vec<(Tuple, i64)>> = FxHashMap::default();
+            for (t, m) in r {
+                index
+                    .entry(t.project(right_keys))
+                    .or_default()
+                    .push((t, m));
+            }
+            let mut out = Vec::new();
+            for (lt, lm) in l {
+                let key = lt.project(left_keys);
+                if let Some(matches) = index.get(&key) {
+                    for (rt, rm) in matches {
+                        let mut vals: Vec<Value> = lt.values().to_vec();
+                        for &i in &right_keep {
+                            vals.push(rt.get(i).clone());
+                        }
+                        out.push((Tuple::new(vals), lm * rm));
+                    }
+                }
+            }
+            out
+        }
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            ..
+        } => {
+            let l = evaluate(left, g);
+            let mut out = Vec::new();
+            // Enumerate per distinct source, then fan out to left rows.
+            let mut by_src: FxHashMap<Value, Vec<(Tuple, i64)>> = FxHashMap::default();
+            for (t, m) in l {
+                by_src.entry(t.get(*src_col).clone()).or_default().push((t, m));
+            }
+            for (srcv, rows) in by_src {
+                let Some(src) = srcv.as_node() else { continue };
+                for p in enumerate_paths(g, src, spec) {
+                    let dst = p.target();
+                    let Some(dd) = g.vertex(dst) else { continue };
+                    if !spec.dst_labels.iter().all(|&l| dd.has_label(l)) {
+                        continue;
+                    }
+                    let mut tail: Vec<Value> = vec![Value::Node(dst)];
+                    for pr in &spec.dst_props {
+                        tail.push(dd.props.get_or_null(pr.prop));
+                    }
+                    if spec.dst_carry_map {
+                        tail.push(dd.props.to_value_map());
+                    }
+                    tail.push(Value::path(p.clone()));
+                    for (t, m) in &rows {
+                        let mut vals: Vec<Value> = t.values().to_vec();
+                        vals.extend(tail.iter().cloned());
+                        out.push((Tuple::new(vals), *m));
+                    }
+                }
+            }
+            out
+        }
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => {
+            let l = evaluate(left, g);
+            let r = evaluate(right, g);
+            let mut support: FxHashMap<Tuple, i64> = FxHashMap::default();
+            for (t, m) in r {
+                *support.entry(t.project(right_keys)).or_insert(0) += m;
+            }
+            l.into_iter()
+                .filter(|(t, _)| {
+                    let positive = support
+                        .get(&t.project(left_keys))
+                        .copied()
+                        .unwrap_or(0)
+                        > 0;
+                    positive != *anti
+                })
+                .collect()
+        }
+        Fra::Filter { input, predicate } => evaluate(input, g)
+            .into_iter()
+            .filter(|(t, _)| predicate.matches(t))
+            .collect(),
+        Fra::Project { input, items } => evaluate(input, g)
+            .into_iter()
+            .map(|(t, m)| {
+                let vals = items
+                    .iter()
+                    .map(|(e, _)| e.eval(&t).unwrap_or(Value::Null))
+                    .collect::<Vec<_>>();
+                (Tuple::new(vals), m)
+            })
+            .collect(),
+        Fra::Distinct { input } => {
+            let mut seen: FxHashMap<Tuple, i64> = FxHashMap::default();
+            for (t, m) in evaluate(input, g) {
+                *seen.entry(t).or_insert(0) += m;
+            }
+            seen.into_iter()
+                .filter(|(_, m)| *m > 0)
+                .map(|(t, _)| (t, 1))
+                .collect()
+        }
+        Fra::Aggregate { input, group, aggs } => {
+            aggregate_bag(evaluate(input, g), group, aggs)
+        }
+        Fra::Unwind { input, expr, .. } => {
+            let mut out = Vec::new();
+            for (t, m) in evaluate(input, g) {
+                if let Ok(Value::List(items)) = expr.eval(&t) {
+                    for item in items.iter() {
+                        out.push((t.push(item.clone()), m));
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn aggregate_bag(
+    input: Bag,
+    group: &[(ScalarExpr, String)],
+    aggs: &[(AggCall, String)],
+) -> Bag {
+    struct Acc {
+        rows: i64,
+        values: Vec<Vec<Value>>, // per agg: raw arg values (mult-expanded)
+    }
+    let mut groups: FxHashMap<Tuple, Acc> = FxHashMap::default();
+    for (t, m) in input {
+        let key: Tuple = group
+            .iter()
+            .map(|(e, _)| e.eval(&t).unwrap_or(Value::Null))
+            .collect();
+        let acc = groups.entry(key).or_insert_with(|| Acc {
+            rows: 0,
+            values: vec![Vec::new(); aggs.len()],
+        });
+        acc.rows += m;
+        for (i, (call, _)) in aggs.iter().enumerate() {
+            let v = call
+                .arg
+                .as_ref()
+                .map(|e| e.eval(&t).unwrap_or(Value::Null))
+                .unwrap_or(Value::Null);
+            for _ in 0..m.max(0) {
+                acc.values[i].push(v.clone());
+            }
+        }
+    }
+    if group.is_empty() && groups.is_empty() {
+        groups.insert(
+            Tuple::unit(),
+            Acc {
+                rows: 0,
+                values: vec![Vec::new(); aggs.len()],
+            },
+        );
+    }
+    let mut out = Vec::new();
+    for (key, acc) in groups {
+        if acc.rows <= 0 && !group.is_empty() {
+            continue;
+        }
+        let mut vals: Vec<Value> = key.values().to_vec();
+        for ((call, _), raw) in aggs.iter().zip(acc.values) {
+            vals.push(finish_agg(call, acc.rows, raw));
+        }
+        out.push((Tuple::new(vals), 1));
+    }
+    out
+}
+
+fn finish_agg(call: &AggCall, rows: i64, mut raw: Vec<Value>) -> Value {
+    raw.retain(|v| !v.is_null());
+    if call.distinct {
+        raw.sort_by(Value::total_cmp);
+        raw.dedup();
+    }
+    match call.func {
+        AggFunc::CountStar => Value::Int(rows),
+        AggFunc::Count => Value::Int(raw.len() as i64),
+        AggFunc::Sum => {
+            let mut int_sum = 0i64;
+            let mut float_sum = 0.0f64;
+            let mut floats = false;
+            for v in &raw {
+                match v {
+                    Value::Int(i) => int_sum += i,
+                    Value::Float(f) => {
+                        float_sum += f.get();
+                        floats = true;
+                    }
+                    _ => {}
+                }
+            }
+            if floats {
+                Value::float(int_sum as f64 + float_sum)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = raw.iter().filter_map(Value::as_f64).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min => raw
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Max => raw
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Collect => {
+            raw.sort_by(Value::total_cmp);
+            Value::list(raw)
+        }
+    }
+}
+
+/// Evaluate a compiled query end-to-end, applying ORDER BY / SKIP /
+/// LIMIT — the constructs only the baseline supports (the paper's
+/// trade-off).
+pub fn evaluate_query(cq: &CompiledQuery, g: &PropertyGraph) -> Vec<Tuple> {
+    let bag = evaluate(&cq.fra, g);
+    let mut rows: Vec<Tuple> = Vec::new();
+    for (t, m) in bag {
+        for _ in 0..m.max(0) {
+            rows.push(t.clone());
+        }
+    }
+    // Deterministic base order.
+    rows.sort_by(tuple_cmp);
+    if !cq.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for (expr, asc) in &cq.order_by {
+                let va = expr.eval(a).unwrap_or(Value::Null);
+                let vb = expr.eval(b).unwrap_or(Value::Null);
+                let ord = va.total_cmp(&vb);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    let start = cq.skip.unwrap_or(0).min(rows.len());
+    let end = match cq.limit {
+        Some(l) => (start + l).min(rows.len()),
+        None => rows.len(),
+    };
+    rows[start..end].to_vec()
+}
+
+fn tuple_cmp(a: &Tuple, b: &Tuple) -> Ordering {
+    a.values()
+        .iter()
+        .zip(b.values())
+        .fold(Ordering::Equal, |acc, (x, y)| {
+            acc.then_with(|| x.total_cmp(y))
+        })
+        .then_with(|| a.arity().cmp(&b.arity()))
+}
+
+/// Convenience: evaluate and consolidate into a sorted multiplicity bag
+/// (for comparison against [`pgq_ivm`-style] view results).
+pub fn evaluate_consolidated(fra: &Fra, g: &PropertyGraph) -> Bag {
+    let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
+    for (t, c) in evaluate(fra, g) {
+        *m.entry(t).or_insert(0) += c;
+    }
+    let mut out: Vec<(Tuple, i64)> = m.into_iter().filter(|(_, c)| *c != 0).collect();
+    out.sort_by(|a, b| tuple_cmp(&a.0, &b.0));
+    out
+}
+
+// Silence an unused-import lint when PropPush is only used in signatures.
+#[allow(unused)]
+fn _prop_push_used(_: &PropPush) {}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # pgq-eval
+//!
+//! The non-incremental baseline: from-scratch evaluation of FRA plans
+//! against a graph snapshot. Serves three purposes:
+//!
+//! 1. the **recompute baseline** every benchmark compares IVM against
+//!    (the paper's implicit comparator: systems without incremental
+//!    views must re-run the query after every update);
+//! 2. the **differential-testing oracle** — property tests assert that a
+//!    maintained view equals a fresh evaluation after arbitrary update
+//!    sequences;
+//! 3. the executor for the constructs the paper's fragment deliberately
+//!    excludes from IVM (`ORDER BY`, `SKIP`, `LIMIT`).
+
+pub mod eval;
+pub mod paths;
+
+pub use eval::{evaluate, evaluate_consolidated, evaluate_query, Bag};
+pub use paths::enumerate_paths;

@@ -1,0 +1,169 @@
+//! Direct tests of the baseline evaluator against hand-computed answers
+//! (the evaluator is the differential oracle elsewhere, so it gets its
+//! own ground-truth suite here).
+
+use pgq_algebra::pipeline::{compile_query, compile_query_with, CompileOptions};
+use pgq_common::intern::Symbol;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_eval::{evaluate_consolidated, evaluate_query};
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_parser::parse_query;
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+fn compile(q: &str) -> pgq_algebra::CompiledQuery {
+    compile_query(&parse_query(q).unwrap()).unwrap()
+}
+
+/// Posts with langs and lens, chained comments.
+fn fixture() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    let posts = [("en", 10), ("en", 20), ("de", 30)];
+    for (lang, len) in posts {
+        g.add_vertex(
+            [s("Post")],
+            Properties::from_iter([("lang", Value::str(lang)), ("len", Value::Int(len))]),
+        );
+    }
+    g
+}
+
+#[test]
+fn scan_with_filter() {
+    let g = fixture();
+    let cq = compile("MATCH (p:Post) WHERE p.lang = 'en' RETURN p.len");
+    let got = evaluate_consolidated(&cq.fra, &g);
+    assert_eq!(got.len(), 2);
+    let lens: Vec<i64> = got
+        .iter()
+        .map(|(t, _)| t.get(0).as_int().unwrap())
+        .collect();
+    assert_eq!(lens, vec![10, 20]);
+}
+
+#[test]
+fn order_by_asc_desc_skip_limit() {
+    let g = fixture();
+    let cq = compile("MATCH (p:Post) RETURN p.len AS len ORDER BY len DESC");
+    let rows = evaluate_query(&cq, &g);
+    let lens: Vec<i64> = rows.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+    assert_eq!(lens, vec![30, 20, 10]);
+
+    let cq = compile("MATCH (p:Post) RETURN p.len AS len ORDER BY len SKIP 1 LIMIT 1");
+    let rows = evaluate_query(&cq, &g);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::Int(20));
+}
+
+#[test]
+fn skip_beyond_end_is_empty() {
+    let g = fixture();
+    let cq = compile("MATCH (p:Post) RETURN p.len AS len ORDER BY len SKIP 99");
+    assert!(evaluate_query(&cq, &g).is_empty());
+}
+
+#[test]
+fn order_by_nulls_last() {
+    let mut g = fixture();
+    g.add_vertex([s("Post")], Properties::new()); // no len
+    let cq = compile("MATCH (p:Post) RETURN p.len AS len ORDER BY len");
+    let rows = evaluate_query(&cq, &g);
+    assert_eq!(rows.last().unwrap().get(0), &Value::Null);
+}
+
+#[test]
+fn aggregates_one_shot() {
+    let g = fixture();
+    let cq = compile(
+        "MATCH (p:Post) RETURN p.lang AS l, count(*) AS c, sum(p.len) AS s",
+    );
+    let mut got = evaluate_consolidated(&cq.fra, &g);
+    got.sort_by(|a, b| a.0.get(0).total_cmp(b.0.get(0)));
+    assert_eq!(got.len(), 2);
+    let de = &got[0].0;
+    assert_eq!(de.get(0), &Value::str("de"));
+    assert_eq!(de.get(1), &Value::Int(1));
+    assert_eq!(de.get(2), &Value::Int(30));
+    let en = &got[1].0;
+    assert_eq!(en.get(1), &Value::Int(2));
+    assert_eq!(en.get(2), &Value::Int(30));
+}
+
+#[test]
+fn global_aggregate_on_empty_graph() {
+    let g = PropertyGraph::new();
+    let cq = compile("MATCH (p:Post) RETURN count(*) AS c");
+    let got = evaluate_consolidated(&cq.fra, &g);
+    assert_eq!(got, vec![(Tuple::new(vec![Value::Int(0)]), 1)]);
+}
+
+#[test]
+fn varlength_bag_multiplicity() {
+    // Diamond graph: 1→2→4, 1→3→4 ⇒ two 2-hop paths, b.x = 4 twice.
+    let mut g = PropertyGraph::new();
+    let ids: Vec<_> = (1..=4)
+        .map(|x| {
+            g.add_vertex(
+                [s("D")],
+                Properties::from_iter([("x", Value::Int(x))]),
+            )
+            .0
+        })
+        .collect();
+    for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+        g.add_edge(ids[a], ids[b], s("R"), Properties::new()).unwrap();
+    }
+    let cq = compile("MATCH (a:D {x: 1})-[:R*2]->(b) RETURN b.x");
+    let got = evaluate_consolidated(&cq.fra, &g);
+    assert_eq!(got, vec![(Tuple::new(vec![Value::Int(4)]), 2)]);
+}
+
+#[test]
+fn carry_maps_mode_evaluates_identically() {
+    let g = fixture();
+    let q = parse_query("MATCH (p:Post) WHERE p.lang = 'en' RETURN p.len").unwrap();
+    let plain = compile_query(&q).unwrap();
+    let maps = compile_query_with(
+        &q,
+        CompileOptions {
+            schema_mode: pgq_algebra::SchemaMode::CarryMaps,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        evaluate_consolidated(&plain.fra, &g),
+        evaluate_consolidated(&maps.fra, &g)
+    );
+}
+
+#[test]
+fn undirected_single_hop() {
+    let mut g = PropertyGraph::new();
+    let a = g
+        .add_vertex([s("N")], Properties::from_iter([("x", Value::Int(1))]))
+        .0;
+    let b = g
+        .add_vertex([s("N")], Properties::from_iter([("x", Value::Int(2))]))
+        .0;
+    g.add_edge(a, b, s("R"), Properties::new()).unwrap();
+    let cq = compile("MATCH (p:N)-[:R]-(q:N) RETURN p.x, q.x");
+    let got = evaluate_consolidated(&cq.fra, &g);
+    assert_eq!(got.len(), 2, "both orientations");
+}
+
+#[test]
+fn unwind_projection_chain() {
+    let g = fixture();
+    let cq = compile("MATCH (p:Post {lang: 'de'}) UNWIND [1, 2, 3] AS x RETURN p.len + x");
+    let mut got: Vec<i64> = evaluate_consolidated(&cq.fra, &g)
+        .into_iter()
+        .map(|(t, _)| t.get(0).as_int().unwrap())
+        .collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![31, 32, 33]);
+}

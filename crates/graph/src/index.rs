@@ -1,0 +1,124 @@
+//! Secondary indexes over the property graph.
+//!
+//! The paper's nullary operators need fast extents: © `get-vertices` reads
+//! the label index, ⇑ `get-edges` reads the type index, and the baseline
+//! evaluator's expand steps walk the adjacency lists. All indexes are
+//! maintained eagerly by the store's mutators.
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+
+/// Label, edge-type and adjacency indexes.
+#[derive(Default, Debug, Clone)]
+pub struct GraphIndexes {
+    label: FxHashMap<Symbol, Vec<VertexId>>,
+    ty: FxHashMap<Symbol, Vec<EdgeId>>,
+    out: FxHashMap<VertexId, Vec<EdgeId>>,
+    inc: FxHashMap<VertexId, Vec<EdgeId>>,
+}
+
+/// Remove the first occurrence of `x` in `v` (swap-remove; order within an
+/// index bucket is not semantically meaningful).
+fn remove_one<T: PartialEq + Copy>(v: &mut Vec<T>, x: T) {
+    if let Some(pos) = v.iter().position(|&y| y == x) {
+        v.swap_remove(pos);
+    }
+}
+
+impl GraphIndexes {
+    /// Register a vertex under `label`.
+    pub fn add_label(&mut self, label: Symbol, v: VertexId) {
+        self.label.entry(label).or_default().push(v);
+    }
+
+    /// Unregister a vertex from `label`.
+    pub fn remove_label(&mut self, label: Symbol, v: VertexId) {
+        if let Some(bucket) = self.label.get_mut(&label) {
+            remove_one(bucket, v);
+        }
+    }
+
+    /// Register an edge.
+    pub fn add_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) {
+        self.ty.entry(ty).or_default().push(e);
+        self.out.entry(src).or_default().push(e);
+        self.inc.entry(dst).or_default().push(e);
+    }
+
+    /// Unregister an edge.
+    pub fn remove_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) {
+        if let Some(bucket) = self.ty.get_mut(&ty) {
+            remove_one(bucket, e);
+        }
+        if let Some(bucket) = self.out.get_mut(&src) {
+            remove_one(bucket, e);
+        }
+        if let Some(bucket) = self.inc.get_mut(&dst) {
+            remove_one(bucket, e);
+        }
+    }
+
+    /// Vertices carrying `label`.
+    pub fn with_label(&self, label: Symbol) -> &[VertexId] {
+        self.label.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edges of type `ty`.
+    pub fn with_type(&self, ty: Symbol) -> &[EdgeId] {
+        self.ty.get(&ty).map_or(&[], Vec::as_slice)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        self.out.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        self.inc.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Known labels (those that have ever indexed a vertex).
+    pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.label.keys().copied()
+    }
+
+    /// Known edge types.
+    pub fn types(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.ty.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn label_index_roundtrip() {
+        let mut ix = GraphIndexes::default();
+        ix.add_label(sym("Post"), VertexId(1));
+        ix.add_label(sym("Post"), VertexId(2));
+        assert_eq!(ix.with_label(sym("Post")).len(), 2);
+        ix.remove_label(sym("Post"), VertexId(1));
+        assert_eq!(ix.with_label(sym("Post")), &[VertexId(2)]);
+        assert!(ix.with_label(sym("Comm")).is_empty());
+    }
+
+    #[test]
+    fn edge_indexes_roundtrip() {
+        let mut ix = GraphIndexes::default();
+        ix.add_edge(EdgeId(5), VertexId(1), VertexId(2), sym("REPLY"));
+        assert_eq!(ix.with_type(sym("REPLY")), &[EdgeId(5)]);
+        assert_eq!(ix.out_edges(VertexId(1)), &[EdgeId(5)]);
+        assert_eq!(ix.in_edges(VertexId(2)), &[EdgeId(5)]);
+        ix.remove_edge(EdgeId(5), VertexId(1), VertexId(2), sym("REPLY"));
+        assert!(ix.with_type(sym("REPLY")).is_empty());
+        assert!(ix.out_edges(VertexId(1)).is_empty());
+        assert!(ix.in_edges(VertexId(2)).is_empty());
+    }
+}

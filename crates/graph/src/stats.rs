@@ -1,0 +1,106 @@
+//! Summary statistics over a property graph — used by benchmark reports
+//! and by examples to describe generated workloads.
+
+use pgq_common::intern::Symbol;
+
+use crate::store::PropertyGraph;
+
+/// Aggregate statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Total vertices.
+    pub vertices: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// `(label, count)` pairs sorted by label name.
+    pub label_counts: Vec<(Symbol, usize)>,
+    /// `(edge type, count)` pairs sorted by type name.
+    pub type_counts: Vec<(Symbol, usize)>,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Average out-degree.
+    pub avg_out_degree: f64,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &PropertyGraph) -> GraphStats {
+        let mut label_counts: Vec<(Symbol, usize)> = g
+            .labels()
+            .map(|l| (l, g.vertices_with_label(l).len()))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        label_counts.sort_by_key(|(l, _)| l.resolve());
+        let mut type_counts: Vec<(Symbol, usize)> = g
+            .edge_types()
+            .map(|t| (t, g.edges_with_type(t).len()))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        type_counts.sort_by_key(|(t, _)| t.resolve());
+
+        let mut max_out = 0usize;
+        let mut total_out = 0usize;
+        for v in g.vertex_ids() {
+            let d = g.out_edges(v).len();
+            max_out = max_out.max(d);
+            total_out += d;
+        }
+        let n = g.vertex_count();
+        GraphStats {
+            vertices: n,
+            edges: g.edge_count(),
+            label_counts,
+            type_counts,
+            max_out_degree: max_out,
+            avg_out_degree: if n == 0 { 0.0 } else { total_out as f64 / n as f64 },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "|V| = {}, |E| = {}", self.vertices, self.edges)?;
+        for (l, n) in &self.label_counts {
+            writeln!(f, "  :{l} × {n}")?;
+        }
+        for (t, n) in &self.type_counts {
+            writeln!(f, "  [:{t}] × {n}")?;
+        }
+        write!(
+            f,
+            "  out-degree: avg {:.2}, max {}",
+            self.avg_out_degree, self.max_out_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::Properties;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = PropertyGraph::new();
+        let s = |x: &str| Symbol::intern(x);
+        let (a, _) = g.add_vertex([s("Post")], Properties::new());
+        let (b, _) = g.add_vertex([s("Comm")], Properties::new());
+        let (c, _) = g.add_vertex([s("Comm")], Properties::new());
+        g.add_edge(a, b, s("REPLY"), Properties::new()).unwrap();
+        g.add_edge(b, c, s("REPLY"), Properties::new()).unwrap();
+
+        let st = GraphStats::of(&g);
+        assert_eq!(st.vertices, 3);
+        assert_eq!(st.edges, 2);
+        assert!(st.label_counts.contains(&(s("Comm"), 2)));
+        assert_eq!(st.max_out_degree, 1);
+        assert!((st.avg_out_degree - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let st = GraphStats::of(&PropertyGraph::new());
+        assert_eq!(st.vertices, 0);
+        assert_eq!(st.avg_out_degree, 0.0);
+    }
+}

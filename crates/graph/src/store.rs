@@ -1,0 +1,493 @@
+//! The property graph store.
+
+use std::fmt;
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+
+use crate::delta::ChangeEvent;
+use crate::index::GraphIndexes;
+use crate::props::Properties;
+
+/// Payload of a vertex: label set + property map.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct VertexData {
+    /// Labels, kept sorted and duplicate-free.
+    pub labels: Vec<Symbol>,
+    /// Property map.
+    pub props: Properties,
+}
+
+impl VertexData {
+    /// Does the vertex carry `label`?
+    pub fn has_label(&self, label: Symbol) -> bool {
+        self.labels.binary_search(&label).is_ok()
+    }
+}
+
+/// Payload of an edge: endpoints (the paper's `st` function), single type,
+/// property map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeData {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Target vertex.
+    pub dst: VertexId,
+    /// Edge type.
+    pub ty: Symbol,
+    /// Property map.
+    pub props: Properties,
+}
+
+/// Errors from store mutations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Referenced vertex does not exist.
+    VertexNotFound(VertexId),
+    /// Referenced edge does not exist.
+    EdgeNotFound(EdgeId),
+    /// Attempt to delete a vertex that still has incident edges without
+    /// `detach` (mirrors Cypher's `DELETE` vs `DETACH DELETE`).
+    VertexHasEdges(VertexId),
+    /// A transaction referenced a locally created vertex index that does
+    /// not exist.
+    BadNodeRef(usize),
+    /// Store-level validation failure with a free-form reason.
+    Invalid(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexNotFound(v) => write!(f, "vertex {v} not found"),
+            GraphError::EdgeNotFound(e) => write!(f, "edge {e} not found"),
+            GraphError::VertexHasEdges(v) => {
+                write!(f, "vertex {v} still has incident edges (use detach delete)")
+            }
+            GraphError::BadNodeRef(i) => write!(f, "transaction-local node #{i} does not exist"),
+            GraphError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An in-memory property graph with label/type/adjacency indexes.
+///
+/// All mutators return the [`ChangeEvent`]s they committed; batch them
+/// through [`crate::tx::Transaction`] for atomicity.
+#[derive(Default, Debug, Clone)]
+pub struct PropertyGraph {
+    vertices: FxHashMap<VertexId, VertexData>,
+    edges: FxHashMap<EdgeId, EdgeData>,
+    index: GraphIndexes,
+    next_vertex: u64,
+    next_edge: u64,
+}
+
+impl PropertyGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        PropertyGraph::default()
+    }
+
+    // ---- accessors -------------------------------------------------------
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertex payload.
+    pub fn vertex(&self, id: VertexId) -> Option<&VertexData> {
+        self.vertices.get(&id)
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, id: EdgeId) -> Option<&EdgeData> {
+        self.edges.get(&id)
+    }
+
+    /// Does `id` exist?
+    pub fn has_vertex(&self, id: VertexId) -> bool {
+        self.vertices.contains_key(&id)
+    }
+
+    /// Does `id` exist?
+    pub fn has_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains_key(&id)
+    }
+
+    /// All vertex ids (arbitrary but deterministic order).
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.keys().copied()
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.keys().copied()
+    }
+
+    /// Vertices carrying `label` (via the label index).
+    pub fn vertices_with_label(&self, label: Symbol) -> &[VertexId] {
+        self.index.with_label(label)
+    }
+
+    /// Edges of type `ty` (via the type index).
+    pub fn edges_with_type(&self, ty: Symbol) -> &[EdgeId] {
+        self.index.with_type(ty)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        self.index.out_edges(v)
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        self.index.in_edges(v)
+    }
+
+    /// Every label that has ever appeared.
+    pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.index.labels()
+    }
+
+    /// Every edge type that has ever appeared.
+    pub fn edge_types(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.index.types()
+    }
+
+    /// Vertex property lookup, `Null` when absent (Cypher semantics).
+    pub fn vertex_prop(&self, id: VertexId, key: Symbol) -> Value {
+        self.vertices
+            .get(&id)
+            .map_or(Value::Null, |d| d.props.get_or_null(key))
+    }
+
+    /// Edge property lookup, `Null` when absent.
+    pub fn edge_prop(&self, id: EdgeId, key: Symbol) -> Value {
+        self.edges
+            .get(&id)
+            .map_or(Value::Null, |d| d.props.get_or_null(key))
+    }
+
+    // ---- mutators --------------------------------------------------------
+
+    /// Create a vertex; returns its id and the event.
+    pub fn add_vertex(
+        &mut self,
+        labels: impl IntoIterator<Item = Symbol>,
+        props: Properties,
+    ) -> (VertexId, ChangeEvent) {
+        let id = VertexId(self.next_vertex);
+        self.next_vertex += 1;
+        self.insert_vertex_raw(id, labels, props);
+        (id, ChangeEvent::VertexAdded { id })
+    }
+
+    /// Re-insert a vertex under a specific id (transaction rollback and
+    /// loader use only — ids must not collide).
+    pub(crate) fn insert_vertex_raw(
+        &mut self,
+        id: VertexId,
+        labels: impl IntoIterator<Item = Symbol>,
+        props: Properties,
+    ) {
+        let mut labels: Vec<Symbol> = labels.into_iter().collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for &l in &labels {
+            self.index.add_label(l, id);
+        }
+        self.vertices.insert(id, VertexData { labels, props });
+        self.next_vertex = self.next_vertex.max(id.0 + 1);
+    }
+
+    /// Delete a vertex. With `detach`, incident edges are removed first
+    /// (their events precede the vertex event); otherwise incident edges
+    /// are an error.
+    pub fn remove_vertex(
+        &mut self,
+        id: VertexId,
+        detach: bool,
+    ) -> Result<Vec<ChangeEvent>, GraphError> {
+        if !self.vertices.contains_key(&id) {
+            return Err(GraphError::VertexNotFound(id));
+        }
+        let mut incident: Vec<EdgeId> = self
+            .index
+            .out_edges(id)
+            .iter()
+            .chain(self.index.in_edges(id))
+            .copied()
+            .collect();
+        incident.sort_unstable();
+        incident.dedup();
+        if !incident.is_empty() && !detach {
+            return Err(GraphError::VertexHasEdges(id));
+        }
+        let mut events = Vec::with_capacity(incident.len() + 1);
+        for e in incident {
+            events.push(self.remove_edge(e)?);
+        }
+        let data = self.vertices.remove(&id).expect("checked above");
+        for &l in &data.labels {
+            self.index.remove_label(l, id);
+        }
+        events.push(ChangeEvent::VertexRemoved { id, data });
+        Ok(events)
+    }
+
+    /// Create an edge; both endpoints must exist.
+    pub fn add_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        ty: Symbol,
+        props: Properties,
+    ) -> Result<(EdgeId, ChangeEvent), GraphError> {
+        if !self.vertices.contains_key(&src) {
+            return Err(GraphError::VertexNotFound(src));
+        }
+        if !self.vertices.contains_key(&dst) {
+            return Err(GraphError::VertexNotFound(dst));
+        }
+        let id = EdgeId(self.next_edge);
+        self.next_edge += 1;
+        self.insert_edge_raw(id, src, dst, ty, props);
+        Ok((id, ChangeEvent::EdgeAdded { id }))
+    }
+
+    pub(crate) fn insert_edge_raw(
+        &mut self,
+        id: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+        ty: Symbol,
+        props: Properties,
+    ) {
+        self.index.add_edge(id, src, dst, ty);
+        self.edges.insert(id, EdgeData { src, dst, ty, props });
+        self.next_edge = self.next_edge.max(id.0 + 1);
+    }
+
+    /// Delete an edge.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<ChangeEvent, GraphError> {
+        let data = self.edges.remove(&id).ok_or(GraphError::EdgeNotFound(id))?;
+        self.index.remove_edge(id, data.src, data.dst, data.ty);
+        Ok(ChangeEvent::EdgeRemoved { id, data })
+    }
+
+    /// Set (or with `Null`, remove) a vertex property.
+    pub fn set_vertex_prop(
+        &mut self,
+        id: VertexId,
+        key: Symbol,
+        value: Value,
+    ) -> Result<ChangeEvent, GraphError> {
+        let data = self
+            .vertices
+            .get_mut(&id)
+            .ok_or(GraphError::VertexNotFound(id))?;
+        let old = data.props.set(key, value.clone()).unwrap_or(Value::Null);
+        Ok(ChangeEvent::VertexPropChanged {
+            id,
+            key,
+            old,
+            new: value,
+        })
+    }
+
+    /// Set (or with `Null`, remove) an edge property.
+    pub fn set_edge_prop(
+        &mut self,
+        id: EdgeId,
+        key: Symbol,
+        value: Value,
+    ) -> Result<ChangeEvent, GraphError> {
+        let data = self.edges.get_mut(&id).ok_or(GraphError::EdgeNotFound(id))?;
+        let old = data.props.set(key, value.clone()).unwrap_or(Value::Null);
+        Ok(ChangeEvent::EdgePropChanged {
+            id,
+            key,
+            old,
+            new: value,
+        })
+    }
+
+    /// Attach `label` to a vertex (no-op event suppressed if present).
+    pub fn add_label(
+        &mut self,
+        id: VertexId,
+        label: Symbol,
+    ) -> Result<Option<ChangeEvent>, GraphError> {
+        let data = self
+            .vertices
+            .get_mut(&id)
+            .ok_or(GraphError::VertexNotFound(id))?;
+        match data.labels.binary_search(&label) {
+            Ok(_) => Ok(None),
+            Err(pos) => {
+                data.labels.insert(pos, label);
+                self.index.add_label(label, id);
+                Ok(Some(ChangeEvent::LabelAdded { id, label }))
+            }
+        }
+    }
+
+    /// Detach `label` from a vertex (no-op event suppressed if absent).
+    pub fn remove_label(
+        &mut self,
+        id: VertexId,
+        label: Symbol,
+    ) -> Result<Option<ChangeEvent>, GraphError> {
+        let data = self
+            .vertices
+            .get_mut(&id)
+            .ok_or(GraphError::VertexNotFound(id))?;
+        match data.labels.binary_search(&label) {
+            Err(_) => Ok(None),
+            Ok(pos) => {
+                data.labels.remove(pos);
+                self.index.remove_label(label, id);
+                Ok(Some(ChangeEvent::LabelRemoved { id, label }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn props(pairs: &[(&str, Value)]) -> Properties {
+        pairs.iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+
+    #[test]
+    fn vertex_lifecycle() {
+        let mut g = PropertyGraph::new();
+        let (v, ev) = g.add_vertex([sym("Post")], props(&[("lang", "en".into())]));
+        assert_eq!(ev, ChangeEvent::VertexAdded { id: v });
+        assert_eq!(g.vertex_count(), 1);
+        assert!(g.vertex(v).unwrap().has_label(sym("Post")));
+        assert_eq!(g.vertex_prop(v, sym("lang")), Value::str("en"));
+        assert_eq!(g.vertices_with_label(sym("Post")), &[v]);
+
+        let evs = g.remove_vertex(v, false).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(g.vertex_count(), 0);
+        assert!(g.vertices_with_label(sym("Post")).is_empty());
+    }
+
+    #[test]
+    fn edge_lifecycle_and_adjacency() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        let (e, _) = g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+        assert_eq!(g.out_edges(a), &[e]);
+        assert_eq!(g.in_edges(b), &[e]);
+        assert_eq!(g.edges_with_type(sym("REPLY")), &[e]);
+        let data = g.edge(e).unwrap();
+        assert_eq!((data.src, data.dst), (a, b));
+
+        g.remove_edge(e).unwrap();
+        assert!(g.out_edges(a).is_empty());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_to_missing_vertex_fails() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let err = g
+            .add_edge(a, VertexId(999), sym("REPLY"), Properties::new())
+            .unwrap_err();
+        assert_eq!(err, GraphError::VertexNotFound(VertexId(999)));
+    }
+
+    #[test]
+    fn delete_vertex_with_edges_requires_detach() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        let (e, _) = g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+
+        assert_eq!(g.remove_vertex(a, false), Err(GraphError::VertexHasEdges(a)));
+        let evs = g.remove_vertex(a, true).unwrap();
+        // Edge removal precedes vertex removal.
+        assert!(matches!(evs[0], ChangeEvent::EdgeRemoved { id, .. } if id == e));
+        assert!(matches!(evs[1], ChangeEvent::VertexRemoved { id, .. } if id == a));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_detach_delete_removes_edge_once() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("N")], Properties::new());
+        g.add_edge(a, a, sym("SELF"), Properties::new()).unwrap();
+        let evs = g.remove_vertex(a, true).unwrap();
+        assert_eq!(evs.len(), 2); // one edge event + one vertex event
+    }
+
+    #[test]
+    fn property_update_events_carry_old_and_new() {
+        let mut g = PropertyGraph::new();
+        let (v, _) = g.add_vertex([sym("Post")], props(&[("lang", "en".into())]));
+        let ev = g.set_vertex_prop(v, sym("lang"), "de".into()).unwrap();
+        assert_eq!(
+            ev,
+            ChangeEvent::VertexPropChanged {
+                id: v,
+                key: sym("lang"),
+                old: "en".into(),
+                new: "de".into(),
+            }
+        );
+        // Setting Null removes.
+        let ev = g.set_vertex_prop(v, sym("lang"), Value::Null).unwrap();
+        assert_eq!(g.vertex_prop(v, sym("lang")), Value::Null);
+        assert!(matches!(ev, ChangeEvent::VertexPropChanged { new: Value::Null, .. }));
+    }
+
+    #[test]
+    fn label_add_remove_events() {
+        let mut g = PropertyGraph::new();
+        let (v, _) = g.add_vertex([sym("Post")], Properties::new());
+        assert!(g.add_label(v, sym("Pinned")).unwrap().is_some());
+        assert!(g.add_label(v, sym("Pinned")).unwrap().is_none()); // idempotent
+        assert_eq!(g.vertices_with_label(sym("Pinned")), &[v]);
+        assert!(g.remove_label(v, sym("Pinned")).unwrap().is_some());
+        assert!(g.remove_label(v, sym("Pinned")).unwrap().is_none());
+    }
+
+    #[test]
+    fn labels_deduplicated_on_insert() {
+        let mut g = PropertyGraph::new();
+        let (v, _) = g.add_vertex([sym("A"), sym("A"), sym("B")], Properties::new());
+        assert_eq!(g.vertex(v).unwrap().labels.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("X")], Properties::new());
+        g.remove_vertex(a, false).unwrap();
+        let (b, _) = g.add_vertex([sym("X")], Properties::new());
+        assert_ne!(a, b);
+    }
+}

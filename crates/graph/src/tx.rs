@@ -1,0 +1,451 @@
+//! Atomic update transactions.
+//!
+//! A [`Transaction`] is an ordered batch of update operations applied
+//! all-or-nothing. Operations may reference vertices created earlier in
+//! the same transaction through [`NodeRef::New`], which is what lets a
+//! single `CREATE (a)-[:R]->(b)` clause build both endpoints and the edge
+//! atomically.
+//!
+//! On failure the store is rolled back via an undo log, so a failed
+//! transaction leaves no trace — neither in the graph nor in the change
+//! feed (no events are emitted for rolled-back work).
+
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+
+use crate::delta::ChangeEvent;
+use crate::props::Properties;
+use crate::store::{GraphError, PropertyGraph};
+
+/// Reference to a vertex: either pre-existing or created earlier within
+/// the same transaction (by 0-based creation order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRef {
+    /// An id that existed before the transaction.
+    Existing(VertexId),
+    /// The `n`-th vertex created by this transaction.
+    New(usize),
+}
+
+impl From<VertexId> for NodeRef {
+    fn from(v: VertexId) -> Self {
+        NodeRef::Existing(v)
+    }
+}
+
+/// One operation inside a transaction.
+#[derive(Clone, Debug)]
+pub enum TxOp {
+    /// Create a vertex (becomes `NodeRef::New(k)` for the k-th create).
+    CreateVertex {
+        /// Labels of the new vertex.
+        labels: Vec<Symbol>,
+        /// Initial properties.
+        props: Properties,
+    },
+    /// Create an edge between two (possibly transaction-local) vertices.
+    CreateEdge {
+        /// Source endpoint.
+        src: NodeRef,
+        /// Target endpoint.
+        dst: NodeRef,
+        /// Edge type.
+        ty: Symbol,
+        /// Initial properties.
+        props: Properties,
+    },
+    /// Delete a vertex; with `detach`, incident edges go first.
+    DeleteVertex {
+        /// Vertex to delete.
+        id: VertexId,
+        /// Remove incident edges too?
+        detach: bool,
+    },
+    /// Delete an edge.
+    DeleteEdge {
+        /// Edge to delete.
+        id: EdgeId,
+    },
+    /// Set (or remove, with `Null`) a vertex property.
+    SetVertexProp {
+        /// Vertex to update.
+        id: NodeRef,
+        /// Property key.
+        key: Symbol,
+        /// New value (`Null` removes).
+        value: Value,
+    },
+    /// Set (or remove, with `Null`) an edge property.
+    SetEdgeProp {
+        /// Edge to update.
+        id: EdgeId,
+        /// Property key.
+        key: Symbol,
+        /// New value (`Null` removes).
+        value: Value,
+    },
+    /// Attach a label.
+    AddLabel {
+        /// Vertex to update.
+        id: NodeRef,
+        /// Label to attach.
+        label: Symbol,
+    },
+    /// Detach a label.
+    RemoveLabel {
+        /// Vertex to update.
+        id: NodeRef,
+        /// Label to detach.
+        label: Symbol,
+    },
+}
+
+/// An atomic batch of graph updates.
+#[derive(Clone, Debug, Default)]
+pub struct Transaction {
+    ops: Vec<TxOp>,
+    creates: usize,
+}
+
+impl Transaction {
+    /// Empty transaction.
+    pub fn new() -> Self {
+        Transaction::default()
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations.
+    pub fn ops(&self) -> &[TxOp] {
+        &self.ops
+    }
+
+    /// Queue a vertex creation; the returned [`NodeRef`] can be used by
+    /// later operations in this transaction.
+    pub fn create_vertex(
+        &mut self,
+        labels: impl IntoIterator<Item = Symbol>,
+        props: Properties,
+    ) -> NodeRef {
+        self.ops.push(TxOp::CreateVertex {
+            labels: labels.into_iter().collect(),
+            props,
+        });
+        let r = NodeRef::New(self.creates);
+        self.creates += 1;
+        r
+    }
+
+    /// Queue an edge creation.
+    pub fn create_edge(
+        &mut self,
+        src: impl Into<NodeRef>,
+        dst: impl Into<NodeRef>,
+        ty: Symbol,
+        props: Properties,
+    ) -> &mut Self {
+        self.ops.push(TxOp::CreateEdge {
+            src: src.into(),
+            dst: dst.into(),
+            ty,
+            props,
+        });
+        self
+    }
+
+    /// Queue a vertex deletion.
+    pub fn delete_vertex(&mut self, id: VertexId, detach: bool) -> &mut Self {
+        self.ops.push(TxOp::DeleteVertex { id, detach });
+        self
+    }
+
+    /// Queue an edge deletion.
+    pub fn delete_edge(&mut self, id: EdgeId) -> &mut Self {
+        self.ops.push(TxOp::DeleteEdge { id });
+        self
+    }
+
+    /// Queue a vertex property update.
+    pub fn set_vertex_prop(
+        &mut self,
+        id: impl Into<NodeRef>,
+        key: Symbol,
+        value: Value,
+    ) -> &mut Self {
+        self.ops.push(TxOp::SetVertexProp {
+            id: id.into(),
+            key,
+            value,
+        });
+        self
+    }
+
+    /// Queue an edge property update.
+    pub fn set_edge_prop(&mut self, id: EdgeId, key: Symbol, value: Value) -> &mut Self {
+        self.ops.push(TxOp::SetEdgeProp { id, key, value });
+        self
+    }
+
+    /// Queue a label attach.
+    pub fn add_label(&mut self, id: impl Into<NodeRef>, label: Symbol) -> &mut Self {
+        self.ops.push(TxOp::AddLabel {
+            id: id.into(),
+            label,
+        });
+        self
+    }
+
+    /// Queue a label detach.
+    pub fn remove_label(&mut self, id: impl Into<NodeRef>, label: Symbol) -> &mut Self {
+        self.ops.push(TxOp::RemoveLabel {
+            id: id.into(),
+            label,
+        });
+        self
+    }
+}
+
+/// Undo records mirroring each committed event, applied in reverse on
+/// rollback.
+enum Undo {
+    RemoveVertex(VertexId),
+    RestoreVertex(VertexId, crate::store::VertexData),
+    RemoveEdge(EdgeId),
+    RestoreEdge(EdgeId, crate::store::EdgeData),
+    SetVertexProp(VertexId, Symbol, Value),
+    SetEdgeProp(EdgeId, Symbol, Value),
+    RemoveLabel(VertexId, Symbol),
+    AddLabel(VertexId, Symbol),
+}
+
+impl PropertyGraph {
+    fn resolve(
+        &self,
+        r: NodeRef,
+        created: &[VertexId],
+    ) -> Result<VertexId, GraphError> {
+        match r {
+            NodeRef::Existing(v) => Ok(v),
+            NodeRef::New(i) => created
+                .get(i)
+                .copied()
+                .ok_or(GraphError::BadNodeRef(i)),
+        }
+    }
+
+    /// Apply `tx` atomically. On success returns the committed events in
+    /// operation order; on failure the graph is unchanged.
+    pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, GraphError> {
+        let mut events: Vec<ChangeEvent> = Vec::with_capacity(tx.len());
+        let mut undo: Vec<Undo> = Vec::with_capacity(tx.len());
+        let mut created: Vec<VertexId> = Vec::new();
+
+        let result = (|| -> Result<(), GraphError> {
+            for op in &tx.ops {
+                match op {
+                    TxOp::CreateVertex { labels, props } => {
+                        let (id, ev) = self.add_vertex(labels.iter().copied(), props.clone());
+                        created.push(id);
+                        undo.push(Undo::RemoveVertex(id));
+                        events.push(ev);
+                    }
+                    TxOp::CreateEdge { src, dst, ty, props } => {
+                        let s = self.resolve(*src, &created)?;
+                        let d = self.resolve(*dst, &created)?;
+                        let (id, ev) = self.add_edge(s, d, *ty, props.clone())?;
+                        undo.push(Undo::RemoveEdge(id));
+                        events.push(ev);
+                    }
+                    TxOp::DeleteVertex { id, detach } => {
+                        let evs = self.remove_vertex(*id, *detach)?;
+                        for ev in evs {
+                            match &ev {
+                                ChangeEvent::EdgeRemoved { id, data } => {
+                                    undo.push(Undo::RestoreEdge(*id, data.clone()));
+                                }
+                                ChangeEvent::VertexRemoved { id, data } => {
+                                    undo.push(Undo::RestoreVertex(*id, data.clone()));
+                                }
+                                _ => unreachable!("remove_vertex emits only removals"),
+                            }
+                            events.push(ev);
+                        }
+                    }
+                    TxOp::DeleteEdge { id } => {
+                        let ev = self.remove_edge(*id)?;
+                        if let ChangeEvent::EdgeRemoved { id, data } = &ev {
+                            undo.push(Undo::RestoreEdge(*id, data.clone()));
+                        }
+                        events.push(ev);
+                    }
+                    TxOp::SetVertexProp { id, key, value } => {
+                        let v = self.resolve(*id, &created)?;
+                        let ev = self.set_vertex_prop(v, *key, value.clone())?;
+                        if let ChangeEvent::VertexPropChanged { old, .. } = &ev {
+                            undo.push(Undo::SetVertexProp(v, *key, old.clone()));
+                        }
+                        events.push(ev);
+                    }
+                    TxOp::SetEdgeProp { id, key, value } => {
+                        let ev = self.set_edge_prop(*id, *key, value.clone())?;
+                        if let ChangeEvent::EdgePropChanged { old, .. } = &ev {
+                            undo.push(Undo::SetEdgeProp(*id, *key, old.clone()));
+                        }
+                        events.push(ev);
+                    }
+                    TxOp::AddLabel { id, label } => {
+                        let v = self.resolve(*id, &created)?;
+                        if let Some(ev) = self.add_label(v, *label)? {
+                            undo.push(Undo::RemoveLabel(v, *label));
+                            events.push(ev);
+                        }
+                    }
+                    TxOp::RemoveLabel { id, label } => {
+                        let v = self.resolve(*id, &created)?;
+                        if let Some(ev) = self.remove_label(v, *label)? {
+                            undo.push(Undo::AddLabel(v, *label));
+                            events.push(ev);
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        match result {
+            Ok(()) => Ok(events),
+            Err(e) => {
+                for u in undo.into_iter().rev() {
+                    match u {
+                        Undo::RemoveVertex(v) => {
+                            self.remove_vertex(v, true).expect("rollback remove vertex");
+                        }
+                        Undo::RestoreVertex(v, data) => {
+                            self.insert_vertex_raw(v, data.labels.iter().copied(), data.props);
+                        }
+                        Undo::RemoveEdge(e) => {
+                            self.remove_edge(e).expect("rollback remove edge");
+                        }
+                        Undo::RestoreEdge(e, data) => {
+                            self.insert_edge_raw(e, data.src, data.dst, data.ty, data.props);
+                        }
+                        Undo::SetVertexProp(v, k, old) => {
+                            self.set_vertex_prop(v, k, old).expect("rollback vprop");
+                        }
+                        Undo::SetEdgeProp(e, k, old) => {
+                            self.set_edge_prop(e, k, old).expect("rollback eprop");
+                        }
+                        Undo::RemoveLabel(v, l) => {
+                            self.remove_label(v, l).expect("rollback label");
+                        }
+                        Undo::AddLabel(v, l) => {
+                            self.add_label(v, l).expect("rollback label");
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn create_pattern_atomically() {
+        let mut g = PropertyGraph::new();
+        let mut tx = Transaction::new();
+        let a = tx.create_vertex([sym("Post")], Properties::new());
+        let b = tx.create_vertex([sym("Comm")], Properties::new());
+        tx.create_edge(a, b, sym("REPLY"), Properties::new());
+        let events = g.apply(&tx).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_everything() {
+        let mut g = PropertyGraph::new();
+        let (existing, _) = g.add_vertex([sym("Post")], Properties::new());
+
+        let mut tx = Transaction::new();
+        let a = tx.create_vertex([sym("Comm")], Properties::new());
+        tx.create_edge(a, existing, sym("REPLY"), Properties::new());
+        tx.set_vertex_prop(existing, sym("lang"), "en".into());
+        // This fails: edge to a non-existent vertex.
+        tx.create_edge(existing, VertexId(12345), sym("REPLY"), Properties::new());
+
+        let err = g.apply(&tx).unwrap_err();
+        assert_eq!(err, GraphError::VertexNotFound(VertexId(12345)));
+        // All earlier effects undone.
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_prop(existing, sym("lang")), Value::Null);
+    }
+
+    #[test]
+    fn rollback_restores_deleted_elements() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::from_iter([("k", Value::Int(1))]));
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        let (e, _) = g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+
+        let mut tx = Transaction::new();
+        tx.delete_vertex(a, true); // removes e then a
+        tx.delete_edge(e); // fails: already gone
+        assert!(g.apply(&tx).is_err());
+
+        assert!(g.has_vertex(a));
+        assert!(g.has_edge(e));
+        assert_eq!(g.vertex_prop(a, sym("k")), Value::Int(1));
+        assert_eq!(g.out_edges(a), &[e]);
+    }
+
+    #[test]
+    fn bad_node_ref_is_rejected() {
+        let mut g = PropertyGraph::new();
+        let mut tx = Transaction::new();
+        tx.create_edge(
+            NodeRef::New(7),
+            NodeRef::New(8),
+            sym("REPLY"),
+            Properties::new(),
+        );
+        assert_eq!(g.apply(&tx).unwrap_err(), GraphError::BadNodeRef(7));
+    }
+
+    #[test]
+    fn label_ops_via_transaction() {
+        let mut g = PropertyGraph::new();
+        let (v, _) = g.add_vertex([sym("Post")], Properties::new());
+        let mut tx = Transaction::new();
+        tx.add_label(v, sym("Hot")).remove_label(v, sym("Post"));
+        let evs = g.apply(&tx).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert!(g.vertex(v).unwrap().has_label(sym("Hot")));
+        assert!(!g.vertex(v).unwrap().has_label(sym("Post")));
+    }
+
+    #[test]
+    fn empty_transaction_is_noop() {
+        let mut g = PropertyGraph::new();
+        let evs = g.apply(&Transaction::new()).unwrap();
+        assert!(evs.is_empty());
+    }
+}

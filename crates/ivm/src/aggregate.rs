@@ -1,0 +1,451 @@
+//! Incremental grouping aggregation — the paper lists aggregation as
+//! future work; this is the "extension" implementation.
+//!
+//! All aggregates here are *self-maintainable under deletions*: `count`
+//! and `sum` keep invertible accumulators; `min`/`max`/`collect` (and all
+//! `DISTINCT` variants) keep support multisets so a deleted extremum
+//! exposes the runner-up without rescanning (the standard counting fix
+//! for non-distributive aggregates).
+
+use std::collections::BTreeMap;
+
+use pgq_algebra::expr::{AggCall, AggFunc, ScalarExpr};
+use pgq_common::fxhash::{FxHashMap, FxHashSet};
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+
+use crate::delta::Delta;
+
+/// γ node.
+#[derive(Clone, Debug)]
+pub struct AggregateOp {
+    group: Vec<ScalarExpr>,
+    aggs: Vec<AggCall>,
+    groups: FxHashMap<Tuple, GroupState>,
+    last_output: FxHashMap<Tuple, Tuple>,
+    /// Global aggregation (no GROUP BY) always exposes exactly one row,
+    /// even over an empty input (`count(*) = 0`).
+    global: bool,
+    started: bool,
+}
+
+#[derive(Clone, Debug)]
+struct GroupState {
+    rows: i64,
+    states: Vec<AggState>,
+}
+
+#[derive(Clone, Debug)]
+enum AggState {
+    Counter(i64),
+    Num {
+        int_sum: i64,
+        float_sum: f64,
+        float_n: i64,
+        n: i64,
+    },
+    Multiset(BTreeMap<OrdValue, i64>),
+}
+
+/// `Value` wrapper ordered by [`Value::total_cmp`], so multisets have a
+/// deterministic key order (min = first, max = last).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct OrdValue(Value);
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn fresh_state(call: &AggCall) -> AggState {
+    if call.distinct {
+        return AggState::Multiset(BTreeMap::new());
+    }
+    match call.func {
+        AggFunc::Count | AggFunc::CountStar => AggState::Counter(0),
+        AggFunc::Sum | AggFunc::Avg => AggState::Num {
+            int_sum: 0,
+            float_sum: 0.0,
+            float_n: 0,
+            n: 0,
+        },
+        AggFunc::Min | AggFunc::Max | AggFunc::Collect => AggState::Multiset(BTreeMap::new()),
+    }
+}
+
+fn update_state(state: &mut AggState, call: &AggCall, value: Option<&Value>, mult: i64) {
+    match state {
+        AggState::Counter(c) => match call.func {
+            AggFunc::CountStar => *c += mult,
+            _ => {
+                if value.is_some_and(|v| !v.is_null()) {
+                    *c += mult;
+                }
+            }
+        },
+        AggState::Num {
+            int_sum,
+            float_sum,
+            float_n,
+            n,
+        } => match value {
+            Some(Value::Int(i)) => {
+                *int_sum += i.wrapping_mul(mult);
+                *n += mult;
+            }
+            Some(Value::Float(f)) => {
+                *float_sum += f.get() * mult as f64;
+                *float_n += mult;
+                *n += mult;
+            }
+            _ => {}
+        },
+        AggState::Multiset(set) => {
+            let Some(v) = value else { return };
+            if v.is_null() {
+                return;
+            }
+            let e = set.entry(OrdValue(v.clone())).or_insert(0);
+            *e += mult;
+            if *e == 0 {
+                set.remove(&OrdValue(v.clone()));
+            }
+        }
+    }
+}
+
+fn read_state(state: &AggState, call: &AggCall) -> Value {
+    match (state, call.func, call.distinct) {
+        (AggState::Counter(c), _, _) => Value::Int(*c),
+        (AggState::Multiset(s), AggFunc::Count | AggFunc::CountStar, true) => {
+            Value::Int(s.len() as i64)
+        }
+        (AggState::Num { n: 0, .. }, AggFunc::Sum, _) => Value::Int(0),
+        (
+            AggState::Num {
+                int_sum,
+                float_sum,
+                float_n,
+                ..
+            },
+            AggFunc::Sum,
+            _,
+        ) => {
+            if *float_n > 0 {
+                Value::float(*int_sum as f64 + float_sum)
+            } else {
+                Value::Int(*int_sum)
+            }
+        }
+        (AggState::Num { n: 0, .. }, AggFunc::Avg, _) => Value::Null,
+        (
+            AggState::Num {
+                int_sum,
+                float_sum,
+                n,
+                ..
+            },
+            AggFunc::Avg,
+            _,
+        ) => Value::float((*int_sum as f64 + float_sum) / *n as f64),
+        (AggState::Multiset(s), AggFunc::Sum, _) => {
+            let mut int_sum = 0i64;
+            let mut float_sum = 0.0f64;
+            let mut floats = false;
+            let mut any = false;
+            for v in s.keys() {
+                any = true;
+                match &v.0 {
+                    Value::Int(i) => int_sum += i,
+                    Value::Float(f) => {
+                        float_sum += f.get();
+                        floats = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !any {
+                Value::Int(0)
+            } else if floats {
+                Value::float(int_sum as f64 + float_sum)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        (AggState::Multiset(s), AggFunc::Avg, _) => {
+            let vals: Vec<f64> = s.keys().filter_map(|v| v.0.as_f64()).collect();
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                Value::float(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        }
+        (AggState::Multiset(s), AggFunc::Min, _) => s
+            .keys()
+            .next()
+            .map(|v| v.0.clone())
+            .unwrap_or(Value::Null),
+        (AggState::Multiset(s), AggFunc::Max, _) => s
+            .keys()
+            .next_back()
+            .map(|v| v.0.clone())
+            .unwrap_or(Value::Null),
+        (AggState::Multiset(s), AggFunc::Collect, distinct) => {
+            let mut items = Vec::new();
+            for (v, c) in s.iter() {
+                let reps = if distinct { 1 } else { (*c).max(0) as usize };
+                for _ in 0..reps {
+                    items.push(v.0.clone());
+                }
+            }
+            Value::list(items)
+        }
+        // Impossible combinations kept total for robustness.
+        (AggState::Multiset(_), AggFunc::Count | AggFunc::CountStar, false) => Value::Null,
+        (AggState::Num { .. }, _, _) => Value::Null,
+    }
+}
+
+impl AggregateOp {
+    /// Create a γ node.
+    pub fn new(group: Vec<ScalarExpr>, aggs: Vec<AggCall>) -> AggregateOp {
+        let global = group.is_empty();
+        AggregateOp {
+            group,
+            aggs,
+            groups: FxHashMap::default(),
+            last_output: FxHashMap::default(),
+            global,
+            started: false,
+        }
+    }
+
+    /// Groups currently materialised.
+    pub fn memory_tuples(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Process a delta of input rows.
+    pub fn on_delta(&mut self, input: Delta) -> Delta {
+        let mut dirty: FxHashSet<Tuple> = FxHashSet::default();
+        if self.global && !self.started {
+            dirty.insert(Tuple::unit());
+        }
+        self.started = true;
+
+        for (t, m) in input.consolidate().into_entries() {
+            let key: Tuple = self
+                .group
+                .iter()
+                .map(|e| e.eval(&t).unwrap_or(Value::Null))
+                .collect();
+            let aggs = &self.aggs;
+            let entry = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
+                rows: 0,
+                states: aggs.iter().map(fresh_state).collect(),
+            });
+            entry.rows += m;
+            for (call, state) in self.aggs.iter().zip(entry.states.iter_mut()) {
+                let value = call.arg.as_ref().map(|e| e.eval(&t).unwrap_or(Value::Null));
+                update_state(state, call, value.as_ref(), m);
+            }
+            dirty.insert(key);
+        }
+
+        let mut out = Delta::new();
+        for key in dirty {
+            let new_output = match self.groups.get(&key) {
+                Some(gs) if gs.rows > 0 || self.global => {
+                    let mut vals: Vec<Value> = key.values().to_vec();
+                    for (call, state) in self.aggs.iter().zip(gs.states.iter()) {
+                        vals.push(read_state(state, call));
+                    }
+                    Some(Tuple::new(vals))
+                }
+                Some(_) => {
+                    self.groups.remove(&key);
+                    None
+                }
+                None if self.global => {
+                    // Fresh global group over empty input.
+                    let gs = GroupState {
+                        rows: 0,
+                        states: self.aggs.iter().map(fresh_state).collect(),
+                    };
+                    let mut vals: Vec<Value> = key.values().to_vec();
+                    for (call, state) in self.aggs.iter().zip(gs.states.iter()) {
+                        vals.push(read_state(state, call));
+                    }
+                    self.groups.insert(key.clone(), gs);
+                    Some(Tuple::new(vals))
+                }
+                None => None,
+            };
+            let old_output = self.last_output.get(&key).cloned();
+            if old_output.as_ref() == new_output.as_ref() {
+                continue;
+            }
+            if let Some(o) = old_output {
+                out.push(o, -1);
+            }
+            match new_output {
+                Some(n) => {
+                    out.push(n.clone(), 1);
+                    self.last_output.insert(key, n);
+                }
+                None => {
+                    self.last_output.remove(&key);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[Value]) -> Tuple {
+        Tuple::new(vals.to_vec())
+    }
+
+    fn call(func: AggFunc, arg_col: Option<usize>, distinct: bool) -> AggCall {
+        AggCall {
+            func,
+            arg: arg_col.map(ScalarExpr::Col),
+            distinct,
+        }
+    }
+
+    #[test]
+    fn global_count_star_starts_at_zero() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::CountStar, None, false)]);
+        let out = a.on_delta(Delta::new()).consolidate();
+        assert_eq!(
+            out.into_entries(),
+            vec![(t(&[Value::Int(0)]), 1)]
+        );
+        // One row arrives → 0 retracted, 1 asserted.
+        let out = a
+            .on_delta([(t(&[Value::Int(9)]), 1)].into_iter().collect())
+            .consolidate();
+        let entries = out.into_entries();
+        assert!(entries.contains(&(t(&[Value::Int(0)]), -1)));
+        assert!(entries.contains(&(t(&[Value::Int(1)]), 1)));
+    }
+
+    #[test]
+    fn grouped_count_appears_and_disappears() {
+        let mut a = AggregateOp::new(
+            vec![ScalarExpr::col(0)],
+            vec![call(AggFunc::CountStar, None, false)],
+        );
+        let en = Value::str("en");
+        let row = t(&[en.clone(), Value::Int(1)]);
+        let out = a.on_delta([(row.clone(), 2)].into_iter().collect()).consolidate();
+        assert_eq!(
+            out.into_entries(),
+            vec![(t(&[en.clone(), Value::Int(2)]), 1)]
+        );
+        let out = a.on_delta([(row, -2)].into_iter().collect()).consolidate();
+        assert_eq!(
+            out.into_entries(),
+            vec![(t(&[en, Value::Int(2)]), -1)]
+        );
+        assert_eq!(a.memory_tuples(), 0);
+    }
+
+    #[test]
+    fn min_survives_deletion_of_minimum() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Min, Some(0), false)]);
+        a.on_delta(
+            [(t(&[Value::Int(1)]), 1), (t(&[Value::Int(5)]), 1)]
+                .into_iter()
+                .collect(),
+        );
+        let out = a
+            .on_delta([(t(&[Value::Int(1)]), -1)].into_iter().collect())
+            .consolidate();
+        let entries = out.into_entries();
+        assert!(entries.contains(&(t(&[Value::Int(5)]), 1)), "{entries:?}");
+    }
+
+    #[test]
+    fn sum_handles_mixed_numerics_and_deletions() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Sum, Some(0), false)]);
+        a.on_delta(
+            [
+                (t(&[Value::Int(2)]), 1),
+                (t(&[Value::float(0.5)]), 1),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let out = a
+            .on_delta([(t(&[Value::float(0.5)]), -1)].into_iter().collect())
+            .consolidate();
+        // After removing the float, the sum is integer 2 again.
+        assert!(out
+            .into_entries()
+            .contains(&(t(&[Value::Int(2)]), 1)));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Count, Some(0), true)]);
+        a.on_delta(Delta::new());
+        let out = a
+            .on_delta(
+                [
+                    (t(&[Value::str("en")]), 1),
+                    (t(&[Value::str("en")]), 1),
+                    (t(&[Value::str("de")]), 1),
+                ]
+                .into_iter()
+                .collect(),
+            )
+            .consolidate();
+        assert!(out
+            .into_entries()
+            .contains(&(t(&[Value::Int(2)]), 1)));
+    }
+
+    #[test]
+    fn collect_is_sorted_and_counted() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Collect, Some(0), false)]);
+        a.on_delta(Delta::new());
+        let out = a
+            .on_delta(
+                [(t(&[Value::Int(3)]), 2), (t(&[Value::Int(1)]), 1)]
+                    .into_iter()
+                    .collect(),
+            )
+            .consolidate();
+        let want = Value::list(vec![Value::Int(1), Value::Int(3), Value::Int(3)]);
+        assert!(out.into_entries().contains(&(t(&[want]), 1)));
+    }
+
+    #[test]
+    fn avg_of_empty_is_null() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Avg, Some(0), false)]);
+        let out = a.on_delta(Delta::new()).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[Value::Null]), 1)]);
+    }
+
+    #[test]
+    fn nulls_do_not_count() {
+        let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Count, Some(0), false)]);
+        a.on_delta(Delta::new());
+        let out = a
+            .on_delta([(t(&[Value::Null]), 1)].into_iter().collect())
+            .consolidate();
+        assert!(out.is_empty(), "count(null) stays 0: {out:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Stateless operators: filter, project, unwind.
+//!
+//! Because FRA expressions are pure functions of their input tuple (the
+//! payoff of the paper's schema inference), these operators keep **no
+//! state**: a delta in is mapped to a delta out, with multiplicities
+//! untouched (filter/project) or fanned out (unwind).
+
+use pgq_algebra::expr::ScalarExpr;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+
+use crate::delta::Delta;
+
+/// Apply σ to a delta.
+pub fn filter_delta(predicate: &ScalarExpr, input: Delta) -> Delta {
+    input
+        .into_entries()
+        .into_iter()
+        .filter(|(t, _)| predicate.matches(t))
+        .collect()
+}
+
+/// Apply π (generalised projection) to a delta. Expression errors produce
+/// `null` in the affected column, mirroring Cypher's lenient runtime.
+pub fn project_delta(items: &[(ScalarExpr, String)], input: Delta) -> Delta {
+    input
+        .into_entries()
+        .into_iter()
+        .map(|(t, m)| {
+            let vals = items
+                .iter()
+                .map(|(e, _)| e.eval(&t).unwrap_or(Value::Null))
+                .collect::<Vec<_>>();
+            (Tuple::new(vals), m)
+        })
+        .collect()
+}
+
+/// Apply ω (unwind) to a delta: one output tuple per list element; `null`
+/// and non-list values produce no rows (openCypher `UNWIND null` yields
+/// nothing). Unwinding a path yields its vertices then edges? No — paths
+/// must be unwound via `nodes()`/`relationships()`, matching the paper's
+/// "paths lose their ordering guarantee only when unnested atomically".
+pub fn unwind_delta(expr: &ScalarExpr, input: Delta) -> Delta {
+    let mut out = Delta::new();
+    for (t, m) in input.into_entries() {
+        if let Ok(Value::List(items)) = expr.eval(&t) {
+            for item in items.iter() {
+                out.push(t.push(item.clone()), m);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_parser::ast::BinOp;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    fn d(entries: &[(&[i64], i64)]) -> Delta {
+        entries.iter().map(|(v, m)| (t(v), *m)).collect()
+    }
+
+    #[test]
+    fn filter_keeps_true_only() {
+        let pred = ScalarExpr::Binary(
+            BinOp::Gt,
+            Box::new(ScalarExpr::col(0)),
+            Box::new(ScalarExpr::lit(5)),
+        );
+        let out = filter_delta(&pred, d(&[(&[3], 1), (&[7], 1), (&[9], -1)]));
+        assert_eq!(out.consolidate().into_entries(), vec![(t(&[7]), 1), (t(&[9]), -1)]);
+    }
+
+    #[test]
+    fn project_applies_expressions() {
+        let items = vec![(
+            ScalarExpr::Binary(
+                BinOp::Add,
+                Box::new(ScalarExpr::col(0)),
+                Box::new(ScalarExpr::lit(1)),
+            ),
+            "x".to_string(),
+        )];
+        let out = project_delta(&items, d(&[(&[1], 2)]));
+        assert_eq!(out.consolidate().into_entries(), vec![(t(&[2]), 2)]);
+    }
+
+    #[test]
+    fn project_error_yields_null() {
+        // Negating a string errors → column becomes null, row survives.
+        let items = vec![(
+            ScalarExpr::Unary(
+                pgq_parser::ast::UnOp::Neg,
+                Box::new(ScalarExpr::lit("oops")),
+            ),
+            "x".to_string(),
+        )];
+        let out = project_delta(&items, d(&[(&[1], 1)]));
+        let entries = out.consolidate().into_entries();
+        assert_eq!(entries[0].0.get(0), &Value::Null);
+    }
+
+    #[test]
+    fn unwind_fans_out_and_preserves_sign() {
+        let expr = ScalarExpr::List(vec![ScalarExpr::lit(10), ScalarExpr::lit(20)]);
+        let out = unwind_delta(&expr, d(&[(&[1], -2)]));
+        let entries = out.consolidate().into_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|(_, m)| *m == -2));
+    }
+
+    #[test]
+    fn unwind_of_null_and_scalar_is_empty() {
+        let out = unwind_delta(&ScalarExpr::Lit(Value::Null), d(&[(&[1], 1)]));
+        assert!(out.is_empty());
+        let out = unwind_delta(&ScalarExpr::lit(5), d(&[(&[1], 1)]));
+        assert!(out.is_empty());
+    }
+}

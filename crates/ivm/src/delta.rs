@@ -1,0 +1,199 @@
+//! Signed multisets of tuples — the currency of the dataflow.
+//!
+//! Classic counting-based IVM (Gupta–Mumick–Subrahmanian; Griffin–Libkin
+//! bag algebra): every dataflow edge carries a `Δ = [(tuple, ±m)]`, and
+//! every stateful operator keeps multiplicity maps it updates from the
+//! deltas flowing through it.
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+
+/// A signed multiset of tuples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Delta {
+    entries: Vec<(Tuple, i64)>,
+}
+
+impl Delta {
+    /// Empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Is there anything in it (before consolidation)?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of raw entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `tuple` with signed multiplicity `mult`.
+    pub fn push(&mut self, tuple: Tuple, mult: i64) {
+        if mult != 0 {
+            self.entries.push((tuple, mult));
+        }
+    }
+
+    /// Append another delta.
+    pub fn extend(&mut self, other: Delta) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Iterate raw entries.
+    pub fn iter(&self) -> impl Iterator<Item = &(Tuple, i64)> {
+        self.entries.iter()
+    }
+
+    /// Sum multiplicities per tuple and drop zeros.
+    pub fn consolidate(self) -> Delta {
+        let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for (t, c) in self.entries {
+            *m.entry(t).or_insert(0) += c;
+        }
+        let mut entries: Vec<(Tuple, i64)> = m.into_iter().filter(|(_, c)| *c != 0).collect();
+        // Deterministic output order helps tests and report diffs.
+        entries.sort_by(|a, b| a.0.values().iter().zip(b.0.values()).fold(
+            std::cmp::Ordering::Equal,
+            |acc, (x, y)| acc.then_with(|| x.total_cmp(y)),
+        ).then_with(|| a.0.arity().cmp(&b.0.arity())));
+        Delta { entries }
+    }
+
+    /// Consume into entries.
+    pub fn into_entries(self) -> Vec<(Tuple, i64)> {
+        self.entries
+    }
+}
+
+impl FromIterator<(Tuple, i64)> for Delta {
+    fn from_iter<T: IntoIterator<Item = (Tuple, i64)>>(iter: T) -> Self {
+        Delta {
+            entries: iter.into_iter().filter(|(_, m)| *m != 0).collect(),
+        }
+    }
+}
+
+/// A multiplicity-counted tuple store with per-key index, used as join
+/// memory.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedBag {
+    /// key tuple -> (full tuple -> multiplicity)
+    by_key: FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+    key_cols: Vec<usize>,
+    size: usize,
+}
+
+impl IndexedBag {
+    /// New bag keyed by `key_cols`.
+    pub fn new(key_cols: Vec<usize>) -> IndexedBag {
+        IndexedBag {
+            by_key: FxHashMap::default(),
+            key_cols,
+            size: 0,
+        }
+    }
+
+    /// The key columns.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Number of distinct tuples stored.
+    pub fn distinct_len(&self) -> usize {
+        self.size
+    }
+
+    fn key_of(&self, t: &Tuple) -> Tuple {
+        t.project(&self.key_cols)
+    }
+
+    /// Apply one signed update; returns the tuple's key.
+    pub fn update(&mut self, tuple: &Tuple, mult: i64) -> Tuple {
+        let key = self.key_of(tuple);
+        let slot = self.by_key.entry(key.clone()).or_default();
+        let e = slot.entry(tuple.clone()).or_insert(0);
+        let was_zero = *e == 0;
+        *e += mult;
+        if *e == 0 {
+            slot.remove(tuple);
+            self.size -= 1;
+            if slot.is_empty() {
+                self.by_key.remove(&key);
+            }
+        } else if was_zero {
+            self.size += 1;
+        }
+        key
+    }
+
+    /// Tuples matching `key` with multiplicities.
+    pub fn get(&self, key: &Tuple) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.by_key
+            .get(key)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(t, c)| (t, *c)))
+    }
+
+    /// Iterate all `(tuple, multiplicity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.by_key
+            .values()
+            .flat_map(|m| m.iter().map(|(t, c)| (t, *c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn consolidate_sums_and_drops_zeros() {
+        let mut d = Delta::new();
+        d.push(t(&[1]), 1);
+        d.push(t(&[1]), 2);
+        d.push(t(&[2]), 1);
+        d.push(t(&[2]), -1);
+        let c = d.consolidate();
+        assert_eq!(c.into_entries(), vec![(t(&[1]), 3)]);
+    }
+
+    #[test]
+    fn push_ignores_zero() {
+        let mut d = Delta::new();
+        d.push(t(&[1]), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn indexed_bag_roundtrip() {
+        let mut bag = IndexedBag::new(vec![0]);
+        bag.update(&t(&[1, 10]), 2);
+        bag.update(&t(&[1, 20]), 1);
+        bag.update(&t(&[2, 30]), 1);
+        let key = t(&[1]);
+        let got: Vec<(Tuple, i64)> = bag.get(&key).map(|(t, c)| (t.clone(), c)).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(bag.distinct_len(), 3);
+
+        bag.update(&t(&[1, 10]), -2);
+        assert_eq!(bag.get(&key).count(), 1);
+        assert_eq!(bag.distinct_len(), 2);
+    }
+
+    #[test]
+    fn indexed_bag_negative_multiplicities_allowed_transiently() {
+        let mut bag = IndexedBag::new(vec![0]);
+        bag.update(&t(&[1, 10]), -1);
+        assert_eq!(bag.get(&t(&[1])).next().map(|(_, c)| c), Some(-1));
+        bag.update(&t(&[1, 10]), 1);
+        assert_eq!(bag.distinct_len(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Incremental hash join with indexed memories on both sides.
+//!
+//! Standard bilinear delta rule over bags:
+//! `Δ(L ⋈ R) = ΔL ⋈ R  ∪  (L + ΔL) ⋈ ΔR`.
+
+use pgq_common::tuple::Tuple;
+
+use crate::delta::{Delta, IndexedBag};
+
+/// A counting hash-join node. Output schema: left ++ (right minus its key
+/// columns) — matching [`pgq_algebra::fra::Fra::HashJoin`].
+#[derive(Clone, Debug)]
+pub struct JoinOp {
+    left_mem: IndexedBag,
+    right_mem: IndexedBag,
+    right_keep: Vec<usize>,
+}
+
+impl JoinOp {
+    /// Create a join; `right_arity` is needed to compute the non-key
+    /// columns of the right side that survive into the output.
+    pub fn new(left_keys: Vec<usize>, right_keys: Vec<usize>, right_arity: usize) -> JoinOp {
+        let right_keep = (0..right_arity)
+            .filter(|i| !right_keys.contains(i))
+            .collect();
+        JoinOp {
+            left_mem: IndexedBag::new(left_keys),
+            right_mem: IndexedBag::new(right_keys),
+            right_keep,
+        }
+    }
+
+    /// Tuples materialised in the two memories.
+    pub fn memory_tuples(&self) -> usize {
+        self.left_mem.distinct_len() + self.right_mem.distinct_len()
+    }
+
+    fn emit(&self, l: &Tuple, r: &Tuple, mult: i64, out: &mut Delta) {
+        let mut vals = Vec::with_capacity(l.arity() + self.right_keep.len());
+        vals.extend(l.values().iter().cloned());
+        for &i in &self.right_keep {
+            vals.push(r.get(i).clone());
+        }
+        out.push(Tuple::new(vals), mult);
+    }
+
+    /// Process one batch of deltas from both inputs.
+    pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
+        let mut out = Delta::new();
+        // ΔL ⋈ R_old
+        for (lt, lm) in dl.iter() {
+            let key = lt.project(self.left_mem.key_cols());
+            // Right memory not yet updated → R_old.
+            let matches: Vec<(Tuple, i64)> = self
+                .right_mem
+                .get(&key)
+                .map(|(t, c)| (t.clone(), c))
+                .collect();
+            for (rt, rm) in matches {
+                self.emit(lt, &rt, lm * rm, &mut out);
+            }
+        }
+        // Update left memory → L_new.
+        for (lt, lm) in dl.iter() {
+            self.left_mem.update(lt, *lm);
+        }
+        // L_new ⋈ ΔR
+        for (rt, rm) in dr.iter() {
+            let key = rt.project(self.right_mem.key_cols());
+            let matches: Vec<(Tuple, i64)> = self
+                .left_mem
+                .get(&key)
+                .map(|(t, c)| (t.clone(), c))
+                .collect();
+            for (lt, lm) in matches {
+                self.emit(&lt, rt, lm * rm, &mut out);
+            }
+        }
+        for (rt, rm) in dr.iter() {
+            self.right_mem.update(rt, *rm);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    fn d(entries: &[(&[i64], i64)]) -> Delta {
+        entries.iter().map(|(v, m)| (t(v), *m)).collect()
+    }
+
+    #[test]
+    fn basic_join() {
+        // L(a, x) ⋈[a] R(a, y) → (a, x, y)
+        let mut j = JoinOp::new(vec![0], vec![0], 2);
+        let out = j
+            .on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1, 100], 1)]))
+            .consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10, 100]), 1)]);
+    }
+
+    #[test]
+    fn delta_join_both_sides_same_batch_counts_once() {
+        let mut j = JoinOp::new(vec![0], vec![0], 2);
+        // Pre-populate.
+        j.on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1, 100], 1)]));
+        // Add one tuple on each side in the same batch.
+        let out = j
+            .on_deltas(d(&[(&[1, 20], 1)]), d(&[(&[1, 200], 1)]))
+            .consolidate();
+        // New pairs: (20,100), (10,200), (20,200) — exactly three.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn retraction_propagates() {
+        let mut j = JoinOp::new(vec![0], vec![0], 2);
+        j.on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1, 100], 1)]));
+        let out = j.on_deltas(d(&[(&[1, 10], -1)]), Delta::new()).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10, 100]), -1)]);
+    }
+
+    #[test]
+    fn multiplicities_multiply() {
+        let mut j = JoinOp::new(vec![0], vec![0], 2);
+        let out = j
+            .on_deltas(d(&[(&[1, 10], 2)]), d(&[(&[1, 100], 3)]))
+            .consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10, 100]), 6)]);
+    }
+
+    #[test]
+    fn cross_product_when_no_keys() {
+        let mut j = JoinOp::new(vec![], vec![], 1);
+        let out = j
+            .on_deltas(d(&[(&[1], 1), (&[2], 1)]), d(&[(&[7], 1)]))
+            .consolidate();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut j = JoinOp::new(vec![0, 1], vec![1, 0], 3);
+        // L(a,b,...) joins R(y,b,a) on (a=R.2? no: left (0,1)=(a,b), right (1,0)=(R1,R0)).
+        let out = j
+            .on_deltas(d(&[(&[1, 2, 5], 1)]), d(&[(&[2, 1, 9], 1)]))
+            .consolidate();
+        // Right keep = col 2 → output (1,2,5,9).
+        assert_eq!(out.into_entries(), vec![(t(&[1, 2, 5, 9]), 1)]);
+    }
+}

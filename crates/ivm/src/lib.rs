@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # pgq-ivm
+//!
+//! The incremental view maintenance engine: a Rete-style delta-propagation
+//! network over FRA plans, with counting bag semantics (Gupta–Mumick /
+//! Griffin–Libkin) and an incremental transitive-closure operator that
+//! maintains Cypher-style edge-distinct paths as **atomic** values — the
+//! paper's proposal for reconciling IVM with path ordering.
+//!
+//! Entry point: [`MaterializedView`]. Feed it the [`ChangeEvent`]s of each
+//! committed transaction and read the maintained result bag back.
+//!
+//! [`ChangeEvent`]: pgq_graph::delta::ChangeEvent
+
+pub mod aggregate;
+pub mod basic;
+pub mod delta;
+pub mod distinct;
+pub mod join;
+pub mod op;
+pub mod scan;
+pub mod semijoin;
+pub mod stats;
+pub mod tc;
+pub mod view;
+
+pub use delta::Delta;
+pub use op::Op;
+pub use view::MaterializedView;

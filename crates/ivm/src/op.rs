@@ -1,0 +1,278 @@
+//! The operator tree: one dataflow node per FRA operator.
+//!
+//! FRA plans are trees (every operator has a single consumer), so the
+//! network is represented as a recursive [`Op`] enum; a transaction's
+//! change events flow bottom-up in one pass, each stateful node updating
+//! its memories and emitting a delta for its parent.
+
+use pgq_algebra::expr::{AggCall, ScalarExpr};
+use pgq_algebra::fra::Fra;
+use pgq_graph::delta::ChangeEvent;
+use pgq_graph::store::PropertyGraph;
+
+use crate::aggregate::AggregateOp;
+use crate::basic::{filter_delta, project_delta, unwind_delta};
+use crate::delta::Delta;
+use crate::distinct::DistinctOp;
+use crate::join::JoinOp;
+use crate::scan::{EdgeScan, EdgeScanSpec, VertexScan};
+use crate::semijoin::SemiJoinOp;
+use crate::tc::VarLengthOp;
+
+/// A node of the dataflow network.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Constant single empty tuple.
+    Unit {
+        /// Whether the unit tuple has been emitted yet.
+        emitted: bool,
+    },
+    /// © scan.
+    Vertices(VertexScan),
+    /// ⇑ scan.
+    Edges(EdgeScan),
+    /// Hash join.
+    Join {
+        /// Left child.
+        left: Box<Op>,
+        /// Right child.
+        right: Box<Op>,
+        /// Join state.
+        join: JoinOp,
+    },
+    /// Semijoin / antijoin.
+    SemiJoin {
+        /// Left child.
+        left: Box<Op>,
+        /// Right (existence) child.
+        right: Box<Op>,
+        /// Join state.
+        join: SemiJoinOp,
+    },
+    /// ⋈* variable-length join.
+    VarLength {
+        /// Left child.
+        left: Box<Op>,
+        /// Traversal state.
+        tc: Box<VarLengthOp>,
+    },
+    /// σ.
+    Filter {
+        /// Child.
+        input: Box<Op>,
+        /// Predicate.
+        predicate: ScalarExpr,
+    },
+    /// π.
+    Project {
+        /// Child.
+        input: Box<Op>,
+        /// Projection expressions.
+        items: Vec<(ScalarExpr, String)>,
+    },
+    /// δ.
+    Distinct {
+        /// Child.
+        input: Box<Op>,
+        /// Support counts.
+        state: DistinctOp,
+    },
+    /// γ.
+    Aggregate {
+        /// Child.
+        input: Box<Op>,
+        /// Aggregation state.
+        state: AggregateOp,
+    },
+    /// ω.
+    Unwind {
+        /// Child.
+        input: Box<Op>,
+        /// List expression.
+        expr: ScalarExpr,
+    },
+}
+
+impl Op {
+    /// Build the network for an FRA plan.
+    pub fn build(fra: &Fra) -> Op {
+        match fra {
+            Fra::Unit => Op::Unit { emitted: false },
+            Fra::ScanVertices {
+                labels,
+                props,
+                carry_map,
+                ..
+            } => Op::Vertices(VertexScan::new(labels.clone(), props.clone(), *carry_map)),
+            Fra::ScanEdges {
+                types,
+                src_labels,
+                dst_labels,
+                src_props,
+                edge_props,
+                dst_props,
+                dir,
+                carry_maps,
+                ..
+            } => Op::Edges(EdgeScan::new(EdgeScanSpec {
+                types: types.clone(),
+                src_labels: src_labels.clone(),
+                dst_labels: dst_labels.clone(),
+                src_props: src_props.clone(),
+                edge_props: edge_props.clone(),
+                dst_props: dst_props.clone(),
+                carry_maps: *carry_maps,
+                dir: Some(*dir),
+                edge_prop_filters: Vec::new(),
+            })),
+            Fra::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => Op::Join {
+                join: JoinOp::new(
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    right.schema().len(),
+                ),
+                left: Box::new(Op::build(left)),
+                right: Box::new(Op::build(right)),
+            },
+            Fra::SemiJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                anti,
+            } => Op::SemiJoin {
+                join: SemiJoinOp::new(left_keys.clone(), right_keys.clone(), *anti),
+                left: Box::new(Op::build(left)),
+                right: Box::new(Op::build(right)),
+            },
+            Fra::VarLengthJoin {
+                left,
+                src_col,
+                spec,
+                ..
+            } => Op::VarLength {
+                tc: Box::new(VarLengthOp::new(left.schema().len(), *src_col, spec)),
+                left: Box::new(Op::build(left)),
+            },
+            Fra::Filter { input, predicate } => Op::Filter {
+                input: Box::new(Op::build(input)),
+                predicate: predicate.clone(),
+            },
+            Fra::Project { input, items } => Op::Project {
+                input: Box::new(Op::build(input)),
+                items: items.clone(),
+            },
+            Fra::Distinct { input } => Op::Distinct {
+                input: Box::new(Op::build(input)),
+                state: DistinctOp::new(),
+            },
+            Fra::Aggregate { input, group, aggs } => Op::Aggregate {
+                input: Box::new(Op::build(input)),
+                state: AggregateOp::new(
+                    group.iter().map(|(e, _)| e.clone()).collect(),
+                    aggs.iter().map(|(c, _)| c.clone()).collect::<Vec<AggCall>>(),
+                ),
+            },
+            Fra::Unwind { input, expr, .. } => Op::Unwind {
+                input: Box::new(Op::build(input)),
+                expr: expr.clone(),
+            },
+        }
+    }
+
+    /// Initial (from-scratch) evaluation, populating all memories.
+    pub fn initial(&mut self, g: &PropertyGraph) -> Delta {
+        match self {
+            Op::Unit { emitted } => {
+                *emitted = true;
+                [(pgq_common::tuple::Tuple::unit(), 1)].into_iter().collect()
+            }
+            Op::Vertices(scan) => scan.initial(g),
+            Op::Edges(scan) => scan.initial(g),
+            Op::Join { left, right, join } => {
+                let dl = left.initial(g);
+                let dr = right.initial(g);
+                join.on_deltas(dl, dr)
+            }
+            Op::SemiJoin { left, right, join } => {
+                let dl = left.initial(g);
+                let dr = right.initial(g);
+                join.on_deltas(dl, dr)
+            }
+            Op::VarLength { left, tc } => {
+                let dl = left.initial(g);
+                tc.initial(g, dl)
+            }
+            Op::Filter { input, predicate } => filter_delta(predicate, input.initial(g)),
+            Op::Project { input, items } => project_delta(items, input.initial(g)),
+            Op::Distinct { input, state } => state.on_delta(input.initial(g)),
+            Op::Aggregate { input, state } => state.on_delta(input.initial(g)),
+            Op::Unwind { input, expr } => unwind_delta(expr, input.initial(g)),
+        }
+    }
+
+    /// Propagate one committed transaction.
+    pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        match self {
+            Op::Unit { .. } => Delta::new(),
+            Op::Vertices(scan) => scan.on_events(g, events),
+            Op::Edges(scan) => scan.on_events(g, events),
+            Op::Join { left, right, join } => {
+                let dl = left.on_events(g, events);
+                let dr = right.on_events(g, events);
+                if dl.is_empty() && dr.is_empty() {
+                    Delta::new()
+                } else {
+                    join.on_deltas(dl, dr)
+                }
+            }
+            Op::SemiJoin { left, right, join } => {
+                let dl = left.on_events(g, events);
+                let dr = right.on_events(g, events);
+                if dl.is_empty() && dr.is_empty() {
+                    Delta::new()
+                } else {
+                    join.on_deltas(dl, dr)
+                }
+            }
+            Op::VarLength { left, tc } => {
+                let dl = left.on_events(g, events);
+                tc.on_events(g, events, dl)
+            }
+            Op::Filter { input, predicate } => {
+                filter_delta(predicate, input.on_events(g, events))
+            }
+            Op::Project { input, items } => project_delta(items, input.on_events(g, events)),
+            Op::Distinct { input, state } => state.on_delta(input.on_events(g, events)),
+            Op::Aggregate { input, state } => state.on_delta(input.on_events(g, events)),
+            Op::Unwind { input, expr } => unwind_delta(expr, input.on_events(g, events)),
+        }
+    }
+
+    /// Total tuples materialised across all memories (experiment E9's
+    /// memory metric).
+    pub fn memory_tuples(&self) -> usize {
+        match self {
+            Op::Unit { .. } => 0,
+            Op::Vertices(s) => s.memory_tuples(),
+            Op::Edges(s) => s.memory_tuples(),
+            Op::Join { left, right, join } => {
+                join.memory_tuples() + left.memory_tuples() + right.memory_tuples()
+            }
+            Op::SemiJoin { left, right, join } => {
+                join.memory_tuples() + left.memory_tuples() + right.memory_tuples()
+            }
+            Op::VarLength { left, tc } => tc.memory_tuples() + left.memory_tuples(),
+            Op::Filter { input, .. }
+            | Op::Project { input, .. }
+            | Op::Unwind { input, .. } => input.memory_tuples(),
+            Op::Distinct { input, state } => state.memory_tuples() + input.memory_tuples(),
+            Op::Aggregate { input, state } => state.memory_tuples() + input.memory_tuples(),
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Base-relation operators: the © get-vertices and ⇑ get-edges scans.
+//!
+//! Scans are the boundary between the graph's change feed and the tuple
+//! dataflow. Each scan remembers the exact tuple(s) it last emitted per
+//! element; on a change event it recomputes the element's tuple(s) against
+//! the post-state graph and emits the difference. This turns arbitrary
+//! fine-grained events (FGN: property/label updates) into minimal tuple
+//! deltas without needing a pre-state snapshot.
+
+use pgq_algebra::fra::PropPush;
+use pgq_common::dir::Direction;
+use pgq_common::fxhash::{FxHashMap, FxHashSet};
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::delta::ChangeEvent;
+use pgq_graph::store::PropertyGraph;
+
+use crate::delta::Delta;
+
+/// The © get-vertices scan node.
+#[derive(Clone, Debug)]
+pub struct VertexScan {
+    labels: Vec<Symbol>,
+    props: Vec<PropPush>,
+    carry_map: bool,
+    memory: FxHashMap<VertexId, Tuple>,
+}
+
+impl VertexScan {
+    /// Create a scan for `labels` (empty = all vertices) emitting the
+    /// pushed `props` and, in ablation mode, the whole property map.
+    pub fn new(labels: Vec<Symbol>, props: Vec<PropPush>, carry_map: bool) -> VertexScan {
+        VertexScan {
+            labels,
+            props,
+            carry_map,
+            memory: FxHashMap::default(),
+        }
+    }
+
+    /// Number of tuples materialised in this scan's memory.
+    pub fn memory_tuples(&self) -> usize {
+        self.memory.len()
+    }
+
+    fn tuple_of(&self, g: &PropertyGraph, v: VertexId) -> Option<Tuple> {
+        let data = g.vertex(v)?;
+        if !self.labels.iter().all(|&l| data.has_label(l)) {
+            return None;
+        }
+        let mut vals = Vec::with_capacity(1 + self.props.len() + usize::from(self.carry_map));
+        vals.push(Value::Node(v));
+        for p in &self.props {
+            vals.push(data.props.get_or_null(p.prop));
+        }
+        if self.carry_map {
+            vals.push(data.props.to_value_map());
+        }
+        Some(Tuple::new(vals))
+    }
+
+    /// Full evaluation against `g`, populating the memory.
+    pub fn initial(&mut self, g: &PropertyGraph) -> Delta {
+        let mut out = Delta::new();
+        let ids: Vec<VertexId> = if self.labels.is_empty() {
+            g.vertex_ids().collect()
+        } else {
+            // Scan the smallest label extent, verify the rest.
+            let (first, _) = self
+                .labels
+                .iter()
+                .map(|&l| (l, g.vertices_with_label(l).len()))
+                .min_by_key(|&(_, n)| n)
+                .expect("non-empty labels");
+            g.vertices_with_label(first).to_vec()
+        };
+        for v in ids {
+            if let Some(t) = self.tuple_of(g, v) {
+                self.memory.insert(v, t.clone());
+                out.push(t, 1);
+            }
+        }
+        out
+    }
+
+    /// Delta for a batch of committed events (post-state `g`).
+    pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        for ev in events {
+            if let Some(v) = ev.touched_vertex() {
+                touched.insert(v);
+            }
+        }
+        let mut out = Delta::new();
+        for v in touched {
+            self.refresh(g, v, &mut out);
+        }
+        out
+    }
+
+    /// Recompute one vertex and emit the difference into `out`.
+    pub fn refresh(&mut self, g: &PropertyGraph, v: VertexId, out: &mut Delta) {
+        let new = self.tuple_of(g, v);
+        let old = self.memory.get(&v);
+        if old == new.as_ref() {
+            return;
+        }
+        if let Some(o) = old {
+            out.push(o.clone(), -1);
+        }
+        match new {
+            Some(n) => {
+                out.push(n.clone(), 1);
+                self.memory.insert(v, n);
+            }
+            None => {
+                self.memory.remove(&v);
+            }
+        }
+    }
+}
+
+/// The ⇑ get-edges scan node.
+///
+/// Emits `(src, edge, dst, src_props…, edge_props…, dst_props…, maps…)`
+/// tuples for every edge whose type matches and whose endpoints carry the
+/// required labels. `Direction::In` swaps the roles of source and target;
+/// `Direction::Both` emits each edge in both orientations (a self-loop
+/// only once).
+#[derive(Clone, Debug)]
+pub struct EdgeScan {
+    types: Vec<Symbol>,
+    src_labels: Vec<Symbol>,
+    dst_labels: Vec<Symbol>,
+    src_props: Vec<PropPush>,
+    edge_props: Vec<PropPush>,
+    dst_props: Vec<PropPush>,
+    carry_maps: (bool, bool, bool),
+    dir: Direction,
+    /// Literal equality constraints on edge properties (used when this
+    /// scan feeds a variable-length join).
+    edge_prop_filters: Vec<(Symbol, Value)>,
+    memory: FxHashMap<EdgeId, Vec<Tuple>>,
+}
+
+/// Construction parameters for [`EdgeScan`].
+#[derive(Clone, Debug, Default)]
+pub struct EdgeScanSpec {
+    /// Admissible edge types (empty = any).
+    pub types: Vec<Symbol>,
+    /// Labels required on the pattern-source.
+    pub src_labels: Vec<Symbol>,
+    /// Labels required on the pattern-target.
+    pub dst_labels: Vec<Symbol>,
+    /// Pushed source properties.
+    pub src_props: Vec<PropPush>,
+    /// Pushed edge properties.
+    pub edge_props: Vec<PropPush>,
+    /// Pushed target properties.
+    pub dst_props: Vec<PropPush>,
+    /// Ablation property-map columns.
+    pub carry_maps: (bool, bool, bool),
+    /// Orientation.
+    pub dir: Option<Direction>,
+    /// Literal edge-property constraints.
+    pub edge_prop_filters: Vec<(Symbol, Value)>,
+}
+
+impl EdgeScan {
+    /// Create a scan from `spec`.
+    pub fn new(spec: EdgeScanSpec) -> EdgeScan {
+        EdgeScan {
+            types: spec.types,
+            src_labels: spec.src_labels,
+            dst_labels: spec.dst_labels,
+            src_props: spec.src_props,
+            edge_props: spec.edge_props,
+            dst_props: spec.dst_props,
+            carry_maps: spec.carry_maps,
+            dir: spec.dir.unwrap_or(Direction::Out),
+            edge_prop_filters: spec.edge_prop_filters,
+            memory: FxHashMap::default(),
+        }
+    }
+
+    /// Number of tuples materialised in this scan's memory.
+    pub fn memory_tuples(&self) -> usize {
+        self.memory.values().map(Vec::len).sum()
+    }
+
+    fn tuples_of(&self, g: &PropertyGraph, e: EdgeId) -> Vec<Tuple> {
+        let Some(data) = g.edge(e) else {
+            return Vec::new();
+        };
+        if !self.types.is_empty() && !self.types.contains(&data.ty) {
+            return Vec::new();
+        }
+        for (k, want) in &self.edge_prop_filters {
+            if data.props.get(*k) != Some(want) {
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        let orientations: &[(VertexId, VertexId)] = match self.dir {
+            Direction::Out => &[(data.src, data.dst)],
+            Direction::In => &[(data.dst, data.src)],
+            Direction::Both => {
+                if data.src == data.dst {
+                    &[(data.src, data.dst)]
+                } else {
+                    &[(data.src, data.dst), (data.dst, data.src)]
+                }
+            }
+        };
+        for &(s, d) in orientations {
+            let (Some(sd), Some(dd)) = (g.vertex(s), g.vertex(d)) else {
+                continue;
+            };
+            if !self.src_labels.iter().all(|&l| sd.has_label(l)) {
+                continue;
+            }
+            if !self.dst_labels.iter().all(|&l| dd.has_label(l)) {
+                continue;
+            }
+            let mut vals = Vec::with_capacity(
+                3 + self.src_props.len() + self.edge_props.len() + self.dst_props.len(),
+            );
+            vals.push(Value::Node(s));
+            vals.push(Value::Rel(e));
+            vals.push(Value::Node(d));
+            for p in &self.src_props {
+                vals.push(sd.props.get_or_null(p.prop));
+            }
+            for p in &self.edge_props {
+                vals.push(data.props.get_or_null(p.prop));
+            }
+            for p in &self.dst_props {
+                vals.push(dd.props.get_or_null(p.prop));
+            }
+            if self.carry_maps.0 {
+                vals.push(sd.props.to_value_map());
+            }
+            if self.carry_maps.1 {
+                vals.push(data.props.to_value_map());
+            }
+            if self.carry_maps.2 {
+                vals.push(dd.props.to_value_map());
+            }
+            out.push(Tuple::new(vals));
+        }
+        out
+    }
+
+    /// Full evaluation against `g`.
+    pub fn initial(&mut self, g: &PropertyGraph) -> Delta {
+        let mut out = Delta::new();
+        let ids: Vec<EdgeId> = if self.types.is_empty() {
+            g.edge_ids().collect()
+        } else {
+            self.types
+                .iter()
+                .flat_map(|&t| g.edges_with_type(t).iter().copied())
+                .collect()
+        };
+        for e in ids {
+            let tuples = self.tuples_of(g, e);
+            if !tuples.is_empty() {
+                for t in &tuples {
+                    out.push(t.clone(), 1);
+                }
+                self.memory.insert(e, tuples);
+            }
+        }
+        out
+    }
+
+    /// Delta for a batch of committed events. Vertex events touch every
+    /// incident edge (labels/properties of endpoints are part of edge
+    /// tuples).
+    pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        let mut touched: FxHashSet<EdgeId> = FxHashSet::default();
+        for ev in events {
+            if let Some(e) = ev.touched_edge() {
+                touched.insert(e);
+            }
+            if let Some(v) = ev.touched_vertex() {
+                // Structural vertex events come with their own edge
+                // events; label/prop updates need the adjacency.
+                touched.extend(g.out_edges(v).iter().copied());
+                touched.extend(g.in_edges(v).iter().copied());
+            }
+        }
+        let mut out = Delta::new();
+        for e in touched {
+            self.refresh(g, e, &mut out);
+        }
+        out
+    }
+
+    fn refresh(&mut self, g: &PropertyGraph, e: EdgeId, out: &mut Delta) {
+        let new = self.tuples_of(g, e);
+        let old = self.memory.get(&e).cloned().unwrap_or_default();
+        if new == old {
+            return;
+        }
+        for t in &old {
+            out.push(t.clone(), -1);
+        }
+        for t in &new {
+            out.push(t.clone(), 1);
+        }
+        if new.is_empty() {
+            self.memory.remove(&e);
+        } else {
+            self.memory.insert(e, new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_graph::props::Properties;
+    use pgq_graph::tx::Transaction;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn push(prop: &str, col: &str) -> PropPush {
+        PropPush {
+            prop: sym(prop),
+            col: col.into(),
+        }
+    }
+
+    #[test]
+    fn vertex_scan_initial_and_updates() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex(
+            [sym("Post")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        let mut scan = VertexScan::new(vec![sym("Post")], vec![push("lang", "p.lang")], false);
+        let init = scan.initial(&g).consolidate();
+        assert_eq!(init.len(), 1);
+        let (t0, m0) = init.iter().next().unwrap().clone();
+        assert_eq!(m0, 1);
+        assert_eq!(t0.get(0), &Value::Node(a));
+        assert_eq!(t0.get(1), &Value::str("en"));
+
+        // Fine-grained property change → retract + assert.
+        let ev = g.set_vertex_prop(a, sym("lang"), "de".into()).unwrap();
+        let d = scan.on_events(&g, &[ev]).consolidate();
+        assert_eq!(d.len(), 2);
+        // Label removal → retraction only.
+        let ev = g.remove_label(a, sym("Post")).unwrap().unwrap();
+        let d = scan.on_events(&g, &[ev]).consolidate();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.iter().next().unwrap().1, -1);
+        assert_eq!(scan.memory_tuples(), 0);
+    }
+
+    #[test]
+    fn vertex_scan_unrelated_prop_change_is_noop_tuplewise() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let mut scan = VertexScan::new(vec![sym("Post")], vec![], false);
+        scan.initial(&g);
+        let ev = g.set_vertex_prop(a, sym("other"), Value::Int(1)).unwrap();
+        let d = scan.on_events(&g, &[ev]).consolidate();
+        assert!(d.is_empty(), "tuple did not change, no delta expected");
+    }
+
+    #[test]
+    fn edge_scan_both_orientations() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("P")], Properties::new());
+        let (b, _) = g.add_vertex([sym("P")], Properties::new());
+        g.add_edge(a, b, sym("KNOWS"), Properties::new()).unwrap();
+        let mut scan = EdgeScan::new(EdgeScanSpec {
+            types: vec![sym("KNOWS")],
+            dir: Some(Direction::Both),
+            ..Default::default()
+        });
+        let init = scan.initial(&g).consolidate();
+        assert_eq!(init.len(), 2, "both orientations");
+    }
+
+    #[test]
+    fn edge_scan_self_loop_once_in_both_mode() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("P")], Properties::new());
+        g.add_edge(a, a, sym("KNOWS"), Properties::new()).unwrap();
+        let mut scan = EdgeScan::new(EdgeScanSpec {
+            dir: Some(Direction::Both),
+            ..Default::default()
+        });
+        assert_eq!(scan.initial(&g).consolidate().len(), 1);
+    }
+
+    #[test]
+    fn edge_scan_reacts_to_endpoint_label_change() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+        let mut scan = EdgeScan::new(EdgeScanSpec {
+            types: vec![sym("REPLY")],
+            dst_labels: vec![sym("Comm")],
+            dir: Some(Direction::Out),
+            ..Default::default()
+        });
+        assert_eq!(scan.initial(&g).consolidate().len(), 1);
+        let ev = g.remove_label(b, sym("Comm")).unwrap().unwrap();
+        let d = scan.on_events(&g, &[ev]).consolidate();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.iter().next().unwrap().1, -1);
+    }
+
+    #[test]
+    fn edge_scan_prop_filter() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("P")], Properties::new());
+        let (b, _) = g.add_vertex([sym("P")], Properties::new());
+        let (e, _) = g
+            .add_edge(a, b, sym("R"), Properties::from_iter([("w", Value::Int(1))]))
+            .unwrap();
+        let mut scan = EdgeScan::new(EdgeScanSpec {
+            edge_prop_filters: vec![(sym("w"), Value::Int(1))],
+            ..Default::default()
+        });
+        assert_eq!(scan.initial(&g).consolidate().len(), 1);
+        let ev = g.set_edge_prop(e, sym("w"), Value::Int(2)).unwrap();
+        let d = scan.on_events(&g, &[ev]).consolidate();
+        assert_eq!(d.iter().next().unwrap().1, -1);
+    }
+
+    #[test]
+    fn transaction_events_flow_through_scan() {
+        let mut g = PropertyGraph::new();
+        let mut scan = VertexScan::new(vec![sym("Post")], vec![], false);
+        scan.initial(&g);
+        let mut tx = Transaction::new();
+        tx.create_vertex([sym("Post")], Properties::new());
+        tx.create_vertex([sym("Comm")], Properties::new());
+        let events = g.apply(&tx).unwrap();
+        let d = scan.on_events(&g, &events).consolidate();
+        assert_eq!(d.len(), 1, "only the Post matches");
+    }
+}

@@ -1,0 +1,170 @@
+//! Incremental semijoin / antijoin — the Rete "negative node".
+//!
+//! Maintains, per join key, the *support count* of the right (existence)
+//! input. A left tuple passes iff the support is positive (semijoin) or
+//! zero (antijoin). Exact delta rule over bags:
+//!
+//! `Δ(L ⋉ R) = [L ⋉ R_new − L ⋉ R_old] + ΔL ⋉ R_new`
+//!
+//! The first bracket is non-empty only for keys whose support crossed
+//! zero — the counting trick that makes negation incremental (Gupta–
+//! Mumick–Subrahmanian's treatment of set difference).
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+
+use crate::delta::{Delta, IndexedBag};
+
+/// ⋉ / ▷ node.
+#[derive(Clone, Debug)]
+pub struct SemiJoinOp {
+    left_mem: IndexedBag,
+    right_keys: Vec<usize>,
+    right_support: FxHashMap<Tuple, i64>,
+    anti: bool,
+}
+
+impl SemiJoinOp {
+    /// Create a node joining on the given key columns.
+    pub fn new(left_keys: Vec<usize>, right_keys: Vec<usize>, anti: bool) -> SemiJoinOp {
+        SemiJoinOp {
+            left_mem: IndexedBag::new(left_keys),
+            right_keys,
+            right_support: FxHashMap::default(),
+            anti,
+        }
+    }
+
+    /// Tuples materialised (left memory + support keys).
+    pub fn memory_tuples(&self) -> usize {
+        self.left_mem.distinct_len() + self.right_support.len()
+    }
+
+    fn passes(&self, support_positive: bool) -> bool {
+        support_positive != self.anti
+    }
+
+    /// Process one batch of deltas from both inputs.
+    pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
+        let mut out = Delta::new();
+
+        // Phase 1: apply ΔR; emit flips against L_old.
+        let mut per_key: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for (t, m) in dr.iter() {
+            *per_key.entry(t.project(&self.right_keys)).or_insert(0) += m;
+        }
+        for (key, dm) in per_key {
+            if dm == 0 {
+                continue;
+            }
+            let entry = self.right_support.entry(key.clone()).or_insert(0);
+            let old_pos = *entry > 0;
+            *entry += dm;
+            let new_pos = *entry > 0;
+            debug_assert!(*entry >= 0, "negative existence support for {key}");
+            if *entry == 0 {
+                self.right_support.remove(&key);
+            }
+            if old_pos != new_pos {
+                let sign = if self.passes(new_pos) { 1 } else { -1 };
+                let matches: Vec<(Tuple, i64)> = self
+                    .left_mem
+                    .get(&key)
+                    .map(|(t, c)| (t.clone(), c))
+                    .collect();
+                for (lt, lm) in matches {
+                    out.push(lt, sign * lm);
+                }
+            }
+        }
+
+        // Phase 2: ΔL against R_new.
+        for (lt, lm) in dl.iter() {
+            let key = lt.project(self.left_mem.key_cols());
+            let positive = self.right_support.get(&key).copied().unwrap_or(0) > 0;
+            if self.passes(positive) {
+                out.push(lt.clone(), *lm);
+            }
+        }
+        for (lt, lm) in dl.iter() {
+            self.left_mem.update(lt, *lm);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::value::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    fn d(entries: &[(&[i64], i64)]) -> Delta {
+        entries.iter().map(|(v, m)| (t(v), *m)).collect()
+    }
+
+    #[test]
+    fn semijoin_passes_supported_keys() {
+        let mut j = SemiJoinOp::new(vec![0], vec![0], false);
+        let out = j
+            .on_deltas(d(&[(&[1, 10], 1), (&[2, 20], 1)]), d(&[(&[1], 1)]))
+            .consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10]), 1)]);
+    }
+
+    #[test]
+    fn antijoin_passes_unsupported_keys() {
+        let mut j = SemiJoinOp::new(vec![0], vec![0], true);
+        let out = j
+            .on_deltas(d(&[(&[1, 10], 1), (&[2, 20], 1)]), d(&[(&[1], 1)]))
+            .consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[2, 20]), 1)]);
+    }
+
+    #[test]
+    fn support_flip_retracts_and_asserts() {
+        let mut j = SemiJoinOp::new(vec![0], vec![0], true);
+        // Left row with no support → passes the antijoin.
+        j.on_deltas(d(&[(&[1, 10], 2)]), Delta::new());
+        // Support appears → retract both copies.
+        let out = j.on_deltas(Delta::new(), d(&[(&[1], 1)])).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10]), -2)]);
+        // Second witness: no change (support already positive).
+        let out = j.on_deltas(Delta::new(), d(&[(&[1], 1)])).consolidate();
+        assert!(out.is_empty());
+        // Both witnesses go → row comes back.
+        let out = j.on_deltas(Delta::new(), d(&[(&[1], -2)])).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10]), 2)]);
+    }
+
+    #[test]
+    fn simultaneous_deltas_use_new_right_state() {
+        let mut j = SemiJoinOp::new(vec![0], vec![0], false);
+        // Left row and its witness arrive in the same batch.
+        let out = j
+            .on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1], 1)]))
+            .consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10]), 1)]);
+    }
+
+    #[test]
+    fn left_retraction_propagates() {
+        let mut j = SemiJoinOp::new(vec![0], vec![0], false);
+        j.on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1], 1)]));
+        let out = j.on_deltas(d(&[(&[1, 10], -1)]), Delta::new()).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[1, 10]), -1)]);
+    }
+
+    #[test]
+    fn empty_keys_model_global_existence() {
+        // No key columns: the right side acts as a global gate.
+        let mut j = SemiJoinOp::new(vec![], vec![], true);
+        let out = j.on_deltas(d(&[(&[5], 1)]), Delta::new()).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[5]), 1)]);
+        let out = j.on_deltas(Delta::new(), d(&[(&[], 1)])).consolidate();
+        assert_eq!(out.into_entries(), vec![(t(&[5]), -1)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-operator statistics of a running network — `EXPLAIN ANALYZE` for
+//! the dataflow: which memories hold how many tuples.
+
+use std::fmt;
+
+use crate::op::Op;
+
+/// Statistics of one operator (and its subtree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpStats {
+    /// Operator label.
+    pub name: String,
+    /// Tuples materialised in this operator's own memories.
+    pub own_tuples: usize,
+    /// Children, in input order.
+    pub children: Vec<OpStats>,
+}
+
+impl OpStats {
+    /// Total tuples across the subtree.
+    pub fn total_tuples(&self) -> usize {
+        self.own_tuples + self.children.iter().map(OpStats::total_tuples).sum::<usize>()
+    }
+
+    fn render(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{}{} [{} tuples]",
+            "  ".repeat(depth),
+            self.name,
+            self.own_tuples
+        );
+        for c in &self.children {
+            c.render(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(&mut s, 0);
+        f.write_str(&s)
+    }
+}
+
+impl Op {
+    /// Collect per-operator statistics.
+    pub fn stats(&self) -> OpStats {
+        match self {
+            Op::Unit { .. } => OpStats {
+                name: "Unit".into(),
+                own_tuples: 0,
+                children: vec![],
+            },
+            Op::Vertices(s) => OpStats {
+                name: "©".into(),
+                own_tuples: s.memory_tuples(),
+                children: vec![],
+            },
+            Op::Edges(s) => OpStats {
+                name: "⇑".into(),
+                own_tuples: s.memory_tuples(),
+                children: vec![],
+            },
+            Op::Join { left, right, join } => OpStats {
+                name: "⋈".into(),
+                own_tuples: join.memory_tuples(),
+                children: vec![left.stats(), right.stats()],
+            },
+            Op::SemiJoin { left, right, join } => OpStats {
+                name: "⋉/▷".into(),
+                own_tuples: join.memory_tuples(),
+                children: vec![left.stats(), right.stats()],
+            },
+            Op::VarLength { left, tc } => OpStats {
+                name: format!("⋈* [{} paths]", tc.path_count()),
+                own_tuples: tc.memory_tuples(),
+                children: vec![left.stats()],
+            },
+            Op::Filter { input, .. } => OpStats {
+                name: "σ".into(),
+                own_tuples: 0,
+                children: vec![input.stats()],
+            },
+            Op::Project { input, .. } => OpStats {
+                name: "π".into(),
+                own_tuples: 0,
+                children: vec![input.stats()],
+            },
+            Op::Distinct { input, state } => OpStats {
+                name: "δ".into(),
+                own_tuples: state.memory_tuples(),
+                children: vec![input.stats()],
+            },
+            Op::Aggregate { input, state } => OpStats {
+                name: "γ".into(),
+                own_tuples: state.memory_tuples(),
+                children: vec![input.stats()],
+            },
+            Op::Unwind { input, .. } => OpStats {
+                name: "ω".into(),
+                own_tuples: 0,
+                children: vec![input.stats()],
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_algebra::fra::Fra;
+    use pgq_common::intern::Symbol;
+    use pgq_graph::props::Properties;
+    use pgq_graph::store::PropertyGraph;
+
+    #[test]
+    fn stats_tree_counts_memories() {
+        let mut g = PropertyGraph::new();
+        for _ in 0..3 {
+            g.add_vertex([Symbol::intern("X")], Properties::new());
+        }
+        let fra = Fra::Distinct {
+            input: Box::new(Fra::ScanVertices {
+                var: "n".into(),
+                labels: vec![Symbol::intern("X")],
+                props: vec![],
+                carry_map: false,
+            }),
+        };
+        let mut op = Op::build(&fra);
+        op.initial(&g);
+        let stats = op.stats();
+        assert_eq!(stats.name, "δ");
+        assert_eq!(stats.own_tuples, 3);
+        assert_eq!(stats.children[0].own_tuples, 3);
+        assert_eq!(stats.total_tuples(), 6);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("δ [3 tuples]"));
+        assert!(rendered.contains("  © [3 tuples]"));
+    }
+}

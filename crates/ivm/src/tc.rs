@@ -1,0 +1,542 @@
+//! Incremental variable-length (transitive) join — the ⋈* operator.
+//!
+//! Maintains the set of **edge-distinct paths** (Cypher's relationship
+//! isomorphism, which also keeps path sets finite on cyclic graphs) over a
+//! dynamic edge relation, following the paper's *atomic path* model: a
+//! path is inserted or deleted as a unit, never mutated.
+//!
+//! Maintenance algebra (cf. Bergmann et al., ICGT 2012; Pang et al., TODS
+//! 2005 — adapted to whole paths instead of reachability pairs):
+//!
+//! * **Edge insertion** `e = (u,v)`: every new path containing `e`
+//!   decomposes uniquely as `p₁ · e · p₂` with `p₁` ending at `u`, `p₂`
+//!   starting at `v`, neither containing `e`; enumerate the combinations,
+//!   keeping edge-disjoint ones within the hop bound.
+//! * **Edge deletion**: drop every path indexed under `e` — no
+//!   over-deletion/rederivation phase (DRed) is needed because paths are
+//!   their own support certificates.
+//!
+//! The operator is internally a small sub-network: an edge scan feeding
+//! the path store, a join with the left input on the source column, and an
+//! optional join with a vertex scan enforcing destination labels and
+//! supplying pushed destination properties.
+
+use std::sync::Arc;
+
+use pgq_algebra::fra::VarLenSpec;
+use pgq_common::fxhash::{FxHashMap, FxHashSet};
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::path::PathValue;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::delta::ChangeEvent;
+use pgq_graph::store::PropertyGraph;
+
+use crate::delta::Delta;
+use crate::join::JoinOp;
+use crate::scan::{EdgeScan, EdgeScanSpec, VertexScan};
+
+/// Store of edge-distinct paths with source/target/edge indexes.
+#[derive(Clone, Debug, Default)]
+struct PathStore {
+    starting: FxHashMap<VertexId, FxHashSet<Arc<PathValue>>>,
+    ending: FxHashMap<VertexId, FxHashSet<Arc<PathValue>>>,
+    by_edge: FxHashMap<EdgeId, FxHashSet<Arc<PathValue>>>,
+    count: usize,
+}
+
+impl PathStore {
+    fn add(&mut self, p: Arc<PathValue>) {
+        self.starting
+            .entry(p.source())
+            .or_default()
+            .insert(p.clone());
+        self.ending.entry(p.target()).or_default().insert(p.clone());
+        for &e in p.edges() {
+            self.by_edge.entry(e).or_default().insert(p.clone());
+        }
+        self.count += 1;
+    }
+
+    /// All new paths created by inserting directed edge `e = (u, v)`.
+    fn insert_edge(
+        &mut self,
+        e: EdgeId,
+        u: VertexId,
+        v: VertexId,
+        max: Option<u32>,
+    ) -> Vec<Arc<PathValue>> {
+        let fits = |len: usize| max.is_none_or(|m| len as u32 <= m);
+        if !fits(1) {
+            return Vec::new();
+        }
+        let prefixes: Vec<Arc<PathValue>> = self
+            .ending
+            .get(&u)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        let suffixes: Vec<Arc<PathValue>> = self
+            .starting
+            .get(&v)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+
+        let mut added: Vec<Arc<PathValue>> = Vec::new();
+        let hop = PathValue::single(u).extend(e, v);
+
+        // ε · e · ε
+        added.push(Arc::new(hop.clone()));
+        // p₁ · e · ε
+        for p1 in &prefixes {
+            if p1.contains_edge(e) || !fits(p1.len() + 1) {
+                continue;
+            }
+            added.push(Arc::new(p1.extend(e, v)));
+        }
+        // ε · e · p₂
+        for p2 in &suffixes {
+            if p2.contains_edge(e) || !fits(p2.len() + 1) {
+                continue;
+            }
+            added.push(Arc::new(hop.concat(p2).expect("seam at v")));
+        }
+        // p₁ · e · p₂
+        for p1 in &prefixes {
+            if p1.contains_edge(e) {
+                continue;
+            }
+            for p2 in &suffixes {
+                if p2.contains_edge(e) || !fits(p1.len() + 1 + p2.len()) {
+                    continue;
+                }
+                if p1.edges().iter().any(|x| p2.contains_edge(*x)) {
+                    continue;
+                }
+                let combined = p1.extend(e, v).concat(p2).expect("seam at v");
+                added.push(Arc::new(combined));
+            }
+        }
+        for p in &added {
+            debug_assert!(p.edges_distinct());
+            self.add(p.clone());
+        }
+        added
+    }
+
+    /// All paths destroyed by deleting edge `e`.
+    fn remove_edge(&mut self, e: EdgeId) -> Vec<Arc<PathValue>> {
+        let Some(set) = self.by_edge.remove(&e) else {
+            return Vec::new();
+        };
+        let paths: Vec<Arc<PathValue>> = set.into_iter().collect();
+        for p in &paths {
+            // by_edge entry for `e` is already gone; clean the others.
+            if let Some(s) = self.starting.get_mut(&p.source()) {
+                s.remove(p);
+            }
+            if let Some(s) = self.ending.get_mut(&p.target()) {
+                s.remove(p);
+            }
+            for &e2 in p.edges() {
+                if e2 != e {
+                    if let Some(s) = self.by_edge.get_mut(&e2) {
+                        s.remove(p);
+                    }
+                }
+            }
+            self.count -= 1;
+        }
+        paths
+    }
+}
+
+/// The ⋈* dataflow node.
+#[derive(Clone, Debug)]
+pub struct VarLengthOp {
+    edge_scan: EdgeScan,
+    store: PathStore,
+    min: u32,
+    max: Option<u32>,
+    /// Joins left tuples (keyed on the source column) with the path
+    /// relation `[src, dst, path]` (keyed on `src`).
+    j1: JoinOp,
+    /// Trivial zero-hop paths, present when `min == 0`.
+    trivial: Option<VertexScan>,
+    /// Destination constraint/property join, when needed.
+    dst: Option<(JoinOp, VertexScan)>,
+    /// Permutation applied after the destination join to restore the FRA
+    /// column order `left ++ [dst, props…, path]`.
+    out_perm: Option<Vec<usize>>,
+}
+
+impl VarLengthOp {
+    /// Build from an FRA [`VarLenSpec`]; `left_arity` and `src_col`
+    /// locate the traversal source in the left input.
+    pub fn new(left_arity: usize, src_col: usize, spec: &VarLenSpec) -> VarLengthOp {
+        let edge_scan = EdgeScan::new(EdgeScanSpec {
+            types: spec.types.clone(),
+            dir: Some(spec.dir),
+            edge_prop_filters: spec.edge_prop_filters.clone(),
+            ..Default::default()
+        });
+        // j1: left (keyed src_col) ⋈ paths [src, dst, path] (keyed 0)
+        // → left ++ [dst, path]
+        let j1 = JoinOp::new(vec![src_col], vec![0], 3);
+        let trivial = if spec.min == 0 {
+            Some(VertexScan::new(vec![], vec![], false))
+        } else {
+            None
+        };
+        let needs_dst = !spec.dst_labels.is_empty()
+            || !spec.dst_props.is_empty()
+            || spec.dst_carry_map;
+        let (dst, out_perm) = if needs_dst {
+            let scan = VertexScan::new(
+                spec.dst_labels.clone(),
+                spec.dst_props.clone(),
+                spec.dst_carry_map,
+            );
+            // j2: (left ++ [dst, path]) keyed dst ⋈ scan [dst, props…]
+            // keyed 0 → left ++ [dst, path, props…]
+            let p = spec.dst_props.len() + usize::from(spec.dst_carry_map);
+            let j2 = JoinOp::new(vec![left_arity], vec![0], 1 + p);
+            // Restore order: left…, dst, props…, path.
+            let a = left_arity;
+            let mut perm: Vec<usize> = (0..a).collect();
+            perm.push(a); // dst
+            perm.extend(a + 2..a + 2 + p); // props
+            perm.push(a + 1); // path
+            (Some((j2, scan)), Some(perm))
+        } else {
+            (None, None)
+        };
+        VarLengthOp {
+            edge_scan,
+            store: PathStore::default(),
+            min: spec.min,
+            max: spec.max,
+            j1,
+            trivial,
+            dst,
+            out_perm,
+        }
+    }
+
+    /// Tuples materialised across the internal sub-network.
+    pub fn memory_tuples(&self) -> usize {
+        self.store.count
+            + self.edge_scan.memory_tuples()
+            + self.j1.memory_tuples()
+            + self
+                .trivial
+                .as_ref()
+                .map_or(0, VertexScan::memory_tuples)
+            + self
+                .dst
+                .as_ref()
+                .map_or(0, |(j, s)| j.memory_tuples() + s.memory_tuples())
+    }
+
+    /// Number of paths materialised.
+    pub fn path_count(&self) -> usize {
+        self.store.count
+    }
+
+    fn path_tuple(p: &Arc<PathValue>) -> Tuple {
+        Tuple::new(vec![
+            Value::Node(p.source()),
+            Value::Node(p.target()),
+            Value::Path(p.clone()),
+        ])
+    }
+
+    /// Convert edge-scan triples into path-relation deltas.
+    fn apply_edge_deltas(&mut self, de: Delta) -> Delta {
+        let mut out = Delta::new();
+        let entries = de.consolidate().into_entries();
+        let min_eff = self.min.max(1) as usize;
+        // Deletions first, so re-inserted edges rebuild cleanly.
+        for (t, m) in entries.iter().filter(|(_, m)| *m < 0) {
+            let _ = m;
+            let e = t.get(1).as_rel().expect("edge triple");
+            for p in self.store.remove_edge(e) {
+                if p.len() >= min_eff {
+                    out.push(Self::path_tuple(&p), -1);
+                }
+            }
+        }
+        for (t, _m) in entries.iter().filter(|(_, m)| *m > 0) {
+            let u = t.get(0).as_node().expect("edge triple");
+            let e = t.get(1).as_rel().expect("edge triple");
+            let v = t.get(2).as_node().expect("edge triple");
+            for p in self.store.insert_edge(e, u, v, self.max) {
+                if p.len() >= min_eff {
+                    out.push(Self::path_tuple(&p), 1);
+                }
+            }
+        }
+        out
+    }
+
+    /// Map the all-vertices scan delta to trivial path tuples
+    /// `[v, v, ε_v]`.
+    fn trivial_paths(d: Delta) -> Delta {
+        d.into_entries()
+            .into_iter()
+            .map(|(t, m)| {
+                let v = t.get(0).as_node().expect("vertex scan emits nodes");
+                (
+                    Tuple::new(vec![
+                        Value::Node(v),
+                        Value::Node(v),
+                        Value::path(PathValue::single(v)),
+                    ]),
+                    m,
+                )
+            })
+            .collect()
+    }
+
+    fn finish(&mut self, d1: Delta, dv: Delta) -> Delta {
+        match (&mut self.dst, &self.out_perm) {
+            (Some((j2, _)), Some(perm)) => {
+                let joined = j2.on_deltas(d1, dv);
+                joined
+                    .into_entries()
+                    .into_iter()
+                    .map(|(t, m)| (t.project(perm), m))
+                    .collect()
+            }
+            _ => d1,
+        }
+    }
+
+    /// Initial evaluation: build the path store and all join memories.
+    pub fn initial(&mut self, g: &PropertyGraph, left_initial: Delta) -> Delta {
+        let de = self.edge_scan.initial(g);
+        let mut dp = self.apply_edge_deltas(de);
+        if let Some(tr) = &mut self.trivial {
+            dp.extend(Self::trivial_paths(tr.initial(g)));
+        }
+        let d1 = self.j1.on_deltas(left_initial, dp);
+        let dv = match &mut self.dst {
+            Some((_, scan)) => scan.initial(g),
+            None => Delta::new(),
+        };
+        self.finish(d1, dv)
+    }
+
+    /// Process a transaction: `left_delta` from the child subtree plus
+    /// the raw change events (for the internal scans).
+    pub fn on_events(
+        &mut self,
+        g: &PropertyGraph,
+        events: &[ChangeEvent],
+        left_delta: Delta,
+    ) -> Delta {
+        let de = self.edge_scan.on_events(g, events);
+        let mut dp = self.apply_edge_deltas(de);
+        if let Some(tr) = &mut self.trivial {
+            dp.extend(Self::trivial_paths(tr.on_events(g, events)));
+        }
+        let d1 = self.j1.on_deltas(left_delta, dp);
+        let dv = match &mut self.dst {
+            Some((_, scan)) => scan.on_events(g, events),
+            None => Delta::new(),
+        };
+        self.finish(d1, dv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_algebra::fra::{PropPush, VarLenSpec};
+    use pgq_common::dir::Direction;
+    use pgq_common::intern::Symbol;
+    use pgq_graph::props::Properties;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn spec(min: u32, max: Option<u32>) -> VarLenSpec {
+        VarLenSpec {
+            types: vec![sym("R")],
+            dir: Direction::Out,
+            dst_labels: vec![],
+            dst_props: vec![],
+            dst_carry_map: false,
+            edge_prop_filters: vec![],
+            min,
+            max,
+        }
+    }
+
+    /// Left input: single-column tuples [Node(v)] for given vertices.
+    fn left_of(vs: &[VertexId]) -> Delta {
+        vs.iter()
+            .map(|&v| (Tuple::new(vec![Value::Node(v)]), 1))
+            .collect()
+    }
+
+    fn chain(n: usize) -> (PropertyGraph, Vec<VertexId>) {
+        let mut g = PropertyGraph::new();
+        let vs: Vec<VertexId> = (0..n)
+            .map(|_| g.add_vertex([sym("N")], Properties::new()).0)
+            .collect();
+        for w in vs.windows(2) {
+            g.add_edge(w[0], w[1], sym("R"), Properties::new()).unwrap();
+        }
+        (g, vs)
+    }
+
+    #[test]
+    fn chain_paths_initial() {
+        let (g, vs) = chain(3); // v0 -> v1 -> v2
+        let mut op = VarLengthOp::new(1, 0, &spec(1, None));
+        let out = op.initial(&g, left_of(&vs)).consolidate();
+        // Paths: 0→1, 1→2, 0→2 = three.
+        assert_eq!(out.len(), 3);
+        assert_eq!(op.path_count(), 3);
+    }
+
+    #[test]
+    fn edge_insertion_creates_crossing_paths() {
+        let (mut g, vs) = chain(2);
+        let mut op = VarLengthOp::new(1, 0, &spec(1, None));
+        op.initial(&g, left_of(&vs));
+        // Add v1 -> v0? No: add a new vertex and edge v1→v2'.
+        let (v2, ev1) = g.add_vertex([sym("N")], Properties::new());
+        let (_, ev2) = g.add_edge(vs[1], v2, sym("R"), Properties::new()).unwrap();
+        // Left side gains v2 as well.
+        let dl = left_of(&[v2]);
+        let out = op.on_events(&g, &[ev1, ev2], dl).consolidate();
+        // New paths: 1→2 and 0→1→2, both anchored at existing left rows.
+        let adds: Vec<_> = out.iter().filter(|(_, m)| *m > 0).collect();
+        assert_eq!(adds.len(), 2, "{out:?}");
+        assert_eq!(op.path_count(), 3);
+    }
+
+    #[test]
+    fn edge_deletion_retracts_all_containing_paths() {
+        let (mut g, vs) = chain(4); // 0→1→2→3, 6 paths
+        let mut op = VarLengthOp::new(1, 0, &spec(1, None));
+        let init = op.initial(&g, left_of(&vs)).consolidate();
+        assert_eq!(init.len(), 6);
+        // Delete middle edge 1→2: kills 1→2, 0→2, 1→3, 0→3 (4 paths).
+        let mid = g.out_edges(vs[1])[0];
+        let ev = g.remove_edge(mid).unwrap();
+        let out = op.on_events(&g, &[ev], Delta::new()).consolidate();
+        let dels = out.iter().filter(|(_, m)| *m < 0).count();
+        assert_eq!(dels, 4, "{out:?}");
+        assert_eq!(op.path_count(), 2);
+    }
+
+    #[test]
+    fn cycle_terminates_via_edge_distinctness() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("N")], Properties::new());
+        let (b, _) = g.add_vertex([sym("N")], Properties::new());
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        g.add_edge(b, a, sym("R"), Properties::new()).unwrap();
+        let mut op = VarLengthOp::new(1, 0, &spec(1, None));
+        let out = op.initial(&g, left_of(&[a, b])).consolidate();
+        // Paths: a→b, b→a, a→b→a, b→a→b — exactly 4 edge-distinct paths.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn hop_bounds_respected() {
+        let (g, vs) = chain(5); // lengths 1..4 available
+        let mut op = VarLengthOp::new(1, 0, &spec(2, Some(3)));
+        let out = op.initial(&g, left_of(&vs)).consolidate();
+        for (t, _) in out.iter() {
+            let p = t.get(2).as_path().unwrap();
+            assert!(p.len() >= 2 && p.len() <= 3, "bad length {}", p.len());
+        }
+        // len2: 0→2,1→3,2→4; len3: 0→3,1→4 → 5 paths.
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn zero_hop_includes_trivial_paths() {
+        let (g, vs) = chain(2);
+        let mut op = VarLengthOp::new(1, 0, &spec(0, None));
+        let out = op.initial(&g, left_of(&vs)).consolidate();
+        // Trivial ε_0, ε_1 plus the edge path 0→1 = 3.
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn dst_label_constraint_enforced_incrementally() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("Post")], Properties::new());
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        let mut sp = spec(1, None);
+        sp.dst_labels = vec![sym("Comm")];
+        let mut op = VarLengthOp::new(1, 0, &sp);
+        let out = op.initial(&g, left_of(&[a])).consolidate();
+        assert_eq!(out.len(), 1);
+        // Removing the label retracts the match without touching edges.
+        let ev = g.remove_label(b, sym("Comm")).unwrap().unwrap();
+        let out = op.on_events(&g, &[ev], Delta::new()).consolidate();
+        assert_eq!(out.len(), 1);
+        assert!(out.iter().all(|(_, m)| *m < 0));
+    }
+
+    #[test]
+    fn dst_props_are_emitted_in_fra_order() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("N")], Properties::new());
+        let (b, _) = g.add_vertex(
+            [sym("N")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        let mut sp = spec(1, None);
+        sp.dst_props = vec![PropPush {
+            prop: sym("lang"),
+            col: "c.lang".into(),
+        }];
+        let mut op = VarLengthOp::new(1, 0, &sp);
+        let out = op.initial(&g, left_of(&[a])).consolidate();
+        let entries = out.into_entries();
+        // Schema: [src, dst, c.lang, path]
+        let (t, m) = &entries[0];
+        assert_eq!(*m, 1);
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.get(0), &Value::Node(a));
+        assert_eq!(t.get(1), &Value::Node(b));
+        assert_eq!(t.get(2), &Value::str("en"));
+        assert!(t.get(3).as_path().is_some());
+    }
+
+    #[test]
+    fn parallel_edges_are_distinct_paths() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("N")], Properties::new());
+        let (b, _) = g.add_vertex([sym("N")], Properties::new());
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        let mut op = VarLengthOp::new(1, 0, &spec(1, None));
+        let out = op.initial(&g, left_of(&[a])).consolidate();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn undirected_traversal() {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex([sym("N")], Properties::new());
+        let (b, _) = g.add_vertex([sym("N")], Properties::new());
+        g.add_edge(a, b, sym("R"), Properties::new()).unwrap();
+        let mut sp = spec(1, None);
+        sp.dir = Direction::Both;
+        let mut op = VarLengthOp::new(1, 0, &sp);
+        let out = op.initial(&g, left_of(&[a, b])).consolidate();
+        // From a: a-b; from b: b-a. (Round trips a-b-a reuse the edge →
+        // excluded by edge-distinctness.)
+        assert_eq!(out.len(), 2);
+    }
+}

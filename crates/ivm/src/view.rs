@@ -1,0 +1,149 @@
+//! Materialised views over FRA plans.
+
+use pgq_algebra::fra::Fra;
+use pgq_algebra::AlgebraError;
+use pgq_algebra::CompiledQuery;
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+use pgq_graph::delta::ChangeEvent;
+use pgq_graph::store::PropertyGraph;
+
+use crate::delta::Delta;
+use crate::op::Op;
+
+/// An incrementally maintained materialised view.
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    name: String,
+    columns: Vec<String>,
+    root: Op,
+    results: FxHashMap<Tuple, i64>,
+    maintenance_count: u64,
+}
+
+impl MaterializedView {
+    /// Register a view for `compiled` and run its initial evaluation.
+    ///
+    /// Returns [`AlgebraError::NotMaintainable`] when the query falls
+    /// outside the paper's maintainable fragment (ORDER BY / SKIP /
+    /// LIMIT) — the baseline evaluator can still run such queries
+    /// one-shot.
+    pub fn create(
+        name: impl Into<String>,
+        compiled: &CompiledQuery,
+        graph: &PropertyGraph,
+    ) -> Result<MaterializedView, AlgebraError> {
+        if !compiled.is_maintainable() {
+            return Err(AlgebraError::NotMaintainable(
+                compiled.not_maintainable.join("; "),
+            ));
+        }
+        Ok(Self::create_unchecked(name, &compiled.fra, graph))
+    }
+
+    /// Register a view directly over an FRA plan (no fragment check).
+    pub fn create_unchecked(
+        name: impl Into<String>,
+        fra: &Fra,
+        graph: &PropertyGraph,
+    ) -> MaterializedView {
+        let mut root = Op::build(fra);
+        let initial = root.initial(graph).consolidate();
+        let mut results = FxHashMap::default();
+        for (t, m) in initial.into_entries() {
+            *results.entry(t).or_insert(0) += m;
+        }
+        results.retain(|_, m| *m != 0);
+        MaterializedView {
+            name: name.into(),
+            columns: fra.schema(),
+            root,
+            results,
+            maintenance_count: 0,
+        }
+    }
+
+    /// View name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Maintain the view after a committed transaction; returns the
+    /// consolidated delta of result changes.
+    pub fn on_transaction(
+        &mut self,
+        graph: &PropertyGraph,
+        events: &[ChangeEvent],
+    ) -> Delta {
+        self.maintenance_count += 1;
+        let delta = self.root.on_events(graph, events).consolidate();
+        for (t, m) in delta.iter() {
+            let e = self.results.entry(t.clone()).or_insert(0);
+            *e += m;
+            debug_assert!(*e >= 0, "negative view multiplicity for {t}");
+        }
+        self.results.retain(|_, m| *m != 0);
+        delta
+    }
+
+    /// Current result bag as `(tuple, multiplicity)` pairs, sorted for
+    /// deterministic output.
+    pub fn results(&self) -> Vec<(Tuple, i64)> {
+        let mut out: Vec<(Tuple, i64)> = self
+            .results
+            .iter()
+            .map(|(t, m)| (t.clone(), *m))
+            .collect();
+        out.sort_by(|a, b| {
+            a.0.values()
+                .iter()
+                .zip(b.0.values())
+                .fold(std::cmp::Ordering::Equal, |acc, (x, y)| {
+                    acc.then_with(|| x.total_cmp(y))
+                })
+                .then_with(|| a.0.arity().cmp(&b.0.arity()))
+        });
+        out
+    }
+
+    /// Flattened result rows (each tuple repeated by its multiplicity).
+    pub fn rows(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for (t, m) in self.results() {
+            for _ in 0..m.max(0) {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Number of distinct result tuples.
+    pub fn distinct_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Total row count (with multiplicities).
+    pub fn row_count(&self) -> usize {
+        self.results.values().map(|m| (*m).max(0) as usize).sum()
+    }
+
+    /// Tuples materialised across the network (memory metric).
+    pub fn memory_tuples(&self) -> usize {
+        self.root.memory_tuples() + self.results.len()
+    }
+
+    /// Number of maintenance rounds executed.
+    pub fn maintenance_count(&self) -> u64 {
+        self.maintenance_count
+    }
+
+    /// Per-operator statistics of the network (EXPLAIN-ANALYZE-style).
+    pub fn network_stats(&self) -> crate::stats::OpStats {
+        self.root.stats()
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the transitive-closure operator: after ANY
+//! sequence of edge insertions/deletions, the incrementally maintained
+//! path set must equal a from-scratch DFS enumeration (the baseline's
+//! `enumerate_paths`), for several hop-bound configurations.
+
+use pgq_algebra::fra::VarLenSpec;
+use pgq_common::dir::Direction;
+use pgq_common::intern::Symbol;
+use pgq_common::path::PathValue;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_eval::enumerate_paths;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use pgq_ivm::delta::Delta;
+use pgq_ivm::tc::VarLengthOp;
+use proptest::prelude::*;
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+fn spec(min: u32, max: Option<u32>, dir: Direction) -> VarLenSpec {
+    VarLenSpec {
+        types: vec![s("R")],
+        dir,
+        dst_labels: vec![],
+        dst_props: vec![],
+        dst_carry_map: false,
+        edge_prop_filters: vec![],
+        min,
+        max,
+    }
+}
+
+/// The oracle: all paths from every vertex, as sorted path values.
+fn oracle(g: &PropertyGraph, sp: &VarLenSpec) -> Vec<PathValue> {
+    let mut out: Vec<PathValue> = Vec::new();
+    let mut srcs: Vec<_> = g.vertex_ids().collect();
+    srcs.sort_unstable();
+    for v in srcs {
+        out.extend(enumerate_paths(g, v, sp));
+    }
+    out.sort();
+    out
+}
+
+/// Extract the maintained path set from the operator's cumulative output.
+struct Maintained {
+    op: VarLengthOp,
+    acc: std::collections::BTreeMap<PathValue, i64>,
+}
+
+impl Maintained {
+    fn new(g: &PropertyGraph, sp: &VarLenSpec) -> Maintained {
+        // Left input: every vertex as a single-column tuple, so the TC's
+        // output covers all sources.
+        let left: Delta = {
+            let mut srcs: Vec<_> = g.vertex_ids().collect();
+            srcs.sort_unstable();
+            srcs.into_iter()
+                .map(|v| (Tuple::new(vec![Value::Node(v)]), 1))
+                .collect()
+        };
+        let mut op = VarLengthOp::new(1, 0, sp);
+        let init = op.initial(g, left);
+        let mut m = Maintained {
+            op,
+            acc: Default::default(),
+        };
+        m.absorb(init);
+        m
+    }
+
+    fn absorb(&mut self, d: Delta) {
+        for (t, mult) in d.consolidate().into_entries() {
+            // Tuple: [src, dst, path] — the path is the last column.
+            let p = t
+                .get(t.arity() - 1)
+                .as_path()
+                .cloned()
+                .expect("path column");
+            let e = self.acc.entry(p.clone()).or_insert(0);
+            *e += mult;
+            if *e == 0 {
+                self.acc.remove(&p);
+            }
+        }
+        self.acc.retain(|_, m| *m != 0);
+    }
+
+    fn paths(&self) -> Vec<PathValue> {
+        assert!(self.acc.values().all(|&m| m == 1), "path multiplicities must be 1");
+        self.acc.keys().cloned().collect()
+    }
+}
+
+/// Random edit scripts over a small vertex set.
+#[derive(Clone, Debug)]
+enum Edit {
+    Add(usize, usize),
+    Del(usize),
+}
+
+fn edits() -> impl Strategy<Value = Vec<Edit>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..6, 0usize..6).prop_map(|(a, b)| Edit::Add(a, b)),
+            (any::<usize>()).prop_map(Edit::Del),
+        ],
+        1..20,
+    )
+}
+
+fn run_config(script: &[Edit], min: u32, max: Option<u32>, dir: Direction) {
+    let sp = spec(min, max, dir);
+    let mut g = PropertyGraph::new();
+    let vs: Vec<_> = (0..6)
+        .map(|_| g.add_vertex([s("N")], Properties::new()).0)
+        .collect();
+    let mut maintained = Maintained::new(&g, &sp);
+
+    for ed in script {
+        let mut tx = Transaction::new();
+        match ed {
+            Edit::Add(a, b) => {
+                tx.create_edge(vs[*a], vs[*b], s("R"), Properties::new());
+            }
+            Edit::Del(pick) => {
+                let mut edges: Vec<_> = g.edge_ids().collect();
+                edges.sort_unstable();
+                if edges.is_empty() {
+                    continue;
+                }
+                tx.delete_edge(edges[pick % edges.len()]);
+            }
+        }
+        let events = g.apply(&tx).unwrap();
+        let delta = maintained.op.on_events(&g, &events, Delta::new());
+        maintained.absorb(delta);
+        assert_eq!(
+            maintained.paths(),
+            oracle(&g, &sp),
+            "divergence after {ed:?} (min={min}, max={max:?}, dir={dir:?})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tc_matches_dfs_unbounded(script in edits()) {
+        run_config(&script, 1, None, Direction::Out);
+    }
+
+    #[test]
+    fn tc_matches_dfs_bounded(script in edits()) {
+        run_config(&script, 1, Some(3), Direction::Out);
+    }
+
+    #[test]
+    fn tc_matches_dfs_min_two(script in edits()) {
+        run_config(&script, 2, Some(4), Direction::Out);
+    }
+
+    #[test]
+    fn tc_matches_dfs_zero_min(script in edits()) {
+        run_config(&script, 0, Some(2), Direction::Out);
+    }
+
+    #[test]
+    fn tc_matches_dfs_reverse(script in edits()) {
+        run_config(&script, 1, Some(3), Direction::In);
+    }
+
+    #[test]
+    fn tc_matches_dfs_undirected(script in edits()) {
+        run_config(&script, 1, Some(2), Direction::Both);
+    }
+}

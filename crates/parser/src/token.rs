@@ -1,0 +1,206 @@
+//! Token vocabulary of the openCypher fragment.
+
+use std::fmt;
+
+/// Reserved words (case-insensitive in source, normalised at lexing).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Match,
+    Optional,
+    Where,
+    Return,
+    Distinct,
+    Order,
+    By,
+    Skip,
+    Limit,
+    Asc,
+    Desc,
+    Create,
+    Merge,
+    Delete,
+    Detach,
+    Set,
+    Remove,
+    Unwind,
+    With,
+    As,
+    And,
+    Or,
+    Xor,
+    Not,
+    In,
+    Starts,
+    Ends,
+    Contains,
+    Is,
+    Null,
+    True,
+    False,
+    Count,
+    Exists,
+}
+
+impl Kw {
+    /// Keyword lookup from an identifier (already uppercased).
+    pub fn from_upper(s: &str) -> Option<Kw> {
+        Some(match s {
+            "MATCH" => Kw::Match,
+            "OPTIONAL" => Kw::Optional,
+            "WHERE" => Kw::Where,
+            "RETURN" => Kw::Return,
+            "DISTINCT" => Kw::Distinct,
+            "ORDER" => Kw::Order,
+            "BY" => Kw::By,
+            "SKIP" => Kw::Skip,
+            "LIMIT" => Kw::Limit,
+            "ASC" | "ASCENDING" => Kw::Asc,
+            "DESC" | "DESCENDING" => Kw::Desc,
+            "CREATE" => Kw::Create,
+            "MERGE" => Kw::Merge,
+            "DELETE" => Kw::Delete,
+            "DETACH" => Kw::Detach,
+            "SET" => Kw::Set,
+            "REMOVE" => Kw::Remove,
+            "UNWIND" => Kw::Unwind,
+            "WITH" => Kw::With,
+            "AS" => Kw::As,
+            "AND" => Kw::And,
+            "OR" => Kw::Or,
+            "XOR" => Kw::Xor,
+            "NOT" => Kw::Not,
+            "IN" => Kw::In,
+            "STARTS" => Kw::Starts,
+            "ENDS" => Kw::Ends,
+            "CONTAINS" => Kw::Contains,
+            "IS" => Kw::Is,
+            "NULL" => Kw::Null,
+            "TRUE" => Kw::True,
+            "FALSE" => Kw::False,
+            "COUNT" => Kw::Count,
+            "EXISTS" => Kw::Exists,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexed token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier (variable, label, type, property key, function name).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Kw),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `;`
+    Semicolon,
+    /// `|`
+    Pipe,
+    /// `-`
+    Dash,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `->`
+    ArrowRight,
+    /// `<-`
+    ArrowLeft,
+    /// `$`
+    Dollar,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Keyword(k) => write!(f, "keyword {k:?}"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Semicolon => write!(f, "`;`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Dash => write!(f, "`-`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Neq => write!(f, "`<>`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::ArrowRight => write!(f, "`->`"),
+            Tok::ArrowLeft => write!(f, "`<-`"),
+            Tok::Dollar => write!(f, "`$`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source offset (byte position).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token start in the source string.
+    pub offset: usize,
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the front-end: rendering any generated AST
+//! and re-parsing it yields the same AST (display/parse adjunction), and
+//! the lexer never panics on arbitrary input.
+
+use pgq_common::value::Value;
+use pgq_parser::ast::{BinOp, Expr, UnOp};
+use pgq_parser::parse_query;
+use proptest::prelude::*;
+
+fn literal() -> impl Strategy<Value = Value> {
+    // Non-negative ints only: `-1` re-parses as unary negation of `1`,
+    // which is semantically equal but structurally different.
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..1_000_000).prop_map(Value::Int),
+        "[a-z ]{0,10}".prop_map(Value::str),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        "[a-z][a-z0-9]{0,4}".prop_filter("not a keyword", |s| {
+            pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+        }).prop_map(Expr::Variable),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), "[a-z][a-z0-9]{0,4}".prop_filter("not kw", |s| {
+                pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+            }))
+                .prop_map(|(b, k)| Expr::Property(Box::new(b), k)),
+            (
+                prop_oneof![
+                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
+                    Just(BinOp::Div), Just(BinOp::Eq), Just(BinOp::Lt),
+                    Just(BinOp::And), Just(BinOp::Or), Just(BinOp::In),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rendered_expressions_reparse_identically(e in expr()) {
+        // Embed the expression in a WHERE clause, the densest context.
+        let src = format!("MATCH (zzz) WHERE {e} RETURN zzz");
+        let q = parse_query(&src)
+            .unwrap_or_else(|err| panic!("{src}: {}", err.render(&src)));
+        let pgq_parser::ast::Clause::Match { where_clause: Some(parsed), .. } =
+            &q.clauses[0] else { panic!("no WHERE") };
+        prop_assert_eq!(parsed, &e, "source: {}", src);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~]{0,64}") {
+        let _ = pgq_parser::lexer::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~]{0,64}") {
+        let _ = parse_query(&src);
+    }
+
+    #[test]
+    fn full_query_roundtrip(
+        label in "[A-Z][a-z]{0,5}".prop_filter("not a keyword", |s| {
+            pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+        }),
+        ty in "[A-Z]{1,5}".prop_filter("not a keyword", |s| {
+            pgq_parser::token::Kw::from_upper(s).is_none()
+        }),
+        key in "[a-z]{1,5}".prop_filter("not a keyword", |s| {
+            pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+        }),
+        lit in -100i64..100,
+        dir_out in any::<bool>(),
+        varlen in any::<bool>(),
+    ) {
+        let arrow = match (dir_out, varlen) {
+            (true, false) => format!("-[:{ty}]->"),
+            (false, false) => format!("<-[:{ty}]-"),
+            (true, true) => format!("-[:{ty}*]->"),
+            (false, true) => format!("<-[:{ty}*]-"),
+        };
+        let src = format!(
+            "MATCH (a:{label}){arrow}(b) WHERE a.{key} = {lit} RETURN a, b.{key}"
+        );
+        let q1 = parse_query(&src).unwrap();
+        let rendered = q1.to_string();
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of {rendered:?}: {e}"));
+        prop_assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's Section 2 running example, as a reusable fixture.
+//!
+//! Graph: `Post(1, lang=en) -REPLY-> Comm(2, lang=en) -REPLY-> Comm(3,
+//! lang=en)`; the example query
+//!
+//! ```cypher
+//! MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t
+//! ```
+//!
+//! must return exactly the two rows of the paper's result table:
+//! `(1, [1,2])` and `(1, [1,2,3])`.
+
+use pgq_common::ids::VertexId;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+
+/// The example query text (verbatim from the paper).
+pub const EXAMPLE_QUERY: &str =
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t";
+
+/// Handles to the three vertices of the example graph.
+#[derive(Clone, Copy, Debug)]
+pub struct ExampleIds {
+    /// The Post (vertex "1" in the paper).
+    pub post: VertexId,
+    /// The first Comment ("2").
+    pub comm1: VertexId,
+    /// The second Comment ("3").
+    pub comm2: VertexId,
+}
+
+/// Build the running-example graph.
+pub fn paper_example_graph() -> (PropertyGraph, ExampleIds) {
+    let mut g = PropertyGraph::new();
+    let s = Symbol::intern;
+    let lang_en = || Properties::from_iter([("lang", Value::str("en"))]);
+    let (post, _) = g.add_vertex([s("Post")], lang_en());
+    let (comm1, _) = g.add_vertex([s("Comm")], lang_en());
+    let (comm2, _) = g.add_vertex([s("Comm")], lang_en());
+    g.add_edge(post, comm1, s("REPLY"), Properties::new())
+        .expect("vertices exist");
+    g.add_edge(comm1, comm2, s("REPLY"), Properties::new())
+        .expect("vertices exist");
+    (
+        g,
+        ExampleIds {
+            post,
+            comm1,
+            comm2,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shape() {
+        let (g, ids) = paper_example_graph();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g
+            .vertex(ids.post)
+            .unwrap()
+            .has_label(Symbol::intern("Post")));
+        assert_eq!(
+            g.vertex_prop(ids.comm2, Symbol::intern("lang")),
+            Value::str("en")
+        );
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # pgq-workloads
+//!
+//! Synthetic workload substrate for the experiments:
+//!
+//! * [`example`] — the paper's Section 2 running example (experiment E1);
+//! * [`social`] — an LDBC-SNB-inspired social network with reply trees
+//!   and a seeded update stream (experiment E6);
+//! * [`railway`] — a Train-Benchmark-inspired railway model with fault
+//!   injection/repair streams (experiment E5);
+//! * [`trees`] — parameterised reply trees for the transitive-closure
+//!   microbenchmarks (experiment E7).
+//!
+//! All generators are deterministic given a seed, so benchmark tables are
+//! reproducible run-to-run.
+
+pub mod example;
+pub mod railway;
+pub mod social;
+pub mod trees;
+
+pub use example::{paper_example_graph, EXAMPLE_QUERY};
+pub use railway::{generate_railway, RailwayParams};
+pub use social::{generate_social, SocialParams};

@@ -1,0 +1,67 @@
+//! Active queries and negation: continuous well-formedness monitoring
+//! with callbacks, Graphflow-style, using the Train Benchmark's original
+//! *negative* validation queries (expressible thanks to the antijoin
+//! extension).
+//!
+//! Run with `cargo run --release --example active_queries`.
+
+use std::sync::{Arc, Mutex};
+
+use pgq_core::GraphEngine;
+use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
+
+fn main() {
+    let mut rw = generate_railway(RailwayParams::size(3, 99));
+    let mut engine = GraphEngine::from_graph(rw.graph.clone());
+
+    // The original (negative) RouteSensor constraint: a monitored switch
+    // on a route whose sensor the route does not require.
+    println!("query: {}\n", rq::ROUTE_SENSOR_NEG);
+    let violations = engine
+        .register_view("RouteSensor", rq::ROUTE_SENSOR_NEG)
+        .unwrap();
+    println!(
+        "initial violations: {}",
+        engine.view(violations).unwrap().row_count()
+    );
+
+    // Subscribe: every appearing violation pages the (pretend) operator.
+    let pager: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = pager.clone();
+    engine
+        .subscribe(violations, move |delta| {
+            let mut pager = sink.lock().unwrap();
+            for (row, _) in &delta.inserted {
+                pager.push(format!("NEW violation:   {row}"));
+            }
+            for (row, _) in &delta.removed {
+                pager.push(format!("repaired:        {row}"));
+            }
+        })
+        .unwrap();
+
+    // Stream faults/repairs through the engine.
+    let stream = rw.fault_stream(40);
+    for tx in &stream {
+        engine.apply(tx).unwrap();
+    }
+
+    let pager = pager.lock().unwrap();
+    println!(
+        "\nafter {} faults/repairs, {} notifications:",
+        stream.len(),
+        pager.len()
+    );
+    for line in pager.iter().take(12) {
+        println!("  {line}");
+    }
+    if pager.len() > 12 {
+        println!("  ... and {} more", pager.len() - 12);
+    }
+    println!(
+        "\nfinal violations: {}",
+        engine.view(violations).unwrap().row_count()
+    );
+    println!("\nnetwork statistics:");
+    println!("{}", engine.view_stats(violations).unwrap());
+}

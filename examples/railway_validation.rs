@@ -1,0 +1,89 @@
+//! Railway well-formedness validation (Train-Benchmark-shaped,
+//! experiment E5's setting) — the paper's motivating use case of checking
+//! integrity constraints continuously.
+//!
+//! Registers the validation queries as views, injects faults and repairs,
+//! and shows violations appearing and disappearing incrementally.
+//!
+//! Run with `cargo run --release --example railway_validation`.
+
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_core::GraphEngine;
+use pgq_graph::stats::GraphStats;
+use pgq_graph::tx::Transaction;
+use pgq_workloads::railway::{generate_railway, queries, RailwayParams};
+
+fn main() {
+    let mut rw = generate_railway(RailwayParams::size(4, 7));
+    println!("generated railway model:\n{}", GraphStats::of(&rw.graph));
+
+    let seg = rw.segments[0];
+    let mut engine = GraphEngine::from_graph(rw.graph.clone());
+    let pos_length = engine
+        .register_view("PosLength", queries::POS_LENGTH)
+        .unwrap();
+    let switch_set = engine
+        .register_view("SwitchSet", queries::SWITCH_SET)
+        .unwrap();
+    let route_sensor = engine
+        .register_view("RouteSensor", queries::ROUTE_SENSOR)
+        .unwrap();
+    let connected = engine
+        .register_view("ConnectedSegments", queries::CONNECTED_SEGMENTS)
+        .unwrap();
+
+    println!("\ninitial validation results:");
+    for id in [pos_length, switch_set, route_sensor, connected] {
+        let v = engine.view(id).unwrap();
+        println!("  {:<18} {:>6} rows", v.name(), v.row_count());
+    }
+
+    // Inject a PosLength fault by hand and watch the view react.
+    println!("\ninjecting a PosLength fault on {seg} ...");
+    let mut tx = Transaction::new();
+    tx.set_vertex_prop(seg, Symbol::intern("length"), Value::Int(-1));
+    let deltas = engine.apply_with_deltas(&tx).unwrap();
+    for (id, delta) in deltas {
+        if !delta.is_empty() {
+            let name = engine.view(id).unwrap().name().to_string();
+            for (row, m) in delta.iter() {
+                println!("  {name}: {} {row}", if *m > 0 { "+" } else { "-" });
+            }
+        }
+    }
+
+    println!("repairing it ...");
+    let mut tx = Transaction::new();
+    tx.set_vertex_prop(seg, Symbol::intern("length"), Value::Int(120));
+    let deltas = engine.apply_with_deltas(&tx).unwrap();
+    for (id, delta) in deltas {
+        if !delta.is_empty() {
+            let name = engine.view(id).unwrap().name().to_string();
+            for (row, m) in delta.iter() {
+                println!("  {name}: {} {row}", if *m > 0 { "+" } else { "-" });
+            }
+        }
+    }
+
+    // Now run a whole fault/repair stream.
+    let stream = rw.fault_stream(300);
+    let t0 = std::time::Instant::now();
+    let mut delta_rows = 0usize;
+    for tx in &stream {
+        for (_, d) in engine.apply_with_deltas(tx).unwrap() {
+            delta_rows += d.len();
+        }
+    }
+    println!(
+        "\napplied {} faults/repairs in {:?}; {} view-row changes total",
+        stream.len(),
+        t0.elapsed(),
+        delta_rows
+    );
+    println!("\nfinal validation results:");
+    for id in [pos_length, switch_set, route_sensor, connected] {
+        let v = engine.view(id).unwrap();
+        println!("  {:<18} {:>6} rows", v.name(), v.row_count());
+    }
+}

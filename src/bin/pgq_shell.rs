@@ -1,0 +1,246 @@
+//! `pgq-shell` — a minimal interactive shell over the engine, in the
+//! spirit of `cypher-shell`, with extra commands for the IVM machinery.
+//!
+//! ```text
+//! $ cargo run --bin pgq_shell
+//! pgq> CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm {lang: 'en'})
+//! +1 nodes...
+//! pgq> :view threads MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t
+//! pgq> :watch threads
+//! pgq> MATCH (c:Comm) CREATE (c)-[:REPLY]->(:Comm {lang: 'en'})
+//! [threads] + ⟨v0, [0, 1, 2]⟩
+//! ```
+//!
+//! Commands: `:view NAME QUERY`, `:views`, `:results NAME`, `:watch
+//! NAME`, `:explain QUERY`, `:stats NAME`, `:save FILE`, `:load FILE`,
+//! `:help`, `:quit`. Anything else is executed as an openCypher
+//! statement.
+
+use std::io::{self, BufRead, Write};
+use std::sync::{Arc, Mutex};
+
+use pgq::prelude::*;
+use pgq_core::ViewDelta;
+
+fn print_table(columns: &[String], rows: &[pgq_common::tuple::Tuple]) {
+    if columns.is_empty() && rows.is_empty() {
+        return;
+    }
+    let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|t| t.values().iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rendered {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!(" {c:<w$} |"));
+        }
+        s
+    };
+    println!("{}", line(columns));
+    println!(
+        "|{}",
+        widths
+            .iter()
+            .map(|w| format!("{}|", "-".repeat(w + 2)))
+            .collect::<String>()
+    );
+    for row in rendered {
+        println!("{}", line(&row));
+    }
+    println!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" });
+}
+
+fn help() {
+    println!(
+        "commands:\n  \
+         :view NAME QUERY   register an incrementally maintained view\n  \
+         :views             list registered views\n  \
+         :results NAME      print a view's current rows\n  \
+         :watch NAME        print the view's deltas after every update\n  \
+         :explain QUERY     show the GRA/NRA/FRA pipeline\n  \
+         :stats NAME        per-operator memory statistics\n  \
+         :save FILE         dump the graph in text format\n  \
+         :load FILE         load a graph dump (replaces current graph)\n  \
+         :help              this text\n  \
+         :quit              exit\n\
+         anything else is executed as an openCypher statement"
+    );
+}
+
+fn main() {
+    let mut engine = GraphEngine::new();
+    let watch_log: Arc<Mutex<Vec<ViewDelta>>> = Arc::new(Mutex::new(Vec::new()));
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("pgq-shell — :help for commands");
+    }
+    loop {
+        if interactive {
+            print!("pgq> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let mut parts = rest.splitn(2, ' ');
+            let cmd = parts.next().unwrap_or("");
+            let arg = parts.next().unwrap_or("").trim();
+            match cmd {
+                "quit" | "q" | "exit" => break,
+                "help" => help(),
+                "view" => {
+                    let mut p = arg.splitn(2, ' ');
+                    let name = p.next().unwrap_or("").to_string();
+                    let query = p.next().unwrap_or("").trim();
+                    if name.is_empty() || query.is_empty() {
+                        println!("usage: :view NAME QUERY");
+                        continue;
+                    }
+                    match engine.register_view(&name, query) {
+                        Ok(id) => println!(
+                            "view `{name}` registered; {} rows",
+                            engine.view(id).map(|v| v.row_count()).unwrap_or(0)
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                "views" => {
+                    for (_, v) in engine.views() {
+                        println!(
+                            "  {:<20} {:>6} rows  {:>9} memory tuples",
+                            v.name(),
+                            v.row_count(),
+                            v.memory_tuples()
+                        );
+                    }
+                }
+                "results" => match engine.view_by_name(arg) {
+                    Some(id) => {
+                        let columns = engine
+                            .view(id)
+                            .map(|v| v.columns().to_vec())
+                            .unwrap_or_default();
+                        let rows = engine.view_results(id).unwrap_or_default();
+                        print_table(&columns, &rows);
+                    }
+                    None => println!("unknown view `{arg}`"),
+                },
+                "watch" => match engine.view_by_name(arg) {
+                    Some(id) => {
+                        let sink = watch_log.clone();
+                        let _ = engine.subscribe(id, move |d| {
+                            sink.lock().unwrap().push(d.clone());
+                        });
+                        println!("watching `{arg}`");
+                    }
+                    None => println!("unknown view `{arg}`"),
+                },
+                "explain" => match engine.explain(arg) {
+                    Ok(text) => println!("{text}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                "stats" => match engine.view_by_name(arg) {
+                    Some(id) => match engine.view_stats(id) {
+                        Ok(s) => println!("{s}"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    None => println!("unknown view `{arg}`"),
+                },
+                "save" => match pgq_graph::csv::to_text(engine.graph()) {
+                    Ok(text) => match std::fs::write(arg, text) {
+                        Ok(()) => println!("saved to {arg}"),
+                        Err(e) => println!("write error: {e}"),
+                    },
+                    Err(e) => println!("error: {e}"),
+                },
+                "load" => match std::fs::read_to_string(arg) {
+                    Ok(text) => match pgq_graph::csv::from_text(&text) {
+                        Ok(g) => {
+                            println!(
+                                "loaded {} vertices, {} edges (views reset)",
+                                g.vertex_count(),
+                                g.edge_count()
+                            );
+                            engine = GraphEngine::from_graph(g);
+                        }
+                        Err(e) => println!("parse error: {e}"),
+                    },
+                    Err(e) => println!("read error: {e}"),
+                },
+                other => println!("unknown command :{other} (:help)"),
+            }
+            continue;
+        }
+        // Plain statement(s) — `;`-separated scripts are fine.
+        match engine.execute_script(line) {
+            Ok(results) => {
+                for result in results {
+                if !result.rows.is_empty() || !result.columns.is_empty() {
+                    print_table(&result.columns, &result.rows);
+                } else {
+                    let st = result.stats;
+                    let mut parts = Vec::new();
+                    for (n, what) in [
+                        (st.nodes_created, "nodes created"),
+                        (st.relationships_created, "relationships created"),
+                        (st.nodes_deleted, "nodes deleted"),
+                        (st.relationships_deleted, "relationships deleted"),
+                        (st.properties_set, "properties set"),
+                        (st.labels_added, "labels added"),
+                        (st.labels_removed, "labels removed"),
+                    ] {
+                        if n > 0 {
+                            parts.push(format!("{n} {what}"));
+                        }
+                    }
+                    if parts.is_empty() {
+                        println!("ok");
+                    } else {
+                        println!("{}", parts.join(", "));
+                    }
+                }
+                }
+            }
+            Err(EngineError::Parse(p)) => println!("{}", p.render(line)),
+            Err(e) => println!("error: {e}"),
+        }
+        // Flush watch notifications.
+        for d in watch_log.lock().unwrap().drain(..) {
+            for (t, m) in &d.inserted {
+                println!("[{}] + {t}{}", d.view, if *m > 1 { format!(" ×{m}") } else { String::new() });
+            }
+            for (t, m) in &d.removed {
+                println!("[{}] - {t}{}", d.view, if *m > 1 { format!(" ×{m}") } else { String::new() });
+            }
+        }
+    }
+}
+
+/// Cheap interactivity test without extra dependencies: assume
+/// interactive unless stdin is redirected (heuristic via env).
+fn atty_stdin() -> bool {
+    // Portable-enough heuristic without a dependency: treat explicit
+    // PGQ_BATCH=1 as non-interactive, otherwise interactive.
+    std::env::var_os("PGQ_BATCH").is_none()
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # pgq — Incremental View Maintenance for Property Graph Queries
+//!
+//! Umbrella crate re-exporting the whole stack. See [`pgq_core::GraphEngine`]
+//! for the main entry point.
+//!
+//! This workspace is a from-scratch Rust reproduction of
+//! *Incremental View Maintenance for Property Graph Queries*
+//! (Gábor Szárnyas, SIGMOD 2018 Student Research Competition,
+//! arXiv:1712.04108).
+//!
+//! ```
+//! use pgq::prelude::*;
+//!
+//! let mut engine = GraphEngine::new();
+//! engine.execute("CREATE (:Post {lang: 'en', id: 1})").unwrap();
+//! let view = engine
+//!     .register_view("posts", "MATCH (p:Post) RETURN p.lang")
+//!     .unwrap();
+//! let rows = engine.view_results(view).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub use pgq_algebra as algebra;
+pub use pgq_common as common;
+pub use pgq_core as core;
+pub use pgq_eval as eval;
+pub use pgq_graph as graph;
+pub use pgq_ivm as ivm;
+pub use pgq_parser as parser;
+pub use pgq_workloads as workloads;
+
+/// Convenience re-exports for typical users.
+pub mod prelude {
+    pub use pgq_common::value::Value;
+    pub use pgq_core::{EngineError, GraphEngine, ViewId};
+    pub use pgq_graph::store::PropertyGraph;
+    pub use pgq_graph::tx::Transaction;
+}

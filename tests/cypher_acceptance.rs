@@ -1,0 +1,546 @@
+//! openCypher acceptance battery, TCK-style: each case is (setup
+//! statements, query, expected rows rendered as strings). Every case runs
+//! **twice** — once through the baseline evaluator and once as an
+//! incrementally maintained view built *before* the setup statements are
+//! applied, so the view reaches the answer purely through delta
+//! propagation. (Cases with ORDER BY/SKIP/LIMIT run baseline-only, per
+//! the paper's fragment.)
+
+use pgq_core::GraphEngine;
+
+struct Case {
+    name: &'static str,
+    setup: &'static [&'static str],
+    query: &'static str,
+    /// Expected rows, each rendered `v1|v2|...`, order-insensitive.
+    expect: &'static [&'static str],
+    /// Whether the query is maintainable (run the view path too).
+    view: bool,
+}
+
+fn render_rows(rows: &[pgq_common::tuple::Tuple]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn run_case(case: &Case) {
+    // Baseline path: setup, then one-shot query.
+    let mut engine = GraphEngine::new();
+    for stmt in case.setup {
+        engine
+            .execute(stmt)
+            .unwrap_or_else(|e| panic!("[{}] setup `{stmt}`: {e}", case.name));
+    }
+    let got = render_rows(
+        &engine
+            .query(case.query)
+            .unwrap_or_else(|e| panic!("[{}] query: {e}", case.name))
+            .rows,
+    );
+    let mut want: Vec<String> = case.expect.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    assert_eq!(got, want, "[{}] baseline mismatch", case.name);
+
+    if case.view {
+        // IVM path: register the view first, then stream the setup.
+        let mut engine = GraphEngine::new();
+        let view = engine
+            .register_view("case", case.query)
+            .unwrap_or_else(|e| panic!("[{}] register: {e}", case.name));
+        for stmt in case.setup {
+            engine.execute(stmt).unwrap();
+        }
+        let got = render_rows(&engine.view_results(view).unwrap());
+        assert_eq!(got, want, "[{}] IVM mismatch", case.name);
+    }
+}
+
+macro_rules! cases {
+    ($($case:expr),+ $(,)?) => {
+        $(run_case(&$case);)+
+    };
+}
+
+#[test]
+fn node_patterns_and_labels() {
+    cases![
+        Case {
+            name: "label filter",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:B {x: 2})", "CREATE (:A:B {x: 3})"],
+            query: "MATCH (n:A) RETURN n.x",
+            expect: &["1", "3"],
+            view: true,
+        },
+        Case {
+            name: "conjunctive labels",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:A:B {x: 3})"],
+            query: "MATCH (n:A:B) RETURN n.x",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "label predicate in where",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:A:B {x: 3})"],
+            query: "MATCH (n:A) WHERE n:B RETURN n.x",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "inline property map",
+            setup: &["CREATE (:A {x: 1, y: 'k'})", "CREATE (:A {x: 2, y: 'k'})"],
+            query: "MATCH (n:A {x: 2, y: 'k'}) RETURN n.x",
+            expect: &["2"],
+            view: true,
+        },
+        Case {
+            name: "unlabelled scan",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:B {x: 2})"],
+            query: "MATCH (n) RETURN n.x",
+            expect: &["1", "2"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn relationship_patterns() {
+    cases![
+        Case {
+            name: "directed match",
+            setup: &["CREATE (:A {x: 1})-[:R]->(:B {x: 2})"],
+            query: "MATCH (a)-[:R]->(b) RETURN a.x, b.x",
+            expect: &["1|2"],
+            view: true,
+        },
+        Case {
+            name: "reverse direction",
+            setup: &["CREATE (:A {x: 1})-[:R]->(:B {x: 2})"],
+            query: "MATCH (a)<-[:R]-(b) RETURN a.x, b.x",
+            expect: &["2|1"],
+            view: true,
+        },
+        Case {
+            name: "undirected match sees both orientations",
+            setup: &["CREATE (:A {x: 1})-[:R]->(:B {x: 2})"],
+            query: "MATCH (a)-[:R]-(b) RETURN a.x, b.x",
+            expect: &["1|2", "2|1"],
+            view: true,
+        },
+        Case {
+            name: "type disjunction",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R]->(:B {x: 2})",
+                "MATCH (a:A) CREATE (a)-[:S]->(:B {x: 3})",
+                "MATCH (a:A) CREATE (a)-[:T]->(:B {x: 4})",
+            ],
+            query: "MATCH (a:A)-[:R|S]->(b) RETURN b.x",
+            expect: &["2", "3"],
+            view: true,
+        },
+        Case {
+            name: "edge property filter",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R {w: 1}]->(:B {x: 2})",
+                "MATCH (a:A) CREATE (a)-[:R {w: 9}]->(:B {x: 3})",
+            ],
+            query: "MATCH (a)-[e:R]->(b) WHERE e.w > 5 RETURN b.x",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "two-hop chain",
+            setup: &["CREATE (:A {x: 1})-[:R]->(:B {x: 2})-[:R]->(:C {x: 3})"],
+            query: "MATCH (a:A)-[:R]->(b)-[:R]->(c) RETURN a.x, b.x, c.x",
+            expect: &["1|2|3"],
+            view: true,
+        },
+        Case {
+            name: "edge uniqueness within a match",
+            setup: &["CREATE (:A {x: 1})-[:R]->(:A {x: 2})"],
+            // Without relationship uniqueness this would match (e, e).
+            query: "MATCH (a)-[e1:R]->(b)-[e2:R]->(c) RETURN a.x",
+            expect: &[],
+            view: true,
+        },
+        Case {
+            name: "cycle closing",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R]->(:B {x: 2})",
+                "MATCH (b:B) CREATE (b)-[:S]->(:A {x: 9})",
+                "MATCH (a:A {x: 1}) MATCH (b:B) CREATE (b)-[:S]->(a)",
+            ],
+            query: "MATCH (a:A)-[:R]->(b)-[:S]->(a) RETURN a.x",
+            expect: &["1"],
+            view: true,
+        },
+        Case {
+            name: "self loop",
+            setup: &["CREATE (:A {x: 1})", "MATCH (a:A) CREATE (a)-[:R]->(a)"],
+            query: "MATCH (a)-[:R]->(a) RETURN a.x",
+            expect: &["1"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn variable_length_paths() {
+    let chain: &[&str] = &[
+        "CREATE (:N {x: 1})-[:R]->(:N {x: 2})-[:R]->(:N {x: 3})-[:R]->(:N {x: 4})",
+    ];
+    cases![
+        Case {
+            name: "star is one or more",
+            setup: chain,
+            query: "MATCH (a:N {x: 1})-[:R*]->(b) RETURN b.x",
+            expect: &["2", "3", "4"],
+            view: true,
+        },
+        Case {
+            name: "exact hops",
+            setup: chain,
+            query: "MATCH (a:N {x: 1})-[:R*2]->(b) RETURN b.x",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "bounded range",
+            setup: chain,
+            query: "MATCH (a:N {x: 1})-[:R*2..3]->(b) RETURN b.x",
+            expect: &["3", "4"],
+            view: true,
+        },
+        Case {
+            name: "zero hops include self",
+            setup: chain,
+            query: "MATCH (a:N {x: 1})-[:R*0..1]->(b) RETURN b.x",
+            expect: &["1", "2"],
+            view: true,
+        },
+        Case {
+            name: "path length function",
+            setup: chain,
+            query: "MATCH t = (a:N {x: 1})-[:R*]->(b:N {x: 4}) RETURN length(t)",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "multiplicity equals path count",
+            setup: &[
+                // Diamond: two paths from 1 to 4.
+                "CREATE (:D {x: 1})-[:R]->(:D {x: 2})-[:R]->(:D {x: 4})",
+                "MATCH (a:D {x: 1}) CREATE (a)-[:R]->(:D {x: 3})",
+                "MATCH (c:D {x: 3}) MATCH (d:D {x: 4}) CREATE (c)-[:R]->(d)",
+            ],
+            query: "MATCH (a:D {x: 1})-[:R*2]->(b) RETURN b.x",
+            expect: &["4", "4"],
+            view: true,
+        },
+        Case {
+            name: "variable-length with inline edge prop",
+            setup: &[
+                "CREATE (:M {x: 1})-[:R {ok: true}]->(:M {x: 2})",
+                "MATCH (b:M {x: 2}) CREATE (b)-[:R {ok: false}]->(:M {x: 3})",
+            ],
+            query: "MATCH (a:M {x: 1})-[:R* {ok: true}]->(b) RETURN b.x",
+            expect: &["2"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn where_semantics() {
+    let setup: &[&str] = &[
+        "CREATE (:P {x: 1, s: 'alpha'})",
+        "CREATE (:P {x: 2, s: 'beta'})",
+        "CREATE (:P {x: 3})",
+    ];
+    cases![
+        Case {
+            name: "null comparisons filter out",
+            setup,
+            query: "MATCH (n:P) WHERE n.s = 'alpha' RETURN n.x",
+            expect: &["1"],
+            view: true,
+        },
+        Case {
+            name: "is null",
+            setup,
+            query: "MATCH (n:P) WHERE n.s IS NULL RETURN n.x",
+            expect: &["3"],
+            view: true,
+        },
+        Case {
+            name: "is not null",
+            setup,
+            query: "MATCH (n:P) WHERE n.s IS NOT NULL RETURN n.x",
+            expect: &["1", "2"],
+            view: true,
+        },
+        Case {
+            name: "string predicates",
+            setup,
+            query: "MATCH (n:P) WHERE n.s STARTS WITH 'a' OR n.s ENDS WITH 'ta' RETURN n.x",
+            expect: &["1", "2"],
+            view: true,
+        },
+        Case {
+            name: "in list",
+            setup,
+            query: "MATCH (n:P) WHERE n.x IN [1, 3, 5] RETURN n.x",
+            expect: &["1", "3"],
+            view: true,
+        },
+        Case {
+            name: "three valued not",
+            // NOT (null = 'x') is null → filtered.
+            setup,
+            query: "MATCH (n:P) WHERE NOT n.s = 'alpha' RETURN n.x",
+            expect: &["2"],
+            view: true,
+        },
+        Case {
+            name: "arithmetic in predicate",
+            setup,
+            query: "MATCH (n:P) WHERE n.x * 2 + 1 >= 5 RETURN n.x",
+            expect: &["2", "3"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn return_shapes() {
+    let setup: &[&str] = &[
+        "CREATE (:P {x: 1, lang: 'en'})",
+        "CREATE (:P {x: 2, lang: 'en'})",
+        "CREATE (:P {x: 3, lang: 'de'})",
+    ];
+    cases![
+        Case {
+            name: "distinct",
+            setup,
+            query: "MATCH (n:P) RETURN DISTINCT n.lang",
+            expect: &["'de'", "'en'"],
+            view: true,
+        },
+        Case {
+            name: "expressions and aliases",
+            setup,
+            query: "MATCH (n:P) WHERE n.x = 1 RETURN n.x + 10 AS big, toUpper(n.lang) AS u",
+            expect: &["11|'EN'"],
+            view: true,
+        },
+        Case {
+            name: "count star groups",
+            setup,
+            query: "MATCH (n:P) RETURN n.lang AS l, count(*) AS c",
+            expect: &["'de'|1", "'en'|2"],
+            view: true,
+        },
+        Case {
+            name: "global aggregates over empty input",
+            setup: &[],
+            query: "MATCH (n:P) RETURN count(*) AS c, sum(n.x) AS s, min(n.x) AS m",
+            expect: &["0|0|null"],
+            view: true,
+        },
+        Case {
+            name: "sum avg min max collect",
+            setup,
+            query: "MATCH (n:P) RETURN sum(n.x), avg(n.x), min(n.x), max(n.x), collect(n.x)",
+            expect: &["6|2|1|3|[1, 2, 3]"],
+            view: true,
+        },
+        Case {
+            name: "count distinct",
+            setup,
+            query: "MATCH (n:P) RETURN count(DISTINCT n.lang) AS c",
+            expect: &["2"],
+            view: true,
+        },
+        Case {
+            name: "order by desc with limit (baseline only)",
+            setup,
+            query: "MATCH (n:P) RETURN n.x AS x ORDER BY x DESC LIMIT 2",
+            expect: &["2", "3"],
+            view: false,
+        },
+        Case {
+            name: "skip",
+            setup,
+            query: "MATCH (n:P) RETURN n.x AS x ORDER BY x SKIP 1",
+            expect: &["2", "3"],
+            view: false,
+        },
+    ];
+}
+
+#[test]
+fn unwind_and_functions() {
+    cases![
+        Case {
+            name: "unwind literal list",
+            setup: &["CREATE (:One)"],
+            query: "MATCH (o:One) UNWIND [10, 20] AS x RETURN x",
+            expect: &["10", "20"],
+            view: true,
+        },
+        Case {
+            name: "unwind path nodes with property access",
+            setup: &["CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm {lang: 'fr'})"],
+            query: "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) UNWIND nodes(t) AS n \
+                    RETURN n.lang",
+            expect: &["'en'", "'fr'"],
+            view: true,
+        },
+        Case {
+            name: "size and coalesce",
+            setup: &["CREATE (:P {s: 'abc'})"],
+            query: "MATCH (n:P) RETURN size(n.s), coalesce(n.missing, 42)",
+            expect: &["3|42"],
+            view: true,
+        },
+        Case {
+            name: "id function",
+            setup: &["CREATE (:P)"],
+            query: "MATCH (n:P) RETURN id(n) >= 0",
+            expect: &["true"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn multiple_matches_and_cartesian() {
+    cases![
+        Case {
+            name: "cartesian product",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:A {x: 2})", "CREATE (:B {y: 7})"],
+            query: "MATCH (a:A) MATCH (b:B) RETURN a.x, b.y",
+            expect: &["1|7", "2|7"],
+            view: true,
+        },
+        Case {
+            name: "shared variable joins matches",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R]->(:B {y: 2})",
+                "MATCH (b:B) CREATE (b)-[:S]->(:C {z: 3})",
+            ],
+            query: "MATCH (a:A)-[:R]->(b) MATCH (b)-[:S]->(c) RETURN a.x, c.z",
+            expect: &["1|3"],
+            view: true,
+        },
+        Case {
+            name: "comma patterns in one match",
+            setup: &["CREATE (:A {x: 1})", "CREATE (:B {y: 2})"],
+            query: "MATCH (a:A), (b:B) RETURN a.x, b.y",
+            expect: &["1|2"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn update_statement_semantics() {
+    // These exercise execute() itself; assertions via follow-up queries.
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:P {x: 1})").unwrap();
+    // SET on all matches.
+    e.execute("MATCH (n:P) SET n.y = n.x * 10").unwrap();
+    let r = e.query("MATCH (n:P) RETURN n.y").unwrap();
+    assert_eq!(render_rows(&r.rows), vec!["10"]);
+    // Label juggling.
+    e.execute("MATCH (n:P) SET n:Q").unwrap();
+    assert_eq!(e.query("MATCH (n:Q) RETURN n.x").unwrap().rows.len(), 1);
+    e.execute("MATCH (n:P) REMOVE n:Q").unwrap();
+    assert_eq!(e.query("MATCH (n:Q) RETURN n.x").unwrap().rows.len(), 0);
+    // CREATE with multiple rows: one comment per post.
+    e.execute("CREATE (:P {x: 2})").unwrap();
+    e.execute("MATCH (p:P) CREATE (p)-[:HAS]->(:C)").unwrap();
+    assert_eq!(
+        e.query("MATCH (:P)-[:HAS]->(c:C) RETURN c").unwrap().rows.len(),
+        2
+    );
+    // DETACH DELETE everything.
+    e.execute("MATCH (n) DETACH DELETE n").unwrap();
+    assert_eq!(e.graph().vertex_count(), 0);
+}
+
+#[test]
+fn with_clause_cases() {
+    cases![
+        Case {
+            name: "with rename",
+            setup: &["CREATE (:P {x: 5})"],
+            query: "MATCH (n:P) WITH n.x AS v RETURN v + 1",
+            expect: &["6"],
+            view: true,
+        },
+        Case {
+            name: "with aggregate having",
+            setup: &[
+                "CREATE (:P {g: 'a'})",
+                "CREATE (:P {g: 'a'})",
+                "CREATE (:P {g: 'b'})",
+            ],
+            query: "MATCH (n:P) WITH n.g AS g, count(*) AS c WHERE c > 1 RETURN g, c",
+            expect: &["'a'|2"],
+            view: true,
+        },
+        Case {
+            name: "with then expand",
+            setup: &[
+                "CREATE (:P {x: 1})-[:R]->(:Q {y: 2})",
+                "CREATE (:P {x: 9})",
+            ],
+            query: "MATCH (n:P) WITH n WHERE n.x < 5 MATCH (n)-[:R]->(m:Q) RETURN n.x, m.y",
+            expect: &["1|2"],
+            view: true,
+        },
+        Case {
+            name: "with distinct collapses",
+            setup: &["CREATE (:P {x: 1})", "CREATE (:P {x: 1})"],
+            query: "MATCH (n:P) WITH DISTINCT n.x AS x RETURN x",
+            expect: &["1"],
+            view: true,
+        },
+    ];
+}
+
+#[test]
+fn bag_semantics_cases() {
+    cases![
+        Case {
+            name: "parallel edges duplicate rows",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R]->(:B {y: 2})",
+                "MATCH (a:A) MATCH (b:B) CREATE (a)-[:R]->(b)",
+            ],
+            query: "MATCH (a:A)-[:R]->(b:B) RETURN a.x, b.y",
+            expect: &["1|2", "1|2"],
+            view: true,
+        },
+        Case {
+            name: "distinct collapses duplicates",
+            setup: &[
+                "CREATE (:A {x: 1})-[:R]->(:B {y: 2})",
+                "MATCH (a:A) MATCH (b:B) CREATE (a)-[:R]->(b)",
+            ],
+            query: "MATCH (a:A)-[:R]->(b:B) RETURN DISTINCT a.x, b.y",
+            expect: &["1|2"],
+            view: true,
+        },
+    ];
+}

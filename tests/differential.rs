@@ -1,0 +1,196 @@
+//! Differential testing: after ANY sequence of updates, an incrementally
+//! maintained view must equal a from-scratch evaluation of the same FRA
+//! plan. This is the central correctness property of the whole system —
+//! the IVM engine and the baseline evaluator act as mutual oracles.
+
+use pgq_algebra::pipeline::compile_query;
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::intern::Symbol;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use pgq_ivm::MaterializedView;
+use pgq_parser::parse_query;
+use proptest::prelude::*;
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+const QUERIES: &[&str] = &[
+    "MATCH (p:Post) RETURN p",
+    "MATCH (p:Post) WHERE p.lang = 'en' RETURN p, p.lang",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+    "MATCH (a)-[:REPLY*1..3]->(b:Comm) RETURN a, b",
+    "MATCH (p:Post) RETURN DISTINCT p.lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) UNWIND nodes(t) AS n RETURN n",
+    "MATCH (a:Comm)<-[:REPLY]-(b) RETURN a, b",
+    "MATCH (a)-[:REPLY]-(b:Comm) RETURN a, b",
+    "MATCH (p:Post) WHERE NOT exists((p)-[:REPLY]->(:Comm)) RETURN p",
+    "MATCH (p:Post) WHERE exists((p)-[:REPLY]->(:Comm {lang: 'en'})) RETURN p",
+];
+
+/// One random update step, chosen against the current shadow graph.
+#[derive(Clone, Debug)]
+enum Step {
+    AddPost { lang: usize },
+    AddComment { parent: usize, lang: usize },
+    AddReply { from: usize, to: usize },
+    DeleteVertex { pick: usize },
+    DeleteEdge { pick: usize },
+    Retag { pick: usize, lang: usize },
+    ToggleLabel { pick: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..5usize).prop_map(|lang| Step::AddPost { lang }),
+        (any::<usize>(), 0..5usize)
+            .prop_map(|(parent, lang)| Step::AddComment { parent, lang }),
+        (any::<usize>(), any::<usize>()).prop_map(|(from, to)| Step::AddReply { from, to }),
+        any::<usize>().prop_map(|pick| Step::DeleteVertex { pick }),
+        any::<usize>().prop_map(|pick| Step::DeleteEdge { pick }),
+        (any::<usize>(), 0..5usize).prop_map(|(pick, lang)| Step::Retag { pick, lang }),
+        any::<usize>().prop_map(|pick| Step::ToggleLabel { pick }),
+    ]
+}
+
+const LANGS: &[&str] = &["en", "de", "fr", "hu", "nl"];
+
+fn apply_step(g: &mut PropertyGraph, step: &Step) -> Vec<pgq_graph::delta::ChangeEvent> {
+    let vertices: Vec<_> = {
+        let mut v: Vec<_> = g.vertex_ids().collect();
+        v.sort_unstable();
+        v
+    };
+    let edges: Vec<_> = {
+        let mut e: Vec<_> = g.edge_ids().collect();
+        e.sort_unstable();
+        e
+    };
+    let mut tx = Transaction::new();
+    match step {
+        Step::AddPost { lang } => {
+            tx.create_vertex(
+                [s("Post")],
+                Properties::from_iter([("lang", Value::str(LANGS[*lang]))]),
+            );
+        }
+        Step::AddComment { parent, lang } if !vertices.is_empty() => {
+            let p = vertices[parent % vertices.len()];
+            let c = tx.create_vertex(
+                [s("Comm")],
+                Properties::from_iter([("lang", Value::str(LANGS[*lang]))]),
+            );
+            tx.create_edge(p, c, s("REPLY"), Properties::new());
+        }
+        Step::AddReply { from, to } if !vertices.is_empty() => {
+            let a = vertices[from % vertices.len()];
+            let b = vertices[to % vertices.len()];
+            tx.create_edge(a, b, s("REPLY"), Properties::new());
+        }
+        Step::DeleteVertex { pick } if !vertices.is_empty() => {
+            tx.delete_vertex(vertices[pick % vertices.len()], true);
+        }
+        Step::DeleteEdge { pick } if !edges.is_empty() => {
+            tx.delete_edge(edges[pick % edges.len()]);
+        }
+        Step::Retag { pick, lang } if !vertices.is_empty() => {
+            tx.set_vertex_prop(
+                vertices[pick % vertices.len()],
+                s("lang"),
+                Value::str(LANGS[*lang]),
+            );
+        }
+        Step::ToggleLabel { pick } if !vertices.is_empty() => {
+            let v = vertices[pick % vertices.len()];
+            let has = g.vertex(v).map(|d| d.has_label(s("Comm"))).unwrap_or(false);
+            if has {
+                tx.remove_label(v, s("Comm"));
+            } else {
+                tx.add_label(v, s("Comm"));
+            }
+        }
+        _ => {}
+    }
+    g.apply(&tx).expect("generated step applies")
+}
+
+fn consolidated(view: &MaterializedView) -> Vec<(Tuple, i64)> {
+    view.results()
+}
+
+fn eval_consolidated(fra: &pgq_algebra::Fra, g: &PropertyGraph) -> Vec<(Tuple, i64)> {
+    pgq_eval::evaluate_consolidated(fra, g)
+}
+
+fn seed_graph() -> PropertyGraph {
+    let (g, _) = pgq_workloads::paper_example_graph();
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn view_equals_recompute_after_random_updates(
+        steps in proptest::collection::vec(step_strategy(), 1..25),
+        query_ix in 0..QUERIES.len(),
+    ) {
+        let query = QUERIES[query_ix];
+        let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+        let mut g = seed_graph();
+        let mut view = MaterializedView::create("diff", &compiled, &g).unwrap();
+
+        // Initial state must agree.
+        prop_assert_eq!(consolidated(&view), eval_consolidated(&compiled.fra, &g));
+
+        for step in &steps {
+            let events = apply_step(&mut g, step);
+            view.on_transaction(&g, &events);
+            let got = consolidated(&view);
+            let want = eval_consolidated(&compiled.fra, &g);
+            prop_assert_eq!(
+                got, want,
+                "divergence after {:?} on query {}", step, query
+            );
+        }
+    }
+}
+
+#[test]
+fn multiplicities_match_for_fanout_joins() {
+    // Bag semantics: two parallel REPLY edges double the row.
+    let mut g = PropertyGraph::new();
+    let (a, _) = g.add_vertex(
+        [s("Post")],
+        Properties::from_iter([("lang", Value::str("en"))]),
+    );
+    let (b, _) = g.add_vertex(
+        [s("Comm")],
+        Properties::from_iter([("lang", Value::str("en"))]),
+    );
+    g.add_edge(a, b, s("REPLY"), Properties::new()).unwrap();
+    g.add_edge(a, b, s("REPLY"), Properties::new()).unwrap();
+
+    let compiled = compile_query(
+        &parse_query("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c").unwrap(),
+    )
+    .unwrap();
+    let view = MaterializedView::create("m", &compiled, &g).unwrap();
+    let mut counts: FxHashMap<Tuple, i64> = FxHashMap::default();
+    for (t, m) in view.results() {
+        *counts.entry(t).or_insert(0) += m;
+    }
+    assert_eq!(counts.len(), 1);
+    assert_eq!(*counts.values().next().unwrap(), 2);
+    assert_eq!(view.results(), eval_consolidated(&compiled.fra, &g));
+}

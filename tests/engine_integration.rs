@@ -1,0 +1,224 @@
+//! End-to-end engine tests: openCypher updates, views, one-shot queries,
+//! EXPLAIN, and error paths.
+
+use pgq::prelude::*;
+use pgq_core::GraphEngine;
+
+#[test]
+fn create_and_query_roundtrip() {
+    let mut e = GraphEngine::new();
+    let r = e
+        .execute("CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm {lang: 'en'})")
+        .unwrap();
+    assert_eq!(r.stats.nodes_created, 2);
+    assert_eq!(r.stats.relationships_created, 1);
+
+    let res = e
+        .query("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    assert_eq!(res.rows.len(), 1);
+}
+
+#[test]
+fn match_create_binds_existing_nodes() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {lang: 'en', k: 1})").unwrap();
+    e.execute("CREATE (:Post {lang: 'de', k: 2})").unwrap();
+    // One new comment per matched post.
+    let r = e
+        .execute("MATCH (p:Post) CREATE (p)-[:REPLY]->(:Comm {lang: 'xx'})")
+        .unwrap();
+    assert_eq!(r.stats.nodes_created, 2);
+    assert_eq!(r.stats.relationships_created, 2);
+    assert_eq!(e.graph().vertex_count(), 4);
+}
+
+#[test]
+fn set_with_expression_over_match() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {len: 10})").unwrap();
+    e.execute("MATCH (p:Post) SET p.len = p.len + 5").unwrap();
+    let res = e.query("MATCH (p:Post) RETURN p.len").unwrap();
+    assert_eq!(res.rows[0].get(0), &Value::Int(15));
+}
+
+#[test]
+fn delete_and_detach_delete() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm)").unwrap();
+    // Plain DELETE of a connected vertex fails and rolls back.
+    assert!(e.execute("MATCH (p:Post) DELETE p").is_err());
+    assert_eq!(e.graph().vertex_count(), 2);
+    let r = e.execute("MATCH (p:Post) DETACH DELETE p").unwrap();
+    assert_eq!(r.stats.nodes_deleted, 1);
+    assert_eq!(e.graph().vertex_count(), 1);
+    assert_eq!(e.graph().edge_count(), 0);
+}
+
+#[test]
+fn remove_property_and_labels() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post:Hot {lang: 'en'})").unwrap();
+    e.execute("MATCH (p:Post) REMOVE p.lang, p:Hot").unwrap();
+    let res = e.query("MATCH (p:Post) RETURN p.lang").unwrap();
+    assert_eq!(res.rows[0].get(0), &Value::Null);
+    let res = e.query("MATCH (p:Hot) RETURN p").unwrap();
+    assert!(res.rows.is_empty());
+}
+
+#[test]
+fn views_are_maintained_through_execute() {
+    let mut e = GraphEngine::new();
+    let view = e
+        .register_view("en-posts", "MATCH (p:Post) WHERE p.lang = 'en' RETURN p")
+        .unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 0);
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    e.execute("CREATE (:Post {lang: 'de'})").unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 1);
+    e.execute("MATCH (p:Post) SET p.lang = 'en'").unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 2);
+}
+
+#[test]
+fn aggregate_view_maintains_counts() {
+    let mut e = GraphEngine::new();
+    let view = e
+        .register_view(
+            "by-lang",
+            "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+        )
+        .unwrap();
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    e.execute("CREATE (:Post {lang: 'de'})").unwrap();
+    let rows = e.view_results(view).unwrap();
+    assert_eq!(rows.len(), 2);
+    let en = rows
+        .iter()
+        .find(|r| r.get(0) == &Value::str("en"))
+        .expect("en group");
+    assert_eq!(en.get(1), &Value::Int(2));
+}
+
+#[test]
+fn order_by_works_one_shot_but_not_as_view() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {len: 3})").unwrap();
+    e.execute("CREATE (:Post {len: 1})").unwrap();
+    e.execute("CREATE (:Post {len: 2})").unwrap();
+    // One-shot with ORDER BY ... LIMIT: fine via the baseline.
+    let res = e
+        .query("MATCH (p:Post) RETURN p.len AS len ORDER BY len DESC LIMIT 2")
+        .unwrap();
+    let lens: Vec<_> = res.rows.iter().map(|r| r.get(0).clone()).collect();
+    assert_eq!(lens, vec![Value::Int(3), Value::Int(2)]);
+    // As a view: rejected with NotMaintainable (the paper's trade-off).
+    let err = e
+        .register_view("topk", "MATCH (p:Post) RETURN p.len AS len ORDER BY len LIMIT 2")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Algebra(pgq_algebra::AlgebraError::NotMaintainable(_))
+    ));
+}
+
+#[test]
+fn duplicate_view_names_rejected() {
+    let mut e = GraphEngine::new();
+    e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    assert!(matches!(
+        e.register_view("v", "MATCH (p:Post) RETURN p"),
+        Err(EngineError::DuplicateView(_))
+    ));
+}
+
+#[test]
+fn drop_view_stops_maintenance() {
+    let mut e = GraphEngine::new();
+    let v = e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    e.drop_view(v).unwrap();
+    assert!(e.view_results(v).is_err());
+    // Updates still work with no views registered.
+    e.execute("CREATE (:Post)").unwrap();
+}
+
+#[test]
+fn explain_renders_three_stages() {
+    let e = GraphEngine::new();
+    let text = e
+        .explain("MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+        .unwrap();
+    assert!(text.contains("Stage 1: GRA"));
+    assert!(text.contains("Stage 2: NRA"));
+    assert!(text.contains("Stage 3: FRA"));
+    assert!(text.contains("incrementally maintainable"));
+}
+
+#[test]
+fn parse_errors_carry_position() {
+    let mut e = GraphEngine::new();
+    let err = e.execute("MATCH (p:Post RETURN p").unwrap_err();
+    assert!(matches!(err, EngineError::Parse(_)));
+}
+
+#[test]
+fn unsupported_constructs_are_reported() {
+    let e = GraphEngine::new();
+    assert!(matches!(
+        e.query("MATCH (a) OPTIONAL MATCH (a)-[:R]->(b) RETURN a, b"),
+        Err(EngineError::Algebra(pgq_algebra::AlgebraError::Unsupported(_)))
+    ));
+    assert!(matches!(
+        e.query("MATCH (a) WHERE a.x = $x RETURN a"),
+        Err(EngineError::Algebra(pgq_algebra::AlgebraError::Unsupported(_)))
+    ));
+}
+
+#[test]
+fn failed_update_rolls_back_and_views_unaffected() {
+    let mut e = GraphEngine::new();
+    let view = e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    e.execute("CREATE (:Post)-[:REPLY]->(:Comm)").unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 1);
+    // DELETE without DETACH fails mid-transaction; nothing must change.
+    assert!(e.execute("MATCH (p:Post) DELETE p").is_err());
+    assert_eq!(e.view_results(view).unwrap().len(), 1);
+    assert_eq!(e.graph().vertex_count(), 2);
+}
+
+#[test]
+fn multiple_views_maintained_together() {
+    let mut e = GraphEngine::new();
+    let v1 = e.register_view("posts", "MATCH (p:Post) RETURN p").unwrap();
+    let v2 = e
+        .register_view("pairs", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    let v3 = e
+        .register_view("count", "MATCH (c:Comm) RETURN count(*) AS n")
+        .unwrap();
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm)").unwrap();
+    assert_eq!(e.view_results(v1).unwrap().len(), 1);
+    assert_eq!(e.view_results(v2).unwrap().len(), 1);
+    assert_eq!(e.view_results(v3).unwrap()[0].get(0), &Value::Int(1));
+    assert_eq!(e.views().count(), 3);
+}
+
+#[test]
+fn view_by_name_lookup() {
+    let mut e = GraphEngine::new();
+    let v = e.register_view("named", "MATCH (p:Post) RETURN p").unwrap();
+    assert_eq!(e.view_by_name("named"), Some(v));
+    assert_eq!(e.view_by_name("other"), None);
+    assert_eq!(e.view_query(v).unwrap(), "MATCH (p:Post) RETURN p");
+}
+
+#[test]
+fn unwind_literal_list() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post)").unwrap();
+    let res = e
+        .query("MATCH (p:Post) UNWIND [1, 2, 3] AS x RETURN x")
+        .unwrap();
+    assert_eq!(res.rows.len(), 3);
+}

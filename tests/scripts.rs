@@ -1,0 +1,64 @@
+//! Multi-statement scripts through `GraphEngine::execute_script`.
+
+use pgq_core::GraphEngine;
+
+#[test]
+fn script_runs_statements_in_order() {
+    let mut e = GraphEngine::new();
+    let results = e
+        .execute_script(
+            "CREATE (:Post {lang: 'en'});\n\
+             CREATE (:Post {lang: 'de'});\n\
+             MATCH (p:Post {lang: 'en'}) CREATE (p)-[:REPLY]->(:Comm {lang: 'en'});\n\
+             MATCH (p:Post)-[:REPLY]->(c) RETURN p, c;",
+        )
+        .unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0].stats.nodes_created, 1);
+    assert_eq!(results[3].rows.len(), 1);
+}
+
+#[test]
+fn stray_semicolons_are_tolerated() {
+    let mut e = GraphEngine::new();
+    let results = e
+        .execute_script(";;CREATE (:A);; ;CREATE (:B);")
+        .unwrap();
+    assert_eq!(results.len(), 2);
+    assert_eq!(e.graph().vertex_count(), 2);
+}
+
+#[test]
+fn parse_error_executes_nothing() {
+    let mut e = GraphEngine::new();
+    // The script is parsed up-front: a syntax error anywhere means no
+    // statement runs at all.
+    let err = e
+        .execute_script("CREATE (:A); MATCH (a:A) DELETE a b; CREATE (:C)")
+        .unwrap_err();
+    assert!(matches!(err, pgq_core::EngineError::Parse(_)));
+    assert_eq!(e.graph().vertex_count(), 0);
+}
+
+#[test]
+fn runtime_error_keeps_prior_statements() {
+    let mut e = GraphEngine::new();
+    // Second statement fails at runtime (DELETE of a connected vertex
+    // without DETACH); the first stays committed, the third never runs.
+    let err = e
+        .execute_script(
+            "CREATE (:A)-[:R]->(:B); MATCH (a:A) DELETE a; CREATE (:C)",
+        )
+        .unwrap_err();
+    assert!(matches!(err, pgq_core::EngineError::Graph(_)));
+    assert_eq!(e.graph().vertex_count(), 2);
+}
+
+#[test]
+fn views_follow_scripts() {
+    let mut e = GraphEngine::new();
+    let view = e.register_view("all", "MATCH (n) RETURN n").unwrap();
+    e.execute_script("CREATE (:A); CREATE (:B); MATCH (a:A) DETACH DELETE a")
+        .unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 1);
+}

@@ -1,0 +1,88 @@
+//! Active-query subscriptions: callbacks fire with exact deltas.
+
+use std::sync::{Arc, Mutex};
+
+use pgq_core::{GraphEngine, ViewDelta};
+
+#[test]
+fn subscriber_sees_inserts_and_removals() {
+    let mut e = GraphEngine::new();
+    let view = e
+        .register_view("en-posts", "MATCH (p:Post) WHERE p.lang = 'en' RETURN p")
+        .unwrap();
+    let log: Arc<Mutex<Vec<ViewDelta>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = log.clone();
+    e.subscribe(view, move |d| sink.lock().unwrap().push(d.clone()))
+        .unwrap();
+
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    e.execute("CREATE (:Post {lang: 'de'})").unwrap(); // no delta for this view
+    e.execute("MATCH (p:Post {lang: 'en'}) SET p.lang = 'fr'").unwrap();
+
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 2, "{log:?}");
+    assert_eq!(log[0].inserted.len(), 1);
+    assert!(log[0].removed.is_empty());
+    assert!(log[1].inserted.is_empty());
+    assert_eq!(log[1].removed.len(), 1);
+    assert_eq!(log[0].view, "en-posts");
+}
+
+#[test]
+fn multiple_subscribers_on_one_view() {
+    let mut e = GraphEngine::new();
+    let view = e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    let count = Arc::new(Mutex::new(0usize));
+    for _ in 0..3 {
+        let c = count.clone();
+        e.subscribe(view, move |_| *c.lock().unwrap() += 1).unwrap();
+    }
+    e.execute("CREATE (:Post)").unwrap();
+    assert_eq!(*count.lock().unwrap(), 3);
+}
+
+#[test]
+fn subscribe_to_unknown_view_errors() {
+    let mut e = GraphEngine::new();
+    let view = e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    e.drop_view(view).unwrap();
+    assert!(e.subscribe(view, |_| {}).is_err());
+}
+
+#[test]
+fn clone_drops_subscribers_but_keeps_views() {
+    let mut e = GraphEngine::new();
+    let view = e.register_view("v", "MATCH (p:Post) RETURN p").unwrap();
+    let count = Arc::new(Mutex::new(0usize));
+    let c = count.clone();
+    e.subscribe(view, move |_| *c.lock().unwrap() += 1).unwrap();
+
+    let mut clone = e.clone();
+    clone.execute("CREATE (:Post)").unwrap();
+    // The clone maintains its views but does not fire the original's
+    // callbacks.
+    assert_eq!(*count.lock().unwrap(), 0);
+    assert_eq!(clone.view_results(view).unwrap().len(), 1);
+
+    // The original still fires.
+    e.execute("CREATE (:Post)").unwrap();
+    assert_eq!(*count.lock().unwrap(), 1);
+}
+
+#[test]
+fn view_stats_expose_network_shape() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm {lang:'en'})")
+        .unwrap();
+    let view = e
+        .register_view(
+            "threads",
+            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+        )
+        .unwrap();
+    let stats = e.view_stats(view).unwrap();
+    let rendered = stats.to_string();
+    assert!(rendered.contains("⋈*"), "{rendered}");
+    assert!(rendered.contains("©"), "{rendered}");
+    assert!(stats.total_tuples() > 0);
+}

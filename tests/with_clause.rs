@@ -1,0 +1,156 @@
+//! The WITH extension: mid-query projection, aggregation (HAVING
+//! pattern), DISTINCT and scope narrowing — all incrementally
+//! maintainable (they lower to the same π/γ/δ/σ operators).
+
+use pgq_core::GraphEngine;
+use pgq_eval::evaluate_consolidated;
+use pgq_workloads::social::{generate_social, SocialParams};
+
+fn seeded() -> GraphEngine {
+    let mut e = GraphEngine::new();
+    e.execute_script(
+        "CREATE (:Post {lang: 'en', len: 10});\
+         CREATE (:Post {lang: 'en', len: 20});\
+         CREATE (:Post {lang: 'de', len: 30});\
+         CREATE (:Post {lang: 'fr', len: 40});",
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn with_projection_renames_scope() {
+    let e = seeded();
+    let r = e
+        .query("MATCH (p:Post) WITH p.len AS l RETURN l")
+        .unwrap();
+    assert_eq!(r.columns, vec!["l".to_string()]);
+    assert_eq!(r.rows.len(), 4);
+}
+
+#[test]
+fn with_aggregate_then_filter_is_having() {
+    let e = seeded();
+    let r = e
+        .query(
+            "MATCH (p:Post) WITH p.lang AS lang, count(*) AS n \
+             WHERE n > 1 RETURN lang, n",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 1);
+    assert_eq!(r.rows[0].get(0).as_str(), Some("en"));
+    assert_eq!(r.rows[0].get(1).as_int(), Some(2));
+}
+
+#[test]
+fn with_then_match_joins_on_projected_node() {
+    let mut e = seeded();
+    e.execute(
+        "MATCH (p:Post {lang: 'en'}) CREATE (p)-[:REPLY]->(:Comm {lang: 'en'})",
+    )
+    .unwrap();
+    let r = e
+        .query(
+            "MATCH (p:Post) WITH p WHERE p.lang = 'en' \
+             MATCH (p)-[:REPLY]->(c:Comm) RETURN p, c",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn with_distinct() {
+    let e = seeded();
+    let r = e
+        .query("MATCH (p:Post) WITH DISTINCT p.lang AS lang RETURN lang")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+}
+
+#[test]
+fn chained_withs() {
+    let e = seeded();
+    let r = e
+        .query(
+            "MATCH (p:Post) WITH p.lang AS lang, p.len AS len \
+             WITH lang, len * 2 AS dbl WHERE dbl >= 40 \
+             RETURN lang, dbl",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3); // 20*2, 30*2, 40*2
+}
+
+#[test]
+fn with_view_is_maintained_incrementally() {
+    let mut e = GraphEngine::new();
+    let view = e
+        .register_view(
+            "hot-langs",
+            "MATCH (p:Post) WITH p.lang AS lang, count(*) AS n WHERE n >= 2 \
+             RETURN lang, n",
+        )
+        .unwrap();
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 0);
+    e.execute("CREATE (:Post {lang: 'en'})").unwrap();
+    let rows = e.view_results(view).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(1).as_int(), Some(2));
+    // Dropping below the threshold retracts the group.
+    e.execute("MATCH (p:Post) WITH p WHERE p.lang = 'en' DETACH DELETE p")
+        .unwrap();
+    assert_eq!(e.view_results(view).unwrap().len(), 0);
+}
+
+#[test]
+fn with_differential_on_social_stream() {
+    let mut net = generate_social(SocialParams::scale(0.1, 5));
+    let stream = net.update_stream(60, (4, 2, 3, 1));
+    let q = "MATCH (a:Person)-[:CREATED]->(p:Post) \
+             WITH a, count(*) AS posts WHERE posts >= 2 \
+             RETURN a, posts";
+    let mut engine = GraphEngine::from_graph(net.graph.clone());
+    let view = engine.register_view("prolific", q).unwrap();
+    for tx in &stream {
+        engine.apply(tx).unwrap();
+    }
+    let compiled = engine.view_compiled(view).unwrap();
+    let want = evaluate_consolidated(&compiled.fra, engine.graph());
+    assert_eq!(engine.view(view).unwrap().results(), want);
+}
+
+#[test]
+fn dropped_names_are_out_of_scope() {
+    let e = seeded();
+    let err = e
+        .query("MATCH (p:Post) WITH p.lang AS lang RETURN p")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        pgq_core::EngineError::Algebra(pgq_algebra::AlgebraError::UnknownVariable(_))
+    ));
+}
+
+#[test]
+fn rebinding_dropped_name_is_rejected() {
+    let e = seeded();
+    let err = e
+        .query("MATCH (p:Post) WITH count(*) AS n MATCH (p:Post) RETURN n, p")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        pgq_core::EngineError::Algebra(pgq_algebra::AlgebraError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn order_by_in_with_not_maintainable() {
+    let e = seeded();
+    let err = e
+        .query("MATCH (p:Post) WITH p.len AS l ORDER BY l RETURN l")
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        pgq_core::EngineError::Algebra(pgq_algebra::AlgebraError::NotMaintainable(_))
+    ));
+}
