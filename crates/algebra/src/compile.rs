@@ -5,9 +5,7 @@
 use std::collections::HashMap;
 
 use pgq_common::intern::Symbol;
-use pgq_parser::ast::{
-    Clause, Expr, NodePattern, PathPattern, Query, ReturnClause,
-};
+use pgq_parser::ast::{Clause, Expr, NodePattern, PathPattern, Query, ReturnClause};
 
 use crate::error::AlgebraError;
 use crate::gra::{Gra, PathMode, VarKind, VarLen};
@@ -36,7 +34,6 @@ pub struct Compiler {
     retired: std::collections::HashSet<String>,
     fresh: usize,
 }
-
 
 impl Compiler {
     /// Fresh internal variable name (cannot collide with user names, which
@@ -79,9 +76,7 @@ impl Compiler {
         let mut acc = Gra::Unit;
         for clause in &query.clauses {
             match clause {
-                Clause::Match {
-                    optional: true, ..
-                } => {
+                Clause::Match { optional: true, .. } => {
                     return Err(AlgebraError::Unsupported(
                         "OPTIONAL MATCH (listed as future work in the paper)".into(),
                     ))
@@ -122,16 +117,10 @@ impl Compiler {
                                         anti: false,
                                     };
                                 }
-                                Expr::Unary(
-                                    pgq_parser::ast::UnOp::Not,
-                                    inner,
-                                ) if matches!(
-                                    inner.as_ref(),
-                                    Expr::PatternPredicate(_)
-                                ) =>
+                                Expr::Unary(pgq_parser::ast::UnOp::Not, inner)
+                                    if matches!(inner.as_ref(), Expr::PatternPredicate(_)) =>
                                 {
-                                    let Expr::PatternPredicate(p) = inner.as_ref()
-                                    else {
+                                    let Expr::PatternPredicate(p) = inner.as_ref() else {
                                         unreachable!()
                                     };
                                     let sub = self.compile_subpattern(p)?;
@@ -263,8 +252,7 @@ impl Compiler {
                 Some(v) => v.clone(),
                 None => self.fresh("e"),
             };
-            let dst_labels: Vec<Symbol> =
-                node.labels.iter().map(|l| Symbol::intern(l)).collect();
+            let dst_labels: Vec<Symbol> = node.labels.iter().map(|l| Symbol::intern(l)).collect();
             let types: Vec<Symbol> = rel.types.iter().map(|t| Symbol::intern(t)).collect();
 
             match rel.range {
@@ -483,14 +471,11 @@ impl Compiler {
                 "named path inside exists(...)".into(),
             ));
         }
-        for (_, e) in p
-            .start
-            .props
-            .iter()
-            .chain(p.steps.iter().flat_map(|(r, n)| {
-                r.props.iter().chain(n.props.iter())
-            }))
-        {
+        for (_, e) in p.start.props.iter().chain(
+            p.steps
+                .iter()
+                .flat_map(|(r, n)| r.props.iter().chain(n.props.iter())),
+        ) {
             if !matches!(e, Expr::Literal(_)) {
                 return Err(AlgebraError::Unsupported(
                     "non-literal property value inside exists(...)".into(),
@@ -574,11 +559,17 @@ impl Compiler {
             if labels.is_empty() {
                 None
             } else {
-                Some(Gra::GetVertices { var: var.clone(), labels })
+                Some(Gra::GetVertices {
+                    var: var.clone(),
+                    labels,
+                })
             }
         } else {
             self.bind(&var, VarKind::Node)?;
-            Some(Gra::GetVertices { var: var.clone(), labels })
+            Some(Gra::GetVertices {
+                var: var.clone(),
+                labels,
+            })
         };
         Ok((var, scan))
     }
@@ -619,9 +610,9 @@ pub fn conjuncts(e: &Expr) -> Vec<&Expr> {
 
 /// Conjoin predicates back into one expression.
 pub fn conjoin(preds: Vec<Expr>) -> Option<Expr> {
-    preds.into_iter().reduce(|a, b| {
-        Expr::Binary(pgq_parser::ast::BinOp::And, Box::new(a), Box::new(b))
-    })
+    preds
+        .into_iter()
+        .reduce(|a, b| Expr::Binary(pgq_parser::ast::BinOp::And, Box::new(a), Box::new(b)))
 }
 
 /// Infer what an `UNWIND` alias denotes from its source expression.
@@ -673,14 +664,16 @@ mod tests {
 
     #[test]
     fn running_example_shape() {
-        let plan = compile(
-            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
-        );
+        let plan =
+            compile("MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t");
         // σ on top, then the transitive expand, path start, and ©.
         let Gra::Select { input, .. } = &plan.body else {
             panic!("expected Select at top, got {:?}", plan.body)
         };
-        let Gra::Expand { input, range, path, .. } = input.as_ref() else {
+        let Gra::Expand {
+            input, range, path, ..
+        } = input.as_ref()
+        else {
             panic!("expected Expand")
         };
         assert!(range.is_some());
@@ -741,8 +734,7 @@ mod tests {
 
     #[test]
     fn nonliteral_varlen_edge_prop_rejected() {
-        let q =
-            parse_query("MATCH (a)-[:R* {w: a.x}]->(b) RETURN b").unwrap();
+        let q = parse_query("MATCH (a)-[:R* {w: a.x}]->(b) RETURN b").unwrap();
         let err = Compiler::default().compile_reading(&q).unwrap_err();
         assert!(matches!(err, AlgebraError::Unsupported(_)));
     }

@@ -124,13 +124,14 @@ impl ScalarExpr {
                 }
             }
             ScalarExpr::PathConcat(a, b) => match (a.eval(tuple)?, b.eval(tuple)?) {
-                (Value::Path(x), Value::Path(y)) => x
-                    .concat(&y)
-                    .map(Value::path)
-                    .ok_or_else(|| CommonError::TypeMismatch {
-                        operation: "path concatenation".into(),
-                        detail: "paths do not share a seam vertex".into(),
-                    }),
+                (Value::Path(x), Value::Path(y)) => {
+                    x.concat(&y)
+                        .map(Value::path)
+                        .ok_or_else(|| CommonError::TypeMismatch {
+                            operation: "path concatenation".into(),
+                            detail: "paths do not share a seam vertex".into(),
+                        })
+                }
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
                 (p, _) => Err(type_err("path concatenation", &p)),
             },
@@ -212,9 +213,7 @@ impl ScalarExpr {
                 Box::new(l.remap_columns(mapping)),
                 Box::new(r.remap_columns(mapping)),
             ),
-            ScalarExpr::Unary(op, e) => {
-                ScalarExpr::Unary(*op, Box::new(e.remap_columns(mapping)))
-            }
+            ScalarExpr::Unary(op, e) => ScalarExpr::Unary(*op, Box::new(e.remap_columns(mapping))),
             ScalarExpr::Func { name, args } => ScalarExpr::Func {
                 name: name.clone(),
                 args: args.iter().map(|a| a.remap_columns(mapping)).collect(),
@@ -236,9 +235,7 @@ impl ScalarExpr {
                 Box::new(b.remap_columns(mapping)),
                 Box::new(i.remap_columns(mapping)),
             ),
-            ScalarExpr::PathSingle(e) => {
-                ScalarExpr::PathSingle(Box::new(e.remap_columns(mapping)))
-            }
+            ScalarExpr::PathSingle(e) => ScalarExpr::PathSingle(Box::new(e.remap_columns(mapping))),
             ScalarExpr::PathExtend(a, b, c) => ScalarExpr::PathExtend(
                 Box::new(a.remap_columns(mapping)),
                 Box::new(b.remap_columns(mapping)),
@@ -281,12 +278,7 @@ fn bool3(v: Option<bool>) -> Value {
     }
 }
 
-fn eval_binary(
-    op: BinOp,
-    l: &ScalarExpr,
-    r: &ScalarExpr,
-    t: &Tuple,
-) -> Result<Value, CommonError> {
+fn eval_binary(op: BinOp, l: &ScalarExpr, r: &ScalarExpr, t: &Tuple) -> Result<Value, CommonError> {
     use BinOp::*;
     // Short-circuiting Kleene logic for AND/OR.
     match op {
@@ -451,9 +443,10 @@ pub fn call_function(name: &str, args: &[Value]) -> Result<Value, CommonError> {
             _ => Err(arity_err()),
         },
         "abs" => match args {
-            [Value::Int(i)] => Ok(Value::Int(i.checked_abs().ok_or(
-                CommonError::ArithmeticOverflow("abs"),
-            )?)),
+            [Value::Int(i)] => Ok(Value::Int(
+                i.checked_abs()
+                    .ok_or(CommonError::ArithmeticOverflow("abs"))?,
+            )),
             [Value::Float(f)] => Ok(Value::float(f.get().abs())),
             [Value::Null] => Ok(Value::Null),
             [v] => Err(type_err("abs()", v)),

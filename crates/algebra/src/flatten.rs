@@ -512,8 +512,7 @@ impl Cx<'_> {
         };
         let right: Fra = match kind {
             Some(VarKind::Node) => {
-                let carry_map =
-                    self.mode == SchemaMode::CarryMaps || self.take_map(var);
+                let carry_map = self.mode == SchemaMode::CarryMaps || self.take_map(var);
                 let props = ensure(self.take_props(var), carry_map);
                 Fra::ScanVertices {
                     var: var.to_string(),
@@ -584,11 +583,7 @@ impl Cx<'_> {
 
     /// Resolve a (rewritten) parser expression to a column-indexed
     /// [`ScalarExpr`] against `schema`.
-    pub(crate) fn resolve(
-        &self,
-        e: &Expr,
-        schema: &[String],
-    ) -> Result<ScalarExpr, AlgebraError> {
+    pub(crate) fn resolve(&self, e: &Expr, schema: &[String]) -> Result<ScalarExpr, AlgebraError> {
         Ok(match e {
             Expr::Literal(v) => ScalarExpr::Lit(v.clone()),
             Expr::Variable(name) => ScalarExpr::Col(pos(schema, name)?),
@@ -660,9 +655,7 @@ impl Cx<'_> {
                     "nested label predicate".into(),
                 ))
             }
-            Expr::Parameter(p) => {
-                return Err(AlgebraError::Unsupported(format!("parameter ${p}")))
-            }
+            Expr::Parameter(p) => return Err(AlgebraError::Unsupported(format!("parameter ${p}"))),
             Expr::PatternPredicate(_) => {
                 return Err(AlgebraError::NotMaintainable(
                     "exists(pattern) nested inside an expression".into(),

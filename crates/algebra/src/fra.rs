@@ -232,7 +232,11 @@ impl Fra {
                 s
             }
             Fra::VarLengthJoin {
-                left, spec, dst, path, ..
+                left,
+                spec,
+                dst,
+                path,
+                ..
             } => {
                 let mut s = left.schema();
                 s.push(dst.clone());

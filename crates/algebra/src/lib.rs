@@ -36,4 +36,6 @@ pub use flatten::SchemaMode;
 pub use fra::Fra;
 pub use gra::{Gra, VarKind};
 pub use nra::Nra;
-pub use pipeline::{compile_bindings, compile_query, compile_query_with, CompiledQuery, CompileOptions};
+pub use pipeline::{
+    compile_bindings, compile_query, compile_query_with, CompileOptions, CompiledQuery,
+};

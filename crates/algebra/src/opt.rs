@@ -124,7 +124,10 @@ fn push_filter(predicate: ScalarExpr, input: Fra) -> Fra {
             *inner,
         ),
         // σ p (π items (x)) → π items (σ p[items] (x)).
-        Fra::Project { input: inner, items } => {
+        Fra::Project {
+            input: inner,
+            items,
+        } => {
             let substituted = substitute(&predicate, &items);
             let pushed = push_filter(fold(substituted), *inner);
             Fra::Project {
@@ -164,9 +167,8 @@ fn push_filter(predicate: ScalarExpr, input: Fra) -> Fra {
                     .iter()
                     .all(|&c| out_to_right.get(c).copied().flatten().is_some())
                 {
-                    let remapped = conj.remap_columns(&|c| {
-                        out_to_right[c].expect("checked right-only")
-                    });
+                    let remapped =
+                        conj.remap_columns(&|c| out_to_right[c].expect("checked right-only"));
                     push_right.push(remapped);
                 } else {
                     stay.push(conj);
@@ -246,7 +248,11 @@ fn push_filter(predicate: ScalarExpr, input: Fra) -> Fra {
             }
         }
         // Conjuncts not touching the unwound column go below ω.
-        Fra::Unwind { input: inner, expr, alias } => {
+        Fra::Unwind {
+            input: inner,
+            expr,
+            alias,
+        } => {
             let inner_arity = inner.schema().len();
             let mut stay = Vec::new();
             let mut below = Vec::new();
@@ -318,9 +324,7 @@ fn substitute(e: &ScalarExpr, items: &[(ScalarExpr, String)]) -> ScalarExpr {
             expr: Box::new(substitute(expr, items)),
             negated: *negated,
         },
-        ScalarExpr::List(xs) => {
-            ScalarExpr::List(xs.iter().map(|a| substitute(a, items)).collect())
-        }
+        ScalarExpr::List(xs) => ScalarExpr::List(xs.iter().map(|a| substitute(a, items)).collect()),
         ScalarExpr::Map(entries) => ScalarExpr::Map(
             entries
                 .iter()
@@ -348,9 +352,10 @@ fn substitute(e: &ScalarExpr, items: &[(ScalarExpr, String)]) -> ScalarExpr {
 fn is_identity(items: &[(ScalarExpr, String)], input: &Fra) -> bool {
     let schema = input.schema();
     items.len() == schema.len()
-        && items.iter().enumerate().all(|(i, (e, name))| {
-            matches!(e, ScalarExpr::Col(c) if *c == i) && name == &schema[i]
-        })
+        && items
+            .iter()
+            .enumerate()
+            .all(|(i, (e, name))| matches!(e, ScalarExpr::Col(c) if *c == i) && name == &schema[i])
 }
 
 /// Fold constant subexpressions (and simplify boolean identities).
@@ -373,9 +378,7 @@ pub fn fold(e: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Map(entries) => {
             ScalarExpr::Map(entries.into_iter().map(|(k, v)| (k, fold(v))).collect())
         }
-        ScalarExpr::Index(b, i) => {
-            ScalarExpr::Index(Box::new(fold(*b)), Box::new(fold(*i)))
-        }
+        ScalarExpr::Index(b, i) => ScalarExpr::Index(Box::new(fold(*b)), Box::new(fold(*i))),
         other => other,
     };
     // Boolean identities.
@@ -450,8 +453,7 @@ mod tests {
     }
 
     fn compile_opt(q: &str) -> crate::fra::Fra {
-        let cq = compile_query_with(&parse_query(q).unwrap(), CompileOptions::default())
-            .unwrap();
+        let cq = compile_query_with(&parse_query(q).unwrap(), CompileOptions::default()).unwrap();
         optimize(cq.fra)
     }
 
@@ -500,18 +502,16 @@ mod tests {
 
     #[test]
     fn cross_side_predicates_stay_above_join() {
-        let plan = compile_opt(
-            "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > b.age RETURN a, b",
-        );
+        let plan =
+            compile_opt("MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > b.age RETURN a, b");
         let (_, elsewhere) = count_filters_above_joins(&plan);
         assert!(elsewhere >= 1, "{}", plan.explain());
     }
 
     #[test]
     fn filter_pushes_below_varlength_left_side() {
-        let plan = compile_opt(
-            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = 'en' RETURN p, t",
-        );
+        let plan =
+            compile_opt("MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = 'en' RETURN p, t");
         // p.lang = 'en' concerns the © side and must sit below the ⋈*.
         fn varlen_left_has_filter(f: &crate::fra::Fra) -> bool {
             use crate::fra::Fra::*;
@@ -520,9 +520,7 @@ mod tests {
                     fn contains_filter(f: &crate::fra::Fra) -> bool {
                         match f {
                             Filter { .. } => true,
-                            Project { input, .. } | Distinct { input } => {
-                                contains_filter(input)
-                            }
+                            Project { input, .. } | Distinct { input } => contains_filter(input),
                             _ => false,
                         }
                     }
@@ -565,8 +563,7 @@ mod tests {
             "MATCH (p:Post) RETURN p.lang AS l, count(*) AS n",
         ] {
             let cq =
-                compile_query_with(&parse_query(q).unwrap(), CompileOptions::default())
-                    .unwrap();
+                compile_query_with(&parse_query(q).unwrap(), CompileOptions::default()).unwrap();
             let before = cq.fra.schema();
             let after = optimize(cq.fra).schema();
             assert_eq!(before, after, "{q}");

@@ -237,17 +237,14 @@ fn resolve_over_output(e: &Expr, columns: &[String]) -> Result<ScalarExpr, Algeb
     fn go(e: &Expr, columns: &[String]) -> Result<ScalarExpr, AlgebraError> {
         Ok(match e {
             Expr::Literal(v) => ScalarExpr::Lit(v.clone()),
-            Expr::Variable(name) => ScalarExpr::Col(
-                columns
-                    .iter()
-                    .position(|c| c == name)
-                    .ok_or_else(|| {
-                        AlgebraError::Unsupported(format!(
-                            "ORDER BY expression references `{name}`, which is not a \
+            Expr::Variable(name) => {
+                ScalarExpr::Col(columns.iter().position(|c| c == name).ok_or_else(|| {
+                    AlgebraError::Unsupported(format!(
+                        "ORDER BY expression references `{name}`, which is not a \
                              returned column"
-                        ))
-                    })?,
-            ),
+                    ))
+                })?)
+            }
             Expr::Property(base, key) => {
                 // Allow `alias.prop` only when the *textual* name is a
                 // returned column (e.g. RETURN n.len ... ORDER BY n.len).
@@ -260,11 +257,9 @@ fn resolve_over_output(e: &Expr, columns: &[String]) -> Result<ScalarExpr, Algeb
                     )));
                 }
             }
-            Expr::Binary(op, l, r) => ScalarExpr::Binary(
-                *op,
-                Box::new(go(l, columns)?),
-                Box::new(go(r, columns)?),
-            ),
+            Expr::Binary(op, l, r) => {
+                ScalarExpr::Binary(*op, Box::new(go(l, columns)?), Box::new(go(r, columns)?))
+            }
             Expr::Unary(op, x) => ScalarExpr::Unary(*op, Box::new(go(x, columns)?)),
             Expr::Function {
                 name,
@@ -299,9 +294,8 @@ mod tests {
 
     #[test]
     fn running_example_compiles_end_to_end() {
-        let cq = compile(
-            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
-        );
+        let cq =
+            compile("MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t");
         assert_eq!(cq.columns, vec!["p".to_string(), "t".to_string()]);
         assert!(cq.is_maintainable());
         // FRA must contain a variable-length join and two pushed props.
@@ -325,9 +319,7 @@ mod tests {
         let cq = compile("MATCH (p:Post) WHERE p.lang = 'en' RETURN p");
         fn scan_props(f: &Fra) -> Vec<String> {
             match f {
-                Fra::ScanVertices { props, .. } => {
-                    props.iter().map(|p| p.col.clone()).collect()
-                }
+                Fra::ScanVertices { props, .. } => props.iter().map(|p| p.col.clone()).collect(),
                 Fra::HashJoin { left, right, .. } => {
                     let mut v = scan_props(left);
                     v.extend(scan_props(right));
@@ -438,9 +430,8 @@ mod tests {
     #[test]
     fn unwind_path_nodes_with_props() {
         // Property access on an UNWIND alias forces an auxiliary scan join.
-        let cq = compile(
-            "MATCH t = (a:Post)-[:REPLY*]->(b:Comm) UNWIND nodes(t) AS n RETURN n.lang",
-        );
+        let cq =
+            compile("MATCH t = (a:Post)-[:REPLY*]->(b:Comm) UNWIND nodes(t) AS n RETURN n.lang");
         assert_eq!(cq.columns, vec!["n.lang".to_string()]);
     }
 

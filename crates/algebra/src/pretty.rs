@@ -204,11 +204,7 @@ impl fmt::Display for Nra {
                     Some(t) => format!("{t}≪"),
                     None => format!("path={path_col}"),
                 };
-                write!(
-                    f,
-                    "({left} ⋈*[{path_note}] {})",
-                    edges.render(Some(range))
-                )
+                write!(f, "({left} ⋈*[{path_note}] {})", edges.render(Some(range)))
             }
             Nra::PathStart { input, node, path } => {
                 write!(f, "ι[{path} = ⟨{node}⟩] ({input})")
@@ -259,10 +255,7 @@ impl fmt::Display for Nra {
 /// Render a scalar expression substituting column names from `schema`.
 pub fn render_expr(e: &ScalarExpr, schema: &[String]) -> String {
     match e {
-        ScalarExpr::Col(i) => schema
-            .get(*i)
-            .cloned()
-            .unwrap_or_else(|| format!("#{i}")),
+        ScalarExpr::Col(i) => schema.get(*i).cloned().unwrap_or_else(|| format!("#{i}")),
         ScalarExpr::Lit(v) => v.to_string(),
         ScalarExpr::Binary(op, l, r) => format!(
             "({} {op} {})",
@@ -425,11 +418,7 @@ impl Fra {
                     .map(|&i| ls[i].clone())
                     .collect::<Vec<_>>()
                     .join(", ");
-                let _ = writeln!(
-                    out,
-                    "{pad}{}[{keys}]",
-                    if *anti { "▷" } else { "⋉" }
-                );
+                let _ = writeln!(out, "{pad}{}[{keys}]", if *anti { "▷" } else { "⋉" });
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
@@ -455,11 +444,7 @@ impl Fra {
                 left.explain_into(out, depth + 1);
             }
             Fra::Filter { input, predicate } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}σ[{}]",
-                    render_expr(predicate, &input.schema())
-                );
+                let _ = writeln!(out, "{pad}σ[{}]", render_expr(predicate, &input.schema()));
                 input.explain_into(out, depth + 1);
             }
             Fra::Project { input, items } => {

@@ -86,9 +86,7 @@ impl Cx<'_> {
                         left: Box::new(left),
                         right: Box::new(Nra::GetEdges(ge)),
                         path_append: match path {
-                            PathMode::Append(t) => {
-                                Some((t.clone(), edge.clone(), dst.clone()))
-                            }
+                            PathMode::Append(t) => Some((t.clone(), edge.clone(), dst.clone())),
                             PathMode::None => None,
                             other => {
                                 return Err(AlgebraError::InvalidQuery(format!(
@@ -357,9 +355,7 @@ mod tests {
                 | Nra::Aggregate { input, .. }
                 | Nra::Unwind { input, .. }
                 | Nra::PathStart { input, .. } => count_unnests(input),
-                Nra::NaturalJoin { left, right, .. } => {
-                    count_unnests(left) + count_unnests(right)
-                }
+                Nra::NaturalJoin { left, right, .. } => count_unnests(left) + count_unnests(right),
                 Nra::TransitiveJoin { left, .. } => count_unnests(left),
                 _ => 0,
             }

@@ -19,7 +19,10 @@ fn bench_ablation(c: &mut Criterion) {
         ("pushdown", SchemaMode::Inferred),
         ("carry_maps", SchemaMode::CarryMaps),
     ] {
-        let options = CompileOptions { schema_mode: mode, ..CompileOptions::default() };
+        let options = CompileOptions {
+            schema_mode: mode,
+            ..CompileOptions::default()
+        };
         let mut engine = GraphEngine::from_graph(net.graph.clone());
         engine
             .register_view_with("threads", sq::SAME_LANG_THREAD, options)
@@ -36,21 +39,17 @@ fn bench_ablation(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
-        group.bench_with_input(
-            BenchmarkId::new("build", label),
-            &net.graph,
-            |b, graph| {
-                b.iter_batched(
-                    || GraphEngine::from_graph(graph.clone()),
-                    |mut e| {
-                        e.register_view_with("threads", sq::SAME_LANG_THREAD, options)
-                            .unwrap();
-                        e
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("build", label), &net.graph, |b, graph| {
+            b.iter_batched(
+                || GraphEngine::from_graph(graph.clone()),
+                |mut e| {
+                    e.register_view_with("threads", sq::SAME_LANG_THREAD, options)
+                        .unwrap();
+                    e
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }

@@ -39,9 +39,7 @@ fn bench_memory(c: &mut Criterion) {
                 BenchmarkId::new(format!("one_recompute/{name}"), 1u32 << k),
                 &rw.graph,
                 |b, graph| {
-                    b.iter(|| {
-                        criterion::black_box(evaluate_consolidated(&compiled.fra, graph))
-                    })
+                    b.iter(|| criterion::black_box(evaluate_consolidated(&compiled.fra, graph)))
                 },
             );
         }

@@ -51,20 +51,16 @@ fn bench_social(c: &mut Criterion) {
         });
 
         // Initial view build (the IVM's upfront cost).
-        group.bench_with_input(
-            BenchmarkId::new("ivm_build", sf),
-            &net.graph,
-            |b, graph| {
-                b.iter_batched(
-                    || GraphEngine::from_graph(graph.clone()),
-                    |mut e| {
-                        e.register_view("threads", sq::SAME_LANG_THREAD).unwrap();
-                        e
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ivm_build", sf), &net.graph, |b, graph| {
+            b.iter_batched(
+                || GraphEngine::from_graph(graph.clone()),
+                |mut e| {
+                    e.register_view("threads", sq::SAME_LANG_THREAD).unwrap();
+                    e
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
 }

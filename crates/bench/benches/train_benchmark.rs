@@ -55,10 +55,7 @@ fn bench_train(c: &mut Criterion) {
                         |mut g| {
                             for tx in stream {
                                 g.apply(tx).unwrap();
-                                criterion::black_box(evaluate_consolidated(
-                                    &compiled.fra,
-                                    &g,
-                                ));
+                                criterion::black_box(evaluate_consolidated(&compiled.fra, &g));
                             }
                             g
                         },

@@ -26,21 +26,24 @@ fn bench_transitive(c: &mut Criterion) {
             let data = tree.graph.edge(edge).unwrap().clone();
             let mut engine = GraphEngine::from_graph(tree.graph.clone());
             engine.register_view("t", EXAMPLE_QUERY).unwrap();
-            group.bench_function(BenchmarkId::new(format!("ivm_churn/{which}"), &label), |b| {
-                b.iter_batched(
-                    || engine.clone(),
-                    |mut e| {
-                        let mut tx = Transaction::new();
-                        tx.delete_edge(edge);
-                        e.apply(&tx).unwrap();
-                        let mut tx = Transaction::new();
-                        tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
-                        e.apply(&tx).unwrap();
-                        e
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            });
+            group.bench_function(
+                BenchmarkId::new(format!("ivm_churn/{which}"), &label),
+                |b| {
+                    b.iter_batched(
+                        || engine.clone(),
+                        |mut e| {
+                            let mut tx = Transaction::new();
+                            tx.delete_edge(edge);
+                            e.apply(&tx).unwrap();
+                            let mut tx = Transaction::new();
+                            tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
+                            e.apply(&tx).unwrap();
+                            e
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
         }
 
         let compiled = compile(EXAMPLE_QUERY, CompileOptions::default());

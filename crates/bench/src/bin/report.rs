@@ -22,7 +22,11 @@ fn main() {
     println!(
         "mode: {} (debug assertions {})\n",
         if quick { "quick" } else { "full" },
-        if cfg!(debug_assertions) { "ON — use --release!" } else { "off" }
+        if cfg!(debug_assertions) {
+            "ON — use --release!"
+        } else {
+            "off"
+        }
     );
     e5_train_benchmark(quick);
     e6_social(quick);
@@ -61,8 +65,7 @@ fn e5_train_benchmark(quick: bool) {
         let stream = rw.fault_stream(stream_len);
         for (name, q) in queries {
             let qs = [(name, q)];
-            let (_, ivm, engine) =
-                run_ivm(&rw.graph, &qs, CompileOptions::default(), &stream);
+            let (_, ivm, engine) = run_ivm(&rw.graph, &qs, CompileOptions::default(), &stream);
             check_agreement(&engine, &qs);
             let compiled = [compile(q, CompileOptions::default())];
             let (_, rec) = run_recompute(&rw.graph, &compiled, &stream);
@@ -83,7 +86,11 @@ fn e5_train_benchmark(quick: bool) {
 /// E6: social stream, the paper's thread query under churn.
 fn e6_social(quick: bool) {
     println!("## T-E6 — social network stream (LDBC SNB shape)\n");
-    let sfs: &[f64] = if quick { &[0.1, 0.25] } else { &[0.1, 0.25, 0.5, 1.0, 2.0] };
+    let sfs: &[f64] = if quick {
+        &[0.1, 0.25]
+    } else {
+        &[0.1, 0.25, 0.5, 1.0, 2.0]
+    };
     let stream_len = if quick { 50 } else { 200 };
     let mut table = Table::new(&[
         "scale factor",
@@ -99,8 +106,7 @@ fn e6_social(quick: bool) {
         let mut net = generate_social(SocialParams::scale(sf, 42));
         let stream = net.update_stream(stream_len, (4, 2, 3, 1));
         let qs = [("threads", sq::SAME_LANG_THREAD)];
-        let (build, ivm, engine) =
-            run_ivm(&net.graph, &qs, CompileOptions::default(), &stream);
+        let (build, ivm, engine) = run_ivm(&net.graph, &qs, CompileOptions::default(), &stream);
         check_agreement(&engine, &qs);
         let compiled = [compile(sq::SAME_LANG_THREAD, CompileOptions::default())];
         let (_, rec) = run_recompute(&net.graph, &compiled, &stream);
@@ -207,7 +213,9 @@ fn e8_fgn(quick: bool) {
     // posts with their incident edges re-attached.
     let coarse_time = {
         let mut engine = GraphEngine::from_graph(net.graph.clone());
-        engine.register_view("threads", sq::SAME_LANG_THREAD).unwrap();
+        engine
+            .register_view("threads", sq::SAME_LANG_THREAD)
+            .unwrap();
         let posts = net.posts.clone();
         let t0 = std::time::Instant::now();
         for (i, &p) in posts.iter().take(n).enumerate() {
@@ -227,10 +235,7 @@ fn e8_fgn(quick: bool) {
             let mut tx = Transaction::new();
             tx.delete_vertex(p, true);
             let mut props = data.props.clone();
-            props.set(
-                Symbol::intern("lang"),
-                Value::str(["en", "de"][i % 2]),
-            );
+            props.set(Symbol::intern("lang"), Value::str(["en", "de"][i % 2]));
             let nv = tx.create_vertex(data.labels.iter().copied(), props);
             for e in out {
                 tx.create_edge(nv, e.dst, e.ty, e.props.clone());
@@ -283,18 +288,14 @@ fn e9_memory(quick: bool) {
             ("SegmentReach", rq::SEGMENT_REACH),
         ] {
             let qs = [(name, q)];
-            let (build, _, engine) =
-                run_ivm(&rw.graph, &qs, CompileOptions::default(), &[]);
+            let (build, _, engine) = run_ivm(&rw.graph, &qs, CompileOptions::default(), &[]);
             let id = engine.view_by_name(name).unwrap();
             let view = engine.view(id).unwrap();
             let compiled = [compile(q, CompileOptions::default())];
             let (first, _) = run_recompute(&rw.graph, &compiled, &[]);
             table.row(vec![
                 format!("{}", 1u32 << k),
-                format!(
-                    "{}",
-                    rw.graph.vertex_count() + rw.graph.edge_count()
-                ),
+                format!("{}", rw.graph.vertex_count() + rw.graph.edge_count()),
                 name.to_string(),
                 format!("{}", view.row_count()),
                 format!("{}", view.memory_tuples()),
@@ -322,9 +323,15 @@ fn e10_ablation(quick: bool) {
     ]);
     for (label, mode) in [
         ("inferred schema (push-down, paper)", SchemaMode::Inferred),
-        ("carry whole property maps (ablation)", SchemaMode::CarryMaps),
+        (
+            "carry whole property maps (ablation)",
+            SchemaMode::CarryMaps,
+        ),
     ] {
-        let options = CompileOptions { schema_mode: mode, ..CompileOptions::default() };
+        let options = CompileOptions {
+            schema_mode: mode,
+            ..CompileOptions::default()
+        };
         let qs = [("threads", sq::SAME_LANG_THREAD)];
         let (build, ivm, engine) = run_ivm(&net.graph, &qs, options, &retags);
         check_agreement(&engine, &qs);
@@ -349,15 +356,13 @@ fn e11_optimizer(quick: bool) {
     let n = if quick { 50 } else { 200 };
     let stream = net.update_stream(n, (4, 2, 3, 1));
     let q = "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = 'en' AND p.lang = c.lang RETURN p, t";
-    let mut table = Table::new(&[
-        "plan",
-        "IVM memory tuples",
-        "IVM build",
-        "IVM µs/tx",
-    ]);
+    let mut table = Table::new(&["plan", "IVM memory tuples", "IVM build", "IVM µs/tx"]);
     for (label, options) in [
         ("unoptimised (paper pipeline)", CompileOptions::default()),
-        ("optimised (push-down + folding)", CompileOptions::optimized()),
+        (
+            "optimised (push-down + folding)",
+            CompileOptions::optimized(),
+        ),
     ] {
         let qs = [("sel-threads", q)];
         let (build, ivm, engine) = run_ivm(&net.graph, &qs, options, &stream);

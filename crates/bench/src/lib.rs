@@ -195,8 +195,7 @@ mod tests {
         let mut rw = generate_railway(RailwayParams::size(2, 1));
         let stream = rw.fault_stream(20);
         let qs = [("PosLength", queries::POS_LENGTH)];
-        let (_, ivm, engine) =
-            run_ivm(&rw.graph, &qs, CompileOptions::default(), &stream);
+        let (_, ivm, engine) = run_ivm(&rw.graph, &qs, CompileOptions::default(), &stream);
         check_agreement(&engine, &qs);
         let compiled = [compile(queries::POS_LENGTH, CompileOptions::default())];
         let (_, rec) = run_recompute(&rw.graph, &compiled, &stream);

@@ -171,7 +171,9 @@ mod tests {
 
     #[test]
     fn extend_builds_alternation() {
-        let p = PathValue::single(v(1)).extend(e(10), v(2)).extend(e(11), v(3));
+        let p = PathValue::single(v(1))
+            .extend(e(10), v(2))
+            .extend(e(11), v(3));
         assert_eq!(p.len(), 2);
         assert_eq!(p.vertices(), &[v(1), v(2), v(3)]);
         assert_eq!(p.edges(), &[e(10), e(11)]);
@@ -202,7 +204,9 @@ mod tests {
 
     #[test]
     fn edge_distinctness() {
-        let ok = PathValue::single(v(1)).extend(e(1), v(2)).extend(e(2), v(1));
+        let ok = PathValue::single(v(1))
+            .extend(e(1), v(2))
+            .extend(e(2), v(1));
         assert!(ok.edges_distinct());
         let bad = PathValue::new(vec![v(1), v(2), v(1)], vec![e(1), e(1)]);
         assert!(!bad.edges_distinct());

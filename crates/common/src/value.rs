@@ -349,7 +349,9 @@ impl Value {
         use Value::*;
         match (self, other) {
             (Null, _) | (_, Null) => Ok(Null),
-            (Int(a), Int(b)) => Ok(Int(int_op(*a, *b).ok_or(CommonError::ArithmeticOverflow(op))?)),
+            (Int(a), Int(b)) => Ok(Int(
+                int_op(*a, *b).ok_or(CommonError::ArithmeticOverflow(op))?
+            )),
             _ => {
                 let (a, b) = self.both_f64(other, op)?;
                 Ok(Value::float(float_op(a, b)))
@@ -458,10 +460,7 @@ mod tests {
         assert_eq!(Value::Null.to_string(), "null");
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::str("en").to_string(), "'en'");
-        assert_eq!(
-            Value::list(vec![1.into(), 2.into()]).to_string(),
-            "[1, 2]"
-        );
+        assert_eq!(Value::list(vec![1.into(), 2.into()]).to_string(), "[1, 2]");
         assert_eq!(
             Value::map([("a".to_string(), Value::Int(1))]).to_string(),
             "{a: 1}"
@@ -493,10 +492,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(
-            Value::Int(2).add(&Value::Int(3)).unwrap(),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
         assert_eq!(
             Value::Int(2).add(&Value::float(0.5)).unwrap(),
             Value::float(2.5)
@@ -539,10 +535,12 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types_and_sorts_null_last() {
-        let mut vals = [Value::Null,
+        let mut vals = [
+            Value::Null,
             Value::Int(1),
             Value::str("x"),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals.last().unwrap(), &Value::Null);
         assert_eq!(vals[0], Value::str("x"));

@@ -1,8 +1,6 @@
 //! The `GraphEngine` façade: graph + views + openCypher execution.
 
-use pgq_algebra::pipeline::{
-    compile_bindings, compile_query_with, CompileOptions, CompiledQuery,
-};
+use pgq_algebra::pipeline::{compile_bindings, compile_query_with, CompileOptions, CompiledQuery};
 use pgq_common::intern::Symbol;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
@@ -123,9 +121,8 @@ impl GraphEngine {
             let mut notification: Option<ViewDelta> = None;
             for (sid, callback) in &mut self.subscribers {
                 if *sid == id {
-                    let vd = notification.get_or_insert_with(|| {
-                        ViewDelta::from_delta(entry.view.name(), &delta)
-                    });
+                    let vd = notification
+                        .get_or_insert_with(|| ViewDelta::from_delta(entry.view.name(), &delta));
                     callback(vd);
                 }
             }
@@ -271,10 +268,7 @@ impl GraphEngine {
     /// script is parsed up-front (a syntax error executes nothing); at
     /// runtime the atomicity unit is the statement, as in cypher-shell —
     /// statements before a failing one stay committed.
-    pub fn execute_script(
-        &mut self,
-        script: &str,
-    ) -> Result<Vec<ExecutionResult>, EngineError> {
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<ExecutionResult>, EngineError> {
         let queries = pgq_parser::parse_script(script)?;
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
@@ -395,9 +389,7 @@ impl UpdatePlan {
         let mut items: Vec<(Expr, String)> = Vec::new();
         let mut exprs = 0usize;
         let need_var = |items: &mut Vec<(Expr, String)>, v: &str| {
-            if bound_vars.iter().any(|b| b == v)
-                && !items.iter().any(|(_, n)| n == v)
-            {
+            if bound_vars.iter().any(|b| b == v) && !items.iter().any(|(_, n)| n == v) {
                 items.push((Expr::Variable(v.to_string()), v.to_string()));
             }
         };
@@ -414,8 +406,7 @@ impl UpdatePlan {
             match clause {
                 Clause::Create(pattern) => {
                     for p in &pattern.paths {
-                        for node in std::iter::once(&p.start)
-                            .chain(p.steps.iter().map(|(_, n)| n))
+                        for node in std::iter::once(&p.start).chain(p.steps.iter().map(|(_, n)| n))
                         {
                             if let Some(v) = &node.variable {
                                 if bound_vars.iter().any(|b| b == v) {
@@ -462,9 +453,7 @@ impl UpdatePlan {
                                     need_var(&mut items, &v);
                                 }
                             }
-                            SetItem::Labels { variable, .. } => {
-                                need_var(&mut items, variable)
-                            }
+                            SetItem::Labels { variable, .. } => need_var(&mut items, variable),
                         }
                     }
                 }
@@ -472,9 +461,7 @@ impl UpdatePlan {
                     for item in removes {
                         match item {
                             RemoveItem::Property { variable, .. }
-                            | RemoveItem::Labels { variable, .. } => {
-                                need_var(&mut items, variable)
-                            }
+                            | RemoveItem::Labels { variable, .. } => need_var(&mut items, variable),
                         }
                     }
                 }
@@ -497,8 +484,7 @@ impl UpdatePlan {
                 }
                 Clause::Create(pattern) => {
                     for p in &pattern.paths {
-                        for node in std::iter::once(&p.start)
-                            .chain(p.steps.iter().map(|(_, n)| n))
+                        for node in std::iter::once(&p.start).chain(p.steps.iter().map(|(_, n)| n))
                         {
                             for (_, e) in &node.props {
                                 if !matches!(e, Expr::Literal(_)) {
@@ -544,14 +530,10 @@ impl UpdatePlan {
         } else {
             (Vec::new(), vec![Tuple::unit()])
         };
-        let col =
-            |name: &str| -> Option<usize> { columns.iter().position(|c| c == name) };
+        let col = |name: &str| -> Option<usize> { columns.iter().position(|c| c == name) };
         // Column index for a projected value expression.
-        let expr_col = |e: &Expr| -> Option<usize> {
-            self.items
-                .iter()
-                .position(|(ie, _)| ie == e)
-        };
+        let expr_col =
+            |e: &Expr| -> Option<usize> { self.items.iter().position(|(ie, _)| ie == e) };
 
         let mut tx = Transaction::new();
         let mut stats = UpdateStats::default();
@@ -562,9 +544,7 @@ impl UpdatePlan {
             match clause {
                 Clause::Create(pattern) => {
                     for row in &rows {
-                        self.create_pattern(
-                            pattern, row, &columns, &mut tx, &mut stats, expr_col,
-                        )?;
+                        self.create_pattern(pattern, row, &columns, &mut tx, &mut stats, expr_col)?;
                     }
                 }
                 Clause::Delete { detach, exprs } => {
@@ -635,12 +615,10 @@ impl UpdatePlan {
                                         }
                                         Value::Null => {}
                                         other => {
-                                            return Err(EngineError::Unsupported(
-                                                format!(
-                                                    "SET on a {} value",
-                                                    other.type_name()
-                                                ),
-                                            ))
+                                            return Err(EngineError::Unsupported(format!(
+                                                "SET on a {} value",
+                                                other.type_name()
+                                            )))
                                         }
                                     }
                                 }
@@ -739,9 +717,7 @@ impl UpdatePlan {
         let mut local: Vec<(String, NodeRef)> = Vec::new();
         for path in &pattern.paths {
             if path.variable.is_some() {
-                return Err(EngineError::Unsupported(
-                    "named paths in CREATE".into(),
-                ));
+                return Err(EngineError::Unsupported("named paths in CREATE".into()));
             }
             let mut resolve_node = |node: &pgq_parser::ast::NodePattern,
                                     tx: &mut Transaction,
@@ -762,8 +738,7 @@ impl UpdatePlan {
                         return Ok(r);
                     }
                 }
-                let labels: Vec<Symbol> =
-                    node.labels.iter().map(|l| Symbol::intern(l)).collect();
+                let labels: Vec<Symbol> = node.labels.iter().map(|l| Symbol::intern(l)).collect();
                 let props = eval_props(&node.props)?;
                 let r = tx.create_vertex(labels, props);
                 stats.nodes_created += 1;

@@ -132,10 +132,7 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
                 .collect();
             let mut index: FxHashMap<Tuple, Vec<(Tuple, i64)>> = FxHashMap::default();
             for (t, m) in r {
-                index
-                    .entry(t.project(right_keys))
-                    .or_default()
-                    .push((t, m));
+                index.entry(t.project(right_keys)).or_default().push((t, m));
             }
             let mut out = Vec::new();
             for (lt, lm) in l {
@@ -163,7 +160,10 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
             // Enumerate per distinct source, then fan out to left rows.
             let mut by_src: FxHashMap<Value, Vec<(Tuple, i64)>> = FxHashMap::default();
             for (t, m) in l {
-                by_src.entry(t.get(*src_col).clone()).or_default().push((t, m));
+                by_src
+                    .entry(t.get(*src_col).clone())
+                    .or_default()
+                    .push((t, m));
             }
             for (srcv, rows) in by_src {
                 let Some(src) = srcv.as_node() else { continue };
@@ -205,11 +205,7 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
             }
             l.into_iter()
                 .filter(|(t, _)| {
-                    let positive = support
-                        .get(&t.project(left_keys))
-                        .copied()
-                        .unwrap_or(0)
-                        > 0;
+                    let positive = support.get(&t.project(left_keys)).copied().unwrap_or(0) > 0;
                     positive != *anti
                 })
                 .collect()
@@ -238,9 +234,7 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
                 .map(|(t, _)| (t, 1))
                 .collect()
         }
-        Fra::Aggregate { input, group, aggs } => {
-            aggregate_bag(evaluate(input, g), group, aggs)
-        }
+        Fra::Aggregate { input, group, aggs } => aggregate_bag(evaluate(input, g), group, aggs),
         Fra::Unwind { input, expr, .. } => {
             let mut out = Vec::new();
             for (t, m) in evaluate(input, g) {
@@ -255,11 +249,7 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
     }
 }
 
-fn aggregate_bag(
-    input: Bag,
-    group: &[(ScalarExpr, String)],
-    aggs: &[(AggCall, String)],
-) -> Bag {
+fn aggregate_bag(input: Bag, group: &[(ScalarExpr, String)], aggs: &[(AggCall, String)]) -> Bag {
     struct Acc {
         rows: i64,
         values: Vec<Vec<Value>>, // per agg: raw arg values (mult-expanded)

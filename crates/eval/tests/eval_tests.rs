@@ -78,9 +78,7 @@ fn order_by_nulls_last() {
 #[test]
 fn aggregates_one_shot() {
     let g = fixture();
-    let cq = compile(
-        "MATCH (p:Post) RETURN p.lang AS l, count(*) AS c, sum(p.len) AS s",
-    );
+    let cq = compile("MATCH (p:Post) RETURN p.lang AS l, count(*) AS c, sum(p.len) AS s");
     let mut got = evaluate_consolidated(&cq.fra, &g);
     got.sort_by(|a, b| a.0.get(0).total_cmp(b.0.get(0)));
     assert_eq!(got.len(), 2);
@@ -107,15 +105,13 @@ fn varlength_bag_multiplicity() {
     let mut g = PropertyGraph::new();
     let ids: Vec<_> = (1..=4)
         .map(|x| {
-            g.add_vertex(
-                [s("D")],
-                Properties::from_iter([("x", Value::Int(x))]),
-            )
-            .0
+            g.add_vertex([s("D")], Properties::from_iter([("x", Value::Int(x))]))
+                .0
         })
         .collect();
     for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
-        g.add_edge(ids[a], ids[b], s("R"), Properties::new()).unwrap();
+        g.add_edge(ids[a], ids[b], s("R"), Properties::new())
+            .unwrap();
     }
     let cq = compile("MATCH (a:D {x: 1})-[:R*2]->(b) RETURN b.x");
     let got = evaluate_consolidated(&cq.fra, &g);

@@ -115,8 +115,14 @@ fn decode_value(s: &str, line: usize) -> Result<Value, CsvError> {
         .ok_or_else(|| err(format!("untagged value {s:?}")))?;
     Ok(match tag {
         "i" => Value::Int(rest.parse().map_err(|_| err(format!("bad int {rest:?}")))?),
-        "f" => Value::float(rest.parse().map_err(|_| err(format!("bad float {rest:?}")))?),
-        "b" => Value::Bool(rest.parse().map_err(|_| err(format!("bad bool {rest:?}")))?),
+        "f" => Value::float(
+            rest.parse()
+                .map_err(|_| err(format!("bad float {rest:?}")))?,
+        ),
+        "b" => Value::Bool(
+            rest.parse()
+                .map_err(|_| err(format!("bad bool {rest:?}")))?,
+        ),
         "s" => Value::str(unescape(rest).map_err(err)?),
         _ => return Err(err(format!("unknown tag {tag:?}"))),
     })
@@ -163,7 +169,13 @@ pub fn to_text(g: &PropertyGraph) -> Result<String, CsvError> {
             .map(|l| escape(&l.resolve()))
             .collect::<Vec<_>>()
             .join(";");
-        let _ = writeln!(out, "V|{}|{}|{}", v.raw(), labels, encode_props(&data.props)?);
+        let _ = writeln!(
+            out,
+            "V|{}|{}|{}",
+            v.raw(),
+            labels,
+            encode_props(&data.props)?
+        );
     }
     let mut eids: Vec<EdgeId> = g.edge_ids().collect();
     eids.sort_unstable();
@@ -280,8 +292,13 @@ mod tests {
             [sym("Comm"), sym("Msg")],
             Properties::from_iter([("score", Value::float(1.5))]),
         );
-        g.add_edge(a, b, sym("REPLY"), Properties::from_iter([("w", Value::Bool(true))]))
-            .unwrap();
+        g.add_edge(
+            a,
+            b,
+            sym("REPLY"),
+            Properties::from_iter([("w", Value::Bool(true))]),
+        )
+        .unwrap();
         g
     }
 

@@ -52,7 +52,11 @@ impl GraphStats {
             label_counts,
             type_counts,
             max_out_degree: max_out,
-            avg_out_degree: if n == 0 { 0.0 } else { total_out as f64 / n as f64 },
+            avg_out_degree: if n == 0 {
+                0.0
+            } else {
+                total_out as f64 / n as f64
+            },
         }
     }
 }

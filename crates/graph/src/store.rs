@@ -275,7 +275,15 @@ impl PropertyGraph {
         props: Properties,
     ) {
         self.index.add_edge(id, src, dst, ty);
-        self.edges.insert(id, EdgeData { src, dst, ty, props });
+        self.edges.insert(
+            id,
+            EdgeData {
+                src,
+                dst,
+                ty,
+                props,
+            },
+        );
         self.next_edge = self.next_edge.max(id.0 + 1);
     }
 
@@ -313,7 +321,10 @@ impl PropertyGraph {
         key: Symbol,
         value: Value,
     ) -> Result<ChangeEvent, GraphError> {
-        let data = self.edges.get_mut(&id).ok_or(GraphError::EdgeNotFound(id))?;
+        let data = self
+            .edges
+            .get_mut(&id)
+            .ok_or(GraphError::EdgeNotFound(id))?;
         let old = data.props.set(key, value.clone()).unwrap_or(Value::Null);
         Ok(ChangeEvent::EdgePropChanged {
             id,
@@ -426,7 +437,10 @@ mod tests {
         let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
         let (e, _) = g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
 
-        assert_eq!(g.remove_vertex(a, false), Err(GraphError::VertexHasEdges(a)));
+        assert_eq!(
+            g.remove_vertex(a, false),
+            Err(GraphError::VertexHasEdges(a))
+        );
         let evs = g.remove_vertex(a, true).unwrap();
         // Edge removal precedes vertex removal.
         assert!(matches!(evs[0], ChangeEvent::EdgeRemoved { id, .. } if id == e));
@@ -461,7 +475,13 @@ mod tests {
         // Setting Null removes.
         let ev = g.set_vertex_prop(v, sym("lang"), Value::Null).unwrap();
         assert_eq!(g.vertex_prop(v, sym("lang")), Value::Null);
-        assert!(matches!(ev, ChangeEvent::VertexPropChanged { new: Value::Null, .. }));
+        assert!(matches!(
+            ev,
+            ChangeEvent::VertexPropChanged {
+                new: Value::Null,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -228,17 +228,10 @@ enum Undo {
 }
 
 impl PropertyGraph {
-    fn resolve(
-        &self,
-        r: NodeRef,
-        created: &[VertexId],
-    ) -> Result<VertexId, GraphError> {
+    fn resolve(&self, r: NodeRef, created: &[VertexId]) -> Result<VertexId, GraphError> {
         match r {
             NodeRef::Existing(v) => Ok(v),
-            NodeRef::New(i) => created
-                .get(i)
-                .copied()
-                .ok_or(GraphError::BadNodeRef(i)),
+            NodeRef::New(i) => created.get(i).copied().ok_or(GraphError::BadNodeRef(i)),
         }
     }
 
@@ -258,7 +251,12 @@ impl PropertyGraph {
                         undo.push(Undo::RemoveVertex(id));
                         events.push(ev);
                     }
-                    TxOp::CreateEdge { src, dst, ty, props } => {
+                    TxOp::CreateEdge {
+                        src,
+                        dst,
+                        ty,
+                        props,
+                    } => {
                         let s = self.resolve(*src, &created)?;
                         let d = self.resolve(*dst, &created)?;
                         let (id, ev) = self.add_edge(s, d, *ty, props.clone())?;

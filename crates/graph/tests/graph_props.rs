@@ -19,7 +19,8 @@ fn atom() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite & roundtrip-stable", |f| f.is_finite())
+        any::<f64>()
+            .prop_filter("finite & roundtrip-stable", |f| f.is_finite())
             .prop_map(Value::float),
         "[ -~]{0,12}".prop_map(Value::str), // printable ASCII incl. delimiters
     ]
@@ -43,17 +44,15 @@ fn graph_strategy() -> impl Strategy<Value = PropertyGraph> {
             let mut ids = Vec::new();
             for (ls, props) in vertices {
                 let lset: Vec<Symbol> = ls.iter().map(|&i| s(labels[i])).collect();
-                let pset: Properties = props
-                    .into_iter()
-                    .map(|(k, v)| (keys[k], v))
-                    .collect();
+                let pset: Properties = props.into_iter().map(|(k, v)| (keys[k], v)).collect();
                 ids.push(g.add_vertex(lset, pset).0);
             }
             if !ids.is_empty() {
                 for (a, b, t) in edges {
                     let src = ids[a % ids.len()];
                     let dst = ids[b % ids.len()];
-                    g.add_edge(src, dst, s(types[t]), Properties::new()).unwrap();
+                    g.add_edge(src, dst, s(types[t]), Properties::new())
+                        .unwrap();
                 }
             }
             g

@@ -186,11 +186,9 @@ fn read_state(state: &AggState, call: &AggCall) -> Value {
                 Value::float(vals.iter().sum::<f64>() / vals.len() as f64)
             }
         }
-        (AggState::Multiset(s), AggFunc::Min, _) => s
-            .keys()
-            .next()
-            .map(|v| v.0.clone())
-            .unwrap_or(Value::Null),
+        (AggState::Multiset(s), AggFunc::Min, _) => {
+            s.keys().next().map(|v| v.0.clone()).unwrap_or(Value::Null)
+        }
         (AggState::Multiset(s), AggFunc::Max, _) => s
             .keys()
             .next_back()
@@ -246,10 +244,13 @@ impl AggregateOp {
                 .map(|e| e.eval(&t).unwrap_or(Value::Null))
                 .collect();
             let aggs = &self.aggs;
-            let entry = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
-                rows: 0,
-                states: aggs.iter().map(fresh_state).collect(),
-            });
+            let entry = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| GroupState {
+                    rows: 0,
+                    states: aggs.iter().map(fresh_state).collect(),
+                });
             entry.rows += m;
             for (call, state) in self.aggs.iter().zip(entry.states.iter_mut()) {
                 let value = call.arg.as_ref().map(|e| e.eval(&t).unwrap_or(Value::Null));
@@ -328,10 +329,7 @@ mod tests {
     fn global_count_star_starts_at_zero() {
         let mut a = AggregateOp::new(vec![], vec![call(AggFunc::CountStar, None, false)]);
         let out = a.on_delta(Delta::new()).consolidate();
-        assert_eq!(
-            out.into_entries(),
-            vec![(t(&[Value::Int(0)]), 1)]
-        );
+        assert_eq!(out.into_entries(), vec![(t(&[Value::Int(0)]), 1)]);
         // One row arrives → 0 retracted, 1 asserted.
         let out = a
             .on_delta([(t(&[Value::Int(9)]), 1)].into_iter().collect())
@@ -349,16 +347,15 @@ mod tests {
         );
         let en = Value::str("en");
         let row = t(&[en.clone(), Value::Int(1)]);
-        let out = a.on_delta([(row.clone(), 2)].into_iter().collect()).consolidate();
+        let out = a
+            .on_delta([(row.clone(), 2)].into_iter().collect())
+            .consolidate();
         assert_eq!(
             out.into_entries(),
             vec![(t(&[en.clone(), Value::Int(2)]), 1)]
         );
         let out = a.on_delta([(row, -2)].into_iter().collect()).consolidate();
-        assert_eq!(
-            out.into_entries(),
-            vec![(t(&[en, Value::Int(2)]), -1)]
-        );
+        assert_eq!(out.into_entries(), vec![(t(&[en, Value::Int(2)]), -1)]);
         assert_eq!(a.memory_tuples(), 0);
     }
 
@@ -381,20 +378,15 @@ mod tests {
     fn sum_handles_mixed_numerics_and_deletions() {
         let mut a = AggregateOp::new(vec![], vec![call(AggFunc::Sum, Some(0), false)]);
         a.on_delta(
-            [
-                (t(&[Value::Int(2)]), 1),
-                (t(&[Value::float(0.5)]), 1),
-            ]
-            .into_iter()
-            .collect(),
+            [(t(&[Value::Int(2)]), 1), (t(&[Value::float(0.5)]), 1)]
+                .into_iter()
+                .collect(),
         );
         let out = a
             .on_delta([(t(&[Value::float(0.5)]), -1)].into_iter().collect())
             .consolidate();
         // After removing the float, the sum is integer 2 again.
-        assert!(out
-            .into_entries()
-            .contains(&(t(&[Value::Int(2)]), 1)));
+        assert!(out.into_entries().contains(&(t(&[Value::Int(2)]), 1)));
     }
 
     #[test]
@@ -412,9 +404,7 @@ mod tests {
                 .collect(),
             )
             .consolidate();
-        assert!(out
-            .into_entries()
-            .contains(&(t(&[Value::Int(2)]), 1)));
+        assert!(out.into_entries().contains(&(t(&[Value::Int(2)]), 1)));
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
             Box::new(ScalarExpr::lit(5)),
         );
         let out = filter_delta(&pred, d(&[(&[3], 1), (&[7], 1), (&[9], -1)]));
-        assert_eq!(out.consolidate().into_entries(), vec![(t(&[7]), 1), (t(&[9]), -1)]);
+        assert_eq!(
+            out.consolidate().into_entries(),
+            vec![(t(&[7]), 1), (t(&[9]), -1)]
+        );
     }
 
     #[test]

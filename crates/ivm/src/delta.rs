@@ -55,10 +55,15 @@ impl Delta {
         }
         let mut entries: Vec<(Tuple, i64)> = m.into_iter().filter(|(_, c)| *c != 0).collect();
         // Deterministic output order helps tests and report diffs.
-        entries.sort_by(|a, b| a.0.values().iter().zip(b.0.values()).fold(
-            std::cmp::Ordering::Equal,
-            |acc, (x, y)| acc.then_with(|| x.total_cmp(y)),
-        ).then_with(|| a.0.arity().cmp(&b.0.arity())));
+        entries.sort_by(|a, b| {
+            a.0.values()
+                .iter()
+                .zip(b.0.values())
+                .fold(std::cmp::Ordering::Equal, |acc, (x, y)| {
+                    acc.then_with(|| x.total_cmp(y))
+                })
+                .then_with(|| a.0.arity().cmp(&b.0.arity()))
+        });
         Delta { entries }
     }
 

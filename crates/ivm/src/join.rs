@@ -123,7 +123,9 @@ mod tests {
     fn retraction_propagates() {
         let mut j = JoinOp::new(vec![0], vec![0], 2);
         j.on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1, 100], 1)]));
-        let out = j.on_deltas(d(&[(&[1, 10], -1)]), Delta::new()).consolidate();
+        let out = j
+            .on_deltas(d(&[(&[1, 10], -1)]), Delta::new())
+            .consolidate();
         assert_eq!(out.into_entries(), vec![(t(&[1, 10, 100]), -1)]);
     }
 

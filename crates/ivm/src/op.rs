@@ -131,11 +131,7 @@ impl Op {
                 left_keys,
                 right_keys,
             } => Op::Join {
-                join: JoinOp::new(
-                    left_keys.clone(),
-                    right_keys.clone(),
-                    right.schema().len(),
-                ),
+                join: JoinOp::new(left_keys.clone(), right_keys.clone(), right.schema().len()),
                 left: Box::new(Op::build(left)),
                 right: Box::new(Op::build(right)),
             },
@@ -175,7 +171,9 @@ impl Op {
                 input: Box::new(Op::build(input)),
                 state: AggregateOp::new(
                     group.iter().map(|(e, _)| e.clone()).collect(),
-                    aggs.iter().map(|(c, _)| c.clone()).collect::<Vec<AggCall>>(),
+                    aggs.iter()
+                        .map(|(c, _)| c.clone())
+                        .collect::<Vec<AggCall>>(),
                 ),
             },
             Fra::Unwind { input, expr, .. } => Op::Unwind {
@@ -190,7 +188,9 @@ impl Op {
         match self {
             Op::Unit { emitted } => {
                 *emitted = true;
-                [(pgq_common::tuple::Tuple::unit(), 1)].into_iter().collect()
+                [(pgq_common::tuple::Tuple::unit(), 1)]
+                    .into_iter()
+                    .collect()
             }
             Op::Vertices(scan) => scan.initial(g),
             Op::Edges(scan) => scan.initial(g),
@@ -244,9 +244,7 @@ impl Op {
                 let dl = left.on_events(g, events);
                 tc.on_events(g, events, dl)
             }
-            Op::Filter { input, predicate } => {
-                filter_delta(predicate, input.on_events(g, events))
-            }
+            Op::Filter { input, predicate } => filter_delta(predicate, input.on_events(g, events)),
             Op::Project { input, items } => project_delta(items, input.on_events(g, events)),
             Op::Distinct { input, state } => state.on_delta(input.on_events(g, events)),
             Op::Aggregate { input, state } => state.on_delta(input.on_events(g, events)),
@@ -268,9 +266,9 @@ impl Op {
                 join.memory_tuples() + left.memory_tuples() + right.memory_tuples()
             }
             Op::VarLength { left, tc } => tc.memory_tuples() + left.memory_tuples(),
-            Op::Filter { input, .. }
-            | Op::Project { input, .. }
-            | Op::Unwind { input, .. } => input.memory_tuples(),
+            Op::Filter { input, .. } | Op::Project { input, .. } | Op::Unwind { input, .. } => {
+                input.memory_tuples()
+            }
             Op::Distinct { input, state } => state.memory_tuples() + input.memory_tuples(),
             Op::Aggregate { input, state } => state.memory_tuples() + input.memory_tuples(),
         }

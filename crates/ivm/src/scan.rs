@@ -426,7 +426,12 @@ mod tests {
         let (a, _) = g.add_vertex([sym("P")], Properties::new());
         let (b, _) = g.add_vertex([sym("P")], Properties::new());
         let (e, _) = g
-            .add_edge(a, b, sym("R"), Properties::from_iter([("w", Value::Int(1))]))
+            .add_edge(
+                a,
+                b,
+                sym("R"),
+                Properties::from_iter([("w", Value::Int(1))]),
+            )
             .unwrap();
         let mut scan = EdgeScan::new(EdgeScanSpec {
             edge_prop_filters: vec![(sym("w"), Value::Int(1))],

@@ -154,7 +154,9 @@ mod tests {
     fn left_retraction_propagates() {
         let mut j = SemiJoinOp::new(vec![0], vec![0], false);
         j.on_deltas(d(&[(&[1, 10], 1)]), d(&[(&[1], 1)]));
-        let out = j.on_deltas(d(&[(&[1, 10], -1)]), Delta::new()).consolidate();
+        let out = j
+            .on_deltas(d(&[(&[1, 10], -1)]), Delta::new())
+            .consolidate();
         assert_eq!(out.into_entries(), vec![(t(&[1, 10]), -1)]);
     }
 

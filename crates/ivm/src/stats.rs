@@ -19,7 +19,12 @@ pub struct OpStats {
 impl OpStats {
     /// Total tuples across the subtree.
     pub fn total_tuples(&self) -> usize {
-        self.own_tuples + self.children.iter().map(OpStats::total_tuples).sum::<usize>()
+        self.own_tuples
+            + self
+                .children
+                .iter()
+                .map(OpStats::total_tuples)
+                .sum::<usize>()
     }
 
     fn render(&self, out: &mut String, depth: usize) {

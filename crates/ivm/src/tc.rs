@@ -187,9 +187,8 @@ impl VarLengthOp {
         } else {
             None
         };
-        let needs_dst = !spec.dst_labels.is_empty()
-            || !spec.dst_props.is_empty()
-            || spec.dst_carry_map;
+        let needs_dst =
+            !spec.dst_labels.is_empty() || !spec.dst_props.is_empty() || spec.dst_carry_map;
         let (dst, out_perm) = if needs_dst {
             let scan = VertexScan::new(
                 spec.dst_labels.clone(),
@@ -227,10 +226,7 @@ impl VarLengthOp {
         self.store.count
             + self.edge_scan.memory_tuples()
             + self.j1.memory_tuples()
-            + self
-                .trivial
-                .as_ref()
-                .map_or(0, VertexScan::memory_tuples)
+            + self.trivial.as_ref().map_or(0, VertexScan::memory_tuples)
             + self
                 .dst
                 .as_ref()

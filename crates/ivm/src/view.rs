@@ -75,11 +75,7 @@ impl MaterializedView {
 
     /// Maintain the view after a committed transaction; returns the
     /// consolidated delta of result changes.
-    pub fn on_transaction(
-        &mut self,
-        graph: &PropertyGraph,
-        events: &[ChangeEvent],
-    ) -> Delta {
+    pub fn on_transaction(&mut self, graph: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
         self.maintenance_count += 1;
         let delta = self.root.on_events(graph, events).consolidate();
         for (t, m) in delta.iter() {
@@ -94,11 +90,8 @@ impl MaterializedView {
     /// Current result bag as `(tuple, multiplicity)` pairs, sorted for
     /// deterministic output.
     pub fn results(&self) -> Vec<(Tuple, i64)> {
-        let mut out: Vec<(Tuple, i64)> = self
-            .results
-            .iter()
-            .map(|(t, m)| (t.clone(), *m))
-            .collect();
+        let mut out: Vec<(Tuple, i64)> =
+            self.results.iter().map(|(t, m)| (t.clone(), *m)).collect();
         out.sort_by(|a, b| {
             a.0.values()
                 .iter()

@@ -90,10 +90,7 @@ fn aggregate_over_join_consolidates_per_transaction() {
     let mut g = PropertyGraph::new();
     let (v0, _) = g.add_vertex([s("A")], Properties::new());
     let mut view = MaterializedView::create_unchecked("agg", &plan, &g);
-    assert_eq!(
-        view.rows(),
-        vec![Tuple::new(vec![Value::Int(1)])]
-    );
+    assert_eq!(view.rows(), vec![Tuple::new(vec![Value::Int(1)])]);
 
     let mut tx = Transaction::new();
     tx.create_vertex([s("A")], Properties::new());

@@ -91,7 +91,10 @@ impl Maintained {
     }
 
     fn paths(&self) -> Vec<PathValue> {
-        assert!(self.acc.values().all(|&m| m == 1), "path multiplicities must be 1");
+        assert!(
+            self.acc.values().all(|&m| m == 1),
+            "path multiplicities must be 1"
+        );
         self.acc.keys().cloned().collect()
     }
 }

@@ -378,7 +378,10 @@ impl Expr {
         match self {
             Expr::CountStar => true,
             Expr::Function { name, .. } => {
-                matches!(name.as_str(), "count" | "sum" | "min" | "max" | "avg" | "collect")
+                matches!(
+                    name.as_str(),
+                    "count" | "sum" | "min" | "max" | "avg" | "collect"
+                )
             }
             _ => false,
         }
@@ -420,8 +423,14 @@ mod tests {
     fn free_variables_deduplicated() {
         let e = Expr::Binary(
             BinOp::Eq,
-            Box::new(Expr::Property(Box::new(Expr::Variable("p".into())), "lang".into())),
-            Box::new(Expr::Property(Box::new(Expr::Variable("c".into())), "lang".into())),
+            Box::new(Expr::Property(
+                Box::new(Expr::Variable("p".into())),
+                "lang".into(),
+            )),
+            Box::new(Expr::Property(
+                Box::new(Expr::Variable("c".into())),
+                "lang".into(),
+            )),
         );
         assert_eq!(e.free_variables(), vec!["c".to_string(), "p".to_string()]);
     }

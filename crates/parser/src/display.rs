@@ -14,7 +14,11 @@ impl fmt::Display for Expr {
             Expr::Binary(op, l, r) => write!(f, "({l} {op} {r})"),
             Expr::Unary(UnOp::Not, e) => write!(f, "(NOT {e})"),
             Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
-            Expr::Function { name, distinct, args } => {
+            Expr::Function {
+                name,
+                distinct,
+                args,
+            } => {
                 write!(f, "{name}(")?;
                 if *distinct {
                     write!(f, "DISTINCT ")?;
@@ -294,9 +298,7 @@ impl fmt::Display for Clause {
                         write!(f, ", ")?;
                     }
                     match item {
-                        RemoveItem::Property { variable, key } => {
-                            write!(f, "{variable}.{key}")?
-                        }
+                        RemoveItem::Property { variable, key } => write!(f, "{variable}.{key}")?,
                         RemoveItem::Labels { variable, labels } => {
                             write!(f, "{variable}")?;
                             for l in labels {

@@ -64,32 +64,30 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     push1(&mut out, Tok::Dash, &mut i);
                 }
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(&b'-') => {
-                        out.push(Spanned {
-                            tok: Tok::ArrowLeft,
-                            offset: start,
-                        });
-                        i += 2;
-                    }
-                    Some(&b'=') => {
-                        out.push(Spanned {
-                            tok: Tok::Le,
-                            offset: start,
-                        });
-                        i += 2;
-                    }
-                    Some(&b'>') => {
-                        out.push(Spanned {
-                            tok: Tok::Neq,
-                            offset: start,
-                        });
-                        i += 2;
-                    }
-                    _ => push1(&mut out, Tok::Lt, &mut i),
+            '<' => match bytes.get(i + 1) {
+                Some(&b'-') => {
+                    out.push(Spanned {
+                        tok: Tok::ArrowLeft,
+                        offset: start,
+                    });
+                    i += 2;
                 }
-            }
+                Some(&b'=') => {
+                    out.push(Spanned {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Spanned {
+                        tok: Tok::Neq,
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                _ => push1(&mut out, Tok::Lt, &mut i),
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Spanned {
@@ -226,10 +224,7 @@ fn lex_number(src: &str, start: usize) -> Result<(Tok, usize), ParseError> {
     // A fractional part requires digits after the dot (openCypher floats
     // are `D+.D+`); a bare trailing dot stays a separate token so that
     // `1.prop` lexes as Int, Dot, Ident.
-    if i < bytes.len()
-        && bytes[i] == b'.'
-        && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
-    {
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
         is_float = true;
         i += 1;
         while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -300,11 +295,7 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             toks(r#"'it\'s' "two\n""#),
-            vec![
-                Tok::Str("it's".into()),
-                Tok::Str("two\n".into()),
-                Tok::Eof
-            ]
+            vec![Tok::Str("it's".into()), Tok::Str("two\n".into()), Tok::Eof]
         );
     }
 
@@ -320,7 +311,15 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("< <= > >= <> ="),
-            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Neq, Tok::Eq, Tok::Eof]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Neq,
+                Tok::Eq,
+                Tok::Eof
+            ]
         );
     }
 

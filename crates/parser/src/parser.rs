@@ -50,9 +50,7 @@ impl Parser {
     }
 
     fn peek2(&self) -> &Tok {
-        self.tokens
-            .get(self.pos + 1)
-            .map_or(&Tok::Eof, |s| &s.tok)
+        self.tokens.get(self.pos + 1).map_or(&Tok::Eof, |s| &s.tok)
     }
 
     fn offset(&self) -> usize {
@@ -267,9 +265,7 @@ impl Parser {
     fn return_body(&mut self) -> Result<ReturnClause, ParseError> {
         let distinct = self.eat_kw(Kw::Distinct);
         if self.peek() == &Tok::Star {
-            return Err(self.err(
-                "RETURN * is not supported; list the variables explicitly",
-            ));
+            return Err(self.err("RETURN * is not supported; list the variables explicitly"));
         }
         let mut items = vec![self.return_item()?];
         while self.eat(&Tok::Comma) {
@@ -457,10 +453,9 @@ impl Parser {
             }
             if let Some(max) = spec.max {
                 if max < spec.min {
-                    return Err(self.err(format!(
-                        "empty variable-length range *{}..{max}",
-                        spec.min
-                    )));
+                    return Err(
+                        self.err(format!("empty variable-length range *{}..{max}", spec.min))
+                    );
                 }
             }
         }
@@ -721,9 +716,7 @@ impl Parser {
                         self.expect(&Tok::RParen)?;
                         Ok(p)
                     }) {
-                        Ok(pattern) => {
-                            return Ok(Expr::PatternPredicate(Box::new(pattern)))
-                        }
+                        Ok(pattern) => return Ok(Expr::PatternPredicate(Box::new(pattern))),
                         Err(_) => self.pos = saved,
                     }
                     let arg = self.expr()?;
@@ -819,7 +812,9 @@ mod tests {
         );
         assert_eq!(q.clauses.len(), 2);
         let Clause::Match {
-            optional, pattern, where_clause,
+            optional,
+            pattern,
+            where_clause,
         } = &q.clauses[0]
         else {
             panic!("expected MATCH");
@@ -842,15 +837,35 @@ mod tests {
     fn range_specs() {
         let cases = [
             ("*", RangeSpec { min: 1, max: None }),
-            ("*3", RangeSpec { min: 3, max: Some(3) }),
-            ("*1..4", RangeSpec { min: 1, max: Some(4) }),
-            ("*..4", RangeSpec { min: 1, max: Some(4) }),
+            (
+                "*3",
+                RangeSpec {
+                    min: 3,
+                    max: Some(3),
+                },
+            ),
+            (
+                "*1..4",
+                RangeSpec {
+                    min: 1,
+                    max: Some(4),
+                },
+            ),
+            (
+                "*..4",
+                RangeSpec {
+                    min: 1,
+                    max: Some(4),
+                },
+            ),
             ("*2..", RangeSpec { min: 2, max: None }),
             ("*0..", RangeSpec { min: 0, max: None }),
         ];
         for (spec, want) in cases {
             let q = parse(&format!("MATCH (a)-[:R{spec}]->(b) RETURN a"));
-            let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+            let Clause::Match { pattern, .. } = &q.clauses[0] else {
+                panic!()
+            };
             assert_eq!(pattern.paths[0].steps[0].0.range, Some(want), "{spec}");
         }
     }
@@ -868,7 +883,9 @@ mod tests {
             ("MATCH (a)-[:R]-(b) RETURN a", Direction::Both),
         ] {
             let q = parse(src);
-            let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+            let Clause::Match { pattern, .. } = &q.clauses[0] else {
+                panic!()
+            };
             assert_eq!(pattern.paths[0].steps[0].0.direction, want, "{src}");
         }
         assert!(parse_query("MATCH (a)<-[:R]->(b) RETURN a").is_err());
@@ -877,7 +894,9 @@ mod tests {
     #[test]
     fn bracketless_relationships() {
         let q = parse("MATCH (a)-->(b)<--(c) RETURN a");
-        let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { pattern, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(pattern.paths[0].steps.len(), 2);
         assert_eq!(pattern.paths[0].steps[0].0.direction, Direction::Out);
         assert_eq!(pattern.paths[0].steps[1].0.direction, Direction::In);
@@ -886,7 +905,9 @@ mod tests {
     #[test]
     fn multiple_types_and_props() {
         let q = parse("MATCH (a)-[e:KNOWS|LIKES {since: 2010}]->(b) RETURN e");
-        let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { pattern, .. } = &q.clauses[0] else {
+            panic!()
+        };
         let rel = &pattern.paths[0].steps[0].0;
         assert_eq!(rel.types, vec!["KNOWS", "LIKES"]);
         assert_eq!(rel.variable.as_deref(), Some("e"));
@@ -896,21 +917,43 @@ mod tests {
     #[test]
     fn expression_precedence() {
         let q = parse("MATCH (n) WHERE n.a + n.b * 2 = 7 AND NOT n.c RETURN n");
-        let Clause::Match { where_clause: Some(w), .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match {
+            where_clause: Some(w),
+            ..
+        } = &q.clauses[0]
+        else {
+            panic!()
+        };
         // Top node must be AND.
-        let Expr::Binary(BinOp::And, l, _) = w else { panic!("want AND at top, got {w:?}") };
+        let Expr::Binary(BinOp::And, l, _) = w else {
+            panic!("want AND at top, got {w:?}")
+        };
         // Left of AND is the equality.
-        let Expr::Binary(BinOp::Eq, add, _) = l.as_ref() else { panic!() };
-        let Expr::Binary(BinOp::Add, _, mul) = add.as_ref() else { panic!() };
+        let Expr::Binary(BinOp::Eq, add, _) = l.as_ref() else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Add, _, mul) = add.as_ref() else {
+            panic!()
+        };
         assert!(matches!(mul.as_ref(), Expr::Binary(BinOp::Mul, _, _)));
     }
 
     #[test]
     fn power_is_right_associative() {
         let q = parse("MATCH (n) WHERE n.x = 2 ^ 3 ^ 2 RETURN n");
-        let Clause::Match { where_clause: Some(w), .. } = &q.clauses[0] else { panic!() };
-        let Expr::Binary(BinOp::Eq, _, pow) = w else { panic!() };
-        let Expr::Binary(BinOp::Pow, _, right) = pow.as_ref() else { panic!() };
+        let Clause::Match {
+            where_clause: Some(w),
+            ..
+        } = &q.clauses[0]
+        else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Eq, _, pow) = w else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Pow, _, right) = pow.as_ref() else {
+            panic!()
+        };
         assert!(matches!(right.as_ref(), Expr::Binary(BinOp::Pow, _, _)));
     }
 
@@ -924,15 +967,29 @@ mod tests {
     #[test]
     fn is_null_predicates() {
         let q = parse("MATCH (n) WHERE n.x IS NOT NULL RETURN n");
-        let Clause::Match { where_clause: Some(w), .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match {
+            where_clause: Some(w),
+            ..
+        } = &q.clauses[0]
+        else {
+            panic!()
+        };
         assert!(matches!(w, Expr::IsNull { negated: true, .. }));
     }
 
     #[test]
     fn label_predicate_in_where() {
         let q = parse("MATCH (n) WHERE n:Post:Hot RETURN n");
-        let Clause::Match { where_clause: Some(w), .. } = &q.clauses[0] else { panic!() };
-        let Expr::HasLabel(_, labels) = w else { panic!() };
+        let Clause::Match {
+            where_clause: Some(w),
+            ..
+        } = &q.clauses[0]
+        else {
+            panic!()
+        };
+        let Expr::HasLabel(_, labels) = w else {
+            panic!()
+        };
         assert_eq!(labels, &vec!["Post".to_string(), "Hot".to_string()]);
     }
 
@@ -942,7 +999,9 @@ mod tests {
         let ret = q.return_clause().unwrap();
         assert_eq!(ret.items[0].expr, Expr::CountStar);
         assert_eq!(ret.items[0].alias.as_deref(), Some("c"));
-        let Expr::Function { name, distinct, .. } = &ret.items[1].expr else { panic!() };
+        let Expr::Function { name, distinct, .. } = &ret.items[1].expr else {
+            panic!()
+        };
         assert_eq!(name, "count");
         assert!(distinct);
     }
@@ -963,21 +1022,29 @@ mod tests {
         let q = parse("CREATE (p:Post {lang: 'en'})-[:REPLY]->(c:Comm)");
         assert!(q.is_update());
         let q = parse("MATCH (n:Post) DETACH DELETE n");
-        let Clause::Delete { detach, exprs } = &q.clauses[1] else { panic!() };
+        let Clause::Delete { detach, exprs } = &q.clauses[1] else {
+            panic!()
+        };
         assert!(detach);
         assert_eq!(exprs.len(), 1);
         let q = parse("MATCH (n:Post) SET n.lang = 'de', n:Hot");
-        let Clause::Set(items) = &q.clauses[1] else { panic!() };
+        let Clause::Set(items) = &q.clauses[1] else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
         let q = parse("MATCH (n:Post) REMOVE n.lang, n:Hot");
-        let Clause::Remove(items) = &q.clauses[1] else { panic!() };
+        let Clause::Remove(items) = &q.clauses[1] else {
+            panic!()
+        };
         assert_eq!(items.len(), 2);
     }
 
     #[test]
     fn unwind_clause() {
         let q = parse("MATCH t = (a)-[:R*]->(b) UNWIND nodes(t) AS n RETURN n");
-        let Clause::Unwind { alias, .. } = &q.clauses[1] else { panic!() };
+        let Clause::Unwind { alias, .. } = &q.clauses[1] else {
+            panic!()
+        };
         assert_eq!(alias, "n");
     }
 
@@ -1001,14 +1068,18 @@ mod tests {
     #[test]
     fn multiple_paths_in_match() {
         let q = parse("MATCH (a:Post), (b:Comm) RETURN a, b");
-        let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { pattern, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(pattern.paths.len(), 2);
     }
 
     #[test]
     fn anonymous_nodes_and_rels() {
         let q = parse("MATCH (:Post)-[]->() RETURN 1");
-        let Clause::Match { pattern, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { pattern, .. } = &q.clauses[0] else {
+            panic!()
+        };
         let p = &pattern.paths[0];
         assert!(p.start.variable.is_none());
         assert!(p.steps[0].1.variable.is_none());
@@ -1017,8 +1088,16 @@ mod tests {
     #[test]
     fn parameters_parse() {
         let q = parse("MATCH (n) WHERE n.lang = $lang RETURN n");
-        let Clause::Match { where_clause: Some(w), .. } = &q.clauses[0] else { panic!() };
-        let Expr::Binary(BinOp::Eq, _, r) = w else { panic!() };
+        let Clause::Match {
+            where_clause: Some(w),
+            ..
+        } = &q.clauses[0]
+        else {
+            panic!()
+        };
+        let Expr::Binary(BinOp::Eq, _, r) = w else {
+            panic!()
+        };
         assert_eq!(r.as_ref(), &Expr::Parameter("lang".into()));
     }
 }

@@ -21,27 +21,40 @@ fn literal() -> impl Strategy<Value = Value> {
 fn expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         literal().prop_map(Expr::Literal),
-        "[a-z][a-z0-9]{0,4}".prop_filter("not a keyword", |s| {
-            pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
-        }).prop_map(Expr::Variable),
+        "[a-z][a-z0-9]{0,4}"
+            .prop_filter("not a keyword", |s| {
+                pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+            })
+            .prop_map(Expr::Variable),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), "[a-z][a-z0-9]{0,4}".prop_filter("not kw", |s| {
-                pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
-            }))
+            (
+                inner.clone(),
+                "[a-z][a-z0-9]{0,4}".prop_filter("not kw", |s| {
+                    pgq_parser::token::Kw::from_upper(&s.to_ascii_uppercase()).is_none()
+                })
+            )
                 .prop_map(|(b, k)| Expr::Property(Box::new(b), k)),
             (
                 prop_oneof![
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul),
-                    Just(BinOp::Div), Just(BinOp::Eq), Just(BinOp::Lt),
-                    Just(BinOp::And), Just(BinOp::Or), Just(BinOp::In),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::In),
                 ],
                 inner.clone(),
                 inner.clone()
             )
                 .prop_map(|(op, l, r)| Expr::Binary(op, Box::new(l), Box::new(r))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
             (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
                 expr: Box::new(e),
                 negated,

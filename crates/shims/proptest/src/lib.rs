@@ -1,0 +1,707 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! small, deterministic property-testing engine exposing the subset of the
+//! proptest API this workspace's test suites use:
+//!
+//! - `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy) {..} }`
+//! - `Strategy` with `prop_map`, `prop_filter`, `prop_recursive`, `boxed`
+//! - `Just`, `any::<T>()`, integer ranges, regex-lite string literals,
+//!   tuples, `collection::vec`, `prop_oneof!`
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (fully reproducible runs, overridable via `PROPTEST_SHIM_SEED`), and
+//! failing cases are *not* shrunk or echoed — reproduce a failure by
+//! re-running with the same seed, which regenerates the identical case
+//! sequence deterministically. Swap the path dependency for the real crate
+//! when a registry is available.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic RNG (xoshiro256**-style) used to drive generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Runtime configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Total `prop_filter` rejections allowed across one property run
+    /// before the harness gives up (real proptest's global reject budget).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+thread_local! {
+    /// Remaining filter-rejection budget for the property currently running
+    /// on this thread; refilled by [`run_property`] from the active config.
+    static REJECT_BUDGET: std::cell::Cell<u64> = const { std::cell::Cell::new(65_536) };
+}
+
+/// Error raised by `prop_assert!`-style macros; carries the failure message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// `Result` alias used by generated property bodies.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values of type `Self::Value`.
+///
+/// This shim has no shrinking, so a strategy is just a deterministic
+/// function of the RNG stream.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects samples for which `f` returns false; regenerates instead.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Builds recursive values: `self` generates leaves, `branch` wraps an
+    /// inner strategy into one more level of structure. `depth` bounds the
+    /// nesting; the other two knobs are accepted for API compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _items: u32,
+        branch: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let branch = Arc::new(move |inner: BoxedStrategy<Self::Value>| branch(inner).boxed());
+        Recursive {
+            base: self.boxed(),
+            branch,
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Clonable, type-erased strategy handle, mirroring `BoxedStrategy`.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        // Regenerate on rejection, drawing down the run-wide budget so a
+        // too-strict filter fails loudly instead of spinning forever.
+        loop {
+            let candidate = self.inner.generate(rng);
+            if (self.f)(&candidate) {
+                return candidate;
+            }
+            let exhausted = REJECT_BUDGET.with(|budget| {
+                let left = budget.get();
+                budget.set(left.saturating_sub(1));
+                left == 0
+            });
+            if exhausted {
+                panic!(
+                    "proptest shim: filter `{}` exhausted the global reject \
+                     budget (raise ProptestConfig::max_global_rejects)",
+                    self.reason
+                );
+            }
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    branch: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T: 'static> Recursive<T> {
+    fn at_depth(&self, depth: u32) -> BoxedStrategy<T> {
+        if depth == 0 {
+            self.base.clone()
+        } else {
+            // Mix leaves back in at every level so sizes vary, then wrap.
+            let inner = OneOf {
+                options: vec![self.base.clone(), self.at_depth(depth - 1)],
+            };
+            (self.branch)(inner.boxed())
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let depth = rng.below(u64::from(self.depth) + 1) as u32;
+        self.at_depth(depth).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies; backs `prop_oneof!`.
+pub struct OneOf<T> {
+    /// The alternatives to choose between.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a uniform choice over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.below(self.options.len() as u64) as usize;
+        self.options[ix].generate(rng)
+    }
+}
+
+/// Strategy that always produces a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical strategy, mirroring `proptest::arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Canonical strategy for `T`, as returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Bias towards small magnitudes half the time: edge-heavy structures
+// (indices, ids, counts near zero) get exercised far more often than with
+// fully uniform 64-bit draws. Signed types negate half of the small draws
+// so values like -1 show up routinely, not with ~2^-57 probability.
+macro_rules! impl_arbitrary_int {
+    (unsigned: $($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                let raw = rng.next_u64();
+                if raw & 1 == 0 {
+                    ((raw >> 1) % 64) as $ty
+                } else {
+                    (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) as $ty
+                }
+            }
+        }
+    )*};
+    (signed: $($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                let raw = rng.next_u64();
+                if raw & 1 == 0 {
+                    let small = ((raw >> 2) % 64) as $ty;
+                    if raw & 2 == 0 {
+                        small
+                    } else {
+                        small.wrapping_neg()
+                    }
+                } else {
+                    (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) as $ty
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(unsigned: u8, u16, u32, u64, u128, usize);
+impl_arbitrary_int!(signed: i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite-only but wide-ranging: sign * mantissa * 2^exp with
+        // exponents spanning subnormal-adjacent to huge. The suites that
+        // need NaN/inf handling test those deliberately, not via `any`.
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = (rng.below(129) as i32) - 64;
+        sign * mantissa * (2f64).powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` literals act as regex-lite string strategies.
+///
+/// Supported syntax: literal characters, `[a-z0-9_]`-style classes (ranges
+/// and singletons, including a literal space), and `{n}` / `{m,n}` / `*` /
+/// `+` / `?` quantifiers. This covers every pattern in the workspace's
+/// suites; unsupported syntax panics loudly rather than mis-generating.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // 1. one atom: a char class or a literal character
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '.' | '^' | '$'),
+                    "unsupported regex syntax {c:?} in {pattern:?} (shim supports classes + quantifiers)",
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        // 2. optional quantifier
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().expect("bad {m,n}"),
+                            n.trim().parse::<usize>().expect("bad {m,n}"),
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().expect("bad {n}");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        // 3. emit
+        let count = if lo == hi {
+            lo
+        } else {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        };
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_strategy_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs one property: `cases` iterations of generate + check.
+///
+/// Called by the `proptest!` macro expansion; not part of the public
+/// proptest API surface.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    // Deterministic per-property seed, overridable for exploration.
+    let base = std::env::var("PROPTEST_SHIM_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0xC0FF_EE00_D15E_A5E5);
+    let name_hash: u64 = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    });
+    let mut rng = TestRng::seed_from_u64(base ^ name_hash);
+    REJECT_BUDGET.with(|budget| budget.set(u64::from(config.max_global_rejects)));
+    for case_ix in 0..config.cases {
+        if let Err(TestCaseError(msg)) = case(&mut rng) {
+            panic!("property `{name}` failed at case {case_ix}: {msg}");
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        TestCaseResult, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests; see crate docs for the subset.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            l,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Uniform choice between strategy arms, mirroring `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}

@@ -1,0 +1,14 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` names (marker traits plus no-op
+//! derive macros) so types can keep their derives while the build
+//! environment has no registry access. See `serde_derive`'s crate docs for
+//! the swap-back story.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

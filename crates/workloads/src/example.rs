@@ -43,14 +43,7 @@ pub fn paper_example_graph() -> (PropertyGraph, ExampleIds) {
         .expect("vertices exist");
     g.add_edge(comm1, comm2, s("REPLY"), Properties::new())
         .expect("vertices exist");
-    (
-        g,
-        ExampleIds {
-            post,
-            comm1,
-            comm2,
-        },
-    )
+    (g, ExampleIds { post, comm1, comm2 })
 }
 
 #[cfg(test)]

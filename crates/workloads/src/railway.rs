@@ -108,21 +108,31 @@ pub fn generate_railway(params: RailwayParams) -> Railway {
             )]),
         );
         semaphores.push(sem);
-        g.add_edge(route, sem, s("entry"), Properties::new()).unwrap();
+        g.add_edge(route, sem, s("entry"), Properties::new())
+            .unwrap();
 
         for _ in 0..params.switches_per_route {
-            let position = if rng.random_bool(0.5) { "LEFT" } else { "RIGHT" };
+            let position = if rng.random_bool(0.5) {
+                "LEFT"
+            } else {
+                "RIGHT"
+            };
             let (swp, _) = g.add_vertex(
                 [s("SwitchPosition")],
                 Properties::from_iter([("position", Value::str(position))]),
             );
             switch_positions.push(swp);
-            g.add_edge(route, swp, s("follows"), Properties::new()).unwrap();
+            g.add_edge(route, swp, s("follows"), Properties::new())
+                .unwrap();
             let (sw, _) = g.add_vertex(
                 [s("Switch")],
                 Properties::from_iter([(
                     "currentPosition",
-                    Value::str(if rng.random_bool(0.8) { position } else { "FAILURE" }),
+                    Value::str(if rng.random_bool(0.8) {
+                        position
+                    } else {
+                        "FAILURE"
+                    }),
                 )]),
             );
             switches.push(sw);
@@ -130,23 +140,24 @@ pub fn generate_railway(params: RailwayParams) -> Railway {
             // Sensor monitoring the switch; the route requires it
             // (the consistent configuration RouteSensor checks for).
             let (sensor, _) = g.add_vertex([s("Sensor")], Properties::new());
-            g.add_edge(sw, sensor, s("monitoredBy"), Properties::new()).unwrap();
+            g.add_edge(sw, sensor, s("monitoredBy"), Properties::new())
+                .unwrap();
             if rng.random_bool(0.9) {
-                g.add_edge(route, sensor, s("requires"), Properties::new()).unwrap();
+                g.add_edge(route, sensor, s("requires"), Properties::new())
+                    .unwrap();
             }
             // Segment chain under this sensor.
             let mut prev: Option<VertexId> = None;
             for _ in 0..params.segments_per_sensor {
                 let (seg, _) = g.add_vertex(
                     [s("Segment")],
-                    Properties::from_iter([(
-                        "length",
-                        Value::Int(rng.random_range(1..1000)),
-                    )]),
+                    Properties::from_iter([("length", Value::Int(rng.random_range(1..1000)))]),
                 );
-                g.add_edge(seg, sensor, s("monitoredBy"), Properties::new()).unwrap();
+                g.add_edge(seg, sensor, s("monitoredBy"), Properties::new())
+                    .unwrap();
                 if let Some(p) = prev {
-                    g.add_edge(p, seg, s("connectsTo"), Properties::new()).unwrap();
+                    g.add_edge(p, seg, s("connectsTo"), Properties::new())
+                        .unwrap();
                 }
                 segments.push(seg);
                 prev = Some(seg);
@@ -211,39 +222,43 @@ impl Railway {
                 }
                 3 => {
                     let sw = self.switches[self.rng.random_range(0..self.switches.len())];
-                    let pos = if self.rng.random_bool(0.5) { "LEFT" } else { "RIGHT" };
+                    let pos = if self.rng.random_bool(0.5) {
+                        "LEFT"
+                    } else {
+                        "RIGHT"
+                    };
                     tx.set_vertex_prop(sw, s("currentPosition"), Value::str(pos));
                 }
                 4 => {
-                    let sem =
-                        self.semaphores[self.rng.random_range(0..self.semaphores.len())];
-                    let sig = if self.rng.random_bool(0.5) { "GO" } else { "STOP" };
+                    let sem = self.semaphores[self.rng.random_range(0..self.semaphores.len())];
+                    let sig = if self.rng.random_bool(0.5) {
+                        "GO"
+                    } else {
+                        "STOP"
+                    };
                     tx.set_vertex_prop(sem, s("signal"), Value::str(sig));
                 }
                 5 => {
                     // Drop or restore a `requires` edge (RouteSensor
                     // violations appear/disappear).
-                    let candidates: Vec<_> =
-                        shadow.edges_with_type(s("requires")).to_vec();
+                    let candidates: Vec<_> = shadow.edges_with_type(s("requires")).to_vec();
                     if !candidates.is_empty() && self.rng.random_bool(0.6) {
-                        let e = candidates
-                            [self.rng.random_range(0..candidates.len())];
+                        let e = candidates[self.rng.random_range(0..candidates.len())];
                         tx.delete_edge(e);
                     } else {
                         // Wire a random route to a sensor of one of its
                         // switches (repair-flavoured insertion).
-                        let r =
-                            self.routes[self.rng.random_range(0..self.routes.len())];
-                        let sw = self.switches
-                            [self.rng.random_range(0..self.switches.len())];
-                        if let Some(&mon) = shadow.out_edges(sw).iter().find(|&&e| {
-                            shadow.edge(e).is_some_and(|d| d.ty == s("monitoredBy"))
-                        }) {
+                        let r = self.routes[self.rng.random_range(0..self.routes.len())];
+                        let sw = self.switches[self.rng.random_range(0..self.switches.len())];
+                        if let Some(&mon) = shadow
+                            .out_edges(sw)
+                            .iter()
+                            .find(|&&e| shadow.edge(e).is_some_and(|d| d.ty == s("monitoredBy")))
+                        {
                             let sen = shadow.edge(mon).expect("listed").dst;
                             tx.create_edge(r, sen, s("requires"), Properties::new());
                         } else {
-                            let seg = self.segments
-                                [self.rng.random_range(0..self.segments.len())];
+                            let seg = self.segments[self.rng.random_range(0..self.segments.len())];
                             tx.set_vertex_prop(
                                 seg,
                                 s("length"),
@@ -254,15 +269,13 @@ impl Railway {
                 }
                 _ => {
                     // Disconnect a random connectsTo edge if any remain.
-                    let candidates: Vec<_> =
-                        shadow.edges_with_type(s("connectsTo")).to_vec();
+                    let candidates: Vec<_> = shadow.edges_with_type(s("connectsTo")).to_vec();
                     if let Some(&e) =
                         candidates.get(self.rng.random_range(0..candidates.len().max(1)))
                     {
                         tx.delete_edge(e);
                     } else {
-                        let seg =
-                            self.segments[self.rng.random_range(0..self.segments.len())];
+                        let seg = self.segments[self.rng.random_range(0..self.segments.len())];
                         tx.set_vertex_prop(
                             seg,
                             s("length"),
@@ -283,8 +296,7 @@ impl Railway {
 pub mod queries {
     /// PosLength: segments with non-positive length (the original
     /// benchmark's filter query, verbatim semantics).
-    pub const POS_LENGTH: &str =
-        "MATCH (seg:Segment) WHERE seg.length <= 0 RETURN seg, seg.length";
+    pub const POS_LENGTH: &str = "MATCH (seg:Segment) WHERE seg.length <= 0 RETURN seg, seg.length";
     /// SwitchSet: routes whose entry semaphore shows GO but whose switch
     /// stands in a different position than the route follows.
     pub const SWITCH_SET: &str = "MATCH (r:Route)-[:entry]->(sem:Semaphore) \
@@ -307,8 +319,7 @@ pub mod queries {
          MATCH (s3)-[:monitoredBy]->(sen) RETURN s1, s2, s3, sen";
     /// Reachable segments within 1..4 hops (transitive closure over
     /// `connectsTo`).
-    pub const SEGMENT_REACH: &str =
-        "MATCH (a:Segment)-[:connectsTo*1..4]->(b:Segment) RETURN a, b";
+    pub const SEGMENT_REACH: &str = "MATCH (a:Segment)-[:connectsTo*1..4]->(b:Segment) RETURN a, b";
 
     // ---- the Train Benchmark's *negative* queries, verbatim semantics —
     // expressible thanks to the antijoin extension (`NOT exists(...)`).

@@ -56,7 +56,11 @@ fn print_table(columns: &[String], rows: &[pgq_common::tuple::Tuple]) {
     for row in rendered {
         println!("{}", line(&row));
     }
-    println!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" });
+    println!(
+        "({} row{})",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    );
 }
 
 fn help() {
@@ -196,30 +200,30 @@ fn main() {
         match engine.execute_script(line) {
             Ok(results) => {
                 for result in results {
-                if !result.rows.is_empty() || !result.columns.is_empty() {
-                    print_table(&result.columns, &result.rows);
-                } else {
-                    let st = result.stats;
-                    let mut parts = Vec::new();
-                    for (n, what) in [
-                        (st.nodes_created, "nodes created"),
-                        (st.relationships_created, "relationships created"),
-                        (st.nodes_deleted, "nodes deleted"),
-                        (st.relationships_deleted, "relationships deleted"),
-                        (st.properties_set, "properties set"),
-                        (st.labels_added, "labels added"),
-                        (st.labels_removed, "labels removed"),
-                    ] {
-                        if n > 0 {
-                            parts.push(format!("{n} {what}"));
+                    if !result.rows.is_empty() || !result.columns.is_empty() {
+                        print_table(&result.columns, &result.rows);
+                    } else {
+                        let st = result.stats;
+                        let mut parts = Vec::new();
+                        for (n, what) in [
+                            (st.nodes_created, "nodes created"),
+                            (st.relationships_created, "relationships created"),
+                            (st.nodes_deleted, "nodes deleted"),
+                            (st.relationships_deleted, "relationships deleted"),
+                            (st.properties_set, "properties set"),
+                            (st.labels_added, "labels added"),
+                            (st.labels_removed, "labels removed"),
+                        ] {
+                            if n > 0 {
+                                parts.push(format!("{n} {what}"));
+                            }
+                        }
+                        if parts.is_empty() {
+                            println!("ok");
+                        } else {
+                            println!("{}", parts.join(", "));
                         }
                     }
-                    if parts.is_empty() {
-                        println!("ok");
-                    } else {
-                        println!("{}", parts.join(", "));
-                    }
-                }
                 }
             }
             Err(EngineError::Parse(p)) => println!("{}", p.render(line)),
@@ -228,10 +232,26 @@ fn main() {
         // Flush watch notifications.
         for d in watch_log.lock().unwrap().drain(..) {
             for (t, m) in &d.inserted {
-                println!("[{}] + {t}{}", d.view, if *m > 1 { format!(" ×{m}") } else { String::new() });
+                println!(
+                    "[{}] + {t}{}",
+                    d.view,
+                    if *m > 1 {
+                        format!(" ×{m}")
+                    } else {
+                        String::new()
+                    }
+                );
             }
             for (t, m) in &d.removed {
-                println!("[{}] - {t}{}", d.view, if *m > 1 { format!(" ×{m}") } else { String::new() });
+                println!(
+                    "[{}] - {t}{}",
+                    d.view,
+                    if *m > 1 {
+                        format!(" ×{m}")
+                    } else {
+                        String::new()
+                    }
+                );
             }
         }
     }

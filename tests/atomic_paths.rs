@@ -30,10 +30,7 @@ fn mixed_single_and_varlength_named_path() {
     let rows = e.view_results(view).unwrap();
     // Paths: X→1→2 (len 2) and X→1→2→3 (len 3).
     assert_eq!(rows.len(), 2);
-    let mut lens: Vec<i64> = rows
-        .iter()
-        .map(|r| r.get(1).as_int().unwrap())
-        .collect();
+    let mut lens: Vec<i64> = rows.iter().map(|r| r.get(1).as_int().unwrap()).collect();
     lens.sort_unstable();
     assert_eq!(lens, vec![2, 3]);
     // Every path starts at the X vertex.
@@ -48,10 +45,7 @@ fn mixed_single_and_varlength_named_path() {
 fn zero_length_varlength_segment_in_named_path() {
     let mut e = engine_with_chain();
     let view = e
-        .register_view(
-            "t0",
-            "MATCH t = (a:X)-[:R]->(b:M)-[:S*0..]->(c:M) RETURN t",
-        )
+        .register_view("t0", "MATCH t = (a:X)-[:R]->(b:M)-[:S*0..]->(c:M) RETURN t")
         .unwrap();
     // Zero-hop: X→1 itself; plus the two longer ones.
     assert_eq!(e.view_results(view).unwrap().len(), 3);
@@ -61,10 +55,7 @@ fn zero_length_varlength_segment_in_named_path() {
 fn path_updates_maintain_mixed_paths() {
     let mut e = engine_with_chain();
     let view = e
-        .register_view(
-            "t",
-            "MATCH t = (a:X)-[:R]->(b:M)-[:S*]->(c:M) RETURN t",
-        )
+        .register_view("t", "MATCH t = (a:X)-[:R]->(b:M)-[:S*]->(c:M) RETURN t")
         .unwrap();
     assert_eq!(e.view_results(view).unwrap().len(), 2);
 
@@ -114,9 +105,7 @@ fn two_varlength_segments_in_one_named_path() {
 fn named_path_of_single_node() {
     let mut e = GraphEngine::new();
     e.execute("CREATE (:X {id: 7})").unwrap();
-    let r = e
-        .query("MATCH t = (a:X) RETURN t, length(t)")
-        .unwrap();
+    let r = e.query("MATCH t = (a:X) RETURN t, length(t)").unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0].get(1).as_int(), Some(0));
     let p = r.rows[0].get(0).as_path().unwrap();
@@ -125,7 +114,7 @@ fn named_path_of_single_node() {
 
 #[test]
 fn relationships_list_alias_on_varlength() {
-    let mut e = engine_with_chain();
+    let e = engine_with_chain();
     let r = e
         .query("MATCH (b:M {id: 1})-[es:S*]->(c:M) RETURN size(es), c.id")
         .unwrap();

@@ -76,7 +76,11 @@ fn node_patterns_and_labels() {
     cases![
         Case {
             name: "label filter",
-            setup: &["CREATE (:A {x: 1})", "CREATE (:B {x: 2})", "CREATE (:A:B {x: 3})"],
+            setup: &[
+                "CREATE (:A {x: 1})",
+                "CREATE (:B {x: 2})",
+                "CREATE (:A:B {x: 3})"
+            ],
             query: "MATCH (n:A) RETURN n.x",
             expect: &["1", "3"],
             view: true,
@@ -195,9 +199,8 @@ fn relationship_patterns() {
 
 #[test]
 fn variable_length_paths() {
-    let chain: &[&str] = &[
-        "CREATE (:N {x: 1})-[:R]->(:N {x: 2})-[:R]->(:N {x: 3})-[:R]->(:N {x: 4})",
-    ];
+    let chain: &[&str] =
+        &["CREATE (:N {x: 1})-[:R]->(:N {x: 2})-[:R]->(:N {x: 3})-[:R]->(:N {x: 4})"];
     cases![
         Case {
             name: "star is one or more",
@@ -427,7 +430,11 @@ fn multiple_matches_and_cartesian() {
     cases![
         Case {
             name: "cartesian product",
-            setup: &["CREATE (:A {x: 1})", "CREATE (:A {x: 2})", "CREATE (:B {y: 7})"],
+            setup: &[
+                "CREATE (:A {x: 1})",
+                "CREATE (:A {x: 2})",
+                "CREATE (:B {y: 7})"
+            ],
             query: "MATCH (a:A) MATCH (b:B) RETURN a.x, b.y",
             expect: &["1|7", "2|7"],
             view: true,
@@ -470,7 +477,10 @@ fn update_statement_semantics() {
     e.execute("CREATE (:P {x: 2})").unwrap();
     e.execute("MATCH (p:P) CREATE (p)-[:HAS]->(:C)").unwrap();
     assert_eq!(
-        e.query("MATCH (:P)-[:HAS]->(c:C) RETURN c").unwrap().rows.len(),
+        e.query("MATCH (:P)-[:HAS]->(c:C) RETURN c")
+            .unwrap()
+            .rows
+            .len(),
         2
     );
     // DETACH DELETE everything.
@@ -501,10 +511,7 @@ fn with_clause_cases() {
         },
         Case {
             name: "with then expand",
-            setup: &[
-                "CREATE (:P {x: 1})-[:R]->(:Q {y: 2})",
-                "CREATE (:P {x: 9})",
-            ],
+            setup: &["CREATE (:P {x: 1})-[:R]->(:Q {y: 2})", "CREATE (:P {x: 9})",],
             query: "MATCH (n:P) WITH n WHERE n.x < 5 MATCH (n)-[:R]->(m:Q) RETURN n.x, m.y",
             expect: &["1|2"],
             view: true,

@@ -50,8 +50,7 @@ enum Step {
 fn step_strategy() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0..5usize).prop_map(|lang| Step::AddPost { lang }),
-        (any::<usize>(), 0..5usize)
-            .prop_map(|(parent, lang)| Step::AddComment { parent, lang }),
+        (any::<usize>(), 0..5usize).prop_map(|(parent, lang)| Step::AddComment { parent, lang }),
         (any::<usize>(), any::<usize>()).prop_map(|(from, to)| Step::AddReply { from, to }),
         any::<usize>().prop_map(|pick| Step::DeleteVertex { pick }),
         any::<usize>().prop_map(|pick| Step::DeleteEdge { pick }),
@@ -181,10 +180,9 @@ fn multiplicities_match_for_fanout_joins() {
     g.add_edge(a, b, s("REPLY"), Properties::new()).unwrap();
     g.add_edge(a, b, s("REPLY"), Properties::new()).unwrap();
 
-    let compiled = compile_query(
-        &parse_query("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c").unwrap(),
-    )
-    .unwrap();
+    let compiled =
+        compile_query(&parse_query("MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c").unwrap())
+            .unwrap();
     let view = MaterializedView::create("m", &compiled, &g).unwrap();
     let mut counts: FxHashMap<Tuple, i64> = FxHashMap::default();
     for (t, m) in view.results() {

@@ -45,7 +45,8 @@ fn set_with_expression_over_match() {
 #[test]
 fn delete_and_detach_delete() {
     let mut e = GraphEngine::new();
-    e.execute("CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm)").unwrap();
+    e.execute("CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm)")
+        .unwrap();
     // Plain DELETE of a connected vertex fails and rolls back.
     assert!(e.execute("MATCH (p:Post) DELETE p").is_err());
     assert_eq!(e.graph().vertex_count(), 2);
@@ -115,7 +116,10 @@ fn order_by_works_one_shot_but_not_as_view() {
     assert_eq!(lens, vec![Value::Int(3), Value::Int(2)]);
     // As a view: rejected with NotMaintainable (the paper's trade-off).
     let err = e
-        .register_view("topk", "MATCH (p:Post) RETURN p.len AS len ORDER BY len LIMIT 2")
+        .register_view(
+            "topk",
+            "MATCH (p:Post) RETURN p.len AS len ORDER BY len LIMIT 2",
+        )
         .unwrap_err();
     assert!(matches!(
         err,
@@ -167,11 +171,15 @@ fn unsupported_constructs_are_reported() {
     let e = GraphEngine::new();
     assert!(matches!(
         e.query("MATCH (a) OPTIONAL MATCH (a)-[:R]->(b) RETURN a, b"),
-        Err(EngineError::Algebra(pgq_algebra::AlgebraError::Unsupported(_)))
+        Err(EngineError::Algebra(
+            pgq_algebra::AlgebraError::Unsupported(_)
+        ))
     ));
     assert!(matches!(
         e.query("MATCH (a) WHERE a.x = $x RETURN a"),
-        Err(EngineError::Algebra(pgq_algebra::AlgebraError::Unsupported(_)))
+        Err(EngineError::Algebra(
+            pgq_algebra::AlgebraError::Unsupported(_)
+        ))
     ));
 }
 
@@ -197,7 +205,8 @@ fn multiple_views_maintained_together() {
     let v3 = e
         .register_view("count", "MATCH (c:Comm) RETURN count(*) AS n")
         .unwrap();
-    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm)").unwrap();
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm)")
+        .unwrap();
     assert_eq!(e.view_results(v1).unwrap().len(), 1);
     assert_eq!(e.view_results(v2).unwrap().len(), 1);
     assert_eq!(e.view_results(v3).unwrap()[0].get(0), &Value::Int(1));

@@ -119,10 +119,7 @@ fn semantic_errors_are_invalid_queries() {
 fn nested_label_predicates_are_not_maintainable() {
     // `n:Label` under OR cannot be rewritten to a join.
     let q = "MATCH (n) WHERE n:Post OR n.x = 1 RETURN n";
-    assert!(matches!(
-        verdict(q),
-        Err(AlgebraError::NotMaintainable(_))
-    ));
+    assert!(matches!(verdict(q), Err(AlgebraError::NotMaintainable(_))));
 }
 
 #[test]

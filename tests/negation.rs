@@ -159,7 +159,8 @@ fn semijoin_preserves_left_multiplicity() {
     // Two parallel edges a→b: the pattern (a)-[:R]->(b) matches twice,
     // but exists() must keep each left row exactly once.
     e.execute("CREATE (:A {x: 1})-[:R]->(:B)").unwrap();
-    e.execute("MATCH (a:A) MATCH (b:B) CREATE (a)-[:R]->(b)").unwrap();
+    e.execute("MATCH (a:A) MATCH (b:B) CREATE (a)-[:R]->(b)")
+        .unwrap();
     let r = e
         .query("MATCH (a:A) WHERE exists((a)-[:R]->(:B)) RETURN a.x")
         .unwrap();

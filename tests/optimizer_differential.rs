@@ -28,7 +28,13 @@ fn optimized_equals_unoptimized_from_scratch() {
         assert_eq!(plain.columns, opt.columns, "{q}");
         let a = pgq_eval::evaluate_consolidated(&plain.fra, &net.graph);
         let b = pgq_eval::evaluate_consolidated(&opt.fra, &net.graph);
-        assert_eq!(a, b, "{q}\nplain:\n{}\nopt:\n{}", plain.fra.explain(), opt.fra.explain());
+        assert_eq!(
+            a,
+            b,
+            "{q}\nplain:\n{}\nopt:\n{}",
+            plain.fra.explain(),
+            opt.fra.explain()
+        );
     }
 }
 

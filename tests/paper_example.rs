@@ -91,7 +91,10 @@ fn deleting_the_middle_edge_atomically_removes_paths() {
     engine.apply(&tx).unwrap();
     let rows = engine.view_results(view).unwrap();
     assert_eq!(rows.len(), 1);
-    assert!(rows[0].get(1).to_string().contains(&ids.comm1.raw().to_string()));
+    assert!(rows[0]
+        .get(1)
+        .to_string()
+        .contains(&ids.comm1.raw().to_string()));
 }
 
 #[test]

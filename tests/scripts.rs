@@ -21,9 +21,7 @@ fn script_runs_statements_in_order() {
 #[test]
 fn stray_semicolons_are_tolerated() {
     let mut e = GraphEngine::new();
-    let results = e
-        .execute_script(";;CREATE (:A);; ;CREATE (:B);")
-        .unwrap();
+    let results = e.execute_script(";;CREATE (:A);; ;CREATE (:B);").unwrap();
     assert_eq!(results.len(), 2);
     assert_eq!(e.graph().vertex_count(), 2);
 }
@@ -46,9 +44,7 @@ fn runtime_error_keeps_prior_statements() {
     // Second statement fails at runtime (DELETE of a connected vertex
     // without DETACH); the first stays committed, the third never runs.
     let err = e
-        .execute_script(
-            "CREATE (:A)-[:R]->(:B); MATCH (a:A) DELETE a; CREATE (:C)",
-        )
+        .execute_script("CREATE (:A)-[:R]->(:B); MATCH (a:A) DELETE a; CREATE (:C)")
         .unwrap_err();
     assert!(matches!(err, pgq_core::EngineError::Graph(_)));
     assert_eq!(e.graph().vertex_count(), 2);

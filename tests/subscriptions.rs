@@ -17,7 +17,8 @@ fn subscriber_sees_inserts_and_removals() {
 
     e.execute("CREATE (:Post {lang: 'en'})").unwrap();
     e.execute("CREATE (:Post {lang: 'de'})").unwrap(); // no delta for this view
-    e.execute("MATCH (p:Post {lang: 'en'}) SET p.lang = 'fr'").unwrap();
+    e.execute("MATCH (p:Post {lang: 'en'}) SET p.lang = 'fr'")
+        .unwrap();
 
     let log = log.lock().unwrap();
     assert_eq!(log.len(), 2, "{log:?}");

@@ -21,9 +21,7 @@ fn seeded() -> GraphEngine {
 #[test]
 fn with_projection_renames_scope() {
     let e = seeded();
-    let r = e
-        .query("MATCH (p:Post) WITH p.len AS l RETURN l")
-        .unwrap();
+    let r = e.query("MATCH (p:Post) WITH p.len AS l RETURN l").unwrap();
     assert_eq!(r.columns, vec!["l".to_string()]);
     assert_eq!(r.rows.len(), 4);
 }
@@ -45,10 +43,8 @@ fn with_aggregate_then_filter_is_having() {
 #[test]
 fn with_then_match_joins_on_projected_node() {
     let mut e = seeded();
-    e.execute(
-        "MATCH (p:Post {lang: 'en'}) CREATE (p)-[:REPLY]->(:Comm {lang: 'en'})",
-    )
-    .unwrap();
+    e.execute("MATCH (p:Post {lang: 'en'}) CREATE (p)-[:REPLY]->(:Comm {lang: 'en'})")
+        .unwrap();
     let r = e
         .query(
             "MATCH (p:Post) WITH p WHERE p.lang = 'en' \

@@ -1,0 +1,61 @@
+//! Workspace smoke test: the `pgq::prelude` quickstart from the crate-level
+//! docs must keep working end-to-end (CREATE → register_view →
+//! view_results), and incremental maintenance must kick in on later writes.
+//! This mirrors the doc example in `src/lib.rs` so a regression shows up in
+//! `cargo test` even when doctests are skipped.
+
+use pgq::prelude::*;
+
+#[test]
+fn quickstart_create_register_view_results() {
+    let mut engine = GraphEngine::new();
+    engine
+        .execute("CREATE (:Post {lang: 'en', id: 1})")
+        .unwrap();
+    let view = engine
+        .register_view("posts", "MATCH (p:Post) RETURN p.lang")
+        .unwrap();
+    let rows = engine.view_results(view).unwrap();
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn quickstart_view_is_incrementally_maintained() {
+    let mut engine = GraphEngine::new();
+    engine
+        .execute("CREATE (:Post {lang: 'en', id: 1})")
+        .unwrap();
+    let view = engine
+        .register_view("posts", "MATCH (p:Post) RETURN p.lang")
+        .unwrap();
+    assert_eq!(engine.view_results(view).unwrap().len(), 1);
+
+    // Writes after registration must flow into the view without a rebuild.
+    engine
+        .execute("CREATE (:Post {lang: 'de', id: 2})")
+        .unwrap();
+    engine
+        .execute("CREATE (:Comm {lang: 'de', id: 3})")
+        .unwrap();
+    let rows = engine.view_results(view).unwrap();
+    assert_eq!(rows.len(), 2, "only the two Posts belong in the view");
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // Each layer is reachable through the umbrella crate.
+    let q = pgq::parser::parse_query("MATCH (p:Post) RETURN p").unwrap();
+    let compiled = pgq::algebra::pipeline::compile_query(&q).unwrap();
+    let g = PropertyGraph::new();
+    let rows = pgq::eval::evaluate_consolidated(&compiled.fra, &g);
+    assert!(rows.is_empty());
+
+    let mut tx = Transaction::new();
+    tx.create_vertex(
+        [pgq::common::intern::Symbol::intern("Post")],
+        pgq::graph::props::Properties::new(),
+    );
+    let mut g = PropertyGraph::new();
+    g.apply(&tx).unwrap();
+    assert_eq!(pgq::eval::evaluate_consolidated(&compiled.fra, &g).len(), 1);
+}
