@@ -125,12 +125,23 @@ impl ScalarExpr {
             }
             ScalarExpr::PathConcat(a, b) => match (a.eval(tuple)?, b.eval(tuple)?) {
                 (Value::Path(x), Value::Path(y)) => {
-                    x.concat(&y)
-                        .map(Value::path)
-                        .ok_or_else(|| CommonError::TypeMismatch {
-                            operation: "path concatenation".into(),
-                            detail: "paths do not share a seam vertex".into(),
-                        })
+                    let seam = x.target() == y.source();
+                    // Concatenating with a zero-length path is the common
+                    // case (every `p = (a)-[*]->(b)` plan splices the
+                    // anchor's ε-path in front of the traversal) — share
+                    // the existing Arc instead of rebuilding the path.
+                    if seam && x.is_empty() {
+                        Ok(Value::Path(y))
+                    } else if seam && y.is_empty() {
+                        Ok(Value::Path(x))
+                    } else {
+                        x.concat(&y)
+                            .map(Value::path)
+                            .ok_or_else(|| CommonError::TypeMismatch {
+                                operation: "path concatenation".into(),
+                                detail: "paths do not share a seam vertex".into(),
+                            })
+                    }
                 }
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
                 (p, _) => Err(type_err("path concatenation", &p)),

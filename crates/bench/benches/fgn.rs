@@ -14,9 +14,9 @@ use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 
 fn bench_fgn(c: &mut Criterion) {
     let mut group = c.benchmark_group("fgn");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
     let net = generate_social(SocialParams::scale(0.25, 42));
     let post = net.posts[0];
 

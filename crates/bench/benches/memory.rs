@@ -11,9 +11,9 @@ use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
 
 fn bench_memory(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_tradeoff");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
     for k in [2u32, 4, 6] {
         let rw = generate_railway(RailwayParams::size(k, 7));
         for (name, q) in [

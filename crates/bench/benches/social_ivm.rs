@@ -11,9 +11,9 @@ use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 
 fn bench_social(c: &mut Criterion) {
     let mut group = c.benchmark_group("social_ivm");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
     for sf in [0.1f64, 0.5, 1.0] {
         let mut net = generate_social(SocialParams::scale(sf, 42));
         let stream = net.update_stream(50, (4, 2, 3, 1));

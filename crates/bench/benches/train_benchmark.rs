@@ -17,9 +17,9 @@ fn bench_train(c: &mut Criterion) {
         ("ConnectedSegments", rq::CONNECTED_SEGMENTS),
     ];
     let mut group = c.benchmark_group("train_benchmark");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
     for k in [2u32, 4, 6] {
         let mut rw = generate_railway(RailwayParams::size(k, 7));
         let stream = rw.fault_stream(50);

@@ -13,9 +13,9 @@ use pgq_workloads::EXAMPLE_QUERY;
 
 fn bench_transitive(c: &mut Criterion) {
     let mut group = c.benchmark_group("transitive");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_millis(1200));
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
     for (depth, fanout) in [(4usize, 2usize), (6, 2), (3, 4)] {
         let label = format!("{depth}x{fanout}");
         let tree = reply_tree(depth, fanout);

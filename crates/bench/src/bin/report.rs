@@ -1,12 +1,18 @@
 //! Regenerates every experiment table (E5–E10) and prints them as
 //! markdown — the source of the numbers recorded in EXPERIMENTS.md.
 //!
-//! Run with `cargo run --release -p pgq-bench --bin report`.
-//! Pass `--quick` for a fast smoke run with smaller sizes.
+//! Run with `cargo run --release -p pgq_bench --bin report`.
+//! Pass `--quick` (or set `PGQ_BENCH_QUICK=1`) for a fast smoke run with
+//! smaller sizes. Pass `--bench-json <path>` to skip the tables and
+//! instead write the machine-readable `BENCH.json` perf-trajectory
+//! document (suite → median, MAD, op/s over repeated rounds) for the
+//! `social_ivm` and `transitive` suites.
 
 use pgq_algebra::pipeline::CompileOptions;
 use pgq_algebra::SchemaMode;
-use pgq_bench::{check_agreement, compile, run_ivm, run_recompute, us, Table};
+use pgq_bench::{
+    check_agreement, compile, round_stats, run_ivm, run_recompute, us, BenchJson, Table,
+};
 use pgq_common::intern::Symbol;
 use pgq_common::value::Value;
 use pgq_core::GraphEngine;
@@ -17,7 +23,19 @@ use pgq_workloads::trees::{expected_root_paths, reply_tree};
 use pgq_workloads::EXAMPLE_QUERY;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    // Same PGQ_BENCH_QUICK spelling rules as the criterion shim.
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("PGQ_BENCH_QUICK")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    if let Some(ix) = args.iter().position(|a| a == "--bench-json") {
+        let path = args
+            .get(ix + 1)
+            .expect("--bench-json needs a target path")
+            .clone();
+        emit_bench_json(quick, &path);
+        return;
+    }
     println!("# pgq experiment report\n");
     println!(
         "mode: {} (debug assertions {})\n",
@@ -35,6 +53,92 @@ fn main() {
     e9_memory(quick);
     e10_ablation(quick);
     e11_optimizer(quick);
+}
+
+/// Measure the two certified perf suites over repeated rounds and write
+/// `BENCH.json`. Mirrors the criterion benches `social_ivm` and
+/// `transitive` so shim output and this document agree on what is being
+/// measured.
+fn emit_bench_json(quick: bool, path: &str) {
+    let rounds = if quick { 5 } else { 21 };
+    let mut doc = BenchJson::new(if quick { "quick" } else { "full" });
+
+    // social_ivm: the paper's thread query maintained under a social
+    // update stream (scale factor 0.5, 50 transactions).
+    {
+        let sf = if quick { 0.1 } else { 0.5 };
+        let mut net = generate_social(SocialParams::scale(sf, 42));
+        let stream = net.update_stream(50, (4, 2, 3, 1));
+        let mut engine = GraphEngine::from_graph(net.graph.clone());
+        engine
+            .register_view("threads", sq::SAME_LANG_THREAD)
+            .unwrap();
+        let mut ivm_us = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let mut e = engine.clone();
+            let t0 = std::time::Instant::now();
+            for tx in &stream {
+                e.apply(tx).unwrap();
+            }
+            ivm_us.push(t0.elapsed().as_micros() as f64 / stream.len() as f64);
+        }
+        let stats = round_stats(&ivm_us);
+        doc.suite("social_ivm", "us_per_tx", stats, 1e6 / stats.median);
+
+        let compiled = compile(sq::SAME_LANG_THREAD, CompileOptions::default());
+        let mut rec_us = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let (_, rec) = run_recompute(&net.graph, std::slice::from_ref(&compiled), &stream);
+            rec_us.push(rec.us_per_tx());
+        }
+        let stats = round_stats(&rec_us);
+        doc.suite("social_recompute", "us_per_tx", stats, 1e6 / stats.median);
+    }
+
+    // transitive: reply-tree churn at the leaf and at the root.
+    {
+        let (depth, fanout) = if quick { (4, 2) } else { (6, 2) };
+        let tree = reply_tree(depth, fanout);
+        let leaf_edge = *tree.edges.last().unwrap();
+        let root_edge = tree.edges[0];
+        for (which, edge) in [("leaf", leaf_edge), ("root", root_edge)] {
+            let data = tree.graph.edge(edge).unwrap().clone();
+            let mut engine = GraphEngine::from_graph(tree.graph.clone());
+            engine.register_view("t", EXAMPLE_QUERY).unwrap();
+            let mut churn_us = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                let mut e = engine.clone();
+                let t0 = std::time::Instant::now();
+                let mut tx = Transaction::new();
+                tx.delete_edge(edge);
+                e.apply(&tx).unwrap();
+                let mut tx = Transaction::new();
+                tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
+                e.apply(&tx).unwrap();
+                churn_us.push(t0.elapsed().as_micros() as f64 / 2.0);
+            }
+            let stats = round_stats(&churn_us);
+            let name = format!("transitive_ivm_{which}");
+            doc.suite(&name, "us_per_tx", stats, 1e6 / stats.median);
+        }
+        let compiled = compile(EXAMPLE_QUERY, CompileOptions::default());
+        let mut rec_us = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t0 = std::time::Instant::now();
+            let _ = pgq_eval::evaluate_consolidated(&compiled.fra, &tree.graph);
+            rec_us.push(t0.elapsed().as_micros() as f64);
+        }
+        let stats = round_stats(&rec_us);
+        doc.suite(
+            "transitive_recompute",
+            "us_per_eval",
+            stats,
+            1e6 / stats.median,
+        );
+    }
+
+    std::fs::write(path, doc.render()).expect("write BENCH.json");
+    eprintln!("wrote {path}");
 }
 
 /// E5: Train-Benchmark-shaped validation, IVM vs recompute per query and

@@ -123,6 +123,93 @@ pub fn check_agreement(engine: &GraphEngine, queries: &[(&str, &str)]) {
     }
 }
 
+/// Robust summary of repeated measurement rounds (same statistics the
+/// enriched criterion shim reports: median + MAD, not just a mean).
+#[derive(Clone, Copy, Debug)]
+pub struct RoundStats {
+    /// Median of the samples.
+    pub median: f64,
+    /// Median absolute deviation around the median.
+    pub mad: f64,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Summarise a sample set (panics on an empty slice — benchmark rounds
+/// are fixed counts).
+pub fn round_stats(samples: &[f64]) -> RoundStats {
+    assert!(!samples.is_empty(), "no samples");
+    let mut xs = samples.to_vec();
+    let median = median_of(&mut xs);
+    let mut dev: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    let mad = median_of(&mut dev);
+    RoundStats {
+        median,
+        mad,
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        samples: samples.len(),
+    }
+}
+
+fn median_of(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Accumulates per-suite statistics and renders the machine-readable
+/// `BENCH.json` document (suite → unit, median, MAD, mean, samples,
+/// op/s) used to record the perf trajectory across PRs.
+#[derive(Debug, Default)]
+pub struct BenchJson {
+    mode: String,
+    entries: Vec<(String, String, RoundStats, f64)>,
+}
+
+impl BenchJson {
+    /// New document for the given run mode (`"quick"` / `"full"`).
+    pub fn new(mode: impl Into<String>) -> BenchJson {
+        BenchJson {
+            mode: mode.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one suite. `ops_per_s` derives from the median and the
+    /// unit's scale, so the caller supplies it.
+    pub fn suite(&mut self, name: &str, unit: &str, stats: RoundStats, ops_per_s: f64) {
+        self.entries
+            .push((name.to_string(), unit.to_string(), stats, ops_per_s));
+    }
+
+    /// Render the JSON document.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(out, "  \"suites\": {{");
+        for (i, (name, unit, s, ops)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{\"unit\": \"{unit}\", \"median\": {:.2}, \"mad\": {:.2}, \
+                 \"mean\": {:.2}, \"samples\": {}, \"ops_per_s\": {:.2}}}{comma}",
+                s.median, s.mad, s.mean, s.samples, ops
+            );
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
 /// Markdown table writer used by the `report` binary.
 pub struct Table {
     header: Vec<String>,
@@ -209,5 +296,34 @@ mod tests {
         let md = t.render();
         assert!(md.starts_with("| a"));
         assert!(md.contains("| 1"));
+    }
+
+    #[test]
+    fn round_stats_median_and_mad() {
+        let s = round_stats(&[1.0, 9.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.mad, 4.0);
+        assert_eq!(s.samples, 3);
+        let s = round_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn bench_json_renders_valid_shape() {
+        let mut doc = BenchJson::new("quick");
+        doc.suite(
+            "social_ivm",
+            "us_per_tx",
+            round_stats(&[10.0, 12.0, 11.0]),
+            90_909.0,
+        );
+        doc.suite("transitive", "us_per_tx", round_stats(&[5.0]), 200_000.0);
+        let json = doc.render();
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"social_ivm\""));
+        assert!(json.contains("\"median\": 11.00"));
+        assert!(json.contains("\"ops_per_s\": 200000.00"));
+        // Exactly one trailing entry without a comma.
+        assert!(json.trim_end().ends_with("}"));
     }
 }

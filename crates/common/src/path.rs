@@ -6,10 +6,13 @@
 //! asserted. [`PathValue`] is therefore immutable after construction and
 //! shared via `Arc` inside [`crate::value::Value::Path`].
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
+use crate::fxhash::FxHasher;
 use crate::ids::{EdgeId, VertexId};
 
 /// An alternating sequence `v0 -e0-> v1 -e1-> ... -e(n-1)-> vn`.
@@ -17,18 +20,98 @@ use crate::ids::{EdgeId, VertexId};
 /// Invariant: `vertices.len() == edges.len() + 1` and `vertices` is
 /// non-empty. A zero-length path (single vertex, no edges) is legal and is
 /// produced by `[:T*0..]` patterns.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+///
+/// Paths are hashed constantly on the IVM hot path — as components of
+/// join keys, multiplicity-map keys and path-store set members — so the
+/// content hash is computed once at construction and cached; `Hash` then
+/// costs one `u64` write regardless of path length, and `Eq` rejects
+/// unequal paths in O(1) via the hash fast path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(from = "PathParts", into = "PathParts")]
 pub struct PathValue {
     vertices: Vec<VertexId>,
     edges: Vec<EdgeId>,
+    /// Cached content hash (function of `vertices` + `edges` only).
+    /// Never serialised — see [`PathParts`].
+    hash: u64,
+}
+
+/// Serialisation surrogate for [`PathValue`]: content only, so the
+/// cached hash is recomputed (not trusted) on deserialisation once the
+/// real `serde` replaces the offline shim.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct PathParts {
+    /// Path vertices, in order.
+    pub vertices: Vec<VertexId>,
+    /// Path edges, in order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl From<PathParts> for PathValue {
+    fn from(p: PathParts) -> PathValue {
+        PathValue::new(p.vertices, p.edges)
+    }
+}
+
+impl From<PathValue> for PathParts {
+    fn from(p: PathValue) -> PathParts {
+        PathParts {
+            vertices: p.vertices,
+            edges: p.edges,
+        }
+    }
+}
+
+fn content_hash(vertices: &[VertexId], edges: &[EdgeId]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(vertices.len() as u64);
+    for v in vertices {
+        h.write_u64(v.0);
+    }
+    for e in edges {
+        h.write_u64(e.0);
+    }
+    h.finish()
+}
+
+impl PartialEq for PathValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.vertices == other.vertices && self.edges == other.edges
+    }
+}
+
+impl Eq for PathValue {}
+
+impl Hash for PathValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for PathValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PathValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Content order only — the cached hash must not influence it.
+        self.vertices
+            .cmp(&other.vertices)
+            .then_with(|| self.edges.cmp(&other.edges))
+    }
 }
 
 impl PathValue {
     /// A zero-length path anchored at `v`.
     pub fn single(v: VertexId) -> Self {
+        let vertices = vec![v];
+        let hash = content_hash(&vertices, &[]);
         PathValue {
-            vertices: vec![v],
+            vertices,
             edges: Vec::new(),
+            hash,
         }
     }
 
@@ -41,7 +124,12 @@ impl PathValue {
             vertices.len(),
             edges.len()
         );
-        PathValue { vertices, edges }
+        let hash = content_hash(&vertices, &edges);
+        PathValue {
+            vertices,
+            edges,
+            hash,
+        }
     }
 
     /// Number of edges (the path *length* in Cypher terms).
@@ -101,7 +189,12 @@ impl PathValue {
         let mut edges = Vec::with_capacity(self.edges.len() + 1);
         edges.extend_from_slice(&self.edges);
         edges.push(e);
-        PathValue { vertices, edges }
+        let hash = content_hash(&vertices, &edges);
+        PathValue {
+            vertices,
+            edges,
+            hash,
+        }
     }
 
     /// Concatenate `self` with `other`; `other` must start where `self`
@@ -115,7 +208,12 @@ impl PathValue {
         vertices.extend_from_slice(&other.vertices[1..]);
         let mut edges = self.edges.clone();
         edges.extend_from_slice(&other.edges);
-        Some(PathValue { vertices, edges })
+        let hash = content_hash(&vertices, &edges);
+        Some(PathValue {
+            vertices,
+            edges,
+            hash,
+        })
     }
 
     /// Are all traversed edges distinct? Cypher's relationship-isomorphism
@@ -210,6 +308,33 @@ mod tests {
         assert!(ok.edges_distinct());
         let bad = PathValue::new(vec![v(1), v(2), v(1)], vec![e(1), e(1)]);
         assert!(!bad.edges_distinct());
+    }
+
+    #[test]
+    fn cached_hash_consistent_with_eq() {
+        use std::hash::BuildHasher;
+        let h = |p: &PathValue| crate::fxhash::FxBuildHasher::default().hash_one(p);
+        let a = PathValue::single(v(1)).extend(e(10), v(2));
+        let b = PathValue::single(v(1)).extend(e(10), v(2));
+        let c = PathValue::new(vec![v(1), v(2)], vec![e(10)]);
+        let joined = PathValue::single(v(1))
+            .concat(&PathValue::single(v(1)).extend(e(10), v(2)))
+            .unwrap();
+        // Same content through four construction routes → equal + same
+        // hash.
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, joined);
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(h(&a), h(&c));
+        assert_eq!(h(&a), h(&joined));
+        // Different content → unequal (hash almost surely differs; only
+        // equality is contractual).
+        let d = PathValue::single(v(1)).extend(e(11), v(2));
+        assert_ne!(a, d);
+        // Ordering ignores the cached hash: by vertices, then edges.
+        assert!(a < PathValue::single(v(1)).extend(e(10), v(3)));
+        assert!(a.cmp(&d) == std::cmp::Ordering::Less);
     }
 
     #[test]

@@ -4,25 +4,107 @@
 //! the label index, ⇑ `get-edges` reads the type index, and the baseline
 //! evaluator's expand steps walk the adjacency lists. All indexes are
 //! maintained eagerly by the store's mutators.
+//!
+//! Buckets are dense `Vec`s (so extents hand out slices) paired with a
+//! position map, making removal O(1) via swap-remove + backlink update —
+//! deletion-heavy update streams used to pay an O(bucket) scan per
+//! removal, turning churn on hot labels/types quadratic. Emptied buckets
+//! are dropped from the outer maps so long-running churn does not leak
+//! index entries.
+
+use std::hash::Hash;
 
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::ids::{EdgeId, VertexId};
 use pgq_common::intern::Symbol;
 
+/// Small buckets are scanned linearly; beyond this many items a position
+/// map is built and maintained. Adjacency buckets are overwhelmingly
+/// tiny (vertex degree), where a scan beats map upkeep on every insert;
+/// hot label/type extents grow past the threshold and get O(1) removal.
+const POS_MAP_THRESHOLD: usize = 16;
+
+/// A dense id bucket with O(1) membership removal at scale.
+///
+/// `items` is the extent handed out as a slice. For buckets larger than
+/// [`POS_MAP_THRESHOLD`], `pos` maps each id to its index in `items`;
+/// removal swap-removes and re-points the moved id's backlink. Order
+/// within a bucket is not semantically meaningful.
+#[derive(Debug, Clone)]
+struct PosBucket<T> {
+    items: Vec<T>,
+    /// Lazily built once the bucket crosses the threshold; `None` for
+    /// small buckets.
+    pos: Option<FxHashMap<T, u32>>,
+}
+
+impl<T> Default for PosBucket<T> {
+    fn default() -> Self {
+        PosBucket {
+            items: Vec::new(),
+            pos: None,
+        }
+    }
+}
+
+impl<T: Copy + Eq + Hash> PosBucket<T> {
+    fn push(&mut self, x: T) {
+        debug_assert!(
+            !self.items.contains(&x),
+            "duplicate id pushed into index bucket"
+        );
+        if let Some(pos) = &mut self.pos {
+            pos.insert(x, self.items.len() as u32);
+        } else if self.items.len() >= POS_MAP_THRESHOLD {
+            let mut pos: FxHashMap<T, u32> = self
+                .items
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (y, i as u32))
+                .collect();
+            pos.insert(x, self.items.len() as u32);
+            self.pos = Some(pos);
+        }
+        self.items.push(x);
+    }
+
+    /// Remove `x` if present; returns `true` when the bucket is empty
+    /// afterwards (so the caller can drop it from its outer map).
+    fn remove(&mut self, x: T) -> bool {
+        let found = match &mut self.pos {
+            Some(pos) => pos.remove(&x).map(|p| p as usize),
+            None => self.items.iter().position(|&y| y == x),
+        };
+        if let Some(p) = found {
+            self.items.swap_remove(p);
+            if let (Some(pos), Some(&moved)) = (&mut self.pos, self.items.get(p)) {
+                pos.insert(moved, p as u32);
+            }
+        }
+        self.items.is_empty()
+    }
+}
+
 /// Label, edge-type and adjacency indexes.
 #[derive(Default, Debug, Clone)]
 pub struct GraphIndexes {
-    label: FxHashMap<Symbol, Vec<VertexId>>,
-    ty: FxHashMap<Symbol, Vec<EdgeId>>,
-    out: FxHashMap<VertexId, Vec<EdgeId>>,
-    inc: FxHashMap<VertexId, Vec<EdgeId>>,
+    label: FxHashMap<Symbol, PosBucket<VertexId>>,
+    ty: FxHashMap<Symbol, PosBucket<EdgeId>>,
+    out: FxHashMap<VertexId, PosBucket<EdgeId>>,
+    inc: FxHashMap<VertexId, PosBucket<EdgeId>>,
 }
 
-/// Remove the first occurrence of `x` in `v` (swap-remove; order within an
-/// index bucket is not semantically meaningful).
-fn remove_one<T: PartialEq + Copy>(v: &mut Vec<T>, x: T) {
-    if let Some(pos) = v.iter().position(|&y| y == x) {
-        v.swap_remove(pos);
+/// Remove `x` from the bucket under `key`, dropping the bucket when it
+/// empties.
+fn bucket_remove<K: Eq + Hash, T: Copy + Eq + Hash>(
+    map: &mut FxHashMap<K, PosBucket<T>>,
+    key: K,
+    x: T,
+) {
+    if let Some(bucket) = map.get_mut(&key) {
+        if bucket.remove(x) {
+            map.remove(&key);
+        }
     }
 }
 
@@ -34,9 +116,7 @@ impl GraphIndexes {
 
     /// Unregister a vertex from `label`.
     pub fn remove_label(&mut self, label: Symbol, v: VertexId) {
-        if let Some(bucket) = self.label.get_mut(&label) {
-            remove_one(bucket, v);
-        }
+        bucket_remove(&mut self.label, label, v);
     }
 
     /// Register an edge.
@@ -48,43 +128,37 @@ impl GraphIndexes {
 
     /// Unregister an edge.
     pub fn remove_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) {
-        if let Some(bucket) = self.ty.get_mut(&ty) {
-            remove_one(bucket, e);
-        }
-        if let Some(bucket) = self.out.get_mut(&src) {
-            remove_one(bucket, e);
-        }
-        if let Some(bucket) = self.inc.get_mut(&dst) {
-            remove_one(bucket, e);
-        }
+        bucket_remove(&mut self.ty, ty, e);
+        bucket_remove(&mut self.out, src, e);
+        bucket_remove(&mut self.inc, dst, e);
     }
 
     /// Vertices carrying `label`.
     pub fn with_label(&self, label: Symbol) -> &[VertexId] {
-        self.label.get(&label).map_or(&[], Vec::as_slice)
+        self.label.get(&label).map_or(&[], |b| b.items.as_slice())
     }
 
     /// Edges of type `ty`.
     pub fn with_type(&self, ty: Symbol) -> &[EdgeId] {
-        self.ty.get(&ty).map_or(&[], Vec::as_slice)
+        self.ty.get(&ty).map_or(&[], |b| b.items.as_slice())
     }
 
     /// Outgoing edges of `v`.
     pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
-        self.out.get(&v).map_or(&[], Vec::as_slice)
+        self.out.get(&v).map_or(&[], |b| b.items.as_slice())
     }
 
     /// Incoming edges of `v`.
     pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
-        self.inc.get(&v).map_or(&[], Vec::as_slice)
+        self.inc.get(&v).map_or(&[], |b| b.items.as_slice())
     }
 
-    /// Known labels (those that have ever indexed a vertex).
+    /// Labels currently indexing at least one vertex.
     pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
         self.label.keys().copied()
     }
 
-    /// Known edge types.
+    /// Edge types currently indexing at least one edge.
     pub fn types(&self) -> impl Iterator<Item = Symbol> + '_ {
         self.ty.keys().copied()
     }
@@ -120,5 +194,41 @@ mod tests {
         assert!(ix.with_type(sym("REPLY")).is_empty());
         assert!(ix.out_edges(VertexId(1)).is_empty());
         assert!(ix.in_edges(VertexId(2)).is_empty());
+    }
+
+    #[test]
+    fn emptied_buckets_are_dropped() {
+        let mut ix = GraphIndexes::default();
+        ix.add_label(sym("Post"), VertexId(1));
+        ix.add_edge(EdgeId(7), VertexId(1), VertexId(2), sym("REPLY"));
+        assert_eq!(ix.labels().count(), 1);
+        assert_eq!(ix.types().count(), 1);
+        ix.remove_label(sym("Post"), VertexId(1));
+        ix.remove_edge(EdgeId(7), VertexId(1), VertexId(2), sym("REPLY"));
+        // No lingering empty buckets — churn must not leak index entries.
+        assert_eq!(ix.labels().count(), 0);
+        assert_eq!(ix.types().count(), 0);
+        assert_eq!(ix.out.len(), 0);
+        assert_eq!(ix.inc.len(), 0);
+        assert_eq!(ix.label.len(), 0);
+        assert_eq!(ix.ty.len(), 0);
+    }
+
+    #[test]
+    fn swap_remove_backlink_stays_consistent() {
+        let mut ix = GraphIndexes::default();
+        for i in 1..=5 {
+            ix.add_label(sym("X"), VertexId(i));
+        }
+        // Remove from the middle: the last element is swapped in; its
+        // backlink must follow so a later removal still works.
+        ix.remove_label(sym("X"), VertexId(2));
+        ix.remove_label(sym("X"), VertexId(5)); // the swapped-in one
+        let mut left = ix.with_label(sym("X")).to_vec();
+        left.sort_unstable();
+        assert_eq!(left, vec![VertexId(1), VertexId(3), VertexId(4)]);
+        // Removing something absent is a no-op.
+        ix.remove_label(sym("X"), VertexId(99));
+        assert_eq!(ix.with_label(sym("X")).len(), 3);
     }
 }

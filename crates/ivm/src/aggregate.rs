@@ -259,7 +259,9 @@ impl AggregateOp {
             dirty.insert(key);
         }
 
-        let mut out = Delta::new();
+        // Each dirty group retracts at most one row and asserts at most
+        // one.
+        let mut out = Delta::with_capacity(2 * dirty.len());
         for key in dirty {
             let new_output = match self.groups.get(&key) {
                 Some(gs) if gs.rows > 0 || self.global => {

@@ -11,29 +11,25 @@ use pgq_common::value::Value;
 
 use crate::delta::Delta;
 
-/// Apply σ to a delta.
+/// Apply σ to a delta (in place — the entry vector is reused).
 pub fn filter_delta(predicate: &ScalarExpr, input: Delta) -> Delta {
-    input
-        .into_entries()
-        .into_iter()
-        .filter(|(t, _)| predicate.matches(t))
-        .collect()
+    let mut entries = input.into_entries();
+    entries.retain(|(t, _)| predicate.matches(t));
+    Delta::from_entries(entries)
 }
 
 /// Apply π (generalised projection) to a delta. Expression errors produce
 /// `null` in the affected column, mirroring Cypher's lenient runtime.
+/// Rows are rewritten in place through one reused scratch buffer.
 pub fn project_delta(items: &[(ScalarExpr, String)], input: Delta) -> Delta {
-    input
-        .into_entries()
-        .into_iter()
-        .map(|(t, m)| {
-            let vals = items
-                .iter()
-                .map(|(e, _)| e.eval(&t).unwrap_or(Value::Null))
-                .collect::<Vec<_>>();
-            (Tuple::new(vals), m)
-        })
-        .collect()
+    let mut entries = input.into_entries();
+    let mut buf: Vec<Value> = Vec::with_capacity(items.len());
+    for (t, _) in entries.iter_mut() {
+        buf.clear();
+        buf.extend(items.iter().map(|(e, _)| e.eval(t).unwrap_or(Value::Null)));
+        *t = Tuple::from_slice(&buf);
+    }
+    Delta::from_entries(entries)
 }
 
 /// Apply ω (unwind) to a delta: one output tuple per list element; `null`

@@ -4,9 +4,23 @@
 //! bag algebra): every dataflow edge carries a `Δ = [(tuple, ±m)]`, and
 //! every stateful operator keeps multiplicity maps it updates from the
 //! deltas flowing through it.
+//!
+//! Consolidation is in-place and allocation-free for the small deltas
+//! that dominate per-transaction maintenance: below a crossover the
+//! entries are merged by quadratic scan inside the existing `Vec`, above
+//! it a hash map takes over. Both paths produce the same deterministic
+//! *first-occurrence* order; callers that need a totally sorted delta
+//! (tests, report diffs) use [`Delta::consolidate_sorted`].
 
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::tuple::Tuple;
+
+use crate::stats::counters;
+
+/// Below this raw length [`Delta::consolidate`] merges by quadratic scan
+/// in place; above it, through a hash map. Small deltas are the common
+/// case per transaction, and 32² tuple comparisons beat a map allocation.
+const CONSOLIDATE_HASH_CROSSOVER: usize = 32;
 
 /// A signed multiset of tuples.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -18,6 +32,18 @@ impl Delta {
     /// Empty delta.
     pub fn new() -> Delta {
         Delta::default()
+    }
+
+    /// Empty delta with room for `n` entries.
+    pub fn with_capacity(n: usize) -> Delta {
+        Delta {
+            entries: Vec::with_capacity(n),
+        }
+    }
+
+    /// Reserve room for `n` more entries.
+    pub fn reserve(&mut self, n: usize) {
+        self.entries.reserve(n);
     }
 
     /// Is there anything in it (before consolidation)?
@@ -47,29 +73,72 @@ impl Delta {
         self.entries.iter()
     }
 
-    /// Sum multiplicities per tuple and drop zeros.
-    pub fn consolidate(self) -> Delta {
-        let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
-        for (t, c) in self.entries {
-            *m.entry(t).or_insert(0) += c;
+    /// Sum multiplicities per tuple and drop zeros, keeping the first
+    /// occurrence's position (deterministic, but not sorted — see
+    /// [`Delta::consolidate_sorted`]).
+    pub fn consolidate(mut self) -> Delta {
+        let entries = &mut self.entries;
+        if entries.len() <= 1 {
+            return self;
         }
-        let mut entries: Vec<(Tuple, i64)> = m.into_iter().filter(|(_, c)| *c != 0).collect();
-        // Deterministic output order helps tests and report diffs.
-        entries.sort_by(|a, b| {
-            a.0.values()
-                .iter()
-                .zip(b.0.values())
-                .fold(std::cmp::Ordering::Equal, |acc, (x, y)| {
-                    acc.then_with(|| x.total_cmp(y))
-                })
-                .then_with(|| a.0.arity().cmp(&b.0.arity()))
-        });
-        Delta { entries }
+        if entries.len() <= CONSOLIDATE_HASH_CROSSOVER {
+            // In-place quadratic merge: no allocation at all.
+            let mut write = 0usize;
+            for read in 0..entries.len() {
+                match (0..write).find(|&j| entries[j].0 == entries[read].0) {
+                    Some(j) => entries[j].1 += entries[read].1,
+                    None => {
+                        entries.swap(write, read);
+                        write += 1;
+                    }
+                }
+            }
+            entries.truncate(write);
+        } else {
+            // Hash path: index of each tuple's first occurrence.
+            let mut index: FxHashMap<Tuple, usize> = FxHashMap::default();
+            index.reserve(entries.len());
+            let mut write = 0usize;
+            for read in 0..entries.len() {
+                match index.entry(entries[read].0.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let j = *e.get();
+                        entries[j].1 += entries[read].1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(write);
+                        entries.swap(write, read);
+                        write += 1;
+                    }
+                }
+            }
+            entries.truncate(write);
+        }
+        entries.retain(|(_, m)| *m != 0);
+        self
+    }
+
+    /// [`Delta::consolidate`], then sort by [`Tuple::total_cmp`] (stable,
+    /// so entries that compare equal keep first-occurrence order). Use
+    /// where a canonical order matters: tests, golden files, reports.
+    pub fn consolidate_sorted(self) -> Delta {
+        let mut d = self.consolidate();
+        d.entries.sort_by(|a, b| a.0.total_cmp(&b.0));
+        d
     }
 
     /// Consume into entries.
     pub fn into_entries(self) -> Vec<(Tuple, i64)> {
         self.entries
+    }
+
+    /// Rebuild from an entry vector (e.g. one taken by
+    /// [`Delta::into_entries`], transformed in place). Zero
+    /// multiplicities are dropped by `retain`, so the `Vec`'s allocation
+    /// is reused rather than re-collected.
+    pub fn from_entries(mut entries: Vec<(Tuple, i64)>) -> Delta {
+        entries.retain(|(_, m)| *m != 0);
+        Delta { entries }
     }
 }
 
@@ -81,12 +150,119 @@ impl FromIterator<(Tuple, i64)> for Delta {
     }
 }
 
-/// A multiplicity-counted tuple store with per-key index, used as join
-/// memory.
+/// A hash bucket spills from a linear `Vec` to a per-tuple map beyond
+/// this many distinct tuples. Join keys overwhelmingly have small
+/// fan-out, where a `Vec` avoids the per-bucket map allocation and beats
+/// it on scan locality; hot keys (deep threads, popular posts) get O(1)
+/// updates from the map.
+const BUCKET_SPILL: usize = 8;
+
+/// One key-hash bucket of an [`IndexedBag`].
+#[derive(Clone, Debug)]
+enum Bucket {
+    /// Small fan-out: linear scan.
+    Small(Vec<(Tuple, i64)>),
+    /// Large fan-out: per-tuple multiplicity map.
+    Large(FxHashMap<Tuple, i64>),
+}
+
+impl Default for Bucket {
+    fn default() -> Self {
+        Bucket::Small(Vec::new())
+    }
+}
+
+impl Bucket {
+    /// Apply one signed update; returns the change in distinct-tuple
+    /// count (−1, 0, or +1).
+    fn update(&mut self, tuple: &Tuple, mult: i64) -> i64 {
+        match self {
+            Bucket::Small(v) => {
+                if let Some(pos) = v.iter().position(|(t, _)| t == tuple) {
+                    v[pos].1 += mult;
+                    if v[pos].1 == 0 {
+                        v.swap_remove(pos);
+                        -1
+                    } else {
+                        0
+                    }
+                } else {
+                    if v.len() >= BUCKET_SPILL {
+                        let mut m: FxHashMap<Tuple, i64> = v.drain(..).collect();
+                        m.insert(tuple.clone(), mult);
+                        counters::rehash_if_grew(0, m.capacity());
+                        *self = Bucket::Large(m);
+                    } else {
+                        v.push((tuple.clone(), mult));
+                    }
+                    1
+                }
+            }
+            Bucket::Large(m) => {
+                let before = m.capacity();
+                let e = m.entry(tuple.clone()).or_insert(0);
+                let was_zero = *e == 0;
+                *e += mult;
+                let now_zero = *e == 0;
+                if now_zero {
+                    m.remove(tuple);
+                }
+                counters::rehash_if_grew(before, m.capacity());
+                match (was_zero, now_zero) {
+                    (true, false) => 1,
+                    (false, true) => -1,
+                    _ => 0,
+                }
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Bucket::Small(v) => v.is_empty(),
+            Bucket::Large(m) => m.is_empty(),
+        }
+    }
+
+    fn iter(&self) -> BucketIter<'_> {
+        match self {
+            Bucket::Small(v) => BucketIter::Small(v.iter()),
+            Bucket::Large(m) => BucketIter::Large(m.iter()),
+        }
+    }
+}
+
+/// Iterator over one bucket's `(tuple, multiplicity)` entries.
+enum BucketIter<'a> {
+    Small(std::slice::Iter<'a, (Tuple, i64)>),
+    Large(std::collections::hash_map::Iter<'a, Tuple, i64>),
+}
+
+impl<'a> Iterator for BucketIter<'a> {
+    type Item = (&'a Tuple, i64);
+
+    fn next(&mut self) -> Option<(&'a Tuple, i64)> {
+        match self {
+            BucketIter::Small(it) => it.next().map(|(t, c)| (t, *c)),
+            BucketIter::Large(it) => it.next().map(|(t, c)| (t, *c)),
+        }
+    }
+}
+
+/// A multiplicity-counted tuple store indexed by key-column projection,
+/// used as join memory.
+///
+/// Tuples are bucketed by the Fx hash of their projection onto
+/// `key_cols` (see [`pgq_common::tuple::hash_values`]); within a hash
+/// bucket an adaptive [`Bucket`] keeps updates cheap at both small and
+/// large fan-out. Probes hash the probing tuple's own projection via
+/// [`Tuple::hash_projected`] and compare key columns value-by-value, so
+/// neither [`IndexedBag::update`] nor [`IndexedBag::probe`] ever
+/// materialises a key tuple.
 #[derive(Clone, Debug, Default)]
 pub struct IndexedBag {
-    /// key tuple -> (full tuple -> multiplicity)
-    by_key: FxHashMap<Tuple, FxHashMap<Tuple, i64>>,
+    /// key-projection hash -> bucket of (full tuple, multiplicity)
+    by_key: FxHashMap<u64, Bucket>,
     key_cols: Vec<usize>,
     size: usize,
 }
@@ -111,42 +287,59 @@ impl IndexedBag {
         self.size
     }
 
-    fn key_of(&self, t: &Tuple) -> Tuple {
-        t.project(&self.key_cols)
-    }
-
-    /// Apply one signed update; returns the tuple's key.
-    pub fn update(&mut self, tuple: &Tuple, mult: i64) -> Tuple {
-        let key = self.key_of(tuple);
-        let slot = self.by_key.entry(key.clone()).or_default();
-        let e = slot.entry(tuple.clone()).or_insert(0);
-        let was_zero = *e == 0;
-        *e += mult;
-        if *e == 0 {
-            slot.remove(tuple);
-            self.size -= 1;
-            if slot.is_empty() {
-                self.by_key.remove(&key);
-            }
-        } else if was_zero {
-            self.size += 1;
+    /// Apply one signed update.
+    pub fn update(&mut self, tuple: &Tuple, mult: i64) {
+        if mult == 0 {
+            return;
         }
-        key
+        let hash = tuple.hash_projected(&self.key_cols);
+        let outer_before = self.by_key.capacity();
+        let slot = self.by_key.entry(hash).or_default();
+        self.size = (self.size as i64 + slot.update(tuple, mult)) as usize;
+        if slot.is_empty() {
+            self.by_key.remove(&hash);
+        }
+        counters::rehash_if_grew(outer_before, self.by_key.capacity());
     }
 
-    /// Tuples matching `key` with multiplicities.
-    pub fn get(&self, key: &Tuple) -> impl Iterator<Item = (&Tuple, i64)> {
+    /// Tuples whose key equals `probe.project(probe_cols)`, with
+    /// multiplicities — without materialising that projection.
+    pub fn probe<'a>(
+        &'a self,
+        probe: &'a Tuple,
+        probe_cols: &'a [usize],
+    ) -> impl Iterator<Item = (&'a Tuple, i64)> {
+        debug_assert_eq!(probe_cols.len(), self.key_cols.len());
+        let kr = probe.key_ref(probe_cols);
+        let key_cols = &self.key_cols;
         self.by_key
-            .get(key)
+            .get(&kr.hash())
             .into_iter()
-            .flat_map(|m| m.iter().map(|(t, c)| (t, *c)))
+            .flat_map(Bucket::iter)
+            .filter(move |(t, _)| kr.matches_projection(t, key_cols))
+            .map(|(t, c)| {
+                counters::probe_hit();
+                (t, c)
+            })
+    }
+
+    /// Tuples matching the standalone key tuple `key`, with
+    /// multiplicities.
+    pub fn get<'a>(&'a self, key: &'a Tuple) -> impl Iterator<Item = (&'a Tuple, i64)> {
+        let key_cols = &self.key_cols;
+        self.by_key
+            .get(&key.hash_whole())
+            .into_iter()
+            .flat_map(Bucket::iter)
+            .filter(move |(t, _)| {
+                key_cols.len() == key.arity()
+                    && key_cols.iter().zip(key.iter()).all(|(&a, v)| t.get(a) == v)
+            })
     }
 
     /// Iterate all `(tuple, multiplicity)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
-        self.by_key
-            .values()
-            .flat_map(|m| m.iter().map(|(t, c)| (t, *c)))
+        self.by_key.values().flat_map(Bucket::iter)
     }
 }
 
@@ -168,6 +361,73 @@ mod tests {
         d.push(t(&[2]), -1);
         let c = d.consolidate();
         assert_eq!(c.into_entries(), vec![(t(&[1]), 3)]);
+    }
+
+    #[test]
+    fn consolidate_hash_path_matches_scan_path() {
+        // Build a delta crossing the hash crossover with duplicates and
+        // cancellations; both paths must agree on content and order.
+        let mut big = Delta::new();
+        let mut small_chunks: Vec<Delta> = Vec::new();
+        for i in 0..((CONSOLIDATE_HASH_CROSSOVER as i64) + 8) {
+            let mut chunk = Delta::new();
+            for (v, m) in [(i % 7, 1), (i % 5, -1), (i % 7, 2)] {
+                big.push(t(&[v]), m);
+                chunk.push(t(&[v]), m);
+            }
+            small_chunks.push(chunk);
+        }
+        // Reference: consolidate chunk sums through a plain map.
+        let mut want: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for (tu, m) in big.iter() {
+            *want.entry(tu.clone()).or_insert(0) += m;
+        }
+        want.retain(|_, m| *m != 0);
+        let got = big.consolidate();
+        assert!(!got.is_empty());
+        let got_map: FxHashMap<Tuple, i64> = got.iter().map(|(tu, m)| (tu.clone(), *m)).collect();
+        assert_eq!(got_map, want);
+    }
+
+    #[test]
+    fn consolidate_keeps_first_occurrence_order() {
+        let mut d = Delta::new();
+        d.push(t(&[3]), 1);
+        d.push(t(&[1]), 1);
+        d.push(t(&[3]), 1);
+        d.push(t(&[2]), 1);
+        assert_eq!(
+            d.consolidate().into_entries(),
+            vec![(t(&[3]), 2), (t(&[1]), 1), (t(&[2]), 1)]
+        );
+    }
+
+    #[test]
+    fn consolidate_sorted_orders_by_tuple() {
+        let mut d = Delta::new();
+        d.push(t(&[3]), 1);
+        d.push(t(&[1]), 1);
+        d.push(t(&[2]), 1);
+        assert_eq!(
+            d.consolidate_sorted().into_entries(),
+            vec![(t(&[1]), 1), (t(&[2]), 1), (t(&[3]), 1)]
+        );
+    }
+
+    #[test]
+    fn consolidate_does_not_merge_numerically_equal_but_distinct_tuples() {
+        // Int(2) and Float(2.0) compare Equal under total_cmp but are
+        // distinct tuples; consolidation must keep them apart.
+        let int2: Tuple = vec![Value::Int(2)].into();
+        let float2: Tuple = vec![Value::float(2.0)].into();
+        let mut d = Delta::new();
+        d.push(int2.clone(), 1);
+        d.push(float2.clone(), 1);
+        d.push(int2.clone(), 1);
+        let entries = d.consolidate_sorted().into_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(int2, 2)));
+        assert!(entries.contains(&(float2, 1)));
     }
 
     #[test]
@@ -194,11 +454,51 @@ mod tests {
     }
 
     #[test]
+    fn indexed_bag_probe_equals_get() {
+        let mut bag = IndexedBag::new(vec![1]);
+        bag.update(&t(&[10, 1]), 1);
+        bag.update(&t(&[20, 1]), 3);
+        bag.update(&t(&[30, 2]), 1);
+        // Probe with a differently-shaped tuple whose col 0 is the key.
+        let probe = t(&[1, 99]);
+        let via_probe: Vec<i64> = {
+            let mut v: Vec<i64> = bag.probe(&probe, &[0]).map(|(_, c)| c).collect();
+            v.sort_unstable();
+            v
+        };
+        let key = t(&[1]);
+        let via_get: Vec<i64> = {
+            let mut v: Vec<i64> = bag.get(&key).map(|(_, c)| c).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(via_probe, vec![1, 3]);
+        assert_eq!(via_probe, via_get);
+    }
+
+    #[test]
+    fn indexed_bag_empty_key_cols() {
+        let mut bag = IndexedBag::new(vec![]);
+        bag.update(&t(&[5]), 1);
+        bag.update(&t(&[6]), 1);
+        assert_eq!(bag.get(&Tuple::unit()).count(), 2);
+        assert_eq!(bag.probe(&t(&[9, 9]), &[]).count(), 2);
+    }
+
+    #[test]
     fn indexed_bag_negative_multiplicities_allowed_transiently() {
         let mut bag = IndexedBag::new(vec![0]);
         bag.update(&t(&[1, 10]), -1);
         assert_eq!(bag.get(&t(&[1])).next().map(|(_, c)| c), Some(-1));
         bag.update(&t(&[1, 10]), 1);
         assert_eq!(bag.distinct_len(), 0);
+    }
+
+    #[test]
+    fn indexed_bag_zero_update_is_noop() {
+        let mut bag = IndexedBag::new(vec![0]);
+        bag.update(&t(&[1, 10]), 0);
+        assert_eq!(bag.distinct_len(), 0);
+        assert_eq!(bag.iter().count(), 0);
     }
 }

@@ -26,8 +26,9 @@ impl DistinctOp {
 
     /// Process a delta.
     pub fn on_delta(&mut self, input: Delta) -> Delta {
-        let mut out = Delta::new();
-        for (t, m) in input.consolidate().into_entries() {
+        let entries = input.consolidate().into_entries();
+        let mut out = Delta::with_capacity(entries.len());
+        for (t, m) in entries {
             let e = self.counts.entry(t.clone()).or_insert(0);
             let before = *e;
             *e += m;

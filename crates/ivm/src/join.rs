@@ -2,8 +2,15 @@
 //!
 //! Standard bilinear delta rule over bags:
 //! `Δ(L ⋈ R) = ΔL ⋈ R  ∪  (L + ΔL) ⋈ ΔR`.
+//!
+//! The hot path is allocation-free per match: memories are probed via
+//! [`IndexedBag::probe`] (no key tuple is built), matches are consumed by
+//! borrow (no clone into a temporary `Vec`), and output values are
+//! assembled in a reused scratch buffer so each emitted tuple costs
+//! exactly its own `Arc` allocation.
 
 use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
 
 use crate::delta::{Delta, IndexedBag};
 
@@ -14,6 +21,47 @@ pub struct JoinOp {
     left_mem: IndexedBag,
     right_mem: IndexedBag,
     right_keep: Vec<usize>,
+    /// Optional output permutation over the virtual row
+    /// `left ++ right[right_keep]`, folded into emission so consumers
+    /// that reorder columns (the ⋈* destination join) don't pay a second
+    /// tuple materialisation per row.
+    out_perm: Option<Vec<usize>>,
+    /// Reused output-row assembly buffer.
+    scratch: Vec<Value>,
+}
+
+/// Emit the (optionally permuted) output row `left ++ right[right_keep]`
+/// with multiplicity `mult`, assembling the values in `scratch`.
+fn emit(
+    scratch: &mut Vec<Value>,
+    l: &Tuple,
+    r: &Tuple,
+    right_keep: &[usize],
+    out_perm: &Option<Vec<usize>>,
+    mult: i64,
+    out: &mut Delta,
+) {
+    scratch.clear();
+    scratch.reserve(l.arity() + right_keep.len());
+    match out_perm {
+        None => {
+            scratch.extend_from_slice(l.values());
+            for &i in right_keep {
+                scratch.push(r.get(i).clone());
+            }
+        }
+        Some(perm) => {
+            let la = l.arity();
+            for &i in perm {
+                if i < la {
+                    scratch.push(l.get(i).clone());
+                } else {
+                    scratch.push(r.get(right_keep[i - la]).clone());
+                }
+            }
+        }
+    }
+    out.push(Tuple::from_slice(scratch), mult);
 }
 
 impl JoinOp {
@@ -27,7 +75,16 @@ impl JoinOp {
             left_mem: IndexedBag::new(left_keys),
             right_mem: IndexedBag::new(right_keys),
             right_keep,
+            out_perm: None,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Reorder emitted rows by `perm` (indexes into the unpermuted output
+    /// `left ++ right[right_keep]`). Must cover every output column.
+    pub fn with_output_perm(mut self, perm: Vec<usize>) -> JoinOp {
+        self.out_perm = Some(perm);
+        self
     }
 
     /// Tuples materialised in the two memories.
@@ -35,49 +92,34 @@ impl JoinOp {
         self.left_mem.distinct_len() + self.right_mem.distinct_len()
     }
 
-    fn emit(&self, l: &Tuple, r: &Tuple, mult: i64, out: &mut Delta) {
-        let mut vals = Vec::with_capacity(l.arity() + self.right_keep.len());
-        vals.extend(l.values().iter().cloned());
-        for &i in &self.right_keep {
-            vals.push(r.get(i).clone());
-        }
-        out.push(Tuple::new(vals), mult);
-    }
-
     /// Process one batch of deltas from both inputs.
     pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
+        let JoinOp {
+            left_mem,
+            right_mem,
+            right_keep,
+            out_perm,
+            scratch,
+        } = self;
         let mut out = Delta::new();
-        // ΔL ⋈ R_old
+        // ΔL ⋈ R_old (right memory not yet updated).
         for (lt, lm) in dl.iter() {
-            let key = lt.project(self.left_mem.key_cols());
-            // Right memory not yet updated → R_old.
-            let matches: Vec<(Tuple, i64)> = self
-                .right_mem
-                .get(&key)
-                .map(|(t, c)| (t.clone(), c))
-                .collect();
-            for (rt, rm) in matches {
-                self.emit(lt, &rt, lm * rm, &mut out);
+            for (rt, rm) in right_mem.probe(lt, left_mem.key_cols()) {
+                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, &mut out);
             }
         }
         // Update left memory → L_new.
         for (lt, lm) in dl.iter() {
-            self.left_mem.update(lt, *lm);
+            left_mem.update(lt, *lm);
         }
         // L_new ⋈ ΔR
         for (rt, rm) in dr.iter() {
-            let key = rt.project(self.right_mem.key_cols());
-            let matches: Vec<(Tuple, i64)> = self
-                .left_mem
-                .get(&key)
-                .map(|(t, c)| (t.clone(), c))
-                .collect();
-            for (lt, lm) in matches {
-                self.emit(&lt, rt, lm * rm, &mut out);
+            for (lt, lm) in left_mem.probe(rt, right_mem.key_cols()) {
+                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, &mut out);
             }
         }
         for (rt, rm) in dr.iter() {
-            self.right_mem.update(rt, *rm);
+            right_mem.update(rt, *rm);
         }
         out
     }

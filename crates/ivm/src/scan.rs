@@ -26,6 +26,8 @@ pub struct VertexScan {
     props: Vec<PropPush>,
     carry_map: bool,
     memory: FxHashMap<VertexId, Tuple>,
+    /// Reused per-batch dedup set (cleared, not reallocated).
+    touched: FxHashSet<VertexId>,
 }
 
 impl VertexScan {
@@ -37,6 +39,7 @@ impl VertexScan {
             props,
             carry_map,
             memory: FxHashMap::default(),
+            touched: FxHashSet::default(),
         }
     }
 
@@ -87,16 +90,18 @@ impl VertexScan {
 
     /// Delta for a batch of committed events (post-state `g`).
     pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
-        let mut touched: FxHashSet<VertexId> = FxHashSet::default();
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
         for ev in events {
             if let Some(v) = ev.touched_vertex() {
                 touched.insert(v);
             }
         }
         let mut out = Delta::new();
-        for v in touched {
+        for &v in &touched {
             self.refresh(g, v, &mut out);
         }
+        self.touched = touched;
         out
     }
 
@@ -143,6 +148,8 @@ pub struct EdgeScan {
     /// scan feeds a variable-length join).
     edge_prop_filters: Vec<(Symbol, Value)>,
     memory: FxHashMap<EdgeId, Vec<Tuple>>,
+    /// Reused per-batch dedup set (cleared, not reallocated).
+    touched: FxHashSet<EdgeId>,
 }
 
 /// Construction parameters for [`EdgeScan`].
@@ -182,12 +189,27 @@ impl EdgeScan {
             dir: spec.dir.unwrap_or(Direction::Out),
             edge_prop_filters: spec.edge_prop_filters,
             memory: FxHashMap::default(),
+            touched: FxHashSet::default(),
         }
     }
 
     /// Number of tuples materialised in this scan's memory.
     pub fn memory_tuples(&self) -> usize {
         self.memory.values().map(Vec::len).sum()
+    }
+
+    /// Do this scan's tuples depend on vertex state at all? When not
+    /// (e.g. the bare `(src, e, dst)` scan feeding a variable-length
+    /// join), vertex label/property events cannot change any emitted
+    /// tuple, so the per-event adjacency fan-out can be skipped entirely.
+    /// Structural changes (vertex deletion detaching edges) arrive as
+    /// their own edge events and are still handled.
+    fn vertex_sensitive(&self) -> bool {
+        !self.src_labels.is_empty()
+            || !self.dst_labels.is_empty()
+            || !self.src_props.is_empty()
+            || !self.dst_props.is_empty()
+            || self.carry_maps != (false, false, false)
     }
 
     fn tuples_of(&self, g: &PropertyGraph, e: EdgeId) -> Vec<Tuple> {
@@ -280,40 +302,45 @@ impl EdgeScan {
     /// incident edge (labels/properties of endpoints are part of edge
     /// tuples).
     pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
-        let mut touched: FxHashSet<EdgeId> = FxHashSet::default();
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        let vertex_sensitive = self.vertex_sensitive();
         for ev in events {
             if let Some(e) = ev.touched_edge() {
                 touched.insert(e);
             }
-            if let Some(v) = ev.touched_vertex() {
-                // Structural vertex events come with their own edge
-                // events; label/prop updates need the adjacency.
-                touched.extend(g.out_edges(v).iter().copied());
-                touched.extend(g.in_edges(v).iter().copied());
+            if vertex_sensitive {
+                if let Some(v) = ev.touched_vertex() {
+                    // Structural vertex events come with their own edge
+                    // events; label/prop updates need the adjacency.
+                    touched.extend(g.out_edges(v).iter().copied());
+                    touched.extend(g.in_edges(v).iter().copied());
+                }
             }
         }
         let mut out = Delta::new();
-        for e in touched {
+        for &e in &touched {
             self.refresh(g, e, &mut out);
         }
+        self.touched = touched;
         out
     }
 
     fn refresh(&mut self, g: &PropertyGraph, e: EdgeId, out: &mut Delta) {
         let new = self.tuples_of(g, e);
-        let old = self.memory.get(&e).cloned().unwrap_or_default();
-        if new == old {
+        // Unchanged is the common case (a vertex-touch event fans out to
+        // every incident edge) — detect it without cloning the memory.
+        if self.memory.get(&e).map_or(&[][..], Vec::as_slice) == new.as_slice() {
             return;
         }
+        let old = self.memory.remove(&e).unwrap_or_default();
         for t in &old {
             out.push(t.clone(), -1);
         }
         for t in &new {
             out.push(t.clone(), 1);
         }
-        if new.is_empty() {
-            self.memory.remove(&e);
-        } else {
+        if !new.is_empty() {
             self.memory.insert(e, new);
         }
     }

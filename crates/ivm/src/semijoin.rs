@@ -9,18 +9,84 @@
 //! The first bracket is non-empty only for keys whose support crossed
 //! zero — the counting trick that makes negation incremental (Gupta–
 //! Mumick–Subrahmanian's treatment of set difference).
+//!
+//! Like [`JoinOp`](crate::join::JoinOp), the hot path never materialises
+//! a key tuple: support is bucketed by key-projection hash and probed
+//! with borrowed projections; only the first insertion of a brand-new
+//! support key allocates (and is counted by
+//! [`stats::counters`](crate::stats::counters)).
 
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::tuple::Tuple;
 
 use crate::delta::{Delta, IndexedBag};
+use crate::stats::counters;
+
+/// Support counts per key, bucketed by key-projection hash so probes and
+/// updates borrow the probing tuple (via
+/// [`KeyRef`](pgq_common::tuple::KeyRef)) instead of projecting it.
+#[derive(Clone, Debug, Default)]
+struct SupportMap {
+    /// key hash -> [(materialised key, support)]
+    by_hash: FxHashMap<u64, Vec<(Tuple, i64)>>,
+    len: usize,
+}
+
+impl SupportMap {
+    /// Number of keys with non-zero support.
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Support of `probe.project(cols)` (zero when absent).
+    fn probe(&self, probe: &Tuple, cols: &[usize]) -> i64 {
+        let kr = probe.key_ref(cols);
+        self.by_hash
+            .get(&kr.hash())
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(k, _)| kr.matches_key(k))
+                    .map(|(_, c)| *c)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Add `dm` to the support of `probe.project(cols)`; returns
+    /// `(old, new)` support. Removes the key at zero.
+    fn update(&mut self, probe: &Tuple, cols: &[usize], dm: i64) -> (i64, i64) {
+        let kr = probe.key_ref(cols);
+        let bucket = self.by_hash.entry(kr.hash()).or_default();
+        if let Some(pos) = bucket.iter().position(|(k, _)| kr.matches_key(k)) {
+            let old = bucket[pos].1;
+            let new = old + dm;
+            if new == 0 {
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                if bucket.is_empty() {
+                    self.by_hash.remove(&kr.hash());
+                }
+            } else {
+                bucket[pos].1 = new;
+            }
+            (old, new)
+        } else {
+            // First sighting of this key: the one place a key tuple is
+            // materialised.
+            counters::key_materialized();
+            bucket.push((kr.to_tuple(), dm));
+            self.len += 1;
+            (0, dm)
+        }
+    }
+}
 
 /// ⋉ / ▷ node.
 #[derive(Clone, Debug)]
 pub struct SemiJoinOp {
     left_mem: IndexedBag,
     right_keys: Vec<usize>,
-    right_support: FxHashMap<Tuple, i64>,
+    right_support: SupportMap,
     anti: bool,
 }
 
@@ -30,7 +96,7 @@ impl SemiJoinOp {
         SemiJoinOp {
             left_mem: IndexedBag::new(left_keys),
             right_keys,
-            right_support: FxHashMap::default(),
+            right_support: SupportMap::default(),
             anti,
         }
     }
@@ -48,40 +114,44 @@ impl SemiJoinOp {
     pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
         let mut out = Delta::new();
 
-        // Phase 1: apply ΔR; emit flips against L_old.
-        let mut per_key: FxHashMap<Tuple, i64> = FxHashMap::default();
-        for (t, m) in dr.iter() {
-            *per_key.entry(t.project(&self.right_keys)).or_insert(0) += m;
+        // Phase 1: apply ΔR; emit flips against L_old. Aggregate ΔR per
+        // key first so transient zero crossings inside one batch don't
+        // emit cancelling flips; keys stay borrowed — buckets hold entry
+        // indices into `dr`, disambiguated by projection equality.
+        let dr = dr.into_entries();
+        let mut per_key: FxHashMap<u64, Vec<(usize, i64)>> = FxHashMap::default();
+        for (i, (rt, rm)) in dr.iter().enumerate() {
+            let kr = rt.key_ref(&self.right_keys);
+            let bucket = per_key.entry(kr.hash()).or_default();
+            match bucket
+                .iter_mut()
+                .find(|(j, _)| kr.matches_projection(&dr[*j].0, &self.right_keys))
+            {
+                Some((_, dm)) => *dm += rm,
+                None => bucket.push((i, *rm)),
+            }
         }
-        for (key, dm) in per_key {
-            if dm == 0 {
-                continue;
-            }
-            let entry = self.right_support.entry(key.clone()).or_insert(0);
-            let old_pos = *entry > 0;
-            *entry += dm;
-            let new_pos = *entry > 0;
-            debug_assert!(*entry >= 0, "negative existence support for {key}");
-            if *entry == 0 {
-                self.right_support.remove(&key);
-            }
-            if old_pos != new_pos {
-                let sign = if self.passes(new_pos) { 1 } else { -1 };
-                let matches: Vec<(Tuple, i64)> = self
-                    .left_mem
-                    .get(&key)
-                    .map(|(t, c)| (t.clone(), c))
-                    .collect();
-                for (lt, lm) in matches {
-                    out.push(lt, sign * lm);
+        for bucket in per_key.into_values() {
+            for (rep_ix, dm) in bucket {
+                if dm == 0 {
+                    continue;
+                }
+                let rep = &dr[rep_ix].0;
+                let (old, new) = self.right_support.update(rep, &self.right_keys, dm);
+                let (old_pos, new_pos) = (old > 0, new > 0);
+                debug_assert!(new >= 0, "negative existence support under {rep}");
+                if old_pos != new_pos {
+                    let sign = if self.passes(new_pos) { 1 } else { -1 };
+                    for (lt, lm) in self.left_mem.probe(rep, &self.right_keys) {
+                        out.push(lt.clone(), sign * lm);
+                    }
                 }
             }
         }
 
         // Phase 2: ΔL against R_new.
         for (lt, lm) in dl.iter() {
-            let key = lt.project(self.left_mem.key_cols());
-            let positive = self.right_support.get(&key).copied().unwrap_or(0) > 0;
+            let positive = self.right_support.probe(lt, self.left_mem.key_cols()) > 0;
             if self.passes(positive) {
                 out.push(lt.clone(), *lm);
             }
@@ -158,6 +228,18 @@ mod tests {
             .on_deltas(d(&[(&[1, 10], -1)]), Delta::new())
             .consolidate();
         assert_eq!(out.into_entries(), vec![(t(&[1, 10]), -1)]);
+    }
+
+    #[test]
+    fn cancelled_batch_does_not_flip() {
+        // +1 and -1 for the same key in one ΔR batch: net zero, no flip.
+        let mut j = SemiJoinOp::new(vec![0], vec![0], true);
+        j.on_deltas(d(&[(&[1, 10], 1)]), Delta::new());
+        let out = j
+            .on_deltas(Delta::new(), d(&[(&[1], 1), (&[1], -1)]))
+            .consolidate();
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(j.memory_tuples(), 1, "support key should not linger");
     }
 
     #[test]

@@ -1,9 +1,109 @@
 //! Per-operator statistics of a running network — `EXPLAIN ANALYZE` for
-//! the dataflow: which memories hold how many tuples.
+//! the dataflow: which memories hold how many tuples — plus, behind the
+//! `ivm-stats` feature, process-wide allocation/rehash counters for the
+//! hot path (see [`counters`]).
 
 use std::fmt;
 
 use crate::op::Op;
+
+/// Allocation/rehash accounting for the IVM hot path.
+///
+/// With the `ivm-stats` feature enabled, the delta/join layer counts
+/// three things; without it, every hook compiles to a no-op:
+///
+/// * **key materialisations** — a key [`Tuple`](pgq_common::tuple::Tuple)
+///   was allocated on a probe/update path. The borrowed-key join memory
+///   keeps this at zero per match; only first-insertions of new support
+///   keys may count.
+/// * **probe hits** — matches yielded by
+///   [`IndexedBag::probe`](crate::delta::IndexedBag::probe) (the
+///   borrowed-key path; standalone-key
+///   [`get`](crate::delta::IndexedBag::get) is not counted), to show
+///   the counters cover real work.
+/// * **rehashes** — a join-memory hash map grew its capacity during an
+///   update (amortised table growth, not per-match cost).
+///
+/// `crates/ivm/tests/alloc_counters.rs` (run via
+/// `cargo test -p pgq_ivm --features ivm-stats`, also a CI step)
+/// asserts `snapshot().key_materializations == 0` across a steady-state
+/// delta batch while `probe_hits > 0`.
+pub mod counters {
+    /// Counter snapshot; obtain via [`snapshot`].
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    pub struct Counters {
+        /// Key tuples materialised on probe/update paths.
+        pub key_materializations: u64,
+        /// Matches yielded by indexed-bag probes.
+        pub probe_hits: u64,
+        /// Join-memory hash-map capacity growth events.
+        pub rehashes: u64,
+    }
+
+    #[cfg(feature = "ivm-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub static KEY_MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+        pub static PROBE_HITS: AtomicU64 = AtomicU64::new(0);
+        pub static REHASHES: AtomicU64 = AtomicU64::new(0);
+
+        pub fn bump(c: &AtomicU64) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a key-tuple materialisation on a hot path.
+    #[inline]
+    pub fn key_materialized() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::KEY_MATERIALIZATIONS);
+    }
+
+    /// Record one match yielded by an indexed-bag probe.
+    #[inline]
+    pub fn probe_hit() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::PROBE_HITS);
+    }
+
+    /// Record a hash-map rehash if `after > before` capacity.
+    #[inline]
+    pub fn rehash_if_grew(before: usize, after: usize) {
+        #[cfg(not(feature = "ivm-stats"))]
+        let _ = (before, after);
+        #[cfg(feature = "ivm-stats")]
+        if after > before {
+            imp::bump(&imp::REHASHES);
+        }
+    }
+
+    /// Current counter values (all zero when the feature is off).
+    pub fn snapshot() -> Counters {
+        #[cfg(feature = "ivm-stats")]
+        {
+            use std::sync::atomic::Ordering;
+            Counters {
+                key_materializations: imp::KEY_MATERIALIZATIONS.load(Ordering::Relaxed),
+                probe_hits: imp::PROBE_HITS.load(Ordering::Relaxed),
+                rehashes: imp::REHASHES.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "ivm-stats"))]
+        Counters::default()
+    }
+
+    /// Reset all counters to zero (no-op when the feature is off).
+    pub fn reset() {
+        #[cfg(feature = "ivm-stats")]
+        {
+            use std::sync::atomic::Ordering;
+            imp::KEY_MATERIALIZATIONS.store(0, Ordering::Relaxed);
+            imp::PROBE_HITS.store(0, Ordering::Relaxed);
+            imp::REHASHES.store(0, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Statistics of one operator (and its subtree).
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -70,50 +70,42 @@ impl PathStore {
         if !fits(1) {
             return Vec::new();
         }
-        let prefixes: Vec<Arc<PathValue>> = self
-            .ending
-            .get(&u)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
-        let suffixes: Vec<Arc<PathValue>> = self
-            .starting
-            .get(&v)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
-
         let mut added: Vec<Arc<PathValue>> = Vec::new();
         let hop = PathValue::single(u).extend(e, v);
 
-        // ε · e · ε
-        added.push(Arc::new(hop.clone()));
-        // p₁ · e · ε
-        for p1 in &prefixes {
-            if p1.contains_edge(e) || !fits(p1.len() + 1) {
-                continue;
-            }
-            added.push(Arc::new(p1.extend(e, v)));
-        }
-        // ε · e · p₂
-        for p2 in &suffixes {
-            if p2.contains_edge(e) || !fits(p2.len() + 1) {
-                continue;
-            }
-            added.push(Arc::new(hop.concat(p2).expect("seam at v")));
-        }
-        // p₁ · e · p₂
-        for p1 in &prefixes {
-            if p1.contains_edge(e) {
-                continue;
-            }
-            for p2 in &suffixes {
-                if p2.contains_edge(e) || !fits(p1.len() + 1 + p2.len()) {
+        // Borrow the prefix/suffix extents directly — `added` owns its
+        // paths, so the borrows end before the store is mutated below.
+        {
+            let prefixes = self.ending.get(&u).into_iter().flatten();
+            let suffixes = || self.starting.get(&v).into_iter().flatten();
+
+            // ε · e · ε
+            added.push(Arc::new(hop.clone()));
+            // ε · e · p₂
+            for p2 in suffixes() {
+                if p2.contains_edge(e) || !fits(p2.len() + 1) {
                     continue;
                 }
-                if p1.edges().iter().any(|x| p2.contains_edge(*x)) {
+                added.push(Arc::new(hop.concat(p2).expect("seam at v")));
+            }
+            // p₁ · e · ε  and  p₁ · e · p₂
+            for p1 in prefixes {
+                if p1.contains_edge(e) {
                     continue;
                 }
-                let combined = p1.extend(e, v).concat(p2).expect("seam at v");
-                added.push(Arc::new(combined));
+                if fits(p1.len() + 1) {
+                    added.push(Arc::new(p1.extend(e, v)));
+                }
+                for p2 in suffixes() {
+                    if p2.contains_edge(e) || !fits(p1.len() + 1 + p2.len()) {
+                        continue;
+                    }
+                    if p1.edges().iter().any(|x| p2.contains_edge(*x)) {
+                        continue;
+                    }
+                    let combined = p1.extend(e, v).concat(p2).expect("seam at v");
+                    added.push(Arc::new(combined));
+                }
             }
         }
         for p in &added {
@@ -162,11 +154,10 @@ pub struct VarLengthOp {
     j1: JoinOp,
     /// Trivial zero-hop paths, present when `min == 0`.
     trivial: Option<VertexScan>,
-    /// Destination constraint/property join, when needed.
+    /// Destination constraint/property join, when needed. Its output
+    /// permutation (restoring the FRA column order
+    /// `left ++ [dst, props…, path]`) is folded into the join's emit.
     dst: Option<(JoinOp, VertexScan)>,
-    /// Permutation applied after the destination join to restore the FRA
-    /// column order `left ++ [dst, props…, path]`.
-    out_perm: Option<Vec<usize>>,
 }
 
 impl VarLengthOp {
@@ -189,25 +180,25 @@ impl VarLengthOp {
         };
         let needs_dst =
             !spec.dst_labels.is_empty() || !spec.dst_props.is_empty() || spec.dst_carry_map;
-        let (dst, out_perm) = if needs_dst {
+        let dst = if needs_dst {
             let scan = VertexScan::new(
                 spec.dst_labels.clone(),
                 spec.dst_props.clone(),
                 spec.dst_carry_map,
             );
             // j2: (left ++ [dst, path]) keyed dst ⋈ scan [dst, props…]
-            // keyed 0 → left ++ [dst, path, props…]
+            // keyed 0 → left ++ [dst, path, props…], emitted directly in
+            // the restored order left…, dst, props…, path.
             let p = spec.dst_props.len() + usize::from(spec.dst_carry_map);
-            let j2 = JoinOp::new(vec![left_arity], vec![0], 1 + p);
-            // Restore order: left…, dst, props…, path.
             let a = left_arity;
             let mut perm: Vec<usize> = (0..a).collect();
             perm.push(a); // dst
             perm.extend(a + 2..a + 2 + p); // props
             perm.push(a + 1); // path
-            (Some((j2, scan)), Some(perm))
+            let j2 = JoinOp::new(vec![left_arity], vec![0], 1 + p).with_output_perm(perm);
+            Some((j2, scan))
         } else {
-            (None, None)
+            None
         };
         VarLengthOp {
             edge_scan,
@@ -217,7 +208,6 @@ impl VarLengthOp {
             j1,
             trivial,
             dst,
-            out_perm,
         }
     }
 
@@ -239,7 +229,7 @@ impl VarLengthOp {
     }
 
     fn path_tuple(p: &Arc<PathValue>) -> Tuple {
-        Tuple::new(vec![
+        Tuple::from_slice(&[
             Value::Node(p.source()),
             Value::Node(p.target()),
             Value::Path(p.clone()),
@@ -294,16 +284,9 @@ impl VarLengthOp {
     }
 
     fn finish(&mut self, d1: Delta, dv: Delta) -> Delta {
-        match (&mut self.dst, &self.out_perm) {
-            (Some((j2, _)), Some(perm)) => {
-                let joined = j2.on_deltas(d1, dv);
-                joined
-                    .into_entries()
-                    .into_iter()
-                    .map(|(t, m)| (t.project(perm), m))
-                    .collect()
-            }
-            _ => d1,
+        match &mut self.dst {
+            Some((j2, _)) => j2.on_deltas(d1, dv),
+            None => d1,
         }
     }
 

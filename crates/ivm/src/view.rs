@@ -76,14 +76,26 @@ impl MaterializedView {
     /// Maintain the view after a committed transaction; returns the
     /// consolidated delta of result changes.
     pub fn on_transaction(&mut self, graph: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        use std::collections::hash_map::Entry;
         self.maintenance_count += 1;
         let delta = self.root.on_events(graph, events).consolidate();
+        // Only touched entries can reach zero — a full-map sweep per
+        // transaction would make maintenance O(|view|) instead of O(|Δ|).
         for (t, m) in delta.iter() {
-            let e = self.results.entry(t.clone()).or_insert(0);
-            *e += m;
-            debug_assert!(*e >= 0, "negative view multiplicity for {t}");
+            match self.results.entry(t.clone()) {
+                Entry::Occupied(mut e) => {
+                    *e.get_mut() += m;
+                    debug_assert!(*e.get() >= 0, "negative view multiplicity for {t}");
+                    if *e.get() == 0 {
+                        e.remove();
+                    }
+                }
+                Entry::Vacant(v) => {
+                    debug_assert!(*m >= 0, "negative view multiplicity for {t}");
+                    v.insert(*m);
+                }
+            }
         }
-        self.results.retain(|_, m| *m != 0);
         delta
     }
 

@@ -1,0 +1,74 @@
+//! With the `ivm-stats` feature on, the hot-path counters must show that
+//! steady-state join maintenance materialises **zero** key tuples per
+//! match — the whole point of the borrowed-key memories — while still
+//! doing real probe work.
+//!
+//! Run with `cargo test -p pgq_ivm --features ivm-stats`.
+#![cfg(feature = "ivm-stats")]
+
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_ivm::delta::Delta;
+use pgq_ivm::join::JoinOp;
+use pgq_ivm::semijoin::SemiJoinOp;
+use pgq_ivm::stats::counters;
+
+fn t(vals: &[i64]) -> Tuple {
+    vals.iter().map(|&i| Value::Int(i)).collect()
+}
+
+fn d(entries: &[(&[i64], i64)]) -> Delta {
+    entries.iter().map(|(v, m)| (t(v), *m)).collect()
+}
+
+/// The counters are process-globals, so keep all assertions in one test
+/// (the default test harness runs tests in parallel threads).
+#[test]
+fn join_hot_path_materialises_no_keys() {
+    // Seed a join with fan-out on both sides.
+    let mut j = JoinOp::new(vec![0], vec![0], 2);
+    let left: Vec<(Tuple, i64)> = (0..50).map(|i| (t(&[i % 5, i]), 1)).collect();
+    let right: Vec<(Tuple, i64)> = (0..50).map(|i| (t(&[i % 5, 100 + i]), 1)).collect();
+    j.on_deltas(left.into_iter().collect(), right.into_iter().collect());
+
+    // Steady state: a delta batch through the join must do probe work
+    // but allocate no key tuples at all.
+    counters::reset();
+    let out = j.on_deltas(d(&[(&[2, 999], 1)]), d(&[(&[3, 888], 1), (&[3, 777], -1)]));
+    let snap = counters::snapshot();
+    assert!(!out.is_empty(), "the batch should produce matches");
+    assert!(
+        snap.probe_hits > 0,
+        "probes should have yielded matches: {snap:?}"
+    );
+    assert_eq!(
+        snap.key_materializations, 0,
+        "JoinOp::on_deltas must not materialise key tuples: {snap:?}"
+    );
+
+    // Semijoin steady state: support keys already exist, so an update
+    // batch probes borrowed keys only.
+    let mut sj = SemiJoinOp::new(vec![0], vec![0], false);
+    sj.on_deltas(
+        (0..20).map(|i| (t(&[i % 4, i]), 1)).collect(),
+        (0..4).map(|i| (t(&[i]), 1)).collect(),
+    );
+    counters::reset();
+    let out = sj.on_deltas(d(&[(&[1, 500], 1)]), d(&[(&[2], 1)]));
+    let snap = counters::snapshot();
+    assert!(!out.is_empty());
+    assert_eq!(
+        snap.key_materializations, 0,
+        "steady-state semijoin must not materialise key tuples: {snap:?}"
+    );
+
+    // A brand-new support key is the sanctioned exception: exactly one
+    // materialisation.
+    counters::reset();
+    sj.on_deltas(Delta::new(), d(&[(&[99], 1)]));
+    let snap = counters::snapshot();
+    assert_eq!(
+        snap.key_materializations, 1,
+        "first sighting of a support key materialises exactly once: {snap:?}"
+    );
+}

@@ -1,0 +1,110 @@
+//! Model-based property test: the hash-bucketed, borrowed-key
+//! [`IndexedBag`] must be observationally equal to a naive
+//! `FxHashMap<Tuple, i64>` model under random update/probe
+//! interleavings — including transient negative multiplicities, which
+//! the counting join memories rely on inside a batch.
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_ivm::delta::IndexedBag;
+use proptest::prelude::*;
+
+/// Key-column variants exercised per case: single columns, multi-column
+/// (including permuted), and the empty key (cross-product memory).
+const KEY_SETS: &[&[usize]] = &[&[0], &[1], &[0, 2], &[], &[2, 1]];
+
+fn tuple(a: i64, b: i64, c: i64) -> Tuple {
+    [a, b, c].into_iter().map(Value::Int).collect()
+}
+
+/// Apply one signed update to the naive model.
+fn model_update(model: &mut FxHashMap<Tuple, i64>, t: &Tuple, m: i64) {
+    if m == 0 {
+        return;
+    }
+    let e = model.entry(t.clone()).or_insert(0);
+    *e += m;
+    if *e == 0 {
+        model.remove(t);
+    }
+}
+
+/// The model's answer to a probe: all entries whose key columns equal the
+/// probe tuple's, sorted for comparison.
+fn model_probe(model: &FxHashMap<Tuple, i64>, probe: &Tuple, cols: &[usize]) -> Vec<(Tuple, i64)> {
+    let mut out: Vec<(Tuple, i64)> = model
+        .iter()
+        .filter(|(t, _)| cols.iter().all(|&c| t.get(c) == probe.get(c)))
+        .map(|(t, m)| (t.clone(), *m))
+        .collect();
+    out.sort_by(|x, y| x.0.total_cmp(&y.0));
+    out
+}
+
+fn sorted(mut v: Vec<(Tuple, i64)>) -> Vec<(Tuple, i64)> {
+    v.sort_by(|x, y| x.0.total_cmp(&y.0));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn indexed_bag_equals_naive_model(
+        // (op selector, three small values, signed multiplicity): small
+        // domains force key collisions, duplicate tuples, and exact
+        // cancellations.
+        ops in proptest::collection::vec(
+            (0..4usize, 0..3i64, 0..3i64, 0..3i64, -2..3i64),
+            1..80,
+        ),
+        key_choice in 0..KEY_SETS.len(),
+    ) {
+        let cols = KEY_SETS[key_choice];
+        let mut bag = IndexedBag::new(cols.to_vec());
+        let mut model: FxHashMap<Tuple, i64> = FxHashMap::default();
+
+        for &(op, a, b, c, m) in &ops {
+            let t = tuple(a, b, c);
+            match op {
+                // Weighted 3:1 towards updates so state builds up.
+                0..=2 => {
+                    bag.update(&t, m);
+                    model_update(&mut model, &t, m);
+                }
+                _ => {
+                    // Borrowed-key probe with `t` as the probing tuple.
+                    let got = sorted(
+                        bag.probe(&t, cols).map(|(x, m)| (x.clone(), m)).collect(),
+                    );
+                    let want = model_probe(&model, &t, cols);
+                    prop_assert_eq!(got, want, "probe diverged for {}", t);
+                    // Standalone-key probe must agree with the borrowed
+                    // one.
+                    let key = t.project(cols);
+                    let got_key = sorted(
+                        bag.get(&key).map(|(x, m)| (x.clone(), m)).collect(),
+                    );
+                    let want = model_probe(&model, &t, cols);
+                    prop_assert_eq!(got_key, want, "get({}) diverged", key);
+                }
+            }
+            prop_assert_eq!(bag.distinct_len(), model.len());
+        }
+
+        // Final state: full contents agree, and every stored key answers
+        // correctly.
+        let got: FxHashMap<Tuple, i64> =
+            bag.iter().map(|(t, m)| (t.clone(), m)).collect();
+        prop_assert_eq!(&got, &model);
+        for t in model.keys() {
+            let got = sorted(bag.probe(t, cols).map(|(x, m)| (x.clone(), m)).collect());
+            let want = model_probe(&model, t, cols);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

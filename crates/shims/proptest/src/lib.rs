@@ -12,10 +12,13 @@
 //!
 //! Differences from the real crate: cases are generated from a fixed seed
 //! (fully reproducible runs, overridable via `PROPTEST_SHIM_SEED`), and
-//! failing cases are *not* shrunk or echoed — reproduce a failure by
+//! failing cases are *not* shrunk — but they **are** echoed: on a
+//! `prop_assert!` failure or a panic inside the body, the generated
+//! input values are printed (`Debug`-formatted, one per line), so a
+//! property failure is diagnosable without re-running. Reproduce by
 //! re-running with the same seed, which regenerates the identical case
-//! sequence deterministically. Swap the path dependency for the real crate
-//! when a registry is available.
+//! sequence deterministically. Swap the path dependency for the real
+//! crate when a registry is available.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -631,8 +634,37 @@ macro_rules! __proptest_impl {
                 let config: $crate::ProptestConfig = $config;
                 $crate::run_property(stringify!($name), &config, |__rng| {
                     $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)*
-                    $body
-                    Ok(())
+                    // Render the generated inputs up front so both
+                    // prop_assert failures and plain panics can echo the
+                    // failing case (the shim has no shrinking, so the
+                    // echo is the only way to see what failed).
+                    let __inputs: ::std::string::String = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(concat!("  ", stringify!($arg), " = "));
+                            __s.push_str(&format!("{:?}\n", &$arg));
+                        )*
+                        __s
+                    };
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| -> $crate::TestCaseResult {
+                            $body
+                            Ok(())
+                        }),
+                    );
+                    match __result {
+                        Ok(r) => r.map_err(|e| $crate::TestCaseError(
+                            format!("{}\nfailing inputs:\n{}", e.0, __inputs),
+                        )),
+                        Err(payload) => {
+                            eprintln!(
+                                "property `{}` panicked; failing inputs:\n{}",
+                                stringify!($name),
+                                __inputs
+                            );
+                            ::std::panic::resume_unwind(payload)
+                        }
+                    }
                 });
             }
         )*

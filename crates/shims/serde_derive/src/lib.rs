@@ -8,14 +8,18 @@
 
 use proc_macro::TokenStream;
 
-/// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
+/// No-op stand-in for `serde_derive::Serialize`. Accepts (and ignores)
+/// `#[serde(...)]` helper attributes so types can carry the annotations
+/// the real derive will honour after the swap.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+/// No-op stand-in for `serde_derive::Deserialize`. Accepts (and ignores)
+/// `#[serde(...)]` helper attributes so types can carry the annotations
+/// the real derive will honour after the swap.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

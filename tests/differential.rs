@@ -165,6 +165,96 @@ proptest! {
     }
 }
 
+/// Deletion-heavy script through the borrowed-key join path: build a
+/// dense Post→Comm reply fan-out, then tear most of it down edge by edge
+/// and vertex by vertex, checking the maintained view against recompute
+/// after every transaction. Exercises join-memory removals (bucket
+/// drains, swap-removes) far harder than the random walk above.
+#[test]
+fn deletion_heavy_script_keeps_view_and_recompute_agreeing() {
+    let queries = [
+        "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+        "MATCH (p:Post) WHERE NOT exists((p)-[:REPLY]->(:Comm)) RETURN p",
+    ];
+    for query in queries {
+        let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+        let mut g = PropertyGraph::new();
+
+        // 6 posts × 12 comments with shared languages → heavy key fan-out.
+        for i in 0..6 {
+            let mut tx = Transaction::new();
+            tx.create_vertex(
+                [s("Post")],
+                Properties::from_iter([("lang", Value::str(LANGS[i % 3]))]),
+            );
+            g.apply(&tx).expect("post applies");
+        }
+        let posts: Vec<_> = {
+            let mut v = g.vertices_with_label(s("Post")).to_vec();
+            v.sort_unstable();
+            v
+        };
+        for i in 0..12 {
+            let mut tx = Transaction::new();
+            let c = tx.create_vertex(
+                [s("Comm")],
+                Properties::from_iter([("lang", Value::str(LANGS[i % 3]))]),
+            );
+            for &p in &posts {
+                tx.create_edge(p, c, s("REPLY"), Properties::new());
+            }
+            g.apply(&tx).expect("comment applies");
+        }
+        let comms: Vec<_> = {
+            let mut v = g.vertices_with_label(s("Comm")).to_vec();
+            v.sort_unstable();
+            v
+        };
+        let edges: Vec<_> = {
+            let mut e: Vec<_> = g.edge_ids().collect();
+            e.sort_unstable();
+            e
+        };
+
+        let mut view = MaterializedView::create("del", &compiled, &g).unwrap();
+        assert_eq!(view.results(), eval_consolidated(&compiled.fra, &g));
+
+        // Phase 1: delete two thirds of the edges one at a time.
+        for (i, &e) in edges.iter().enumerate() {
+            if i % 3 == 0 {
+                continue;
+            }
+            let mut tx = Transaction::new();
+            tx.delete_edge(e);
+            let events = g.apply(&tx).expect("edge deletion applies");
+            view.on_transaction(&g, &events);
+            assert_eq!(
+                view.results(),
+                eval_consolidated(&compiled.fra, &g),
+                "divergence deleting edge {i} under {query}"
+            );
+        }
+
+        // Phase 2: delete every comment vertex (detaching remaining
+        // edges), then half the posts.
+        for &c in &comms {
+            let mut tx = Transaction::new();
+            tx.delete_vertex(c, true);
+            let events = g.apply(&tx).expect("comment deletion applies");
+            view.on_transaction(&g, &events);
+            assert_eq!(view.results(), eval_consolidated(&compiled.fra, &g));
+        }
+        for &p in posts.iter().step_by(2) {
+            let mut tx = Transaction::new();
+            tx.delete_vertex(p, true);
+            let events = g.apply(&tx).expect("post deletion applies");
+            view.on_transaction(&g, &events);
+            assert_eq!(view.results(), eval_consolidated(&compiled.fra, &g));
+        }
+        assert!(g.edge_count() == 0, "all edges should be gone");
+    }
+}
+
 #[test]
 fn multiplicities_match_for_fanout_joins() {
     // Bag semantics: two parallel REPLY edges double the row.
