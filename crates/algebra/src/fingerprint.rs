@@ -1,0 +1,127 @@
+//! Canonical FRA subplan fingerprinting — the hash-consing key for the
+//! shared dataflow network.
+//!
+//! The IVM engine compiles every registered view into one engine-owned
+//! operator DAG and *shares* operator nodes between views whose subplans
+//! are structurally identical (the Rete idea: identical alpha/beta
+//! subnetworks are built once). Sharing is keyed by the fingerprint
+//! computed here: a structural hash of an [`Fra`] subtree covering every
+//! semantically relevant field — operator kind, scan labels/types/pushed
+//! properties, join keys, predicates, projection items *including output
+//! names*, and variable-length traversal specs.
+//!
+//! Two subtrees with equal fingerprints are only *candidates* for
+//! sharing; the consumer must confirm with a full structural equality
+//! check (`Fra: PartialEq`), so a hash collision can never cause two
+//! different plans to share state. Including output names makes the
+//! fingerprint slightly conservative (plans differing only in an output
+//! alias get distinct fingerprints below the final projection boundary
+//! where the alias appears), which errs on the side of correctness.
+//!
+//! Fingerprints are deterministic within a process but **not** across
+//! processes ([`Symbol`](pgq_common::intern::Symbol) identity is
+//! interning-order dependent), which is exactly the lifetime of a
+//! dataflow network.
+
+use std::hash::{Hash, Hasher};
+
+use pgq_common::fxhash::FxHasher;
+
+use crate::fra::Fra;
+
+/// A structural hash of an FRA subplan, used as the hash-consing bucket
+/// key when deduplicating operator nodes across views.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl Fra {
+    /// Canonical structural fingerprint of this subplan.
+    ///
+    /// Implemented by hashing the operator tree's full `Debug`
+    /// rendering: `Fra`'s derived `Debug` covers every field of every
+    /// variant (scan labels, pushed properties, join keys, predicates,
+    /// output names, variable-length specs), so the rendering is a
+    /// faithful — if verbose — canonical form. Plans are tiny (tens of
+    /// operators), so the O(plan size) string is irrelevant next to the
+    /// initial evaluation a cache miss triggers.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FxHasher::default();
+        // Write through `fmt::Write` so no intermediate String survives.
+        struct HashWriter<'a>(&'a mut FxHasher);
+        impl std::fmt::Write for HashWriter<'_> {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                s.as_bytes().hash(self.0);
+                Ok(())
+            }
+        }
+        use std::fmt::Write;
+        write!(HashWriter(&mut h), "{self:?}").expect("Debug never fails");
+        Fingerprint(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::intern::Symbol;
+
+    fn scan(var: &str, label: &str) -> Fra {
+        Fra::ScanVertices {
+            var: var.into(),
+            labels: vec![Symbol::intern(label)],
+            props: vec![],
+            carry_map: false,
+        }
+    }
+
+    #[test]
+    fn identical_plans_share_a_fingerprint() {
+        let a = Fra::Distinct {
+            input: Box::new(scan("n", "Post")),
+        };
+        let b = Fra::Distinct {
+            input: Box::new(scan("n", "Post")),
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structurally_different_plans_differ() {
+        let a = scan("n", "Post");
+        let b = scan("n", "Comm");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Different operator over the same input also differs.
+        let c = Fra::Distinct {
+            input: Box::new(scan("n", "Post")),
+        };
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn variable_names_are_part_of_the_fingerprint() {
+        // Conservative by design: a different binding name changes the
+        // schema, so the subplans must not be conflated.
+        assert_ne!(
+            scan("n", "Post").fingerprint(),
+            scan("m", "Post").fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_clones() {
+        let plan = Fra::HashJoin {
+            left: Box::new(scan("a", "A")),
+            right: Box::new(scan("b", "B")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        assert_eq!(plan.fingerprint(), plan.clone().fingerprint());
+    }
+}

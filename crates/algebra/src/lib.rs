@@ -21,6 +21,7 @@
 pub mod compile;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod flatten;
 pub mod fra;
 pub mod gra;
@@ -32,6 +33,7 @@ pub mod to_nra;
 
 pub use error::AlgebraError;
 pub use expr::{AggCall, AggFunc, ScalarExpr};
+pub use fingerprint::Fingerprint;
 pub use flatten::SchemaMode;
 pub use fra::Fra;
 pub use gra::{Gra, VarKind};

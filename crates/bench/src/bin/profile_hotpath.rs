@@ -1,7 +1,8 @@
 //! Decomposes per-transaction IVM cost for the two certified suites:
-//! graph mutation vs. dataflow propagation vs. delta consolidation vs.
-//! result-map upkeep. A developer tool for directing perf work — not an
-//! experiment table.
+//! graph mutation vs. shared-network propagation (which now folds
+//! event routing, operator deltas, consolidation and result-map upkeep
+//! into one topological pass). A developer tool for directing perf
+//! work — not an experiment table.
 //!
 //! Run with `cargo run --release -p pgq_bench --bin profile_hotpath`.
 
@@ -9,9 +10,7 @@ use std::time::{Duration, Instant};
 
 use pgq_algebra::pipeline::CompileOptions;
 use pgq_bench::compile;
-use pgq_common::fxhash::FxHashMap;
-use pgq_common::tuple::Tuple;
-use pgq_ivm::Op;
+use pgq_ivm::MaterializedView;
 use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 use pgq_workloads::trees::reply_tree;
 use pgq_workloads::EXAMPLE_QUERY;
@@ -22,8 +21,9 @@ fn main() {
     transitive();
 }
 
-/// Decompose the SAME_LANG_THREAD network stage by stage: vertex scan,
-/// the ⋈* sub-network, filter, project.
+/// Decompose the SAME_LANG_THREAD network stage by stage: the scan+⋈*
+/// subtree (maintained as its own network) vs. the full plan, isolating
+/// what the projection/filter layers above the traversal cost.
 fn social_fine() {
     use pgq_algebra::Fra;
     let mut net = generate_social(SocialParams::scale(0.5, 42));
@@ -31,59 +31,42 @@ fn social_fine() {
     let compiled = compile(sq::SAME_LANG_THREAD, CompileOptions::default());
 
     // Expect Project → Filter → Project → VarLengthJoin.
-    let Fra::Project { input, items } = &compiled.fra else {
+    let Fra::Project { input, .. } = &compiled.fra else {
         println!("unexpected plan shape (no outer Project)");
         return;
     };
-    let Fra::Filter {
-        input: mid,
-        predicate,
-    } = input.as_ref()
-    else {
+    let Fra::Filter { input: mid, .. } = input.as_ref() else {
         println!("unexpected plan shape (no Filter)");
         return;
     };
-    let Fra::Project {
-        input: vl,
-        items: mid_items,
-    } = mid.as_ref()
-    else {
+    let Fra::Project { input: vl, .. } = mid.as_ref() else {
         println!("unexpected plan shape (no mid Project)");
         return;
     };
 
     let rounds = 20;
     let mut t_vl = Duration::ZERO;
-    let mut t_mid = Duration::ZERO;
-    let mut t_filter = Duration::ZERO;
-    let mut t_project = Duration::ZERO;
+    let mut t_full = Duration::ZERO;
     for _ in 0..rounds {
         let mut g = net.graph.clone();
-        let mut vl_op = pgq_ivm::Op::build(vl);
-        vl_op.initial(&g);
+        let mut sub = MaterializedView::create_unchecked("sub", vl, &g);
+        let mut full = MaterializedView::create_unchecked("full", &compiled.fra, &g);
         for tx in &stream {
             let events = g.apply(tx).unwrap();
             let t0 = Instant::now();
-            let d = vl_op.on_events(&g, &events);
+            let _ = sub.on_transaction(&g, &events);
             let t1 = Instant::now();
-            let d = pgq_ivm::basic::project_delta(mid_items, d);
+            let _ = full.on_transaction(&g, &events);
             let t2 = Instant::now();
-            let d = pgq_ivm::basic::filter_delta(predicate, d);
-            let t3 = Instant::now();
-            let _ = pgq_ivm::basic::project_delta(items, d);
-            let t4 = Instant::now();
             t_vl += t1 - t0;
-            t_mid += t2 - t1;
-            t_filter += t3 - t2;
-            t_project += t4 - t3;
+            t_full += t2 - t1;
         }
     }
     let per_tx = |d: Duration| d.as_nanos() as f64 / (rounds * stream.len()) as f64 / 1000.0;
     println!("social_ivm fine (us/tx):");
-    println!("  scan+⋈* subtree  {:8.2}", per_tx(t_vl));
-    println!("  mid project      {:8.2}", per_tx(t_mid));
-    println!("  filter           {:8.2}", per_tx(t_filter));
-    println!("  outer project    {:8.2}", per_tx(t_project));
+    println!("  scan+⋈* subtree   {:8.2}", per_tx(t_vl));
+    println!("  full plan         {:8.2}", per_tx(t_full));
+    println!("  π/σ/π overhead    {:8.2}", per_tx(t_full) - per_tx(t_vl));
 }
 
 fn social() {
@@ -93,52 +76,24 @@ fn social() {
 
     let rounds = 20;
     let mut t_graph = Duration::ZERO;
-    let mut t_ops = Duration::ZERO;
-    let mut t_consolidate = Duration::ZERO;
-    let mut t_results = Duration::ZERO;
+    let mut t_network = Duration::ZERO;
     for _ in 0..rounds {
         let mut g = net.graph.clone();
-        let mut root = Op::build(&compiled.fra);
-        let init = root.initial(&g).consolidate();
-        let mut results: FxHashMap<Tuple, i64> = FxHashMap::default();
-        for (t, m) in init.into_entries() {
-            *results.entry(t).or_insert(0) += m;
-        }
+        let mut view = MaterializedView::create_unchecked("v", &compiled.fra, &g);
         for tx in &stream {
             let t0 = Instant::now();
             let events = g.apply(tx).unwrap();
             let t1 = Instant::now();
-            let delta = root.on_events(&g, &events);
+            let _ = view.on_transaction(&g, &events);
             let t2 = Instant::now();
-            let delta = delta.consolidate();
-            let t3 = Instant::now();
-            for (t, m) in delta.iter() {
-                use std::collections::hash_map::Entry;
-                match results.entry(t.clone()) {
-                    Entry::Occupied(mut e) => {
-                        *e.get_mut() += m;
-                        if *e.get() == 0 {
-                            e.remove();
-                        }
-                    }
-                    Entry::Vacant(v) => {
-                        v.insert(*m);
-                    }
-                }
-            }
-            let t4 = Instant::now();
             t_graph += t1 - t0;
-            t_ops += t2 - t1;
-            t_consolidate += t3 - t2;
-            t_results += t4 - t3;
+            t_network += t2 - t1;
         }
     }
     let per_tx = |d: Duration| d.as_nanos() as f64 / (rounds * stream.len()) as f64 / 1000.0;
     println!("social_ivm (us/tx):");
-    println!("  graph.apply      {:8.2}", per_tx(t_graph));
-    println!("  op.on_events     {:8.2}", per_tx(t_ops));
-    println!("  consolidate      {:8.2}", per_tx(t_consolidate));
-    println!("  results upkeep   {:8.2}", per_tx(t_results));
+    println!("  graph.apply       {:8.2}", per_tx(t_graph));
+    println!("  network pass      {:8.2}", per_tx(t_network));
 }
 
 fn transitive() {
@@ -149,12 +104,10 @@ fn transitive() {
 
     let rounds = 40;
     let mut t_graph = Duration::ZERO;
-    let mut t_ops = Duration::ZERO;
-    let mut t_consolidate = Duration::ZERO;
+    let mut t_network = Duration::ZERO;
     for _ in 0..rounds {
         let mut g = tree.graph.clone();
-        let mut op_root = Op::build(&compiled.fra);
-        op_root.initial(&g).consolidate();
+        let mut view = MaterializedView::create_unchecked("v", &compiled.fra, &g);
         for step in 0..2 {
             let mut tx = pgq_graph::tx::Transaction::new();
             if step == 0 {
@@ -165,18 +118,14 @@ fn transitive() {
             let t0 = Instant::now();
             let events = g.apply(&tx).unwrap();
             let t1 = Instant::now();
-            let delta = op_root.on_events(&g, &events);
+            let _ = view.on_transaction(&g, &events);
             let t2 = Instant::now();
-            let _ = delta.consolidate();
-            let t3 = Instant::now();
             t_graph += t1 - t0;
-            t_ops += t2 - t1;
-            t_consolidate += t3 - t2;
+            t_network += t2 - t1;
         }
     }
     let per_tx = |d: Duration| d.as_nanos() as f64 / (rounds * 2) as f64 / 1000.0;
     println!("transitive root churn (us/tx):");
-    println!("  graph.apply      {:8.2}", per_tx(t_graph));
-    println!("  op.on_events     {:8.2}", per_tx(t_ops));
-    println!("  consolidate      {:8.2}", per_tx(t_consolidate));
+    println!("  graph.apply       {:8.2}", per_tx(t_graph));
+    println!("  network pass      {:8.2}", per_tx(t_network));
 }

@@ -80,7 +80,7 @@ fn emit_bench_json(quick: bool, path: &str) {
             for tx in &stream {
                 e.apply(tx).unwrap();
             }
-            ivm_us.push(t0.elapsed().as_micros() as f64 / stream.len() as f64);
+            ivm_us.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
         }
         let stats = round_stats(&ivm_us);
         doc.suite("social_ivm", "us_per_tx", stats, 1e6 / stats.median);
@@ -101,6 +101,12 @@ fn emit_bench_json(quick: bool, path: &str) {
         let tree = reply_tree(depth, fanout);
         let leaf_edge = *tree.edges.last().unwrap();
         let root_edge = tree.edges[0];
+        // A churn pair = delete the edge + recreate it (the recreated
+        // edge gets a fresh id, so track it between pairs). Each round
+        // warms a cloned engine with 2 pairs, then times `pairs` of
+        // them at nanosecond resolution — a single µs-truncated pair
+        // cannot resolve sub-µs differences on these small trees.
+        let pairs = if quick { 10 } else { 40 };
         for (which, edge) in [("leaf", leaf_edge), ("root", root_edge)] {
             let data = tree.graph.edge(edge).unwrap().clone();
             let mut engine = GraphEngine::from_graph(tree.graph.clone());
@@ -108,14 +114,30 @@ fn emit_bench_json(quick: bool, path: &str) {
             let mut churn_us = Vec::with_capacity(rounds);
             for _ in 0..rounds {
                 let mut e = engine.clone();
+                let mut cur = edge;
+                let churn = |e: &mut GraphEngine, cur: &mut pgq_common::ids::EdgeId| {
+                    let mut tx = Transaction::new();
+                    tx.delete_edge(*cur);
+                    e.apply(&tx).unwrap();
+                    let mut tx = Transaction::new();
+                    tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
+                    let events = e.apply(&tx).unwrap();
+                    // The recreated edge's fresh id, straight from the
+                    // change feed (an O(|E|) id sweep here would charge
+                    // graph iteration to the IVM measurement).
+                    *cur = events
+                        .iter()
+                        .find_map(pgq_graph::delta::ChangeEvent::touched_edge)
+                        .expect("create emits an edge event");
+                };
+                for _ in 0..2 {
+                    churn(&mut e, &mut cur);
+                }
                 let t0 = std::time::Instant::now();
-                let mut tx = Transaction::new();
-                tx.delete_edge(edge);
-                e.apply(&tx).unwrap();
-                let mut tx = Transaction::new();
-                tx.create_edge(data.src, data.dst, data.ty, data.props.clone());
-                e.apply(&tx).unwrap();
-                churn_us.push(t0.elapsed().as_micros() as f64 / 2.0);
+                for _ in 0..pairs {
+                    churn(&mut e, &mut cur);
+                }
+                churn_us.push(t0.elapsed().as_nanos() as f64 / (pairs * 2) as f64 / 1000.0);
             }
             let stats = round_stats(&churn_us);
             let name = format!("transitive_ivm_{which}");
@@ -135,6 +157,51 @@ fn emit_bench_json(quick: bool, path: &str) {
             stats,
             1e6 / stats.median,
         );
+    }
+
+    // many_views: N overlapping standing queries on one shared network
+    // (the node-sharing payoff: per-transaction cost must grow
+    // sublinearly in N). Alternate the N variants inside each round so
+    // machine-speed drift hits them equally.
+    {
+        let sf = 0.1;
+        let mut net = generate_social(SocialParams::scale(sf, 42));
+        let stream = net.update_stream(50, (4, 2, 3, 1));
+        let ns: &[usize] = &[1, 4, 16];
+        let engines: Vec<_> = ns
+            .iter()
+            .map(|&n| {
+                let mut engine = GraphEngine::from_graph(net.graph.clone());
+                for (i, q) in pgq_workloads::social::OVERLAPPING_QUERIES
+                    .iter()
+                    .take(n)
+                    .enumerate()
+                {
+                    engine.register_view(&format!("v{i}"), q).unwrap();
+                }
+                engine
+            })
+            .collect();
+        let mut us: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); ns.len()];
+        for _ in 0..rounds {
+            for (ix, engine) in engines.iter().enumerate() {
+                let mut e = engine.clone();
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    e.apply(tx).unwrap();
+                }
+                us[ix].push(t0.elapsed().as_micros() as f64 / stream.len() as f64);
+            }
+        }
+        for (ix, &n) in ns.iter().enumerate() {
+            let stats = round_stats(&us[ix]);
+            doc.suite(
+                &format!("many_views_{n}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
     }
 
     std::fs::write(path, doc.render()).expect("write BENCH.json");

@@ -179,7 +179,7 @@ impl Value {
 
     /// Total order over all values ("orderability"). Numbers compare by
     /// numeric value across Int/Float; everything else compares within its
-    /// type, and across types by [`Value::type_rank`].
+    /// type, and across types by a fixed type rank.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {

@@ -1,6 +1,7 @@
 //! The `GraphEngine` façade: graph + views + openCypher execution.
 
 use pgq_algebra::pipeline::{compile_bindings, compile_query_with, CompileOptions, CompiledQuery};
+use pgq_algebra::AlgebraError;
 use pgq_common::intern::Symbol;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
@@ -8,7 +9,7 @@ use pgq_graph::delta::ChangeEvent;
 use pgq_graph::props::Properties;
 use pgq_graph::store::PropertyGraph;
 use pgq_graph::tx::{NodeRef, Transaction};
-use pgq_ivm::{Delta, MaterializedView};
+use pgq_ivm::{DataflowNetwork, Delta, SinkId, ViewRef};
 use pgq_parser::ast::{Clause, Expr, Pattern, Query, RemoveItem, SetItem};
 use pgq_parser::parse_query;
 
@@ -21,7 +22,7 @@ pub struct ViewId(usize);
 
 #[derive(Clone)]
 struct ViewEntry {
-    view: MaterializedView,
+    sink: SinkId,
     compiled: CompiledQuery,
     query_text: String,
 }
@@ -57,10 +58,14 @@ pub struct ExecutionResult {
 }
 
 /// The main entry point: a property graph with incrementally maintained
-/// openCypher views.
+/// openCypher views, all served by **one shared dataflow network** —
+/// views whose compiled plans overlap structurally share operator nodes
+/// (see [`pgq_ivm::network`]), so maintenance cost tracks affected
+/// state, not the number of registered views.
 #[derive(Default)]
 pub struct GraphEngine {
     graph: PropertyGraph,
+    network: DataflowNetwork,
     views: Vec<Option<ViewEntry>>,
     subscribers: Vec<(ViewId, Subscriber)>,
 }
@@ -71,6 +76,7 @@ impl Clone for GraphEngine {
     fn clone(&self) -> GraphEngine {
         GraphEngine {
             graph: self.graph.clone(),
+            network: self.network.clone(),
             views: self.views.clone(),
             subscribers: Vec::new(),
         }
@@ -87,8 +93,7 @@ impl GraphEngine {
     pub fn from_graph(graph: PropertyGraph) -> GraphEngine {
         GraphEngine {
             graph,
-            views: Vec::new(),
-            subscribers: Vec::new(),
+            ..GraphEngine::default()
         }
     }
 
@@ -111,18 +116,22 @@ impl GraphEngine {
         if events.is_empty() {
             return;
         }
-        for (i, entry) in self.views.iter_mut().enumerate() {
+        self.network.on_transaction(&self.graph, events);
+        for (i, entry) in self.views.iter().enumerate() {
             let Some(entry) = entry else { continue };
-            let delta = entry.view.on_transaction(&self.graph, events);
-            if delta.is_empty() {
+            if !self.network.sink_changed(entry.sink) {
                 continue;
             }
             let id = ViewId(i);
             let mut notification: Option<ViewDelta> = None;
             for (sid, callback) in &mut self.subscribers {
                 if *sid == id {
-                    let vd = notification
-                        .get_or_insert_with(|| ViewDelta::from_delta(entry.view.name(), &delta));
+                    let vd = notification.get_or_insert_with(|| {
+                        ViewDelta::from_delta(
+                            self.network.view(entry.sink).name(),
+                            self.network.last_delta(entry.sink),
+                        )
+                    });
                     callback(vd);
                 }
             }
@@ -136,10 +145,15 @@ impl GraphEngine {
         tx: &Transaction,
     ) -> Result<Vec<(ViewId, Delta)>, EngineError> {
         let events = self.graph.apply(tx)?;
+        self.network.on_transaction(&self.graph, &events);
         let mut out = Vec::new();
-        for (i, entry) in self.views.iter_mut().enumerate() {
+        for (i, entry) in self.views.iter().enumerate() {
             if let Some(e) = entry {
-                let d = e.view.on_transaction(&self.graph, &events);
+                let d = if self.network.sink_changed(e.sink) {
+                    self.network.last_delta(e.sink).clone()
+                } else {
+                    Delta::new()
+                };
                 out.push((ViewId(i), d));
             }
         }
@@ -168,21 +182,26 @@ impl GraphEngine {
         }
         let query = parse_query(cypher)?;
         let compiled = compile_query_with(&query, options)?;
-        let view = MaterializedView::create(name, &compiled, &self.graph)?;
+        if !compiled.is_maintainable() {
+            return Err(AlgebraError::NotMaintainable(compiled.not_maintainable.join("; ")).into());
+        }
+        let sink = self.network.register(name, &compiled.fra, &self.graph);
         let id = ViewId(self.views.len());
         self.views.push(Some(ViewEntry {
-            view,
+            sink,
             compiled,
             query_text: cypher.to_string(),
         }));
         Ok(id)
     }
 
-    /// Drop a view.
+    /// Drop a view. Operator nodes shared with other views survive; the
+    /// network releases only the nodes no remaining view reaches.
     pub fn drop_view(&mut self, id: ViewId) -> Result<(), EngineError> {
         match self.views.get_mut(id.0) {
             Some(slot @ Some(_)) => {
-                *slot = None;
+                let entry = slot.take().expect("matched Some");
+                self.network.drop_sink(entry.sink);
                 Ok(())
             }
             _ => Err(EngineError::UnknownView),
@@ -193,17 +212,17 @@ impl GraphEngine {
     pub fn view_by_name(&self, name: &str) -> Option<ViewId> {
         self.views.iter().enumerate().find_map(|(i, e)| {
             e.as_ref()
-                .filter(|e| e.view.name() == name)
+                .filter(|e| self.network.view(e.sink).name() == name)
                 .map(|_| ViewId(i))
         })
     }
 
-    /// Access a view.
-    pub fn view(&self, id: ViewId) -> Result<&MaterializedView, EngineError> {
+    /// Access a view's results through the shared network.
+    pub fn view(&self, id: ViewId) -> Result<ViewRef<'_>, EngineError> {
         self.views
             .get(id.0)
             .and_then(|e| e.as_ref())
-            .map(|e| &e.view)
+            .map(|e| self.network.view(e.sink))
             .ok_or(EngineError::UnknownView)
     }
 
@@ -213,11 +232,17 @@ impl GraphEngine {
     }
 
     /// All registered views.
-    pub fn views(&self) -> impl Iterator<Item = (ViewId, &MaterializedView)> {
+    pub fn views(&self) -> impl Iterator<Item = (ViewId, ViewRef<'_>)> {
         self.views
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.as_ref().map(|e| (ViewId(i), &e.view)))
+            .filter_map(|(i, e)| e.as_ref().map(|e| (ViewId(i), self.network.view(e.sink))))
+    }
+
+    /// The shared dataflow network serving every registered view
+    /// (read-only; for stats, node-sharing inspection, and tests).
+    pub fn network(&self) -> &DataflowNetwork {
+        &self.network
     }
 
     // ---- queries -------------------------------------------------------------
@@ -319,6 +344,12 @@ impl GraphEngine {
             .and_then(|e| e.as_ref())
             .map(|e| &e.compiled)
             .ok_or(EngineError::UnknownView)
+    }
+
+    /// Total live operator nodes in the shared network (the node-sharing
+    /// metric: N structurally identical views keep this at one chain).
+    pub fn network_node_count(&self) -> usize {
+        self.network.node_count()
     }
 
     /// Subscribe to a view's deltas (Graphflow-style active query): the

@@ -399,7 +399,7 @@ fn tuple_cmp(a: &Tuple, b: &Tuple) -> Ordering {
 }
 
 /// Convenience: evaluate and consolidate into a sorted multiplicity bag
-/// (for comparison against [`pgq_ivm`-style] view results).
+/// (for comparison against `pgq_ivm`-style view results).
 pub fn evaluate_consolidated(fra: &Fra, g: &PropertyGraph) -> Bag {
     let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
     for (t, c) in evaluate(fra, g) {

@@ -231,17 +231,27 @@ impl AggregateOp {
 
     /// Process a delta of input rows.
     pub fn on_delta(&mut self, input: Delta) -> Delta {
+        let input = input.consolidate();
+        let mut out = Delta::new();
+        self.apply(&input, &mut out);
+        out
+    }
+
+    /// Process a borrowed delta of input rows, appending group-row
+    /// retractions/assertions to `out`.
+    pub fn apply(&mut self, input: &Delta, out: &mut Delta) {
         let mut dirty: FxHashSet<Tuple> = FxHashSet::default();
         if self.global && !self.started {
             dirty.insert(Tuple::unit());
         }
         self.started = true;
 
-        for (t, m) in input.consolidate().into_entries() {
+        for (t, m) in input.iter() {
+            let (t, m) = (t, *m);
             let key: Tuple = self
                 .group
                 .iter()
-                .map(|e| e.eval(&t).unwrap_or(Value::Null))
+                .map(|e| e.eval(t).unwrap_or(Value::Null))
                 .collect();
             let aggs = &self.aggs;
             let entry = self
@@ -253,7 +263,7 @@ impl AggregateOp {
                 });
             entry.rows += m;
             for (call, state) in self.aggs.iter().zip(entry.states.iter_mut()) {
-                let value = call.arg.as_ref().map(|e| e.eval(&t).unwrap_or(Value::Null));
+                let value = call.arg.as_ref().map(|e| e.eval(t).unwrap_or(Value::Null));
                 update_state(state, call, value.as_ref(), m);
             }
             dirty.insert(key);
@@ -261,7 +271,7 @@ impl AggregateOp {
 
         // Each dirty group retracts at most one row and asserts at most
         // one.
-        let mut out = Delta::with_capacity(2 * dirty.len());
+        out.reserve(2 * dirty.len());
         for key in dirty {
             let new_output = match self.groups.get(&key) {
                 Some(gs) if gs.rows > 0 || self.global => {
@@ -307,7 +317,14 @@ impl AggregateOp {
                 }
             }
         }
-        out
+    }
+
+    /// Reconstruct the full current output bag (one row per live
+    /// group), appending to `out`.
+    pub fn replay_into(&self, out: &mut Delta) {
+        for row in self.last_output.values() {
+            out.push(row.clone(), 1);
+        }
     }
 }
 

@@ -18,6 +18,17 @@ pub fn filter_delta(predicate: &ScalarExpr, input: Delta) -> Delta {
     Delta::from_entries(entries)
 }
 
+/// Apply σ to a borrowed delta, appending passing rows to `out` (tuple
+/// clones are refcount bumps). The network's pooled-buffer variant of
+/// [`filter_delta`].
+pub fn filter_into(predicate: &ScalarExpr, input: &Delta, out: &mut Delta) {
+    for (t, m) in input.iter() {
+        if predicate.matches(t) {
+            out.push(t.clone(), *m);
+        }
+    }
+}
+
 /// Apply π (generalised projection) to a delta. Expression errors produce
 /// `null` in the affected column, mirroring Cypher's lenient runtime.
 /// Rows are rewritten in place through one reused scratch buffer.
@@ -32,6 +43,23 @@ pub fn project_delta(items: &[(ScalarExpr, String)], input: Delta) -> Delta {
     Delta::from_entries(entries)
 }
 
+/// Apply π to a borrowed delta, appending rewritten rows to `out`;
+/// `scratch` is the caller-owned assembly buffer (the network keeps one
+/// per Project node so steady-state maintenance allocates nothing here
+/// beyond the output tuples themselves).
+pub fn project_into(
+    items: &[(ScalarExpr, String)],
+    input: &Delta,
+    scratch: &mut Vec<Value>,
+    out: &mut Delta,
+) {
+    for (t, m) in input.iter() {
+        scratch.clear();
+        scratch.extend(items.iter().map(|(e, _)| e.eval(t).unwrap_or(Value::Null)));
+        out.push(Tuple::from_slice(scratch), *m);
+    }
+}
+
 /// Apply ω (unwind) to a delta: one output tuple per list element; `null`
 /// and non-list values produce no rows (openCypher `UNWIND null` yields
 /// nothing). Unwinding a path yields its vertices then edges? No — paths
@@ -39,14 +67,19 @@ pub fn project_delta(items: &[(ScalarExpr, String)], input: Delta) -> Delta {
 /// "paths lose their ordering guarantee only when unnested atomically".
 pub fn unwind_delta(expr: &ScalarExpr, input: Delta) -> Delta {
     let mut out = Delta::new();
-    for (t, m) in input.into_entries() {
-        if let Ok(Value::List(items)) = expr.eval(&t) {
+    unwind_into(expr, &input, &mut out);
+    out
+}
+
+/// Apply ω to a borrowed delta, appending fanned-out rows to `out`.
+pub fn unwind_into(expr: &ScalarExpr, input: &Delta, out: &mut Delta) {
+    for (t, m) in input.iter() {
+        if let Ok(Value::List(items)) = expr.eval(t) {
             for item in items.iter() {
-                out.push(t.push(item.clone()), m);
+                out.push(t.push(item.clone()), *m);
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -73,13 +73,31 @@ impl Delta {
         self.entries.iter()
     }
 
+    /// Borrow the raw entries.
+    pub fn entries(&self) -> &[(Tuple, i64)] {
+        &self.entries
+    }
+
+    /// Drop all entries, keeping the allocation (pool reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Sum multiplicities per tuple and drop zeros, keeping the first
     /// occurrence's position (deterministic, but not sorted — see
     /// [`Delta::consolidate_sorted`]).
     pub fn consolidate(mut self) -> Delta {
+        self.consolidate_in_place();
+        self
+    }
+
+    /// [`Delta::consolidate`] without consuming the delta (the network's
+    /// pooled buffers are consolidated in place between operators).
+    pub fn consolidate_in_place(&mut self) {
         let entries = &mut self.entries;
         if entries.len() <= 1 {
-            return self;
+            entries.retain(|(_, m)| *m != 0);
+            return;
         }
         if entries.len() <= CONSOLIDATE_HASH_CROSSOVER {
             // In-place quadratic merge: no allocation at all.
@@ -115,7 +133,6 @@ impl Delta {
             entries.truncate(write);
         }
         entries.retain(|(_, m)| *m != 0);
-        self
     }
 
     /// [`Delta::consolidate`], then sort by [`Tuple::total_cmp`] (stable,
@@ -254,7 +271,7 @@ impl<'a> Iterator for BucketIter<'a> {
 ///
 /// Tuples are bucketed by the Fx hash of their projection onto
 /// `key_cols` (see [`pgq_common::tuple::hash_values`]); within a hash
-/// bucket an adaptive [`Bucket`] keeps updates cheap at both small and
+/// bucket an adaptive `Bucket` keeps updates cheap at both small and
 /// large fan-out. Probes hash the probing tuple's own projection via
 /// [`Tuple::hash_projected`] and compare key columns value-by-value, so
 /// neither [`IndexedBag::update`] nor [`IndexedBag::probe`] ever

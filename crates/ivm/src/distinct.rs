@@ -26,24 +26,41 @@ impl DistinctOp {
 
     /// Process a delta.
     pub fn on_delta(&mut self, input: Delta) -> Delta {
-        let entries = input.consolidate().into_entries();
-        let mut out = Delta::with_capacity(entries.len());
-        for (t, m) in entries {
+        let input = input.consolidate();
+        let mut out = Delta::with_capacity(input.len());
+        self.apply(&input, &mut out);
+        out
+    }
+
+    /// Process a borrowed **consolidated** delta, appending assertion /
+    /// retraction flips to `out`. (An unconsolidated input is still
+    /// correct — transient zero crossings emit cancelling flips that the
+    /// caller's consolidation removes — but consolidated input avoids
+    /// the churn; the network consolidates every edge.)
+    pub fn apply(&mut self, input: &Delta, out: &mut Delta) {
+        for (t, m) in input.iter() {
             let e = self.counts.entry(t.clone()).or_insert(0);
             let before = *e;
             *e += m;
             let after = *e;
             debug_assert!(after >= 0, "negative support for {t}");
             if before == 0 && after > 0 {
-                out.push(t, 1);
+                out.push(t.clone(), 1);
             } else if before > 0 && after == 0 {
-                self.counts.remove(&t);
-                out.push(t, -1);
+                self.counts.remove(t);
+                out.push(t.clone(), -1);
             } else if after == 0 {
-                self.counts.remove(&t);
+                self.counts.remove(t);
             }
         }
-        out
+    }
+
+    /// Reconstruct the full current output set (each supported tuple
+    /// once), appending to `out`.
+    pub fn replay_into(&self, out: &mut Delta) {
+        for t in self.counts.keys() {
+            out.push(t.clone(), 1);
+        }
     }
 }
 

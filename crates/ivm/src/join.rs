@@ -94,6 +94,15 @@ impl JoinOp {
 
     /// Process one batch of deltas from both inputs.
     pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
+        let mut out = Delta::new();
+        self.apply(&dl, &dr, &mut out);
+        out
+    }
+
+    /// Process one batch of borrowed deltas, appending output rows to
+    /// `out`. Inputs are borrowed so a shared upstream node's delta can
+    /// feed several joins without cloning.
+    pub fn apply(&mut self, dl: &Delta, dr: &Delta, out: &mut Delta) {
         let JoinOp {
             left_mem,
             right_mem,
@@ -101,11 +110,10 @@ impl JoinOp {
             out_perm,
             scratch,
         } = self;
-        let mut out = Delta::new();
         // ΔL ⋈ R_old (right memory not yet updated).
         for (lt, lm) in dl.iter() {
             for (rt, rm) in right_mem.probe(lt, left_mem.key_cols()) {
-                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, &mut out);
+                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, out);
             }
         }
         // Update left memory → L_new.
@@ -115,13 +123,31 @@ impl JoinOp {
         // L_new ⋈ ΔR
         for (rt, rm) in dr.iter() {
             for (lt, lm) in left_mem.probe(rt, right_mem.key_cols()) {
-                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, &mut out);
+                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, out);
             }
         }
         for (rt, rm) in dr.iter() {
             right_mem.update(rt, *rm);
         }
-        out
+    }
+
+    /// Reconstruct the full current output bag from the two memories
+    /// (L ⋈ R as of now), appending to `out`. Used when a newly
+    /// registered view attaches to an already-populated shared node and
+    /// needs its complete state rather than a delta.
+    pub fn replay_into(&mut self, out: &mut Delta) {
+        let JoinOp {
+            left_mem,
+            right_mem,
+            right_keep,
+            out_perm,
+            scratch,
+        } = self;
+        for (lt, lm) in left_mem.iter() {
+            for (rt, rm) in right_mem.probe(lt, left_mem.key_cols()) {
+                emit(scratch, lt, rt, right_keep, out_perm, lm * rm, out);
+            }
+        }
     }
 }
 

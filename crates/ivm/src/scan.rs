@@ -19,6 +19,49 @@ use pgq_graph::store::PropertyGraph;
 
 use crate::delta::Delta;
 
+/// What part of the change feed a scan can possibly react to — the
+/// routing contract the shared dataflow network indexes scans by, so a
+/// transaction's events are delivered only to scans that can match them.
+#[derive(Clone, Debug)]
+pub enum ScanRouting {
+    /// A © scan (or an internal vertex scan of a ⋈* node).
+    Vertex(VertexRouting),
+    /// A ⇑ scan (or the internal edge scan of a ⋈* node).
+    Edge(EdgeRouting),
+}
+
+/// Routing contract of a vertex scan.
+#[derive(Clone, Debug)]
+pub struct VertexRouting {
+    /// Conjunctive label requirement (empty = every vertex matches).
+    pub labels: Vec<Symbol>,
+    /// Vertex property keys whose changes can alter emitted tuples;
+    /// `None` means *all* keys (the carry-map ablation mode).
+    pub prop_keys: Option<Vec<Symbol>>,
+}
+
+/// Routing contract of an edge scan.
+///
+/// Endpoint interest is tracked **per side**: a vertex event matters if
+/// the vertex could participate as the pattern-source or as the
+/// pattern-target, each judged against that side's own (conjunctive)
+/// label requirement. Folding both sides into one union would starve a
+/// label-free side — e.g. `(a:A)-[:R]->(b)` pushing `b.x` must see
+/// property changes on *any* vertex, because any vertex can be `b`.
+#[derive(Clone, Debug)]
+pub struct EdgeRouting {
+    /// Admissible edge types (empty = any).
+    pub types: Vec<Symbol>,
+    /// Edge property keys whose changes matter (pushed properties and
+    /// literal filters); `None` means all keys (carry-map mode).
+    pub edge_prop_keys: Option<Vec<Symbol>>,
+    /// Vertex interest of the pattern-source endpoint (`None` when
+    /// source tuples don't depend on vertex state).
+    pub src_interest: Option<VertexRouting>,
+    /// Vertex interest of the pattern-target endpoint.
+    pub dst_interest: Option<VertexRouting>,
+}
+
 /// The © get-vertices scan node.
 #[derive(Clone, Debug)]
 pub struct VertexScan {
@@ -46,6 +89,26 @@ impl VertexScan {
     /// Number of tuples materialised in this scan's memory.
     pub fn memory_tuples(&self) -> usize {
         self.memory.len()
+    }
+
+    /// Routing contract (see [`ScanRouting`]).
+    pub fn routing(&self) -> VertexRouting {
+        VertexRouting {
+            labels: self.labels.clone(),
+            prop_keys: if self.carry_map {
+                None
+            } else {
+                Some(self.props.iter().map(|p| p.prop).collect())
+            },
+        }
+    }
+
+    /// Re-emit the full current memory contents (each remembered tuple
+    /// with multiplicity +1), appending to `out`.
+    pub fn replay_into(&self, out: &mut Delta) {
+        for t in self.memory.values() {
+            out.push(t.clone(), 1);
+        }
     }
 
     fn tuple_of(&self, g: &PropertyGraph, v: VertexId) -> Option<Tuple> {
@@ -90,6 +153,13 @@ impl VertexScan {
 
     /// Delta for a batch of committed events (post-state `g`).
     pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        let mut out = Delta::new();
+        self.on_events_into(g, events, &mut out);
+        out
+    }
+
+    /// [`VertexScan::on_events`] into a caller-owned (pooled) buffer.
+    pub fn on_events_into(&mut self, g: &PropertyGraph, events: &[ChangeEvent], out: &mut Delta) {
         let mut touched = std::mem::take(&mut self.touched);
         touched.clear();
         for ev in events {
@@ -97,12 +167,10 @@ impl VertexScan {
                 touched.insert(v);
             }
         }
-        let mut out = Delta::new();
         for &v in &touched {
-            self.refresh(g, v, &mut out);
+            self.refresh(g, v, out);
         }
         self.touched = touched;
-        out
     }
 
     /// Recompute one vertex and emit the difference into `out`.
@@ -196,6 +264,51 @@ impl EdgeScan {
     /// Number of tuples materialised in this scan's memory.
     pub fn memory_tuples(&self) -> usize {
         self.memory.values().map(Vec::len).sum()
+    }
+
+    /// Routing contract (see [`ScanRouting`] and [`EdgeRouting`]).
+    pub fn routing(&self) -> EdgeRouting {
+        // One endpoint side's interest: labels gate membership, props
+        // (or a carried map) make that side's vertex state part of the
+        // emitted tuple. A side with neither has no vertex interest.
+        let side = |labels: &[Symbol], props: &[PropPush], carry: bool| -> Option<VertexRouting> {
+            if labels.is_empty() && props.is_empty() && !carry {
+                return None;
+            }
+            Some(VertexRouting {
+                labels: labels.to_vec(),
+                prop_keys: if carry {
+                    None
+                } else {
+                    Some(props.iter().map(|p| p.prop).collect())
+                },
+            })
+        };
+        EdgeRouting {
+            types: self.types.clone(),
+            edge_prop_keys: if self.carry_maps.1 {
+                None
+            } else {
+                let mut keys: Vec<Symbol> = self.edge_props.iter().map(|p| p.prop).collect();
+                for (k, _) in &self.edge_prop_filters {
+                    if !keys.contains(k) {
+                        keys.push(*k);
+                    }
+                }
+                Some(keys)
+            },
+            src_interest: side(&self.src_labels, &self.src_props, self.carry_maps.0),
+            dst_interest: side(&self.dst_labels, &self.dst_props, self.carry_maps.2),
+        }
+    }
+
+    /// Re-emit the full current memory contents, appending to `out`.
+    pub fn replay_into(&self, out: &mut Delta) {
+        for tuples in self.memory.values() {
+            for t in tuples {
+                out.push(t.clone(), 1);
+            }
+        }
     }
 
     /// Do this scan's tuples depend on vertex state at all? When not
@@ -302,6 +415,13 @@ impl EdgeScan {
     /// incident edge (labels/properties of endpoints are part of edge
     /// tuples).
     pub fn on_events(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
+        let mut out = Delta::new();
+        self.on_events_into(g, events, &mut out);
+        out
+    }
+
+    /// [`EdgeScan::on_events`] into a caller-owned (pooled) buffer.
+    pub fn on_events_into(&mut self, g: &PropertyGraph, events: &[ChangeEvent], out: &mut Delta) {
         let mut touched = std::mem::take(&mut self.touched);
         touched.clear();
         let vertex_sensitive = self.vertex_sensitive();
@@ -318,12 +438,10 @@ impl EdgeScan {
                 }
             }
         }
-        let mut out = Delta::new();
         for &e in &touched {
-            self.refresh(g, e, &mut out);
+            self.refresh(g, e, out);
         }
         self.touched = touched;
-        out
     }
 
     fn refresh(&mut self, g: &PropertyGraph, e: EdgeId, out: &mut Delta) {

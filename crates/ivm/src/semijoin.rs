@@ -113,12 +113,18 @@ impl SemiJoinOp {
     /// Process one batch of deltas from both inputs.
     pub fn on_deltas(&mut self, dl: Delta, dr: Delta) -> Delta {
         let mut out = Delta::new();
+        self.apply(&dl, &dr, &mut out);
+        out
+    }
 
+    /// Process one batch of borrowed deltas, appending output rows to
+    /// `out`.
+    pub fn apply(&mut self, dl: &Delta, dr: &Delta, out: &mut Delta) {
         // Phase 1: apply ΔR; emit flips against L_old. Aggregate ΔR per
         // key first so transient zero crossings inside one batch don't
         // emit cancelling flips; keys stay borrowed — buckets hold entry
         // indices into `dr`, disambiguated by projection equality.
-        let dr = dr.into_entries();
+        let dr = dr.entries();
         let mut per_key: FxHashMap<u64, Vec<(usize, i64)>> = FxHashMap::default();
         for (i, (rt, rm)) in dr.iter().enumerate() {
             let kr = rt.key_ref(&self.right_keys);
@@ -159,7 +165,17 @@ impl SemiJoinOp {
         for (lt, lm) in dl.iter() {
             self.left_mem.update(lt, *lm);
         }
-        out
+    }
+
+    /// Reconstruct the full current output bag (L ⋉ R / L ▷ R as of
+    /// now), appending to `out`.
+    pub fn replay_into(&self, out: &mut Delta) {
+        for (lt, lm) in self.left_mem.iter() {
+            let positive = self.right_support.probe(lt, self.left_mem.key_cols()) > 0;
+            if self.passes(positive) {
+                out.push(lt.clone(), lm);
+            }
+        }
     }
 }
 

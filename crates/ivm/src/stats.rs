@@ -1,16 +1,14 @@
 //! Per-operator statistics of a running network — `EXPLAIN ANALYZE` for
 //! the dataflow: which memories hold how many tuples — plus, behind the
-//! `ivm-stats` feature, process-wide allocation/rehash counters for the
-//! hot path (see [`counters`]).
+//! `ivm-stats` feature, process-wide allocation/rehash/routing counters
+//! for the hot path (see [`counters`]).
 
 use std::fmt;
 
-use crate::op::Op;
-
-/// Allocation/rehash accounting for the IVM hot path.
+/// Allocation/rehash/routing accounting for the IVM hot path.
 ///
-/// With the `ivm-stats` feature enabled, the delta/join layer counts
-/// three things; without it, every hook compiles to a no-op:
+/// With the `ivm-stats` feature enabled, the delta/join/network layers
+/// count four things; without it, every hook compiles to a no-op:
 ///
 /// * **key materialisations** — a key [`Tuple`](pgq_common::tuple::Tuple)
 ///   was allocated on a probe/update path. The borrowed-key join memory
@@ -23,11 +21,19 @@ use crate::op::Op;
 ///   the counters cover real work.
 /// * **rehashes** — a join-memory hash map grew its capacity during an
 ///   update (amortised table growth, not per-match cost).
+/// * **scan event deliveries** — a change event was routed to a scan
+///   node by the
+///   [`DataflowNetwork`](crate::network::DataflowNetwork)'s label/type
+///   routing index (one count per event per scan node). A transaction
+///   touching only label `A` must deliver zero events to scans over
+///   label `B`; the per-node breakdown is always available via
+///   [`node_summaries`](crate::network::DataflowNetwork::node_summaries).
 ///
 /// `crates/ivm/tests/alloc_counters.rs` (run via
 /// `cargo test -p pgq_ivm --features ivm-stats`, also a CI step)
 /// asserts `snapshot().key_materializations == 0` across a steady-state
-/// delta batch while `probe_hits > 0`.
+/// delta batch while `probe_hits > 0`, and that routed deliveries track
+/// only the scans that can match.
 pub mod counters {
     /// Counter snapshot; obtain via [`snapshot`].
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,6 +44,8 @@ pub mod counters {
         pub probe_hits: u64,
         /// Join-memory hash-map capacity growth events.
         pub rehashes: u64,
+        /// Change events delivered to scan nodes by the routing index.
+        pub scan_events_delivered: u64,
     }
 
     #[cfg(feature = "ivm-stats")]
@@ -47,6 +55,7 @@ pub mod counters {
         pub static KEY_MATERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
         pub static PROBE_HITS: AtomicU64 = AtomicU64::new(0);
         pub static REHASHES: AtomicU64 = AtomicU64::new(0);
+        pub static SCAN_EVENTS_DELIVERED: AtomicU64 = AtomicU64::new(0);
 
         pub fn bump(c: &AtomicU64) {
             c.fetch_add(1, Ordering::Relaxed);
@@ -65,6 +74,13 @@ pub mod counters {
     pub fn probe_hit() {
         #[cfg(feature = "ivm-stats")]
         imp::bump(&imp::PROBE_HITS);
+    }
+
+    /// Record one change event routed to a scan node.
+    #[inline]
+    pub fn scan_event_delivered() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::SCAN_EVENTS_DELIVERED);
     }
 
     /// Record a hash-map rehash if `after > before` capacity.
@@ -87,6 +103,7 @@ pub mod counters {
                 key_materializations: imp::KEY_MATERIALIZATIONS.load(Ordering::Relaxed),
                 probe_hits: imp::PROBE_HITS.load(Ordering::Relaxed),
                 rehashes: imp::REHASHES.load(Ordering::Relaxed),
+                scan_events_delivered: imp::SCAN_EVENTS_DELIVERED.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "ivm-stats"))]
@@ -101,11 +118,14 @@ pub mod counters {
             imp::KEY_MATERIALIZATIONS.store(0, Ordering::Relaxed);
             imp::PROBE_HITS.store(0, Ordering::Relaxed);
             imp::REHASHES.store(0, Ordering::Relaxed);
+            imp::SCAN_EVENTS_DELIVERED.store(0, Ordering::Relaxed);
         }
     }
 }
 
-/// Statistics of one operator (and its subtree).
+/// Statistics of one operator (and its subtree). Built by
+/// [`DataflowNetwork::stats_of`](crate::network::DataflowNetwork::stats_of);
+/// a node shared between views appears in every referencing view's tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OpStats {
     /// Operator label.
@@ -150,72 +170,9 @@ impl fmt::Display for OpStats {
     }
 }
 
-impl Op {
-    /// Collect per-operator statistics.
-    pub fn stats(&self) -> OpStats {
-        match self {
-            Op::Unit { .. } => OpStats {
-                name: "Unit".into(),
-                own_tuples: 0,
-                children: vec![],
-            },
-            Op::Vertices(s) => OpStats {
-                name: "©".into(),
-                own_tuples: s.memory_tuples(),
-                children: vec![],
-            },
-            Op::Edges(s) => OpStats {
-                name: "⇑".into(),
-                own_tuples: s.memory_tuples(),
-                children: vec![],
-            },
-            Op::Join { left, right, join } => OpStats {
-                name: "⋈".into(),
-                own_tuples: join.memory_tuples(),
-                children: vec![left.stats(), right.stats()],
-            },
-            Op::SemiJoin { left, right, join } => OpStats {
-                name: "⋉/▷".into(),
-                own_tuples: join.memory_tuples(),
-                children: vec![left.stats(), right.stats()],
-            },
-            Op::VarLength { left, tc } => OpStats {
-                name: format!("⋈* [{} paths]", tc.path_count()),
-                own_tuples: tc.memory_tuples(),
-                children: vec![left.stats()],
-            },
-            Op::Filter { input, .. } => OpStats {
-                name: "σ".into(),
-                own_tuples: 0,
-                children: vec![input.stats()],
-            },
-            Op::Project { input, .. } => OpStats {
-                name: "π".into(),
-                own_tuples: 0,
-                children: vec![input.stats()],
-            },
-            Op::Distinct { input, state } => OpStats {
-                name: "δ".into(),
-                own_tuples: state.memory_tuples(),
-                children: vec![input.stats()],
-            },
-            Op::Aggregate { input, state } => OpStats {
-                name: "γ".into(),
-                own_tuples: state.memory_tuples(),
-                children: vec![input.stats()],
-            },
-            Op::Unwind { input, .. } => OpStats {
-                name: "ω".into(),
-                own_tuples: 0,
-                children: vec![input.stats()],
-            },
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::MaterializedView;
     use pgq_algebra::fra::Fra;
     use pgq_common::intern::Symbol;
     use pgq_graph::props::Properties;
@@ -235,9 +192,8 @@ mod tests {
                 carry_map: false,
             }),
         };
-        let mut op = Op::build(&fra);
-        op.initial(&g);
-        let stats = op.stats();
+        let view = MaterializedView::create_unchecked("s", &fra, &g);
+        let stats = view.network_stats();
         assert_eq!(stats.name, "δ");
         assert_eq!(stats.own_tuples, 3);
         assert_eq!(stats.children[0].own_tuples, 3);

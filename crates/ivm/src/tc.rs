@@ -283,26 +283,30 @@ impl VarLengthOp {
             .collect()
     }
 
-    fn finish(&mut self, d1: Delta, dv: Delta) -> Delta {
-        match &mut self.dst {
-            Some((j2, _)) => j2.on_deltas(d1, dv),
-            None => d1,
-        }
-    }
-
     /// Initial evaluation: build the path store and all join memories.
     pub fn initial(&mut self, g: &PropertyGraph, left_initial: Delta) -> Delta {
+        let mut out = Delta::new();
+        self.initial_into(g, &left_initial, &mut out);
+        out
+    }
+
+    /// [`VarLengthOp::initial`] with a borrowed left input and a
+    /// caller-owned (pooled) output buffer.
+    pub fn initial_into(&mut self, g: &PropertyGraph, left: &Delta, out: &mut Delta) {
         let de = self.edge_scan.initial(g);
         let mut dp = self.apply_edge_deltas(de);
         if let Some(tr) = &mut self.trivial {
             dp.extend(Self::trivial_paths(tr.initial(g)));
         }
-        let d1 = self.j1.on_deltas(left_initial, dp);
-        let dv = match &mut self.dst {
-            Some((_, scan)) => scan.initial(g),
-            None => Delta::new(),
-        };
-        self.finish(d1, dv)
+        match &mut self.dst {
+            Some((j2, scan)) => {
+                let mut d1 = Delta::new();
+                self.j1.apply(left, &dp, &mut d1);
+                let dv = scan.initial(g);
+                j2.apply(&d1, &dv, out);
+            }
+            None => self.j1.apply(left, &dp, out),
+        }
     }
 
     /// Process a transaction: `left_delta` from the child subtree plus
@@ -313,17 +317,59 @@ impl VarLengthOp {
         events: &[ChangeEvent],
         left_delta: Delta,
     ) -> Delta {
+        let mut out = Delta::new();
+        self.on_events_into(g, events, &left_delta, &mut out);
+        out
+    }
+
+    /// [`VarLengthOp::on_events`] with a borrowed left input and a
+    /// caller-owned (pooled) output buffer.
+    pub fn on_events_into(
+        &mut self,
+        g: &PropertyGraph,
+        events: &[ChangeEvent],
+        left: &Delta,
+        out: &mut Delta,
+    ) {
         let de = self.edge_scan.on_events(g, events);
         let mut dp = self.apply_edge_deltas(de);
         if let Some(tr) = &mut self.trivial {
             dp.extend(Self::trivial_paths(tr.on_events(g, events)));
         }
-        let d1 = self.j1.on_deltas(left_delta, dp);
-        let dv = match &mut self.dst {
-            Some((_, scan)) => scan.on_events(g, events),
-            None => Delta::new(),
-        };
-        self.finish(d1, dv)
+        match &mut self.dst {
+            Some((j2, scan)) => {
+                let mut d1 = Delta::new();
+                self.j1.apply(left, &dp, &mut d1);
+                let mut dv = Delta::new();
+                scan.on_events_into(g, events, &mut dv);
+                j2.apply(&d1, &dv, out);
+            }
+            None => self.j1.apply(left, &dp, out),
+        }
+    }
+
+    /// Reconstruct the full current output bag from the internal join
+    /// memories, appending to `out`.
+    pub fn replay_into(&mut self, out: &mut Delta) {
+        match &mut self.dst {
+            Some((j2, _)) => j2.replay_into(out),
+            None => self.j1.replay_into(out),
+        }
+    }
+
+    /// Routing contracts of the internal scans (edge traversal, optional
+    /// zero-hop vertex scan, optional destination-constraint scan) — the
+    /// union of events a ⋈* node must see.
+    pub fn routing(&self) -> Vec<crate::scan::ScanRouting> {
+        use crate::scan::ScanRouting;
+        let mut out = vec![ScanRouting::Edge(self.edge_scan.routing())];
+        if let Some(tr) = &self.trivial {
+            out.push(ScanRouting::Vertex(tr.routing()));
+        }
+        if let Some((_, scan)) = &self.dst {
+            out.push(ScanRouting::Vertex(scan.routing()));
+        }
+        out
     }
 }
 

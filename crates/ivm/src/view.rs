@@ -1,24 +1,29 @@
 //! Materialised views over FRA plans.
+//!
+//! [`MaterializedView`] is the standalone single-view façade: it owns a
+//! private [`DataflowNetwork`] with exactly one sink, keeping the
+//! historical create/maintain/read API for tests, tools, and embedders
+//! that maintain one view in isolation. Engines serving many views
+//! should own one shared [`DataflowNetwork`] directly (as
+//! `pgq_core::GraphEngine` does) so overlapping queries share operator
+//! nodes.
 
 use pgq_algebra::fra::Fra;
 use pgq_algebra::AlgebraError;
 use pgq_algebra::CompiledQuery;
-use pgq_common::fxhash::FxHashMap;
 use pgq_common::tuple::Tuple;
 use pgq_graph::delta::ChangeEvent;
 use pgq_graph::store::PropertyGraph;
 
 use crate::delta::Delta;
-use crate::op::Op;
+use crate::network::{DataflowNetwork, SinkId};
 
-/// An incrementally maintained materialised view.
+/// An incrementally maintained materialised view (one private network,
+/// one sink).
 #[derive(Clone, Debug)]
 pub struct MaterializedView {
-    name: String,
-    columns: Vec<String>,
-    root: Op,
-    results: FxHashMap<Tuple, i64>,
-    maintenance_count: u64,
+    net: DataflowNetwork,
+    sink: SinkId,
 }
 
 impl MaterializedView {
@@ -47,108 +52,72 @@ impl MaterializedView {
         fra: &Fra,
         graph: &PropertyGraph,
     ) -> MaterializedView {
-        let mut root = Op::build(fra);
-        let initial = root.initial(graph).consolidate();
-        let mut results = FxHashMap::default();
-        for (t, m) in initial.into_entries() {
-            *results.entry(t).or_insert(0) += m;
-        }
-        results.retain(|_, m| *m != 0);
-        MaterializedView {
-            name: name.into(),
-            columns: fra.schema(),
-            root,
-            results,
-            maintenance_count: 0,
-        }
+        let mut net = DataflowNetwork::new();
+        let sink = net.register(name, fra, graph);
+        MaterializedView { net, sink }
     }
 
     /// View name.
     pub fn name(&self) -> &str {
-        &self.name
+        // Lifetime gymnastics: ViewRef borrows the network, so go
+        // through it inline.
+        self.net.view(self.sink).name()
     }
 
     /// Output column names.
     pub fn columns(&self) -> &[String] {
-        &self.columns
+        self.net.view(self.sink).columns()
     }
 
     /// Maintain the view after a committed transaction; returns the
     /// consolidated delta of result changes.
     pub fn on_transaction(&mut self, graph: &PropertyGraph, events: &[ChangeEvent]) -> Delta {
-        use std::collections::hash_map::Entry;
-        self.maintenance_count += 1;
-        let delta = self.root.on_events(graph, events).consolidate();
-        // Only touched entries can reach zero — a full-map sweep per
-        // transaction would make maintenance O(|view|) instead of O(|Δ|).
-        for (t, m) in delta.iter() {
-            match self.results.entry(t.clone()) {
-                Entry::Occupied(mut e) => {
-                    *e.get_mut() += m;
-                    debug_assert!(*e.get() >= 0, "negative view multiplicity for {t}");
-                    if *e.get() == 0 {
-                        e.remove();
-                    }
-                }
-                Entry::Vacant(v) => {
-                    debug_assert!(*m >= 0, "negative view multiplicity for {t}");
-                    v.insert(*m);
-                }
-            }
+        self.net.on_transaction(graph, events);
+        if self.net.sink_changed(self.sink) {
+            self.net.last_delta(self.sink).clone()
+        } else {
+            Delta::new()
         }
-        delta
     }
 
     /// Current result bag as `(tuple, multiplicity)` pairs, sorted for
     /// deterministic output.
     pub fn results(&self) -> Vec<(Tuple, i64)> {
-        let mut out: Vec<(Tuple, i64)> =
-            self.results.iter().map(|(t, m)| (t.clone(), *m)).collect();
-        out.sort_by(|a, b| {
-            a.0.values()
-                .iter()
-                .zip(b.0.values())
-                .fold(std::cmp::Ordering::Equal, |acc, (x, y)| {
-                    acc.then_with(|| x.total_cmp(y))
-                })
-                .then_with(|| a.0.arity().cmp(&b.0.arity()))
-        });
-        out
+        self.net.view(self.sink).results()
     }
 
     /// Flattened result rows (each tuple repeated by its multiplicity).
     pub fn rows(&self) -> Vec<Tuple> {
-        let mut out = Vec::new();
-        for (t, m) in self.results() {
-            for _ in 0..m.max(0) {
-                out.push(t.clone());
-            }
-        }
-        out
+        self.net.view(self.sink).rows()
     }
 
     /// Number of distinct result tuples.
     pub fn distinct_count(&self) -> usize {
-        self.results.len()
+        self.net.view(self.sink).distinct_count()
     }
 
     /// Total row count (with multiplicities).
     pub fn row_count(&self) -> usize {
-        self.results.values().map(|m| (*m).max(0) as usize).sum()
+        self.net.view(self.sink).row_count()
     }
 
     /// Tuples materialised across the network (memory metric).
     pub fn memory_tuples(&self) -> usize {
-        self.root.memory_tuples() + self.results.len()
+        self.net.view(self.sink).memory_tuples()
     }
 
     /// Number of maintenance rounds executed.
     pub fn maintenance_count(&self) -> u64 {
-        self.maintenance_count
+        self.net.view(self.sink).maintenance_count()
     }
 
     /// Per-operator statistics of the network (EXPLAIN-ANALYZE-style).
     pub fn network_stats(&self) -> crate::stats::OpStats {
-        self.root.stats()
+        self.net.stats_of(self.sink)
+    }
+
+    /// The underlying single-sink network (inspection/testing).
+    pub fn network(&self) -> &DataflowNetwork {
+        &self.net
     }
 }

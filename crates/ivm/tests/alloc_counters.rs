@@ -71,4 +71,35 @@ fn join_hot_path_materialises_no_keys() {
         snap.key_materializations, 1,
         "first sighting of a support key materialises exactly once: {snap:?}"
     );
+
+    // Event routing: a transaction touching only label A delivers its
+    // event to the A scan and to no other scan in the shared network.
+    use pgq_algebra::fra::Fra;
+    use pgq_common::intern::Symbol;
+    use pgq_graph::props::Properties;
+    use pgq_graph::store::PropertyGraph;
+    use pgq_graph::tx::Transaction;
+    use pgq_ivm::DataflowNetwork;
+
+    let scan = |var: &str, label: &str| Fra::ScanVertices {
+        var: var.into(),
+        labels: vec![Symbol::intern(label)],
+        props: vec![],
+        carry_map: false,
+    };
+    let mut g = PropertyGraph::new();
+    let mut net = DataflowNetwork::new();
+    net.register("as", &scan("a", "A"), &g);
+    net.register("bs", &scan("b", "B"), &g);
+
+    let mut tx = Transaction::new();
+    tx.create_vertex([Symbol::intern("A")], Properties::new());
+    let events = g.apply(&tx).unwrap();
+    counters::reset();
+    net.on_transaction(&g, &events);
+    let snap = counters::snapshot();
+    assert_eq!(
+        snap.scan_events_delivered, 1,
+        "one event, one matching scan — the B scan must receive nothing: {snap:?}"
+    );
 }

@@ -12,13 +12,18 @@
 //!
 //! Differences from the real crate: cases are generated from a fixed seed
 //! (fully reproducible runs, overridable via `PROPTEST_SHIM_SEED`), and
-//! failing cases are *not* shrunk — but they **are** echoed: on a
-//! `prop_assert!` failure or a panic inside the body, the generated
-//! input values are printed (`Debug`-formatted, one per line), so a
-//! property failure is diagnosable without re-running. Reproduce by
-//! re-running with the same seed, which regenerates the identical case
-//! sequence deterministically. Swap the path dependency for the real
-//! crate when a registry is available.
+//! failing cases get **naive minimization** rather than proptest's full
+//! shrink tree: each strategy can propose smaller variants of a failing
+//! value ([`Strategy::shrink_value`] — integers halve toward their
+//! minimum, vectors drop elements and shrink their items, tuples shrink
+//! per coordinate; `prop_map`ped strategies are opaque and propose
+//! nothing), and the harness greedily re-checks candidates until no
+//! proposal fails (budgeted, see [`SHRINK_BUDGET`]). Both the original
+//! and the minimized failing inputs are echoed (`Debug`-formatted, one
+//! per line), so a property failure is diagnosable without re-running.
+//! Reproduce by re-running with the same seed, which regenerates the
+//! identical case sequence deterministically. Swap the path dependency
+//! for the real crate when a registry is available.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -97,16 +102,28 @@ pub struct TestCaseError(pub String);
 /// `Result` alias used by generated property bodies.
 pub type TestCaseResult = Result<(), TestCaseError>;
 
+/// Total failing-candidate re-checks allowed while minimizing one
+/// failing case (keeps pathological shrink loops bounded).
+pub const SHRINK_BUDGET: u32 = 512;
+
 /// A generator of values of type `Self::Value`.
 ///
-/// This shim has no shrinking, so a strategy is just a deterministic
-/// function of the RNG stream.
+/// Generation is a deterministic function of the RNG stream; shrinking
+/// is naive and local (see [`Strategy::shrink_value`]).
 pub trait Strategy {
     /// The type of values produced.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Propose strictly "smaller" variants of a failing value, most
+    /// aggressive first. The harness re-checks each candidate and
+    /// greedily adopts any that still fails. The default proposes
+    /// nothing (correct for opaque strategies like `prop_map`).
+    fn shrink_value(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -177,6 +194,10 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate(rng)
     }
+
+    fn shrink_value(&self, value: &T) -> Vec<T> {
+        self.0.shrink_value(value)
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -210,6 +231,12 @@ where
     F: Fn(&S::Value) -> bool,
 {
     type Value = S::Value;
+
+    fn shrink_value(&self, value: &S::Value) -> Vec<S::Value> {
+        let mut out = self.inner.shrink_value(value);
+        out.retain(|v| (self.f)(v));
+        out
+    }
 
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         // Regenerate on rejection, drawing down the run-wide budget so a
@@ -304,6 +331,12 @@ impl<T: Clone> Strategy for Just<T> {
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value of this type.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Smaller variants of a failing value (see
+    /// [`Strategy::shrink_value`]); defaults to none.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// Canonical strategy for `T`, as returned by [`any`].
@@ -320,11 +353,23 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+
+    fn shrink_value(&self, value: &T) -> Vec<T> {
+        value.shrink()
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -332,6 +377,32 @@ impl Arbitrary for bool {
 // (indices, ids, counts near zero) get exercised far more often than with
 // fully uniform 64-bit draws. Signed types negate half of the small draws
 // so values like -1 show up routinely, not with ~2^-57 probability.
+/// Halving-toward-zero integer shrink shared by every int width: `0`
+/// first (most aggressive), then the halfway point, then a decrement
+/// for small magnitudes so off-by-one minima are reachable.
+macro_rules! int_shrink {
+    () => {
+        fn shrink(&self) -> Vec<Self> {
+            let v = *self;
+            let mut out = Vec::new();
+            if v != 0 {
+                out.push(0);
+                let half = v / 2;
+                if half != 0 && half != v {
+                    out.push(half);
+                }
+                #[allow(unused_comparisons)]
+                if v > 0 && v <= 16 {
+                    out.push(v - 1);
+                }
+            }
+            out.retain(|c| *c != v);
+            out.dedup();
+            out
+        }
+    };
+}
+
 macro_rules! impl_arbitrary_int {
     (unsigned: $($ty:ty),*) => {$(
         impl Arbitrary for $ty {
@@ -343,6 +414,8 @@ macro_rules! impl_arbitrary_int {
                     (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) as $ty
                 }
             }
+
+            int_shrink!();
         }
     )*};
     (signed: $($ty:ty),*) => {$(
@@ -360,6 +433,8 @@ macro_rules! impl_arbitrary_int {
                     (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) as $ty
                 }
             }
+
+            int_shrink!();
         }
     )*};
 }
@@ -368,6 +443,15 @@ impl_arbitrary_int!(unsigned: u8, u16, u32, u64, u128, usize);
 impl_arbitrary_int!(signed: i8, i16, i32, i64, i128, isize);
 
 impl Arbitrary for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v != 0.0 && v.is_finite() {
+            vec![0.0, v / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+
     fn arbitrary(rng: &mut TestRng) -> Self {
         // Finite-only but wide-ranging: sign * mantissa * 2^exp with
         // exponents spanning subnormal-adjacent to huge. The suites that
@@ -402,6 +486,25 @@ macro_rules! impl_strategy_range {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let offset = (rng.next_u64() as u128) % span;
                 (self.start as i128 + offset as i128) as $ty
+            }
+
+            /// Shrink toward the range's lower bound: bound, halfway,
+            /// decrement.
+            fn shrink_value(&self, value: &$ty) -> Vec<$ty> {
+                let v = *value;
+                let mut out = Vec::new();
+                if v > self.start {
+                    out.push(self.start);
+                    let half = (self.start as i128 + (v as i128 - self.start as i128) / 2) as $ty;
+                    if half != self.start && half != v {
+                        out.push(half);
+                    }
+                    let dec = (v as i128 - 1) as $ty;
+                    if dec != self.start && dec != half && dec != v {
+                        out.push(dec);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -521,13 +624,36 @@ fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
     out
 }
 
+/// The empty strategy tuple (zero-argument properties).
+impl Strategy for () {
+    type Value = ();
+
+    fn generate(&self, _rng: &mut TestRng) {}
+}
+
 macro_rules! impl_strategy_tuple {
     ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            /// Shrink one coordinate at a time, keeping the rest fixed.
+            fn shrink_value(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$idx.shrink_value(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = c;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     )+};
@@ -558,13 +684,46 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start).max(1) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Shrink structurally first (front half, back half, then
+        /// single-element removals), respecting the minimum length;
+        /// then shrink each element in place by its own strategy's
+        /// first proposal.
+        fn shrink_value(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let len = value.len();
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            if len > min {
+                let half = (len / 2).max(min);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                    out.push(value[len - half..].to_vec());
+                }
+                for i in (0..len).rev() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, e) in value.iter().enumerate() {
+                if let Some(c) = self.element.shrink_value(e).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = c;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -617,6 +776,27 @@ macro_rules! proptest {
     };
 }
 
+/// Renders a caught panic payload for inclusion in a property-failure
+/// report. Implementation detail of [`proptest!`].
+#[doc(hidden)]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+/// Identity on a closure, pinning its argument type to the value it
+/// will be called with (closure bodies that destructure an inferred
+/// tuple otherwise hit E0282). Implementation detail of [`proptest!`].
+#[doc(hidden)]
+pub fn bind_closure<V, R, F: Fn(&V) -> R>(_witness: &V, f: F) -> F {
+    f
+}
+
 /// Implementation detail of [`proptest!`]; do not invoke directly.
 #[doc(hidden)]
 #[macro_export]
@@ -633,38 +813,77 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 $crate::run_property(stringify!($name), &config, |__rng| {
+                    // Generate per argument (same RNG order as always),
+                    // then pack: minimization operates on the packed
+                    // tuple through the tuple strategy, which shrinks
+                    // one coordinate at a time.
                     $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)*
-                    // Render the generated inputs up front so both
-                    // prop_assert failures and plain panics can echo the
-                    // failing case (the shim has no shrinking, so the
-                    // echo is the only way to see what failed).
-                    let __inputs: ::std::string::String = {
+                    let mut __vals = ($($arg,)*);
+                    let __strats = ($(($strategy),)*);
+                    // One re-runnable check over borrowed inputs:
+                    // prop_assert failures and panics both count as
+                    // failing, so shrink candidates are judged exactly
+                    // like the original case.
+                    let __check = $crate::bind_closure(&__vals, |__vals| -> $crate::TestCaseResult {
+                        let ($($arg,)*) = ::std::clone::Clone::clone(__vals);
+                        match ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(move || -> $crate::TestCaseResult {
+                                $body
+                                Ok(())
+                            }),
+                        ) {
+                            Ok(r) => r,
+                            Err(payload) => Err($crate::TestCaseError(
+                                $crate::panic_message(payload.as_ref()),
+                            )),
+                        }
+                    });
+                    let __first_err = match __check(&__vals) {
+                        Ok(()) => return Ok(()),
+                        Err(e) => e,
+                    };
+                    let __render = $crate::bind_closure(&__vals, |__vals| {
+                        let ($($arg,)*) = __vals;
                         let mut __s = ::std::string::String::new();
                         $(
                             __s.push_str(concat!("  ", stringify!($arg), " = "));
-                            __s.push_str(&format!("{:?}\n", &$arg));
+                            __s.push_str(&format!("{:?}\n", $arg));
                         )*
                         __s
-                    };
-                    let __result = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(|| -> $crate::TestCaseResult {
-                            $body
-                            Ok(())
-                        }),
-                    );
-                    match __result {
-                        Ok(r) => r.map_err(|e| $crate::TestCaseError(
-                            format!("{}\nfailing inputs:\n{}", e.0, __inputs),
-                        )),
-                        Err(payload) => {
-                            eprintln!(
-                                "property `{}` panicked; failing inputs:\n{}",
-                                stringify!($name),
-                                __inputs
-                            );
-                            ::std::panic::resume_unwind(payload)
+                    });
+                    let __original = __render(&__vals);
+                    // Naive minimization: greedily adopt any
+                    // strategy-proposed smaller tuple that still fails,
+                    // restarting proposals from the adopted value;
+                    // bounded by SHRINK_BUDGET re-checks in total.
+                    let mut __last_err = __first_err;
+                    let mut __attempts: u32 = 0;
+                    'shrink: loop {
+                        let __cands =
+                            $crate::Strategy::shrink_value(&__strats, &__vals);
+                        for __cand in __cands {
+                            if __attempts >= $crate::SHRINK_BUDGET {
+                                break 'shrink;
+                            }
+                            __attempts += 1;
+                            match __check(&__cand) {
+                                Err(__e) => {
+                                    // Still failing: keep the smaller
+                                    // value, re-propose from it.
+                                    __last_err = __e;
+                                    __vals = __cand;
+                                    continue 'shrink;
+                                }
+                                Ok(()) => {}
+                            }
                         }
+                        break 'shrink;
                     }
+                    Err($crate::TestCaseError(format!(
+                        "{}\nminimized failing inputs ({} shrink attempts):\n{}\
+                         original failing inputs:\n{}",
+                        __last_err.0, __attempts, __render(&__vals), __original
+                    )))
                 });
             }
         )*
@@ -736,4 +955,74 @@ macro_rules! prop_oneof {
     ($($arm:expr),+ $(,)?) => {
         $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
     };
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    #[test]
+    fn int_shrink_halves_toward_zero() {
+        assert_eq!(64u64.shrink(), vec![0, 32]);
+        assert_eq!(3u64.shrink(), vec![0, 1, 2]);
+        assert!(0u64.shrink().is_empty());
+        assert_eq!((-40i64).shrink(), vec![0, -20]);
+    }
+
+    #[test]
+    fn range_shrinks_toward_lower_bound() {
+        let s = 10usize..100;
+        let c = Strategy::shrink_value(&s, &50);
+        assert_eq!(c, vec![10, 30, 49]);
+        assert!(Strategy::shrink_value(&s, &10).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_pops_and_respects_min_len() {
+        let s = crate::collection::vec(0u64..10, 2..6);
+        let v = vec![5u64, 6, 7, 8];
+        let cands = Strategy::shrink_value(&s, &v);
+        // Halves first, then single removals, then element shrinks.
+        assert!(cands.contains(&vec![5, 6]));
+        assert!(cands.contains(&vec![7, 8]));
+        assert!(cands.contains(&vec![5, 6, 7]));
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        // Minimum-length inputs only shrink elements, never length.
+        let cands = Strategy::shrink_value(&s, &vec![5u64, 6]);
+        assert!(cands.iter().all(|c| c.len() == 2));
+    }
+
+    // A property that fails whenever the vector has >= 3 elements; the
+    // harness must minimize to exactly 3 before reporting.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+        #[test]
+        #[should_panic(expected = "minimized failing inputs")]
+        fn failing_vec_property_is_minimized(
+            xs in proptest::collection::vec(0u64..100, 0..20),
+        ) {
+            prop_assert!(xs.len() < 3, "too long: {}", xs.len());
+        }
+    }
+
+    // Integer failure threshold: anything >= 17 fails, so the harness
+    // must walk the value down to 17 exactly (via halving + decrement).
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+        #[test]
+        #[should_panic(expected = "n = 17")]
+        fn failing_int_property_minimizes_to_threshold(n in 0usize..1000) {
+            prop_assert!(n < 17);
+        }
+    }
+
+    // Passing properties must stay silent and never enter the shrink
+    // path.
+    proptest! {
+        #[test]
+        fn passing_property_is_untouched(a in 0u64..100, b in 0u64..100) {
+            prop_assert!(a < 100 && b < 100);
+        }
+    }
 }

@@ -2,7 +2,7 @@
 //!
 //! **Substitution note** (see DESIGN.md): the paper motivates IVM with
 //! continuous well-formedness validation and cites the Train Benchmark
-//! [30], whose generator/faults we re-create synthetically. One deliberate
+//! \[30\], whose generator/faults we re-create synthetically. One deliberate
 //! deviation: the original benchmark's constraint queries use *negative*
 //! conditions (NEG/antijoin), but the paper's maintainable fragment has no
 //! OPTIONAL MATCH / NOT EXISTS (explicitly listed as future work), so we

@@ -33,6 +33,10 @@ const QUERIES: &[&str] = &[
     "MATCH (a)-[:REPLY]-(b:Comm) RETURN a, b",
     "MATCH (p:Post) WHERE NOT exists((p)-[:REPLY]->(:Comm)) RETURN p",
     "MATCH (p:Post) WHERE exists((p)-[:REPLY]->(:Comm {lang: 'en'})) RETURN p",
+    // Property pushed from a *label-free* endpoint: routing must deliver
+    // prop events for any vertex that can be `c` (regression guard for
+    // the per-side endpoint-interest routing).
+    "MATCH (p:Post)-[:REPLY]->(c) RETURN p, c.lang",
 ];
 
 /// One random update step, chosen against the current shadow graph.
@@ -62,6 +66,13 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 const LANGS: &[&str] = &["en", "de", "fr", "hu", "nl"];
 
 fn apply_step(g: &mut PropertyGraph, step: &Step) -> Vec<pgq_graph::delta::ChangeEvent> {
+    let tx = step_transaction(g, step);
+    g.apply(&tx).expect("generated step applies")
+}
+
+/// Render one random step into a transaction against the current graph
+/// state (shared by the single-view and multi-view oracles).
+fn step_transaction(g: &PropertyGraph, step: &Step) -> Transaction {
     let vertices: Vec<_> = {
         let mut v: Vec<_> = g.vertex_ids().collect();
         v.sort_unstable();
@@ -117,7 +128,7 @@ fn apply_step(g: &mut PropertyGraph, step: &Step) -> Vec<pgq_graph::delta::Chang
         }
         _ => {}
     }
-    g.apply(&tx).expect("generated step applies")
+    tx
 }
 
 fn consolidated(view: &MaterializedView) -> Vec<(Tuple, i64)> {
@@ -161,6 +172,45 @@ proptest! {
                 got, want,
                 "divergence after {:?} on query {}", step, query
             );
+        }
+    }
+
+    /// The multi-view variant: ALL oracle queries registered on ONE
+    /// engine, served by the shared dataflow network (hash-consed scans
+    /// and subplans, targeted routing, pooled deltas). After every
+    /// random update, every view must equal a from-scratch evaluation —
+    /// node sharing must be observationally invisible.
+    #[test]
+    fn multi_view_shared_network_equals_recompute(
+        steps in proptest::collection::vec(step_strategy(), 1..15),
+    ) {
+        let mut engine = pgq_core::GraphEngine::from_graph(seed_graph());
+        let mut compiled_plans = Vec::new();
+        for (i, query) in QUERIES.iter().enumerate() {
+            let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+            engine.register_view(&format!("v{i}"), query).unwrap();
+            compiled_plans.push(compiled);
+        }
+        // Initial state must agree for every view.
+        for (i, compiled) in compiled_plans.iter().enumerate() {
+            let id = engine.view_by_name(&format!("v{i}")).unwrap();
+            prop_assert_eq!(
+                engine.view(id).unwrap().results(),
+                eval_consolidated(&compiled.fra, engine.graph()),
+                "initial divergence on query {}", QUERIES[i]
+            );
+        }
+        for step in &steps {
+            let tx = step_transaction(engine.graph(), step);
+            engine.apply(&tx).expect("generated step applies");
+            for (i, compiled) in compiled_plans.iter().enumerate() {
+                let id = engine.view_by_name(&format!("v{i}")).unwrap();
+                prop_assert_eq!(
+                    engine.view(id).unwrap().results(),
+                    eval_consolidated(&compiled.fra, engine.graph()),
+                    "multi-view divergence after {:?} on query {}", step, QUERIES[i]
+                );
+            }
         }
     }
 }

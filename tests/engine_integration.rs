@@ -231,3 +231,72 @@ fn unwind_literal_list() {
         .unwrap();
     assert_eq!(res.rows.len(), 3);
 }
+
+#[test]
+fn engine_shares_nodes_across_identical_views() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm {lang:'en'})")
+        .unwrap();
+    let v1 = e
+        .register_view("t1", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    let nodes_single = e.network_node_count();
+    let v2 = e
+        .register_view("t2", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    let v3 = e
+        .register_view("t3", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    assert_eq!(
+        e.network_node_count(),
+        nodes_single,
+        "identical views must share one operator chain"
+    );
+
+    // All three views stay correct under maintenance through the shared
+    // chain.
+    e.execute("CREATE (:Post {lang:'de'})-[:REPLY]->(:Comm {lang:'de'})")
+        .unwrap();
+    for v in [v1, v2, v3] {
+        assert_eq!(e.view_results(v).unwrap().len(), 2);
+    }
+    assert_eq!(e.view(v1).unwrap().results(), e.view(v2).unwrap().results());
+
+    // Lifecycle: dropping all but one keeps the chain; dropping the
+    // last referencing view releases it.
+    e.drop_view(v1).unwrap();
+    e.drop_view(v2).unwrap();
+    assert_eq!(e.network_node_count(), nodes_single);
+    assert_eq!(e.view_results(v3).unwrap().len(), 2);
+    e.drop_view(v3).unwrap();
+    assert_eq!(e.network_node_count(), 0);
+
+    // Re-registering after a full teardown rebuilds from the graph.
+    let v4 = e
+        .register_view("t4", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    assert_eq!(e.view_results(v4).unwrap().len(), 2);
+    assert_eq!(e.network_node_count(), nodes_single);
+}
+
+#[test]
+fn dropped_view_does_not_disturb_overlapping_survivor() {
+    let mut e = GraphEngine::new();
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm {lang:'en'})")
+        .unwrap();
+    // Same MATCH prefix, different RETURN: the π differs, everything
+    // below is shared.
+    let keep = e
+        .register_view("keep", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p")
+        .unwrap();
+    let drop = e
+        .register_view("drop", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c")
+        .unwrap();
+    let with_both = e.network_node_count();
+    e.drop_view(drop).unwrap();
+    assert!(e.network_node_count() < with_both, "drop's π is released");
+    // The survivor keeps maintaining correctly.
+    e.execute("CREATE (:Post {lang:'fr'})-[:REPLY]->(:Comm {lang:'fr'})")
+        .unwrap();
+    assert_eq!(e.view_results(keep).unwrap().len(), 2);
+}
