@@ -1,0 +1,1072 @@
+//! Plan canonicalisation — the normal form under which alpha-equivalent
+//! FRA subplans become *structurally identical*, so the shared dataflow
+//! network's hash-consing (see [`crate::fingerprint`] and
+//! `pgq_ivm::network`) collapses them to one operator chain.
+//!
+//! [`canonicalize`] rewrites a plan in four ways, none of which changes
+//! the bag of result *tuples* (only their column order, which the
+//! returned [`CanonPlan::mapping`] records):
+//!
+//! 1. **Alpha-renaming.** Every variable/column name is replaced by a
+//!    positional de Bruijn-style name (`%0`, `%1`, …, its index in the
+//!    operator's output schema). FRA is positional — [`ScalarExpr`]
+//!    references columns by index, never by name — so names are pure
+//!    decoration and `MATCH (a:Post)` and `MATCH (p:Post)` canonicalise
+//!    to the same scan. The view's user-facing schema is restored by the
+//!    registering sink, not by the plan.
+//! 2. **Commutative sorting.** Scan label/type sets, pushed-property
+//!    lists, filter conjuncts, hash-join operands and key pairs,
+//!    projection items, and aggregate group/call lists are sorted under
+//!    a deterministic (in-process) total order, so `WHERE a AND b`
+//!    matches `WHERE b AND a` and `A ⋈ B` matches `B ⋈ A`.
+//! 3. **σ/π chain normalisation.** Adjacent filters fuse into one
+//!    conjunction; filters sink below projections and duplicate
+//!    elimination to a canonical position (directly above the topmost
+//!    stateful operator — never *into* joins or scans, so a family of
+//!    views differing only in a top-level `WHERE` keeps one shared
+//!    prefix with a private σ suffix each); adjacent projections fuse;
+//!    full-arity permutation projections vanish into the column
+//!    mapping; `δ∘δ` collapses.
+//! 4. **Column mapping.** Each rewrite that permutes columns composes
+//!    into `mapping`, a bijection from the original plan's output
+//!    columns to the canonical plan's, and
+//!    [`CanonPlan::with_restored_order`] materialises it as a tail
+//!    projection when it is not the identity. That tail is itself a
+//!    canonical plan, so views sharing a permutation also share the
+//!    tail node.
+//!
+//! # Soundness
+//!
+//! Every rewrite maps each input tuple to exactly one output tuple with
+//! unchanged multiplicity, so any operator above sees a column-permuted
+//! but otherwise identical bag. Two caveats are deliberate:
+//!
+//! * Conjunct reordering assumes predicates do not rely on `AND`
+//!   short-circuiting to suppress *evaluation errors* (Kleene truth is
+//!   order-independent; an error drops the tuple in both orders but
+//!   trips a debug assertion). Plans compiled by [`crate::pipeline`]
+//!   are well-typed and never rely on it.
+//! * Sorting keys derive from interned [`Symbol`] contents and
+//!   `Debug` renderings, so the canonical form is deterministic within
+//!   a process but not across processes — the same lifetime as the
+//!   fingerprints computed from it.
+
+use pgq_common::intern::Symbol;
+use pgq_parser::ast::BinOp;
+
+use crate::expr::{AggCall, ScalarExpr};
+use crate::fra::{Fra, PropPush, VarLenSpec};
+
+/// A canonicalised plan plus the column permutation that recovers the
+/// original plan's output order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CanonPlan {
+    /// The canonical form: positional names, sorted commutative
+    /// structure, normalised σ/π chains.
+    pub plan: Fra,
+    /// `mapping[i] = j`: column `i` of the *original* plan's output
+    /// holds, for every result tuple, the value of column `j` of the
+    /// canonical plan's output. Always a bijection (same arity).
+    pub mapping: Vec<usize>,
+}
+
+impl CanonPlan {
+    /// Does the canonical plan already emit columns in the original
+    /// order?
+    pub fn is_identity(&self) -> bool {
+        self.mapping.iter().enumerate().all(|(i, &j)| i == j)
+    }
+
+    /// The canonical plan with, when needed, a tail projection restoring
+    /// the original column order. The tail uses positional names, so it
+    /// is itself canonical and shared between views that need the same
+    /// permutation.
+    ///
+    /// When the canonical root is itself a projection, the restoring
+    /// permutation is folded *into* it instead of stacking a second π:
+    /// a permuted `RETURN` then costs exactly one π node (shared with
+    /// every view wanting the same order) and the per-transaction π
+    /// work stays identical to the pre-canonicalisation plan.
+    pub fn with_restored_order(&self) -> Fra {
+        if self.is_identity() {
+            return self.plan.clone();
+        }
+        if let Fra::Project { input, items } = &self.plan {
+            return Fra::Project {
+                input: input.clone(),
+                items: self
+                    .mapping
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| (items[c].0.clone(), pos_name(i)))
+                    .collect(),
+            };
+        }
+        Fra::Project {
+            input: Box::new(self.plan.clone()),
+            items: self
+                .mapping
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (ScalarExpr::Col(c), pos_name(i)))
+                .collect(),
+        }
+    }
+}
+
+/// Canonicalise `fra`. See the module docs for the normal form.
+pub fn canonicalize(fra: &Fra) -> CanonPlan {
+    let (plan, mapping) = canon(fra);
+    debug_assert_eq!(mapping.len(), fra.schema().len(), "mapping is total");
+    debug_assert_eq!(mapping.len(), plan.schema().len(), "mapping is a bijection");
+    CanonPlan { plan, mapping }
+}
+
+/// Apply a consistent renaming to every variable/column *name* in the
+/// plan. Since FRA expressions reference columns positionally, any such
+/// renaming is an alpha-renaming: it never changes results, and
+/// [`canonicalize`] erases it entirely (the property the canonicaliser's
+/// test suite asserts).
+pub fn alpha_rename(fra: &Fra, rename: &mut dyn FnMut(&str) -> String) -> Fra {
+    let props = |ps: &[PropPush], rename: &mut dyn FnMut(&str) -> String| -> Vec<PropPush> {
+        ps.iter()
+            .map(|p| PropPush {
+                prop: p.prop,
+                col: rename(&p.col),
+            })
+            .collect()
+    };
+    match fra {
+        Fra::Unit => Fra::Unit,
+        Fra::ScanVertices {
+            var,
+            labels,
+            props: ps,
+            carry_map,
+        } => Fra::ScanVertices {
+            var: rename(var),
+            labels: labels.clone(),
+            props: props(ps, rename),
+            carry_map: *carry_map,
+        },
+        Fra::ScanEdges {
+            src,
+            edge,
+            dst,
+            types,
+            src_labels,
+            dst_labels,
+            src_props,
+            edge_props,
+            dst_props,
+            dir,
+            carry_maps,
+        } => Fra::ScanEdges {
+            src: rename(src),
+            edge: rename(edge),
+            dst: rename(dst),
+            types: types.clone(),
+            src_labels: src_labels.clone(),
+            dst_labels: dst_labels.clone(),
+            src_props: props(src_props, rename),
+            edge_props: props(edge_props, rename),
+            dst_props: props(dst_props, rename),
+            dir: *dir,
+            carry_maps: *carry_maps,
+        },
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => Fra::SemiJoin {
+            left: Box::new(alpha_rename(left, rename)),
+            right: Box::new(alpha_rename(right, rename)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            anti: *anti,
+        },
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => Fra::HashJoin {
+            left: Box::new(alpha_rename(left, rename)),
+            right: Box::new(alpha_rename(right, rename)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+        },
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            dst,
+            path,
+        } => Fra::VarLengthJoin {
+            left: Box::new(alpha_rename(left, rename)),
+            src_col: *src_col,
+            spec: VarLenSpec {
+                dst_props: props(&spec.dst_props, rename),
+                ..spec.clone()
+            },
+            dst: rename(dst),
+            path: rename(path),
+        },
+        Fra::Filter { input, predicate } => Fra::Filter {
+            input: Box::new(alpha_rename(input, rename)),
+            predicate: predicate.clone(),
+        },
+        Fra::Project { input, items } => Fra::Project {
+            input: Box::new(alpha_rename(input, rename)),
+            items: items.iter().map(|(e, n)| (e.clone(), rename(n))).collect(),
+        },
+        Fra::Distinct { input } => Fra::Distinct {
+            input: Box::new(alpha_rename(input, rename)),
+        },
+        Fra::Aggregate { input, group, aggs } => Fra::Aggregate {
+            input: Box::new(alpha_rename(input, rename)),
+            group: group.iter().map(|(e, n)| (e.clone(), rename(n))).collect(),
+            aggs: aggs.iter().map(|(c, n)| (c.clone(), rename(n))).collect(),
+        },
+        Fra::Unwind { input, expr, alias } => Fra::Unwind {
+            input: Box::new(alpha_rename(input, rename)),
+            expr: expr.clone(),
+            alias: rename(alias),
+        },
+    }
+}
+
+/// Canonical positional column name.
+fn pos_name(i: usize) -> String {
+    format!("%{i}")
+}
+
+/// Deterministic total-order key for an expression (injective enough:
+/// derived `Debug` prints every field).
+fn expr_key(e: &ScalarExpr) -> String {
+    format!("{e:?}")
+}
+
+/// Deterministic total-order key for a canonical subplan.
+fn plan_key(f: &Fra) -> String {
+    format!("{f:?}")
+}
+
+/// Sort + dedup a symbol set (conjunctive label sets and any-of type
+/// sets are both order-insensitive, and a duplicate entry is the same
+/// constraint twice).
+fn sort_syms(syms: &[Symbol]) -> Vec<Symbol> {
+    let mut v = syms.to_vec();
+    v.sort_by_key(|s| s.resolve());
+    v.dedup();
+    v
+}
+
+/// Sort pushed properties by property key; returns the sorted list
+/// (column names NOT yet assigned) and the permutation
+/// `perm[original_index] = sorted_index`.
+fn sort_props(props: &[PropPush]) -> (Vec<PropPush>, Vec<usize>) {
+    let mut ix: Vec<usize> = (0..props.len()).collect();
+    ix.sort_by_cached_key(|&o| (props[o].prop.resolve(), o));
+    let mut perm = vec![0usize; props.len()];
+    for (k, &o) in ix.iter().enumerate() {
+        perm[o] = k;
+    }
+    (ix.iter().map(|&o| props[o].clone()).collect(), perm)
+}
+
+/// Split a predicate into its `AND` conjuncts.
+fn conjunct_list(e: ScalarExpr) -> Vec<ScalarExpr> {
+    match e {
+        ScalarExpr::Binary(BinOp::And, l, r) => {
+            let mut out = conjunct_list(*l);
+            out.extend(conjunct_list(*r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Sort + dedup conjuncts and fold them back into one predicate
+/// (`p ∧ p ≡ p` in Kleene logic, so deduplication is sound).
+fn conjoin_sorted(mut conjs: Vec<ScalarExpr>) -> ScalarExpr {
+    conjs.sort_by_cached_key(expr_key);
+    conjs.dedup();
+    conjs
+        .into_iter()
+        .reduce(|a, b| ScalarExpr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+        .expect("at least one conjunct")
+}
+
+/// Sink a filter to its canonical position: below projections and
+/// duplicate elimination, fused into any filter it lands on, but never
+/// into joins, scans, aggregates or unwinds. `plan` must already be
+/// canonical.
+fn attach_filter(plan: Fra, conjs: Vec<ScalarExpr>) -> Fra {
+    match plan {
+        Fra::Project { input, items } => {
+            // Substituting through the projection can surface nested
+            // `AND`s (a conjunct referencing a boolean item): re-split
+            // so they sort as individual conjuncts.
+            let pushed = conjs
+                .iter()
+                .flat_map(|c| conjunct_list(c.substitute(&items)))
+                .collect();
+            Fra::Project {
+                input: Box::new(attach_filter(*input, pushed)),
+                items,
+            }
+        }
+        Fra::Distinct { input } => Fra::Distinct {
+            input: Box::new(attach_filter(*input, conjs)),
+        },
+        Fra::Filter { input, predicate } => {
+            let mut all = conjunct_list(predicate);
+            all.extend(conjs);
+            Fra::Filter {
+                input,
+                predicate: conjoin_sorted(all),
+            }
+        }
+        other => Fra::Filter {
+            input: Box::new(other),
+            predicate: conjoin_sorted(conjs),
+        },
+    }
+}
+
+/// Core recursion: returns the canonical plan and the original→canonical
+/// output-column bijection.
+fn canon(fra: &Fra) -> (Fra, Vec<usize>) {
+    match fra {
+        Fra::Unit => (Fra::Unit, vec![]),
+
+        Fra::ScanVertices {
+            labels,
+            props,
+            carry_map,
+            ..
+        } => {
+            let (mut sorted, perm) = sort_props(props);
+            for (k, p) in sorted.iter_mut().enumerate() {
+                p.col = pos_name(1 + k);
+            }
+            let mut mapping = vec![0usize];
+            mapping.extend(perm.iter().map(|&k| 1 + k));
+            if *carry_map {
+                mapping.push(1 + props.len());
+            }
+            (
+                Fra::ScanVertices {
+                    var: pos_name(0),
+                    labels: sort_syms(labels),
+                    props: sorted,
+                    carry_map: *carry_map,
+                },
+                mapping,
+            )
+        }
+
+        Fra::ScanEdges {
+            types,
+            src_labels,
+            dst_labels,
+            src_props,
+            edge_props,
+            dst_props,
+            dir,
+            carry_maps,
+            ..
+        } => {
+            let (mut sp, perm_s) = sort_props(src_props);
+            let (mut ep, perm_e) = sort_props(edge_props);
+            let (mut dp, perm_d) = sort_props(dst_props);
+            let (ns, ne, nd) = (sp.len(), ep.len(), dp.len());
+            for (k, p) in sp.iter_mut().enumerate() {
+                p.col = pos_name(3 + k);
+            }
+            for (k, p) in ep.iter_mut().enumerate() {
+                p.col = pos_name(3 + ns + k);
+            }
+            for (k, p) in dp.iter_mut().enumerate() {
+                p.col = pos_name(3 + ns + ne + k);
+            }
+            let mut mapping = vec![0, 1, 2];
+            mapping.extend(perm_s.iter().map(|&k| 3 + k));
+            mapping.extend(perm_e.iter().map(|&k| 3 + ns + k));
+            mapping.extend(perm_d.iter().map(|&k| 3 + ns + ne + k));
+            let mut next = 3 + ns + ne + nd;
+            for flag in [carry_maps.0, carry_maps.1, carry_maps.2] {
+                if flag {
+                    mapping.push(next);
+                    next += 1;
+                }
+            }
+            (
+                Fra::ScanEdges {
+                    src: pos_name(0),
+                    edge: pos_name(1),
+                    dst: pos_name(2),
+                    types: sort_syms(types),
+                    src_labels: sort_syms(src_labels),
+                    dst_labels: sort_syms(dst_labels),
+                    src_props: sp,
+                    edge_props: ep,
+                    dst_props: dp,
+                    dir: *dir,
+                    carry_maps: *carry_maps,
+                },
+                mapping,
+            )
+        }
+
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let (cl, ml) = canon(left);
+            let (cr, mr) = canon(right);
+            let lk: Vec<usize> = left_keys.iter().map(|&k| ml[k]).collect();
+            let rk: Vec<usize> = right_keys.iter().map(|&k| mr[k]).collect();
+            canon_hash_join(cl, ml, cr, mr, lk, rk)
+        }
+
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => {
+            let (cl, ml) = canon(left);
+            let (cr, mr) = canon(right);
+            let mut pairs: Vec<(usize, usize)> = left_keys
+                .iter()
+                .zip(right_keys)
+                .map(|(&l, &r)| (ml[l], mr[r]))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            (
+                Fra::SemiJoin {
+                    left: Box::new(cl),
+                    right: Box::new(cr),
+                    left_keys: pairs.iter().map(|&(l, _)| l).collect(),
+                    right_keys: pairs.iter().map(|&(_, r)| r).collect(),
+                    anti: *anti,
+                },
+                ml,
+            )
+        }
+
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            ..
+        } => {
+            let (cl, ml) = canon(left);
+            let la = ml.len();
+            let (mut dp, perm_d) = sort_props(&spec.dst_props);
+            let np = dp.len();
+            for (k, p) in dp.iter_mut().enumerate() {
+                p.col = pos_name(la + 1 + k);
+            }
+            let mut filters = spec.edge_prop_filters.clone();
+            filters.sort_by_cached_key(|(k, v)| (k.resolve(), format!("{v:?}")));
+            filters.dedup();
+            let mut mapping = ml;
+            mapping.push(la); // dst
+            mapping.extend(perm_d.iter().map(|&k| la + 1 + k));
+            let mut next = la + 1 + np;
+            if spec.dst_carry_map {
+                mapping.push(next);
+                next += 1;
+            }
+            mapping.push(next); // path
+            (
+                Fra::VarLengthJoin {
+                    left: Box::new(cl),
+                    src_col: mapping[*src_col],
+                    spec: VarLenSpec {
+                        types: sort_syms(&spec.types),
+                        dir: spec.dir,
+                        dst_labels: sort_syms(&spec.dst_labels),
+                        dst_props: dp,
+                        dst_carry_map: spec.dst_carry_map,
+                        edge_prop_filters: filters,
+                        min: spec.min,
+                        max: spec.max,
+                    },
+                    dst: pos_name(la),
+                    path: pos_name(next),
+                },
+                mapping,
+            )
+        }
+
+        Fra::Filter { input, predicate } => {
+            let (cin, mi) = canon(input);
+            let pred = predicate.remap_columns(&|c| mi[c]);
+            (attach_filter(cin, conjunct_list(pred)), mi)
+        }
+
+        Fra::Project { input, items } => {
+            let (mut cin, mi) = canon(input);
+            let mut exprs: Vec<ScalarExpr> = items
+                .iter()
+                .map(|(e, _)| e.remap_columns(&|c| mi[c]))
+                .collect();
+            // π∘π fusion: substitute through the inner projection.
+            if let Fra::Project {
+                input: inner,
+                items: inner_items,
+            } = cin
+            {
+                exprs = exprs.iter().map(|e| e.substitute(&inner_items)).collect();
+                cin = *inner;
+            }
+            // A full-arity permutation of bare column references is pure
+            // renaming: fold it into the mapping and vanish.
+            let arity = cin.schema().len();
+            if exprs.len() == arity {
+                let cols: Vec<Option<usize>> = exprs
+                    .iter()
+                    .map(|e| match e {
+                        ScalarExpr::Col(c) => Some(*c),
+                        _ => None,
+                    })
+                    .collect();
+                if cols.iter().all(Option::is_some) {
+                    let mut seen = vec![false; arity];
+                    let mut bijective = true;
+                    for c in cols.iter().flatten() {
+                        if *c >= arity || seen[*c] {
+                            bijective = false;
+                            break;
+                        }
+                        seen[*c] = true;
+                    }
+                    if bijective {
+                        let mapping = cols.into_iter().map(|c| c.expect("all Some")).collect();
+                        return (cin, mapping);
+                    }
+                }
+            }
+            // Sort items under the expression order; output names are
+            // positional, so alpha-renamed projections coincide.
+            let mut order: Vec<usize> = (0..exprs.len()).collect();
+            order.sort_by_cached_key(|&o| (expr_key(&exprs[o]), o));
+            let mut mapping = vec![0usize; exprs.len()];
+            for (pos, &o) in order.iter().enumerate() {
+                mapping[o] = pos;
+            }
+            let sorted_items: Vec<(ScalarExpr, String)> = order
+                .iter()
+                .enumerate()
+                .map(|(pos, &o)| (exprs[o].clone(), pos_name(pos)))
+                .collect();
+            (
+                Fra::Project {
+                    input: Box::new(cin),
+                    items: sorted_items,
+                },
+                mapping,
+            )
+        }
+
+        Fra::Distinct { input } => {
+            let (cin, mi) = canon(input);
+            if matches!(cin, Fra::Distinct { .. }) {
+                (cin, mi) // δ∘δ = δ
+            } else {
+                (
+                    Fra::Distinct {
+                        input: Box::new(cin),
+                    },
+                    mi,
+                )
+            }
+        }
+
+        Fra::Aggregate { input, group, aggs } => {
+            let (mut cin, mi) = canon(input);
+            let mut group_exprs: Vec<ScalarExpr> = group
+                .iter()
+                .map(|(e, _)| e.remap_columns(&|c| mi[c]))
+                .collect();
+            let mut agg_calls: Vec<AggCall> = aggs
+                .iter()
+                .map(|(c, _)| AggCall {
+                    func: c.func,
+                    arg: c.arg.as_ref().map(|a| a.remap_columns(&|c| mi[c])),
+                    distinct: c.distinct,
+                })
+                .collect();
+            // γ∘π fusion: γ evaluates expressions per input tuple and π
+            // is per-tuple too, so substituting the projection into the
+            // grouping/aggregate expressions is exact.
+            if let Fra::Project {
+                input: inner,
+                items,
+            } = cin
+            {
+                group_exprs = group_exprs.iter().map(|e| e.substitute(&items)).collect();
+                for call in &mut agg_calls {
+                    call.arg = call.arg.as_ref().map(|a| a.substitute(&items));
+                }
+                cin = *inner;
+            }
+            let mut gorder: Vec<usize> = (0..group_exprs.len()).collect();
+            gorder.sort_by_cached_key(|&o| (expr_key(&group_exprs[o]), o));
+            let mut aorder: Vec<usize> = (0..agg_calls.len()).collect();
+            aorder.sort_by_cached_key(|&o| (format!("{:?}", agg_calls[o]), o));
+            let ng = gorder.len();
+            let mut mapping = vec![0usize; ng + aorder.len()];
+            for (pos, &o) in gorder.iter().enumerate() {
+                mapping[o] = pos;
+            }
+            for (pos, &o) in aorder.iter().enumerate() {
+                mapping[ng + o] = ng + pos;
+            }
+            (
+                Fra::Aggregate {
+                    input: Box::new(cin),
+                    group: gorder
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &o)| (group_exprs[o].clone(), pos_name(pos)))
+                        .collect(),
+                    aggs: aorder
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &o)| (agg_calls[o].clone(), pos_name(ng + pos)))
+                        .collect(),
+                },
+                mapping,
+            )
+        }
+
+        Fra::Unwind { input, expr, .. } => {
+            let (cin, mi) = canon(input);
+            let la = mi.len();
+            let mut mapping = mi;
+            mapping.push(la);
+            (
+                Fra::Unwind {
+                    input: Box::new(cin),
+                    expr: expr.remap_columns(&|c| mapping[c]),
+                    alias: pos_name(la),
+                },
+                mapping,
+            )
+        }
+    }
+}
+
+/// Canonicalise a hash join: pick the operand orientation whose
+/// `(left key, right key, sorted pairs)` triple is smallest under the
+/// plan order — hash joins are bag-commutative, so either orientation
+/// computes the same tuples up to the column permutation returned.
+fn canon_hash_join(
+    cl: Fra,
+    ml: Vec<usize>,
+    cr: Fra,
+    mr: Vec<usize>,
+    lk: Vec<usize>,
+    rk: Vec<usize>,
+) -> (Fra, Vec<usize>) {
+    let sorted_pairs = |a: &[usize], b: &[usize]| -> Vec<(usize, usize)> {
+        let mut pairs: Vec<(usize, usize)> = a.iter().copied().zip(b.iter().copied()).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    };
+    let keep_pairs = sorted_pairs(&lk, &rk);
+    let swap_pairs = sorted_pairs(&rk, &lk);
+    // The join output drops the *right* key columns, so the two
+    // orientations only compute column-permutations of each other when
+    // they drop equally many: with a duplicated key column (e.g.
+    // `l0 = r1 AND l0 = r2`) the distinct-key counts differ and
+    // swapping would change the output arity — keep the given
+    // orientation then. (Compiled plans always have distinct keys per
+    // side; this guards the public API on hand-built plans.)
+    let distinct = |keys: &[usize]| {
+        let mut k = keys.to_vec();
+        k.sort_unstable();
+        k.dedup();
+        k.len()
+    };
+    let swappable = distinct(&lk) == distinct(&rk);
+    let (kl, kr) = (plan_key(&cl), plan_key(&cr));
+    let swap = swappable && (&kr, &kl, &swap_pairs) < (&kl, &kr, &keep_pairs);
+
+    let (la, ra) = (ml.len(), mr.len());
+    let mut mapping = Vec::with_capacity(la + ra - rk.len());
+    if !swap {
+        let pairs = keep_pairs;
+        let rk_set: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+        // Original output: all left columns, then right non-key columns.
+        mapping.extend(ml.iter().copied());
+        // Rank of a canonical right position among its non-key columns.
+        for &cpos in &mr {
+            if !rk.contains(&cpos) {
+                let rank = (0..cpos).filter(|p| !rk_set.contains(p)).count();
+                mapping.push(la + rank);
+            }
+        }
+        (
+            Fra::HashJoin {
+                left: Box::new(cl),
+                right: Box::new(cr),
+                left_keys: pairs.iter().map(|&(l, _)| l).collect(),
+                right_keys: pairs.iter().map(|&(_, r)| r).collect(),
+            },
+            mapping,
+        )
+    } else {
+        // Canonical plan is `cr ⋈ cl`; its output is all `cr` columns,
+        // then `cl` columns minus the (old) left keys. An original left
+        // key column's value equals its paired right key, which *is*
+        // present in the canonical output (inside `cr`).
+        let pairs = swap_pairs;
+        let lk_set: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+        for &cpos in &ml {
+            if let Some(k) = lk.iter().position(|&p| p == cpos) {
+                mapping.push(rk[k]);
+            } else {
+                let rank = (0..cpos).filter(|p| !lk_set.contains(p)).count();
+                mapping.push(ra + rank);
+            }
+        }
+        for &cpos in &mr {
+            if !rk.contains(&cpos) {
+                mapping.push(cpos);
+            }
+        }
+        (
+            Fra::HashJoin {
+                left: Box::new(cr),
+                right: Box::new(cl),
+                left_keys: pairs.iter().map(|&(l, _)| l).collect(),
+                right_keys: pairs.iter().map(|&(_, r)| r).collect(),
+            },
+            mapping,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::value::Value;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn scan(var: &str, label: &str) -> Fra {
+        Fra::ScanVertices {
+            var: var.into(),
+            labels: vec![s(label)],
+            props: vec![],
+            carry_map: false,
+        }
+    }
+
+    /// Two-column scan: `[var, var.x]`.
+    fn scan2(var: &str, label: &str) -> Fra {
+        Fra::ScanVertices {
+            var: var.into(),
+            labels: vec![s(label)],
+            props: vec![PropPush {
+                prop: s("x"),
+                col: format!("{var}.x"),
+            }],
+            carry_map: false,
+        }
+    }
+
+    #[test]
+    fn renamed_scans_canonicalise_identically() {
+        let a = canonicalize(&scan("a", "Post"));
+        let p = canonicalize(&scan("p", "Post"));
+        assert_eq!(a, p);
+        assert!(a.is_identity());
+    }
+
+    #[test]
+    fn conjunct_order_is_erased() {
+        let c0 = ScalarExpr::Binary(
+            BinOp::Gt,
+            Box::new(ScalarExpr::Col(0)),
+            Box::new(ScalarExpr::lit(1)),
+        );
+        let c1 = ScalarExpr::Binary(
+            BinOp::Lt,
+            Box::new(ScalarExpr::Col(0)),
+            Box::new(ScalarExpr::lit(9)),
+        );
+        let f = |p: ScalarExpr| Fra::Filter {
+            input: Box::new(scan("x", "A")),
+            predicate: p,
+        };
+        let ab = f(ScalarExpr::Binary(
+            BinOp::And,
+            Box::new(c0.clone()),
+            Box::new(c1.clone()),
+        ));
+        let ba = f(ScalarExpr::Binary(BinOp::And, Box::new(c1), Box::new(c0)));
+        assert_eq!(canonicalize(&ab), canonicalize(&ba));
+    }
+
+    #[test]
+    fn adjacent_filters_fuse() {
+        let pred = |lit: i64| {
+            ScalarExpr::Binary(
+                BinOp::Gt,
+                Box::new(ScalarExpr::Col(0)),
+                Box::new(ScalarExpr::lit(lit)),
+            )
+        };
+        let stacked = Fra::Filter {
+            input: Box::new(Fra::Filter {
+                input: Box::new(scan("x", "A")),
+                predicate: pred(1),
+            }),
+            predicate: pred(2),
+        };
+        let fused = Fra::Filter {
+            input: Box::new(scan("x", "A")),
+            predicate: ScalarExpr::Binary(BinOp::And, Box::new(pred(1)), Box::new(pred(2))),
+        };
+        assert_eq!(canonicalize(&stacked), canonicalize(&fused));
+    }
+
+    #[test]
+    fn filter_sinks_below_projection() {
+        // σ[c0 = 'en'] π[Col(1)] X  ≡  π[Col(1)] σ[c1 = 'en'] X.
+        let base = Fra::ScanVertices {
+            var: "p".into(),
+            labels: vec![s("Post")],
+            props: vec![PropPush {
+                prop: s("lang"),
+                col: "p.lang".into(),
+            }],
+            carry_map: false,
+        };
+        let eq_en = |col: usize| {
+            ScalarExpr::Binary(
+                BinOp::Eq,
+                Box::new(ScalarExpr::Col(col)),
+                Box::new(ScalarExpr::Lit(Value::str("en"))),
+            )
+        };
+        let sigma_over_pi = Fra::Filter {
+            input: Box::new(Fra::Project {
+                input: Box::new(base.clone()),
+                items: vec![(ScalarExpr::Col(1), "l".into())],
+            }),
+            predicate: eq_en(0),
+        };
+        let pi_over_sigma = Fra::Project {
+            input: Box::new(Fra::Filter {
+                input: Box::new(base),
+                predicate: eq_en(1),
+            }),
+            items: vec![(ScalarExpr::Col(1), "l".into())],
+        };
+        assert_eq!(canonicalize(&sigma_over_pi), canonicalize(&pi_over_sigma));
+    }
+
+    #[test]
+    fn join_operands_commute() {
+        let j = |l: Fra, r: Fra| Fra::HashJoin {
+            left: Box::new(l),
+            right: Box::new(r),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let ab = canonicalize(&j(scan("a", "A"), scan("b", "B")));
+        let ba = canonicalize(&j(scan("b", "B"), scan("a", "A")));
+        assert_eq!(ab.plan, ba.plan);
+        // Output columns land permuted relative to each other; both
+        // mappings are bijections onto the same canonical schema.
+        assert_eq!(ab.mapping.len(), ba.mapping.len());
+    }
+
+    #[test]
+    fn asymmetric_duplicate_join_keys_do_not_swap() {
+        // `l0 = r1 AND l0 = r2`: the orientations drop different column
+        // counts (1 distinct left key vs 2 distinct right keys), so the
+        // canonicaliser must keep the given orientation; a swap would
+        // change the output arity and corrupt the mapping.
+        fn scan3(var: &str, label: &str) -> Fra {
+            Fra::ScanVertices {
+                var: var.into(),
+                labels: vec![s(label)],
+                props: vec![
+                    PropPush {
+                        prop: s("x"),
+                        col: format!("{var}.x"),
+                    },
+                    PropPush {
+                        prop: s("y"),
+                        col: format!("{var}.y"),
+                    },
+                ],
+                carry_map: false,
+            }
+        }
+        let join = Fra::HashJoin {
+            left: Box::new(scan3("a", "A")),
+            right: Box::new(scan3("b", "B")),
+            left_keys: vec![0, 0],
+            right_keys: vec![1, 2],
+        };
+        let arity = join.schema().len();
+        let canon = canonicalize(&join);
+        assert_eq!(canon.plan.schema().len(), arity, "arity preserved");
+        assert_eq!(canon.mapping.len(), arity);
+        // And the renaming property still holds for this shape.
+        let renamed = alpha_rename(&join, &mut |n| format!("{n}_z"));
+        assert_eq!(canonicalize(&renamed), canon);
+    }
+
+    #[test]
+    fn permutation_projection_vanishes() {
+        // Output schema `[a, b.x]` (the right key column is dropped).
+        let join = Fra::HashJoin {
+            left: Box::new(scan("a", "A")),
+            right: Box::new(scan2("b", "B")),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let swapped = Fra::Project {
+            input: Box::new(join.clone()),
+            items: vec![
+                (ScalarExpr::Col(1), "b".into()),
+                (ScalarExpr::Col(0), "a".into()),
+            ],
+        };
+        let canon_plain = canonicalize(&join);
+        let canon_swapped = canonicalize(&swapped);
+        assert_eq!(canon_plain.plan, canon_swapped.plan, "π vanished");
+        assert!(!canon_swapped.is_identity());
+        // Restoring the order adds exactly the tail projection.
+        assert!(matches!(
+            canon_swapped.with_restored_order(),
+            Fra::Project { .. }
+        ));
+    }
+
+    #[test]
+    fn conjuncts_resplit_after_substitution_through_projection() {
+        // A filter referencing a boolean projection item substitutes to
+        // a nested AND; it must be re-split into individual conjuncts
+        // or AND-order-equivalent plans canonicalise apart (and canon
+        // stops being idempotent).
+        let cmp = |col: usize, op: BinOp, lit: i64| {
+            ScalarExpr::Binary(
+                op,
+                Box::new(ScalarExpr::Col(col)),
+                Box::new(ScalarExpr::lit(lit)),
+            )
+        };
+        let plan_with = |l: ScalarExpr, r: ScalarExpr| Fra::Filter {
+            input: Box::new(Fra::Project {
+                input: Box::new(scan2("p", "A")),
+                items: vec![
+                    (
+                        ScalarExpr::Binary(BinOp::And, Box::new(l), Box::new(r)),
+                        "f".into(),
+                    ),
+                    (ScalarExpr::Col(0), "p".into()),
+                ],
+            }),
+            predicate: ScalarExpr::Col(0),
+        };
+        let a = plan_with(cmp(1, BinOp::Gt, 1), cmp(1, BinOp::Lt, 9));
+        let b = plan_with(cmp(1, BinOp::Lt, 9), cmp(1, BinOp::Gt, 1));
+        let (ca, cb) = (canonicalize(&a), canonicalize(&b));
+        // The sunk σ predicate is split and sorted identically in both
+        // orders. (The π *item* keeps its inner expression verbatim —
+        // commutativity inside arbitrary expressions is out of scope.)
+        let sigma_pred = |p: &Fra| match p {
+            Fra::Project { input, .. } => match input.as_ref() {
+                Fra::Filter { predicate, .. } => predicate.clone(),
+                other => panic!("expected σ under π, got {other:?}"),
+            },
+            other => panic!("expected π root, got {other:?}"),
+        };
+        assert_eq!(
+            sigma_pred(&ca.plan),
+            sigma_pred(&cb.plan),
+            "substituted conjuncts are re-split and sorted"
+        );
+        for c in [&ca, &cb] {
+            let twice = canonicalize(&c.plan);
+            assert_eq!(c.plan, twice.plan);
+            assert!(twice.is_identity(), "idempotent after substitution");
+        }
+    }
+
+    #[test]
+    fn distinct_collapses() {
+        let dd = Fra::Distinct {
+            input: Box::new(Fra::Distinct {
+                input: Box::new(scan("x", "A")),
+            }),
+        };
+        let d = Fra::Distinct {
+            input: Box::new(scan("x", "A")),
+        };
+        assert_eq!(canonicalize(&dd), canonicalize(&d));
+    }
+
+    #[test]
+    fn canonicalisation_is_idempotent() {
+        let plan = Fra::Distinct {
+            input: Box::new(Fra::Project {
+                input: Box::new(Fra::Filter {
+                    input: Box::new(Fra::HashJoin {
+                        left: Box::new(scan2("b", "B")),
+                        right: Box::new(scan("a", "A")),
+                        left_keys: vec![0],
+                        right_keys: vec![0],
+                    }),
+                    predicate: ScalarExpr::Binary(
+                        BinOp::Eq,
+                        Box::new(ScalarExpr::Col(0)),
+                        Box::new(ScalarExpr::Col(1)),
+                    ),
+                }),
+                items: vec![(ScalarExpr::Col(1), "x".into())],
+            }),
+        };
+        let once = canonicalize(&plan);
+        let twice = canonicalize(&once.plan);
+        assert_eq!(once.plan, twice.plan);
+        assert!(twice.is_identity(), "re-canonicalisation is the identity");
+    }
+
+    #[test]
+    fn alpha_rename_is_erased() {
+        let plan = Fra::Project {
+            input: Box::new(Fra::HashJoin {
+                left: Box::new(scan("a", "A")),
+                right: Box::new(scan2("b", "B")),
+                left_keys: vec![0],
+                right_keys: vec![0],
+            }),
+            items: vec![(ScalarExpr::Col(1), "bx".into())],
+        };
+        let renamed = alpha_rename(&plan, &mut |n| format!("{n}_renamed"));
+        assert_ne!(plan, renamed, "rename changed the surface plan");
+        assert_eq!(canonicalize(&plan), canonicalize(&renamed));
+    }
+}

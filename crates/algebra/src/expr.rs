@@ -214,47 +214,61 @@ impl ScalarExpr {
         }
     }
 
+    /// Replace every column reference with the corresponding projection
+    /// expression (`Col(i)` ↦ `items[i].0`) — the substitution that
+    /// moves a predicate or projection *through* a π operator. Exact
+    /// because both π and the substituted expression are pure per-tuple
+    /// functions.
+    pub fn substitute(&self, items: &[(ScalarExpr, String)]) -> ScalarExpr {
+        self.rewrite_columns(&|i| items[i].0.clone())
+    }
+
     /// Rewrite column references through `mapping` (old index → new index).
     pub fn remap_columns(&self, mapping: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        self.rewrite_columns(&|i| ScalarExpr::Col(mapping(i)))
+    }
+
+    /// Structural rewrite replacing each `Col(i)` with `f(i)`.
+    fn rewrite_columns(&self, f: &dyn Fn(usize) -> ScalarExpr) -> ScalarExpr {
         match self {
-            ScalarExpr::Col(i) => ScalarExpr::Col(mapping(*i)),
+            ScalarExpr::Col(i) => f(*i),
             ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
             ScalarExpr::Binary(op, l, r) => ScalarExpr::Binary(
                 *op,
-                Box::new(l.remap_columns(mapping)),
-                Box::new(r.remap_columns(mapping)),
+                Box::new(l.rewrite_columns(f)),
+                Box::new(r.rewrite_columns(f)),
             ),
-            ScalarExpr::Unary(op, e) => ScalarExpr::Unary(*op, Box::new(e.remap_columns(mapping))),
+            ScalarExpr::Unary(op, e) => ScalarExpr::Unary(*op, Box::new(e.rewrite_columns(f))),
             ScalarExpr::Func { name, args } => ScalarExpr::Func {
                 name: name.clone(),
-                args: args.iter().map(|a| a.remap_columns(mapping)).collect(),
+                args: args.iter().map(|a| a.rewrite_columns(f)).collect(),
             },
             ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
-                expr: Box::new(expr.remap_columns(mapping)),
+                expr: Box::new(expr.rewrite_columns(f)),
                 negated: *negated,
             },
             ScalarExpr::List(items) => {
-                ScalarExpr::List(items.iter().map(|e| e.remap_columns(mapping)).collect())
+                ScalarExpr::List(items.iter().map(|e| e.rewrite_columns(f)).collect())
             }
             ScalarExpr::Map(entries) => ScalarExpr::Map(
                 entries
                     .iter()
-                    .map(|(k, e)| (k.clone(), e.remap_columns(mapping)))
+                    .map(|(k, e)| (k.clone(), e.rewrite_columns(f)))
                     .collect(),
             ),
             ScalarExpr::Index(b, i) => ScalarExpr::Index(
-                Box::new(b.remap_columns(mapping)),
-                Box::new(i.remap_columns(mapping)),
+                Box::new(b.rewrite_columns(f)),
+                Box::new(i.rewrite_columns(f)),
             ),
-            ScalarExpr::PathSingle(e) => ScalarExpr::PathSingle(Box::new(e.remap_columns(mapping))),
+            ScalarExpr::PathSingle(e) => ScalarExpr::PathSingle(Box::new(e.rewrite_columns(f))),
             ScalarExpr::PathExtend(a, b, c) => ScalarExpr::PathExtend(
-                Box::new(a.remap_columns(mapping)),
-                Box::new(b.remap_columns(mapping)),
-                Box::new(c.remap_columns(mapping)),
+                Box::new(a.rewrite_columns(f)),
+                Box::new(b.rewrite_columns(f)),
+                Box::new(c.rewrite_columns(f)),
             ),
             ScalarExpr::PathConcat(a, b) => ScalarExpr::PathConcat(
-                Box::new(a.remap_columns(mapping)),
-                Box::new(b.remap_columns(mapping)),
+                Box::new(a.rewrite_columns(f)),
+                Box::new(b.rewrite_columns(f)),
             ),
         }
     }

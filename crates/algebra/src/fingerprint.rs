@@ -10,13 +10,20 @@
 //! properties, join keys, predicates, projection items *including output
 //! names*, and variable-length traversal specs.
 //!
+//! The fingerprint itself is deliberately *literal*: it hashes the plan
+//! exactly as given, names included, and performs no normalisation.
+//! Equivalence-up-to-renaming is the job of [`crate::canon`], which the
+//! network runs **before** fingerprinting — plans reach this hash
+//! already alpha-renamed to positional column names, with commutative
+//! structure sorted and σ/π chains normalised, so alpha-equivalent
+//! subplans arrive byte-identical and hash identically. Fingerprinting
+//! a *raw* plan is still meaningful (and used in tests), just
+//! conservative: plans differing only in variable names hash apart.
+//!
 //! Two subtrees with equal fingerprints are only *candidates* for
 //! sharing; the consumer must confirm with a full structural equality
 //! check (`Fra: PartialEq`), so a hash collision can never cause two
-//! different plans to share state. Including output names makes the
-//! fingerprint slightly conservative (plans differing only in an output
-//! alias get distinct fingerprints below the final projection boundary
-//! where the alias appears), which errs on the side of correctness.
+//! different plans to share state.
 //!
 //! Fingerprints are deterministic within a process but **not** across
 //! processes ([`Symbol`](pgq_common::intern::Symbol) identity is
@@ -106,8 +113,9 @@ mod tests {
 
     #[test]
     fn variable_names_are_part_of_the_fingerprint() {
-        // Conservative by design: a different binding name changes the
-        // schema, so the subplans must not be conflated.
+        // Literal by design: the raw fingerprint does no renaming.
+        // Alpha-equivalence is established by `canon` *before* plans
+        // are fingerprinted for consing.
         assert_ne!(
             scan("n", "Post").fingerprint(),
             scan("m", "Post").fingerprint()

@@ -17,7 +17,15 @@
 //! maintainability verdict (ORDER BY / SKIP / LIMIT mark a query as
 //! evaluable-but-not-maintainable, exactly the fragment boundary the
 //! paper proposes).
+//!
+//! Two further modules serve the shared dataflow network that executes
+//! FRA incrementally: [`canon`] rewrites plans into an alpha-renamed,
+//! commutatively sorted normal form (so `MATCH (a:Post)` and
+//! `MATCH (p:Post)` become the *same* subplan), and [`fingerprint`]
+//! hashes canonical subplans into the hash-consing key under which the
+//! network shares operator nodes across views.
 
+pub mod canon;
 pub mod compile;
 pub mod error;
 pub mod expr;
@@ -31,6 +39,7 @@ pub mod pipeline;
 pub mod pretty;
 pub mod to_nra;
 
+pub use canon::{canonicalize, CanonPlan};
 pub use error::AlgebraError;
 pub use expr::{AggCall, AggFunc, ScalarExpr};
 pub use fingerprint::Fingerprint;

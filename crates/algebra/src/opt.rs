@@ -128,7 +128,7 @@ fn push_filter(predicate: ScalarExpr, input: Fra) -> Fra {
             input: inner,
             items,
         } => {
-            let substituted = substitute(&predicate, &items);
+            let substituted = predicate.substitute(&items);
             let pushed = push_filter(fold(substituted), *inner);
             Fra::Project {
                 input: Box::new(pushed),
@@ -303,49 +303,6 @@ fn conjoin(preds: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     preds
         .into_iter()
         .reduce(|a, b| ScalarExpr::Binary(BinOp::And, Box::new(a), Box::new(b)))
-}
-
-/// Replace `Col(i)` with the i-th projection expression.
-fn substitute(e: &ScalarExpr, items: &[(ScalarExpr, String)]) -> ScalarExpr {
-    match e {
-        ScalarExpr::Col(i) => items[*i].0.clone(),
-        ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
-        ScalarExpr::Binary(op, l, r) => ScalarExpr::Binary(
-            *op,
-            Box::new(substitute(l, items)),
-            Box::new(substitute(r, items)),
-        ),
-        ScalarExpr::Unary(op, x) => ScalarExpr::Unary(*op, Box::new(substitute(x, items))),
-        ScalarExpr::Func { name, args } => ScalarExpr::Func {
-            name: name.clone(),
-            args: args.iter().map(|a| substitute(a, items)).collect(),
-        },
-        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
-            expr: Box::new(substitute(expr, items)),
-            negated: *negated,
-        },
-        ScalarExpr::List(xs) => ScalarExpr::List(xs.iter().map(|a| substitute(a, items)).collect()),
-        ScalarExpr::Map(entries) => ScalarExpr::Map(
-            entries
-                .iter()
-                .map(|(k, v)| (k.clone(), substitute(v, items)))
-                .collect(),
-        ),
-        ScalarExpr::Index(b, i) => ScalarExpr::Index(
-            Box::new(substitute(b, items)),
-            Box::new(substitute(i, items)),
-        ),
-        ScalarExpr::PathSingle(x) => ScalarExpr::PathSingle(Box::new(substitute(x, items))),
-        ScalarExpr::PathExtend(a, b, c) => ScalarExpr::PathExtend(
-            Box::new(substitute(a, items)),
-            Box::new(substitute(b, items)),
-            Box::new(substitute(c, items)),
-        ),
-        ScalarExpr::PathConcat(a, b) => ScalarExpr::PathConcat(
-            Box::new(substitute(a, items)),
-            Box::new(substitute(b, items)),
-        ),
-    }
 }
 
 /// Is this projection the identity over its input?

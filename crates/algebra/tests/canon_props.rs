@@ -1,0 +1,164 @@
+//! Property suite for plan canonicalisation: `canon(p) == canon(rename(p))`
+//! for arbitrary consistent alpha-renamings, over the full compiled query
+//! pool — plus the structural invariants the network's hash-consing
+//! relies on (bijective mappings, idempotence, stable arity).
+
+use std::collections::HashMap;
+
+use pgq_algebra::canon::{alpha_rename, canonicalize};
+use pgq_algebra::fra::Fra;
+use pgq_algebra::pipeline::compile_query;
+use pgq_parser::parse_query;
+use proptest::prelude::*;
+
+/// Queries covering every FRA operator: scans, joins, ⋈*, σ, π, δ, γ, ω,
+/// semijoins/antijoins.
+const QUERIES: &[&str] = &[
+    "MATCH (p:Post) RETURN p",
+    "MATCH (p:Post) WHERE p.lang = 'en' RETURN p, p.lang",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c, p",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = 'en' AND c.lang = 'de' RETURN p",
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+    "MATCH (a)-[:REPLY*1..3]->(b:Comm) RETURN a, b",
+    "MATCH (p:Post) RETURN DISTINCT p.lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) UNWIND nodes(t) AS n RETURN n",
+    "MATCH (p:Post) WHERE NOT exists((p)-[:REPLY]->(:Comm)) RETURN p",
+    "MATCH (p:Post) WHERE exists((p)-[:REPLY]->(:Comm {lang: 'en'})) RETURN p",
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > 30 AND b.age > 40 RETURN a, b",
+];
+
+fn compiled(ix: usize) -> Fra {
+    compile_query(&parse_query(QUERIES[ix % QUERIES.len()]).unwrap())
+        .unwrap()
+        .fra
+}
+
+/// A consistent, injective renaming: every distinct name gets a fresh
+/// name decorated with a per-name random salt.
+fn renamer(salts: Vec<u32>) -> impl FnMut(&str) -> String {
+    let mut seen: HashMap<String, String> = HashMap::new();
+    move |name: &str| {
+        let next = seen.len();
+        seen.entry(name.to_string())
+            .or_insert_with(|| {
+                let salt = salts[next % salts.len().max(1)];
+                format!("r{next}_{salt}")
+            })
+            .clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline property: canonicalisation erases any alpha-renaming
+    /// — the canonical plan AND the column mapping are unchanged, so a
+    /// renamed duplicate hash-conses onto the original's nodes.
+    #[test]
+    fn canon_erases_random_renamings(
+        query_ix in 0..QUERIES.len(),
+        salts in proptest::collection::vec(0u32..1000, 1..8),
+    ) {
+        let fra = compiled(query_ix);
+        let mut rename = renamer(salts);
+        let renamed = alpha_rename(&fra, &mut rename);
+        let base = canonicalize(&fra);
+        let re = canonicalize(&renamed);
+        prop_assert_eq!(&base.plan, &re.plan, "canonical plans diverge under renaming");
+        prop_assert_eq!(&base.mapping, &re.mapping, "column mappings diverge under renaming");
+        // Renamed duplicates therefore share the same fingerprint.
+        prop_assert_eq!(
+            base.with_restored_order().fingerprint(),
+            re.with_restored_order().fingerprint()
+        );
+    }
+
+    /// The mapping is a bijection of the plan's arity, and restoring the
+    /// original order yields the original schema width.
+    #[test]
+    fn mapping_is_a_bijection(query_ix in 0..QUERIES.len()) {
+        let fra = compiled(query_ix);
+        let canon = canonicalize(&fra);
+        let arity = fra.schema().len();
+        prop_assert_eq!(canon.mapping.len(), arity);
+        prop_assert_eq!(canon.plan.schema().len(), arity);
+        let mut seen = vec![false; arity];
+        for &j in &canon.mapping {
+            prop_assert!(j < arity, "mapping out of range");
+            prop_assert!(!seen[j], "mapping not injective");
+            seen[j] = true;
+        }
+        prop_assert_eq!(canon.with_restored_order().schema().len(), arity);
+    }
+
+    /// Canonicalisation is idempotent: re-canonicalising a canonical
+    /// plan is the identity (same plan, identity mapping) — the property
+    /// that makes consing on canonical forms stable.
+    #[test]
+    fn canon_is_idempotent(query_ix in 0..QUERIES.len()) {
+        let once = canonicalize(&compiled(query_ix));
+        let twice = canonicalize(&once.plan);
+        prop_assert_eq!(&once.plan, &twice.plan);
+        prop_assert!(twice.is_identity());
+    }
+}
+
+/// Textually alpha-renamed Cypher queries compile to plans that
+/// canonicalise identically — end-to-end through the parser and all
+/// three pipeline stages.
+#[test]
+fn renamed_cypher_queries_canonicalise_identically() {
+    let pairs = [
+        ("MATCH (a:Post) RETURN a", "MATCH (p:Post) RETURN p"),
+        (
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+            "MATCH (x:Post)-[:REPLY]->(y:Comm) RETURN x, y",
+        ),
+        (
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = 'en' AND c.lang = 'de' RETURN p",
+            "MATCH (q:Post)-[:REPLY]->(d:Comm) WHERE d.lang = 'de' AND q.lang = 'en' RETURN q",
+        ),
+        (
+            "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+            "MATCH u = (a:Post)-[:REPLY*]->(b:Comm) WHERE a.lang = b.lang RETURN a, u",
+        ),
+    ];
+    for (a, b) in pairs {
+        let fa = compile_query(&parse_query(a).unwrap()).unwrap().fra;
+        let fb = compile_query(&parse_query(b).unwrap()).unwrap().fra;
+        let (ca, cb) = (canonicalize(&fa), canonicalize(&fb));
+        assert_eq!(ca.plan, cb.plan, "{a}  vs  {b}");
+        assert_eq!(ca.mapping, cb.mapping, "{a}  vs  {b}");
+    }
+}
+
+/// Queries that differ in more than renaming must NOT be conflated.
+#[test]
+fn semantically_different_queries_stay_apart() {
+    let pairs = [
+        ("MATCH (a:Post) RETURN a", "MATCH (a:Comm) RETURN a"),
+        (
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = 'en' RETURN p",
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = 'de' RETURN p",
+        ),
+        (
+            "MATCH (p:Post) RETURN DISTINCT p.lang",
+            "MATCH (p:Post) RETURN p.lang",
+        ),
+    ];
+    for (a, b) in pairs {
+        let fa = compile_query(&parse_query(a).unwrap()).unwrap().fra;
+        let fb = compile_query(&parse_query(b).unwrap()).unwrap().fra;
+        assert_ne!(
+            canonicalize(&fa).plan,
+            canonicalize(&fb).plan,
+            "{a}  vs  {b}"
+        );
+    }
+}

@@ -2,23 +2,32 @@
 //! overlapping standing queries grow — the workload the shared dataflow
 //! network exists for.
 //!
-//! Three series per N:
+//! Series per N:
 //! * `shared_identical/N` — N copies of the same query on one engine;
 //!   hash-consing collapses them to one operator chain, so cost should
 //!   be flat in N.
+//! * `shared_renamed/N` — N *alpha-renamed* copies of the same query
+//!   (fresh variable names per copy); canonicalisation renames them to
+//!   one positional form, so they must behave exactly like
+//!   `shared_identical` (before canonicalisation they cost like
+//!   `private`).
 //! * `shared_overlap/N` — N distinct queries over the same Post/REPLY/
 //!   Comm pattern (different projections/filters) on one engine; the
 //!   common prefix is shared, so cost should grow sublinearly in N.
-//! * `private/N` — the same N overlapping queries, each maintained by
-//!   its own isolated single-view network (the pre-sharing
-//!   architecture); the O(N) baseline.
+//! * `shared_where_family/N` — N queries differing only in a top-level
+//!   `WHERE` predicate; the whole stateful prefix is shared and each
+//!   member pays one private stateless σ.
+//! * `private/N`, `private_renamed/N`, `private_where_family/N` — the
+//!   same workloads, each view maintained by its own isolated
+//!   single-view network (the pre-sharing architecture); the O(N)
+//!   baselines.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pgq_algebra::pipeline::CompileOptions;
-use pgq_bench::compile;
+use pgq_bench::{private_views, shared_engine};
 use pgq_core::GraphEngine;
-use pgq_ivm::MaterializedView;
-use pgq_workloads::social::{generate_social, SocialParams, OVERLAPPING_QUERIES};
+use pgq_workloads::social::{
+    generate_social, renamed_overlap_query, SocialParams, OVERLAPPING_QUERIES, WHERE_FAMILY_QUERIES,
+};
 
 fn bench_many_views(c: &mut Criterion) {
     let mut group = c.benchmark_group("many_views");
@@ -46,18 +55,22 @@ fn bench_many_views(c: &mut Criterion) {
         }
     }
 
+    let identical: Vec<String> = (0..16)
+        .map(|_| OVERLAPPING_QUERIES[0].to_string())
+        .collect();
+    let renamed: Vec<String> = (0..16).map(renamed_overlap_query).collect();
+    let overlap: Vec<String> = OVERLAPPING_QUERIES.iter().map(|q| q.to_string()).collect();
+    let where_family: Vec<String> = WHERE_FAMILY_QUERIES.iter().map(|q| q.to_string()).collect();
+
     for n in [1usize, 4, 16] {
-        // N identical views, one shared chain.
-        let mut engine = GraphEngine::from_graph(net.graph.clone());
-        for i in 0..n {
-            engine
-                .register_view(&format!("v{i}"), OVERLAPPING_QUERIES[0])
-                .unwrap();
-        }
-        group.bench_with_input(
-            BenchmarkId::new("shared_identical", n),
-            &stream,
-            |b, stream| {
+        for (series, queries) in [
+            ("shared_identical", &identical),
+            ("shared_renamed", &renamed),
+            ("shared_overlap", &overlap),
+            ("shared_where_family", &where_family),
+        ] {
+            let engine = shared_engine(&net.graph, queries, n);
+            group.bench_with_input(BenchmarkId::new(series, n), &stream, |b, stream| {
                 b.iter_batched(
                     || engine.clone(),
                     |mut e| {
@@ -68,56 +81,31 @@ fn bench_many_views(c: &mut Criterion) {
                     },
                     criterion::BatchSize::LargeInput,
                 )
-            },
-        );
-
-        // N overlapping (distinct) views on one shared network.
-        let mut engine = GraphEngine::from_graph(net.graph.clone());
-        for (i, q) in OVERLAPPING_QUERIES.iter().take(n).enumerate() {
-            engine.register_view(&format!("v{i}"), q).unwrap();
+            });
         }
-        group.bench_with_input(
-            BenchmarkId::new("shared_overlap", n),
-            &stream,
-            |b, stream| {
+
+        for (series, queries) in [
+            ("private", &overlap),
+            ("private_renamed", &renamed),
+            ("private_where_family", &where_family),
+        ] {
+            let views = private_views(&net.graph, queries, n);
+            group.bench_with_input(BenchmarkId::new(series, n), &stream, |b, stream| {
                 b.iter_batched(
-                    || engine.clone(),
-                    |mut e| {
+                    || (net.graph.clone(), views.clone()),
+                    |(mut g, mut views)| {
                         for tx in stream {
-                            e.apply(tx).unwrap();
+                            let events = g.apply(tx).unwrap();
+                            for v in &mut views {
+                                v.on_transaction(&g, &events);
+                            }
                         }
-                        e
+                        (g, views)
                     },
                     criterion::BatchSize::LargeInput,
                 )
-            },
-        );
-
-        // The pre-sharing O(N) baseline: one private network per view.
-        let views: Vec<MaterializedView> = OVERLAPPING_QUERIES
-            .iter()
-            .take(n)
-            .enumerate()
-            .map(|(i, q)| {
-                let compiled = compile(q, CompileOptions::default());
-                MaterializedView::create(format!("p{i}"), &compiled, &net.graph).unwrap()
-            })
-            .collect();
-        group.bench_with_input(BenchmarkId::new("private", n), &stream, |b, stream| {
-            b.iter_batched(
-                || (net.graph.clone(), views.clone()),
-                |(mut g, mut views)| {
-                    for tx in stream {
-                        let events = g.apply(tx).unwrap();
-                        for v in &mut views {
-                            v.on_transaction(&g, &events);
-                        }
-                    }
-                    (g, views)
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+            });
+        }
     }
     group.finish();
 }

@@ -204,6 +204,78 @@ fn emit_bench_json(quick: bool, path: &str) {
         }
     }
 
+    // many_views sharing certification: the alpha-renamed family and the
+    // WHERE-only-differing family at N=16, shared network vs the
+    // unshared baseline (one private single-view network per query — the
+    // pre-sharing architecture). Shared and private variants alternate
+    // inside each round so machine-speed drift hits them equally.
+    {
+        use pgq_ivm::MaterializedView;
+        use pgq_workloads::social::{renamed_overlap_query, WHERE_FAMILY_QUERIES};
+
+        let n = 16;
+        let mut net = generate_social(SocialParams::scale(0.1, 42));
+        let stream = net.update_stream(50, (4, 2, 3, 1));
+        let renamed: Vec<String> = (0..n).map(renamed_overlap_query).collect();
+        let family: Vec<String> = WHERE_FAMILY_QUERIES
+            .iter()
+            .take(n)
+            .map(|q| q.to_string())
+            .collect();
+
+        let variants: Vec<(String, GraphEngine, Vec<MaterializedView>)> = vec![
+            (
+                "renamed".into(),
+                pgq_bench::shared_engine(&net.graph, &renamed, n),
+                pgq_bench::private_views(&net.graph, &renamed, n),
+            ),
+            (
+                "where".into(),
+                pgq_bench::shared_engine(&net.graph, &family, n),
+                pgq_bench::private_views(&net.graph, &family, n),
+            ),
+        ];
+        let mut shared_us: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); variants.len()];
+        let mut private_us: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); variants.len()];
+        for _ in 0..rounds {
+            for (ix, (_, engine, views)) in variants.iter().enumerate() {
+                let mut e = engine.clone();
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    e.apply(tx).unwrap();
+                }
+                shared_us[ix].push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+
+                let mut g = net.graph.clone();
+                let mut vs = views.clone();
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    let events = g.apply(tx).unwrap();
+                    for v in &mut vs {
+                        v.on_transaction(&g, &events);
+                    }
+                }
+                private_us[ix].push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+            }
+        }
+        for (ix, (name, _, _)) in variants.iter().enumerate() {
+            let stats = round_stats(&shared_us[ix]);
+            doc.suite(
+                &format!("many_views_{name}_{n}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+            let stats = round_stats(&private_us[ix]);
+            doc.suite(
+                &format!("many_views_{name}_private_{n}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
     std::fs::write(path, doc.render()).expect("write BENCH.json");
     eprintln!("wrote {path}");
 }

@@ -46,6 +46,40 @@ impl StreamCost {
     }
 }
 
+/// Register the first `n` of `queries` as views on one engine sharing a
+/// single dataflow network — the "shared" side of the `many_views`
+/// suites. The criterion bench and the BENCH.json certification both
+/// use this setup, so they measure the identical configuration.
+pub fn shared_engine(graph: &PropertyGraph, queries: &[String], n: usize) -> GraphEngine {
+    let mut engine = GraphEngine::from_graph(graph.clone());
+    for (i, q) in queries.iter().take(n).enumerate() {
+        engine
+            .register_view(&format!("v{i}"), q)
+            .unwrap_or_else(|e| panic!("register v{i}: {e}"));
+    }
+    engine
+}
+
+/// Maintain the first `n` of `queries` as one private single-view
+/// network each (the pre-sharing architecture) — the unshared baseline
+/// of the `many_views` suites.
+pub fn private_views(
+    graph: &PropertyGraph,
+    queries: &[String],
+    n: usize,
+) -> Vec<pgq_ivm::MaterializedView> {
+    queries
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(i, q)| {
+            let compiled = compile(q, CompileOptions::default());
+            pgq_ivm::MaterializedView::create(format!("p{i}"), &compiled, graph)
+                .unwrap_or_else(|e| panic!("create view p{i}: {e}"))
+        })
+        .collect()
+}
+
 /// Apply `stream` to an engine with views registered for `queries`;
 /// returns (initial build time, stream cost, final engine).
 pub fn run_ivm(

@@ -59,9 +59,13 @@ pub struct ExecutionResult {
 
 /// The main entry point: a property graph with incrementally maintained
 /// openCypher views, all served by **one shared dataflow network** —
-/// views whose compiled plans overlap structurally share operator nodes
-/// (see [`pgq_ivm::network`]), so maintenance cost tracks affected
-/// state, not the number of registered views.
+/// compiled plans are canonicalised (alpha-renamed, commutatively
+/// sorted, σ/π-normalised; see [`pgq_algebra::canon`]) and views whose
+/// canonical plans overlap share operator nodes (see
+/// [`pgq_ivm::network`]), so maintenance cost tracks affected state,
+/// not the number of registered views — even when those views spell the
+/// same query with different variable names, conjunct order, or output
+/// aliases.
 #[derive(Default)]
 pub struct GraphEngine {
     graph: PropertyGraph,
@@ -165,6 +169,13 @@ impl GraphEngine {
     /// Register an incrementally maintained view. Fails with
     /// [`pgq_algebra::AlgebraError::NotMaintainable`] for queries outside
     /// the paper's fragment.
+    ///
+    /// Registration shares dataflow up to alpha-equivalence: a query
+    /// that differs from an existing view only in variable names,
+    /// `WHERE` conjunct order, or `RETURN` aliases adds **zero** new
+    /// operator nodes ([`GraphEngine::network_node_count`] is the
+    /// observable), and a query differing only in its top-level `WHERE`
+    /// shares the whole stateful prefix below its private filter.
     pub fn register_view(&mut self, name: &str, cypher: &str) -> Result<ViewId, EngineError> {
         self.register_view_with(name, cypher, CompileOptions::default())
     }

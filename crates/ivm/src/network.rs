@@ -14,17 +14,28 @@
 //! Three mechanisms keep per-transaction cost proportional to affected
 //! state rather than to the number of registered queries:
 //!
-//! * **Hash-consing** — [`register`](DataflowNetwork::register) keys
-//!   every subplan by its canonical
-//!   [fingerprint](pgq_algebra::fingerprint) and reuses an existing node
-//!   when a full structural equality check
-//!   confirms the match, so N overlapping views instantiate one shared
-//!   operator chain, not N.
+//! * **Canonicalisation + hash-consing** —
+//!   [`register`](DataflowNetwork::register) first rewrites the plan
+//!   into the [canonical form](pgq_algebra::canon) (alpha-renamed
+//!   positional columns, sorted commutative structure, fused σ chains,
+//!   normalised π positions), then keys every canonical subplan by its
+//!   [fingerprint](pgq_algebra::fingerprint) and reuses an existing
+//!   node when a full structural equality check confirms the match. N
+//!   overlapping views instantiate one shared operator chain, not N —
+//!   and "overlapping" is judged up to alpha-equivalence, so
+//!   `MATCH (a:Post)` and `MATCH (p:Post)` are the same scan. A family
+//!   of views differing only in a top-level `WHERE` shares its whole
+//!   stateful prefix (scans, join memories) and pays one private
+//!   stateless σ (plus its π) each, because canonicalisation keeps
+//!   top-level filters as a *suffix* above the prefix instead of
+//!   pushing them into it.
 //! * **Targeted event routing** — scans are indexed by vertex label and
 //!   edge type (plus property-key interest), and a transaction's change
 //!   events are delivered only to the scan nodes that can possibly
 //!   match them; a transaction touching only label `A` delivers zero
-//!   events to scans over label `B`.
+//!   events to scans over label `B`. Because alpha-equivalent scans
+//!   collapse to one node, each event is delivered (and counted) once
+//!   per *distinct* scan, not once per registered view.
 //! * **Delta pooling** — every dataflow edge's delta buffer is drawn
 //!   from a transaction-scoped pool and returned after its consumers
 //!   have read it, so steady-state maintenance performs no per-layer
@@ -34,6 +45,23 @@
 //! processed in ascending depth order (every edge goes from a
 //! strictly shallower node to a deeper one), each node reading its
 //! children's pooled output deltas by reference and appending its own.
+//!
+//! # Invariants
+//!
+//! * **Consing is sound** because equality is checked on the full
+//!   canonical plan (`Fra: PartialEq`), never on the fingerprint alone;
+//!   a hash collision can therefore cost a linear probe, never shared
+//!   state between different plans. Canonicalisation itself only
+//!   permutes output columns (recorded in its mapping and undone by a
+//!   tail projection), so a shared node computes the *identical* bag
+//!   for every view that reaches it.
+//! * **The routing index is rebuilt eagerly** on register/drop and
+//!   never inside a measured transaction. Keep it that way: a
+//!   lazily-stale index pushes the rebuild into the first transaction
+//!   of engines cloned from a registered-but-never-maintained template,
+//!   which benchmarks clone-per-iteration — it showed up as a phantom
+//!   30% regression before this was learned (see ROADMAP performance
+//!   notes, PR 3).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -465,8 +493,20 @@ impl DataflowNetwork {
     /// Register a view over `fra`, sharing every subplan already
     /// instantiated in the network, and run the initial evaluation of
     /// whatever suffix is new. Returns the sink handle.
+    ///
+    /// The plan is [canonicalised](pgq_algebra::canon) first, so sharing
+    /// is up to *alpha-equivalence*: registering `MATCH (a:Post)` after
+    /// `MATCH (p:Post)` (or the same `WHERE` with reordered conjuncts,
+    /// or the same `RETURN` under different aliases) instantiates zero
+    /// new nodes. When canonicalisation permutes the output columns, a
+    /// canonical tail projection — itself hash-consed, so views needing
+    /// the same permutation share it — restores the view's own column
+    /// order; the sink always reports the original [`Fra::schema`]
+    /// names.
     pub fn register(&mut self, name: impl Into<String>, fra: &Fra, g: &PropertyGraph) -> SinkId {
-        let root = self.instantiate(fra, g);
+        let canon = pgq_algebra::canon::canonicalize(fra);
+        let plan = canon.with_restored_order();
+        let root = self.instantiate(&plan, g);
         // Build the sink's result bag from the (possibly shared) root's
         // full current output.
         let mut init = self.pool.get();

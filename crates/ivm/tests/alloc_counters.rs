@@ -102,4 +102,25 @@ fn join_hot_path_materialises_no_keys() {
         snap.scan_events_delivered, 1,
         "one event, one matching scan — the B scan must receive nothing: {snap:?}"
     );
+
+    // Canonicalisation regression: the same query registered under a
+    // different variable name used to build a second scan chain and
+    // double every delivery. The alpha-renamed duplicate must collapse
+    // onto the existing node, keeping the global delivery count at one
+    // per event.
+    let mut g = PropertyGraph::new();
+    let mut net = DataflowNetwork::new();
+    net.register("as", &scan("a", "A"), &g);
+    net.register("ps", &scan("p", "A"), &g);
+    assert_eq!(net.node_count(), 1, "renamed duplicate hash-conses");
+    let mut tx = Transaction::new();
+    tx.create_vertex([Symbol::intern("A")], Properties::new());
+    let events = g.apply(&tx).unwrap();
+    counters::reset();
+    net.on_transaction(&g, &events);
+    let snap = counters::snapshot();
+    assert_eq!(
+        snap.scan_events_delivered, 1,
+        "two renamed views, one collapsed scan: each event is delivered once: {snap:?}"
+    );
 }

@@ -257,6 +257,123 @@ fn edge_events_route_by_type() {
     assert_eq!(net.view_named("likes").unwrap().row_count(), 0);
 }
 
+/// Tentpole property: an alpha-renamed duplicate of a registered plan
+/// adds ZERO new operator nodes — canonicalisation renames both to the
+/// same positional form before consing.
+#[test]
+fn alpha_renamed_duplicate_adds_zero_nodes() {
+    let g = PropertyGraph::new();
+    let mut net = DataflowNetwork::new();
+    net.register("orig", &join_plan(), &g);
+    let nodes = net.node_count();
+
+    // The same shape with every variable renamed.
+    let renamed = Fra::HashJoin {
+        left: Box::new(scan("x", "A")),
+        right: Box::new(Fra::ScanEdges {
+            src: "x".into(),
+            edge: "r".into(),
+            dst: "y".into(),
+            types: vec![s("R")],
+            src_labels: vec![],
+            dst_labels: vec![],
+            src_props: vec![],
+            edge_props: vec![],
+            dst_props: vec![],
+            dir: pgq_common::dir::Direction::Out,
+            carry_maps: (false, false, false),
+        }),
+        left_keys: vec![0],
+        right_keys: vec![0],
+    };
+    let v = net.register("renamed", &renamed, &g);
+    assert_eq!(
+        net.node_count(),
+        nodes,
+        "alpha-renamed duplicate must instantiate zero new nodes"
+    );
+    assert_eq!(net.sink_count(), 2);
+    // The collapsed view still answers with its own schema names.
+    assert_eq!(
+        net.view(v).columns(),
+        ["x", "r", "y"],
+        "sink reports the renamed view's own columns"
+    );
+}
+
+/// Latent-waste regression (pre-canonicalisation): registering the same
+/// query twice under different variable names built two scan chains and
+/// delivered every event twice. The collapsed form must deliver each
+/// event exactly once.
+#[test]
+fn renamed_duplicate_delivers_each_event_once() {
+    let mut g = PropertyGraph::new();
+    let mut net = DataflowNetwork::new();
+    net.register("as", &scan("a", "A"), &g);
+    net.register("ps", &scan("p", "A"), &g);
+    assert_eq!(net.node_count(), 1, "one shared scan node");
+
+    let mut tx = Transaction::new();
+    tx.create_vertex([s("A")], Properties::new());
+    let events = g.apply(&tx).unwrap();
+    net.on_transaction(&g, &events);
+
+    let summaries = net.node_summaries();
+    assert_eq!(summaries.len(), 1);
+    assert_eq!(
+        summaries[0].delivered_events, 1,
+        "the collapsed scan sees the event once, not once per view"
+    );
+    assert_eq!(net.view_named("as").unwrap().row_count(), 1);
+    assert_eq!(net.view_named("ps").unwrap().row_count(), 1);
+}
+
+/// A family of views differing only in a top-level σ predicate keeps one
+/// shared stateful prefix; each member pays a private stateless σ.
+#[test]
+fn where_family_shares_the_stateful_prefix() {
+    use pgq_algebra::expr::ScalarExpr;
+    use pgq_common::value::Value;
+    use pgq_parser::ast::BinOp;
+
+    let g = PropertyGraph::new();
+    let mut net = DataflowNetwork::new();
+    let base = Fra::ScanVertices {
+        var: "p".into(),
+        labels: vec![s("Post")],
+        props: vec![PropPush {
+            prop: s("lang"),
+            col: "p.lang".into(),
+        }],
+        carry_map: false,
+    };
+    net.register("all", &base, &g);
+    let prefix_nodes = net.node_count();
+
+    for (i, lang) in ["en", "de", "fr", "hu"].iter().enumerate() {
+        let filtered = Fra::Filter {
+            input: Box::new(base.clone()),
+            predicate: ScalarExpr::Binary(
+                BinOp::Eq,
+                Box::new(ScalarExpr::Col(1)),
+                Box::new(ScalarExpr::Lit(Value::str(*lang))),
+            ),
+        };
+        net.register(format!("f{i}"), &filtered, &g);
+        assert_eq!(
+            net.node_count(),
+            prefix_nodes + i + 1,
+            "each WHERE-family member adds exactly its private σ"
+        );
+    }
+    // The private σ nodes are stateless: all materialised state lives in
+    // the shared prefix.
+    let summaries = net.node_summaries();
+    let sigmas: Vec<_> = summaries.iter().filter(|n| n.label == "σ").collect();
+    assert_eq!(sigmas.len(), 4);
+    assert!(sigmas.iter().all(|n| n.own_tuples == 0));
+}
+
 /// Regression: an edge scan pushing a property of a *label-free*
 /// endpoint must receive property events for any vertex — folding both
 /// endpoints' label requirements into one union starved the free side

@@ -1,0 +1,193 @@
+//! Engine-level canonicalisation: alpha-renamed / conjunct-reordered /
+//! alias-renamed duplicates of a registered view add **zero** operator
+//! nodes, `WHERE`-only-differing families share their whole stateful
+//! prefix, and the collapsed network delivers each change event once —
+//! all while every view keeps answering with its own schema and the
+//! exact recompute result.
+
+use pgq_core::GraphEngine;
+use pgq_workloads::social::{renamed_overlap_query, WHERE_FAMILY_QUERIES};
+
+fn seeded_engine() -> GraphEngine {
+    let mut e = GraphEngine::new();
+    e.execute_script(
+        "CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm {lang:'en'});\
+         CREATE (:Post {lang:'de'})-[:REPLY]->(:Comm {lang:'fr'});\
+         CREATE (:Post {lang:'fr'})-[:REPLY]->(:Comm {lang:'fr'})",
+    )
+    .unwrap();
+    e
+}
+
+/// Check a view against a from-scratch evaluation of its own compiled
+/// plan.
+fn assert_matches_recompute(e: &GraphEngine, name: &str) {
+    let id = e.view_by_name(name).unwrap();
+    let compiled = e.view_compiled(id).unwrap();
+    assert_eq!(
+        e.view(id).unwrap().results(),
+        pgq_eval::evaluate_consolidated(&compiled.fra, e.graph()),
+        "view {name} diverged from recompute"
+    );
+}
+
+#[test]
+fn alpha_equivalent_views_add_zero_nodes() {
+    let mut e = seeded_engine();
+    e.register_view("base", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    let nodes = e.network_node_count();
+
+    // Renamed variables, reordered WHERE conjuncts, renamed output
+    // aliases: all alpha-equivalent, all must cons onto existing nodes.
+    for (name, q) in [
+        ("renamed", "MATCH (x:Post)-[:REPLY]->(y:Comm) RETURN x, y"),
+        (
+            "aliased",
+            "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p AS post, c AS comment",
+        ),
+    ] {
+        e.register_view(name, q).unwrap();
+        assert_eq!(
+            e.network_node_count(),
+            nodes,
+            "{name} must add zero operator nodes"
+        );
+    }
+    let with_where = "MATCH (p:Post)-[:REPLY]->(c:Comm) \
+                      WHERE p.lang = 'en' AND c.lang = 'en' RETURN p, c";
+    let reordered = "MATCH (a:Post)-[:REPLY]->(b:Comm) \
+                     WHERE b.lang = 'en' AND a.lang = 'en' RETURN a, b";
+    e.register_view("w0", with_where).unwrap();
+    let nodes_with_filter = e.network_node_count();
+    e.register_view("w1", reordered).unwrap();
+    assert_eq!(
+        e.network_node_count(),
+        nodes_with_filter,
+        "reordered conjuncts under renamed variables must add zero nodes"
+    );
+
+    // Sharing must be observationally invisible.
+    e.execute("CREATE (:Post {lang:'en'})-[:REPLY]->(:Comm {lang:'en'})")
+        .unwrap();
+    for name in ["base", "renamed", "aliased", "w0", "w1"] {
+        assert_matches_recompute(&e, name);
+    }
+    // The alias-renamed view reports its own column names.
+    let id = e.view_by_name("aliased").unwrap();
+    assert_eq!(e.view(id).unwrap().columns(), ["post", "comment"]);
+}
+
+#[test]
+fn renamed_copies_deliver_each_event_once() {
+    // Engine A: one view. Engine B: 8 alpha-renamed copies. The same
+    // transaction must deliver the same number of scan events to both —
+    // the collapsed form does not multiply delivery by view count.
+    let mut a = seeded_engine();
+    let mut b = seeded_engine();
+    a.register_view("v0", &renamed_overlap_query(0)).unwrap();
+    for i in 0..8 {
+        b.register_view(&format!("v{i}"), &renamed_overlap_query(i))
+            .unwrap();
+    }
+    assert_eq!(
+        a.network_node_count(),
+        b.network_node_count(),
+        "8 renamed copies collapse to the single view's chain"
+    );
+
+    let tx = "CREATE (:Post {lang:'hu'})-[:REPLY]->(:Comm {lang:'hu'})";
+    a.execute(tx).unwrap();
+    b.execute(tx).unwrap();
+    let delivered = |e: &GraphEngine| -> u64 {
+        e.network()
+            .node_summaries()
+            .iter()
+            .map(|n| n.delivered_events)
+            .sum()
+    };
+    assert_eq!(
+        delivered(&a),
+        delivered(&b),
+        "the collapsed network delivers each event once, not once per view"
+    );
+    for i in 0..8 {
+        assert_matches_recompute(&b, &format!("v{i}"));
+    }
+}
+
+#[test]
+fn where_family_shares_prefix_and_stays_correct() {
+    let mut e = seeded_engine();
+    e.register_view("m0", WHERE_FAMILY_QUERIES[0]).unwrap();
+    let first = e.network_node_count();
+    for (i, q) in WHERE_FAMILY_QUERIES.iter().enumerate().skip(1) {
+        e.register_view(&format!("m{i}"), q).unwrap();
+        // Each member adds only its private stateless σ/π suffix (≤ 2
+        // nodes); the scans and any join memories stay shared.
+        assert!(
+            e.network_node_count() <= first + 2 * i,
+            "member {i} duplicated shared prefix nodes: {} > {}",
+            e.network_node_count(),
+            first + 2 * i
+        );
+    }
+
+    // Maintain through churn and compare every member against recompute.
+    e.execute_script(
+        "CREATE (:Post {lang:'de'})-[:REPLY]->(:Comm {lang:'hu'});\
+         MATCH (c:Comm) WHERE c.lang = 'fr' SET c.lang = 'en'",
+    )
+    .unwrap();
+    for i in 0..WHERE_FAMILY_QUERIES.len() {
+        assert_matches_recompute(&e, &format!("m{i}"));
+    }
+}
+
+#[test]
+fn permuted_return_shares_everything_below_the_tail() {
+    let mut e = seeded_engine();
+    e.register_view("pc", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c")
+        .unwrap();
+    let nodes = e.network_node_count();
+    // Same pattern, permuted RETURN: at most the canonical tail
+    // projection is new.
+    e.register_view("cp", "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN c, p")
+        .unwrap();
+    assert!(
+        e.network_node_count() <= nodes + 1,
+        "permuted RETURN shares everything below one tail projection"
+    );
+    // A second view with the same permutation shares the tail too.
+    let with_tail = e.network_node_count();
+    e.register_view("cp2", "MATCH (x:Post)-[:REPLY]->(y:Comm) RETURN y, x")
+        .unwrap();
+    assert_eq!(e.network_node_count(), with_tail);
+
+    e.execute("CREATE (:Post {lang:'nl'})-[:REPLY]->(:Comm {lang:'nl'})")
+        .unwrap();
+    for name in ["pc", "cp", "cp2"] {
+        assert_matches_recompute(&e, name);
+    }
+    // Column order is each view's own.
+    let pc = e.view_by_name("pc").unwrap();
+    let cp = e.view_by_name("cp").unwrap();
+    assert_eq!(e.view(pc).unwrap().columns(), ["p", "c"]);
+    assert_eq!(e.view(cp).unwrap().columns(), ["c", "p"]);
+    let flip = |rows: Vec<pgq_common::tuple::Tuple>| -> Vec<Vec<pgq_common::value::Value>> {
+        rows.iter()
+            .map(|t| vec![t.get(1).clone(), t.get(0).clone()])
+            .collect()
+    };
+    let mut flipped = flip(e.view_results(pc).unwrap());
+    let mut direct: Vec<Vec<pgq_common::value::Value>> = e
+        .view_results(cp)
+        .unwrap()
+        .iter()
+        .map(|t| vec![t.get(0).clone(), t.get(1).clone()])
+        .collect();
+    let key = |r: &Vec<pgq_common::value::Value>| format!("{r:?}");
+    flipped.sort_by_key(key);
+    direct.sort_by_key(key);
+    assert_eq!(flipped, direct, "cp is pc with columns swapped");
+}

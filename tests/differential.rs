@@ -39,6 +39,28 @@ const QUERIES: &[&str] = &[
     "MATCH (p:Post)-[:REPLY]->(c) RETURN p, c.lang",
 ];
 
+/// Alpha-renamed twins of [`QUERIES`] (same index order). The multi-view
+/// oracle registers both lists on ONE engine: canonicalisation collapses
+/// each twin onto its original's operator chain, and the collapse must
+/// be observationally invisible — every twin equals a from-scratch
+/// evaluation of its own compiled plan.
+const RENAMED_QUERIES: &[&str] = &[
+    "MATCH (q:Post) RETURN q",
+    "MATCH (q:Post) WHERE q.lang = 'en' RETURN q, q.lang",
+    "MATCH (q:Post)-[:REPLY]->(d:Comm) RETURN q, d",
+    "MATCH (q:Post)-[:REPLY]->(d:Comm) WHERE q.lang = d.lang RETURN q, d",
+    "MATCH u = (q:Post)-[:REPLY*]->(d:Comm) WHERE q.lang = d.lang RETURN q, u",
+    "MATCH (x)-[:REPLY*1..3]->(y:Comm) RETURN x, y",
+    "MATCH (q:Post) RETURN DISTINCT q.lang",
+    "MATCH (q:Post) RETURN q.lang AS language, count(*) AS total",
+    "MATCH u = (q:Post)-[:REPLY*]->(d:Comm) UNWIND nodes(u) AS m RETURN m",
+    "MATCH (x:Comm)<-[:REPLY]-(y) RETURN x, y",
+    "MATCH (x)-[:REPLY]-(y:Comm) RETURN x, y",
+    "MATCH (q:Post) WHERE NOT exists((q)-[:REPLY]->(:Comm)) RETURN q",
+    "MATCH (q:Post) WHERE exists((q)-[:REPLY]->(:Comm {lang: 'en'})) RETURN q",
+    "MATCH (q:Post)-[:REPLY]->(d) RETURN q, d.lang",
+];
+
 /// One random update step, chosen against the current shadow graph.
 #[derive(Clone, Debug)]
 enum Step {
@@ -175,11 +197,13 @@ proptest! {
         }
     }
 
-    /// The multi-view variant: ALL oracle queries registered on ONE
-    /// engine, served by the shared dataflow network (hash-consed scans
-    /// and subplans, targeted routing, pooled deltas). After every
-    /// random update, every view must equal a from-scratch evaluation —
-    /// node sharing must be observationally invisible.
+    /// The multi-view variant: ALL oracle queries — plus an
+    /// alpha-renamed twin of each — registered on ONE engine, served by
+    /// the shared dataflow network (canonicalised hash-consed subplans,
+    /// targeted routing, pooled deltas). Each twin collapses onto its
+    /// original's nodes (zero new operators), and after every random
+    /// update every view must equal a from-scratch evaluation — node
+    /// sharing must be observationally invisible.
     #[test]
     fn multi_view_shared_network_equals_recompute(
         steps in proptest::collection::vec(step_strategy(), 1..15),
@@ -191,13 +215,27 @@ proptest! {
             engine.register_view(&format!("v{i}"), query).unwrap();
             compiled_plans.push(compiled);
         }
+        // Renamed duplicates: canonicalisation must cons every one of
+        // them onto the already-registered chains.
+        let nodes_before_twins = engine.network_node_count();
+        for (i, query) in RENAMED_QUERIES.iter().enumerate() {
+            let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+            engine.register_view(&format!("v{}", QUERIES.len() + i), query).unwrap();
+            compiled_plans.push(compiled);
+        }
+        prop_assert_eq!(
+            engine.network_node_count(),
+            nodes_before_twins,
+            "alpha-renamed twins must add zero operator nodes"
+        );
+        let all_queries: Vec<&str> = QUERIES.iter().chain(RENAMED_QUERIES).copied().collect();
         // Initial state must agree for every view.
         for (i, compiled) in compiled_plans.iter().enumerate() {
             let id = engine.view_by_name(&format!("v{i}")).unwrap();
             prop_assert_eq!(
                 engine.view(id).unwrap().results(),
                 eval_consolidated(&compiled.fra, engine.graph()),
-                "initial divergence on query {}", QUERIES[i]
+                "initial divergence on query {}", all_queries[i]
             );
         }
         for step in &steps {
@@ -208,7 +246,7 @@ proptest! {
                 prop_assert_eq!(
                     engine.view(id).unwrap().results(),
                     eval_consolidated(&compiled.fra, engine.graph()),
-                    "multi-view divergence after {:?} on query {}", step, QUERIES[i]
+                    "multi-view divergence after {:?} on query {}", step, all_queries[i]
                 );
             }
         }
