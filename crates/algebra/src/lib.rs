@@ -36,6 +36,7 @@ pub mod gra;
 pub mod nra;
 pub mod opt;
 pub mod pipeline;
+pub mod plan;
 pub mod pretty;
 pub mod to_nra;
 
@@ -50,3 +51,4 @@ pub use nra::Nra;
 pub use pipeline::{
     compile_bindings, compile_query, compile_query_with, CompileOptions, CompiledQuery,
 };
+pub use plan::{plan, PlanStats, Planned};

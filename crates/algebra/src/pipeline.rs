@@ -67,6 +67,22 @@ impl CompiledQuery {
     pub fn is_maintainable(&self) -> bool {
         self.not_maintainable.is_empty()
     }
+
+    /// Run the cost-based planner over this query's FRA under `stats`
+    /// and render the chosen plan with estimated cardinalities per
+    /// operator — the programmatic `EXPLAIN` (the engine and shell wrap
+    /// this with a statistics snapshot of the live graph).
+    pub fn explain_plan(&self, stats: &crate::plan::PlanStats) -> String {
+        let planned = crate::plan::plan(&self.fra, stats);
+        let mut out = String::new();
+        out.push_str(if planned.changed {
+            "planner: reordered the plan (estimated cardinalities below)\n"
+        } else {
+            "planner: kept the syntactic order (estimated cardinalities below)\n"
+        });
+        out.push_str(&crate::plan::explain_with_estimates(&planned.fra, stats));
+        out
+    }
 }
 
 /// Compile a read-only query through all three stages.

@@ -1,0 +1,1590 @@
+//! Statistics-driven, cost-based join-order planning over FRA.
+//!
+//! The compiler ([`crate::pipeline`]) emits FRA in the *syntactic* order
+//! the query was written in: a query that mentions a huge fan-out edge
+//! type first pays for it in every join memory and on every
+//! transaction. This module reorders the plan using a snapshot of live
+//! graph statistics ([`PlanStats`], fed from `pgq_graph`'s cardinality
+//! catalog) **before** canonicalisation, so that
+//!
+//! * equal inputs still produce equal shapes (planning is a
+//!   deterministic function of the plan *structure* and the snapshot —
+//!   variable names never influence a decision, so alpha-equivalent
+//!   queries plan identically and hash-consing keeps sharing), and
+//! * the canon machinery's column-bijection bookkeeping absorbs the
+//!   planner's permutation for free: [`plan`] always returns a plan
+//!   with the *same output schema* as its input (appending a restoring
+//!   projection when the chosen order permutes columns — a projection
+//!   canonicalisation later folds into its mapping).
+//!
+//! # What is planned
+//!
+//! A maximal *region* of reorderable operators is flattened at each
+//! [`Fra::HashJoin`] / [`Fra::Filter`] / [`Fra::SemiJoin`] /
+//! [`Fra::VarLengthJoin`] root into
+//!
+//! * **factors** — the non-join inputs (scans, or opaque subplans such
+//!   as aggregates, each planned recursively),
+//! * **join edges** — equi-join key pairs between factor columns,
+//! * **appliers** — filter conjuncts and semijoin reductions, applied
+//!   at the earliest point where their columns are available (which
+//!   reproduces filter push-down inside the region), and
+//! * **expansions** — variable-length joins, anchored at the factor
+//!   providing their source column; the enumerator chooses *when* to
+//!   expand (the ⋈* anchor-side decision).
+//!
+//! Orders are enumerated with exact dynamic programming over subsets
+//! for at most [`MAX_DP_UNITS`] units and greedy minimum-cost-expansion
+//! above, minimising total estimated intermediate cardinality — the
+//! quantity that drives both join-memory size and per-transaction delta
+//! fan-out in the IVM network.
+//!
+//! # Estimator
+//!
+//! [`estimate`] assigns every operator an expected output cardinality:
+//! scans from label/type extents, filters from distinct-value
+//! selectivities, joins from per-column distinct estimates (vertex
+//! columns by label count, edge endpoints by the catalog's per-type
+//! distinct source/target counts — i.e. real fan-out, not |V|), ⋈* from
+//! per-type average degree raised to the hop range. The numbers are
+//! coarse; only their *relative order* matters, and the estimator is
+//! deliberately monotone in the catalog inputs so skew shows up.
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_parser::ast::BinOp;
+
+use crate::expr::ScalarExpr;
+use crate::fra::{Fra, VarLenSpec};
+
+/// Exact DP is run when a region has at most this many units (factors +
+/// expansions); larger regions fall back to greedy ordering.
+pub const MAX_DP_UNITS: usize = 8;
+
+/// A snapshot of graph statistics taken at view-registration time.
+///
+/// Filled from `pgq_graph`'s live cardinality catalog (label/type
+/// extents, per-type distinct endpoints, distinct property values) by
+/// the IVM layer. The snapshot is **not** refreshed afterwards: a plan
+/// chosen at registration stays fixed even as the graph drifts (the
+/// staleness contract documented in ARCHITECTURE.md — re-register a
+/// view to replan).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanStats {
+    /// Total vertices.
+    pub vertices: u64,
+    /// Total edges.
+    pub edges: u64,
+    /// Vertices per label.
+    pub label_counts: FxHashMap<Symbol, u64>,
+    /// Edges per type.
+    pub type_counts: FxHashMap<Symbol, u64>,
+    /// Distinct source vertices per edge type.
+    pub type_distinct_src: FxHashMap<Symbol, u64>,
+    /// Distinct target vertices per edge type.
+    pub type_distinct_dst: FxHashMap<Symbol, u64>,
+    /// Estimated distinct values per vertex property key.
+    pub vertex_prop_distinct: FxHashMap<Symbol, u64>,
+    /// Estimated distinct values per edge property key.
+    pub edge_prop_distinct: FxHashMap<Symbol, u64>,
+}
+
+impl PlanStats {
+    /// Cardinality of a conjunctive label set (|V| when empty).
+    fn label_card(&self, labels: &[Symbol]) -> f64 {
+        labels
+            .iter()
+            .map(|l| self.label_counts.get(l).copied().unwrap_or(0) as f64)
+            .fold(self.vertices as f64, f64::min)
+            .max(1.0)
+    }
+
+    /// Selectivity of requiring a label set on a vertex column.
+    fn label_sel(&self, labels: &[Symbol]) -> f64 {
+        if labels.is_empty() {
+            return 1.0;
+        }
+        (self.label_card(labels) / (self.vertices as f64).max(1.0)).clamp(1e-9, 1.0)
+    }
+
+    /// Cardinality of a disjunctive edge-type set (|E| when empty).
+    fn type_card(&self, types: &[Symbol]) -> f64 {
+        if types.is_empty() {
+            return (self.edges as f64).max(1.0);
+        }
+        types
+            .iter()
+            .map(|t| self.type_counts.get(t).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            .max(1.0)
+    }
+
+    fn distinct_src(&self, types: &[Symbol]) -> f64 {
+        if types.is_empty() {
+            return (self.vertices as f64).max(1.0);
+        }
+        types
+            .iter()
+            .map(|t| self.type_distinct_src.get(t).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            .max(1.0)
+    }
+
+    fn distinct_dst(&self, types: &[Symbol]) -> f64 {
+        if types.is_empty() {
+            return (self.vertices as f64).max(1.0);
+        }
+        types
+            .iter()
+            .map(|t| self.type_distinct_dst.get(t).copied().unwrap_or(0) as f64)
+            .sum::<f64>()
+            .max(1.0)
+    }
+
+    /// Average per-source fan-out when traversing `types` in `dir`.
+    fn fanout(&self, spec: &VarLenSpec) -> f64 {
+        use pgq_common::dir::Direction;
+        let card = self.type_card(&spec.types);
+        match spec.dir {
+            Direction::Out => card / self.distinct_src(&spec.types),
+            Direction::In => card / self.distinct_dst(&spec.types),
+            Direction::Both => {
+                2.0 * card / (self.distinct_src(&spec.types) + self.distinct_dst(&spec.types))
+            }
+        }
+        .max(0.01)
+    }
+}
+
+/// Provenance of one output column, used to estimate its distinct count.
+#[derive(Clone, Debug)]
+enum ColInfo {
+    /// A vertex reference constrained to `labels`.
+    Vertex { labels: Vec<Symbol> },
+    /// An edge reference (unique per scanned edge).
+    EdgeId,
+    /// The source endpoint of an edge scan.
+    Src {
+        types: Vec<Symbol>,
+        labels: Vec<Symbol>,
+    },
+    /// The target endpoint of an edge scan.
+    Dst {
+        types: Vec<Symbol>,
+        labels: Vec<Symbol>,
+    },
+    /// A pushed property value.
+    Prop { key: Symbol, on_vertex: bool },
+    /// Anything else (computed expressions, paths, maps).
+    Other,
+}
+
+impl ColInfo {
+    /// Estimated distinct values of this column in a relation of `card`
+    /// rows.
+    fn distinct(&self, card: f64, stats: &PlanStats) -> f64 {
+        let raw = match self {
+            ColInfo::Vertex { labels } => stats.label_card(labels),
+            ColInfo::EdgeId => card,
+            ColInfo::Src { types, labels } => {
+                stats.distinct_src(types).min(stats.label_card(labels))
+            }
+            ColInfo::Dst { types, labels } => {
+                stats.distinct_dst(types).min(stats.label_card(labels))
+            }
+            ColInfo::Prop { key, on_vertex } => {
+                let d = if *on_vertex {
+                    stats.vertex_prop_distinct.get(key).copied().unwrap_or(0)
+                } else {
+                    stats.edge_prop_distinct.get(key).copied().unwrap_or(0)
+                } as f64;
+                if d >= 1.0 {
+                    d
+                } else {
+                    card.sqrt()
+                }
+            }
+            ColInfo::Other => card.sqrt(),
+        };
+        raw.clamp(1.0, card.max(1.0))
+    }
+}
+
+/// Cardinality + per-column provenance of a subplan.
+#[derive(Clone, Debug)]
+struct Rel {
+    card: f64,
+    cols: Vec<ColInfo>,
+}
+
+/// Estimated output cardinality of `fra` under `stats`.
+pub fn estimate(fra: &Fra, stats: &PlanStats) -> f64 {
+    analyze(fra, stats).card
+}
+
+fn analyze(fra: &Fra, stats: &PlanStats) -> Rel {
+    match fra {
+        Fra::Unit => Rel {
+            card: 1.0,
+            cols: vec![],
+        },
+        Fra::ScanVertices {
+            labels,
+            props,
+            carry_map,
+            ..
+        } => {
+            let mut cols = vec![ColInfo::Vertex {
+                labels: labels.clone(),
+            }];
+            cols.extend(props.iter().map(|p| ColInfo::Prop {
+                key: p.prop,
+                on_vertex: true,
+            }));
+            if *carry_map {
+                cols.push(ColInfo::Other);
+            }
+            Rel {
+                card: stats.label_card(labels),
+                cols,
+            }
+        }
+        Fra::ScanEdges {
+            types,
+            src_labels,
+            dst_labels,
+            src_props,
+            edge_props,
+            dst_props,
+            dir,
+            carry_maps,
+            ..
+        } => {
+            let orientations = if *dir == pgq_common::dir::Direction::Both {
+                2.0
+            } else {
+                1.0
+            };
+            let card = (stats.type_card(types)
+                * stats.label_sel(src_labels)
+                * stats.label_sel(dst_labels)
+                * orientations)
+                .max(1e-6);
+            let mut cols = vec![
+                ColInfo::Src {
+                    types: types.clone(),
+                    labels: src_labels.clone(),
+                },
+                ColInfo::EdgeId,
+                ColInfo::Dst {
+                    types: types.clone(),
+                    labels: dst_labels.clone(),
+                },
+            ];
+            for p in src_props {
+                cols.push(ColInfo::Prop {
+                    key: p.prop,
+                    on_vertex: true,
+                });
+            }
+            for p in edge_props {
+                cols.push(ColInfo::Prop {
+                    key: p.prop,
+                    on_vertex: false,
+                });
+            }
+            for p in dst_props {
+                cols.push(ColInfo::Prop {
+                    key: p.prop,
+                    on_vertex: true,
+                });
+            }
+            for flag in [carry_maps.0, carry_maps.1, carry_maps.2] {
+                if flag {
+                    cols.push(ColInfo::Other);
+                }
+            }
+            Rel { card, cols }
+        }
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = analyze(left, stats);
+            let r = analyze(right, stats);
+            let card = join_card(&l, &r, left_keys, right_keys, stats);
+            let mut cols = l.cols;
+            for (i, c) in r.cols.into_iter().enumerate() {
+                if !right_keys.contains(&i) {
+                    cols.push(c);
+                }
+            }
+            Rel { card, cols }
+        }
+        Fra::SemiJoin { left, anti, .. } => {
+            let l = analyze(left, stats);
+            Rel {
+                card: (l.card * if *anti { 0.3 } else { 0.5 }).max(1e-6),
+                cols: l.cols,
+            }
+        }
+        Fra::VarLengthJoin { left, spec, .. } => {
+            let l = analyze(left, stats);
+            let card =
+                (l.card * expansion_multiplier(spec, stats) * stats.label_sel(&spec.dst_labels))
+                    .max(1e-6);
+            let mut cols = l.cols;
+            cols.extend(expansion_cols(spec));
+            Rel { card, cols }
+        }
+        Fra::Filter { input, predicate } => {
+            let i = analyze(input, stats);
+            let sel = selectivity(predicate, &i, stats);
+            Rel {
+                card: (i.card * sel).max(1e-6),
+                cols: i.cols,
+            }
+        }
+        Fra::Project { input, items } => {
+            let i = analyze(input, stats);
+            Rel {
+                card: i.card,
+                cols: projected_cols(items, &i.cols),
+            }
+        }
+        Fra::Distinct { input } => {
+            let i = analyze(input, stats);
+            let mut distinct = 1.0f64;
+            for c in &i.cols {
+                distinct = (distinct * c.distinct(i.card, stats)).min(i.card);
+            }
+            Rel {
+                card: distinct.max(1e-6),
+                cols: i.cols,
+            }
+        }
+        Fra::Aggregate { input, group, aggs } => {
+            let i = analyze(input, stats);
+            let mut groups = 1.0f64;
+            for (e, _) in group {
+                let d = match e {
+                    ScalarExpr::Col(c) => i
+                        .cols
+                        .get(*c)
+                        .map_or(i.card.sqrt(), |ci| ci.distinct(i.card, stats)),
+                    _ => i.card.sqrt(),
+                };
+                groups = (groups * d).min(i.card);
+            }
+            let cols = group
+                .iter()
+                .map(|(e, _)| match e {
+                    ScalarExpr::Col(c) => i.cols.get(*c).cloned().unwrap_or(ColInfo::Other),
+                    _ => ColInfo::Other,
+                })
+                .chain(aggs.iter().map(|_| ColInfo::Other))
+                .collect();
+            Rel {
+                card: groups.max(1.0),
+                cols,
+            }
+        }
+        Fra::Unwind { input, .. } => {
+            let i = analyze(input, stats);
+            let mut cols = i.cols;
+            cols.push(ColInfo::Other);
+            Rel {
+                card: (i.card * 3.0).max(1e-6),
+                cols,
+            }
+        }
+    }
+}
+
+fn projected_cols(items: &[(ScalarExpr, String)], input: &[ColInfo]) -> Vec<ColInfo> {
+    items
+        .iter()
+        .map(|(e, _)| match e {
+            ScalarExpr::Col(c) => input.get(*c).cloned().unwrap_or(ColInfo::Other),
+            _ => ColInfo::Other,
+        })
+        .collect()
+}
+
+fn expansion_cols(spec: &VarLenSpec) -> Vec<ColInfo> {
+    let mut cols = vec![ColInfo::Vertex {
+        labels: spec.dst_labels.clone(),
+    }];
+    cols.extend(spec.dst_props.iter().map(|p| ColInfo::Prop {
+        key: p.prop,
+        on_vertex: true,
+    }));
+    if spec.dst_carry_map {
+        cols.push(ColInfo::Other);
+    }
+    cols.push(ColInfo::Other); // path
+    cols
+}
+
+/// Expected number of reachable `(dst, path)` pairs per source vertex:
+/// the per-hop fan-out summed over the (capped) hop range.
+fn expansion_multiplier(spec: &VarLenSpec, stats: &PlanStats) -> f64 {
+    let f = stats.fanout(spec);
+    let lo = spec.min;
+    let hi = spec
+        .max
+        .unwrap_or(lo.saturating_add(3))
+        .min(lo.saturating_add(3));
+    let mut total = 0.0f64;
+    for k in lo..=hi.max(lo) {
+        total += f.powi(k as i32).min(1e12);
+    }
+    total.clamp(0.01, 1e12)
+}
+
+fn join_card(l: &Rel, r: &Rel, lk: &[usize], rk: &[usize], stats: &PlanStats) -> f64 {
+    let mut card = l.card * r.card;
+    for (&a, &b) in lk.iter().zip(rk) {
+        let dl = l
+            .cols
+            .get(a)
+            .map_or(l.card.sqrt(), |c| c.distinct(l.card, stats));
+        let dr = r
+            .cols
+            .get(b)
+            .map_or(r.card.sqrt(), |c| c.distinct(r.card, stats));
+        card /= dl.max(dr).max(1.0);
+    }
+    card.max(1e-6)
+}
+
+/// Selectivity of a predicate over a relation with known column
+/// provenance.
+fn selectivity(pred: &ScalarExpr, rel: &Rel, stats: &PlanStats) -> f64 {
+    let mut sel = 1.0f64;
+    for conj in conjunct_list(pred) {
+        sel *= conjunct_selectivity(&conj, rel, stats);
+    }
+    sel.clamp(1e-9, 1.0)
+}
+
+fn conjunct_selectivity(conj: &ScalarExpr, rel: &Rel, stats: &PlanStats) -> f64 {
+    let distinct_of = |c: usize| -> f64 {
+        rel.cols
+            .get(c)
+            .map_or(rel.card.sqrt(), |ci| ci.distinct(rel.card, stats))
+            .max(1.0)
+    };
+    match conj {
+        ScalarExpr::Binary(op, a, b) => {
+            let col_lit = match (a.as_ref(), b.as_ref()) {
+                (ScalarExpr::Col(c), ScalarExpr::Lit(v))
+                | (ScalarExpr::Lit(v), ScalarExpr::Col(c)) => Some((*c, v.clone())),
+                _ => None,
+            };
+            let col_col = match (a.as_ref(), b.as_ref()) {
+                (ScalarExpr::Col(c), ScalarExpr::Col(d)) => Some((*c, *d)),
+                _ => None,
+            };
+            match op {
+                BinOp::Eq => {
+                    if let Some((c, _)) = col_lit {
+                        1.0 / distinct_of(c)
+                    } else if let Some((c, d)) = col_col {
+                        1.0 / distinct_of(c).max(distinct_of(d))
+                    } else {
+                        0.1
+                    }
+                }
+                BinOp::Neq => 0.9,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1.0 / 3.0,
+                BinOp::Or => {
+                    // 1 - Π (1 - sel_i) over the disjuncts.
+                    let sa = conjunct_selectivity(a, rel, stats);
+                    let sb = conjunct_selectivity(b, rel, stats);
+                    (sa + sb - sa * sb).clamp(1e-9, 1.0)
+                }
+                _ => 0.25,
+            }
+        }
+        ScalarExpr::IsNull { negated, .. } => {
+            if *negated {
+                0.9
+            } else {
+                0.1
+            }
+        }
+        ScalarExpr::Lit(Value::Bool(true)) => 1.0,
+        ScalarExpr::Lit(Value::Bool(false)) => 1e-9,
+        _ => 0.25,
+    }
+}
+
+fn conjunct_list(e: &ScalarExpr) -> Vec<ScalarExpr> {
+    match e {
+        ScalarExpr::Binary(BinOp::And, l, r) => {
+            let mut out = conjunct_list(l);
+            out.extend(conjunct_list(r));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+fn conjoin_in_order(conjs: Vec<ScalarExpr>) -> ScalarExpr {
+    conjs
+        .into_iter()
+        .reduce(|a, b| ScalarExpr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+        .expect("at least one conjunct")
+}
+
+// ---------------------------------------------------------------------------
+// Region decomposition
+// ---------------------------------------------------------------------------
+
+/// A filter conjunct or semijoin reduction, applied at the earliest
+/// point where its columns are available.
+#[derive(Clone, Debug)]
+enum Applier {
+    /// A filter conjunct; column indices are region-global ids.
+    Filter {
+        expr: ScalarExpr,
+        globals: Vec<usize>,
+    },
+    /// A (recursively planned) semijoin right side.
+    Semi {
+        right: Box<Fra>,
+        right_keys: Vec<usize>,
+        left_globals: Vec<usize>,
+        anti: bool,
+        right_card: f64,
+    },
+}
+
+impl Applier {
+    fn globals(&self) -> &[usize] {
+        match self {
+            Applier::Filter { globals, .. } => globals,
+            Applier::Semi { left_globals, .. } => left_globals,
+        }
+    }
+}
+
+/// A variable-length join lifted out of the join tree; the enumerator
+/// chooses when to run it (as soon as `src_global` is available).
+#[derive(Clone, Debug)]
+struct Expansion {
+    src_global: usize,
+    spec: VarLenSpec,
+    dst: String,
+    path: String,
+    /// Globals of the appended columns: dst, dst props, (map), path.
+    out_globals: Vec<usize>,
+    multiplier: f64,
+}
+
+/// A non-join leaf of the region (already recursively planned).
+#[derive(Clone, Debug)]
+struct Factor {
+    plan: Fra,
+    /// Globals of the factor's (planned) output columns, in order.
+    globals: Vec<usize>,
+    rel: Rel,
+}
+
+#[derive(Default)]
+struct Region {
+    factors: Vec<Factor>,
+    expansions: Vec<Expansion>,
+    /// Equi-join key pairs as region-global column ids.
+    edges: Vec<(usize, usize)>,
+    /// Filters and semijoins in original (bottom-up) application order.
+    appliers: Vec<Applier>,
+    /// Provenance per global id.
+    info: Vec<ColInfo>,
+    /// Owning unit (factor index, or `factors.len() + expansion index`)
+    /// per global id.
+    owner: Vec<usize>,
+    next_global: usize,
+}
+
+impl Region {
+    fn fresh(&mut self, info: ColInfo, owner: usize) -> usize {
+        let g = self.next_global;
+        self.next_global += 1;
+        self.info.push(info);
+        self.owner.push(owner);
+        g
+    }
+}
+
+/// Flatten the reorderable region rooted at `fra` into `region`,
+/// returning the subtree's output columns as global ids.
+fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
+    match fra {
+        Fra::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let lg = decompose(left, stats, region);
+            let rg = decompose(right, stats, region);
+            for (&a, &b) in left_keys.iter().zip(right_keys) {
+                region.edges.push((lg[a], rg[b]));
+            }
+            let mut out = lg;
+            for (i, g) in rg.into_iter().enumerate() {
+                if !right_keys.contains(&i) {
+                    out.push(g);
+                }
+            }
+            out
+        }
+        Fra::Filter { input, predicate } => {
+            let ig = decompose(input, stats, region);
+            for conj in conjunct_list(predicate) {
+                let remapped = conj.remap_columns(&|c| ig[c]);
+                let globals = remapped.columns();
+                region.appliers.push(Applier::Filter {
+                    expr: remapped,
+                    globals,
+                });
+            }
+            ig
+        }
+        Fra::SemiJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            anti,
+        } => {
+            let lg = decompose(left, stats, region);
+            let (rp, rm) = plan_rec(right, stats);
+            let right_card = estimate(&rp, stats);
+            region.appliers.push(Applier::Semi {
+                right: Box::new(rp),
+                right_keys: right_keys.iter().map(|&k| rm[k]).collect(),
+                left_globals: left_keys.iter().map(|&k| lg[k]).collect(),
+                anti: *anti,
+                right_card,
+            });
+            lg
+        }
+        Fra::VarLengthJoin {
+            left,
+            src_col,
+            spec,
+            dst,
+            path,
+        } => {
+            let lg = decompose(left, stats, region);
+            let unit = region.factors.len() + region.expansions.len();
+            let mut out_globals = vec![region.fresh(
+                ColInfo::Vertex {
+                    labels: spec.dst_labels.clone(),
+                },
+                unit,
+            )];
+            for p in &spec.dst_props {
+                out_globals.push(region.fresh(
+                    ColInfo::Prop {
+                        key: p.prop,
+                        on_vertex: true,
+                    },
+                    unit,
+                ));
+            }
+            if spec.dst_carry_map {
+                out_globals.push(region.fresh(ColInfo::Other, unit));
+            }
+            out_globals.push(region.fresh(ColInfo::Other, unit)); // path
+            region.expansions.push(Expansion {
+                src_global: lg[*src_col],
+                spec: spec.clone(),
+                dst: dst.clone(),
+                path: path.clone(),
+                out_globals: out_globals.clone(),
+                multiplier: expansion_multiplier(spec, stats) * stats.label_sel(&spec.dst_labels),
+            });
+            let mut out = lg;
+            out.extend(out_globals);
+            out
+        }
+        leaf => {
+            let (fp, fm) = plan_rec(leaf, stats);
+            let rel = analyze(&fp, stats);
+            let unit = region.factors.len() + region.expansions.len();
+            let globals: Vec<usize> = rel
+                .cols
+                .iter()
+                .map(|c| region.fresh(c.clone(), unit))
+                .collect();
+            // The leaf's original columns, rebased through the leaf's own
+            // planning permutation.
+            let out = fm.iter().map(|&c| globals[c]).collect();
+            region.factors.push(Factor {
+                plan: fp,
+                globals,
+                rel,
+            });
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration + rebuild
+// ---------------------------------------------------------------------------
+
+/// A partially built join (a set of units with all coverable appliers
+/// applied).
+#[derive(Clone, Debug)]
+struct Built {
+    plan: Fra,
+    /// Global ids of the output columns, in order.
+    globals: Vec<usize>,
+    /// Global → output position; dropped join keys alias their kept
+    /// partner's position.
+    pos: FxHashMap<usize, usize>,
+    cols: Vec<ColInfo>,
+    card: f64,
+    /// Total estimated intermediate cardinality (the C_out cost).
+    cost: f64,
+    /// Bitmask over `appliers` already applied.
+    applied: u64,
+    /// Bitmask over units (factors then expansions) included.
+    mask: u64,
+}
+
+struct Enumerator<'a> {
+    region: &'a Region,
+    stats: &'a PlanStats,
+    unit_count: usize,
+}
+
+impl<'a> Enumerator<'a> {
+    /// Are all of `globals` produced by units inside `mask`?
+    fn covered(&self, globals: &[usize], mask: u64) -> bool {
+        globals
+            .iter()
+            .all(|&g| mask & (1 << self.region.owner[g]) != 0)
+    }
+
+    fn singleton(&self, ix: usize) -> Built {
+        let f = &self.region.factors[ix];
+        let mut pos = FxHashMap::default();
+        for (i, &g) in f.globals.iter().enumerate() {
+            pos.insert(g, i);
+        }
+        let b = Built {
+            plan: f.plan.clone(),
+            globals: f.globals.clone(),
+            pos,
+            cols: f.rel.cols.clone(),
+            card: f.rel.card.max(1.0),
+            cost: 0.0,
+            applied: 0,
+            mask: 1 << ix,
+        };
+        self.apply_appliers(b)
+    }
+
+    /// Apply every not-yet-applied applier whose columns are covered, in
+    /// original order; filters applying at the same point fuse into one
+    /// σ whose conjuncts keep their original order.
+    fn apply_appliers(&self, mut b: Built) -> Built {
+        let mut filter_conjs: Vec<ScalarExpr> = Vec::new();
+        let mut sel = 1.0f64;
+        for (i, a) in self.region.appliers.iter().enumerate() {
+            if b.applied & (1 << i) != 0 || !self.covered(a.globals(), b.mask) {
+                continue;
+            }
+            b.applied |= 1 << i;
+            match a {
+                Applier::Filter { expr, .. } => {
+                    let remapped = expr.remap_columns(&|g| b.pos[&g]);
+                    sel *= conjunct_selectivity(
+                        &remapped,
+                        &Rel {
+                            card: b.card,
+                            cols: b.cols.clone(),
+                        },
+                        self.stats,
+                    )
+                    .max(1e-9);
+                    filter_conjs.push(remapped);
+                }
+                Applier::Semi {
+                    right,
+                    right_keys,
+                    left_globals,
+                    anti,
+                    right_card,
+                } => {
+                    // Flush pending filters first to keep original
+                    // relative order between σ and ⋉.
+                    if !filter_conjs.is_empty() {
+                        b.plan = Fra::Filter {
+                            input: Box::new(b.plan),
+                            predicate: conjoin_in_order(std::mem::take(&mut filter_conjs)),
+                        };
+                        b.card = (b.card * sel).max(1e-6);
+                        sel = 1.0;
+                    }
+                    b.plan = Fra::SemiJoin {
+                        left: Box::new(b.plan),
+                        right: right.clone(),
+                        left_keys: left_globals.iter().map(|g| b.pos[g]).collect(),
+                        right_keys: right_keys.clone(),
+                        anti: *anti,
+                    };
+                    b.card = (b.card * if *anti { 0.3 } else { 0.5 }).max(1e-6);
+                    b.cost += right_card;
+                }
+            }
+        }
+        if !filter_conjs.is_empty() {
+            b.plan = Fra::Filter {
+                input: Box::new(b.plan),
+                predicate: conjoin_in_order(filter_conjs),
+            };
+            b.card = (b.card * sel).max(1e-6);
+        }
+        b
+    }
+
+    /// Join two disjoint builds on every key edge crossing between them
+    /// (a cross join when none does).
+    fn join(&self, l: &Built, r: &Built) -> Built {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &(a, b) in &self.region.edges {
+            let (la, lb) = (self.region.owner[a], self.region.owner[b]);
+            let (cross_ab, cross_ba) = (
+                l.mask & (1 << la) != 0 && r.mask & (1 << lb) != 0,
+                l.mask & (1 << lb) != 0 && r.mask & (1 << la) != 0,
+            );
+            let pair = if cross_ab {
+                (l.pos[&a], r.pos[&b])
+            } else if cross_ba {
+                (l.pos[&b], r.pos[&a])
+            } else {
+                continue;
+            };
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        let lk: Vec<usize> = pairs.iter().map(|&(a, _)| a).collect();
+        let rk: Vec<usize> = pairs.iter().map(|&(_, b)| b).collect();
+        let card = join_card(
+            &Rel {
+                card: l.card,
+                cols: l.cols.clone(),
+            },
+            &Rel {
+                card: r.card,
+                cols: r.cols.clone(),
+            },
+            &lk,
+            &rk,
+            self.stats,
+        );
+
+        let mut globals = l.globals.clone();
+        let mut cols = l.cols.clone();
+        let mut pos = l.pos.clone();
+        // Position of each surviving right column: rank among non-keys.
+        let mut right_new_pos: Vec<Option<usize>> = vec![None; r.globals.len()];
+        for (i, (&g, c)) in r.globals.iter().zip(&r.cols).enumerate() {
+            if let Some(k) = rk.iter().position(|&p| p == i) {
+                // Dropped key column: alias to its left partner.
+                right_new_pos[i] = Some(lk[k]);
+                pos.insert(g, lk[k]);
+            } else {
+                let p = globals.len();
+                right_new_pos[i] = Some(p);
+                globals.push(g);
+                cols.push(c.clone());
+                pos.insert(g, p);
+            }
+        }
+        // Right-side aliases (globals dropped inside `r`) re-point too.
+        for (&g, &old) in &r.pos {
+            pos.entry(g)
+                .or_insert_with(|| right_new_pos[old].expect("old position exists"));
+        }
+        let b = Built {
+            plan: Fra::HashJoin {
+                left: Box::new(l.plan.clone()),
+                right: Box::new(r.plan.clone()),
+                left_keys: lk,
+                right_keys: rk,
+            },
+            globals,
+            pos,
+            cols,
+            card,
+            cost: l.cost + r.cost + card,
+            applied: l.applied | r.applied,
+            mask: l.mask | r.mask,
+        };
+        self.apply_appliers(b)
+    }
+
+    /// Run a pending ⋈* expansion on `b`.
+    fn expand(&self, b: &Built, ex_ix: usize) -> Built {
+        let e = &self.region.expansions[ex_ix];
+        let card = (b.card * e.multiplier).max(1e-6);
+        let mut out = b.clone();
+        out.plan = Fra::VarLengthJoin {
+            left: Box::new(out.plan),
+            src_col: out.pos[&e.src_global],
+            spec: e.spec.clone(),
+            dst: e.dst.clone(),
+            path: e.path.clone(),
+        };
+        for &g in &e.out_globals {
+            let p = out.globals.len();
+            out.globals.push(g);
+            out.cols.push(self.region.info[g].clone());
+            out.pos.insert(g, p);
+        }
+        out.card = card;
+        out.cost += card;
+        out.mask |= 1 << (self.region.factors.len() + ex_ix);
+        self.apply_appliers(out)
+    }
+
+    /// Exact dynamic programming over unit subsets.
+    fn dp(&self) -> Built {
+        let n = self.unit_count;
+        let factors = self.region.factors.len();
+        let full: u64 = (1 << n) - 1;
+        let mut dp: Vec<Option<Built>> = vec![None; 1 << n];
+        for i in 0..factors {
+            dp[1usize << i] = Some(self.singleton(i));
+        }
+        for mask in 1..=full {
+            if dp[mask as usize].is_some() && mask.count_ones() <= 1 {
+                continue;
+            }
+            let mut best: Option<Built> = None;
+            // (a) extend a sub-build with an expansion in the mask.
+            for e in 0..self.region.expansions.len() {
+                let bit = 1u64 << (factors + e);
+                if mask & bit == 0 {
+                    continue;
+                }
+                let sub = mask & !bit;
+                if sub == 0 {
+                    continue;
+                }
+                if let Some(b) = dp[sub as usize].as_ref() {
+                    if self.covered(&[self.region.expansions[e].src_global], sub) {
+                        consider(&mut best, self.expand(b, e));
+                    }
+                }
+            }
+            // (b) join two disjoint sub-builds; fix the lowest unit on
+            // the left so each split is tried once with the syntactic
+            // orientation (canonicalisation normalises orientation
+            // anyway).
+            let low = mask & mask.wrapping_neg();
+            let mut sub = (mask - 1) & mask;
+            while sub != 0 {
+                if sub & low != 0 {
+                    let other = mask & !sub;
+                    if let (Some(a), Some(b)) =
+                        (dp[sub as usize].as_ref(), dp[other as usize].as_ref())
+                    {
+                        consider(&mut best, self.join(a, b));
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            dp[mask as usize] = best;
+        }
+        dp[full as usize].clone().expect("full mask is reachable")
+    }
+
+    /// Greedy minimum-cost-expansion for large regions: repeatedly take
+    /// the move (join of two connected components, pending expansion, or
+    /// — only when nothing else remains — a cross join) with the
+    /// smallest resulting cardinality.
+    fn greedy(&self) -> Built {
+        let factors = self.region.factors.len();
+        let mut comps: Vec<Built> = (0..factors).map(|i| self.singleton(i)).collect();
+        let mut pending: Vec<usize> = (0..self.region.expansions.len()).collect();
+        loop {
+            if comps.len() == 1 && pending.is_empty() {
+                return comps.pop().expect("one component");
+            }
+            enum Move {
+                Join(usize, usize),
+                Expand(usize, usize),
+            }
+            // Keep the winning candidate's Built so executing the move
+            // reuses it instead of rebuilding.
+            let mut best: Option<(f64, Move, Built)> = None;
+            let mut connected_exists = false;
+            for i in 0..comps.len() {
+                for j in (i + 1)..comps.len() {
+                    let connected = self.region.edges.iter().any(|&(a, b)| {
+                        let (oa, ob) = (self.region.owner[a], self.region.owner[b]);
+                        (comps[i].mask & (1 << oa) != 0 && comps[j].mask & (1 << ob) != 0)
+                            || (comps[i].mask & (1 << ob) != 0 && comps[j].mask & (1 << oa) != 0)
+                    });
+                    if connected {
+                        connected_exists = true;
+                        let joined = self.join(&comps[i], &comps[j]);
+                        if best.as_ref().is_none_or(|(c, _, _)| joined.card < *c) {
+                            best = Some((joined.card, Move::Join(i, j), joined));
+                        }
+                    }
+                }
+            }
+            for (px, &e) in pending.iter().enumerate() {
+                let src = self.region.expansions[e].src_global;
+                if let Some(i) = comps
+                    .iter()
+                    .position(|c| c.mask & (1 << self.region.owner[src]) != 0)
+                {
+                    let expanded = self.expand(&comps[i], e);
+                    if best.as_ref().is_none_or(|(c, _, _)| expanded.card < *c) {
+                        best = Some((expanded.card, Move::Expand(i, px), expanded));
+                    }
+                }
+            }
+            if best.is_none() && !connected_exists && comps.len() > 1 {
+                // Disconnected join graph: cross-join the two smallest.
+                let mut order: Vec<usize> = (0..comps.len()).collect();
+                order.sort_by(|&a, &b| {
+                    comps[a]
+                        .card
+                        .partial_cmp(&comps[b].card)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                let (i, j) = (order[0].min(order[1]), order[0].max(order[1]));
+                let joined = self.join(&comps[i], &comps[j]);
+                best = Some((f64::INFINITY, Move::Join(i, j), joined));
+            }
+            let (_, mv, built) = best.expect("a move always exists");
+            match mv {
+                Move::Join(i, j) => {
+                    comps.remove(j);
+                    comps[i] = built;
+                }
+                Move::Expand(i, px) => {
+                    pending.remove(px);
+                    comps[i] = built;
+                }
+            }
+        }
+    }
+}
+
+/// Keep the candidate with the strictly smaller `(cost, card)`; the
+/// first minimal candidate (in deterministic enumeration order) wins
+/// ties, so planning never depends on variable names.
+fn consider(best: &mut Option<Built>, candidate: Built) {
+    let better = match best {
+        None => true,
+        Some(b) => (candidate.cost, candidate.card) < (b.cost, b.card),
+    };
+    if better {
+        *best = Some(candidate);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// The planner's result: a plan computing the same bag with the same
+/// output schema.
+#[derive(Clone, Debug)]
+pub struct Planned {
+    /// The (possibly reordered) plan. `fra.schema()` equals the input's.
+    pub fra: Fra,
+    /// Did planning change the plan structurally?
+    pub changed: bool,
+}
+
+/// Cost-based planning of `fra` under the statistics snapshot `stats`.
+///
+/// The result computes the same bag for every graph and exposes the
+/// same output schema (a restoring projection is appended when the
+/// chosen join order permutes columns; canonicalisation folds it into
+/// its column mapping, so it costs no operator node). Planning is a
+/// pure function of the plan structure and `stats` — never of variable
+/// names — so `canon(plan(q)) == canon(plan(rename(q)))`.
+pub fn plan(fra: &Fra, stats: &PlanStats) -> Planned {
+    let (planned, mapping) = plan_rec(fra, stats);
+    let restored = restore_schema(planned, &mapping, fra);
+    let changed = restored != *fra;
+    Planned {
+        fra: restored,
+        changed,
+    }
+}
+
+/// Wrap `planned` so its schema (names and order) equals `original`'s.
+fn restore_schema(planned: Fra, mapping: &[usize], original: &Fra) -> Fra {
+    let names = original.schema();
+    let identity = mapping.iter().enumerate().all(|(i, &j)| i == j);
+    if identity && planned.schema() == names {
+        return planned;
+    }
+    Fra::Project {
+        input: Box::new(planned),
+        items: mapping
+            .iter()
+            .zip(&names)
+            .map(|(&c, n)| (ScalarExpr::Col(c), n.clone()))
+            .collect(),
+    }
+}
+
+/// Recursive planning; returns the planned subtree plus the bijection
+/// `mapping[i] = j`: column `i` of the original subtree's output is
+/// column `j` of the planned subtree's output.
+fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
+    match fra {
+        Fra::HashJoin { .. }
+        | Fra::Filter { .. }
+        | Fra::SemiJoin { .. }
+        | Fra::VarLengthJoin { .. } => plan_region(fra, stats),
+        Fra::Project { input, items } => {
+            let (ci, m) = plan_rec(input, stats);
+            (
+                Fra::Project {
+                    input: Box::new(ci),
+                    items: items
+                        .iter()
+                        .map(|(e, n)| (e.remap_columns(&|c| m[c]), n.clone()))
+                        .collect(),
+                },
+                (0..items.len()).collect(),
+            )
+        }
+        Fra::Distinct { input } => {
+            let (ci, m) = plan_rec(input, stats);
+            (
+                Fra::Distinct {
+                    input: Box::new(ci),
+                },
+                m,
+            )
+        }
+        Fra::Aggregate { input, group, aggs } => {
+            let (ci, m) = plan_rec(input, stats);
+            (
+                Fra::Aggregate {
+                    input: Box::new(ci),
+                    group: group
+                        .iter()
+                        .map(|(e, n)| (e.remap_columns(&|c| m[c]), n.clone()))
+                        .collect(),
+                    aggs: aggs
+                        .iter()
+                        .map(|(c, n)| {
+                            (
+                                crate::expr::AggCall {
+                                    func: c.func,
+                                    arg: c.arg.as_ref().map(|a| a.remap_columns(&|x| m[x])),
+                                    distinct: c.distinct,
+                                },
+                                n.clone(),
+                            )
+                        })
+                        .collect(),
+                },
+                (0..group.len() + aggs.len()).collect(),
+            )
+        }
+        Fra::Unwind { input, expr, alias } => {
+            let (ci, m) = plan_rec(input, stats);
+            let arity = m.len();
+            let mut mapping = m.clone();
+            mapping.push(arity);
+            (
+                Fra::Unwind {
+                    input: Box::new(ci),
+                    expr: expr.remap_columns(&|c| m[c]),
+                    alias: alias.clone(),
+                },
+                mapping,
+            )
+        }
+        leaf @ (Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. }) => {
+            (leaf.clone(), (0..leaf.schema().len()).collect())
+        }
+    }
+}
+
+/// Plan one reorderable region. Falls back to the original subtree
+/// (identity mapping) if the rebuilt plan fails its arity check — a
+/// safety net for hand-built plans outside the compiler's invariants.
+fn plan_region(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
+    let mut region = Region::default();
+    let output = decompose(fra, stats, &mut region);
+    let unit_count = region.factors.len() + region.expansions.len();
+    // Units and appliers are tracked in u64 bitmasks; a region exceeding
+    // 63 of either (far beyond any compiled query) keeps its syntactic
+    // order rather than risking shift overflow.
+    if unit_count > 63 || region.appliers.len() > 63 {
+        return (fra.clone(), (0..fra.schema().len()).collect());
+    }
+    let built = if unit_count > MAX_DP_UNITS {
+        let e = Enumerator {
+            region: &region,
+            stats,
+            unit_count,
+        };
+        e.greedy()
+    } else {
+        let e = Enumerator {
+            region: &region,
+            stats,
+            unit_count,
+        };
+        e.dp()
+    };
+    // Every applier must have been applied and every original output
+    // column must be present (possibly via a dropped-key alias).
+    let complete = built.applied.count_ones() as usize == region.appliers.len()
+        && output.iter().all(|g| built.pos.contains_key(g))
+        && built.globals.len() == fra.schema().len();
+    if !complete {
+        debug_assert!(false, "planner produced an incomplete region rebuild");
+        return (fra.clone(), (0..fra.schema().len()).collect());
+    }
+    let mapping: Vec<usize> = output.iter().map(|g| built.pos[g]).collect();
+    (built.plan, mapping)
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN rendering
+// ---------------------------------------------------------------------------
+
+/// Render `fra` with the estimated output cardinality of every
+/// operator — the `EXPLAIN` view of the cost model.
+pub fn explain_with_estimates(fra: &Fra, stats: &PlanStats) -> String {
+    let mut out = String::new();
+    render(fra, stats, 0, &mut out);
+    out
+}
+
+fn render(fra: &Fra, stats: &PlanStats, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let card = estimate(fra, stats);
+    let pad = "  ".repeat(depth);
+    let describe = |f: &Fra| -> String {
+        match f {
+            Fra::Unit => "Unit".into(),
+            Fra::ScanVertices { var, labels, .. } => format!(
+                "©({var}{})",
+                labels
+                    .iter()
+                    .map(|l| format!(":{l}"))
+                    .collect::<Vec<_>>()
+                    .join("")
+            ),
+            Fra::ScanEdges {
+                src, dst, types, ..
+            } => format!(
+                "⇑[({src})-[{}]->({dst})]",
+                types
+                    .iter()
+                    .map(|t| format!(":{t}"))
+                    .collect::<Vec<_>>()
+                    .join("|")
+            ),
+            Fra::HashJoin { left_keys, .. } => format!("⋈ on {} key(s)", left_keys.len()),
+            Fra::SemiJoin { anti: true, .. } => "▷ antijoin".into(),
+            Fra::SemiJoin { .. } => "⋉ semijoin".into(),
+            Fra::VarLengthJoin { spec, .. } => format!(
+                "⋈* [{}{}..{}]",
+                spec.types
+                    .iter()
+                    .map(|t| format!(":{t}"))
+                    .collect::<Vec<_>>()
+                    .join("|"),
+                spec.min,
+                spec.max.map_or("∞".into(), |m| m.to_string())
+            ),
+            Fra::Filter { .. } => "σ".into(),
+            Fra::Project { items, .. } => format!("π ({} cols)", items.len()),
+            Fra::Distinct { .. } => "δ".into(),
+            Fra::Aggregate { group, aggs, .. } => {
+                format!("γ ({} groups, {} aggs)", group.len(), aggs.len())
+            }
+            Fra::Unwind { alias, .. } => format!("ω {alias}"),
+        }
+    };
+    let _ = writeln!(out, "{pad}{:<40} ~{:.0} rows", describe(fra), card.max(0.0));
+    match fra {
+        Fra::HashJoin { left, right, .. } | Fra::SemiJoin { left, right, .. } => {
+            render(left, stats, depth + 1, out);
+            render(right, stats, depth + 1, out);
+        }
+        Fra::VarLengthJoin { left, .. } => render(left, stats, depth + 1, out),
+        Fra::Filter { input, .. }
+        | Fra::Project { input, .. }
+        | Fra::Distinct { input }
+        | Fra::Aggregate { input, .. }
+        | Fra::Unwind { input, .. } => render(input, stats, depth + 1, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fra::PropPush;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn stats() -> PlanStats {
+        let mut st = PlanStats {
+            vertices: 10_000,
+            edges: 60_000,
+            ..PlanStats::default()
+        };
+        st.label_counts.insert(s("User"), 5_000);
+        st.label_counts.insert(s("Post"), 4_000);
+        st.label_counts.insert(s("Topic"), 50);
+        st.type_counts.insert(s("FOLLOWS"), 40_000);
+        st.type_counts.insert(s("LIKES"), 15_000);
+        st.type_counts.insert(s("TAGGED"), 4_000);
+        st.type_distinct_src.insert(s("FOLLOWS"), 5_000);
+        st.type_distinct_dst.insert(s("FOLLOWS"), 40);
+        st.type_distinct_src.insert(s("LIKES"), 40);
+        st.type_distinct_dst.insert(s("LIKES"), 4_000);
+        st.type_distinct_src.insert(s("TAGGED"), 4_000);
+        st.type_distinct_dst.insert(s("TAGGED"), 50);
+        st.vertex_prop_distinct.insert(s("name"), 50);
+        st
+    }
+
+    fn edge_scan(ty: &str, src: &str, edge: &str, dst: &str) -> Fra {
+        Fra::ScanEdges {
+            src: src.into(),
+            edge: edge.into(),
+            dst: dst.into(),
+            types: vec![s(ty)],
+            src_labels: vec![],
+            dst_labels: vec![],
+            src_props: vec![],
+            edge_props: vec![],
+            dst_props: vec![],
+            dir: pgq_common::dir::Direction::Out,
+            carry_maps: (false, false, false),
+        }
+    }
+
+    /// (a)-[:FOLLOWS]->(b), (b)-[:LIKES]->(p), (p)-[:TAGGED]->(t {name}),
+    /// σ t.name = 'rare' — written in the worst order.
+    fn skewed_plan() -> Fra {
+        let tagged = Fra::ScanEdges {
+            src: "p".into(),
+            edge: "e3".into(),
+            dst: "t".into(),
+            types: vec![s("TAGGED")],
+            src_labels: vec![],
+            dst_labels: vec![s("Topic")],
+            src_props: vec![],
+            edge_props: vec![],
+            dst_props: vec![PropPush {
+                prop: s("name"),
+                col: "t.name".into(),
+            }],
+            dir: pgq_common::dir::Direction::Out,
+            carry_maps: (false, false, false),
+        };
+        let j1 = Fra::HashJoin {
+            left: Box::new(edge_scan("FOLLOWS", "a", "e1", "b")),
+            right: Box::new(edge_scan("LIKES", "b", "e2", "p")),
+            left_keys: vec![2],
+            right_keys: vec![0],
+        };
+        let j2 = Fra::HashJoin {
+            left: Box::new(j1),
+            right: Box::new(tagged),
+            left_keys: vec![4],
+            right_keys: vec![0],
+        };
+        Fra::Filter {
+            predicate: ScalarExpr::Binary(
+                BinOp::Eq,
+                Box::new(ScalarExpr::Col(7)),
+                Box::new(ScalarExpr::Lit(Value::str("rare"))),
+            ),
+            input: Box::new(j2),
+        }
+    }
+
+    #[test]
+    fn plan_preserves_schema() {
+        let p = skewed_plan();
+        let planned = plan(&p, &stats());
+        assert_eq!(planned.fra.schema(), p.schema());
+    }
+
+    #[test]
+    fn planner_reorders_skewed_join_tree() {
+        let p = skewed_plan();
+        let planned = plan(&p, &stats());
+        assert!(planned.changed, "skewed plan should be reordered");
+        // The FOLLOWS scan (the huge fan-out relation) must join LAST:
+        // the top join of the planned tree has FOLLOWS on one side and
+        // the (LIKES ⋈ σTAGGED) subtree on the other.
+        fn top_join_sides(f: &Fra) -> Option<(&Fra, &Fra)> {
+            match f {
+                Fra::HashJoin { left, right, .. } => Some((left, right)),
+                Fra::Filter { input, .. } | Fra::Project { input, .. } => top_join_sides(input),
+                _ => None,
+            }
+        }
+        fn contains_type(f: &Fra, ty: &str) -> bool {
+            match f {
+                Fra::ScanEdges { types, .. } => types.contains(&Symbol::intern(ty)),
+                Fra::HashJoin { left, right, .. } => {
+                    contains_type(left, ty) || contains_type(right, ty)
+                }
+                Fra::Filter { input, .. } | Fra::Project { input, .. } => contains_type(input, ty),
+                _ => false,
+            }
+        }
+        let (l, r) = top_join_sides(&planned.fra).expect("planned tree has a join");
+        let follows_alone = (contains_type(l, "FOLLOWS") && !contains_type(l, "TAGGED"))
+            || (contains_type(r, "FOLLOWS") && !contains_type(r, "TAGGED"));
+        assert!(
+            follows_alone,
+            "FOLLOWS must be joined last:\n{}",
+            planned.fra.explain()
+        );
+    }
+
+    #[test]
+    fn no_stats_keeps_syntactic_order() {
+        // With an empty catalog every unit estimates alike; ties resolve
+        // to the syntactic order, so nothing changes.
+        let p = skewed_plan();
+        let planned = plan(&p, &PlanStats::default());
+        assert_eq!(planned.fra.schema(), p.schema());
+    }
+
+    #[test]
+    fn two_relation_join_is_untouched() {
+        let j = Fra::HashJoin {
+            left: Box::new(edge_scan("FOLLOWS", "a", "e1", "b")),
+            right: Box::new(edge_scan("LIKES", "b", "e2", "p")),
+            left_keys: vec![2],
+            right_keys: vec![0],
+        };
+        let planned = plan(&j, &stats());
+        assert_eq!(planned.fra, j, "a single binary join keeps its shape");
+        assert!(!planned.changed);
+    }
+
+    #[test]
+    fn single_factor_filter_region_is_untouched() {
+        let f = Fra::Filter {
+            input: Box::new(Fra::ScanVertices {
+                var: "t".into(),
+                labels: vec![s("Topic")],
+                props: vec![PropPush {
+                    prop: s("name"),
+                    col: "t.name".into(),
+                }],
+                carry_map: false,
+            }),
+            predicate: ScalarExpr::Binary(
+                BinOp::Eq,
+                Box::new(ScalarExpr::Col(1)),
+                Box::new(ScalarExpr::Lit(Value::str("rare"))),
+            ),
+        };
+        let planned = plan(&f, &stats());
+        assert_eq!(planned.fra, f);
+        assert!(!planned.changed);
+    }
+
+    #[test]
+    fn single_side_filter_is_pushed_below_the_join() {
+        // σ[t.name = 'rare'] above the join must move onto the TAGGED
+        // factor when the region is rebuilt.
+        let planned = plan(&skewed_plan(), &stats());
+        fn filter_directly_over_scan(f: &Fra) -> bool {
+            match f {
+                Fra::Filter { input, .. } => matches!(input.as_ref(), Fra::ScanEdges { .. }),
+                Fra::HashJoin { left, right, .. } => {
+                    filter_directly_over_scan(left) || filter_directly_over_scan(right)
+                }
+                Fra::Project { input, .. } => filter_directly_over_scan(input),
+                _ => false,
+            }
+        }
+        assert!(
+            filter_directly_over_scan(&planned.fra),
+            "{}",
+            planned.fra.explain()
+        );
+    }
+
+    #[test]
+    fn explain_reports_estimates() {
+        let text = explain_with_estimates(&skewed_plan(), &stats());
+        assert!(text.contains("~"), "{text}");
+        assert!(text.contains("⋈"), "{text}");
+    }
+
+    #[test]
+    fn varlength_region_rebuild_preserves_shape_and_schema() {
+        let vlj = Fra::VarLengthJoin {
+            left: Box::new(Fra::ScanVertices {
+                var: "p".into(),
+                labels: vec![s("Post")],
+                props: vec![],
+                carry_map: false,
+            }),
+            src_col: 0,
+            spec: VarLenSpec {
+                types: vec![s("REPLY")],
+                dir: pgq_common::dir::Direction::Out,
+                dst_labels: vec![s("Comm")],
+                dst_props: vec![PropPush {
+                    prop: s("lang"),
+                    col: "c.lang".into(),
+                }],
+                dst_carry_map: false,
+                edge_prop_filters: vec![],
+                min: 1,
+                max: None,
+            },
+            dst: "c".into(),
+            path: "t".into(),
+        };
+        let filtered = Fra::Filter {
+            predicate: ScalarExpr::Binary(
+                BinOp::Eq,
+                Box::new(ScalarExpr::Col(2)),
+                Box::new(ScalarExpr::Lit(Value::str("en"))),
+            ),
+            input: Box::new(vlj.clone()),
+        };
+        let planned = plan(&filtered, &stats());
+        assert_eq!(planned.fra.schema(), filtered.schema());
+        // Single factor + single expansion: the shape is unchanged.
+        assert_eq!(planned.fra, filtered);
+    }
+}

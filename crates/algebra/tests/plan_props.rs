@@ -1,0 +1,146 @@
+//! Property suite for the cost-based planner: planning never breaks
+//! alpha-sharing (`canon(plan(q)) == canon(plan(rename(q)))` for any
+//! consistent renaming and any statistics snapshot), always preserves
+//! the output schema, and is deterministic.
+
+use std::collections::HashMap;
+
+use pgq_algebra::canon::{alpha_rename, canonicalize};
+use pgq_algebra::fra::Fra;
+use pgq_algebra::pipeline::compile_query;
+use pgq_algebra::plan::{plan, PlanStats};
+use pgq_common::intern::Symbol;
+use pgq_parser::parse_query;
+use proptest::prelude::*;
+
+/// Queries covering every FRA operator, including multi-relation join
+/// trees the planner actually reorders.
+const QUERIES: &[&str] = &[
+    "MATCH (p:Post) RETURN p",
+    "MATCH (p:Post) WHERE p.lang = 'en' RETURN p, p.lang",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) RETURN p, c",
+    "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+    "MATCH (a)-[:REPLY*1..3]->(b:Comm) RETURN a, b",
+    "MATCH (p:Post) RETURN DISTINCT p.lang",
+    "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    "MATCH (p:Post) WHERE NOT exists((p)-[:REPLY]->(:Comm)) RETURN p",
+    "MATCH (p:Post) WHERE exists((p)-[:REPLY]->(:Comm {lang: 'en'})) RETURN p",
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.age > 30 AND b.age > 40 RETURN a, b",
+    "MATCH (a:User)-[:FOLLOWS]->(b:User) MATCH (b)-[:LIKES]->(p:Post) \
+     MATCH (p)-[:TAGGED]->(t:Topic) WHERE t.name = 'rare' RETURN a, p",
+    "MATCH (a:Person)-[:CREATED]->(p:Post) MATCH (a)-[:KNOWS]->(b:Person) \
+     MATCH (b)-[:LIKES]->(p) RETURN a, b, p",
+    "MATCH (a:Person)-[:KNOWS]->(b:Person) MATCH t = (b)-[:REPLY*]->(c:Comm) \
+     WHERE c.lang = 'en' RETURN a, c",
+];
+
+fn compiled(ix: usize) -> Fra {
+    compile_query(&parse_query(QUERIES[ix % QUERIES.len()]).unwrap())
+        .unwrap()
+        .fra
+}
+
+/// A statistics snapshot parameterised by proptest-chosen counts, so
+/// planning decisions vary across cases.
+fn stats_from(counts: &[u64]) -> PlanStats {
+    let pick = |i: usize| counts[i % counts.len().max(1)].max(1);
+    let mut st = PlanStats {
+        vertices: 1 + counts.iter().sum::<u64>() * 10,
+        edges: 1 + counts.iter().sum::<u64>() * 30,
+        ..PlanStats::default()
+    };
+    for (i, label) in ["Post", "Comm", "Person", "User", "Topic"]
+        .iter()
+        .enumerate()
+    {
+        st.label_counts.insert(Symbol::intern(label), pick(i) * 10);
+    }
+    for (i, ty) in ["REPLY", "KNOWS", "LIKES", "FOLLOWS", "TAGGED", "CREATED"]
+        .iter()
+        .enumerate()
+    {
+        let t = Symbol::intern(ty);
+        st.type_counts.insert(t, pick(i + 3) * 40);
+        st.type_distinct_src.insert(t, pick(i + 5) * 3);
+        st.type_distinct_dst.insert(t, pick(i + 7) * 2);
+    }
+    for (i, key) in ["lang", "name", "age", "cat"].iter().enumerate() {
+        st.vertex_prop_distinct
+            .insert(Symbol::intern(key), pick(i + 2));
+    }
+    st
+}
+
+/// A consistent, injective renaming (as in the canon suite).
+fn renamer(salts: Vec<u32>) -> impl FnMut(&str) -> String {
+    let mut seen: HashMap<String, String> = HashMap::new();
+    move |name: &str| {
+        let next = seen.len();
+        seen.entry(name.to_string())
+            .or_insert_with(|| {
+                let salt = salts[next % salts.len().max(1)];
+                format!("r{next}_{salt}")
+            })
+            .clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline sharing property: planning is alpha-insensitive, so
+    /// planned twins of renamed queries still canonicalise (and hence
+    /// hash-cons) identically under ANY statistics snapshot.
+    #[test]
+    fn canon_of_plan_is_rename_invariant(
+        query_ix in 0..QUERIES.len(),
+        salts in proptest::collection::vec(0u32..1000, 1..8),
+        counts in proptest::collection::vec(1u64..5000, 1..10),
+    ) {
+        let stats = stats_from(&counts);
+        let fra = compiled(query_ix);
+        let mut rename = renamer(salts);
+        let renamed = alpha_rename(&fra, &mut rename);
+        let planned = plan(&fra, &stats);
+        let planned_renamed = plan(&renamed, &stats);
+        let base = canonicalize(&planned.fra);
+        let re = canonicalize(&planned_renamed.fra);
+        prop_assert_eq!(
+            &base.plan, &re.plan,
+            "canon(plan(q)) != canon(plan(rename(q))) for {}", QUERIES[query_ix % QUERIES.len()]
+        );
+        prop_assert_eq!(&base.mapping, &re.mapping);
+    }
+
+    /// Planning always preserves the output schema (names and order),
+    /// whatever the statistics say.
+    #[test]
+    fn plan_preserves_schema(
+        query_ix in 0..QUERIES.len(),
+        counts in proptest::collection::vec(1u64..5000, 1..10),
+    ) {
+        let fra = compiled(query_ix);
+        let planned = plan(&fra, &stats_from(&counts));
+        prop_assert_eq!(planned.fra.schema(), fra.schema());
+    }
+
+    /// Planning is deterministic: the same plan and snapshot always
+    /// produce the same result (the property consing stability rests
+    /// on).
+    #[test]
+    fn plan_is_deterministic(
+        query_ix in 0..QUERIES.len(),
+        counts in proptest::collection::vec(1u64..5000, 1..10),
+    ) {
+        let stats = stats_from(&counts);
+        let fra = compiled(query_ix);
+        let a = plan(&fra, &stats);
+        let b = plan(&fra, &stats);
+        prop_assert_eq!(a.fra, b.fra);
+        prop_assert_eq!(a.changed, b.changed);
+    }
+}

@@ -17,6 +17,7 @@ use pgq_common::intern::Symbol;
 use pgq_common::value::Value;
 use pgq_core::GraphEngine;
 use pgq_graph::tx::Transaction;
+use pgq_workloads::hub::{generate_hub, queries as hq, HubParams};
 use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
 use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 use pgq_workloads::trees::{expected_root_paths, reply_tree};
@@ -53,6 +54,7 @@ fn main() {
     e9_memory(quick);
     e10_ablation(quick);
     e11_optimizer(quick);
+    e12_planner(quick);
 }
 
 /// Measure the two certified perf suites over repeated rounds and write
@@ -269,6 +271,67 @@ fn emit_bench_json(quick: bool, path: &str) {
             let stats = round_stats(&private_us[ix]);
             doc.suite(
                 &format!("many_views_{name}_private_{n}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
+    // planner_*: the skewed hub fan-out workload, cost-based join order
+    // vs the same query registered with the planner disabled (the
+    // syntactic order) — same binary, planned/syntactic alternating
+    // inside each round so machine-speed drift hits them equally.
+    {
+        let params = if quick {
+            HubParams::quick()
+        } else {
+            HubParams::default()
+        };
+        let mut net = generate_hub(params);
+        let stream = net.update_stream(50);
+        for (name, q) in [("hub", hq::RARE_TOPIC_FANS), ("filter", hq::RARE_CAT_FANS)] {
+            let mut planned = GraphEngine::from_graph(net.graph.clone());
+            planned.register_view("v", q).unwrap();
+            let mut syntactic = GraphEngine::from_graph(net.graph.clone());
+            syntactic.register_view_unplanned("v", q).unwrap();
+
+            let mut planned_us = Vec::with_capacity(rounds);
+            let mut syntactic_us = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                for (engine, out) in [(&planned, &mut planned_us), (&syntactic, &mut syntactic_us)]
+                {
+                    let mut e = engine.clone();
+                    let t0 = std::time::Instant::now();
+                    for tx in &stream {
+                        e.apply(tx).unwrap();
+                    }
+                    out.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+                }
+            }
+            // Both orders must agree (cheap oracle outside the timing).
+            {
+                let (mut p, mut s) = (planned.clone(), syntactic.clone());
+                for tx in &stream {
+                    p.apply(tx).unwrap();
+                    s.apply(tx).unwrap();
+                }
+                let rows = |e: &GraphEngine| {
+                    let id = e.view_by_name("v").unwrap();
+                    e.view(id).unwrap().results()
+                };
+                assert_eq!(rows(&p), rows(&s), "planned and syntactic orders diverged");
+            }
+            let stats = round_stats(&planned_us);
+            doc.suite(
+                &format!("planner_{name}_ivm"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+            let stats = round_stats(&syntactic_us);
+            doc.suite(
+                &format!("planner_{name}_syntactic"),
                 "us_per_tx",
                 stats,
                 1e6 / stats.median,
@@ -586,6 +649,59 @@ fn e10_ablation(quick: bool) {
             format!("{}", engine.view(id).unwrap().memory_tuples()),
             us(build),
             format!("{:.1}", ivm.us_per_tx()),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// E12 (extension): the statistics-driven join-order planner on the
+/// skewed hub workload — cost-based order vs the syntactic order.
+fn e12_planner(quick: bool) {
+    println!("## T-E12 — cost-based join-order planner (hub fan-out skew)\n");
+    let params = if quick {
+        HubParams::quick()
+    } else {
+        HubParams::default()
+    };
+    let mut net = generate_hub(params);
+    let n = if quick { 50 } else { 200 };
+    let stream = net.update_stream(n);
+    let mut table = Table::new(&[
+        "query",
+        "planned µs/tx",
+        "syntactic µs/tx",
+        "speed-up",
+        "planned memory tuples",
+        "syntactic memory tuples",
+    ]);
+    for (name, q) in [
+        ("RareTopicFans", hq::RARE_TOPIC_FANS),
+        ("RareCatFans", hq::RARE_CAT_FANS),
+    ] {
+        let run = |planned: bool| -> (f64, usize) {
+            let mut e = GraphEngine::from_graph(net.graph.clone());
+            if planned {
+                e.register_view("v", q).unwrap();
+            } else {
+                e.register_view_unplanned("v", q).unwrap();
+            }
+            let t0 = std::time::Instant::now();
+            for tx in &stream {
+                e.apply(tx).unwrap();
+            }
+            let us = t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0;
+            let id = e.view_by_name("v").unwrap();
+            (us, e.view(id).unwrap().memory_tuples())
+        };
+        let (p_us, p_mem) = run(true);
+        let (s_us, s_mem) = run(false);
+        table.row(vec![
+            name.to_string(),
+            format!("{p_us:.1}"),
+            format!("{s_us:.1}"),
+            format!("{:.1}×", s_us / p_us.max(0.001)),
+            format!("{p_mem}"),
+            format!("{s_mem}"),
         ]);
     }
     println!("{}", table.render());

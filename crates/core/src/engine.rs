@@ -9,7 +9,7 @@ use pgq_graph::delta::ChangeEvent;
 use pgq_graph::props::Properties;
 use pgq_graph::store::PropertyGraph;
 use pgq_graph::tx::{NodeRef, Transaction};
-use pgq_ivm::{DataflowNetwork, Delta, SinkId, ViewRef};
+use pgq_ivm::{DataflowNetwork, Delta, RegisterOptions, SinkId, ViewRef};
 use pgq_parser::ast::{Clause, Expr, Pattern, Query, RemoveItem, SetItem};
 use pgq_parser::parse_query;
 
@@ -188,6 +188,34 @@ impl GraphEngine {
         cypher: &str,
         options: CompileOptions,
     ) -> Result<ViewId, EngineError> {
+        self.register_inner(name, cypher, options, RegisterOptions::default())
+    }
+
+    /// Register a view with the cost-based planner disabled, so the
+    /// dataflow executes the query's *syntactic* join order. The
+    /// baseline for the planner benchmarks and the differential
+    /// planner-twin oracle; production views should use
+    /// [`GraphEngine::register_view`].
+    pub fn register_view_unplanned(
+        &mut self,
+        name: &str,
+        cypher: &str,
+    ) -> Result<ViewId, EngineError> {
+        self.register_inner(
+            name,
+            cypher,
+            CompileOptions::default(),
+            RegisterOptions { plan: false },
+        )
+    }
+
+    fn register_inner(
+        &mut self,
+        name: &str,
+        cypher: &str,
+        options: CompileOptions,
+        register: RegisterOptions,
+    ) -> Result<ViewId, EngineError> {
         if self.view_by_name(name).is_some() {
             return Err(EngineError::DuplicateView(name.to_string()));
         }
@@ -196,7 +224,9 @@ impl GraphEngine {
         if !compiled.is_maintainable() {
             return Err(AlgebraError::NotMaintainable(compiled.not_maintainable.join("; ")).into());
         }
-        let sink = self.network.register(name, &compiled.fra, &self.graph);
+        let sink = self
+            .network
+            .register_with(name, &compiled.fra, &self.graph, register);
         let id = ViewId(self.views.len());
         self.views.push(Some(ViewEntry {
             sink,
@@ -328,6 +358,17 @@ impl GraphEngine {
         out.push_str(&format!("{}\n", compiled.nra));
         out.push_str("\n== Stage 3: FRA (flat relational algebra, inferred schema)\n");
         out.push_str(&compiled.fra.explain());
+        out.push_str("\n== Stage 4: cost-based plan (live statistics snapshot)\n");
+        if pgq_ivm::planner_enabled() {
+            out.push_str(&compiled.explain_plan(&pgq_ivm::plan_stats(&self.graph)));
+        } else {
+            // Show the order that will actually execute.
+            out.push_str("planner: disabled (PGQ_DISABLE_PLANNER); the syntactic order runs\n");
+            out.push_str(&pgq_algebra::plan::explain_with_estimates(
+                &compiled.fra,
+                &pgq_ivm::plan_stats(&self.graph),
+            ));
+        }
         out.push_str("\n== Maintainability\n");
         if compiled.is_maintainable() {
             out.push_str("incrementally maintainable\n");

@@ -119,18 +119,31 @@ impl GraphIndexes {
         bucket_remove(&mut self.label, label, v);
     }
 
-    /// Register an edge.
-    pub fn add_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) {
+    /// Register an edge; returns the source's out-degree *before* the
+    /// insert (the cardinality catalog's histogram delta, fused here so
+    /// the hot path pays one adjacency lookup, not two).
+    pub fn add_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) -> usize {
         self.ty.entry(ty).or_default().push(e);
-        self.out.entry(src).or_default().push(e);
+        let out = self.out.entry(src).or_default();
+        let old_out = out.items.len();
+        out.push(e);
         self.inc.entry(dst).or_default().push(e);
+        old_out
     }
 
-    /// Unregister an edge.
-    pub fn remove_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) {
+    /// Unregister an edge; returns the source's out-degree *before* the
+    /// removal.
+    pub fn remove_edge(&mut self, e: EdgeId, src: VertexId, dst: VertexId, ty: Symbol) -> usize {
         bucket_remove(&mut self.ty, ty, e);
-        bucket_remove(&mut self.out, src, e);
+        let mut old_out = 0;
+        if let Some(bucket) = self.out.get_mut(&src) {
+            old_out = bucket.items.len();
+            if bucket.remove(e) {
+                self.out.remove(&src);
+            }
+        }
         bucket_remove(&mut self.inc, dst, e);
+        old_out
     }
 
     /// Vertices carrying `label`.

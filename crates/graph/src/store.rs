@@ -10,6 +10,7 @@ use pgq_common::value::Value;
 use crate::delta::ChangeEvent;
 use crate::index::GraphIndexes;
 use crate::props::Properties;
+use crate::stats::CatalogCell;
 
 /// Payload of a vertex: label set + property map.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -78,13 +79,35 @@ impl std::error::Error for GraphError {}
 ///
 /// All mutators return the [`ChangeEvent`]s they committed; batch them
 /// through [`crate::tx::Transaction`] for atomicity.
-#[derive(Default, Debug, Clone)]
+#[derive(Default, Debug)]
 pub struct PropertyGraph {
     vertices: FxHashMap<VertexId, VertexData>,
     edges: FxHashMap<EdgeId, EdgeData>,
     index: GraphIndexes,
+    /// Deferred cardinality counters (see [`crate::stats`]); a mutex
+    /// only so `&self` readers can integrate pending deltas — mutators
+    /// go through `get_mut` and never lock.
+    catalog: std::sync::Mutex<CatalogCell>,
     next_vertex: u64,
     next_edge: u64,
+}
+
+impl Clone for PropertyGraph {
+    fn clone(&self) -> PropertyGraph {
+        PropertyGraph {
+            vertices: self.vertices.clone(),
+            edges: self.edges.clone(),
+            index: self.index.clone(),
+            catalog: std::sync::Mutex::new(
+                self.catalog
+                    .lock()
+                    .expect("catalog mutex poisoned (a catalog update panicked)")
+                    .clone(),
+            ),
+            next_vertex: self.next_vertex,
+            next_edge: self.next_edge,
+        }
+    }
 }
 
 impl PropertyGraph {
@@ -165,6 +188,21 @@ impl PropertyGraph {
         self.index.types()
     }
 
+    /// The catalog cell (counters + pending deltas); the public read
+    /// API is [`PropertyGraph::catalog`](crate::stats) in `stats.rs`.
+    pub(crate) fn catalog_cell(&self) -> &std::sync::Mutex<CatalogCell> {
+        &self.catalog
+    }
+
+    /// The catalog cell for mutators: no locking (`&mut self` proves
+    /// exclusivity).
+    #[inline]
+    fn catalog_mut(&mut self) -> &mut CatalogCell {
+        self.catalog
+            .get_mut()
+            .expect("catalog mutex poisoned (a catalog update panicked)")
+    }
+
     /// Vertex property lookup, `Null` when absent (Cypher semantics).
     pub fn vertex_prop(&self, id: VertexId, key: Symbol) -> Value {
         self.vertices
@@ -207,6 +245,7 @@ impl PropertyGraph {
         for &l in &labels {
             self.index.add_label(l, id);
         }
+        self.catalog_mut().on_vertex_added(&props);
         self.vertices.insert(id, VertexData { labels, props });
         self.next_vertex = self.next_vertex.max(id.0 + 1);
     }
@@ -242,6 +281,7 @@ impl PropertyGraph {
         for &l in &data.labels {
             self.index.remove_label(l, id);
         }
+        self.catalog_mut().on_vertex_removed(&data.props);
         events.push(ChangeEvent::VertexRemoved { id, data });
         Ok(events)
     }
@@ -274,7 +314,9 @@ impl PropertyGraph {
         ty: Symbol,
         props: Properties,
     ) {
-        self.index.add_edge(id, src, dst, ty);
+        let old_src_out = self.index.add_edge(id, src, dst, ty);
+        self.catalog_mut()
+            .on_edge_added(ty, src, dst, old_src_out, &props);
         self.edges.insert(
             id,
             EdgeData {
@@ -290,7 +332,9 @@ impl PropertyGraph {
     /// Delete an edge.
     pub fn remove_edge(&mut self, id: EdgeId) -> Result<ChangeEvent, GraphError> {
         let data = self.edges.remove(&id).ok_or(GraphError::EdgeNotFound(id))?;
-        self.index.remove_edge(id, data.src, data.dst, data.ty);
+        let old_src_out = self.index.remove_edge(id, data.src, data.dst, data.ty);
+        self.catalog_mut()
+            .on_edge_removed(data.ty, data.src, data.dst, old_src_out, &data.props);
         Ok(ChangeEvent::EdgeRemoved { id, data })
     }
 
@@ -306,6 +350,7 @@ impl PropertyGraph {
             .get_mut(&id)
             .ok_or(GraphError::VertexNotFound(id))?;
         let old = data.props.set(key, value.clone()).unwrap_or(Value::Null);
+        self.catalog_mut().on_vertex_prop_changed(key, &old, &value);
         Ok(ChangeEvent::VertexPropChanged {
             id,
             key,
@@ -326,6 +371,7 @@ impl PropertyGraph {
             .get_mut(&id)
             .ok_or(GraphError::EdgeNotFound(id))?;
         let old = data.props.set(key, value.clone()).unwrap_or(Value::Null);
+        self.catalog_mut().on_edge_prop_changed(key, &old, &value);
         Ok(ChangeEvent::EdgePropChanged {
             id,
             key,

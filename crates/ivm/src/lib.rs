@@ -49,5 +49,8 @@ pub mod tc;
 pub mod view;
 
 pub use delta::Delta;
-pub use network::{DataflowNetwork, NodeId, NodeSummary, SinkId, ViewRef};
+pub use network::{
+    plan_stats, planner_enabled, DataflowNetwork, NodeId, NodeSummary, RegisterOptions, SinkId,
+    ViewRef,
+};
 pub use view::MaterializedView;

@@ -462,6 +462,77 @@ pub struct NodeSummary {
     pub depth: u32,
 }
 
+/// Options for [`DataflowNetwork::register_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct RegisterOptions {
+    /// Run the cost-based join-order planner before canonicalisation
+    /// (the default). Disable for the syntactic-order baseline.
+    pub plan: bool,
+}
+
+impl Default for RegisterOptions {
+    fn default() -> Self {
+        RegisterOptions { plan: true }
+    }
+}
+
+/// Is the cost-based planner globally enabled? `PGQ_DISABLE_PLANNER=1`
+/// (or `true`) turns it off for the whole process — the CI fallback job
+/// uses this to keep the unplanned path green. Public so EXPLAIN
+/// surfaces can report the order that will actually execute.
+pub fn planner_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("PGQ_DISABLE_PLANNER")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
+/// Snapshot the planner-relevant statistics of `g`: label/type extents
+/// from the secondary indexes, per-type distinct endpoints and
+/// distinct-property-value estimates from the live
+/// [cardinality catalog](pgq_graph::stats::CardinalityCatalog).
+///
+/// O(labels + types + property keys), independent of |V| and |E|. The
+/// snapshot is immutable: plans chosen from it are **not** re-planned
+/// as the graph drifts (re-register a view to replan against fresh
+/// statistics).
+pub fn plan_stats(g: &PropertyGraph) -> pgq_algebra::plan::PlanStats {
+    let catalog = g.catalog();
+    let mut stats = pgq_algebra::plan::PlanStats {
+        vertices: g.vertex_count() as u64,
+        edges: g.edge_count() as u64,
+        ..Default::default()
+    };
+    for l in g.labels() {
+        stats
+            .label_counts
+            .insert(l, g.vertices_with_label(l).len() as u64);
+    }
+    for t in g.edge_types() {
+        stats
+            .type_counts
+            .insert(t, g.edges_with_type(t).len() as u64);
+        stats
+            .type_distinct_src
+            .insert(t, catalog.distinct_sources(t) as u64);
+        stats
+            .type_distinct_dst
+            .insert(t, catalog.distinct_targets(t) as u64);
+    }
+    for k in catalog.vertex_prop_keys() {
+        stats
+            .vertex_prop_distinct
+            .insert(k, catalog.vertex_prop_distinct(k) as u64);
+    }
+    for k in catalog.edge_prop_keys() {
+        stats
+            .edge_prop_distinct
+            .insert(k, catalog.edge_prop_distinct(k) as u64);
+    }
+    stats
+}
+
 /// The engine-owned shared dataflow network. See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct DataflowNetwork {
@@ -494,17 +565,53 @@ impl DataflowNetwork {
     /// instantiated in the network, and run the initial evaluation of
     /// whatever suffix is new. Returns the sink handle.
     ///
-    /// The plan is [canonicalised](pgq_algebra::canon) first, so sharing
-    /// is up to *alpha-equivalence*: registering `MATCH (a:Post)` after
-    /// `MATCH (p:Post)` (or the same `WHERE` with reordered conjuncts,
-    /// or the same `RETURN` under different aliases) instantiates zero
-    /// new nodes. When canonicalisation permutes the output columns, a
-    /// canonical tail projection — itself hash-consed, so views needing
-    /// the same permutation share it — restores the view's own column
-    /// order; the sink always reports the original [`Fra::schema`]
-    /// names.
+    /// Two rewrites run before instantiation, in order:
+    ///
+    /// 1. **Cost-based planning** ([`mod@pgq_algebra::plan`]): a statistics
+    ///    snapshot of `g` (see [`plan_stats`]) drives a join-order
+    ///    rewrite, so the dataflow's join memories hold the smallest
+    ///    intermediates the estimator can find. Planning is a pure
+    ///    function of plan structure and the snapshot — alpha-equivalent
+    ///    queries plan identically, so sharing is preserved. The
+    ///    snapshot is taken **once, here**: later graph drift never
+    ///    re-plans a standing view (re-register to replan). Disable
+    ///    globally with `PGQ_DISABLE_PLANNER=1` or per call via
+    ///    [`DataflowNetwork::register_with`].
+    /// 2. **Canonicalisation** ([`pgq_algebra::canon`]): sharing is up
+    ///    to *alpha-equivalence* — registering `MATCH (a:Post)` after
+    ///    `MATCH (p:Post)` (or the same `WHERE` with reordered
+    ///    conjuncts, or the same `RETURN` under different aliases)
+    ///    instantiates zero new nodes. When canonicalisation permutes
+    ///    the output columns, a canonical tail projection — itself
+    ///    hash-consed — restores the view's own column order; the sink
+    ///    always reports the original [`Fra::schema`] names.
     pub fn register(&mut self, name: impl Into<String>, fra: &Fra, g: &PropertyGraph) -> SinkId {
-        let canon = pgq_algebra::canon::canonicalize(fra);
+        self.register_with(name, fra, g, RegisterOptions::default())
+    }
+
+    /// [`DataflowNetwork::register`] with explicit options (e.g. the
+    /// planner-disabled baseline used by benchmarks and differential
+    /// tests).
+    pub fn register_with(
+        &mut self,
+        name: impl Into<String>,
+        fra: &Fra,
+        g: &PropertyGraph,
+        options: RegisterOptions,
+    ) -> SinkId {
+        let planned_storage;
+        let planned: &Fra = if options.plan && planner_enabled() {
+            let snapshot = plan_stats(g);
+            let planned = pgq_algebra::plan::plan(fra, &snapshot);
+            if planned.changed {
+                crate::stats::counters::planner_plan_changed();
+            }
+            planned_storage = planned.fra;
+            &planned_storage
+        } else {
+            fra
+        };
+        let canon = pgq_algebra::canon::canonicalize(planned);
         let plan = canon.with_restored_order();
         let root = self.instantiate(&plan, g);
         // Build the sink's result bag from the (possibly shared) root's

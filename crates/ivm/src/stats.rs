@@ -46,6 +46,8 @@ pub mod counters {
         pub rehashes: u64,
         /// Change events delivered to scan nodes by the routing index.
         pub scan_events_delivered: u64,
+        /// Registrations whose plan the cost-based planner changed.
+        pub planner_plans_changed: u64,
     }
 
     #[cfg(feature = "ivm-stats")]
@@ -56,6 +58,7 @@ pub mod counters {
         pub static PROBE_HITS: AtomicU64 = AtomicU64::new(0);
         pub static REHASHES: AtomicU64 = AtomicU64::new(0);
         pub static SCAN_EVENTS_DELIVERED: AtomicU64 = AtomicU64::new(0);
+        pub static PLANNER_PLANS_CHANGED: AtomicU64 = AtomicU64::new(0);
 
         pub fn bump(c: &AtomicU64) {
             c.fetch_add(1, Ordering::Relaxed);
@@ -83,6 +86,13 @@ pub mod counters {
         imp::bump(&imp::SCAN_EVENTS_DELIVERED);
     }
 
+    /// Record a registration whose plan the cost-based planner changed.
+    #[inline]
+    pub fn planner_plan_changed() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::PLANNER_PLANS_CHANGED);
+    }
+
     /// Record a hash-map rehash if `after > before` capacity.
     #[inline]
     pub fn rehash_if_grew(before: usize, after: usize) {
@@ -104,6 +114,7 @@ pub mod counters {
                 probe_hits: imp::PROBE_HITS.load(Ordering::Relaxed),
                 rehashes: imp::REHASHES.load(Ordering::Relaxed),
                 scan_events_delivered: imp::SCAN_EVENTS_DELIVERED.load(Ordering::Relaxed),
+                planner_plans_changed: imp::PLANNER_PLANS_CHANGED.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "ivm-stats"))]
@@ -119,6 +130,7 @@ pub mod counters {
             imp::PROBE_HITS.store(0, Ordering::Relaxed);
             imp::REHASHES.store(0, Ordering::Relaxed);
             imp::SCAN_EVENTS_DELIVERED.store(0, Ordering::Relaxed);
+            imp::PLANNER_PLANS_CHANGED.store(0, Ordering::Relaxed);
         }
     }
 }

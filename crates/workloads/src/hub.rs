@@ -1,0 +1,286 @@
+//! Skewed star/hub fan-out workload for the cost-based join-order
+//! planner.
+//!
+//! The LDBC social-network analyses this reproduction follows are built
+//! around exactly this skew: a few *hub* accounts with enormous
+//! follower fan-in and activity fan-out, and queries whose syntactic
+//! join order forces the huge fan-out relation to be joined first. The
+//! generator builds
+//!
+//! * `User` vertices, a handful of which are **hubs**: almost every
+//!   `FOLLOWS` edge points at a hub, and each hub `LIKES` a large slice
+//!   of the posts;
+//! * `Post` vertices with a `cat` property (`'rare'` on a tiny subset),
+//!   each `TAGGED` with one `Topic` (the rare posts share the `Topic`
+//!   named `'rare'`);
+//! * an update stream dominated by `FOLLOWS` churn on the hubs — the
+//!   transaction shape where the syntactic plan pays the full hub
+//!   fan-out on every delta while a cost-based order touches only the
+//!   rare slice.
+//!
+//! [`queries::RARE_TOPIC_FANS`] (three relations) is the join-ordering
+//! showcase; [`queries::RARE_CAT_FANS`] (two relations + filter) is the
+//! predicate-placement showcase. Both are written in the worst
+//! syntactic order on purpose.
+
+use pgq_common::ids::VertexId;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale parameters of the hub workload.
+#[derive(Clone, Copy, Debug)]
+pub struct HubParams {
+    /// Total users (including hubs).
+    pub users: usize,
+    /// Hub users (high fan-in/fan-out).
+    pub hubs: usize,
+    /// Posts.
+    pub posts: usize,
+    /// Topics (one of which is `'rare'`).
+    pub topics: usize,
+    /// FOLLOWS edges per user (≈ 80% of them point at hubs).
+    pub follows_per_user: usize,
+    /// Posts each hub likes.
+    pub hub_likes: usize,
+    /// Posts each ordinary user likes.
+    pub user_likes: usize,
+    /// Posts carrying `cat = 'rare'` / tagged with the rare topic.
+    pub rare_posts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HubParams {
+    fn default() -> Self {
+        HubParams {
+            users: 200,
+            hubs: 4,
+            posts: 600,
+            topics: 30,
+            follows_per_user: 5,
+            hub_likes: 100,
+            user_likes: 2,
+            rare_posts: 3,
+            seed: 42,
+        }
+    }
+}
+
+impl HubParams {
+    /// A smaller instance for CI smoke runs.
+    pub fn quick() -> HubParams {
+        HubParams {
+            users: 60,
+            hubs: 3,
+            posts: 150,
+            hub_likes: 40,
+            ..HubParams::default()
+        }
+    }
+}
+
+/// The generated graph plus the handles the update stream draws from.
+pub struct HubNetwork {
+    /// The graph.
+    pub graph: PropertyGraph,
+    /// All users (hubs first).
+    pub users: Vec<VertexId>,
+    /// The hub users.
+    pub hubs: Vec<VertexId>,
+    /// All posts.
+    pub posts: Vec<VertexId>,
+    rng: SmallRng,
+}
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+/// Generate a hub-skewed network.
+pub fn generate_hub(params: HubParams) -> HubNetwork {
+    assert!(params.hubs >= 1 && params.hubs <= params.users);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut g = PropertyGraph::new();
+
+    let mut users = Vec::with_capacity(params.users);
+    for i in 0..params.users {
+        let (v, _) = g.add_vertex(
+            [s("User")],
+            Properties::from_iter([("name", Value::str(format!("user-{i}")))]),
+        );
+        users.push(v);
+    }
+    let hubs: Vec<VertexId> = users[..params.hubs].to_vec();
+
+    let mut topics = Vec::with_capacity(params.topics);
+    for i in 0..params.topics {
+        let name = if i == 0 {
+            "rare".to_string()
+        } else {
+            format!("topic-{i}")
+        };
+        let (t, _) = g.add_vertex(
+            [s("Topic")],
+            Properties::from_iter([("name", Value::str(name))]),
+        );
+        topics.push(t);
+    }
+
+    let mut posts = Vec::with_capacity(params.posts);
+    for i in 0..params.posts {
+        let rare = i < params.rare_posts;
+        let (p, _) = g.add_vertex(
+            [s("Post")],
+            Properties::from_iter([("cat", Value::str(if rare { "rare" } else { "common" }))]),
+        );
+        let topic = if rare || params.topics == 1 {
+            topics[0]
+        } else {
+            topics[1 + rng.random_range(0..params.topics - 1)]
+        };
+        g.add_edge(p, topic, s("TAGGED"), Properties::new())
+            .unwrap();
+        posts.push(p);
+    }
+
+    // FOLLOWS: heavily hub-biased.
+    for &u in &users {
+        for _ in 0..params.follows_per_user {
+            let target = if rng.random_bool(0.8) {
+                hubs[rng.random_range(0..hubs.len())]
+            } else {
+                users[rng.random_range(0..users.len())]
+            };
+            if target != u {
+                g.add_edge(u, target, s("FOLLOWS"), Properties::new())
+                    .unwrap();
+            }
+        }
+    }
+
+    // LIKES: hubs like a large slice of the posts, others a couple.
+    for (i, &u) in users.iter().enumerate() {
+        let n = if i < params.hubs {
+            params.hub_likes
+        } else {
+            params.user_likes
+        };
+        for _ in 0..n {
+            let p = posts[rng.random_range(0..posts.len())];
+            g.add_edge(u, p, s("LIKES"), Properties::new()).unwrap();
+        }
+    }
+
+    HubNetwork {
+        graph: g,
+        users,
+        hubs,
+        posts,
+        rng,
+    }
+}
+
+impl HubNetwork {
+    /// Build a seeded stream of `n` single-operation transactions:
+    /// mostly FOLLOWS churn against the hubs (the skewed delta shape),
+    /// plus some LIKES inserts. Applies cleanly in order.
+    pub fn update_stream(&mut self, n: usize) -> Vec<Transaction> {
+        let mut txs = Vec::with_capacity(n);
+        let mut shadow = self.graph.clone();
+        let mut deletable = Vec::new();
+        for _ in 0..n {
+            let mut tx = Transaction::new();
+            match self.rng.random_range(0..4u32) {
+                // Follow a hub.
+                0 | 1 => {
+                    let u = self.users[self.rng.random_range(0..self.users.len())];
+                    let h = self.hubs[self.rng.random_range(0..self.hubs.len())];
+                    if u == h {
+                        continue;
+                    }
+                    tx.create_edge(u, h, s("FOLLOWS"), Properties::new());
+                    let events = shadow.apply(&tx).expect("shadow apply");
+                    for ev in &events {
+                        if let pgq_graph::delta::ChangeEvent::EdgeAdded { id } = ev {
+                            deletable.push(*id);
+                        }
+                    }
+                }
+                // Unfollow (a stream-created edge).
+                2 => match deletable.pop() {
+                    Some(e) if shadow.has_edge(e) => {
+                        tx.delete_edge(e);
+                        shadow.apply(&tx).expect("shadow apply");
+                    }
+                    _ => {
+                        let u = self.users[self.rng.random_range(0..self.users.len())];
+                        let p = self.posts[self.rng.random_range(0..self.posts.len())];
+                        tx.create_edge(u, p, s("LIKES"), Properties::new());
+                        shadow.apply(&tx).expect("shadow apply");
+                    }
+                },
+                // Like a post.
+                _ => {
+                    let u = self.users[self.rng.random_range(0..self.users.len())];
+                    let p = self.posts[self.rng.random_range(0..self.posts.len())];
+                    tx.create_edge(u, p, s("LIKES"), Properties::new());
+                    shadow.apply(&tx).expect("shadow apply");
+                }
+            }
+            txs.push(tx);
+        }
+        txs
+    }
+}
+
+/// The standing queries, written in the worst syntactic order.
+pub mod queries {
+    /// Three relations: the huge `FOLLOWS` fan-out is written first, so
+    /// the syntactic plan materialises `FOLLOWS ⋈ LIKES` (hub followers
+    /// × hub likes) before the selective `TAGGED`/`'rare'` filter. The
+    /// cost-based planner joins `LIKES` with the rare topics first and
+    /// `FOLLOWS` last.
+    pub const RARE_TOPIC_FANS: &str = "MATCH (a:User)-[:FOLLOWS]->(b:User) \
+         MATCH (b)-[:LIKES]->(p:Post) MATCH (p)-[:TAGGED]->(t:Topic) \
+         WHERE t.name = 'rare' RETURN a, p";
+
+    /// Two relations + a selective filter written above the join: the
+    /// planner attaches `p.cat = 'rare'` to the `LIKES` side before
+    /// joining `FOLLOWS`.
+    pub const RARE_CAT_FANS: &str = "MATCH (a:User)-[:FOLLOWS]->(b:User) \
+         MATCH (b)-[:LIKES]->(p:Post) WHERE p.cat = 'rare' RETURN a, p";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_skewed() {
+        let a = generate_hub(HubParams::default());
+        let b = generate_hub(HubParams::default());
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        // Hubs dominate FOLLOWS fan-in.
+        let hub_in: usize = a.hubs.iter().map(|&h| a.graph.in_edges(h).len()).sum();
+        assert!(
+            hub_in * 2 > a.graph.edges_with_type(Symbol::intern("FOLLOWS")).len(),
+            "hubs should receive most FOLLOWS edges"
+        );
+    }
+
+    #[test]
+    fn stream_applies_cleanly() {
+        let mut net = generate_hub(HubParams::quick());
+        let stream = net.update_stream(40);
+        let mut g = net.graph.clone();
+        for tx in &stream {
+            g.apply(tx).expect("stream tx applies");
+        }
+    }
+}

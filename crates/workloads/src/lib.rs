@@ -9,16 +9,20 @@
 //! * [`railway`] — a Train-Benchmark-inspired railway model with fault
 //!   injection/repair streams (experiment E5);
 //! * [`trees`] — parameterised reply trees for the transitive-closure
-//!   microbenchmarks (experiment E7).
+//!   microbenchmarks (experiment E7);
+//! * [`hub`] — a star/hub fan-out network with hub-churn streams for
+//!   the cost-based join-order planner benchmarks.
 //!
 //! All generators are deterministic given a seed, so benchmark tables are
 //! reproducible run-to-run.
 
 pub mod example;
+pub mod hub;
 pub mod railway;
 pub mod social;
 pub mod trees;
 
 pub use example::{paper_example_graph, EXAMPLE_QUERY};
+pub use hub::{generate_hub, HubParams};
 pub use railway::{generate_railway, RailwayParams};
 pub use social::{generate_social, SocialParams};

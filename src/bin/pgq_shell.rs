@@ -13,8 +13,9 @@
 //!
 //! Commands: `:view NAME QUERY`, `:views`, `:results NAME`, `:watch
 //! NAME`, `:explain QUERY`, `:stats NAME`, `:save FILE`, `:load FILE`,
-//! `:help`, `:quit`. Anything else is executed as an openCypher
-//! statement.
+//! `:help`, `:quit`. `EXPLAIN <query>` renders the full pipeline
+//! including the cost-based plan with per-operator cardinality
+//! estimates. Anything else is executed as an openCypher statement.
 
 use std::io::{self, BufRead, Write};
 use std::sync::{Arc, Mutex};
@@ -76,6 +77,7 @@ fn help() {
          :load FILE         load a graph dump (replaces current graph)\n  \
          :help              this text\n  \
          :quit              exit\n\
+         EXPLAIN QUERY      like :explain (pipeline + cost-based plan estimates)\n\
          anything else is executed as an openCypher statement"
     );
 }
@@ -193,6 +195,20 @@ fn main() {
                     Err(e) => println!("read error: {e}"),
                 },
                 other => println!("unknown command :{other} (:help)"),
+            }
+            continue;
+        }
+        // `EXPLAIN <query>` — render the full pipeline including the
+        // cost-based plan with estimated cardinalities (same output as
+        // `:explain`).
+        if line
+            .get(..7)
+            .is_some_and(|kw| kw.eq_ignore_ascii_case("EXPLAIN"))
+            && line.as_bytes().get(7) == Some(&b' ')
+        {
+            match engine.explain(line[8..].trim()) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("error: {e}"),
             }
             continue;
         }

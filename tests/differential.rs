@@ -197,6 +197,40 @@ proptest! {
         }
     }
 
+    /// Planner twins: every oracle query registered TWICE on one engine
+    /// — once through the cost-based planner, once with the planner
+    /// disabled (the syntactic order). After every random update both
+    /// twins must equal a from-scratch evaluation: join reordering must
+    /// be observationally invisible.
+    #[test]
+    fn planned_and_unplanned_twins_agree(
+        steps in proptest::collection::vec(step_strategy(), 1..15),
+    ) {
+        let mut engine = pgq_core::GraphEngine::from_graph(seed_graph());
+        let mut compiled_plans = Vec::new();
+        for (i, query) in QUERIES.iter().enumerate() {
+            let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+            engine.register_view(&format!("pl{i}"), query).unwrap();
+            engine.register_view_unplanned(&format!("un{i}"), query).unwrap();
+            compiled_plans.push(compiled);
+        }
+        for step in &steps {
+            let tx = step_transaction(engine.graph(), step);
+            engine.apply(&tx).expect("generated step applies");
+            for (i, compiled) in compiled_plans.iter().enumerate() {
+                let want = eval_consolidated(&compiled.fra, engine.graph());
+                for prefix in ["pl", "un"] {
+                    let id = engine.view_by_name(&format!("{prefix}{i}")).unwrap();
+                    prop_assert_eq!(
+                        engine.view(id).unwrap().results(),
+                        want.clone(),
+                        "{} twin diverged after {:?} on query {}", prefix, step, QUERIES[i]
+                    );
+                }
+            }
+        }
+    }
+
     /// The multi-view variant: ALL oracle queries — plus an
     /// alpha-renamed twin of each — registered on ONE engine, served by
     /// the shared dataflow network (canonicalised hash-consed subplans,
@@ -340,6 +374,44 @@ fn deletion_heavy_script_keeps_view_and_recompute_agreeing() {
             assert_eq!(view.results(), eval_consolidated(&compiled.fra, &g));
         }
         assert!(g.edge_count() == 0, "all edges should be gone");
+    }
+}
+
+/// Skewed-workload planner oracle: on the hub fan-out graph the
+/// cost-based planner provably reorders the join tree (the bench shows
+/// a 10–100× gap), so this script drives both orders side by side
+/// through hub churn and checks each against recompute after every
+/// transaction.
+#[test]
+fn planner_reordered_views_stay_correct_under_hub_churn() {
+    use pgq_workloads::hub::{generate_hub, queries as hq, HubParams};
+
+    let mut net = generate_hub(HubParams::quick());
+    let stream = net.update_stream(40);
+    let mut engine = pgq_core::GraphEngine::from_graph(net.graph.clone());
+    let queries = [hq::RARE_TOPIC_FANS, hq::RARE_CAT_FANS];
+    let mut compiled = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        engine.register_view(&format!("pl{i}"), q).unwrap();
+        engine
+            .register_view_unplanned(&format!("un{i}"), q)
+            .unwrap();
+        compiled.push(compile_query(&parse_query(q).unwrap()).unwrap());
+    }
+    for (t, tx) in stream.iter().enumerate() {
+        engine.apply(tx).expect("stream tx applies");
+        for (i, c) in compiled.iter().enumerate() {
+            let want = eval_consolidated(&c.fra, engine.graph());
+            for prefix in ["pl", "un"] {
+                let id = engine.view_by_name(&format!("{prefix}{i}")).unwrap();
+                assert_eq!(
+                    engine.view(id).unwrap().results(),
+                    want,
+                    "{prefix} twin diverged at tx {t} on {}",
+                    queries[i]
+                );
+            }
+        }
     }
 }
 
