@@ -1,0 +1,50 @@
+//! Parallel delta propagation (Criterion): language churn across many
+//! independent reply-tree branches — one var-length view per branch —
+//! maintained at propagation widths 1, 2, 4 and 8. One transaction
+//! flips every branch root's `lang`, dirtying every branch's dataflow
+//! region at once (the widest frontier), so the thread scaling of the
+//! worker pool is directly visible. See `report.rs` for the certified
+//! tx/s numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::GraphEngine;
+use pgq_workloads::branches::{branch_forest, branch_query, churn_all};
+
+fn bench_concurrent_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_views");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    let forest = branch_forest(8, 6, 2);
+    let mut template = GraphEngine::from_graph(forest.graph.clone());
+    for i in 0..forest.branches.len() {
+        template
+            .register_view(&format!("b{i}"), &branch_query(i))
+            .unwrap();
+    }
+    let retract = churn_all(&forest, "de");
+    let assert = churn_all(&forest, "en");
+    for threads in [1usize, 2, 4, 8] {
+        let mut engine = template.clone();
+        engine.set_threads(threads);
+        // Build the worker pool now so the per-iteration clones share
+        // it (via `Arc`) instead of spawning threads inside the timing.
+        engine.apply(&retract).unwrap();
+        engine.apply(&assert).unwrap();
+        group.bench_function(BenchmarkId::new("ivm_churn_all", threads), |b| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| {
+                    e.apply(&retract).unwrap();
+                    e.apply(&assert).unwrap();
+                    e
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_views);
+criterion_main!(benches);

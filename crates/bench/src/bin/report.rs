@@ -6,7 +6,8 @@
 //! smaller sizes. Pass `--bench-json <path>` to skip the tables and
 //! instead write the machine-readable `BENCH.json` perf-trajectory
 //! document (suite → median, MAD, op/s over repeated rounds) for the
-//! `social_ivm` and `transitive` suites.
+//! certified suites (`social_ivm`, `transitive`, `many_views`,
+//! `concurrent_views`, `batch_churn`, `planner`).
 
 use pgq_algebra::pipeline::CompileOptions;
 use pgq_algebra::SchemaMode;
@@ -57,10 +58,10 @@ fn main() {
     e12_planner(quick);
 }
 
-/// Measure the two certified perf suites over repeated rounds and write
-/// `BENCH.json`. Mirrors the criterion benches `social_ivm` and
-/// `transitive` so shim output and this document agree on what is being
-/// measured.
+/// Measure the certified perf suites over repeated rounds and write
+/// `BENCH.json`. Mirrors the criterion benches (`social_ivm`,
+/// `transitive`, `many_views`, `concurrent_views`, `planner`) so shim
+/// output and this document agree on what is being measured.
 fn emit_bench_json(quick: bool, path: &str) {
     let rounds = if quick { 5 } else { 21 };
     let mut doc = BenchJson::new(if quick { "quick" } else { "full" });
@@ -271,6 +272,164 @@ fn emit_bench_json(quick: bool, path: &str) {
             let stats = round_stats(&private_us[ix]);
             doc.suite(
                 &format!("many_views_{name}_private_{n}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
+    // concurrent_views_t{w}: language churn across independent branch
+    // views at propagation widths 1/2/4/8 (PGQ_THREADS equivalent).
+    // Every transaction flips every branch root's `lang`, so each pass
+    // dirties all branch regions at once — the widest frontier the
+    // worker pool can exploit. Widths alternate inside each round so
+    // machine-speed drift hits them equally. NOTE: speedup over t1 is
+    // only possible when the host grants >1 core; on a single-core host
+    // the t>1 suites measure pure scheduling overhead (the honest
+    // number). `host_cores` below records what this run actually had.
+    {
+        let widths: &[usize] = &[1, 2, 4, 8];
+        let (depth, pairs) = if quick { (4, 20) } else { (6, 40) };
+        let forest = pgq_workloads::branch_forest(8, depth, 2);
+        let mut template = GraphEngine::from_graph(forest.graph.clone());
+        for i in 0..forest.branches.len() {
+            template
+                .register_view(&format!("b{i}"), &pgq_workloads::branch_query(i))
+                .unwrap();
+        }
+        let retract = pgq_workloads::churn_all(&forest, "de");
+        let assert_tx = pgq_workloads::churn_all(&forest, "en");
+        let engines: Vec<_> = widths
+            .iter()
+            .map(|&w| {
+                let mut e = template.clone();
+                e.set_threads(w);
+                // Build the worker pool now so the per-round clones
+                // share it (via `Arc`) instead of spawning threads
+                // inside the timing.
+                e.apply(&retract).unwrap();
+                e.apply(&assert_tx).unwrap();
+                e
+            })
+            .collect();
+        // Width-1 is the oracle: every width must produce identical
+        // consolidated view contents (cheap gate outside the timing).
+        {
+            let rows = |e: &GraphEngine| -> Vec<_> {
+                (0..forest.branches.len())
+                    .map(|i| {
+                        let id = e.view_by_name(&format!("b{i}")).unwrap();
+                        e.view(id).unwrap().results()
+                    })
+                    .collect()
+            };
+            let mut oracle = engines[0].clone();
+            oracle.apply(&retract).unwrap();
+            oracle.apply(&assert_tx).unwrap();
+            let want = rows(&oracle);
+            for (&w, engine) in widths.iter().zip(&engines).skip(1) {
+                let mut e = engine.clone();
+                e.apply(&retract).unwrap();
+                e.apply(&assert_tx).unwrap();
+                assert_eq!(rows(&e), want, "width {w} diverged from serial");
+            }
+        }
+        let mut us: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); widths.len()];
+        for _ in 0..rounds {
+            for (ix, engine) in engines.iter().enumerate() {
+                let mut e = engine.clone();
+                let t0 = std::time::Instant::now();
+                for _ in 0..pairs {
+                    e.apply(&retract).unwrap();
+                    e.apply(&assert_tx).unwrap();
+                }
+                us[ix].push(t0.elapsed().as_nanos() as f64 / (pairs * 2) as f64 / 1000.0);
+            }
+        }
+        for (ix, &w) in widths.iter().enumerate() {
+            let stats = round_stats(&us[ix]);
+            doc.suite(
+                &format!("concurrent_views_t{w}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+        // Record the host's usable parallelism alongside the width
+        // suites — without it the t>1 numbers cannot be interpreted.
+        let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+        doc.suite(
+            "host_cores",
+            "cores",
+            round_stats(&[cores as f64]),
+            cores as f64,
+        );
+
+        // batch_churn_*: the same forest driven by single-branch
+        // transactions round-robin (sweep 0 flips every branch to "de"
+        // one tx at a time, sweep 1 back to "en", …). Within a sweep
+        // every footprint is disjoint, so `apply_batch` coalesces each
+        // sweep into one propagation pass; the sequential baseline pays
+        // one pass per transaction. Batched/sequential alternate inside
+        // each round.
+        {
+            let sweeps = 6;
+            let nb = forest.branches.len();
+            let stream: Vec<Transaction> = (0..sweeps)
+                .flat_map(|k| {
+                    let lang = if k % 2 == 0 { "de" } else { "en" };
+                    let forest = &forest;
+                    (0..nb).map(move |b| pgq_workloads::churn_one(forest, b, lang))
+                })
+                .collect();
+            // Agreement gate: batched and sequential end in the same
+            // view state, and batching really does fold each sweep
+            // into one pass.
+            {
+                let mut batched = engines[0].clone();
+                let summary = batched.apply_batch(&stream).unwrap();
+                assert_eq!(summary.transactions, stream.len());
+                assert_eq!(summary.passes, sweeps, "one pass per sweep");
+                let mut seq = engines[0].clone();
+                for tx in &stream {
+                    seq.apply(tx).unwrap();
+                }
+                let rows = |e: &GraphEngine| -> Vec<_> {
+                    (0..nb)
+                        .map(|i| {
+                            let id = e.view_by_name(&format!("b{i}")).unwrap();
+                            e.view(id).unwrap().results()
+                        })
+                        .collect()
+                };
+                assert_eq!(rows(&batched), rows(&seq), "batched diverged");
+            }
+            let mut batched_us = Vec::with_capacity(rounds);
+            let mut seq_us = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                let mut e = engines[0].clone();
+                let t0 = std::time::Instant::now();
+                e.apply_batch(&stream).unwrap();
+                batched_us.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+
+                let mut e = engines[0].clone();
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    e.apply(tx).unwrap();
+                }
+                seq_us.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+            }
+            let stats = round_stats(&batched_us);
+            doc.suite(
+                "batch_churn_batched",
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+            let stats = round_stats(&seq_us);
+            doc.suite(
+                "batch_churn_sequential",
                 "us_per_tx",
                 stats,
                 1e6 / stats.median,

@@ -13,7 +13,9 @@
 //! * [`intern`] — a global symbol interner for labels, edge types and
 //!   property keys;
 //! * [`path`] — the alternating vertex/edge path value, stored as an
-//!   atomic unit exactly as Section 4 of the paper prescribes.
+//!   atomic unit exactly as Section 4 of the paper prescribes;
+//! * [`pool`] — a persistent broadcast worker pool for the IVM
+//!   scheduler's intra-transaction parallelism (`PGQ_THREADS`).
 
 pub mod dir;
 pub mod error;
@@ -22,6 +24,7 @@ pub mod ids;
 pub mod intern;
 pub mod ordf;
 pub mod path;
+pub mod pool;
 pub mod tuple;
 pub mod value;
 

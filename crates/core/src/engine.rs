@@ -3,15 +3,17 @@
 use pgq_algebra::pipeline::{compile_bindings, compile_query_with, CompileOptions, CompiledQuery};
 use pgq_algebra::AlgebraError;
 use pgq_common::intern::Symbol;
+use pgq_common::pool::WorkerPool;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
 use pgq_graph::delta::ChangeEvent;
 use pgq_graph::props::Properties;
 use pgq_graph::store::PropertyGraph;
 use pgq_graph::tx::{NodeRef, Transaction};
-use pgq_ivm::{DataflowNetwork, Delta, RegisterOptions, SinkId, ViewRef};
+use pgq_ivm::{DataflowNetwork, Delta, RegisterOptions, SinkId, TxFootprint, ViewRef};
 use pgq_parser::ast::{Clause, Expr, Pattern, Query, RemoveItem, SetItem};
 use pgq_parser::parse_query;
+use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::subscribe::{Subscriber, ViewDelta};
@@ -46,6 +48,16 @@ pub struct UpdateStats {
     pub labels_removed: usize,
 }
 
+/// Outcome of [`GraphEngine::apply_batch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Transactions applied.
+    pub transactions: usize,
+    /// Propagation passes run. At most `transactions`; smaller means
+    /// footprint-disjoint neighbours were coalesced.
+    pub passes: usize,
+}
+
 /// Result of [`GraphEngine::execute`].
 #[derive(Clone, Debug, Default)]
 pub struct ExecutionResult {
@@ -72,17 +84,26 @@ pub struct GraphEngine {
     network: DataflowNetwork,
     views: Vec<Option<ViewEntry>>,
     subscribers: Vec<(ViewId, Subscriber)>,
+    /// Requested propagation width; `0` means the `PGQ_THREADS` process
+    /// default (see [`GraphEngine::set_threads`]).
+    threads: usize,
+    /// Lazily-built worker pool, shared (via `Arc`) with clones so a
+    /// fleet of engines does not multiply OS threads.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Clone for GraphEngine {
     /// Clones the graph and all view state. Subscribers are **not**
-    /// cloned (callbacks are tied to the original engine's consumers).
+    /// cloned (callbacks are tied to the original engine's consumers);
+    /// the worker pool, if any, is shared.
     fn clone(&self) -> GraphEngine {
         GraphEngine {
             graph: self.graph.clone(),
             network: self.network.clone(),
             views: self.views.clone(),
             subscribers: Vec::new(),
+            threads: self.threads,
+            pool: self.pool.clone(),
         }
     }
 }
@@ -109,6 +130,46 @@ impl GraphEngine {
 
     // ---- transactions ------------------------------------------------------
 
+    /// Set the delta-propagation width: `1` is the strictly serial
+    /// engine (byte-identical to a build without the worker pool), `n >
+    /// 1` maintains views with an `n`-thread worker pool, and `0`
+    /// resets to the `PGQ_THREADS` process default. For any width,
+    /// every view's consolidated results are identical (see
+    /// [`DataflowNetwork::on_transaction_with`]).
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads;
+        self.pool = None; // rebuilt lazily at the next transaction
+        self
+    }
+
+    /// Effective delta-propagation width.
+    pub fn threads(&self) -> usize {
+        match self.threads {
+            0 => pgq_common::pool::threads_from_env(),
+            n => n,
+        }
+    }
+
+    /// Run one maintenance pass, through the worker pool when the
+    /// configured width asks for one.
+    fn propagate(&mut self, events: &[ChangeEvent]) {
+        let threads = self.threads();
+        let workers = if threads > 1 {
+            let rebuild = match self.pool.as_deref() {
+                Some(p) => p.threads() != threads,
+                None => true,
+            };
+            if rebuild {
+                self.pool = Some(Arc::new(WorkerPool::new(threads)));
+            }
+            self.pool.as_deref()
+        } else {
+            None
+        };
+        self.network
+            .on_transaction_with(&self.graph, events, workers);
+    }
+
     /// Apply a transaction and maintain every registered view.
     pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, EngineError> {
         let events = self.graph.apply(tx)?;
@@ -116,11 +177,57 @@ impl GraphEngine {
         Ok(events)
     }
 
+    /// Apply a sequence of transactions, coalescing runs of
+    /// **consecutive non-conflicting** transactions — disjoint scan
+    /// footprints per [`DataflowNetwork::tx_footprint`] — into one
+    /// propagation pass over their concatenated events. The store emits
+    /// events per operation, so a coalesced pass sees exactly the event
+    /// stream of the equivalent merged transaction; disjointness keeps
+    /// per-view change notifications at single-transaction granularity.
+    ///
+    /// Every transaction is applied atomically as usual; if one fails,
+    /// the transactions before it are flushed into the views and the
+    /// error is returned (the failed transaction itself rolls back).
+    pub fn apply_batch(&mut self, txs: &[Transaction]) -> Result<BatchSummary, EngineError> {
+        let mut summary = BatchSummary::default();
+        let mut group_events: Vec<ChangeEvent> = Vec::new();
+        let mut group_fp = TxFootprint::default();
+        for tx in txs {
+            let fp = self.network.tx_footprint(&self.graph, tx);
+            if !group_events.is_empty() && !fp.disjoint(&group_fp) {
+                let events = std::mem::take(&mut group_events);
+                self.maintain(&events);
+                summary.passes += 1;
+                group_fp = TxFootprint::default();
+            }
+            match self.graph.apply(tx) {
+                Ok(events) => {
+                    group_events.extend(events);
+                    group_fp.merge(&fp);
+                    summary.transactions += 1;
+                }
+                Err(e) => {
+                    // Views must reflect the transactions that did land
+                    // (the summary itself is lost to the error).
+                    if !group_events.is_empty() {
+                        self.maintain(&group_events);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        if !group_events.is_empty() {
+            self.maintain(&group_events);
+            summary.passes += 1;
+        }
+        Ok(summary)
+    }
+
     fn maintain(&mut self, events: &[ChangeEvent]) {
         if events.is_empty() {
             return;
         }
-        self.network.on_transaction(&self.graph, events);
+        self.propagate(events);
         for (i, entry) in self.views.iter().enumerate() {
             let Some(entry) = entry else { continue };
             if !self.network.sink_changed(entry.sink) {
@@ -149,7 +256,7 @@ impl GraphEngine {
         tx: &Transaction,
     ) -> Result<Vec<(ViewId, Delta)>, EngineError> {
         let events = self.graph.apply(tx)?;
-        self.network.on_transaction(&self.graph, &events);
+        self.propagate(&events);
         let mut out = Vec::new();
         for (i, entry) in self.views.iter().enumerate() {
             if let Some(e) = entry {

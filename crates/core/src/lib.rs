@@ -49,6 +49,6 @@ pub mod engine;
 pub mod error;
 pub mod subscribe;
 
-pub use engine::{ExecutionResult, GraphEngine, UpdateStats, ViewId};
+pub use engine::{BatchSummary, ExecutionResult, GraphEngine, UpdateStats, ViewId};
 pub use error::EngineError;
 pub use subscribe::ViewDelta;

@@ -51,6 +51,6 @@ pub mod view;
 pub use delta::Delta;
 pub use network::{
     plan_stats, planner_enabled, DataflowNetwork, NodeId, NodeSummary, RegisterOptions, SinkId,
-    ViewRef,
+    TxFootprint, ViewRef,
 };
 pub use view::MaterializedView;

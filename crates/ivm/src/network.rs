@@ -46,6 +46,18 @@
 //! strictly shallower node to a deeper one), each node reading its
 //! children's pooled output deltas by reference and appending its own.
 //!
+//! With a [`WorkerPool`]
+//! ([`on_transaction_with`](DataflowNetwork::on_transaction_with)), the
+//! same pass runs *in parallel*: the arena's explicit child→parent
+//! edges are the task graph, per-node atomic pending counters track how
+//! many dirty children a node still waits on, and a node is handed to a
+//! worker the moment its counter drains to zero. Every node still runs
+//! exactly once per transaction with inputs that are a pure function of
+//! the transaction — never of the schedule — which is the determinism
+//! contract: for any thread count the per-view consolidated results are
+//! identical to the serial pass (see ARCHITECTURE.md, "Parallel delta
+//! propagation").
+//!
 //! # Invariants
 //!
 //! * **Consing is sound** because equality is checked on the full
@@ -65,15 +77,20 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
+use parking_lot::{Condvar, Mutex};
 use pgq_algebra::expr::{AggCall, ScalarExpr};
 use pgq_algebra::fra::Fra;
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::intern::Symbol;
+use pgq_common::pool::WorkerPool;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
 use pgq_graph::delta::ChangeEvent;
 use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::{NodeRef, Transaction, TxOp};
 
 use crate::aggregate::AggregateOp;
 use crate::basic::{filter_into, project_into, unwind_into};
@@ -312,6 +329,201 @@ impl Scheduler {
     }
 }
 
+/// Reusable buffers of the parallel pass (transient per-transaction
+/// state; cloning a network starts with fresh empty buffers).
+#[derive(Debug, Default)]
+struct ParState {
+    /// Dirty-closure slots in discovery order (the task list).
+    slots: Vec<u32>,
+    /// slot → task index (valid only for slots queued this generation).
+    task_of: Vec<u32>,
+    /// Flattened per-task lists of parent *task* indices, with
+    /// `parents_ix` holding the prefix offsets (`len = tasks + 1`).
+    parents_flat: Vec<u32>,
+    parents_ix: Vec<u32>,
+    /// Dirty children a task still waits on (readiness counters).
+    pending: Vec<AtomicU32>,
+    /// Consolidate the task's own output (sink-facing or feeding δ/γ)?
+    consolidate: Vec<bool>,
+    /// Reusable ready-queue storage.
+    ready: Vec<u32>,
+}
+
+impl Clone for ParState {
+    fn clone(&self) -> ParState {
+        ParState::default()
+    }
+}
+
+/// Shared context of one parallel pass. Workers get disjoint `&mut`
+/// access to arena slots and output buffers through the raw pointers;
+/// see the safety argument on [`DataflowNetwork::on_transaction_par`].
+struct ParShared<'a> {
+    nodes: *mut Option<Node>,
+    outputs: *mut Delta,
+    queued: &'a [u64],
+    event_gen: &'a [u64],
+    slots: &'a [u32],
+    parents_flat: &'a [u32],
+    parents_ix: &'a [u32],
+    pending: &'a [AtomicU32],
+    consolidate: &'a [bool],
+    generation: u64,
+    g: &'a PropertyGraph,
+    events: &'a [ChangeEvent],
+    /// Tasks whose pending count reached zero, awaiting a worker.
+    queue: Mutex<Vec<u32>>,
+    work_cv: Condvar,
+    /// Tasks not yet completed (pass-termination condition).
+    remaining: AtomicUsize,
+    /// First panic payload raised by any worker's task.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// Safety: the raw pointers are only ever dereferenced at indices a
+// worker owns (its current task's slot) or at indices whose owning task
+// has completed (ordered by the AcqRel pending counters and the queue
+// mutex); everything else is shared immutable borrows of `Sync` data.
+unsafe impl Sync for ParShared<'_> {}
+
+/// Everything a worker touches through `ParShared` must itself be safe
+/// to share across threads (compile-time check).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<PropertyGraph>();
+    assert_sync::<ChangeEvent>();
+    assert_sync::<Delta>();
+};
+
+impl ParShared<'_> {
+    /// One worker's slice of the pass: pop ready tasks until none
+    /// remain, running each exactly once.
+    fn work_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock();
+                loop {
+                    if let Some(t) = q.pop() {
+                        break Some(t);
+                    }
+                    if self.remaining.load(Ordering::Acquire) == 0 {
+                        break None;
+                    }
+                    self.work_cv.wait(&mut q);
+                }
+            };
+            let Some(t) = task else { return };
+            // Safety: `t` was popped from the ready queue, so this
+            // worker owns it exclusively and all of its inputs flushed.
+            match catch_unwind(AssertUnwindSafe(|| unsafe { self.run_task(t) })) {
+                Ok(()) => self.complete(t),
+                Err(payload) => {
+                    {
+                        let mut first = self.panic.lock();
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                    }
+                    // Abort the pass: declare everything complete so
+                    // every parked worker drains out.
+                    {
+                        let _q = self.queue.lock();
+                        self.remaining.store(0, Ordering::Release);
+                    }
+                    self.work_cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Mark `t` complete: decrement each parent's readiness counter,
+    /// queue parents that reach zero, and wake parked workers. Every
+    /// wake-relevant state change happens while (or after) holding the
+    /// queue mutex, so a worker between its empty-queue check and
+    /// parking cannot miss its notification.
+    fn complete(&self, t: u32) {
+        let lo = self.parents_ix[t as usize] as usize;
+        let hi = self.parents_ix[t as usize + 1] as usize;
+        if lo != hi {
+            let mut woke = 0usize;
+            {
+                let mut q = self.queue.lock();
+                for &p in &self.parents_flat[lo..hi] {
+                    // AcqRel: each child's releasing decrement
+                    // happens-before the final acquiring one, so the
+                    // parent's worker observes every child's output.
+                    if self.pending[p as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        q.push(p);
+                        woke += 1;
+                    }
+                }
+            }
+            if woke == 1 {
+                self.work_cv.notify_one();
+            } else if woke > 1 {
+                self.work_cv.notify_all();
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            drop(self.queue.lock());
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Run one node. Mirrors the borrow-by-reference branch of
+    /// [`DataflowNetwork::run_node`]; the parallel pass never steals
+    /// buffers or consolidates a child in place — a child feeding
+    /// Distinct/γ consolidates its *own* output at production (the
+    /// `consolidate` flag), which yields the same delta contents.
+    ///
+    /// # Safety
+    ///
+    /// `t` must be a ready task owned exclusively by the caller; see the
+    /// safety argument on [`DataflowNetwork::run_parallel_pass`].
+    unsafe fn run_task(&self, t: u32) {
+        let slot = self.slots[t as usize] as usize;
+        // Safety: exclusive access to this task's slot and buffer.
+        let node = unsafe { (*self.nodes.add(slot)).as_mut().expect("live node") };
+        let out = unsafe { &mut *self.outputs.add(slot) };
+        let empty = Delta::new();
+        let child = |id: NodeId| -> &Delta {
+            if self.queued[id.ix()] == self.generation {
+                // Safety: `id` is a task of this pass and an input of
+                // `t`, so its owning worker has flushed and released it.
+                unsafe { &*self.outputs.add(id.ix()) }
+            } else {
+                &empty
+            }
+        };
+        let ev: &[ChangeEvent] = if self.event_gen[slot] == self.generation {
+            self.events
+        } else {
+            &[]
+        };
+        match &mut node.kind {
+            NodeKind::Unit { .. } => {}
+            NodeKind::Vertices(scan) => scan.on_events_into(self.g, ev, out),
+            NodeKind::Edges(scan) => scan.on_events_into(self.g, ev, out),
+            NodeKind::Join { left, right, op } => op.apply(child(*left), child(*right), out),
+            NodeKind::SemiJoin { left, right, op } => op.apply(child(*left), child(*right), out),
+            NodeKind::VarLength { left, op } => op.on_events_into(self.g, ev, child(*left), out),
+            NodeKind::Filter { input, predicate } => filter_into(predicate, child(*input), out),
+            NodeKind::Project {
+                input,
+                items,
+                scratch,
+            } => project_into(items, child(*input), scratch, out),
+            NodeKind::Distinct { input, op } => op.apply(child(*input), out),
+            NodeKind::Aggregate { input, op } => op.apply(child(*input), out),
+            NodeKind::Unwind { input, expr } => unwind_into(expr, child(*input), out),
+        }
+        if self.consolidate[t as usize] {
+            out.consolidate_in_place();
+        }
+    }
+}
+
 /// One vertex-indexed routing target.
 #[derive(Clone, Debug)]
 struct VertexRoute {
@@ -533,6 +745,83 @@ pub fn plan_stats(g: &PropertyGraph) -> pgq_algebra::plan::PlanStats {
     stats
 }
 
+/// Conservative scan-node footprint of a not-yet-applied
+/// [`Transaction`], computed by [`DataflowNetwork::tx_footprint`].
+///
+/// Two transactions whose footprints are [`disjoint`](Self::disjoint)
+/// dirty non-overlapping scan frontiers, so the engine may coalesce
+/// them into one propagation pass (apply both to the graph, then
+/// maintain once over the concatenated events). Soundness rests on the
+/// store emitting events per operation: the concatenation of two
+/// transactions' event streams equals the event stream of the single
+/// merged transaction, which every scan already handles (scans read the
+/// post-state graph). Disjointness is what keeps per-view *change
+/// notifications* at transaction granularity — a view can only be
+/// touched by one member of the batch.
+#[derive(Clone, Debug, Default)]
+pub struct TxFootprint {
+    /// Sorted, deduplicated scan nodes the transaction may dirty.
+    scans: Vec<NodeId>,
+    /// The transaction references ids the current graph cannot resolve
+    /// (e.g. deleting an edge created earlier in the same batch), so
+    /// its reach cannot be bounded: conflicts with everything.
+    unbounded: bool,
+}
+
+impl TxFootprint {
+    /// The footprint that conflicts with every footprint.
+    pub fn unbounded() -> TxFootprint {
+        TxFootprint {
+            scans: Vec::new(),
+            unbounded: true,
+        }
+    }
+
+    /// True when the transaction's reach could not be bounded.
+    pub fn is_unbounded(&self) -> bool {
+        self.unbounded
+    }
+
+    /// Scan nodes the transaction may dirty (meaningless when
+    /// [unbounded](Self::is_unbounded)).
+    pub fn scans(&self) -> &[NodeId] {
+        &self.scans
+    }
+
+    /// True when the two footprints share no scan node (and both are
+    /// bounded) — the coalescing rule.
+    pub fn disjoint(&self, other: &TxFootprint) -> bool {
+        if self.unbounded || other.unbounded {
+            return false;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.scans.len() && j < other.scans.len() {
+            match self.scans[i].cmp(&other.scans[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Absorb `other` (accumulating a batch's combined footprint).
+    pub fn merge(&mut self, other: &TxFootprint) {
+        if other.unbounded {
+            self.unbounded = true;
+            self.scans.clear();
+        } else if !self.unbounded {
+            self.scans.extend_from_slice(&other.scans);
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        self.scans.sort_unstable();
+        self.scans.dedup();
+    }
+}
+
 /// The engine-owned shared dataflow network. See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct DataflowNetwork {
@@ -545,6 +834,8 @@ pub struct DataflowNetwork {
     generation: u64,
     sched: Scheduler,
     pool: DeltaPool,
+    /// Reusable buffers of the parallel pass.
+    par: ParState,
     changed: Vec<SinkId>,
     /// Monotone per-event stamp backing `deliver_stamp`.
     event_serial: u64,
@@ -937,6 +1228,29 @@ impl DataflowNetwork {
     /// events to the scans that can match them, process dirty nodes in
     /// one topological pass, and fold root deltas into sink result bags.
     pub fn on_transaction(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) {
+        self.on_transaction_with(g, events, None);
+    }
+
+    /// [`DataflowNetwork::on_transaction`], optionally fanning the pass
+    /// across a [`WorkerPool`].
+    ///
+    /// With `None` (or a one-thread pool) this is exactly the serial
+    /// pass. Otherwise the dirty subgraph becomes a task graph — one
+    /// task per node, readiness counted per dependency edge — and
+    /// workers run every task exactly once as soon as all of its inputs
+    /// have flushed. **Determinism contract:** for any thread count,
+    /// every sink's consolidated results are identical to the serial
+    /// pass (each node still runs once per transaction, on inputs that
+    /// do not depend on the schedule); only the order of tuples inside
+    /// intermediate deltas may differ. Narrow frontiers (fewer than two
+    /// seeded scans) always take the serial path — the threshold depends
+    /// only on event routing, never on the thread count.
+    pub fn on_transaction_with(
+        &mut self,
+        g: &PropertyGraph,
+        events: &[ChangeEvent],
+        workers: Option<&WorkerPool>,
+    ) {
         self.generation += 1;
         self.changed.clear();
         for s in self.sinks.iter_mut().flatten() {
@@ -951,10 +1265,26 @@ impl DataflowNetwork {
             self.pool.put(d);
         }
         self.route_events(g, events);
+        match workers {
+            Some(w) if w.threads() > 1 && self.sched.heap.len() >= 2 => {
+                self.run_parallel_pass(g, events, w);
+            }
+            _ => self.run_serial_pass(g, events),
+        }
+        self.fold_sinks();
+    }
+
+    /// The classic single-threaded pass: dirty nodes in ascending depth
+    /// order, with the buffer-stealing and lazy-consolidation tricks of
+    /// [`DataflowNetwork::run_node`].
+    fn run_serial_pass(&mut self, g: &PropertyGraph, events: &[ChangeEvent]) {
         while let Some(Reverse((_, slot))) = self.sched.heap.pop() {
             self.run_node(slot, g, events);
         }
-        // Fold changed roots into sink result bags.
+    }
+
+    /// Fold changed roots into sink result bags.
+    fn fold_sinks(&mut self) {
         let generation = self.generation;
         for (ix, sink) in self.sinks.iter_mut().enumerate() {
             let Some(sink) = sink else { continue };
@@ -981,6 +1311,145 @@ impl DataflowNetwork {
             }
             sink.changed_gen = generation;
             self.changed.push(SinkId(ix as u32));
+        }
+    }
+
+    /// The parallel topological pass behind
+    /// [`DataflowNetwork::on_transaction_with`].
+    ///
+    /// Four serial phases bracket the concurrent one:
+    ///
+    /// 1. **Dirty closure.** The routed seeds plus every transitive
+    ///    consumer become the task list (`sched.queued` doubles as the
+    ///    membership mark). Nodes pulled in beyond what the serial pass
+    ///    would run see empty inputs and are no-ops, so the closure is
+    ///    semantically free — it is what lets readiness be counted up
+    ///    front instead of discovered per produced delta.
+    /// 2. **Task metadata.** Per task: the parent tasks (one entry per
+    ///    dependency edge, so a self-join counts twice), an atomic
+    ///    pending counter seeded with the task's dirty in-degree, and a
+    ///    consolidation flag (sink-facing, or feeding Distinct/γ — the
+    ///    parallel analogue of the serial pass's in-place child
+    ///    consolidation).
+    /// 3. **Buffer pre-assignment.** Every task's pooled output buffer,
+    ///    `out_gen` stamp and `produced` entry are written here, because
+    ///    workers cannot touch the pool or the scheduler.
+    /// 4. After the broadcast: consolidation stamps, and panic
+    ///    propagation (a poisoned pass leaves stamps that the next
+    ///    generation ignores wholesale).
+    ///
+    /// # Safety argument
+    ///
+    /// Workers dereference two raw pointers ([`ParShared::nodes`] and
+    /// [`ParShared::outputs`]) — exclusively at their own task's slot,
+    /// and shared at child slots whose owning tasks have completed. The
+    /// readiness counters (`AcqRel`) plus the ready-queue mutex order
+    /// every child's writes before its parent's reads, and a DAG node is
+    /// never its own child, so no `&mut` coexists with an aliasing `&`.
+    fn run_parallel_pass(
+        &mut self,
+        g: &PropertyGraph,
+        events: &[ChangeEvent],
+        workers: &WorkerPool,
+    ) {
+        let generation = self.generation;
+        let mut par = std::mem::take(&mut self.par);
+        par.slots.clear();
+        while let Some(Reverse((_, slot))) = self.sched.heap.pop() {
+            par.slots.push(slot);
+        }
+        let mut i = 0;
+        while i < par.slots.len() {
+            let slot = par.slots[i] as usize;
+            i += 1;
+            let node = self.nodes[slot].as_ref().expect("live node");
+            for &p in &node.parents {
+                if self.sched.queued[p.ix()] != generation {
+                    self.sched.queued[p.ix()] = generation;
+                    par.slots.push(p.0);
+                }
+            }
+        }
+        let tasks = par.slots.len();
+        if par.task_of.len() < self.nodes.len() {
+            par.task_of.resize(self.nodes.len(), 0);
+        }
+        for (t, &slot) in par.slots.iter().enumerate() {
+            par.task_of[slot as usize] = t as u32;
+        }
+        par.parents_flat.clear();
+        par.parents_ix.clear();
+        par.pending.clear();
+        par.pending.resize_with(tasks, || AtomicU32::new(0));
+        par.consolidate.clear();
+        for t in 0..tasks {
+            let slot = par.slots[t] as usize;
+            par.parents_ix.push(par.parents_flat.len() as u32);
+            let node = self.nodes[slot].as_ref().expect("live node");
+            let mut consolidate = !node.sinks.is_empty();
+            for &p in &node.parents {
+                debug_assert_eq!(
+                    self.sched.queued[p.ix()],
+                    generation,
+                    "closure covers parents"
+                );
+                let pt = par.task_of[p.ix()];
+                par.parents_flat.push(pt);
+                *par.pending[pt as usize].get_mut() += 1;
+                if !consolidate {
+                    consolidate = matches!(
+                        self.nodes[p.ix()].as_ref().expect("live node").kind,
+                        NodeKind::Distinct { .. } | NodeKind::Aggregate { .. }
+                    );
+                }
+            }
+            par.consolidate.push(consolidate);
+        }
+        par.parents_ix.push(par.parents_flat.len() as u32);
+        for t in 0..tasks {
+            let slot = par.slots[t] as usize;
+            self.sched.outputs[slot] = self.pool.get();
+            self.sched.out_gen[slot] = generation;
+            self.sched.produced.push(slot as u32);
+        }
+        let mut ready = std::mem::take(&mut par.ready);
+        ready.clear();
+        for (t, pending) in par.pending.iter_mut().enumerate() {
+            if *pending.get_mut() == 0 {
+                ready.push(t as u32);
+            }
+        }
+        let (reclaimed, panic) = {
+            let shared = ParShared {
+                nodes: self.nodes.as_mut_ptr(),
+                outputs: self.sched.outputs.as_mut_ptr(),
+                queued: &self.sched.queued,
+                event_gen: &self.sched.event_gen,
+                slots: &par.slots,
+                parents_flat: &par.parents_flat,
+                parents_ix: &par.parents_ix,
+                pending: &par.pending,
+                consolidate: &par.consolidate,
+                generation,
+                g,
+                events,
+                queue: Mutex::new(ready),
+                work_cv: Condvar::new(),
+                remaining: AtomicUsize::new(tasks),
+                panic: Mutex::new(None),
+            };
+            workers.broadcast(|_| shared.work_loop());
+            (shared.queue.into_inner(), shared.panic.into_inner())
+        };
+        par.ready = reclaimed;
+        for t in 0..tasks {
+            if par.consolidate[t] {
+                self.sched.consolidated_gen[par.slots[t] as usize] = generation;
+            }
+        }
+        self.par = par;
+        if let Some(payload) = panic {
+            resume_unwind(payload);
         }
     }
 
@@ -1266,6 +1735,127 @@ impl DataflowNetwork {
                 deliver(r.node, self);
             }
         }
+    }
+
+    /// Conservative footprint of `tx` over the current routing index,
+    /// computed **before** the transaction is applied (`g` is the
+    /// pre-state). Over-approximates on purpose:
+    ///
+    /// * vertex-touching operations take every route of every label the
+    ///   vertex can carry after the transaction (its current labels,
+    ///   the transaction's creation labels, plus any label the
+    ///   transaction attaches anywhere — post-state routing in the
+    ///   private `route_events` makes label additions visible to
+    ///   earlier events of the same batch), and all of
+    ///   `vertex_any`, ignoring property-key interest filters;
+    /// * edge-touching operations take every route of the edge's type
+    ///   plus `edge_any`;
+    /// * an id the pre-state cannot resolve (other than `NodeRef::New`)
+    ///   makes the footprint [unbounded](TxFootprint::is_unbounded).
+    pub fn tx_footprint(&self, g: &PropertyGraph, tx: &Transaction) -> TxFootprint {
+        let mut fp = TxFootprint::default();
+        // Labels attached anywhere in the transaction widen the possible
+        // post-state of any vertex it touches.
+        let added_labels: Vec<Symbol> = tx
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                TxOp::AddLabel { label, .. } => Some(*label),
+                _ => None,
+            })
+            .collect();
+        let vertex_routes = |fp: &mut TxFootprint, labels: &[Symbol]| {
+            for l in labels {
+                if let Some(routes) = self.routing.vertex_by_label.get(l) {
+                    for r in routes {
+                        fp.scans.push(r.node);
+                    }
+                }
+            }
+            for r in &self.routing.vertex_any {
+                fp.scans.push(r.node);
+            }
+        };
+        let edge_routes = |fp: &mut TxFootprint, ty: Symbol| {
+            if let Some(routes) = self.routing.edge_by_type.get(&ty) {
+                for r in routes {
+                    fp.scans.push(r.node);
+                }
+            }
+            for r in &self.routing.edge_any {
+                fp.scans.push(r.node);
+            }
+        };
+        // Labels per `CreateVertex`, in order (resolves `NodeRef::New`).
+        let mut created: Vec<&[Symbol]> = Vec::new();
+        for op in tx.ops() {
+            match op {
+                TxOp::CreateVertex { labels, .. } => {
+                    vertex_routes(&mut fp, labels);
+                    vertex_routes(&mut fp, &added_labels);
+                    created.push(labels);
+                }
+                TxOp::CreateEdge { ty, .. } => edge_routes(&mut fp, *ty),
+                TxOp::DeleteVertex { id, detach } => {
+                    let Some(data) = g.vertex(*id) else {
+                        return TxFootprint::unbounded();
+                    };
+                    vertex_routes(&mut fp, &data.labels);
+                    vertex_routes(&mut fp, &added_labels);
+                    if *detach {
+                        for &e in g.out_edges(*id).iter().chain(g.in_edges(*id)) {
+                            let Some(ed) = g.edge(e) else {
+                                return TxFootprint::unbounded();
+                            };
+                            edge_routes(&mut fp, ed.ty);
+                        }
+                    }
+                }
+                TxOp::DeleteEdge { id } => {
+                    let Some(ed) = g.edge(*id) else {
+                        return TxFootprint::unbounded();
+                    };
+                    edge_routes(&mut fp, ed.ty);
+                }
+                TxOp::SetVertexProp { id, .. } => {
+                    let labels: &[Symbol] = match id {
+                        NodeRef::Existing(v) => match g.vertex(*v) {
+                            Some(data) => &data.labels,
+                            None => return TxFootprint::unbounded(),
+                        },
+                        NodeRef::New(ix) => match created.get(*ix) {
+                            Some(l) => l,
+                            None => return TxFootprint::unbounded(),
+                        },
+                    };
+                    vertex_routes(&mut fp, labels);
+                    vertex_routes(&mut fp, &added_labels);
+                }
+                TxOp::SetEdgeProp { id, .. } => {
+                    let Some(ed) = g.edge(*id) else {
+                        return TxFootprint::unbounded();
+                    };
+                    edge_routes(&mut fp, ed.ty);
+                }
+                TxOp::AddLabel { id, label } | TxOp::RemoveLabel { id, label } => {
+                    // Membership flips route only to scans requiring
+                    // `label` (mirrors `route_events`); the id is
+                    // resolved just to classify unknowns as unbounded.
+                    if let NodeRef::Existing(v) = id {
+                        if g.vertex(*v).is_none() {
+                            return TxFootprint::unbounded();
+                        }
+                    }
+                    if let Some(routes) = self.routing.vertex_by_label.get(label) {
+                        for r in routes {
+                            fp.scans.push(r.node);
+                        }
+                    }
+                }
+            }
+        }
+        fp.seal();
+        fp
     }
 
     // ---- accessors -------------------------------------------------------

@@ -123,4 +123,41 @@ fn join_hot_path_materialises_no_keys() {
         snap.scan_events_delivered, 1,
         "two renamed views, one collapsed scan: each event is delivered once: {snap:?}"
     );
+
+    // Parallel scheduler: the same transaction propagated serially and
+    // through a 4-thread worker pool must deliver each event exactly
+    // once per matching scan — the dirty-closure may schedule extra
+    // nodes as no-ops, but routing stays serial and nothing is
+    // re-delivered by the workers.
+    use pgq_common::pool::WorkerPool;
+
+    let build = || {
+        let mut g = PropertyGraph::new();
+        let mut net = DataflowNetwork::new();
+        net.register("as", &scan("a", "A"), &g);
+        net.register("bs", &scan("b", "B"), &g);
+        let mut tx = Transaction::new();
+        tx.create_vertex([Symbol::intern("A")], Properties::new());
+        tx.create_vertex([Symbol::intern("B")], Properties::new());
+        let events = g.apply(&tx).unwrap();
+        (g, net, events)
+    };
+    let (g, mut net, events) = build();
+    counters::reset();
+    net.on_transaction(&g, &events);
+    let serial_delivered = counters::snapshot().scan_events_delivered;
+    assert_eq!(
+        serial_delivered, 2,
+        "two events, one matching scan each (serial)"
+    );
+
+    let (g, mut net, events) = build();
+    let pool = WorkerPool::new(4);
+    counters::reset();
+    net.on_transaction_with(&g, &events, Some(&pool));
+    let par_delivered = counters::snapshot().scan_events_delivered;
+    assert_eq!(
+        par_delivered, serial_delivered,
+        "parallel pass must not deliver any event twice"
+    );
 }

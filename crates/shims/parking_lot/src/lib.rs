@@ -2,17 +2,39 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors a tiny std-backed subset of the `parking_lot` API surface the
-//! codebase actually uses (`RwLock` / `Mutex` with non-poisoning guards).
-//! Swap this path dependency for the real crate when a registry is
-//! available; call sites need no changes.
+//! codebase actually uses (`RwLock` / `Mutex` / `Condvar` with
+//! non-poisoning guard types). Swap this path dependency for the real
+//! crate when a registry is available; call sites need no changes.
+//!
+//! # Send/Sync and poisoning
+//!
+//! The lock types are thin newtypes over their `std::sync` counterparts,
+//! so they inherit std's auto traits exactly: `Mutex<T>`/`RwLock<T>` are
+//! `Send`/`Sync` iff `T: Send` (plus `T: Sync` for `RwLock` readers),
+//! and the guards are `!Send` (they must unlock on the locking thread)
+//! but `Sync` where the protected data is. Like real `parking_lot` —
+//! and unlike raw std — a panic while holding a lock never poisons it:
+//! every acquisition recovers the inner guard from a `PoisonError`, so
+//! the engine's worker pool can propagate a panic without wedging every
+//! later transaction. The multi-thread smoke tests in this crate pin
+//! both properties down under real contention.
 
-use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
-use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::RwLockWriteGuard as StdWriteGuard;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{RwLock as StdRwLock, RwLockReadGuard as StdReadGuard};
 
 /// A reader-writer lock that, like `parking_lot::RwLock`, never poisons:
 /// guards are returned directly rather than wrapped in `Result`.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(StdReadGuard<'a, T>);
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(StdWriteGuard<'a, T>);
 
 impl<T> RwLock<T> {
     /// Creates a new unlocked `RwLock`.
@@ -29,12 +51,12 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock, recovering from poisoning.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|e| e.into_inner())
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Acquires an exclusive write lock, recovering from poisoning.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|e| e.into_inner())
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Returns a mutable reference to the underlying data (no locking).
@@ -43,9 +65,48 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// A mutual-exclusion lock that never poisons.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// Exclusive guard for [`Mutex`].
+///
+/// The inner std guard sits in an `Option` only so [`Condvar::wait`] can
+/// move it out by value (std's wait signature) and put it back; it is
+/// `Some` whenever user code can observe the guard.
+pub struct MutexGuard<'a, T: ?Sized>(Option<StdMutexGuard<'a, T>>);
 
 impl<T> Mutex<T> {
     /// Creates a new unlocked `Mutex`.
@@ -62,11 +123,191 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, recovering from poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     /// Returns a mutable reference to the underlying data (no locking).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A condition variable with `parking_lot`'s by-reference wait API
+/// (std's `Condvar::wait` consumes and returns the guard; this wrapper
+/// swaps it through the [`MutexGuard`]'s internal `Option`).
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(StdCondvar::new())
+    }
+
+    /// Blocks until notified, releasing `guard`'s mutex while parked and
+    /// re-acquiring it (poison-recovering) before returning. Spurious
+    /// wakeups are possible, as with any condvar.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard holds the lock");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Waits until `condition` returns `false` (re-checked after every
+    /// wakeup).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    /// Compile-time Send/Sync surface (the properties the IVM worker
+    /// pool relies on).
+    #[allow(dead_code)]
+    fn auto_trait_surface() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mutex<Vec<u64>>>();
+        assert_send_sync::<RwLock<Vec<u64>>>();
+        assert_send_sync::<Condvar>();
+    }
+
+    #[test]
+    fn mutex_counts_correctly_under_contention() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_readers_see_writer_updates() {
+        let l = Arc::new(RwLock::new(vec![0u64; 4]));
+        let writer = {
+            let l = Arc::clone(&l);
+            thread::spawn(move || {
+                for i in 1..=100u64 {
+                    let mut w = l.write();
+                    for slot in w.iter_mut() {
+                        *slot = i;
+                    }
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        let r = l.read();
+                        // A reader must never observe a torn update.
+                        assert!(r.iter().all(|&v| v == r[0]));
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for t in readers {
+            t.join().unwrap();
+        }
+        assert_eq!(*l.read(), vec![100u64; 4]);
+    }
+
+    #[test]
+    fn condvar_ping_pong() {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let peer = {
+            let state = Arc::clone(&state);
+            thread::spawn(move || {
+                let (m, cv) = &*state;
+                for _ in 0..50 {
+                    let mut g = m.lock();
+                    cv.wait_while(&mut g, |v| *v % 2 == 0);
+                    *g += 1;
+                    cv.notify_one();
+                }
+            })
+        };
+        let (m, cv) = &*state;
+        for _ in 0..50 {
+            let mut g = m.lock();
+            *g += 1;
+            cv.notify_one();
+            cv.wait_while(&mut g, |v| *v % 2 == 1);
+        }
+        peer.join().unwrap();
+        assert_eq!(*m.lock(), 100);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_poison() {
+        let m = Arc::new(Mutex::new(7u64));
+        let l = Arc::new(RwLock::new(7u64));
+        {
+            let m = Arc::clone(&m);
+            let l = Arc::clone(&l);
+            let t = thread::spawn(move || {
+                let _g = m.lock();
+                let _w = l.write();
+                panic!("die while holding both locks");
+            });
+            assert!(t.join().is_err());
+        }
+        // Both locks stay usable from other threads afterwards.
+        assert_eq!(*m.lock(), 7);
+        *m.lock() += 1;
+        assert_eq!(*l.read(), 7);
+        *l.write() += 1;
+        assert_eq!(*m.lock(), 8);
+        assert_eq!(*l.write(), 8);
     }
 }

@@ -11,17 +11,22 @@
 //! * [`trees`] — parameterised reply trees for the transitive-closure
 //!   microbenchmarks (experiment E7);
 //! * [`hub`] — a star/hub fan-out network with hub-churn streams for
-//!   the cost-based join-order planner benchmarks.
+//!   the cost-based join-order planner benchmarks;
+//! * [`branches`] — independent reply-tree branches with per-branch
+//!   labels/types and views, for the parallel-propagation and
+//!   transaction-batching benchmarks.
 //!
 //! All generators are deterministic given a seed, so benchmark tables are
 //! reproducible run-to-run.
 
+pub mod branches;
 pub mod example;
 pub mod hub;
 pub mod railway;
 pub mod social;
 pub mod trees;
 
+pub use branches::{branch_forest, branch_query, churn_all, churn_one, Branch, BranchForest};
 pub use example::{paper_example_graph, EXAMPLE_QUERY};
 pub use hub::{generate_hub, HubParams};
 pub use railway::{generate_railway, RailwayParams};

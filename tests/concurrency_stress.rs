@@ -1,0 +1,215 @@
+//! Seeded random-interleaving stress tier for the parallel scheduler
+//! and transaction batching (CI's `concurrency-stress` job).
+//!
+//! Each iteration derives a seed, generates a random update script over
+//! a branch forest (lang churn, leaf growth, edge/vertex deletion,
+//! label toggles), and replays it on one engine per propagation width
+//! (1, 2, 4, 8). After every transaction the wider engines must report
+//! view contents identical to the width-1 run; the width-1 run is
+//! checked against from-scratch recomputation periodically and at the
+//! end. The same script then replays through `apply_batch` and must
+//! land in the same state.
+//!
+//! `PGQ_STRESS_ITERS` scales the number of seeded scripts (default 4;
+//! the CI job raises it). Every assertion message carries the seed, so
+//! a CI failure is reproducible locally by pinning `PGQ_STRESS_SEED`.
+
+use pgq_algebra::pipeline::compile_query;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_core::GraphEngine;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use pgq_parser::parse_query;
+use pgq_workloads::branches::{branch_forest, branch_query, BranchForest};
+
+const WIDTHS: &[usize] = &[1, 2, 4, 8];
+const LANGS: &[&str] = &["en", "de", "fr"];
+const TXS_PER_SCRIPT: usize = 30;
+
+/// xorshift64* — self-contained, deterministic, no dependencies.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Render one random single-op transaction against the current graph.
+/// Single-op keeps every pick valid at apply time (no intra-transaction
+/// conflicts), while `apply_batch` later recreates multi-op passes by
+/// coalescing.
+fn random_tx(rng: &mut XorShift, g: &PropertyGraph, forest: &BranchForest) -> Transaction {
+    let vertices: Vec<_> = {
+        let mut v: Vec<_> = g.vertex_ids().collect();
+        v.sort_unstable();
+        v
+    };
+    let edges: Vec<_> = {
+        let mut e: Vec<_> = g.edge_ids().collect();
+        e.sort_unstable();
+        e
+    };
+    let lang = Symbol::intern("lang");
+    let mut tx = Transaction::new();
+    match rng.below(7) {
+        // Flip a random vertex's lang — hits roots and descendants, the
+        // widest churn when several branches flip in one script.
+        0 | 1 if !vertices.is_empty() => {
+            let v = vertices[rng.below(vertices.len())];
+            tx.set_vertex_prop(v, lang, Value::str(LANGS[rng.below(LANGS.len())]));
+        }
+        // Flip every still-live branch root in one transaction (the
+        // widest frontier the parallel pass sees).
+        2 => {
+            let l = LANGS[rng.below(LANGS.len())];
+            for b in &forest.branches {
+                if g.vertex(b.root).is_some() {
+                    tx.set_vertex_prop(b.root, lang, Value::str(l));
+                }
+            }
+        }
+        // Grow a leaf: new C<i> vertex replying to a random existing
+        // vertex (cross-branch edges are allowed — extra stress).
+        3 if !vertices.is_empty() => {
+            let b = &forest.branches[rng.below(forest.branches.len())];
+            let parent = vertices[rng.below(vertices.len())];
+            let c = tx.create_vertex(
+                [b.comm],
+                Properties::from_iter([("lang", Value::str(LANGS[rng.below(LANGS.len())]))]),
+            );
+            tx.create_edge(parent, c, b.reply, Properties::new());
+        }
+        4 if !edges.is_empty() => {
+            tx.delete_edge(edges[rng.below(edges.len())]);
+        }
+        5 if !vertices.is_empty() => {
+            tx.delete_vertex(vertices[rng.below(vertices.len())], true);
+        }
+        // Toggle a branch's descendant label on a random vertex.
+        6 if !vertices.is_empty() => {
+            let b = &forest.branches[rng.below(forest.branches.len())];
+            let v = vertices[rng.below(vertices.len())];
+            let has = g.vertex(v).map(|d| d.has_label(b.comm)).unwrap_or(false);
+            if has {
+                tx.remove_label(v, b.comm);
+            } else {
+                tx.add_label(v, b.comm);
+            }
+        }
+        _ => {}
+    }
+    tx
+}
+
+fn view_rows(e: &GraphEngine, name: &str) -> Vec<(pgq_common::tuple::Tuple, i64)> {
+    let id = e.view_by_name(name).expect("view registered");
+    e.view(id).expect("view alive").results()
+}
+
+#[test]
+fn seeded_interleavings_deterministic_across_widths() {
+    let iters = env_usize("PGQ_STRESS_ITERS", 4);
+    let base_seed = env_usize("PGQ_STRESS_SEED", 0xC0FFEE) as u64;
+    for iter in 0..iters {
+        let seed = base_seed
+            .wrapping_add(iter as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = XorShift::new(seed);
+        let forest = branch_forest(4, 2, 2);
+        let mut template = GraphEngine::from_graph(forest.graph.clone());
+        let mut compiled = Vec::new();
+        for i in 0..forest.branches.len() {
+            let q = branch_query(i);
+            compiled.push(compile_query(&parse_query(&q).unwrap()).unwrap());
+            template.register_view(&format!("b{i}"), &q).unwrap();
+        }
+        let mut engines: Vec<_> = WIDTHS
+            .iter()
+            .map(|&w| {
+                let mut e = template.clone();
+                e.set_threads(w);
+                e
+            })
+            .collect();
+        let mut shadow = forest.graph.clone();
+        let mut txs = Vec::with_capacity(TXS_PER_SCRIPT);
+        for t in 0..TXS_PER_SCRIPT {
+            let tx = random_tx(&mut rng, &shadow, &forest);
+            shadow
+                .apply(&tx)
+                .unwrap_or_else(|e| panic!("seed={seed:#x} tx {t}: shadow apply failed: {e:?}"));
+            for engine in &mut engines {
+                engine
+                    .apply(&tx)
+                    .unwrap_or_else(|e| panic!("seed={seed:#x} tx {t}: apply failed: {e:?}"));
+            }
+            for (i, plan) in compiled.iter().enumerate() {
+                let name = format!("b{i}");
+                let serial = view_rows(&engines[0], &name);
+                for (engine, &w) in engines.iter().zip(WIDTHS).skip(1) {
+                    assert_eq!(
+                        view_rows(engine, &name),
+                        serial,
+                        "seed={seed:#x} tx {t}: width {w} diverged from serial on {name}"
+                    );
+                }
+                // The recompute oracle is quadratic-ish on deep paths —
+                // sample it rather than paying it every transaction.
+                if t % 5 == 0 || t + 1 == TXS_PER_SCRIPT {
+                    assert_eq!(
+                        serial,
+                        pgq_eval::evaluate_consolidated(&plan.fra, engines[0].graph()),
+                        "seed={seed:#x} tx {t}: serial diverged from recompute on {name}"
+                    );
+                }
+            }
+            txs.push(tx);
+        }
+        // The same script through `apply_batch` (on a width-4 engine, so
+        // coalesced passes run through the parallel scheduler too) must
+        // land in exactly the serial end state.
+        let mut batched = template.clone();
+        batched.set_threads(4);
+        let summary = batched
+            .apply_batch(&txs)
+            .unwrap_or_else(|e| panic!("seed={seed:#x}: apply_batch failed: {e:?}"));
+        assert_eq!(summary.transactions, txs.len(), "seed={seed:#x}");
+        assert!(summary.passes <= txs.len(), "seed={seed:#x}");
+        for i in 0..forest.branches.len() {
+            let name = format!("b{i}");
+            assert_eq!(
+                view_rows(&batched, &name),
+                view_rows(&engines[0], &name),
+                "seed={seed:#x}: apply_batch end state diverged on {name}"
+            );
+        }
+        eprintln!(
+            "stress iter {iter}: seed={seed:#x} ok ({} txs, {} batch passes)",
+            txs.len(),
+            summary.passes
+        );
+    }
+}

@@ -231,6 +231,109 @@ proptest! {
         }
     }
 
+    /// The concurrent oracle: every oracle query on ONE engine, the
+    /// same random update script replayed at propagation widths 1, 2,
+    /// 4 and 8. The 1-thread engine is checked against from-scratch
+    /// recomputation, and every wider engine must report results
+    /// identical to the 1-thread run after every transaction — the
+    /// determinism contract of the parallel pass.
+    #[test]
+    fn parallel_widths_agree_with_serial_and_recompute(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+    ) {
+        const WIDTHS: &[usize] = &[1, 2, 4, 8];
+        let mut template = pgq_core::GraphEngine::from_graph(seed_graph());
+        let mut compiled_plans = Vec::new();
+        for (i, query) in QUERIES.iter().enumerate() {
+            let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+            template.register_view(&format!("v{i}"), query).unwrap();
+            compiled_plans.push(compiled);
+        }
+        let mut engines: Vec<_> = WIDTHS
+            .iter()
+            .map(|&w| {
+                let mut e = template.clone();
+                e.set_threads(w);
+                e
+            })
+            .collect();
+        for step in &steps {
+            let tx = step_transaction(engines[0].graph(), step);
+            for e in &mut engines {
+                e.apply(&tx).expect("generated step applies");
+            }
+            for (i, compiled) in compiled_plans.iter().enumerate() {
+                let name = format!("v{i}");
+                let id = engines[0].view_by_name(&name).unwrap();
+                let serial = engines[0].view(id).unwrap().results();
+                prop_assert_eq!(
+                    serial.clone(),
+                    eval_consolidated(&compiled.fra, engines[0].graph()),
+                    "serial engine diverged from recompute after {:?} on query {}",
+                    step, QUERIES[i]
+                );
+                for (e, &w) in engines.iter().zip(WIDTHS).skip(1) {
+                    let id = e.view_by_name(&name).unwrap();
+                    prop_assert_eq!(
+                        e.view(id).unwrap().results(),
+                        serial.clone(),
+                        "width {} diverged from serial after {:?} on query {}",
+                        w, step, QUERIES[i]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batching oracle: the same transaction sequence applied one
+    /// by one on one engine and through `apply_batch` on another must
+    /// leave every view identical (and agreeing with recompute), with
+    /// at most one propagation pass per transaction.
+    #[test]
+    fn apply_batch_matches_sequential_apply(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+    ) {
+        let mut sequential = pgq_core::GraphEngine::from_graph(seed_graph());
+        let mut compiled_plans = Vec::new();
+        for (i, query) in QUERIES.iter().enumerate() {
+            let compiled = compile_query(&parse_query(query).unwrap()).unwrap();
+            sequential.register_view(&format!("v{i}"), query).unwrap();
+            compiled_plans.push(compiled);
+        }
+        let mut batched = sequential.clone();
+        // Render each step against the evolving graph (both engines see
+        // identical states at every transaction boundary).
+        let mut shadow = sequential.graph().clone();
+        let mut txs = Vec::new();
+        for step in &steps {
+            let tx = step_transaction(&shadow, step);
+            shadow.apply(&tx).expect("generated step applies");
+            txs.push(tx);
+        }
+        for tx in &txs {
+            sequential.apply(tx).expect("sequential apply");
+        }
+        let summary = batched.apply_batch(&txs).expect("batched apply");
+        prop_assert_eq!(summary.transactions, txs.len());
+        prop_assert!(summary.passes <= txs.len(), "passes bounded by transactions");
+        for (i, compiled) in compiled_plans.iter().enumerate() {
+            let name = format!("v{i}");
+            let id = batched.view_by_name(&name).unwrap();
+            let got = batched.view(id).unwrap().results();
+            let sid = sequential.view_by_name(&name).unwrap();
+            prop_assert_eq!(
+                got.clone(),
+                sequential.view(sid).unwrap().results(),
+                "batched engine diverged from sequential on query {}", QUERIES[i]
+            );
+            prop_assert_eq!(
+                got,
+                eval_consolidated(&compiled.fra, batched.graph()),
+                "batched engine diverged from recompute on query {}", QUERIES[i]
+            );
+        }
+    }
+
     /// The multi-view variant: ALL oracle queries — plus an
     /// alpha-renamed twin of each — registered on ONE engine, served by
     /// the shared dataflow network (canonicalised hash-consed subplans,
