@@ -43,8 +43,9 @@ struct JobState {
     job: Option<JobPtr>,
     /// Spawned workers still running the current epoch's job.
     running: usize,
-    /// A worker's job panicked this epoch.
-    panicked: bool,
+    /// First panic payload raised by a worker's job this epoch,
+    /// re-raised by `broadcast` once every worker has drained.
+    panic: Option<Box<dyn std::any::Any + Send>>,
     shutdown: bool,
 }
 
@@ -109,7 +110,9 @@ impl WorkerPool {
     /// Run `job(worker_index)` once on every worker concurrently
     /// (indices `0..threads()`, the caller being `0`) and return when
     /// all of them have finished. Panics propagate to the caller after
-    /// every worker has completed, so the pool stays usable.
+    /// every worker has completed, so the pool stays usable; the
+    /// original payload is re-raised (the caller's own panic takes
+    /// precedence, then the first panicking worker's).
     ///
     /// Concurrent broadcasts from different threads are serialised.
     pub fn broadcast<F: Fn(usize) + Sync>(&self, job: F) {
@@ -134,20 +137,22 @@ impl WorkerPool {
             s.epoch += 1;
             s.job = Some(ptr);
             s.running = self.handles.len();
-            s.panicked = false;
+            s.panic = None;
         }
         self.shared.work_cv.notify_all();
         let caller_result = catch_unwind(AssertUnwindSafe(|| job(0)));
-        let worker_panicked = {
+        let worker_panic = {
             let mut s = self.shared.state.lock();
             self.shared.done_cv.wait_while(&mut s, |s| s.running > 0);
             s.job = None;
-            s.panicked
+            s.panic.take()
         };
         if let Err(payload) = caller_result {
             resume_unwind(payload);
         }
-        assert!(!worker_panicked, "a pool worker panicked during broadcast");
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
     }
 }
 
@@ -182,8 +187,10 @@ fn worker_main(shared: &PoolShared, ix: usize) {
         // drains to zero, which happens strictly after this call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(ix) }));
         let mut s = shared.state.lock();
-        if result.is_err() {
-            s.panicked = true;
+        if let Err(payload) = result {
+            if s.panic.is_none() {
+                s.panic = Some(payload);
+            }
         }
         s.running -= 1;
         if s.running == 0 {
@@ -249,7 +256,9 @@ mod tests {
                 }
             });
         }));
-        assert!(result.is_err());
+        // The original payload must survive, not a generic pool error.
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"worker 1 fails"));
         // The pool must still work after the panic.
         let total = AtomicUsize::new(0);
         pool.broadcast(|_| {

@@ -182,8 +182,12 @@ impl GraphEngine {
     /// footprints per [`DataflowNetwork::tx_footprint`] — into one
     /// propagation pass over their concatenated events. The store emits
     /// events per operation, so a coalesced pass sees exactly the event
-    /// stream of the equivalent merged transaction; disjointness keeps
-    /// per-view change notifications at single-transaction granularity.
+    /// stream of the equivalent merged transaction. View contents are
+    /// identical to applying the transactions one by one, but change
+    /// notifications may coarsen: a view reading several scans can be
+    /// dirtied by more than one member of a coalesced run, and its
+    /// subscribers then receive a single merged delta spanning those
+    /// transactions.
     ///
     /// Every transaction is applied atomically as usual; if one fails,
     /// the transactions before it are flushed into the views and the

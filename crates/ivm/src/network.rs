@@ -78,7 +78,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use parking_lot::{Condvar, Mutex};
 use pgq_algebra::expr::{AggCall, ScalarExpr};
@@ -376,6 +376,11 @@ struct ParShared<'a> {
     work_cv: Condvar,
     /// Tasks not yet completed (pass-termination condition).
     remaining: AtomicUsize,
+    /// Terminal abort: a task panicked, the ready queue was drained, and
+    /// `remaining` will never drain to zero — workers exit on this flag
+    /// instead. Set under the queue mutex so parked workers cannot miss
+    /// the wake-up.
+    aborted: AtomicBool,
     /// First panic payload raised by any worker's task.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -403,6 +408,13 @@ impl ParShared<'_> {
             let task = {
                 let mut q = self.queue.lock();
                 loop {
+                    // Checked before popping so no queued task runs
+                    // after an abort (the abort path also drains the
+                    // queue, but an in-flight completion may repopulate
+                    // it afterwards).
+                    if self.aborted.load(Ordering::Acquire) {
+                        break None;
+                    }
                     if let Some(t) = q.pop() {
                         break Some(t);
                     }
@@ -424,11 +436,15 @@ impl ParShared<'_> {
                             *first = Some(payload);
                         }
                     }
-                    // Abort the pass: declare everything complete so
-                    // every parked worker drains out.
+                    // Abort the pass terminally: raise the flag and
+                    // drain queued tasks under the lock, then wake every
+                    // parked worker. `remaining` is left untouched — a
+                    // racing in-flight completion decrements it without
+                    // being able to resurrect the pass.
                     {
-                        let _q = self.queue.lock();
-                        self.remaining.store(0, Ordering::Release);
+                        let mut q = self.queue.lock();
+                        self.aborted.store(true, Ordering::Release);
+                        q.clear();
                     }
                     self.work_cv.notify_all();
                     return;
@@ -465,7 +481,13 @@ impl ParShared<'_> {
                 self.work_cv.notify_all();
             }
         }
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Saturating decrement: `remaining` stops at zero instead of
+        // wrapping, so no completion ordering can make the termination
+        // check at the top of the work loop spuriously fail forever.
+        let drained = self
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1));
+        if drained == Ok(1) {
             drop(self.queue.lock());
             self.work_cv.notify_all();
         }
@@ -755,9 +777,13 @@ pub fn plan_stats(g: &PropertyGraph) -> pgq_algebra::plan::PlanStats {
 /// store emitting events per operation: the concatenation of two
 /// transactions' event streams equals the event stream of the single
 /// merged transaction, which every scan already handles (scans read the
-/// post-state graph). Disjointness is what keeps per-view *change
-/// notifications* at transaction granularity — a view can only be
-/// touched by one member of the batch.
+/// post-state graph). Disjointness is a *scan-level* rule, though: a
+/// view joining two different scans can be dirtied by two
+/// footprint-disjoint members of the same pass, so coalescing may
+/// coarsen per-view *change notifications* — subscribers then see one
+/// merged delta spanning several transactions (identical in content to
+/// applying them back-to-back; only the notification granularity
+/// changes).
 #[derive(Clone, Debug, Default)]
 pub struct TxFootprint {
     /// Sorted, deduplicated scan nodes the transaction may dirty.
@@ -1436,6 +1462,7 @@ impl DataflowNetwork {
                 queue: Mutex::new(ready),
                 work_cv: Condvar::new(),
                 remaining: AtomicUsize::new(tasks),
+                aborted: AtomicBool::new(false),
                 panic: Mutex::new(None),
             };
             workers.broadcast(|_| shared.work_loop());
@@ -2074,5 +2101,76 @@ impl<'a> ViewRef<'a> {
     /// Per-operator statistics of the view's subgraph.
     pub fn network_stats(&self) -> OpStats {
         self.net.stats_of(self.sid)
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+
+    /// Regression test for the parallel-pass abort path: a panicking
+    /// task must tear the pass down terminally. An earlier version
+    /// stomped `remaining` to zero on abort, so any in-flight
+    /// completion's `fetch_sub` wrapped the counter to `usize::MAX` and
+    /// the surviving workers parked on the condvar forever (the
+    /// broadcast never returned). With the `aborted` flag this test
+    /// terminates, captures the payload, and runs no queued task after
+    /// the abort.
+    #[test]
+    fn panicking_task_aborts_pass_without_deadlock() {
+        const TASKS: usize = 64;
+        let unit = || Node {
+            kind: NodeKind::Unit { emitted: false },
+            plan: Fra::Unit,
+            fingerprint: 0,
+            parents: Vec::new(),
+            sinks: Vec::new(),
+            delivered_events: 0,
+        };
+        // Slot 0 is empty, so its task panics on the "live node"
+        // expect; every other task is an independent no-op, so plenty
+        // of completions race the abort.
+        let mut nodes: Vec<Option<Node>> = (0..TASKS)
+            .map(|i| if i == 0 { None } else { Some(unit()) })
+            .collect();
+        let mut outputs: Vec<Delta> = (0..TASKS).map(|_| Delta::new()).collect();
+        let queued = vec![0u64; TASKS];
+        let event_gen = vec![0u64; TASKS];
+        let slots: Vec<u32> = (0..TASKS as u32).collect();
+        let parents_ix = vec![0u32; TASKS + 1];
+        let pending: Vec<AtomicU32> = (0..TASKS).map(|_| AtomicU32::new(0)).collect();
+        let consolidate = vec![false; TASKS];
+        let g = PropertyGraph::new();
+        for _ in 0..16 {
+            let shared = ParShared {
+                nodes: nodes.as_mut_ptr(),
+                outputs: outputs.as_mut_ptr(),
+                queued: &queued,
+                event_gen: &event_gen,
+                slots: &slots,
+                parents_flat: &[],
+                parents_ix: &parents_ix,
+                pending: &pending,
+                consolidate: &consolidate,
+                generation: 1,
+                g: &g,
+                events: &[],
+                queue: Mutex::new((0..TASKS as u32).rev().collect()),
+                work_cv: Condvar::new(),
+                remaining: AtomicUsize::new(TASKS),
+                aborted: AtomicBool::new(false),
+                panic: Mutex::new(None),
+            };
+            let workers = WorkerPool::new(4);
+            workers.broadcast(|_| shared.work_loop());
+            assert!(shared.aborted.load(Ordering::Acquire));
+            let payload = shared.panic.into_inner().expect("panic captured");
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            assert!(msg.contains("live node"), "unexpected payload: {msg:?}");
+        }
     }
 }
