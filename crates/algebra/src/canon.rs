@@ -235,6 +235,15 @@ pub fn alpha_rename(fra: &Fra, rename: &mut dyn FnMut(&str) -> String) -> Fra {
             expr: expr.clone(),
             alias: rename(alias),
         },
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => Fra::MultiwayJoin {
+            inputs: inputs.iter().map(|i| alpha_rename(i, rename)).collect(),
+            var_of: var_of.clone(),
+            names: names.iter().map(|n| rename(n)).collect(),
+        },
     }
 }
 
@@ -663,6 +672,41 @@ fn canon(fra: &Fra) -> (Fra, Vec<usize>) {
                     alias: pos_name(la),
                 },
                 mapping,
+            )
+        }
+
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => {
+            // The n-ary join is fully commutative in its operands:
+            // canonicalise each operand, push its variable map through
+            // the operand's own column bijection, then sort operands
+            // under the (plan, variable map) order. Variable ids are
+            // semantic (they are the elimination order and the output
+            // positions), so they — and therefore the output schema —
+            // stay fixed; only operand order and names are normalised.
+            let mut ops: Vec<(Fra, Vec<usize>)> = inputs
+                .iter()
+                .zip(var_of)
+                .map(|(inp, vars)| {
+                    let (ci, mi) = canon(inp);
+                    let mut cvars = vec![0usize; vars.len()];
+                    for (c, &v) in vars.iter().enumerate() {
+                        cvars[mi[c]] = v;
+                    }
+                    (ci, cvars)
+                })
+                .collect();
+            ops.sort_by_cached_key(|(ci, cvars)| (plan_key(ci), cvars.clone()));
+            (
+                Fra::MultiwayJoin {
+                    inputs: ops.iter().map(|(ci, _)| ci.clone()).collect(),
+                    var_of: ops.into_iter().map(|(_, v)| v).collect(),
+                    names: (0..names.len()).map(pos_name).collect(),
+                },
+                (0..names.len()).collect(),
             )
         }
     }

@@ -172,6 +172,23 @@ pub enum Fra {
         /// Introduced column.
         alias: String,
     },
+    /// ⨝ⁿ worst-case optimal n-ary join (leapfrog/generic join).
+    ///
+    /// Each input's columns are mapped onto *variables*; two columns
+    /// (of the same or different inputs) mapped to the same variable
+    /// are equated. Variable ids double as the global elimination
+    /// order the operator binds variables in (0 first), chosen by the
+    /// planner from cardinality estimates. Schema: one column per
+    /// variable, `names[v]` at position `v`.
+    MultiwayJoin {
+        /// The joined relations (≥ 2 in well-formed plans).
+        inputs: Vec<Fra>,
+        /// `var_of[i][c]` = variable id of input `i`'s column `c`.
+        /// Every variable in `0..names.len()` occurs in some input.
+        var_of: Vec<Vec<usize>>,
+        /// Output column names, one per variable.
+        names: Vec<String>,
+    },
 }
 
 impl Fra {
@@ -260,6 +277,7 @@ impl Fra {
                 s.push(alias.clone());
                 s
             }
+            Fra::MultiwayJoin { names, .. } => names.clone(),
         }
     }
 
@@ -276,6 +294,7 @@ impl Fra {
             | Fra::Distinct { input }
             | Fra::Aggregate { input, .. }
             | Fra::Unwind { input, .. } => input.operator_count(),
+            Fra::MultiwayJoin { inputs, .. } => inputs.iter().map(Fra::operator_count).sum(),
         }
     }
 
@@ -294,6 +313,7 @@ impl Fra {
             | Fra::Distinct { input }
             | Fra::Aggregate { input, .. }
             | Fra::Unwind { input, .. } => input.total_width(),
+            Fra::MultiwayJoin { inputs, .. } => inputs.iter().map(Fra::total_width).sum(),
         }
     }
 }

@@ -104,6 +104,15 @@ fn rewrite(fra: Fra) -> Fra {
             expr: fold(expr),
             alias,
         },
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => Fra::MultiwayJoin {
+            inputs: inputs.into_iter().map(rewrite).collect(),
+            var_of,
+            names,
+        },
         leaf @ (Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. }) => leaf,
     }
 }

@@ -73,13 +73,31 @@ impl CompiledQuery {
     /// operator — the programmatic `EXPLAIN` (the engine and shell wrap
     /// this with a statistics snapshot of the live graph).
     pub fn explain_plan(&self, stats: &crate::plan::PlanStats) -> String {
-        let planned = crate::plan::plan(&self.fra, stats);
+        self.explain_plan_with(stats, &crate::plan::PlanOptions::default())
+    }
+
+    /// [`CompiledQuery::explain_plan`] with explicit [`PlanOptions`], so
+    /// callers honouring the `PGQ_DISABLE_WCOJ` kill-switch can show the
+    /// plan that will actually run.
+    ///
+    /// [`PlanOptions`]: crate::plan::PlanOptions
+    pub fn explain_plan_with(
+        &self,
+        stats: &crate::plan::PlanStats,
+        opts: &crate::plan::PlanOptions,
+    ) -> String {
+        let planned = crate::plan::plan_with(&self.fra, stats, opts);
         let mut out = String::new();
         out.push_str(if planned.changed {
             "planner: reordered the plan (estimated cardinalities below)\n"
         } else {
             "planner: kept the syntactic order (estimated cardinalities below)\n"
         });
+        if !opts.wcoj {
+            out.push_str(
+                "wcoj: disabled (PGQ_DISABLE_WCOJ); cyclic regions use binary join trees\n",
+            );
+        }
         out.push_str(&crate::plan::explain_with_estimates(&planned.fra, stats));
         out
     }

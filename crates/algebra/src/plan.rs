@@ -62,6 +62,23 @@ use crate::fra::{Fra, VarLenSpec};
 /// expansions); larger regions fall back to greedy ordering.
 pub const MAX_DP_UNITS: usize = 8;
 
+/// Knobs for [`plan_with`]. The defaults match [`plan`].
+#[derive(Clone, Debug)]
+pub struct PlanOptions {
+    /// Fuse *cyclic* join regions into a single worst-case optimal
+    /// [`Fra::MultiwayJoin`] instead of a binary join tree. Acyclic
+    /// regions always keep the binary path (the planner threshold):
+    /// binary plans are already worst-case optimal there, and the
+    /// binary operators have the leaner per-delta constant.
+    pub wcoj: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { wcoj: true }
+    }
+}
+
 /// A snapshot of graph statistics taken at view-registration time.
 ///
 /// Filled from `pgq_graph`'s live cardinality catalog (label/type
@@ -401,6 +418,49 @@ fn analyze(fra: &Fra, stats: &PlanStats) -> Rel {
                 cols,
             }
         }
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => {
+            // Generalises `join_card`: start from the cross product and
+            // divide, per shared variable, by the largest distinct
+            // estimate once per extra occurrence.
+            let rels: Vec<Rel> = inputs.iter().map(|i| analyze(i, stats)).collect();
+            let nvars = names.len();
+            let mut card: f64 = rels.iter().map(|r| r.card).product();
+            let mut cols = vec![ColInfo::Other; nvars];
+            let mut min_d = vec![f64::INFINITY; nvars];
+            let mut max_d = vec![1.0f64; nvars];
+            let mut occurs = vec![0usize; nvars];
+            for (i, r) in rels.iter().enumerate() {
+                let mut seen = vec![false; nvars];
+                for (c, &v) in var_of[i].iter().enumerate() {
+                    if v >= nvars || std::mem::replace(&mut seen[v], true) {
+                        continue;
+                    }
+                    occurs[v] += 1;
+                    let d = r
+                        .cols
+                        .get(c)
+                        .map_or(r.card.sqrt(), |ci| ci.distinct(r.card, stats));
+                    if d < min_d[v] {
+                        min_d[v] = d;
+                        cols[v] = r.cols.get(c).cloned().unwrap_or(ColInfo::Other);
+                    }
+                    max_d[v] = max_d[v].max(d);
+                }
+            }
+            for v in 0..nvars {
+                if occurs[v] >= 2 {
+                    card /= max_d[v].max(1.0).powi(occurs[v] as i32 - 1);
+                }
+            }
+            Rel {
+                card: card.max(1e-6),
+                cols,
+            }
+        }
     }
 }
 
@@ -623,7 +683,7 @@ impl Region {
 
 /// Flatten the reorderable region rooted at `fra` into `region`,
 /// returning the subtree's output columns as global ids.
-fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
+fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptions) -> Vec<usize> {
     match fra {
         Fra::HashJoin {
             left,
@@ -631,8 +691,8 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
             left_keys,
             right_keys,
         } => {
-            let lg = decompose(left, stats, region);
-            let rg = decompose(right, stats, region);
+            let lg = decompose(left, stats, region, opts);
+            let rg = decompose(right, stats, region, opts);
             for (&a, &b) in left_keys.iter().zip(right_keys) {
                 region.edges.push((lg[a], rg[b]));
             }
@@ -645,7 +705,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
             out
         }
         Fra::Filter { input, predicate } => {
-            let ig = decompose(input, stats, region);
+            let ig = decompose(input, stats, region, opts);
             for conj in conjunct_list(predicate) {
                 let remapped = conj.remap_columns(&|c| ig[c]);
                 let globals = remapped.columns();
@@ -663,8 +723,8 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
             right_keys,
             anti,
         } => {
-            let lg = decompose(left, stats, region);
-            let (rp, rm) = plan_rec(right, stats);
+            let lg = decompose(left, stats, region, opts);
+            let (rp, rm) = plan_rec(right, stats, opts);
             let right_card = estimate(&rp, stats);
             region.appliers.push(Applier::Semi {
                 right: Box::new(rp),
@@ -682,7 +742,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
             dst,
             path,
         } => {
-            let lg = decompose(left, stats, region);
+            let lg = decompose(left, stats, region, opts);
             let unit = region.factors.len() + region.expansions.len();
             let mut out_globals = vec![region.fresh(
                 ColInfo::Vertex {
@@ -716,7 +776,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region) -> Vec<usize> {
             out
         }
         leaf => {
-            let (fp, fm) = plan_rec(leaf, stats);
+            let (fp, fm) = plan_rec(leaf, stats, opts);
             let rel = analyze(&fp, stats);
             let unit = region.factors.len() + region.expansions.len();
             let globals: Vec<usize> = rel
@@ -1125,7 +1185,13 @@ pub struct Planned {
 /// pure function of the plan structure and `stats` — never of variable
 /// names — so `canon(plan(q)) == canon(plan(rename(q)))`.
 pub fn plan(fra: &Fra, stats: &PlanStats) -> Planned {
-    let (planned, mapping) = plan_rec(fra, stats);
+    plan_with(fra, stats, &PlanOptions::default())
+}
+
+/// [`plan`] with explicit [`PlanOptions`] (the IVM layer threads its
+/// `PGQ_DISABLE_WCOJ` kill-switch through here).
+pub fn plan_with(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> Planned {
+    let (planned, mapping) = plan_rec(fra, stats, opts);
     let restored = restore_schema(planned, &mapping, fra);
     let changed = restored != *fra;
     Planned {
@@ -1154,14 +1220,14 @@ fn restore_schema(planned: Fra, mapping: &[usize], original: &Fra) -> Fra {
 /// Recursive planning; returns the planned subtree plus the bijection
 /// `mapping[i] = j`: column `i` of the original subtree's output is
 /// column `j` of the planned subtree's output.
-fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
+fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize>) {
     match fra {
         Fra::HashJoin { .. }
         | Fra::Filter { .. }
         | Fra::SemiJoin { .. }
-        | Fra::VarLengthJoin { .. } => plan_region(fra, stats),
+        | Fra::VarLengthJoin { .. } => plan_region(fra, stats, opts),
         Fra::Project { input, items } => {
-            let (ci, m) = plan_rec(input, stats);
+            let (ci, m) = plan_rec(input, stats, opts);
             (
                 Fra::Project {
                     input: Box::new(ci),
@@ -1174,7 +1240,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
             )
         }
         Fra::Distinct { input } => {
-            let (ci, m) = plan_rec(input, stats);
+            let (ci, m) = plan_rec(input, stats, opts);
             (
                 Fra::Distinct {
                     input: Box::new(ci),
@@ -1183,7 +1249,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
             )
         }
         Fra::Aggregate { input, group, aggs } => {
-            let (ci, m) = plan_rec(input, stats);
+            let (ci, m) = plan_rec(input, stats, opts);
             (
                 Fra::Aggregate {
                     input: Box::new(ci),
@@ -1209,7 +1275,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
             )
         }
         Fra::Unwind { input, expr, alias } => {
-            let (ci, m) = plan_rec(input, stats);
+            let (ci, m) = plan_rec(input, stats, opts);
             let arity = m.len();
             let mut mapping = m.clone();
             mapping.push(arity);
@@ -1222,6 +1288,34 @@ fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
                 mapping,
             )
         }
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => {
+            // A pre-existing n-ary node (hand-built, or a re-planned
+            // plan): recursively plan each operand and push its
+            // variable map through the operand's planning bijection.
+            let mut new_inputs = Vec::with_capacity(inputs.len());
+            let mut new_vars = Vec::with_capacity(inputs.len());
+            for (inp, vars) in inputs.iter().zip(var_of) {
+                let (ci, m) = plan_rec(inp, stats, opts);
+                let mut nv = vec![0usize; vars.len()];
+                for (c, &v) in vars.iter().enumerate() {
+                    nv[m[c]] = v;
+                }
+                new_inputs.push(ci);
+                new_vars.push(nv);
+            }
+            (
+                Fra::MultiwayJoin {
+                    inputs: new_inputs,
+                    var_of: new_vars,
+                    names: names.clone(),
+                },
+                (0..names.len()).collect(),
+            )
+        }
         leaf @ (Fra::Unit | Fra::ScanVertices { .. } | Fra::ScanEdges { .. }) => {
             (leaf.clone(), (0..leaf.schema().len()).collect())
         }
@@ -1231,15 +1325,20 @@ fn plan_rec(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
 /// Plan one reorderable region. Falls back to the original subtree
 /// (identity mapping) if the rebuilt plan fails its arity check — a
 /// safety net for hand-built plans outside the compiler's invariants.
-fn plan_region(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
+fn plan_region(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize>) {
     let mut region = Region::default();
-    let output = decompose(fra, stats, &mut region);
+    let output = decompose(fra, stats, &mut region, opts);
     let unit_count = region.factors.len() + region.expansions.len();
     // Units and appliers are tracked in u64 bitmasks; a region exceeding
     // 63 of either (far beyond any compiled query) keeps its syntactic
     // order rather than risking shift overflow.
     if unit_count > 63 || region.appliers.len() > 63 {
         return (fra.clone(), (0..fra.schema().len()).collect());
+    }
+    if opts.wcoj {
+        if let Some(fused) = try_wcoj(&region, &output, &fra.schema(), stats) {
+            return fused;
+        }
     }
     let built = if unit_count > MAX_DP_UNITS {
         let e = Enumerator {
@@ -1267,6 +1366,286 @@ fn plan_region(fra: &Fra, stats: &PlanStats) -> (Fra, Vec<usize>) {
     }
     let mapping: Vec<usize> = output.iter().map(|g| built.pos[g]).collect();
     (built.plan, mapping)
+}
+
+// ---------------------------------------------------------------------------
+// Worst-case optimal fusion of cyclic regions
+// ---------------------------------------------------------------------------
+
+/// Try to fuse the region into one [`Fra::MultiwayJoin`]. Returns
+/// `None` when the region is not eligible: fewer than three factors,
+/// any ⋈* expansion (those stay on the binary path), or an *acyclic*
+/// join hypergraph — the planner threshold that keeps the proven
+/// binary operators for tree-shaped queries, where binary plans are
+/// already worst-case optimal and have the leaner per-delta constant.
+///
+/// Eligibility and the chosen variable order are pure functions of the
+/// region *structure* and `stats` (class ids come from the syntactic
+/// global order, never from names), so alpha-equivalent cyclic views
+/// fuse into identical nodes and keep hash-consing.
+fn try_wcoj(
+    region: &Region,
+    output: &[usize],
+    schema: &[String],
+    stats: &PlanStats,
+) -> Option<(Fra, Vec<usize>)> {
+    if !region.expansions.is_empty() || region.factors.len() < 3 {
+        return None;
+    }
+    let n_globals = region.next_global;
+    // Union-find: globals equated by a join edge share a variable.
+    let mut parent: Vec<usize> = (0..n_globals).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let n = parent[c];
+            parent[c] = r;
+            c = n;
+        }
+        r
+    }
+    for &(a, b) in &region.edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+    // Class (= variable) per global, numbered by smallest member.
+    let mut class_of = vec![usize::MAX; n_globals];
+    let mut n_classes = 0usize;
+    for g in 0..n_globals {
+        let r = find(&mut parent, g);
+        if class_of[r] == usize::MAX {
+            class_of[r] = n_classes;
+            n_classes += 1;
+        }
+        class_of[g] = class_of[r];
+    }
+    // Per-factor variable sets, and the factors containing each class.
+    let mut factor_classes: Vec<Vec<usize>> = Vec::with_capacity(region.factors.len());
+    let mut containing: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (fi, f) in region.factors.iter().enumerate() {
+        let mut cs: Vec<usize> = f.globals.iter().map(|&g| class_of[g]).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        for &c in &cs {
+            containing[c].push(fi);
+        }
+        factor_classes.push(cs);
+    }
+    if !is_cyclic(&factor_classes, n_classes) {
+        return None;
+    }
+
+    // Distinct-value estimate per class: the tightest bound any member
+    // column provides (the catalog's per-type distinct endpoints).
+    let mut distinct = vec![f64::INFINITY; n_classes];
+    for (g, &c) in class_of.iter().enumerate() {
+        let card = region.factors[region.owner[g]].rel.card;
+        let d = region.info[g].distinct(card, stats);
+        if d < distinct[c] {
+            distinct[c] = d;
+        }
+    }
+    // Elimination order: join variables (in ≥2 factors) first, chosen
+    // greedily — stay connected to the already-ordered set, then
+    // smallest distinct estimate, then class id — so the tightest
+    // intersections run outermost. Payload variables (single factor)
+    // bind last; extending a full join-variable binding with them is a
+    // plain residual scan.
+    let mut order: Vec<usize> = Vec::with_capacity(n_classes);
+    let mut chosen = vec![false; n_classes];
+    let mut factor_touched = vec![false; region.factors.len()];
+    let join_vars: Vec<usize> = (0..n_classes)
+        .filter(|&c| containing[c].len() >= 2)
+        .collect();
+    for _ in 0..join_vars.len() {
+        let mut best = usize::MAX;
+        let mut best_key = (true, f64::INFINITY);
+        for &c in &join_vars {
+            if chosen[c] {
+                continue;
+            }
+            let connected = order.is_empty() || containing[c].iter().any(|&f| factor_touched[f]);
+            let key = (!connected, distinct[c]);
+            if best == usize::MAX || key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        chosen[best] = true;
+        for &f in &containing[best] {
+            factor_touched[f] = true;
+        }
+        order.push(best);
+    }
+    for (c, &done) in chosen.iter().enumerate() {
+        if !done {
+            order.push(c);
+        }
+    }
+    let mut var_id = vec![0usize; n_classes];
+    for (v, &c) in order.iter().enumerate() {
+        var_id[c] = v;
+    }
+
+    // Original output column k carries global `output[k]`, exposed by
+    // the node at its variable's position. Compiled plans surface each
+    // variable exactly once; bail out to the binary path otherwise.
+    let mapping: Vec<usize> = output.iter().map(|&g| var_id[class_of[g]]).collect();
+    if mapping.len() != n_classes {
+        return None;
+    }
+    let mut seen = vec![false; n_classes];
+    for &v in &mapping {
+        if std::mem::replace(&mut seen[v], true) {
+            return None;
+        }
+    }
+    let mut names: Vec<String> = (0..n_classes).map(|v| format!("_v{v}")).collect();
+    for (k, &g) in output.iter().enumerate() {
+        names[var_id[class_of[g]]] = schema[k].clone();
+    }
+
+    // Push single-factor filter conjuncts into their factor (so trie
+    // memories stay pruned); multi-factor filters and all semijoins
+    // apply above the node, in their original relative order.
+    let mut factor_plans: Vec<Fra> = region.factors.iter().map(|f| f.plan.clone()).collect();
+    let mut pushed = vec![false; region.appliers.len()];
+    for (ai, a) in region.appliers.iter().enumerate() {
+        if let Applier::Filter { expr, globals } = a {
+            let owners: Vec<usize> = globals.iter().map(|&g| region.owner[g]).collect();
+            if let Some((&f0, rest)) = owners.split_first() {
+                if rest.iter().all(|&f| f == f0) {
+                    let fac = &region.factors[f0];
+                    let remapped = expr.remap_columns(&|g| {
+                        fac.globals
+                            .iter()
+                            .position(|&x| x == g)
+                            .expect("global owned by factor")
+                    });
+                    factor_plans[f0] = match std::mem::replace(&mut factor_plans[f0], Fra::Unit) {
+                        Fra::Filter { input, predicate } => Fra::Filter {
+                            input,
+                            predicate: ScalarExpr::Binary(
+                                BinOp::And,
+                                Box::new(predicate),
+                                Box::new(remapped),
+                            ),
+                        },
+                        other => Fra::Filter {
+                            input: Box::new(other),
+                            predicate: remapped,
+                        },
+                    };
+                    pushed[ai] = true;
+                }
+            }
+        }
+    }
+    let var_of: Vec<Vec<usize>> = region
+        .factors
+        .iter()
+        .map(|f| f.globals.iter().map(|&g| var_id[class_of[g]]).collect())
+        .collect();
+    let mut plan = Fra::MultiwayJoin {
+        inputs: factor_plans,
+        var_of,
+        names,
+    };
+    let to_var = |g: usize| var_id[class_of[g]];
+    let mut conjs: Vec<ScalarExpr> = Vec::new();
+    for (ai, a) in region.appliers.iter().enumerate() {
+        if pushed[ai] {
+            continue;
+        }
+        match a {
+            Applier::Filter { expr, .. } => conjs.push(expr.remap_columns(&to_var)),
+            Applier::Semi {
+                right,
+                right_keys,
+                left_globals,
+                anti,
+                ..
+            } => {
+                if !conjs.is_empty() {
+                    plan = Fra::Filter {
+                        input: Box::new(plan),
+                        predicate: conjoin_in_order(std::mem::take(&mut conjs)),
+                    };
+                }
+                plan = Fra::SemiJoin {
+                    left: Box::new(plan),
+                    right: right.clone(),
+                    left_keys: left_globals.iter().map(|&g| to_var(g)).collect(),
+                    right_keys: right_keys.clone(),
+                    anti: *anti,
+                };
+            }
+        }
+    }
+    if !conjs.is_empty() {
+        plan = Fra::Filter {
+            input: Box::new(plan),
+            predicate: conjoin_in_order(conjs),
+        };
+    }
+    Some((plan, mapping))
+}
+
+/// GYO ear removal: a join hypergraph is acyclic iff repeatedly
+/// (a) deleting vertices that occur in exactly one hyperedge and
+/// (b) deleting hyperedges contained in another (or empty) reduces it
+/// to nothing.
+fn is_cyclic(hyperedges: &[Vec<usize>], n_vertices: usize) -> bool {
+    let mut edges: Vec<Vec<usize>> = hyperedges.to_vec(); // kept sorted+dedup'd
+    loop {
+        let mut changed = false;
+        let mut occ = vec![0usize; n_vertices];
+        for e in &edges {
+            for &v in e {
+                occ[v] += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|&v| occ[v] > 1);
+            changed |= e.len() != before;
+        }
+        let mut keep = vec![true; edges.len()];
+        for i in 0..edges.len() {
+            if edges[i].is_empty() {
+                keep[i] = false;
+                changed = true;
+                continue;
+            }
+            for j in 0..edges.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                let subset = edges[i].iter().all(|v| edges[j].binary_search(v).is_ok());
+                if subset && (edges[i].len() < edges[j].len() || i > j) {
+                    keep[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if keep.contains(&false) {
+            let mut k = keep.iter();
+            edges.retain(|_| *k.next().expect("keep flag per edge"));
+        }
+        if edges.is_empty() {
+            return false;
+        }
+        if !changed {
+            return true;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1326,9 +1705,43 @@ fn render(fra: &Fra, stats: &PlanStats, depth: usize, out: &mut String) {
                 format!("γ ({} groups, {} aggs)", group.len(), aggs.len())
             }
             Fra::Unwind { alias, .. } => format!("ω {alias}"),
+            Fra::MultiwayJoin { inputs, names, .. } => format!(
+                "⨝ⁿ wcoj ({} rels; order: {})",
+                inputs.len(),
+                names.join(" → ")
+            ),
         }
     };
     let _ = writeln!(out, "{pad}{:<40} ~{:.0} rows", describe(fra), card.max(0.0));
+    if let Fra::MultiwayJoin {
+        inputs,
+        var_of,
+        names,
+    } = fra
+    {
+        // Per-variable distinct estimates — the numbers that chose the
+        // elimination order.
+        for (v, name) in names.iter().enumerate() {
+            let mut d = f64::INFINITY;
+            for (i, inp) in inputs.iter().enumerate() {
+                let rel = analyze(inp, stats);
+                for (c, &vc) in var_of[i].iter().enumerate() {
+                    if vc == v {
+                        let dc = rel
+                            .cols
+                            .get(c)
+                            .map_or(rel.card.sqrt(), |ci| ci.distinct(rel.card, stats));
+                        d = d.min(dc);
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{pad}  · var {v} ({name}): ~{:.0} distinct",
+                if d.is_finite() { d } else { 0.0 }
+            );
+        }
+    }
     match fra {
         Fra::HashJoin { left, right, .. } | Fra::SemiJoin { left, right, .. } => {
             render(left, stats, depth + 1, out);
@@ -1340,6 +1753,11 @@ fn render(fra: &Fra, stats: &PlanStats, depth: usize, out: &mut String) {
         | Fra::Distinct { input }
         | Fra::Aggregate { input, .. }
         | Fra::Unwind { input, .. } => render(input, stats, depth + 1, out),
+        Fra::MultiwayJoin { inputs, .. } => {
+            for i in inputs {
+                render(i, stats, depth + 1, out);
+            }
+        }
         _ => {}
     }
 }

@@ -509,6 +509,30 @@ impl Fra {
                 );
                 input.explain_into(out, depth + 1);
             }
+            Fra::MultiwayJoin {
+                inputs,
+                var_of,
+                names,
+            } => {
+                // Per input, show its columns mapped onto the global
+                // variables (the binding order is the variable order).
+                let binds = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        var_of[i]
+                            .iter()
+                            .map(|&v| names.get(v).cloned().unwrap_or_else(|| format!("_v{v}")))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let _ = writeln!(out, "{pad}⨝ⁿ[order: {}; rels: {binds}]", names.join(" → "));
+                for i in inputs {
+                    i.explain_into(out, depth + 1);
+                }
+            }
         }
     }
 }

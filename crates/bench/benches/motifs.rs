@@ -1,0 +1,65 @@
+//! motifs (Criterion): per-transaction maintenance cost of cyclic-motif
+//! views on the skewed motif workload — the fused ⨝ⁿ worst-case optimal
+//! plan vs the binary join tree over the *same* shared network
+//! (`register_view` vs `register_view_binary`).
+//!
+//! Series:
+//! * `wcoj_<query>/<size>` — planner fuses the cyclic region into one
+//!   ⨝ⁿ node (deltas touch motif instances, never wedges);
+//! * `binary_<query>/<size>` — the pre-wcoj binary join tree, which
+//!   materialises every wedge of the skewed graph in join memories.
+//!
+//! The worst-case-optimality claim is asymptotic: the wcoj/binary gap
+//! must *grow* between the two sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::GraphEngine;
+use pgq_workloads::motifs::{generate_motifs, queries as mq, MotifParams};
+
+fn bench_motifs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motifs");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(2000));
+
+    for (size, params) in [
+        ("quick", MotifParams::quick()),
+        ("default", MotifParams::default()),
+    ] {
+        let mut net = generate_motifs(params);
+        let stream = net.churn(50, params.tri_bias);
+        for (query_name, q) in [
+            ("triangles", mq::TRIANGLES),
+            ("four_cycles", mq::FOUR_CYCLES),
+        ] {
+            for (mode, wcoj) in [("wcoj", true), ("binary", false)] {
+                let mut engine = GraphEngine::from_graph(net.graph.clone());
+                if wcoj {
+                    engine.register_view("v", q).unwrap();
+                } else {
+                    engine.register_view_binary("v", q).unwrap();
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mode}_{query_name}"), size),
+                    &stream,
+                    |b, stream| {
+                        b.iter_batched(
+                            || engine.clone(),
+                            |mut e| {
+                                for tx in stream {
+                                    e.apply(tx).unwrap();
+                                }
+                                e
+                            },
+                            criterion::BatchSize::LargeInput,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motifs);
+criterion_main!(benches);

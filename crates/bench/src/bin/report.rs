@@ -19,6 +19,7 @@ use pgq_common::value::Value;
 use pgq_core::GraphEngine;
 use pgq_graph::tx::Transaction;
 use pgq_workloads::hub::{generate_hub, queries as hq, HubParams};
+use pgq_workloads::motifs::{generate_motifs, queries as mq, MotifParams};
 use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
 use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 use pgq_workloads::trees::{expected_root_paths, reply_tree};
@@ -56,6 +57,7 @@ fn main() {
     e10_ablation(quick);
     e11_optimizer(quick);
     e12_planner(quick);
+    e13_wcoj(quick);
 }
 
 /// Measure the certified perf suites over repeated rounds and write
@@ -498,6 +500,83 @@ fn emit_bench_json(quick: bool, path: &str) {
         }
     }
 
+    // triangles_* / motif_*: cyclic-motif maintenance on the skewed
+    // motif workload, the fused ⨝ⁿ worst-case optimal plan vs the
+    // binary join tree (`register_view_binary`), at two edge scales.
+    // The optimality claim is asymptotic — the wcoj/binary ratio must
+    // grow between `s` and `m` — so both sizes are certified. Fused and
+    // binary engines alternate inside each round so machine-speed drift
+    // hits them equally.
+    {
+        let sizes: &[(&str, usize, usize)] = if quick {
+            &[("s", 60, 150), ("m", 120, 400)]
+        } else {
+            &[("s", 300, 900), ("m", 1200, 6000)]
+        };
+        for &(tag, nodes, edges) in sizes {
+            let mut net = generate_motifs(MotifParams {
+                nodes,
+                edges,
+                ..MotifParams::default()
+            });
+            let stream = net.churn(50, 0.3);
+            for (base, q) in [
+                ("triangles", mq::TRIANGLES),
+                ("motif_4cycle", mq::FOUR_CYCLES),
+            ] {
+                let mut wcoj = GraphEngine::from_graph(net.graph.clone());
+                wcoj.register_view("v", q).unwrap();
+                let mut binary = GraphEngine::from_graph(net.graph.clone());
+                binary.register_view_binary("v", q).unwrap();
+                // Both plans must agree after the whole stream (cheap
+                // oracle outside the timing) — a fast number on a wrong
+                // answer cannot be recorded.
+                {
+                    let (mut w, mut b) = (wcoj.clone(), binary.clone());
+                    for tx in &stream {
+                        w.apply(tx).unwrap();
+                        b.apply(tx).unwrap();
+                    }
+                    let rows = |e: &GraphEngine| {
+                        let id = e.view_by_name("v").unwrap();
+                        e.view(id).unwrap().results()
+                    };
+                    assert_eq!(
+                        rows(&w),
+                        rows(&b),
+                        "wcoj and binary plans diverged on {base}_{tag}"
+                    );
+                }
+                let mut wcoj_us = Vec::with_capacity(rounds);
+                let mut binary_us = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    for (engine, out) in [(&wcoj, &mut wcoj_us), (&binary, &mut binary_us)] {
+                        let mut e = engine.clone();
+                        let t0 = std::time::Instant::now();
+                        for tx in &stream {
+                            e.apply(tx).unwrap();
+                        }
+                        out.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+                    }
+                }
+                let stats = round_stats(&wcoj_us);
+                doc.suite(
+                    &format!("{base}_wcoj_{tag}"),
+                    "us_per_tx",
+                    stats,
+                    1e6 / stats.median,
+                );
+                let stats = round_stats(&binary_us);
+                doc.suite(
+                    &format!("{base}_binary_{tag}"),
+                    "us_per_tx",
+                    stats,
+                    1e6 / stats.median,
+                );
+            }
+        }
+    }
+
     std::fs::write(path, doc.render()).expect("write BENCH.json");
     eprintln!("wrote {path}");
 }
@@ -864,6 +943,88 @@ fn e12_planner(quick: bool) {
         ]);
     }
     println!("{}", table.render());
+}
+
+/// E13 (extension): worst-case optimal n-ary joins on cyclic motifs —
+/// the fused ⨝ⁿ plan vs the binary join tree, with the intermediate
+/// evidence for the asymptotic claim: join-memory tuples and (when
+/// built with `--features ivm-stats`) the per-operator emit counters.
+/// Binary trees emit every wedge (Θ(Σ deg²) on this skew); ⨝ⁿ emits
+/// only motif instances, so its counter stays flat as |E| grows.
+fn e13_wcoj(quick: bool) {
+    println!("## T-E13 — worst-case optimal joins (cyclic motifs)\n");
+    let sizes: &[(usize, usize)] = if quick {
+        &[(60, 150), (120, 400)]
+    } else {
+        &[(300, 900), (600, 2400), (1200, 6000)]
+    };
+    let n = if quick { 30 } else { 50 };
+    let mut table = Table::new(&[
+        "|V| / |E|",
+        "query",
+        "wcoj µs/tx",
+        "binary µs/tx",
+        "speed-up",
+        "wcoj mem tuples",
+        "binary mem tuples",
+        "wcoj emits",
+        "binary join emits",
+    ]);
+    for &(nodes, edges) in sizes {
+        let mut net = generate_motifs(MotifParams {
+            nodes,
+            edges,
+            ..MotifParams::default()
+        });
+        let stream = net.churn(n, 0.3);
+        for (name, q) in [
+            ("Triangles", mq::TRIANGLES),
+            ("FourCycles", mq::FOUR_CYCLES),
+        ] {
+            // (µs/tx, view memory tuples, tuples emitted during the
+            // stream by ⨝ⁿ nodes and by binary join nodes). The emit
+            // counters are process-global, so the engines run strictly
+            // one at a time with a reset in between; they read zero
+            // unless built with the `ivm-stats` feature.
+            let run = |wcoj: bool| -> (f64, usize, u64, u64) {
+                let mut e = GraphEngine::from_graph(net.graph.clone());
+                if wcoj {
+                    e.register_view("v", q).unwrap();
+                } else {
+                    e.register_view_binary("v", q).unwrap();
+                }
+                pgq_ivm::stats::counters::reset();
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    e.apply(tx).unwrap();
+                }
+                let us = t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0;
+                let c = pgq_ivm::stats::counters::snapshot();
+                let id = e.view_by_name("v").unwrap();
+                (
+                    us,
+                    e.view(id).unwrap().memory_tuples(),
+                    c.wcoj_tuples_emitted,
+                    c.join_tuples_emitted,
+                )
+            };
+            let (w_us, w_mem, w_emit, _) = run(true);
+            let (b_us, b_mem, _, b_emit) = run(false);
+            table.row(vec![
+                format!("{nodes} / {}", net.graph.edge_count()),
+                name.to_string(),
+                format!("{w_us:.1}"),
+                format!("{b_us:.1}"),
+                format!("{:.1}×", b_us / w_us.max(0.001)),
+                format!("{w_mem}"),
+                format!("{b_mem}"),
+                format!("{w_emit}"),
+                format!("{b_emit}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(emit counters require `--features ivm-stats`; they read 0 otherwise)\n");
 }
 
 /// E11 (extension): the FRA optimiser — filter push-down + constant

@@ -316,7 +316,31 @@ impl GraphEngine {
             name,
             cypher,
             CompileOptions::default(),
-            RegisterOptions { plan: false },
+            RegisterOptions {
+                plan: false,
+                ..RegisterOptions::default()
+            },
+        )
+    }
+
+    /// Register a view with the cost-based planner on but worst-case
+    /// optimal n-ary fusion off, so cyclic patterns run as binary join
+    /// trees. The baseline for the ⨝ⁿ benchmarks and the wcoj-vs-binary
+    /// differential oracle; production views should use
+    /// [`GraphEngine::register_view`].
+    pub fn register_view_binary(
+        &mut self,
+        name: &str,
+        cypher: &str,
+    ) -> Result<ViewId, EngineError> {
+        self.register_inner(
+            name,
+            cypher,
+            CompileOptions::default(),
+            RegisterOptions {
+                wcoj: false,
+                ..RegisterOptions::default()
+            },
         )
     }
 
@@ -471,7 +495,10 @@ impl GraphEngine {
         out.push_str(&compiled.fra.explain());
         out.push_str("\n== Stage 4: cost-based plan (live statistics snapshot)\n");
         if pgq_ivm::planner_enabled() {
-            out.push_str(&compiled.explain_plan(&pgq_ivm::plan_stats(&self.graph)));
+            let opts = pgq_algebra::plan::PlanOptions {
+                wcoj: pgq_ivm::wcoj_enabled(),
+            };
+            out.push_str(&compiled.explain_plan_with(&pgq_ivm::plan_stats(&self.graph), &opts));
         } else {
             // Show the order that will actually execute.
             out.push_str("planner: disabled (PGQ_DISABLE_PLANNER); the syntactic order runs\n");

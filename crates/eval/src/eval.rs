@@ -246,6 +246,71 @@ pub fn evaluate(fra: &Fra, g: &PropertyGraph) -> Bag {
             }
             out
         }
+        Fra::MultiwayJoin {
+            inputs,
+            var_of,
+            names,
+        } => {
+            // The baseline recomputes ⨝ⁿ as a left-deep hash join over
+            // variable bindings: fold the inputs in order, joining each
+            // on whichever of its variables are already bound. Output
+            // columns are the bindings in variable order (matching the
+            // operator's schema), so results agree with the
+            // incremental operator tuple-for-tuple.
+            let nvars = names.len();
+            let mut bound = vec![false; nvars];
+            let mut acc: Vec<(Vec<Value>, i64)> = vec![(vec![Value::Null; nvars], 1)];
+            for (i, inp) in inputs.iter().enumerate() {
+                let by_col = &var_of[i];
+                let first_col = |v: usize| {
+                    by_col
+                        .iter()
+                        .position(|&w| w == v)
+                        .expect("var of this input")
+                };
+                let mut distinct: Vec<usize> = by_col.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let shared: Vec<usize> = distinct.iter().copied().filter(|&v| bound[v]).collect();
+                let fresh: Vec<usize> = distinct.iter().copied().filter(|&v| !bound[v]).collect();
+                let shared_cols: Vec<usize> = shared.iter().map(|&v| first_col(v)).collect();
+                let fresh_cols: Vec<usize> = fresh.iter().map(|&v| first_col(v)).collect();
+                let mut index: FxHashMap<Tuple, Vec<(Vec<Value>, i64)>> = FxHashMap::default();
+                for (t, m) in evaluate(inp, g) {
+                    // A variable mapped to several columns equates them.
+                    if by_col
+                        .iter()
+                        .enumerate()
+                        .any(|(c, &v)| t.get(first_col(v)) != t.get(c))
+                    {
+                        continue;
+                    }
+                    let vals: Vec<Value> = fresh_cols.iter().map(|&c| t.get(c).clone()).collect();
+                    index
+                        .entry(t.project(&shared_cols))
+                        .or_default()
+                        .push((vals, m));
+                }
+                let mut next = Vec::new();
+                for (b, m) in acc {
+                    let key: Tuple = shared.iter().map(|&v| b[v].clone()).collect();
+                    if let Some(matches) = index.get(&key) {
+                        for (vals, mm) in matches {
+                            let mut nb = b.clone();
+                            for (k, &v) in fresh.iter().enumerate() {
+                                nb[v] = vals[k].clone();
+                            }
+                            next.push((nb, m * mm));
+                        }
+                    }
+                }
+                acc = next;
+                for &v in &fresh {
+                    bound[v] = true;
+                }
+            }
+            acc.into_iter().map(|(b, m)| (Tuple::new(b), m)).collect()
+        }
     }
 }
 

@@ -335,13 +335,41 @@ impl CatalogCell {
 
     fn push_props(&mut self, props: &Properties, on_vertex: bool, add: bool) {
         for (key, v) in props.iter() {
-            self.pending.push(PendingDelta::Prop {
-                key,
-                hash: value_hash(v),
-                on_vertex,
-                add,
-            });
+            self.push_prop_delta(key, v, on_vertex, add);
         }
+    }
+
+    /// Append one property-occurrence delta (the fold primitive used by
+    /// [`PropertyGraph::catalog_fold_events`](crate::store)).
+    #[inline]
+    pub(crate) fn push_prop_delta(&mut self, key: Symbol, v: &Value, on_vertex: bool, add: bool) {
+        self.pending.push(PendingDelta::Prop {
+            key,
+            hash: value_hash(v),
+            on_vertex,
+            add,
+        });
+    }
+
+    /// Append one edge-appeared/disappeared delta without touching the
+    /// edge's properties (the fold pushes those separately, patched to
+    /// their value at mutation time).
+    #[inline]
+    pub(crate) fn push_edge_delta(
+        &mut self,
+        ty: Symbol,
+        src: VertexId,
+        dst: VertexId,
+        old_src_out: usize,
+        add: bool,
+    ) {
+        self.pending.push(PendingDelta::Edge {
+            ty,
+            src: id_hash(src),
+            dst: id_hash(dst),
+            old_out: old_src_out as u32,
+            add,
+        });
     }
 
     /// `old_src_out` is the source's out-degree *before* this edge.
@@ -354,13 +382,7 @@ impl CatalogCell {
         old_src_out: usize,
         props: &Properties,
     ) {
-        self.pending.push(PendingDelta::Edge {
-            ty,
-            src: id_hash(src),
-            dst: id_hash(dst),
-            old_out: old_src_out as u32,
-            add: true,
-        });
+        self.push_edge_delta(ty, src, dst, old_src_out, true);
         if !props.is_empty() {
             self.push_props(props, false, true);
         }
@@ -377,13 +399,7 @@ impl CatalogCell {
         old_src_out: usize,
         props: &Properties,
     ) {
-        self.pending.push(PendingDelta::Edge {
-            ty,
-            src: id_hash(src),
-            dst: id_hash(dst),
-            old_out: old_src_out as u32,
-            add: false,
-        });
+        self.push_edge_delta(ty, src, dst, old_src_out, false);
         if !props.is_empty() {
             self.push_props(props, false, false);
         }
@@ -421,7 +437,7 @@ impl CatalogCell {
     }
 
     #[inline]
-    fn maybe_integrate(&mut self) {
+    pub(crate) fn maybe_integrate(&mut self) {
         if self.pending.len() >= MAX_PENDING {
             self.integrate();
         }

@@ -237,11 +237,18 @@ impl PropertyGraph {
 
     /// Apply `tx` atomically. On success returns the committed events in
     /// operation order; on failure the graph is unchanged.
+    ///
+    /// Cardinality-catalog maintenance is folded into the event
+    /// materialisation: the per-mutation hooks are suppressed for the
+    /// whole transaction and the deltas are derived from the committed
+    /// event stream in one pass afterwards, so a rolled-back transaction
+    /// (including its undo replay) generates no catalog traffic at all.
     pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, GraphError> {
         let mut events: Vec<ChangeEvent> = Vec::with_capacity(tx.len());
         let mut undo: Vec<Undo> = Vec::with_capacity(tx.len());
         let mut created: Vec<VertexId> = Vec::new();
 
+        self.begin_catalog_defer();
         let result = (|| -> Result<(), GraphError> {
             for op in &tx.ops {
                 match op {
@@ -320,7 +327,11 @@ impl PropertyGraph {
         })();
 
         match result {
-            Ok(()) => Ok(events),
+            Ok(()) => {
+                self.end_catalog_defer();
+                self.catalog_fold_events(&events);
+                Ok(events)
+            }
             Err(e) => {
                 for u in undo.into_iter().rev() {
                     match u {
@@ -350,6 +361,7 @@ impl PropertyGraph {
                         }
                     }
                 }
+                self.end_catalog_defer();
                 Err(e)
             }
         }
@@ -445,5 +457,57 @@ mod tests {
         let mut g = PropertyGraph::new();
         let evs = g.apply(&Transaction::new()).unwrap();
         assert!(evs.is_empty());
+    }
+
+    /// The event-stream catalog fold must reconstruct mutation-time
+    /// payloads even when one transaction's operations interact: props
+    /// set at creation then overwritten or cleared, edges created and
+    /// destroyed by a later detach-delete in the same transaction, and
+    /// property updates to elements that are deleted again.
+    #[test]
+    fn catalog_fold_handles_intra_tx_interactions() {
+        use crate::stats::rescan_catalog;
+        use pgq_common::value::Value;
+
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex(
+            [sym("N")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        let (b, _) = g.add_vertex([sym("N")], Properties::new());
+        let (e, _) = g
+            .add_edge(
+                a,
+                b,
+                sym("E"),
+                Properties::from_iter([("w", Value::Int(1))]),
+            )
+            .unwrap();
+
+        let mut tx = Transaction::new();
+        // Created with props, then patched, cleared, and extended.
+        let c = tx.create_vertex(
+            [sym("N")],
+            Properties::from_iter([("lang", Value::str("de")), ("score", Value::Int(1))]),
+        );
+        tx.set_vertex_prop(c, sym("lang"), Value::str("fr"));
+        tx.set_vertex_prop(c, sym("score"), Value::Null);
+        tx.set_vertex_prop(c, sym("fresh"), Value::Int(9));
+        // Pre-existing edge patched, then destroyed by the detach-delete
+        // below; a new edge is created and destroyed within the same
+        // transaction.
+        tx.set_edge_prop(e, sym("w"), Value::Int(5));
+        tx.create_edge(
+            a,
+            b,
+            sym("E"),
+            Properties::from_iter([("w", Value::Int(7))]),
+        );
+        tx.create_edge(c, a, sym("E"), Properties::new());
+        tx.delete_vertex(b, true);
+
+        let events = g.apply(&tx).unwrap();
+        assert!(events.len() >= 9, "expected a multi-event fold path");
+        assert_eq!(&*g.catalog(), &rescan_catalog(&g));
     }
 }

@@ -13,6 +13,7 @@ use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
 
 use crate::delta::{Delta, IndexedBag};
+use crate::stats::counters;
 
 /// A counting hash-join node. Output schema: left ++ (right minus its key
 /// columns) — matching [`pgq_algebra::fra::Fra::HashJoin`].
@@ -61,6 +62,7 @@ fn emit(
             }
         }
     }
+    counters::join_tuple_emitted();
     out.push(Tuple::from_slice(scratch), mult);
 }
 

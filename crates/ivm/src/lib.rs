@@ -47,10 +47,11 @@ pub mod semijoin;
 pub mod stats;
 pub mod tc;
 pub mod view;
+pub mod wcoj;
 
 pub use delta::Delta;
 pub use network::{
-    plan_stats, planner_enabled, DataflowNetwork, NodeId, NodeSummary, RegisterOptions, SinkId,
-    TxFootprint, ViewRef,
+    plan_stats, planner_enabled, wcoj_enabled, DataflowNetwork, NodeId, NodeSummary,
+    RegisterOptions, SinkId, TxFootprint, ViewRef,
 };
 pub use view::MaterializedView;

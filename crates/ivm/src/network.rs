@@ -101,6 +101,7 @@ use crate::scan::{EdgeRouting, EdgeScan, EdgeScanSpec, ScanRouting, VertexRoutin
 use crate::semijoin::SemiJoinOp;
 use crate::stats::{counters, OpStats};
 use crate::tc::VarLengthOp;
+use crate::wcoj::MultiwayJoinOp;
 
 /// Handle of an operator node in the network arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -164,22 +165,30 @@ enum NodeKind {
     Aggregate { input: NodeId, op: AggregateOp },
     /// ω.
     Unwind { input: NodeId, expr: ScalarExpr },
+    /// ⨝ⁿ worst-case optimal n-ary join. One child link per input
+    /// *position* — positions sharing an upstream node link it twice
+    /// (each reference is its own dependency edge, like a self-join).
+    Multiway {
+        inputs: Vec<NodeId>,
+        op: Box<MultiwayJoinOp>,
+    },
 }
 
 impl NodeKind {
-    /// Child links, in input order (`None`-padded).
-    fn children(&self) -> [Option<NodeId>; 2] {
+    /// Child links, one entry per incoming reference, in input order.
+    fn children(&self) -> Vec<NodeId> {
         match self {
-            NodeKind::Unit { .. } | NodeKind::Vertices(_) | NodeKind::Edges(_) => [None, None],
+            NodeKind::Unit { .. } | NodeKind::Vertices(_) | NodeKind::Edges(_) => Vec::new(),
             NodeKind::Join { left, right, .. } | NodeKind::SemiJoin { left, right, .. } => {
-                [Some(*left), Some(*right)]
+                vec![*left, *right]
             }
-            NodeKind::VarLength { left, .. } => [Some(*left), None],
+            NodeKind::VarLength { left, .. } => vec![*left],
             NodeKind::Filter { input, .. }
             | NodeKind::Project { input, .. }
             | NodeKind::Distinct { input, .. }
             | NodeKind::Aggregate { input, .. }
-            | NodeKind::Unwind { input, .. } => [Some(*input), None],
+            | NodeKind::Unwind { input, .. } => vec![*input],
+            NodeKind::Multiway { inputs, .. } => inputs.clone(),
         }
     }
 
@@ -197,6 +206,7 @@ impl NodeKind {
             NodeKind::VarLength { op, .. } => op.memory_tuples(),
             NodeKind::Distinct { op, .. } => op.memory_tuples(),
             NodeKind::Aggregate { op, .. } => op.memory_tuples(),
+            NodeKind::Multiway { op, .. } => op.memory_tuples(),
         }
     }
 
@@ -220,6 +230,7 @@ impl NodeKind {
             NodeKind::Distinct { .. } => "δ".into(),
             NodeKind::Aggregate { .. } => "γ".into(),
             NodeKind::Unwind { .. } => "ω".into(),
+            NodeKind::Multiway { inputs, .. } => format!("⨝ⁿ [{} rels]", inputs.len()),
         }
     }
 }
@@ -539,6 +550,10 @@ impl ParShared<'_> {
             NodeKind::Distinct { input, op } => op.apply(child(*input), out),
             NodeKind::Aggregate { input, op } => op.apply(child(*input), out),
             NodeKind::Unwind { input, expr } => unwind_into(expr, child(*input), out),
+            NodeKind::Multiway { inputs, op } => {
+                let refs: Vec<&Delta> = inputs.iter().map(|&i| child(i)).collect();
+                op.apply(&refs, out);
+            }
         }
         if self.consolidate[t as usize] {
             out.consolidate_in_place();
@@ -702,11 +717,19 @@ pub struct RegisterOptions {
     /// Run the cost-based join-order planner before canonicalisation
     /// (the default). Disable for the syntactic-order baseline.
     pub plan: bool,
+    /// Let the planner fuse cyclic join regions into ⨝ⁿ worst-case
+    /// optimal nodes (the default). Disable for the binary-join-tree
+    /// baseline benchmarks and differential tests compare against. Has
+    /// no effect when `plan` is false (fusion is a planner decision).
+    pub wcoj: bool,
 }
 
 impl Default for RegisterOptions {
     fn default() -> Self {
-        RegisterOptions { plan: true }
+        RegisterOptions {
+            plan: true,
+            wcoj: true,
+        }
     }
 }
 
@@ -719,6 +742,19 @@ pub fn planner_enabled() -> bool {
     *ENABLED.get_or_init(|| {
         !std::env::var("PGQ_DISABLE_PLANNER")
             .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
+/// Is worst-case optimal fusion of cyclic join regions globally
+/// enabled? `PGQ_DISABLE_WCOJ=1` (or `true`) turns it off for the whole
+/// process, keeping every cyclic pattern on the binary join-tree path —
+/// the kill switch mirroring `PGQ_DISABLE_PLANNER`, used by the CI
+/// fallback job. Public so EXPLAIN surfaces report the plan that will
+/// actually execute.
+pub fn wcoj_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("PGQ_DISABLE_WCOJ").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
     })
 }
 
@@ -919,7 +955,10 @@ impl DataflowNetwork {
         let planned_storage;
         let planned: &Fra = if options.plan && planner_enabled() {
             let snapshot = plan_stats(g);
-            let planned = pgq_algebra::plan::plan(fra, &snapshot);
+            let opts = pgq_algebra::plan::PlanOptions {
+                wcoj: options.wcoj && wcoj_enabled(),
+            };
+            let planned = pgq_algebra::plan::plan_with(fra, &snapshot, &opts);
             if planned.changed {
                 crate::stats::counters::planner_plan_changed();
             }
@@ -1093,13 +1132,23 @@ impl DataflowNetwork {
                 input: self.instantiate(input, g),
                 expr: expr.clone(),
             },
+            Fra::MultiwayJoin {
+                inputs,
+                var_of,
+                names,
+            } => {
+                let ids: Vec<NodeId> = inputs.iter().map(|f| self.instantiate(f, g)).collect();
+                NodeKind::Multiway {
+                    inputs: ids,
+                    op: Box::new(MultiwayJoinOp::new(var_of, names.len())),
+                }
+            }
         };
 
         // Allocate the arena slot.
         let depth = kind
             .children()
             .into_iter()
-            .flatten()
             .map(|c| self.sched.depth[c.ix()] + 1)
             .max()
             .unwrap_or(0);
@@ -1124,7 +1173,7 @@ impl DataflowNetwork {
         self.sched.grow(self.nodes.len());
         self.sched.depth[id.ix()] = depth;
         // One parent edge per reference (a self-join registers twice).
-        for child in self.node(id).kind.children().into_iter().flatten() {
+        for child in self.node(id).kind.children() {
             self.node_mut(child).parents.push(id);
         }
         self.cons.entry(fp).or_default().push(id);
@@ -1137,19 +1186,17 @@ impl DataflowNetwork {
     /// just initialised by the recursion).
     fn init_node(&mut self, id: NodeId, g: &PropertyGraph) {
         let children = self.node(id).kind.children();
-        // Full current output of each child, consolidated.
-        let mut child_deltas: [Option<Delta>; 2] = [None, None];
-        for (ix, child) in children.into_iter().enumerate() {
-            if let Some(c) = child {
-                let mut d = self.pool.get();
-                self.replay_into(c, &mut d);
-                d.consolidate_in_place();
-                child_deltas[ix] = Some(d);
-            }
+        // Full current output of each child reference, consolidated.
+        let mut child_deltas: Vec<Delta> = Vec::with_capacity(children.len());
+        for c in children {
+            let mut d = self.pool.get();
+            self.replay_into(c, &mut d);
+            d.consolidate_in_place();
+            child_deltas.push(d);
         }
         let empty = Delta::new();
-        let dl = child_deltas[0].as_ref().unwrap_or(&empty);
-        let dr = child_deltas[1].as_ref().unwrap_or(&empty);
+        let dl = child_deltas.first().unwrap_or(&empty);
+        let dr = child_deltas.get(1).unwrap_or(&empty);
         let mut discard = self.pool.get();
         match &mut self.nodes[id.ix()].as_mut().expect("live node").kind {
             NodeKind::Unit { emitted } => *emitted = true,
@@ -1166,9 +1213,13 @@ impl DataflowNetwork {
             NodeKind::Filter { .. } | NodeKind::Project { .. } | NodeKind::Unwind { .. } => {}
             NodeKind::Distinct { op, .. } => op.apply(dl, &mut discard),
             NodeKind::Aggregate { op, .. } => op.apply(dl, &mut discard),
+            NodeKind::Multiway { op, .. } => {
+                let refs: Vec<&Delta> = child_deltas.iter().collect();
+                op.apply(&refs, &mut discard);
+            }
         }
         self.pool.put(discard);
-        for d in child_deltas.into_iter().flatten() {
+        for d in child_deltas {
             self.pool.put(d);
         }
     }
@@ -1208,6 +1259,7 @@ impl DataflowNetwork {
             NodeKind::VarLength { op, .. } => op.replay_into(out),
             NodeKind::Distinct { op, .. } => op.replay_into(out),
             NodeKind::Aggregate { op, .. } => op.replay_into(out),
+            NodeKind::Multiway { op, .. } => op.replay_into(out),
             NodeKind::Filter { .. } | NodeKind::Project { .. } | NodeKind::Unwind { .. } => {
                 unreachable!("handled above")
             }
@@ -1239,7 +1291,7 @@ impl DataflowNetwork {
         self.free_nodes.push(id.0);
         // Detach from children (one parent edge per reference) and
         // cascade.
-        for child in node.kind.children().into_iter().flatten() {
+        for child in node.kind.children() {
             let parents = &mut self.node_mut(child).parents;
             if let Some(pos) = parents.iter().position(|&p| p == id) {
                 parents.swap_remove(pos);
@@ -1591,6 +1643,10 @@ impl DataflowNetwork {
                 NodeKind::Distinct { input, op } => op.apply(child(*input), &mut out),
                 NodeKind::Aggregate { input, op } => op.apply(child(*input), &mut out),
                 NodeKind::Unwind { input, expr } => unwind_into(expr, child(*input), &mut out),
+                NodeKind::Multiway { inputs, op } => {
+                    let refs: Vec<&Delta> = inputs.iter().map(|&i| child(i)).collect();
+                    op.apply(&refs, &mut out);
+                }
             }
         }
         // Only sink-facing outputs need consolidation (the old
@@ -1990,6 +2046,7 @@ impl DataflowNetwork {
             NodeKind::Distinct { .. } => "δ".to_string(),
             NodeKind::Aggregate { .. } => "γ".to_string(),
             NodeKind::Unwind { .. } => "ω".to_string(),
+            NodeKind::Multiway { inputs, .. } => format!("⨝ⁿ [{} rels]", inputs.len()),
         };
         OpStats {
             name,
@@ -1998,7 +2055,6 @@ impl DataflowNetwork {
                 .kind
                 .children()
                 .into_iter()
-                .flatten()
                 .map(|c| self.node_stats(c))
                 .collect(),
         }
@@ -2020,7 +2076,7 @@ impl DataflowNetwork {
             visited.push(id);
             let node = self.node(id);
             total += node.kind.own_tuples();
-            stack.extend(node.kind.children().into_iter().flatten());
+            stack.extend(node.kind.children());
         }
         total
     }

@@ -48,6 +48,13 @@ pub mod counters {
         pub scan_events_delivered: u64,
         /// Registrations whose plan the cost-based planner changed.
         pub planner_plans_changed: u64,
+        /// Tuples emitted by binary hash-join nodes — on cyclic
+        /// patterns planned as join trees this grows with the wedge
+        /// count, the intermediate blow-up ⨝ⁿ avoids.
+        pub join_tuples_emitted: u64,
+        /// Tuples emitted by ⨝ⁿ worst-case-optimal join nodes (motif
+        /// instances only, never wedges).
+        pub wcoj_tuples_emitted: u64,
     }
 
     #[cfg(feature = "ivm-stats")]
@@ -59,6 +66,8 @@ pub mod counters {
         pub static REHASHES: AtomicU64 = AtomicU64::new(0);
         pub static SCAN_EVENTS_DELIVERED: AtomicU64 = AtomicU64::new(0);
         pub static PLANNER_PLANS_CHANGED: AtomicU64 = AtomicU64::new(0);
+        pub static JOIN_TUPLES_EMITTED: AtomicU64 = AtomicU64::new(0);
+        pub static WCOJ_TUPLES_EMITTED: AtomicU64 = AtomicU64::new(0);
 
         pub fn bump(c: &AtomicU64) {
             c.fetch_add(1, Ordering::Relaxed);
@@ -93,6 +102,20 @@ pub mod counters {
         imp::bump(&imp::PLANNER_PLANS_CHANGED);
     }
 
+    /// Record one tuple emitted by a binary hash-join node.
+    #[inline]
+    pub fn join_tuple_emitted() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::JOIN_TUPLES_EMITTED);
+    }
+
+    /// Record one tuple emitted by a ⨝ⁿ worst-case-optimal join node.
+    #[inline]
+    pub fn wcoj_tuple_emitted() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::WCOJ_TUPLES_EMITTED);
+    }
+
     /// Record a hash-map rehash if `after > before` capacity.
     #[inline]
     pub fn rehash_if_grew(before: usize, after: usize) {
@@ -115,6 +138,8 @@ pub mod counters {
                 rehashes: imp::REHASHES.load(Ordering::Relaxed),
                 scan_events_delivered: imp::SCAN_EVENTS_DELIVERED.load(Ordering::Relaxed),
                 planner_plans_changed: imp::PLANNER_PLANS_CHANGED.load(Ordering::Relaxed),
+                join_tuples_emitted: imp::JOIN_TUPLES_EMITTED.load(Ordering::Relaxed),
+                wcoj_tuples_emitted: imp::WCOJ_TUPLES_EMITTED.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "ivm-stats"))]
@@ -131,6 +156,8 @@ pub mod counters {
             imp::REHASHES.store(0, Ordering::Relaxed);
             imp::SCAN_EVENTS_DELIVERED.store(0, Ordering::Relaxed);
             imp::PLANNER_PLANS_CHANGED.store(0, Ordering::Relaxed);
+            imp::JOIN_TUPLES_EMITTED.store(0, Ordering::Relaxed);
+            imp::WCOJ_TUPLES_EMITTED.store(0, Ordering::Relaxed);
         }
     }
 }

@@ -1,0 +1,693 @@
+//! ⨝ⁿ — worst-case optimal n-ary join (generic join, hash-trie
+//! flavour) in counting delta form.
+//!
+//! Binary join trees are worst-case *suboptimal* on cyclic patterns:
+//! maintaining a triangle query as `(R ⋈ S) ⋈ T` materialises the
+//! Θ(|E|²) open wedges of `R ⋈ S` even when only O(|E|^{3/2})
+//! triangles exist (the AGM bound). This operator joins all n inputs at
+//! once, binding one *variable* at a time in a fixed global order and
+//! intersecting, per variable, the candidate sets every input offers —
+//! so no intermediate ever exceeds the final result's fractional edge
+//! cover bound (Ngo–Porat–Ré–Rudra; Veldhuizen's leapfrog triejoin).
+//!
+//! # Delta form
+//!
+//! The maintenance rule is the n-ary extension of the bilinear binary
+//! rule, evaluated as n sequential passes:
+//!
+//! ```text
+//! Δ(R₁ ⋈ … ⋈ Rₙ) = Σᵢ  R₁ⁿᵉʷ ⋈ … ⋈ Rᵢ₋₁ⁿᵉʷ ⋈ ΔRᵢ ⋈ Rᵢ₊₁ᵒˡᵈ ⋈ … ⋈ Rₙᵒˡᵈ
+//! ```
+//!
+//! Pass `i` seeds the join with each ΔRᵢ tuple (binding all of input
+//! `i`'s variables at once), enumerates the remaining variables in
+//! ascending global order by intersecting the other inputs' candidate
+//! maps, and only then folds ΔRᵢ into input `i`'s memory — so memories
+//! `j < i` are post-transaction and memories `j > i` pre-transaction,
+//! exactly as the rule requires. Each inserted or deleted edge therefore
+//! pays for the *new or vanished motif instances it participates in*,
+//! never for wedge intermediates.
+//!
+//! # Memories
+//!
+//! Each input position keeps its own memory, even when several positions
+//! share one upstream node (a triangle over a single edge type
+//! hash-conses all three scans into one node; the sequential rule needs
+//! per-position old/new staging regardless). A memory is a `full` map
+//! (complete variable binding → multiplicity) plus a family of
+//! `SubIndex`es — one per (bound-variable-set, next-variable) pair any
+//! delta rule or replay can probe it with. The index family is computed
+//! statically from the variable order at construction; maintenance
+//! updates every index in lockstep.
+//!
+//! Variable ids double as the elimination order **and** the output
+//! column positions (see [`pgq_algebra::fra::Fra::MultiwayJoin`]), so
+//! the emitted tuple is simply the binding vector.
+
+use pgq_common::fxhash::FxHashMap;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+
+use crate::delta::Delta;
+use crate::stats::counters;
+
+/// One probe order over an input: bound variables (the lookup key) →
+/// candidate values of one further variable, with summed multiplicities
+/// (entries are pruned at zero, so presence ⇔ support).
+#[derive(Clone, Debug)]
+struct SubIndex {
+    /// Global variable ids of the lookup key, ascending.
+    key_vars: Vec<usize>,
+    /// Column positions of `key_vars` in this input's tuples.
+    key_cols: Vec<usize>,
+    /// The variable whose candidates this index yields.
+    val_var: usize,
+    /// Column position of `val_var`.
+    val_col: usize,
+    /// Key values (in `key_vars` order) → candidate value → multiplicity.
+    map: FxHashMap<Tuple, FxHashMap<Value, i64>>,
+}
+
+/// Memory and static wiring of one input position.
+#[derive(Clone, Debug)]
+struct InputState {
+    /// Distinct global variable ids bound by this input, ascending.
+    vars: Vec<usize>,
+    /// First column carrying each of `vars`.
+    cols: Vec<usize>,
+    /// Column pairs that must agree (the same variable mapped twice);
+    /// tuples violating one can never join and are not stored.
+    dup_checks: Vec<(usize, usize)>,
+    /// Full binding (values of `vars`, in order) → multiplicity.
+    full: FxHashMap<Tuple, i64>,
+    /// Probe orders required by the delta rules and replay.
+    indexes: Vec<SubIndex>,
+}
+
+impl InputState {
+    /// Multiplicity of the current binding projected onto this input.
+    fn full_count(&self, binding: &[Value], scratch: &mut Vec<Value>) -> i64 {
+        scratch.clear();
+        scratch.extend(self.vars.iter().map(|&v| binding[v].clone()));
+        self.full
+            .get(&Tuple::from_slice(scratch))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Fold one signed update into the full map and every sub-index.
+    fn fold(&mut self, t: &Tuple, m: i64) {
+        use std::collections::hash_map::Entry;
+        if self.dup_checks.iter().any(|&(a, b)| t.get(a) != t.get(b)) {
+            return;
+        }
+        let key = Tuple::new(self.cols.iter().map(|&c| t.get(c).clone()).collect());
+        match self.full.entry(key) {
+            Entry::Occupied(mut e) => {
+                *e.get_mut() += m;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(m);
+            }
+        }
+        for idx in &mut self.indexes {
+            let kt = Tuple::new(idx.key_cols.iter().map(|&c| t.get(c).clone()).collect());
+            let val = t.get(idx.val_col).clone();
+            match idx.map.entry(kt) {
+                Entry::Occupied(mut e) => {
+                    let inner = e.get_mut();
+                    let c = inner.entry(val.clone()).or_insert(0);
+                    *c += m;
+                    if *c == 0 {
+                        inner.remove(&val);
+                    }
+                    if inner.is_empty() {
+                        e.remove();
+                    }
+                }
+                Entry::Vacant(v) => {
+                    let mut inner = FxHashMap::default();
+                    inner.insert(val, m);
+                    v.insert(inner);
+                }
+            }
+        }
+    }
+}
+
+/// One enumeration position of a rule: the variable to bind and the
+/// `(input, index slot)` pairs whose candidate maps constrain it.
+#[derive(Clone, Debug)]
+struct Step {
+    var: usize,
+    consults: Vec<(usize, usize)>,
+}
+
+/// One delta rule (seed input `i`), or the full-replay pseudo-rule.
+#[derive(Clone, Debug)]
+struct Rule {
+    /// `(variable, seed column)` pairs bound directly from a seed tuple.
+    seed_binds: Vec<(usize, usize)>,
+    /// Inputs whose variables the seed binds completely — checked (and
+    /// multiplied in) before enumeration starts.
+    prechecks: Vec<usize>,
+    /// Remaining variables in ascending global order.
+    steps: Vec<Step>,
+    /// Inputs that participate in enumeration; their full-map count
+    /// scales the final multiplicity.
+    finals: Vec<usize>,
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+fn subset_of(a: &[usize], b: &[usize]) -> bool {
+    let mut j = 0;
+    'outer: for &x in a {
+        while j < b.len() {
+            let y = b[j];
+            j += 1;
+            if y == x {
+                continue 'outer;
+            }
+            if y > x {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Find or create the sub-index of `input` keyed by `key_vars` yielding
+/// candidates for `val_var`.
+fn intern_index(input: &mut InputState, key_vars: Vec<usize>, val_var: usize) -> usize {
+    if let Some(ix) = input
+        .indexes
+        .iter()
+        .position(|x| x.key_vars == key_vars && x.val_var == val_var)
+    {
+        return ix;
+    }
+    let to_col = |v: usize| input.cols[input.vars.binary_search(&v).expect("var of this input")];
+    let key_cols = key_vars.iter().map(|&v| to_col(v)).collect();
+    let val_col = to_col(val_var);
+    input.indexes.push(SubIndex {
+        key_vars,
+        key_cols,
+        val_var,
+        val_col,
+        map: FxHashMap::default(),
+    });
+    input.indexes.len() - 1
+}
+
+/// Build the rule for `seed` (`None` = the replay pseudo-rule with
+/// nothing bound), interning whatever sub-indexes it needs.
+fn build_rule(inputs: &mut [InputState], nvars: usize, seed: Option<usize>) -> Rule {
+    let bound: Vec<usize> = seed.map(|s| inputs[s].vars.clone()).unwrap_or_default();
+    let seed_binds: Vec<(usize, usize)> = seed
+        .map(|s| {
+            inputs[s]
+                .vars
+                .iter()
+                .copied()
+                .zip(inputs[s].cols.iter().copied())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut prechecks = Vec::new();
+    let mut finals = Vec::new();
+    for (j, input) in inputs.iter().enumerate() {
+        if Some(j) == seed {
+            continue;
+        }
+        if subset_of(&input.vars, &bound) {
+            prechecks.push(j);
+        } else {
+            finals.push(j);
+        }
+    }
+    let mut steps = Vec::new();
+    for v in 0..nvars {
+        if bound.binary_search(&v).is_ok() {
+            continue;
+        }
+        let mut consults = Vec::new();
+        for (j, input) in inputs.iter_mut().enumerate() {
+            if Some(j) == seed || input.vars.binary_search(&v).is_err() {
+                continue;
+            }
+            // A variable `w` of input `j` is already bound when `v` is
+            // enumerated iff the seed bound it, or it precedes `v` in
+            // the ascending enumeration.
+            let key_vars: Vec<usize> = input
+                .vars
+                .iter()
+                .copied()
+                .filter(|&w| w != v && (w < v || bound.binary_search(&w).is_ok()))
+                .collect();
+            let slot = intern_index(input, key_vars, v);
+            consults.push((j, slot));
+        }
+        debug_assert!(
+            !consults.is_empty(),
+            "variable {v} occurs in no probe-able input"
+        );
+        steps.push(Step { var: v, consults });
+    }
+    Rule {
+        seed_binds,
+        prechecks,
+        steps,
+        finals,
+    }
+}
+
+/// Enumerate the unbound variables of `rule` (from `step_ix` on) over
+/// the current `binding`, emitting every complete binding with its
+/// multiplicity product. Per variable: look up each consulted input's
+/// candidate map under the bound prefix, iterate the smallest, and keep
+/// only values present in all — the generic-join intersection step.
+fn enumerate(
+    inputs: &[InputState],
+    rule: &Rule,
+    step_ix: usize,
+    binding: &mut [Value],
+    scratch: &mut Vec<Value>,
+    mult: i64,
+    out: &mut Delta,
+) {
+    let Some(step) = rule.steps.get(step_ix) else {
+        let mut total = mult;
+        for &j in &rule.finals {
+            total *= inputs[j].full_count(binding, scratch);
+            if total == 0 {
+                return;
+            }
+        }
+        counters::wcoj_tuple_emitted();
+        out.push(Tuple::from_slice(binding), total);
+        return;
+    };
+    let mut maps: Vec<&FxHashMap<Value, i64>> = Vec::with_capacity(step.consults.len());
+    for &(j, slot) in &step.consults {
+        let idx = &inputs[j].indexes[slot];
+        scratch.clear();
+        scratch.extend(idx.key_vars.iter().map(|&v| binding[v].clone()));
+        match idx.map.get(&Tuple::from_slice(scratch)) {
+            Some(inner) => maps.push(inner),
+            None => return,
+        }
+    }
+    let mut min_ix = 0;
+    for (k, inner) in maps.iter().enumerate() {
+        if inner.len() < maps[min_ix].len() {
+            min_ix = k;
+        }
+    }
+    for val in maps[min_ix].keys() {
+        if maps
+            .iter()
+            .enumerate()
+            .any(|(k, inner)| k != min_ix && !inner.contains_key(val))
+        {
+            continue;
+        }
+        binding[step.var] = val.clone();
+        enumerate(inputs, rule, step_ix + 1, binding, scratch, mult, out);
+    }
+}
+
+/// The ⨝ⁿ dataflow operator. Construct with the per-input column→
+/// variable maps of the planned
+/// [`Fra::MultiwayJoin`](pgq_algebra::fra::Fra::MultiwayJoin); feed one
+/// delta per input
+/// position per transaction via [`MultiwayJoinOp::apply`].
+#[derive(Clone, Debug)]
+pub struct MultiwayJoinOp {
+    nvars: usize,
+    inputs: Vec<InputState>,
+    /// Delta rule per input position.
+    rules: Vec<Rule>,
+    /// Full-enumeration rule (nothing bound) for replay.
+    replay: Rule,
+    /// Reusable binding vector (one slot per variable).
+    binding: Vec<Value>,
+    /// Reusable key-assembly buffer.
+    scratch: Vec<Value>,
+}
+
+impl MultiwayJoinOp {
+    /// Build the operator for inputs whose column `c` carries variable
+    /// `var_of[i][c]`; `nvars` output variables double as the
+    /// elimination order.
+    pub fn new(var_of: &[Vec<usize>], nvars: usize) -> MultiwayJoinOp {
+        let mut inputs: Vec<InputState> = var_of
+            .iter()
+            .map(|by_col| {
+                let mut vars: Vec<usize> = by_col.clone();
+                vars.sort_unstable();
+                vars.dedup();
+                let cols = vars
+                    .iter()
+                    .map(|&v| by_col.iter().position(|&w| w == v).expect("var present"))
+                    .collect();
+                let mut dup_checks = Vec::new();
+                for (c, &v) in by_col.iter().enumerate() {
+                    let first = by_col.iter().position(|&w| w == v).expect("var present");
+                    if first != c {
+                        dup_checks.push((first, c));
+                    }
+                }
+                InputState {
+                    vars,
+                    cols,
+                    dup_checks,
+                    full: FxHashMap::default(),
+                    indexes: Vec::new(),
+                }
+            })
+            .collect();
+        let mut rules = Vec::with_capacity(inputs.len());
+        for i in 0..inputs.len() {
+            rules.push(build_rule(&mut inputs, nvars, Some(i)));
+        }
+        let replay = build_rule(&mut inputs, nvars, None);
+        MultiwayJoinOp {
+            nvars,
+            inputs,
+            rules,
+            replay,
+            binding: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Distinct tuples stored across the input memories (full maps; the
+    /// derived sub-indexes are not double-counted).
+    pub fn memory_tuples(&self) -> usize {
+        self.inputs.iter().map(|i| i.full.len()).sum()
+    }
+
+    /// Process one transaction's deltas (one per input position, in
+    /// order; positions sharing an upstream node receive the same
+    /// delta), appending the output delta to `out`.
+    pub fn apply(&mut self, deltas: &[&Delta], out: &mut Delta) {
+        debug_assert_eq!(deltas.len(), self.inputs.len());
+        let mut binding = std::mem::take(&mut self.binding);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        binding.clear();
+        binding.resize(self.nvars, Value::Null);
+        for (i, delta) in deltas.iter().enumerate() {
+            if !delta.is_empty() {
+                let rule = &self.rules[i];
+                let seed_input = &self.inputs[i];
+                for (t, m) in delta.iter() {
+                    if seed_input
+                        .dup_checks
+                        .iter()
+                        .any(|&(a, b)| t.get(a) != t.get(b))
+                    {
+                        continue;
+                    }
+                    for &(v, c) in &rule.seed_binds {
+                        binding[v] = t.get(c).clone();
+                    }
+                    let mut mult = *m;
+                    for &j in &rule.prechecks {
+                        mult *= self.inputs[j].full_count(&binding, &mut scratch);
+                        if mult == 0 {
+                            break;
+                        }
+                    }
+                    if mult != 0 {
+                        enumerate(&self.inputs, rule, 0, &mut binding, &mut scratch, mult, out);
+                    }
+                }
+            }
+            // Fold ΔRᵢ only now: memory `i` stays pre-transaction while
+            // its own delta seeds, and is post-transaction for rules > i.
+            for (t, m) in delta.iter() {
+                self.inputs[i].fold(t, *m);
+            }
+        }
+        self.binding = binding;
+        self.scratch = scratch;
+    }
+
+    /// Reconstruct the full current output bag from the memories,
+    /// appending to `out` (used when a new view attaches to this node).
+    pub fn replay_into(&mut self, out: &mut Delta) {
+        let mut binding = std::mem::take(&mut self.binding);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        binding.clear();
+        binding.resize(self.nvars, Value::Null);
+        enumerate(
+            &self.inputs,
+            &self.replay,
+            0,
+            &mut binding,
+            &mut scratch,
+            1,
+            out,
+        );
+        self.binding = binding;
+        self.scratch = scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgq_common::fxhash::FxHashMap;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    fn d(entries: &[(&[i64], i64)]) -> Delta {
+        entries.iter().map(|(v, m)| (t(v), *m)).collect()
+    }
+
+    /// Naive n-way nested-loop join over bags, as the oracle.
+    fn naive(
+        rels: &[Vec<(Tuple, i64)>],
+        var_of: &[Vec<usize>],
+        nvars: usize,
+    ) -> FxHashMap<Tuple, i64> {
+        fn rec(
+            rels: &[Vec<(Tuple, i64)>],
+            var_of: &[Vec<usize>],
+            i: usize,
+            binding: &mut Vec<Option<Value>>,
+            mult: i64,
+            out: &mut FxHashMap<Tuple, i64>,
+        ) {
+            if i == rels.len() {
+                let vals: Vec<Value> = binding
+                    .iter()
+                    .map(|v| v.clone().expect("all vars bound"))
+                    .collect();
+                *out.entry(Tuple::new(vals)).or_insert(0) += mult;
+                return;
+            }
+            'tuples: for (tu, m) in &rels[i] {
+                let saved = binding.clone();
+                for (c, &v) in var_of[i].iter().enumerate() {
+                    match &binding[v] {
+                        Some(x) if x != tu.get(c) => {
+                            *binding = saved;
+                            continue 'tuples;
+                        }
+                        Some(_) => {}
+                        None => binding[v] = Some(tu.get(c).clone()),
+                    }
+                }
+                rec(rels, var_of, i + 1, binding, mult * m, out);
+                *binding = saved;
+            }
+        }
+        let mut out = FxHashMap::default();
+        let mut binding = vec![None; nvars];
+        rec(rels, var_of, 0, &mut binding, 1, &mut out);
+        out.retain(|_, m| *m != 0);
+        out
+    }
+
+    /// Drive the op with a script of per-input delta batches, checking
+    /// the accumulated output against the naive join of the accumulated
+    /// relations after every batch.
+    fn check_script(var_of: Vec<Vec<usize>>, nvars: usize, script: Vec<Vec<Delta>>) {
+        let mut op = MultiwayJoinOp::new(&var_of, nvars);
+        let n = var_of.len();
+        let mut rels: Vec<Vec<(Tuple, i64)>> = vec![Vec::new(); n];
+        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for batch in script {
+            assert_eq!(batch.len(), n);
+            let mut out = Delta::new();
+            {
+                let refs: Vec<&Delta> = batch.iter().collect();
+                op.apply(&refs, &mut out);
+            }
+            for (i, delta) in batch.iter().enumerate() {
+                for (tu, m) in delta.iter() {
+                    rels[i].push((tu.clone(), *m));
+                }
+            }
+            for (tu, m) in out.iter() {
+                *acc.entry(tu.clone()).or_insert(0) += m;
+            }
+            acc.retain(|_, m| *m != 0);
+            assert_eq!(acc, naive(&rels, &var_of, nvars), "incremental drifted");
+            // Replay must agree with the accumulated output.
+            let mut replay = Delta::new();
+            op.replay_into(&mut replay);
+            let mut replay_map: FxHashMap<Tuple, i64> = FxHashMap::default();
+            for (tu, m) in replay.iter() {
+                *replay_map.entry(tu.clone()).or_insert(0) += m;
+            }
+            replay_map.retain(|_, m| *m != 0);
+            assert_eq!(replay_map, acc, "replay drifted");
+        }
+    }
+
+    const TRI: [&[usize]; 3] = [&[0, 1], &[1, 2], &[2, 0]];
+
+    fn tri_vars() -> Vec<Vec<usize>> {
+        TRI.iter().map(|v| v.to_vec()).collect()
+    }
+
+    #[test]
+    fn triangle_inserts_then_deletes() {
+        check_script(
+            tri_vars(),
+            3,
+            vec![
+                // R(1,2), S(2,3), T(3,1) → triangle (1,2,3).
+                vec![d(&[(&[1, 2], 1)]), d(&[(&[2, 3], 1)]), d(&[(&[3, 1], 1)])],
+                // A second triangle sharing the edge R(1,2).
+                vec![Delta::new(), d(&[(&[2, 4], 1)]), d(&[(&[4, 1], 1)])],
+                // Delete the shared edge: both triangles retract.
+                vec![d(&[(&[1, 2], -1)]), Delta::new(), Delta::new()],
+            ],
+        );
+    }
+
+    #[test]
+    fn triangle_same_batch_all_inputs() {
+        // All three edges of a triangle plus unrelated edges in ONE
+        // batch — exercises the sequential old/new staging.
+        check_script(
+            tri_vars(),
+            3,
+            vec![vec![
+                d(&[(&[1, 2], 1), (&[5, 6], 1)]),
+                d(&[(&[2, 3], 1), (&[6, 7], 1)]),
+                d(&[(&[3, 1], 1), (&[9, 5], 1)]),
+            ]],
+        );
+    }
+
+    #[test]
+    fn triangle_multiplicities_multiply() {
+        check_script(
+            tri_vars(),
+            3,
+            vec![
+                vec![d(&[(&[1, 2], 2)]), d(&[(&[2, 3], 3)]), d(&[(&[3, 1], 1)])],
+                vec![Delta::new(), Delta::new(), d(&[(&[3, 1], 4)])],
+            ],
+        );
+    }
+
+    #[test]
+    fn self_join_same_delta_at_every_position() {
+        // Triangle over ONE relation: the same delta arrives at all
+        // three positions (the shared-scan case).
+        let edges = [
+            (&[1i64, 2][..], 1i64),
+            (&[2, 3][..], 1),
+            (&[3, 1][..], 1),
+            (&[2, 1][..], 1),
+            (&[1, 3][..], 1),
+            (&[3, 2][..], 1),
+            (&[4, 1][..], 1),
+        ];
+        let batch = d(&edges);
+        check_script(
+            tri_vars(),
+            3,
+            vec![
+                vec![batch.clone(), batch.clone(), batch.clone()],
+                vec![
+                    d(&[(&[3, 1], -1)]),
+                    d(&[(&[3, 1], -1)]),
+                    d(&[(&[3, 1], -1)]),
+                ],
+            ],
+        );
+    }
+
+    #[test]
+    fn repeated_variable_within_one_input() {
+        // R(a,a) ⋈ S(a,b): the first input's two columns carry the same
+        // variable, so tuples with unequal columns never join.
+        check_script(
+            vec![vec![0, 0], vec![0, 1]],
+            2,
+            vec![
+                vec![d(&[(&[1, 1], 1), (&[2, 3], 1)]), d(&[(&[1, 9], 1)])],
+                vec![d(&[(&[3, 3], 1)]), d(&[(&[3, 7], 1), (&[1, 9], -1)])],
+            ],
+        );
+    }
+
+    #[test]
+    fn diamond_four_cycle() {
+        // 4-cycle a→b→c→d→a.
+        check_script(
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]],
+            4,
+            vec![
+                vec![
+                    d(&[(&[1, 2], 1)]),
+                    d(&[(&[2, 3], 1)]),
+                    d(&[(&[3, 4], 1)]),
+                    d(&[(&[4, 1], 1)]),
+                ],
+                vec![
+                    d(&[(&[1, 5], 1)]),
+                    d(&[(&[5, 3], 1)]),
+                    Delta::new(),
+                    Delta::new(),
+                ],
+                vec![
+                    Delta::new(),
+                    d(&[(&[2, 3], -1)]),
+                    Delta::new(),
+                    Delta::new(),
+                ],
+            ],
+        );
+    }
+
+    #[test]
+    fn input_fully_bound_by_seed_precheck() {
+        // R(a,b) ⋈ S(a,b) ⋈ T(b,c): for ΔT seeds, S shares only `b`…
+        // and for ΔR seeds, S is *fully* bound (the precheck path).
+        check_script(
+            vec![vec![0, 1], vec![0, 1], vec![1, 2]],
+            3,
+            vec![
+                vec![
+                    d(&[(&[1, 2], 1), (&[1, 3], 1)]),
+                    d(&[(&[1, 2], 2)]),
+                    d(&[(&[2, 9], 1)]),
+                ],
+                vec![d(&[(&[1, 2], -1)]), Delta::new(), d(&[(&[3, 8], 1)])],
+            ],
+        );
+    }
+}

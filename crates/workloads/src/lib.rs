@@ -14,7 +14,10 @@
 //!   the cost-based join-order planner benchmarks;
 //! * [`branches`] — independent reply-tree branches with per-branch
 //!   labels/types and views, for the parallel-propagation and
-//!   transaction-batching benchmarks.
+//!   transaction-batching benchmarks;
+//! * [`motifs`] — skew-degree graphs with tunable triangle density and
+//!   an edge-churn stream, for the worst-case optimal join benchmarks
+//!   and the wcoj-vs-binary differential oracle.
 //!
 //! All generators are deterministic given a seed, so benchmark tables are
 //! reproducible run-to-run.
@@ -22,6 +25,7 @@
 pub mod branches;
 pub mod example;
 pub mod hub;
+pub mod motifs;
 pub mod railway;
 pub mod social;
 pub mod trees;
@@ -29,5 +33,6 @@ pub mod trees;
 pub use branches::{branch_forest, branch_query, churn_all, churn_one, Branch, BranchForest};
 pub use example::{paper_example_graph, EXAMPLE_QUERY};
 pub use hub::{generate_hub, HubParams};
+pub use motifs::{generate_motifs, MotifGraph, MotifParams};
 pub use railway::{generate_railway, RailwayParams};
 pub use social::{generate_social, SocialParams};

@@ -1,0 +1,281 @@
+//! Cyclic-motif workload for the worst-case optimal join experiments.
+//!
+//! Cyclic patterns — triangles, four-cycles — are where binary join
+//! trees lose worst-case optimality: a triangle query planned as two
+//! binary joins materialises every *wedge* (directed 2-path), which is
+//! Θ(Σ deg²) on skewed graphs, while the AGM bound for triangle output
+//! is only |E|^{3/2}. This generator builds exactly that adversarial
+//! shape:
+//!
+//! * `N` vertices and a **skew-degree** `E` edge set (endpoint choice is
+//!   biased toward low vertex indices, giving a few heavy out-hubs whose
+//!   wedge counts dominate);
+//! * a tunable fraction of edge insertions that **close a wedge** into a
+//!   directed triangle, so triangle density is controlled independently
+//!   of edge count;
+//! * a seeded churn script of single-edge transactions (inserts with the
+//!   same wedge-closing bias, plus deletions of live edges) shared by
+//!   the benchmarks, the stress tier, and the differential oracle.
+//!
+//! [`queries::TRIANGLES`] / [`queries::FOUR_CYCLES`] are the cyclic
+//! views the planner fuses into one ⨝ⁿ node; the `_RENAMED` twins
+//! differ only in variable names and must hash-cons onto the same node.
+
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale parameters of the motif workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MotifParams {
+    /// Vertices (all labelled `N`).
+    pub nodes: usize,
+    /// Edge-insertion operations used to seed the graph (wedge-closing
+    /// ones add a single closing edge, like every other insertion).
+    pub edges: usize,
+    /// Probability that an inserted edge closes an existing wedge
+    /// `a → b → c` into the directed triangle `a → b → c → a`.
+    pub tri_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MotifParams {
+    fn default() -> Self {
+        MotifParams {
+            nodes: 300,
+            edges: 900,
+            tri_bias: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+impl MotifParams {
+    /// A smaller instance for CI smoke runs.
+    pub fn quick() -> MotifParams {
+        MotifParams {
+            nodes: 60,
+            edges: 150,
+            ..MotifParams::default()
+        }
+    }
+}
+
+/// The generated graph plus the handles the churn script draws from.
+pub struct MotifGraph {
+    /// The graph.
+    pub graph: PropertyGraph,
+    /// All vertices, in creation order (low indices are the hubs).
+    pub nodes: Vec<VertexId>,
+    rng: SmallRng,
+}
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+/// Low-index-biased vertex pick (cubic skew: index 0 is the heaviest
+/// hub), giving the degree skew that blows up wedge counts.
+fn skewed(rng: &mut SmallRng, n: usize) -> usize {
+    let u = rng.random_range(0..1u64 << 32) as f64 / (1u64 << 32) as f64;
+    (((u * u * u) * n as f64) as usize).min(n - 1)
+}
+
+/// Pick the endpoints of the next inserted edge on `g`: with
+/// probability `tri_bias` the closing edge `c → a` of a uniformly
+/// chosen existing wedge `a → b → c`, otherwise a skewed random pair.
+fn next_edge(
+    rng: &mut SmallRng,
+    g: &PropertyGraph,
+    nodes: &[VertexId],
+    tri_bias: f64,
+) -> (VertexId, VertexId) {
+    if g.edge_count() > 0 && rng.random_bool(tri_bias) {
+        // Uniform existing edge a → b, then a uniform out-edge of b.
+        let eids: &[EdgeId] = {
+            // Deterministic order: pick via the per-vertex adjacency of
+            // a skewed source, which is insertion-ordered.
+            let a = nodes[skewed(rng, nodes.len())];
+            g.out_edges(a)
+        };
+        if let Some(&e1) = pick(rng, eids) {
+            let b = g.edge(e1).expect("listed edge exists").dst;
+            if let Some(&e2) = pick(rng, g.out_edges(b)) {
+                let c = g.edge(e2).expect("listed edge exists").dst;
+                let a = g.edge(e1).expect("listed edge exists").src;
+                if c != a {
+                    return (c, a);
+                }
+            }
+        }
+    }
+    // Skewed random pair, self-loops nudged apart.
+    let src = nodes[skewed(rng, nodes.len())];
+    let mut di = skewed(rng, nodes.len());
+    if nodes[di] == src {
+        di = (di + 1) % nodes.len();
+    }
+    (src, nodes[di])
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.random_range(0..xs.len())])
+    }
+}
+
+/// Generate a skew-degree graph with tunable triangle density.
+pub fn generate_motifs(params: MotifParams) -> MotifGraph {
+    assert!(params.nodes >= 2, "motif graphs need at least two vertices");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut g = PropertyGraph::new();
+
+    let mut nodes = Vec::with_capacity(params.nodes);
+    for i in 0..params.nodes {
+        let (v, _) = g.add_vertex(
+            [s("N")],
+            Properties::from_iter([("id", Value::Int(i as i64))]),
+        );
+        nodes.push(v);
+    }
+    for _ in 0..params.edges {
+        let (src, dst) = next_edge(&mut rng, &g, &nodes, params.tri_bias);
+        g.add_edge(src, dst, s("E"), Properties::new()).unwrap();
+    }
+
+    MotifGraph {
+        graph: g,
+        nodes,
+        rng,
+    }
+}
+
+impl MotifGraph {
+    /// Build a seeded churn script of `n` single-operation transactions:
+    /// ~60% edge inserts (with the generator's wedge-closing bias, so
+    /// churn keeps creating and destroying triangles) and ~40% deletions
+    /// of a uniformly chosen live edge. Applies cleanly in order.
+    pub fn churn(&mut self, n: usize, tri_bias: f64) -> Vec<Transaction> {
+        let mut txs = Vec::with_capacity(n);
+        let mut shadow = self.graph.clone();
+        let mut live: Vec<EdgeId> = {
+            let mut e: Vec<_> = shadow.edge_ids().collect();
+            e.sort_unstable();
+            e
+        };
+        for _ in 0..n {
+            let mut tx = Transaction::new();
+            let delete = !live.is_empty() && self.rng.random_range(0..10u32) < 4;
+            if delete {
+                let i = self.rng.random_range(0..live.len());
+                let e = live.swap_remove(i);
+                tx.delete_edge(e);
+            } else {
+                let (src, dst) = next_edge(&mut self.rng, &shadow, &self.nodes, tri_bias);
+                tx.create_edge(src, dst, s("E"), Properties::new());
+            }
+            let events = shadow.apply(&tx).expect("churn tx applies");
+            for ev in &events {
+                if let pgq_graph::delta::ChangeEvent::EdgeAdded { id } = ev {
+                    live.push(*id);
+                }
+            }
+            txs.push(tx);
+        }
+        txs
+    }
+}
+
+/// The standing cyclic-motif queries.
+pub mod queries {
+    /// Directed triangles — the canonical cyclic pattern. The planner
+    /// fuses all three `E` relations (plus the vertex scan) into one
+    /// ⨝ⁿ worst-case optimal node.
+    pub const TRIANGLES: &str = "MATCH (a:N)-[:E]->(b:N)-[:E]->(c:N)-[:E]->(a) RETURN a, b, c";
+
+    /// [`TRIANGLES`] with every variable renamed: must hash-cons onto
+    /// the same ⨝ⁿ node (zero new operators at registration).
+    pub const TRIANGLES_RENAMED: &str =
+        "MATCH (x:N)-[:E]->(y:N)-[:E]->(z:N)-[:E]->(x) RETURN x, y, z";
+
+    /// Directed four-cycles (the "diamond" motif).
+    pub const FOUR_CYCLES: &str =
+        "MATCH (a:N)-[:E]->(b:N)-[:E]->(c:N)-[:E]->(d:N)-[:E]->(a) RETURN a, b, c, d";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_skewed() {
+        let a = generate_motifs(MotifParams::default());
+        let b = generate_motifs(MotifParams::default());
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        // Low-index hubs dominate out-degree.
+        let hub_out: usize = a.nodes[..a.nodes.len() / 10]
+            .iter()
+            .map(|&v| a.graph.out_edges(v).len())
+            .sum();
+        assert!(
+            hub_out * 3 > a.graph.edge_count(),
+            "first decile should hold well over a third of the out-edges"
+        );
+    }
+
+    #[test]
+    fn tri_bias_raises_triangle_count() {
+        let count_triangles = |g: &PropertyGraph| -> usize {
+            let mut n = 0;
+            for e1 in g.edge_ids() {
+                let d1 = g.edge(e1).unwrap();
+                for &e2 in g.out_edges(d1.dst) {
+                    let d2 = g.edge(e2).unwrap();
+                    for &e3 in g.out_edges(d2.dst) {
+                        if g.edge(e3).unwrap().dst == d1.src {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+            n
+        };
+        let dense = generate_motifs(MotifParams {
+            tri_bias: 0.5,
+            ..MotifParams::default()
+        });
+        let sparse = generate_motifs(MotifParams {
+            tri_bias: 0.0,
+            ..MotifParams::default()
+        });
+        assert!(
+            count_triangles(&dense.graph) > 2 * count_triangles(&sparse.graph),
+            "wedge-closing bias should multiply the triangle count"
+        );
+    }
+
+    #[test]
+    fn churn_applies_cleanly_and_deletes() {
+        let mut net = generate_motifs(MotifParams::quick());
+        let script = net.churn(80, 0.3);
+        assert!(
+            script
+                .iter()
+                .any(|tx| matches!(tx.ops()[0], pgq_graph::tx::TxOp::DeleteEdge { .. })),
+            "churn must include deletions"
+        );
+        let mut g = net.graph.clone();
+        for tx in &script {
+            g.apply(tx).expect("churn tx applies");
+        }
+    }
+}

@@ -518,6 +518,199 @@ fn planner_reordered_views_stay_correct_under_hub_churn() {
     }
 }
 
+/// One random step on the motif graph (edges only, plus fresh vertices):
+/// the update language of the wcoj differential oracle. `CloseWedge`
+/// deliberately completes triangles so the cyclic views keep changing.
+#[derive(Clone, Debug)]
+enum MotifStep {
+    AddNode,
+    AddEdge { from: usize, to: usize },
+    CloseWedge { pick: usize },
+    DeleteEdge { pick: usize },
+}
+
+fn motif_step_strategy() -> impl Strategy<Value = MotifStep> {
+    prop_oneof![
+        Just(MotifStep::AddNode),
+        (any::<usize>(), any::<usize>()).prop_map(|(from, to)| MotifStep::AddEdge { from, to }),
+        any::<usize>().prop_map(|pick| MotifStep::CloseWedge { pick }),
+        any::<usize>().prop_map(|pick| MotifStep::DeleteEdge { pick }),
+    ]
+}
+
+fn motif_step_transaction(g: &PropertyGraph, step: &MotifStep) -> Transaction {
+    let vertices: Vec<_> = {
+        let mut v: Vec<_> = g.vertex_ids().collect();
+        v.sort_unstable();
+        v
+    };
+    let edges: Vec<_> = {
+        let mut e: Vec<_> = g.edge_ids().collect();
+        e.sort_unstable();
+        e
+    };
+    let mut tx = Transaction::new();
+    match step {
+        MotifStep::AddNode => {
+            tx.create_vertex([s("N")], Properties::new());
+        }
+        MotifStep::AddEdge { from, to } if !vertices.is_empty() => {
+            let a = vertices[from % vertices.len()];
+            let b = vertices[to % vertices.len()];
+            tx.create_edge(a, b, s("E"), Properties::new());
+        }
+        MotifStep::CloseWedge { pick } if !edges.is_empty() => {
+            // Close a → b → c into a directed triangle with c → a.
+            let e1 = edges[pick % edges.len()];
+            let d1 = g.edge(e1).expect("listed edge exists");
+            if let Some(&e2) = g.out_edges(d1.dst).first() {
+                let c = g.edge(e2).expect("listed edge exists").dst;
+                tx.create_edge(c, d1.src, s("E"), Properties::new());
+            }
+        }
+        MotifStep::DeleteEdge { pick } if !edges.is_empty() => {
+            tx.delete_edge(edges[pick % edges.len()]);
+        }
+        _ => {}
+    }
+    tx
+}
+
+/// Cyclic queries for the wcoj oracle: triangles, an alpha-renamed
+/// triangle twin, and the four-cycle.
+const MOTIF_QUERIES: &[&str] = &[
+    pgq_workloads::motifs::queries::TRIANGLES,
+    pgq_workloads::motifs::queries::TRIANGLES_RENAMED,
+    pgq_workloads::motifs::queries::FOUR_CYCLES,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// The wcoj-vs-binary differential: every cyclic motif query
+    /// registered THREE ways on one engine — fused ⨝ⁿ (`register_view`),
+    /// binary join tree (`register_view_binary`) and syntactic order
+    /// (`register_view_unplanned`) — then the same engine cloned at
+    /// propagation width 4. After every random update (including edge
+    /// deletions, which drive the n-ary retraction rule) all six
+    /// variants of each query must equal a from-scratch evaluation.
+    #[test]
+    fn wcoj_and_binary_twins_agree_across_widths(
+        steps in proptest::collection::vec(motif_step_strategy(), 1..18),
+    ) {
+        use pgq_workloads::motifs::{generate_motifs, MotifParams};
+        let seed = generate_motifs(MotifParams {
+            nodes: 12,
+            edges: 30,
+            tri_bias: 0.4,
+            seed: 11,
+        });
+        let mut serial = pgq_core::GraphEngine::from_graph(seed.graph);
+        let mut compiled_plans = Vec::new();
+        for (i, query) in MOTIF_QUERIES.iter().enumerate() {
+            serial.register_view(&format!("wc{i}"), query).unwrap();
+            serial.register_view_binary(&format!("bi{i}"), query).unwrap();
+            serial.register_view_unplanned(&format!("un{i}"), query).unwrap();
+            compiled_plans.push(compile_query(&parse_query(query).unwrap()).unwrap());
+        }
+        let mut wide = serial.clone();
+        wide.set_threads(4);
+        for step in &steps {
+            let tx = motif_step_transaction(serial.graph(), step);
+            serial.apply(&tx).expect("generated step applies");
+            wide.apply(&tx).expect("generated step applies");
+            for (i, compiled) in compiled_plans.iter().enumerate() {
+                let want = eval_consolidated(&compiled.fra, serial.graph());
+                for prefix in ["wc", "bi", "un"] {
+                    for (engine, width) in [(&serial, 1usize), (&wide, 4)] {
+                        let id = engine.view_by_name(&format!("{prefix}{i}")).unwrap();
+                        prop_assert_eq!(
+                            engine.view(id).unwrap().results(),
+                            want.clone(),
+                            "{} twin at width {} diverged after {:?} on query {}",
+                            prefix, width, step, MOTIF_QUERIES[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic motif-churn oracle: the shared generator's seeded
+/// churn script (inserts with wedge-closing bias plus deletions) driven
+/// through fused, binary and unplanned registrations of every cyclic
+/// query, with an `apply_batch` engine replaying the whole script in
+/// one call. The alpha-renamed triangle twin must hash-cons onto the
+/// original's ⨝ⁿ node (zero new operators).
+#[test]
+fn wcoj_views_stay_correct_under_motif_churn() {
+    use pgq_workloads::motifs::{generate_motifs, MotifParams};
+
+    let mut net = generate_motifs(MotifParams::quick());
+    let script = net.churn(60, 0.3);
+    let mut engine = pgq_core::GraphEngine::from_graph(net.graph.clone());
+    let mut compiled = Vec::new();
+    for (i, q) in MOTIF_QUERIES.iter().enumerate() {
+        engine.register_view(&format!("wc{i}"), q).unwrap();
+        engine.register_view_binary(&format!("bi{i}"), q).unwrap();
+        engine
+            .register_view_unplanned(&format!("un{i}"), q)
+            .unwrap();
+        compiled.push(compile_query(&parse_query(q).unwrap()).unwrap());
+    }
+    // The renamed twin shares the triangle's fused node: re-registering
+    // it under a fresh name must add zero operator nodes.
+    let nodes_before = engine.network_node_count();
+    engine
+        .register_view(
+            "tri_twin",
+            pgq_workloads::motifs::queries::TRIANGLES_RENAMED,
+        )
+        .unwrap();
+    assert_eq!(
+        engine.network_node_count(),
+        nodes_before,
+        "alpha-renamed triangle twin must hash-cons onto the fused node"
+    );
+    let mut batched = engine.clone();
+    for (t, tx) in script.iter().enumerate() {
+        engine.apply(tx).expect("churn tx applies");
+        if t % 5 != 0 && t + 1 != script.len() {
+            continue;
+        }
+        for (i, c) in compiled.iter().enumerate() {
+            let want = eval_consolidated(&c.fra, engine.graph());
+            for prefix in ["wc", "bi", "un"] {
+                let id = engine.view_by_name(&format!("{prefix}{i}")).unwrap();
+                assert_eq!(
+                    engine.view(id).unwrap().results(),
+                    want,
+                    "{prefix} twin diverged at tx {t} on {}",
+                    MOTIF_QUERIES[i]
+                );
+            }
+        }
+    }
+    // Whole script through apply_batch: identical consolidated output.
+    batched.apply_batch(&script).expect("batched churn applies");
+    for (i, query) in MOTIF_QUERIES.iter().enumerate() {
+        for prefix in ["wc", "bi", "un"] {
+            let name = format!("{prefix}{i}");
+            let a = engine.view(engine.view_by_name(&name).unwrap()).unwrap();
+            let b = batched.view(batched.view_by_name(&name).unwrap()).unwrap();
+            assert_eq!(
+                a.results(),
+                b.results(),
+                "apply_batch diverged on {name} ({query})"
+            );
+        }
+    }
+}
+
 #[test]
 fn multiplicities_match_for_fanout_joins() {
     // Bag semantics: two parallel REPLY edges double the row.
