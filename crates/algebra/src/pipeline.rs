@@ -86,17 +86,21 @@ impl CompiledQuery {
         stats: &crate::plan::PlanStats,
         opts: &crate::plan::PlanOptions,
     ) -> String {
-        let planned = crate::plan::plan_with(&self.fra, stats, opts);
+        let (planned, report) = crate::plan::plan_with_report(&self.fra, stats, opts);
         let mut out = String::new();
         out.push_str(if planned.changed {
             "planner: reordered the plan (estimated cardinalities below)\n"
         } else {
             "planner: kept the syntactic order (estimated cardinalities below)\n"
         });
-        if !opts.wcoj {
+        if opts.wcoj == crate::plan::WcojMode::Disabled {
             out.push_str(
                 "wcoj: disabled (PGQ_DISABLE_WCOJ); cyclic regions use binary join trees\n",
             );
+        }
+        for d in &report.fuse_decisions {
+            out.push_str(&d.render());
+            out.push('\n');
         }
         out.push_str(&crate::plan::explain_with_estimates(&planned.fra, stats));
         out

@@ -62,21 +62,65 @@ use crate::fra::{Fra, VarLenSpec};
 /// expansions); larger regions fall back to greedy ordering.
 pub const MAX_DP_UNITS: usize = 8;
 
-/// Knobs for [`plan_with`]. The defaults match [`plan`].
-#[derive(Clone, Debug)]
-pub struct PlanOptions {
-    /// Fuse *cyclic* join regions into a single worst-case optimal
-    /// [`Fra::MultiwayJoin`] instead of a binary join tree. Acyclic
-    /// regions always keep the binary path (the planner threshold):
-    /// binary plans are already worst-case optimal there, and the
-    /// binary operators have the leaner per-delta constant.
-    pub wcoj: bool,
+/// Per-tuple overhead multiplier of the n-ary leapfrog intersection
+/// relative to a binary hash-join probe, applied to the level-walk cost
+/// estimate before it is compared against the binary-tree cost. A
+/// leapfrog level seeks every participating cursor (binary-search hops
+/// through sorted runs) where a hash join pays one probe, so the fused
+/// node has to win by at least this factor on raw tuple counts.
+/// Calibrated against the certified motif suites: triangles
+/// (n-ary/binary raw ratio ≈ 2.4–2.9 at measured scales) must fuse,
+/// 4-cycles (ratio ≈ 4.8–7.1) must not — until skew says otherwise.
+pub const WCOJ_OVERHEAD: f64 = 2.4;
+
+/// Memory escape hatch: fuse regardless of time estimates when the
+/// binary tree's resident intermediates exceed this multiple of the
+/// fused node's input memories. The fused node stores only its inputs
+/// (no wedges), so on blow-up-prone patterns memory becomes the binding
+/// constraint long before time does.
+pub const WCOJ_MEM_RATIO: f64 = 16.0;
+
+/// Catalog threshold for the ⨝ⁿ *intersection backend* default: fused
+/// nodes use the sorted-run sub-indexes (leapfrog with galloping seeks)
+/// when [`PlanStats::out_degree_skew`] is at least this, and the
+/// hash-bucket tries below it. Galloping pays on hub-skewed adjacency
+/// (seeks are O(log degree) where hash probing is O(degree) per
+/// intersection); on low-skew graphs the candidate lists are short and
+/// the leapfrog cursor constant costs ~10% instead. Calibrated on the
+/// certified workloads: the motif catalogs measure skew 4–13 (hash
+/// tries win there), the two-hub catalogs clamp at 64 (sorted runs win
+/// ≥ 2× at 10k-degree hubs).
+pub const SORTED_BACKEND_MIN_SKEW: f64 = 24.0;
+
+/// When does the planner fuse a *cyclic* join region into a single
+/// worst-case optimal [`Fra::MultiwayJoin`]? Acyclic regions always
+/// keep the binary path (the planner threshold): binary plans are
+/// already worst-case optimal there, and the binary operators have the
+/// leaner per-delta constant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WcojMode {
+    /// Never fuse — every region plans as a binary join tree (the
+    /// `PGQ_DISABLE_WCOJ` kill switch / `register_view_binary`).
+    Disabled,
+    /// Fuse an eligible cyclic region only when the estimated n-ary
+    /// intersection cost beats the skew-adjusted binary-tree cost, or
+    /// the binary tree's join memories dwarf the n-ary memories (the
+    /// memory-binding escape hatch). Both estimates come from the
+    /// statistics snapshot and are surfaced by `EXPLAIN` (see
+    /// [`FuseDecision`]).
+    #[default]
+    CostBased,
+    /// Fuse every eligible cyclic region unconditionally — the pre-gate
+    /// behaviour, kept for benchmarks and tests that pin the fused
+    /// operator regardless of what the catalog says.
+    Forced,
 }
 
-impl Default for PlanOptions {
-    fn default() -> Self {
-        PlanOptions { wcoj: true }
-    }
+/// Knobs for [`plan_with`]. The defaults match [`plan`].
+#[derive(Clone, Debug, Default)]
+pub struct PlanOptions {
+    /// Fusion policy for cyclic join regions.
+    pub wcoj: WcojMode,
 }
 
 /// A snapshot of graph statistics taken at view-registration time.
@@ -105,6 +149,14 @@ pub struct PlanStats {
     pub vertex_prop_distinct: FxHashMap<Symbol, u64>,
     /// Estimated distinct values per edge property key.
     pub edge_prop_distinct: FxHashMap<Symbol, u64>,
+    /// Σ out-degree² over all vertices, from the catalog's dense
+    /// out-degree histogram (0 = unknown). The second moment measures
+    /// wedge blow-up: a binary join tree on a cyclic pattern
+    /// materialises Θ(Σ deg²) wedges while the uniform-degree estimate
+    /// assumes E²/sources.
+    pub out_degree_sq_sum: u64,
+    /// Vertices with at least one outgoing edge (0 = unknown).
+    pub out_degree_sources: u64,
 }
 
 impl PlanStats {
@@ -157,6 +209,20 @@ impl PlanStats {
             .map(|t| self.type_distinct_dst.get(t).copied().unwrap_or(0) as f64)
             .sum::<f64>()
             .max(1.0)
+    }
+
+    /// Out-degree skew: the measured second moment Σ deg² over the
+    /// uniform-degree second moment E²/sources. 1.0 on regular graphs;
+    /// grows with hub weight (a single d-degree hub among m edges
+    /// contributes ≈ d²·sources/m²). Clamped — one extreme hub should
+    /// decide the fuse gate, not drown every other term.
+    pub fn out_degree_skew(&self) -> f64 {
+        let e = self.edges as f64;
+        if e < 1.0 || self.out_degree_sq_sum == 0 || self.out_degree_sources == 0 {
+            return 1.0;
+        }
+        let uniform = e * e / self.out_degree_sources as f64;
+        (self.out_degree_sq_sum as f64 / uniform.max(1.0)).clamp(1.0, 64.0)
     }
 
     /// Average per-source fan-out when traversing `types` in `dir`.
@@ -683,7 +749,13 @@ impl Region {
 
 /// Flatten the reorderable region rooted at `fra` into `region`,
 /// returning the subtree's output columns as global ids.
-fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptions) -> Vec<usize> {
+fn decompose(
+    fra: &Fra,
+    stats: &PlanStats,
+    region: &mut Region,
+    opts: &PlanOptions,
+    report: &mut PlanReport,
+) -> Vec<usize> {
     match fra {
         Fra::HashJoin {
             left,
@@ -691,8 +763,8 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptio
             left_keys,
             right_keys,
         } => {
-            let lg = decompose(left, stats, region, opts);
-            let rg = decompose(right, stats, region, opts);
+            let lg = decompose(left, stats, region, opts, report);
+            let rg = decompose(right, stats, region, opts, report);
             for (&a, &b) in left_keys.iter().zip(right_keys) {
                 region.edges.push((lg[a], rg[b]));
             }
@@ -705,7 +777,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptio
             out
         }
         Fra::Filter { input, predicate } => {
-            let ig = decompose(input, stats, region, opts);
+            let ig = decompose(input, stats, region, opts, report);
             for conj in conjunct_list(predicate) {
                 let remapped = conj.remap_columns(&|c| ig[c]);
                 let globals = remapped.columns();
@@ -723,8 +795,8 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptio
             right_keys,
             anti,
         } => {
-            let lg = decompose(left, stats, region, opts);
-            let (rp, rm) = plan_rec(right, stats, opts);
+            let lg = decompose(left, stats, region, opts, report);
+            let (rp, rm) = plan_rec(right, stats, opts, report);
             let right_card = estimate(&rp, stats);
             region.appliers.push(Applier::Semi {
                 right: Box::new(rp),
@@ -742,7 +814,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptio
             dst,
             path,
         } => {
-            let lg = decompose(left, stats, region, opts);
+            let lg = decompose(left, stats, region, opts, report);
             let unit = region.factors.len() + region.expansions.len();
             let mut out_globals = vec![region.fresh(
                 ColInfo::Vertex {
@@ -776,7 +848,7 @@ fn decompose(fra: &Fra, stats: &PlanStats, region: &mut Region, opts: &PlanOptio
             out
         }
         leaf => {
-            let (fp, fm) = plan_rec(leaf, stats, opts);
+            let (fp, fm) = plan_rec(leaf, stats, opts, report);
             let rel = analyze(&fp, stats);
             let unit = region.factors.len() + region.expansions.len();
             let globals: Vec<usize> = rel
@@ -1176,6 +1248,60 @@ pub struct Planned {
     pub changed: bool,
 }
 
+/// One fuse/don't-fuse decision over a cyclic join region, recorded for
+/// `EXPLAIN`. Costs are in the planner's abstract tuple units (total
+/// intermediate cardinality, skew-adjusted on the binary side); they
+/// are comparable to each other, not to wall-clock.
+#[derive(Clone, Debug)]
+pub struct FuseDecision {
+    /// The region's output variable names, in elimination order.
+    pub vars: Vec<String>,
+    /// Relations joined by the region.
+    pub inputs: usize,
+    /// Estimated cost of the fused ⨝ⁿ level-walk (incl. the
+    /// intersection-overhead constant).
+    pub nary_cost: f64,
+    /// Estimated cost of the best binary join tree, multiplied by the
+    /// catalog's out-degree skew (wedge intermediates grow with Σ deg²,
+    /// which the uniform join estimate misses).
+    pub binary_cost: f64,
+    /// Estimated resident tuples of the fused node's input memories.
+    pub nary_memory: f64,
+    /// Estimated resident tuples of the binary tree's join memories.
+    pub binary_memory: f64,
+    /// Did the region fuse into a ⨝ⁿ node?
+    pub fused: bool,
+    /// Was the outcome forced by [`WcojMode::Forced`] rather than won
+    /// on cost?
+    pub forced: bool,
+}
+
+impl FuseDecision {
+    /// One-line `EXPLAIN` rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "wcoj: cyclic region {{{}}} ({} rels): n-ary ≈ {:.0} vs binary ≈ {:.0} units (mem ≈ {:.0} vs ≈ {:.0} tuples) → {}{}",
+            self.vars.join(", "),
+            self.inputs,
+            self.nary_cost,
+            self.binary_cost,
+            self.nary_memory,
+            self.binary_memory,
+            if self.fused { "fused ⨝ⁿ" } else { "binary join tree" },
+            if self.forced { " (forced)" } else { "" },
+        )
+    }
+}
+
+/// Side-channel facts gathered while planning (currently the wcoj fuse
+/// decisions); rendered by `EXPLAIN` surfaces.
+#[derive(Clone, Debug, Default)]
+pub struct PlanReport {
+    /// One entry per cyclic region that was *eligible* for fusion
+    /// (cyclic, ≥ 3 factors, no ⋈* expansion), whatever was decided.
+    pub fuse_decisions: Vec<FuseDecision>,
+}
+
 /// Cost-based planning of `fra` under the statistics snapshot `stats`.
 ///
 /// The result computes the same bag for every graph and exposes the
@@ -1191,13 +1317,23 @@ pub fn plan(fra: &Fra, stats: &PlanStats) -> Planned {
 /// [`plan`] with explicit [`PlanOptions`] (the IVM layer threads its
 /// `PGQ_DISABLE_WCOJ` kill-switch through here).
 pub fn plan_with(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> Planned {
-    let (planned, mapping) = plan_rec(fra, stats, opts);
+    plan_with_report(fra, stats, opts).0
+}
+
+/// [`plan_with`], additionally returning the [`PlanReport`] gathered
+/// along the way (the wcoj fuse/don't-fuse decisions `EXPLAIN` shows).
+pub fn plan_with_report(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Planned, PlanReport) {
+    let mut report = PlanReport::default();
+    let (planned, mapping) = plan_rec(fra, stats, opts, &mut report);
     let restored = restore_schema(planned, &mapping, fra);
     let changed = restored != *fra;
-    Planned {
-        fra: restored,
-        changed,
-    }
+    (
+        Planned {
+            fra: restored,
+            changed,
+        },
+        report,
+    )
 }
 
 /// Wrap `planned` so its schema (names and order) equals `original`'s.
@@ -1220,14 +1356,19 @@ fn restore_schema(planned: Fra, mapping: &[usize], original: &Fra) -> Fra {
 /// Recursive planning; returns the planned subtree plus the bijection
 /// `mapping[i] = j`: column `i` of the original subtree's output is
 /// column `j` of the planned subtree's output.
-fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize>) {
+fn plan_rec(
+    fra: &Fra,
+    stats: &PlanStats,
+    opts: &PlanOptions,
+    report: &mut PlanReport,
+) -> (Fra, Vec<usize>) {
     match fra {
         Fra::HashJoin { .. }
         | Fra::Filter { .. }
         | Fra::SemiJoin { .. }
-        | Fra::VarLengthJoin { .. } => plan_region(fra, stats, opts),
+        | Fra::VarLengthJoin { .. } => plan_region(fra, stats, opts, report),
         Fra::Project { input, items } => {
-            let (ci, m) = plan_rec(input, stats, opts);
+            let (ci, m) = plan_rec(input, stats, opts, report);
             (
                 Fra::Project {
                     input: Box::new(ci),
@@ -1240,7 +1381,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize
             )
         }
         Fra::Distinct { input } => {
-            let (ci, m) = plan_rec(input, stats, opts);
+            let (ci, m) = plan_rec(input, stats, opts, report);
             (
                 Fra::Distinct {
                     input: Box::new(ci),
@@ -1249,7 +1390,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize
             )
         }
         Fra::Aggregate { input, group, aggs } => {
-            let (ci, m) = plan_rec(input, stats, opts);
+            let (ci, m) = plan_rec(input, stats, opts, report);
             (
                 Fra::Aggregate {
                     input: Box::new(ci),
@@ -1275,7 +1416,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize
             )
         }
         Fra::Unwind { input, expr, alias } => {
-            let (ci, m) = plan_rec(input, stats, opts);
+            let (ci, m) = plan_rec(input, stats, opts, report);
             let arity = m.len();
             let mut mapping = m.clone();
             mapping.push(arity);
@@ -1299,7 +1440,7 @@ fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize
             let mut new_inputs = Vec::with_capacity(inputs.len());
             let mut new_vars = Vec::with_capacity(inputs.len());
             for (inp, vars) in inputs.iter().zip(var_of) {
-                let (ci, m) = plan_rec(inp, stats, opts);
+                let (ci, m) = plan_rec(inp, stats, opts, report);
                 let mut nv = vec![0usize; vars.len()];
                 for (c, &v) in vars.iter().enumerate() {
                     nv[m[c]] = v;
@@ -1325,9 +1466,14 @@ fn plan_rec(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize
 /// Plan one reorderable region. Falls back to the original subtree
 /// (identity mapping) if the rebuilt plan fails its arity check — a
 /// safety net for hand-built plans outside the compiler's invariants.
-fn plan_region(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<usize>) {
+fn plan_region(
+    fra: &Fra,
+    stats: &PlanStats,
+    opts: &PlanOptions,
+    report: &mut PlanReport,
+) -> (Fra, Vec<usize>) {
     let mut region = Region::default();
-    let output = decompose(fra, stats, &mut region, opts);
+    let output = decompose(fra, stats, &mut region, opts, report);
     let unit_count = region.factors.len() + region.expansions.len();
     // Units and appliers are tracked in u64 bitmasks; a region exceeding
     // 63 of either (far beyond any compiled query) keeps its syntactic
@@ -1335,11 +1481,14 @@ fn plan_region(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<us
     if unit_count > 63 || region.appliers.len() > 63 {
         return (fra.clone(), (0..fra.schema().len()).collect());
     }
-    if opts.wcoj {
-        if let Some(fused) = try_wcoj(&region, &output, &fra.schema(), stats) {
-            return fused;
-        }
-    }
+    let fused = if opts.wcoj == WcojMode::Disabled {
+        None
+    } else {
+        try_wcoj(&region, &output, &fra.schema(), stats)
+    };
+    // The binary tree is built even when a fused candidate exists: it
+    // is both the cost baseline of the fuse decision and the fallback
+    // plan when the gate keeps the region binary.
     let built = if unit_count > MAX_DP_UNITS {
         let e = Enumerator {
             region: &region,
@@ -1360,6 +1509,41 @@ fn plan_region(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<us
     let complete = built.applied.count_ones() as usize == region.appliers.len()
         && output.iter().all(|g| built.pos.contains_key(g))
         && built.globals.len() == fra.schema().len();
+    if let Some(cand) = fused {
+        // Binary time estimate: total intermediate cardinality under
+        // the uniform containment assumption, scaled by the catalog's
+        // out-degree skew — wedge intermediates really grow with
+        // Σ deg², which the uniform estimate misses. The n-ary side
+        // pays the intersection-overhead constant instead: its leapfrog
+        // seeks gallop through hubs, so skew barely touches it.
+        let (bin_cost, bin_mem) = if complete {
+            (built.cost, built.cost)
+        } else {
+            (f64::INFINITY, f64::INFINITY)
+        };
+        let binary_cost = bin_cost * stats.out_degree_skew();
+        let nary_cost = WCOJ_OVERHEAD * cand.nary_cost;
+        let fuse = match opts.wcoj {
+            WcojMode::Forced => true,
+            WcojMode::CostBased => {
+                nary_cost <= binary_cost || bin_mem > WCOJ_MEM_RATIO * cand.nary_memory
+            }
+            WcojMode::Disabled => unreachable!("no fused candidate when disabled"),
+        };
+        report.fuse_decisions.push(FuseDecision {
+            vars: cand.vars,
+            inputs: cand.inputs,
+            nary_cost,
+            binary_cost,
+            nary_memory: cand.nary_memory,
+            binary_memory: bin_mem,
+            fused: fuse,
+            forced: opts.wcoj == WcojMode::Forced,
+        });
+        if fuse {
+            return (cand.plan, cand.mapping);
+        }
+    }
     if !complete {
         debug_assert!(false, "planner produced an incomplete region rebuild");
         return (fra.clone(), (0..fra.schema().len()).collect());
@@ -1372,12 +1556,32 @@ fn plan_region(fra: &Fra, stats: &PlanStats, opts: &PlanOptions) -> (Fra, Vec<us
 // Worst-case optimal fusion of cyclic regions
 // ---------------------------------------------------------------------------
 
-/// Try to fuse the region into one [`Fra::MultiwayJoin`]. Returns
-/// `None` when the region is not eligible: fewer than three factors,
-/// any ⋈* expansion (those stay on the binary path), or an *acyclic*
-/// join hypergraph — the planner threshold that keeps the proven
-/// binary operators for tree-shaped queries, where binary plans are
-/// already worst-case optimal and have the leaner per-delta constant.
+/// A fused-plan candidate built by [`try_wcoj`]: the ⨝ⁿ plan plus the
+/// cost/memory estimates [`plan_region`]'s gate weighs against the
+/// binary join tree.
+struct WcojCandidate {
+    /// The fused plan (⨝ⁿ plus any unpushable appliers above it).
+    plan: Fra,
+    /// Output column → variable position, as [`plan_region`] returns.
+    mapping: Vec<usize>,
+    /// Variable names in elimination order (for [`FuseDecision`]).
+    vars: Vec<String>,
+    /// Number of joined relations.
+    inputs: usize,
+    /// Raw level-walk cost estimate (tuples touched per full
+    /// recomputation, before the [`WCOJ_OVERHEAD`] multiplier).
+    nary_cost: f64,
+    /// Estimated resident tuples of the fused node's input memories.
+    nary_memory: f64,
+}
+
+/// Build a fused [`Fra::MultiwayJoin`] candidate for the region.
+/// Returns `None` when the region is not eligible: fewer than three
+/// factors, any ⋈* expansion (those stay on the binary path), or an
+/// *acyclic* join hypergraph — binary plans are already worst-case
+/// optimal for tree-shaped queries and have the leaner per-delta
+/// constant. Whether an eligible candidate is *used* is decided by the
+/// cost gate in [`plan_region`], not here.
 ///
 /// Eligibility and the chosen variable order are pure functions of the
 /// region *structure* and `stats` (class ids come from the syntactic
@@ -1388,7 +1592,7 @@ fn try_wcoj(
     output: &[usize],
     schema: &[String],
     stats: &PlanStats,
-) -> Option<(Fra, Vec<usize>)> {
+) -> Option<WcojCandidate> {
     if !region.expansions.is_empty() || region.factors.len() < 3 {
         return None;
     }
@@ -1511,6 +1715,43 @@ fn try_wcoj(
         names[var_id[class_of[g]]] = schema[k].clone();
     }
 
+    // Level-walk cost estimate of the generic join under the chosen
+    // elimination order. At each level the operator intersects, for
+    // every factor containing the variable, that factor's candidate
+    // list given its already-bound variables; a leapfrog round costs
+    // (smallest candidate count) × (number of cursors) seeks, paid once
+    // per bound prefix. The per-factor candidate count is the factor's
+    // cardinality divided by the distinct combinations of its bound
+    // variables (uniform fan-out; skew is the *binary* side's problem —
+    // galloping makes the intersection insensitive to it). The
+    // intersection result follows the containment assumption
+    // Π s_f / U^(k−1), capped at the smallest input.
+    let cards: Vec<f64> = region.factors.iter().map(|f| f.rel.card.max(1.0)).collect();
+    let mut bound = vec![false; n_classes];
+    let mut nary_cost = 0.0f64;
+    let mut prefix = 1.0f64;
+    for &c in &order {
+        let u = distinct[c].max(1.0);
+        let mut s_min = f64::INFINITY;
+        let mut s_prod = 1.0f64;
+        let k = containing[c].len();
+        for &fi in &containing[c] {
+            let bound_distinct: f64 = factor_classes[fi]
+                .iter()
+                .filter(|&&c2| bound[c2])
+                .map(|&c2| distinct[c2].max(1.0))
+                .product();
+            let s = (cards[fi] / bound_distinct).clamp(1.0, u);
+            s_min = s_min.min(s);
+            s_prod *= s;
+        }
+        nary_cost += prefix * s_min * k as f64;
+        let inter = (s_prod / u.powi(k as i32 - 1)).min(s_min).max(1e-3);
+        prefix *= inter;
+        bound[c] = true;
+    }
+    let nary_memory: f64 = cards.iter().sum();
+
     // Push single-factor filter conjuncts into their factor (so trie
     // memories stay pruned); multi-factor filters and all semijoins
     // apply above the node, in their original relative order.
@@ -1552,6 +1793,7 @@ fn try_wcoj(
         .iter()
         .map(|f| f.globals.iter().map(|&g| var_id[class_of[g]]).collect())
         .collect();
+    let vars = names.clone();
     let mut plan = Fra::MultiwayJoin {
         inputs: factor_plans,
         var_of,
@@ -1594,7 +1836,14 @@ fn try_wcoj(
             predicate: conjoin_in_order(conjs),
         };
     }
-    Some((plan, mapping))
+    Some(WcojCandidate {
+        plan,
+        mapping,
+        vars,
+        inputs: region.factors.len(),
+        nary_cost,
+        nary_memory,
+    })
 }
 
 /// GYO ear removal: a join hypergraph is acyclic iff repeatedly

@@ -1,20 +1,29 @@
 //! motifs (Criterion): per-transaction maintenance cost of cyclic-motif
 //! views on the skewed motif workload — the fused ⨝ⁿ worst-case optimal
-//! plan vs the binary join tree over the *same* shared network
-//! (`register_view` vs `register_view_binary`).
+//! plan vs the binary join tree over the *same* shared network.
 //!
 //! Series:
-//! * `wcoj_<query>/<size>` — planner fuses the cyclic region into one
-//!   ⨝ⁿ node (deltas touch motif instances, never wedges);
+//! * `wcoj_<query>/<size>` — the cyclic region pinned to one ⨝ⁿ node
+//!   (`register_view_wcoj_forced`; deltas touch motif instances, never
+//!   wedges). Forced rather than cost-based, so the series keeps
+//!   measuring the fused node even where the catalog gate would pick
+//!   the binary tree (quick-scale triangles, four-cycles everywhere —
+//!   see `tests/fuse_gate.rs` for the gate's pinned decisions);
 //! * `binary_<query>/<size>` — the pre-wcoj binary join tree, which
-//!   materialises every wedge of the skewed graph in join memories.
+//!   materialises every wedge of the skewed graph in join memories;
+//! * `hub_{sorted,hash}/<spokes>` — the two ⨝ⁿ intersection backends on
+//!   the two-hub galloping workload: sorted-run sub-indexes (leapfrog
+//!   with galloping seeks) vs the hash-bucket tries.
 //!
 //! The worst-case-optimality claim is asymptotic: the wcoj/binary gap
-//! must *grow* between the two sizes.
+//! must *grow* between the two sizes, and the sorted/hash gap with the
+//! hub degree.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pgq_core::GraphEngine;
-use pgq_workloads::motifs::{generate_motifs, queries as mq, MotifParams};
+use pgq_workloads::motifs::{
+    generate_hub_motifs, generate_motifs, queries as mq, HubMotifParams, MotifParams,
+};
 
 fn bench_motifs(c: &mut Criterion) {
     let mut group = c.benchmark_group("motifs");
@@ -35,7 +44,7 @@ fn bench_motifs(c: &mut Criterion) {
             for (mode, wcoj) in [("wcoj", true), ("binary", false)] {
                 let mut engine = GraphEngine::from_graph(net.graph.clone());
                 if wcoj {
-                    engine.register_view("v", q).unwrap();
+                    engine.register_view_wcoj_forced("v", q, true).unwrap();
                 } else {
                     engine.register_view_binary("v", q).unwrap();
                 }
@@ -57,6 +66,34 @@ fn bench_motifs(c: &mut Criterion) {
                 );
             }
         }
+    }
+
+    // Backend comparison on the hub motif: the bridge-edge flaps in the
+    // churn script intersect two hub-degree adjacency lists per pass.
+    let params = HubMotifParams::quick();
+    let mut net = generate_hub_motifs(params);
+    let stream = net.churn(30);
+    for (mode, sorted) in [("hub_sorted", true), ("hub_hash", false)] {
+        let mut engine = GraphEngine::from_graph(net.graph.clone());
+        engine
+            .register_view_wcoj_forced("v", mq::TRIANGLES, sorted)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(mode, params.spokes),
+            &stream,
+            |b, stream| {
+                b.iter_batched(
+                    || engine.clone(),
+                    |mut e| {
+                        for tx in stream {
+                            e.apply(tx).unwrap();
+                        }
+                        e
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

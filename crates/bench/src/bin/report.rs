@@ -19,7 +19,9 @@ use pgq_common::value::Value;
 use pgq_core::GraphEngine;
 use pgq_graph::tx::Transaction;
 use pgq_workloads::hub::{generate_hub, queries as hq, HubParams};
-use pgq_workloads::motifs::{generate_motifs, queries as mq, MotifParams};
+use pgq_workloads::motifs::{
+    generate_hub_motifs, generate_motifs, queries as mq, HubMotifParams, MotifParams,
+};
 use pgq_workloads::railway::{generate_railway, queries as rq, RailwayParams};
 use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
 use pgq_workloads::trees::{expected_root_paths, reply_tree};
@@ -577,6 +579,81 @@ fn emit_bench_json(quick: bool, path: &str) {
         }
     }
 
+    // triangles_hub_*: the galloping target case — triangle maintenance
+    // whose bridge-edge deltas intersect two hub-degree candidate lists
+    // with a tiny, id-segregated overlap. Sorted-run backend vs the
+    // hash-trie fallback, fusion forced on both engines so they run the
+    // identical ⨝ⁿ plan and differ only in the intersection machinery.
+    // The certified claim (sorted ≥ 1.5× hash at hub degree ≥ 10k)
+    // lives on the `m` size.
+    {
+        let sizes: &[(&str, usize, usize)] = if quick {
+            &[("s", 400, 8)]
+        } else {
+            &[("s", 2_000, 20), ("m", 10_000, 100)]
+        };
+        for &(tag, spokes, closers) in sizes {
+            let mut net = generate_hub_motifs(HubMotifParams {
+                spokes,
+                closers,
+                seed: 11,
+            });
+            let stream = net.churn(if quick { 30 } else { 50 });
+            let mut sorted_e = GraphEngine::from_graph(net.graph.clone());
+            sorted_e
+                .register_view_wcoj_forced("v", mq::TRIANGLES, true)
+                .unwrap();
+            let mut hash_e = GraphEngine::from_graph(net.graph.clone());
+            hash_e
+                .register_view_wcoj_forced("v", mq::TRIANGLES, false)
+                .unwrap();
+            // Both backends must agree after the whole stream (cheap
+            // oracle outside the timing).
+            {
+                let (mut a, mut b) = (sorted_e.clone(), hash_e.clone());
+                for tx in &stream {
+                    a.apply(tx).unwrap();
+                    b.apply(tx).unwrap();
+                }
+                let rows = |e: &GraphEngine| {
+                    let id = e.view_by_name("v").unwrap();
+                    e.view(id).unwrap().results()
+                };
+                assert_eq!(
+                    rows(&a),
+                    rows(&b),
+                    "sorted and hash backends diverged on triangles_hub_{tag}"
+                );
+            }
+            let mut sorted_us = Vec::with_capacity(rounds);
+            let mut hash_us = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                for (engine, out) in [(&sorted_e, &mut sorted_us), (&hash_e, &mut hash_us)] {
+                    let mut e = engine.clone();
+                    let t0 = std::time::Instant::now();
+                    for tx in &stream {
+                        e.apply(tx).unwrap();
+                    }
+                    out.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+                }
+            }
+            let stats = round_stats(&sorted_us);
+            doc.suite(
+                &format!("triangles_hub_sorted_{tag}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+            let stats = round_stats(&hash_us);
+            doc.suite(
+                &format!("triangles_hub_hash_{tag}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
     std::fs::write(path, doc.render()).expect("write BENCH.json");
     eprintln!("wrote {path}");
 }
@@ -1025,6 +1102,61 @@ fn e13_wcoj(quick: bool) {
     }
     println!("{}", table.render());
     println!("(emit counters require `--features ivm-stats`; they read 0 otherwise)\n");
+
+    // Hub motif: the sorted-run backend's galloping intersection vs the
+    // hash-trie fallback, fusion forced on both so the plan is
+    // identical. The gallop/probe counters make the mechanism visible:
+    // sorted probe counts track the intersection output, hash probe
+    // counts track hub degree.
+    println!("### hub motif — sorted-run galloping vs hash tries\n");
+    let hub_sizes: &[(usize, usize)] = if quick {
+        &[(400, 8)]
+    } else {
+        &[(2_000, 20), (10_000, 100)]
+    };
+    let mut table = Table::new(&[
+        "hub degree",
+        "sorted µs/tx",
+        "hash µs/tx",
+        "speed-up",
+        "sorted probes",
+        "hash probes",
+        "gallop steps",
+    ]);
+    for &(spokes, closers) in hub_sizes {
+        let mut net = generate_hub_motifs(HubMotifParams {
+            spokes,
+            closers,
+            seed: 11,
+        });
+        let stream = net.churn(n);
+        let run = |sorted: bool| -> (f64, u64, u64) {
+            let mut e = GraphEngine::from_graph(net.graph.clone());
+            e.register_view_wcoj_forced("v", mq::TRIANGLES, sorted)
+                .unwrap();
+            pgq_ivm::stats::counters::reset();
+            let t0 = std::time::Instant::now();
+            for tx in &stream {
+                e.apply(tx).unwrap();
+            }
+            let us = t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0;
+            let c = pgq_ivm::stats::counters::snapshot();
+            (us, c.intersect_probes, c.gallop_steps)
+        };
+        let (s_us, s_probes, s_gallops) = run(true);
+        let (h_us, h_probes, _) = run(false);
+        table.row(vec![
+            format!("{spokes}"),
+            format!("{s_us:.1}"),
+            format!("{h_us:.1}"),
+            format!("{:.1}×", h_us / s_us.max(0.001)),
+            format!("{s_probes}"),
+            format!("{h_probes}"),
+            format!("{s_gallops}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(probe/gallop counters require `--features ivm-stats`; they read 0 otherwise)\n");
 }
 
 /// E11 (extension): the FRA optimiser — filter push-down + constant

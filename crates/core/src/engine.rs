@@ -338,7 +338,32 @@ impl GraphEngine {
             cypher,
             CompileOptions::default(),
             RegisterOptions {
-                wcoj: false,
+                wcoj: pgq_algebra::plan::WcojMode::Disabled,
+                ..RegisterOptions::default()
+            },
+        )
+    }
+
+    /// Register a view with worst-case optimal fusion *forced* for every
+    /// eligible cyclic region (bypassing the catalog cost gate) and the
+    /// ⨝ⁿ sub-index backend pinned to sorted runs (`sorted = true`) or
+    /// hash tries (`sorted = false`). For benchmarks and differential
+    /// tests that must exercise the fused operator on graphs where the
+    /// cost gate would choose the binary tree; production views should
+    /// use [`GraphEngine::register_view`].
+    pub fn register_view_wcoj_forced(
+        &mut self,
+        name: &str,
+        cypher: &str,
+        sorted: bool,
+    ) -> Result<ViewId, EngineError> {
+        self.register_inner(
+            name,
+            cypher,
+            CompileOptions::default(),
+            RegisterOptions {
+                wcoj: pgq_algebra::plan::WcojMode::Forced,
+                wcoj_sorted: Some(sorted),
                 ..RegisterOptions::default()
             },
         )
@@ -496,7 +521,11 @@ impl GraphEngine {
         out.push_str("\n== Stage 4: cost-based plan (live statistics snapshot)\n");
         if pgq_ivm::planner_enabled() {
             let opts = pgq_algebra::plan::PlanOptions {
-                wcoj: pgq_ivm::wcoj_enabled(),
+                wcoj: if pgq_ivm::wcoj_enabled() {
+                    pgq_algebra::plan::WcojMode::CostBased
+                } else {
+                    pgq_algebra::plan::WcojMode::Disabled
+                },
             };
             out.push_str(&compiled.explain_plan_with(&pgq_ivm::plan_stats(&self.graph), &opts));
         } else {

@@ -184,6 +184,25 @@ impl CardinalityCatalog {
         self.max_out as usize
     }
 
+    /// Σ out-degree² over all vertices — the second moment of the
+    /// out-degree histogram. Measures wedge blow-up: a binary join over
+    /// two edge hops materialises Σ deg² intermediate wedges, so the
+    /// planner compares this against the uniform-degree assumption
+    /// (E²/sources) to quantify skew.
+    pub fn out_degree_second_moment(&self) -> u64 {
+        self.out_hist
+            .iter()
+            .enumerate()
+            .map(|(d, &n)| (d as u64) * (d as u64) * n as u64)
+            .sum()
+    }
+
+    /// Number of vertices with at least one outgoing edge (the support
+    /// of the out-degree histogram).
+    pub fn out_degree_source_count(&self) -> u64 {
+        self.out_hist.iter().map(|&n| n as u64).sum()
+    }
+
     /// Estimated number of distinct vertices with at least one outgoing
     /// edge of type `ty`. `|type| / distinct_sources` is the type's
     /// average out-fan-out.

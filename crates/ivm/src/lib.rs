@@ -51,7 +51,7 @@ pub mod wcoj;
 
 pub use delta::Delta;
 pub use network::{
-    plan_stats, planner_enabled, wcoj_enabled, DataflowNetwork, NodeId, NodeSummary,
-    RegisterOptions, SinkId, TxFootprint, ViewRef,
+    plan_stats, planner_enabled, sorted_wcoj_enabled, wcoj_enabled, DataflowNetwork, NodeId,
+    NodeSummary, RegisterOptions, SinkId, TxFootprint, ViewRef,
 };
 pub use view::MaterializedView;

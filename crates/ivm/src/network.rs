@@ -83,6 +83,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use parking_lot::{Condvar, Mutex};
 use pgq_algebra::expr::{AggCall, ScalarExpr};
 use pgq_algebra::fra::Fra;
+use pgq_algebra::plan::WcojMode;
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::intern::Symbol;
 use pgq_common::pool::WorkerPool;
@@ -717,18 +718,29 @@ pub struct RegisterOptions {
     /// Run the cost-based join-order planner before canonicalisation
     /// (the default). Disable for the syntactic-order baseline.
     pub plan: bool,
-    /// Let the planner fuse cyclic join regions into ⨝ⁿ worst-case
-    /// optimal nodes (the default). Disable for the binary-join-tree
-    /// baseline benchmarks and differential tests compare against. Has
-    /// no effect when `plan` is false (fusion is a planner decision).
-    pub wcoj: bool,
+    /// Fusion policy for cyclic join regions: `CostBased` (default)
+    /// weighs the catalog estimates, `Disabled` pins the
+    /// binary-join-tree baseline benchmarks and differential tests
+    /// compare against, `Forced` fuses every eligible region regardless
+    /// of the estimates. Has no effect when `plan` is false (fusion is
+    /// a planner decision).
+    pub wcoj: WcojMode,
+    /// Backend for ⨝ⁿ sub-indexes: `None` lets the catalog decide
+    /// (sorted runs when the snapshot's out-degree skew reaches
+    /// [`pgq_algebra::plan::SORTED_BACKEND_MIN_SKEW`], hash tries
+    /// below it) under the process-wide [`sorted_wcoj_enabled`]
+    /// toggle, `Some(true)` forces sorted runs with galloping
+    /// intersection, `Some(false)` forces the hash-trie fallback
+    /// (benchmarks pin one backend per engine this way).
+    pub wcoj_sorted: Option<bool>,
 }
 
 impl Default for RegisterOptions {
     fn default() -> Self {
         RegisterOptions {
             plan: true,
-            wcoj: true,
+            wcoj: WcojMode::CostBased,
+            wcoj_sorted: None,
         }
     }
 }
@@ -758,6 +770,23 @@ pub fn wcoj_enabled() -> bool {
     })
 }
 
+/// May ⨝ⁿ nodes use the sorted-run sub-index backend (leapfrog with
+/// galloping intersection)? `PGQ_WCOJ_SORTED=0` (or `false`) falls the
+/// whole process back to the hash-trie backend — the fallback toggle
+/// mirroring `PGQ_DISABLE_WCOJ`, exercised by the `wcoj-hash-fallback`
+/// CI matrix leg. When enabled (the default), the registration-time
+/// catalog still chooses per view: sorted runs only pay for themselves
+/// on hub-skewed adjacency (see
+/// [`pgq_algebra::plan::SORTED_BACKEND_MIN_SKEW`]). Both backends
+/// maintain identical bags; only the intersection cost profile
+/// differs.
+pub fn sorted_wcoj_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("PGQ_WCOJ_SORTED").is_ok_and(|v| v == "0" || v.eq_ignore_ascii_case("false"))
+    })
+}
+
 /// Snapshot the planner-relevant statistics of `g`: label/type extents
 /// from the secondary indexes, per-type distinct endpoints and
 /// distinct-property-value estimates from the live
@@ -772,6 +801,8 @@ pub fn plan_stats(g: &PropertyGraph) -> pgq_algebra::plan::PlanStats {
     let mut stats = pgq_algebra::plan::PlanStats {
         vertices: g.vertex_count() as u64,
         edges: g.edge_count() as u64,
+        out_degree_sq_sum: catalog.out_degree_second_moment(),
+        out_degree_sources: catalog.out_degree_source_count(),
         ..Default::default()
     };
     for l in g.labels() {
@@ -953,10 +984,22 @@ impl DataflowNetwork {
         options: RegisterOptions,
     ) -> SinkId {
         let planned_storage;
+        // Backend default for any ⨝ⁿ node this registration creates:
+        // sorted runs on hub-skewed catalogs (galloping pays), hash
+        // tries on low-skew ones (leapfrog constants don't). Only the
+        // planned path snapshots statistics; the unplanned path never
+        // fuses, so the flag is moot there.
+        let mut catalog_sorted = true;
         let planned: &Fra = if options.plan && planner_enabled() {
             let snapshot = plan_stats(g);
+            catalog_sorted =
+                snapshot.out_degree_skew() >= pgq_algebra::plan::SORTED_BACKEND_MIN_SKEW;
             let opts = pgq_algebra::plan::PlanOptions {
-                wcoj: options.wcoj && wcoj_enabled(),
+                wcoj: if wcoj_enabled() {
+                    options.wcoj
+                } else {
+                    WcojMode::Disabled
+                },
             };
             let planned = pgq_algebra::plan::plan_with(fra, &snapshot, &opts);
             if planned.changed {
@@ -969,7 +1012,10 @@ impl DataflowNetwork {
         };
         let canon = pgq_algebra::canon::canonicalize(planned);
         let plan = canon.with_restored_order();
-        let root = self.instantiate(&plan, g);
+        let sorted = options
+            .wcoj_sorted
+            .unwrap_or_else(|| sorted_wcoj_enabled() && catalog_sorted);
+        let root = self.instantiate(&plan, g, sorted);
         // Build the sink's result bag from the (possibly shared) root's
         // full current output.
         let mut init = self.pool.get();
@@ -1027,7 +1073,14 @@ impl DataflowNetwork {
     }
 
     /// Instantiate (or share) the node for `fra`, children first.
-    fn instantiate(&mut self, fra: &Fra, g: &PropertyGraph) -> NodeId {
+    ///
+    /// `sorted` picks the sub-index backend for any ⨝ⁿ node created
+    /// here. Hash-consing matches on the *plan* only: if an identical
+    /// Multiway node already exists, it is shared with whatever backend
+    /// it was first created with (both backends maintain the same bag,
+    /// so this only matters for benchmarks — which pin one backend per
+    /// engine).
+    fn instantiate(&mut self, fra: &Fra, g: &PropertyGraph, sorted: bool) -> NodeId {
         let fp = fra.fingerprint().0;
         if let Some(cands) = self.cons.get(&fp) {
             for &id in cands {
@@ -1072,8 +1125,8 @@ impl DataflowNetwork {
                 right_keys,
             } => {
                 let op = JoinOp::new(left_keys.clone(), right_keys.clone(), right.schema().len());
-                let l = self.instantiate(left, g);
-                let r = self.instantiate(right, g);
+                let l = self.instantiate(left, g, sorted);
+                let r = self.instantiate(right, g, sorted);
                 NodeKind::Join {
                     left: l,
                     right: r,
@@ -1088,8 +1141,8 @@ impl DataflowNetwork {
                 anti,
             } => {
                 let op = SemiJoinOp::new(left_keys.clone(), right_keys.clone(), *anti);
-                let l = self.instantiate(left, g);
-                let r = self.instantiate(right, g);
+                let l = self.instantiate(left, g, sorted);
+                let r = self.instantiate(right, g, sorted);
                 NodeKind::SemiJoin {
                     left: l,
                     right: r,
@@ -1103,24 +1156,24 @@ impl DataflowNetwork {
                 ..
             } => {
                 let op = Box::new(VarLengthOp::new(left.schema().len(), *src_col, spec));
-                let l = self.instantiate(left, g);
+                let l = self.instantiate(left, g, sorted);
                 NodeKind::VarLength { left: l, op }
             }
             Fra::Filter { input, predicate } => NodeKind::Filter {
-                input: self.instantiate(input, g),
+                input: self.instantiate(input, g, sorted),
                 predicate: predicate.clone(),
             },
             Fra::Project { input, items } => NodeKind::Project {
-                input: self.instantiate(input, g),
+                input: self.instantiate(input, g, sorted),
                 items: items.clone(),
                 scratch: Vec::new(),
             },
             Fra::Distinct { input } => NodeKind::Distinct {
-                input: self.instantiate(input, g),
+                input: self.instantiate(input, g, sorted),
                 op: DistinctOp::new(),
             },
             Fra::Aggregate { input, group, aggs } => NodeKind::Aggregate {
-                input: self.instantiate(input, g),
+                input: self.instantiate(input, g, sorted),
                 op: AggregateOp::new(
                     group.iter().map(|(e, _)| e.clone()).collect(),
                     aggs.iter()
@@ -1129,7 +1182,7 @@ impl DataflowNetwork {
                 ),
             },
             Fra::Unwind { input, expr, .. } => NodeKind::Unwind {
-                input: self.instantiate(input, g),
+                input: self.instantiate(input, g, sorted),
                 expr: expr.clone(),
             },
             Fra::MultiwayJoin {
@@ -1137,10 +1190,13 @@ impl DataflowNetwork {
                 var_of,
                 names,
             } => {
-                let ids: Vec<NodeId> = inputs.iter().map(|f| self.instantiate(f, g)).collect();
+                let ids: Vec<NodeId> = inputs
+                    .iter()
+                    .map(|f| self.instantiate(f, g, sorted))
+                    .collect();
                 NodeKind::Multiway {
                     inputs: ids,
-                    op: Box::new(MultiwayJoinOp::new(var_of, names.len())),
+                    op: Box::new(MultiwayJoinOp::with_backend(var_of, names.len(), sorted)),
                 }
             }
         };

@@ -55,6 +55,15 @@ pub mod counters {
         /// Tuples emitted by ⨝ⁿ worst-case-optimal join nodes (motif
         /// instances only, never wedges).
         pub wcoj_tuples_emitted: u64,
+        /// Exponential-search steps taken by the sorted-run ⨝ⁿ
+        /// sub-indexes while seeking (galloping). Grows with
+        /// log(skipped), not with hub degree — the counter-pinning
+        /// tests use it to guard against a quadratic fallback.
+        pub gallop_steps: u64,
+        /// Candidate membership tests performed by the ⨝ⁿ per-variable
+        /// intersection (hash probes on the hash-trie backend, leapfrog
+        /// seeks on the sorted backend).
+        pub intersect_probes: u64,
     }
 
     #[cfg(feature = "ivm-stats")]
@@ -68,9 +77,15 @@ pub mod counters {
         pub static PLANNER_PLANS_CHANGED: AtomicU64 = AtomicU64::new(0);
         pub static JOIN_TUPLES_EMITTED: AtomicU64 = AtomicU64::new(0);
         pub static WCOJ_TUPLES_EMITTED: AtomicU64 = AtomicU64::new(0);
+        pub static GALLOP_STEPS: AtomicU64 = AtomicU64::new(0);
+        pub static INTERSECT_PROBES: AtomicU64 = AtomicU64::new(0);
 
         pub fn bump(c: &AtomicU64) {
             c.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn add(c: &AtomicU64, n: u64) {
+            c.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -116,6 +131,22 @@ pub mod counters {
         imp::bump(&imp::WCOJ_TUPLES_EMITTED);
     }
 
+    /// Record `n` exponential-search steps taken by one sorted-run seek.
+    #[inline]
+    pub fn gallop_steps(n: u64) {
+        #[cfg(not(feature = "ivm-stats"))]
+        let _ = n;
+        #[cfg(feature = "ivm-stats")]
+        imp::add(&imp::GALLOP_STEPS, n);
+    }
+
+    /// Record one candidate membership test in a ⨝ⁿ intersection.
+    #[inline]
+    pub fn intersect_probe() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::INTERSECT_PROBES);
+    }
+
     /// Record a hash-map rehash if `after > before` capacity.
     #[inline]
     pub fn rehash_if_grew(before: usize, after: usize) {
@@ -140,6 +171,8 @@ pub mod counters {
                 planner_plans_changed: imp::PLANNER_PLANS_CHANGED.load(Ordering::Relaxed),
                 join_tuples_emitted: imp::JOIN_TUPLES_EMITTED.load(Ordering::Relaxed),
                 wcoj_tuples_emitted: imp::WCOJ_TUPLES_EMITTED.load(Ordering::Relaxed),
+                gallop_steps: imp::GALLOP_STEPS.load(Ordering::Relaxed),
+                intersect_probes: imp::INTERSECT_PROBES.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "ivm-stats"))]
@@ -158,6 +191,8 @@ pub mod counters {
             imp::PLANNER_PLANS_CHANGED.store(0, Ordering::Relaxed);
             imp::JOIN_TUPLES_EMITTED.store(0, Ordering::Relaxed);
             imp::WCOJ_TUPLES_EMITTED.store(0, Ordering::Relaxed);
+            imp::GALLOP_STEPS.store(0, Ordering::Relaxed);
+            imp::INTERSECT_PROBES.store(0, Ordering::Relaxed);
         }
     }
 }

@@ -1,5 +1,5 @@
-//! ⨝ⁿ — worst-case optimal n-ary join (generic join, hash-trie
-//! flavour) in counting delta form.
+//! ⨝ⁿ — worst-case optimal n-ary join (generic join / leapfrog
+//! triejoin) in counting delta form.
 //!
 //! Binary join trees are worst-case *suboptimal* on cyclic patterns:
 //! maintaining a triangle query as `(R ⋈ S) ⋈ T` materialises the
@@ -22,7 +22,7 @@
 //! Pass `i` seeds the join with each ΔRᵢ tuple (binding all of input
 //! `i`'s variables at once), enumerates the remaining variables in
 //! ascending global order by intersecting the other inputs' candidate
-//! maps, and only then folds ΔRᵢ into input `i`'s memory — so memories
+//! sets, and only then folds ΔRᵢ into input `i`'s memory — so memories
 //! `j < i` are post-transaction and memories `j > i` pre-transaction,
 //! exactly as the rule requires. Each inserted or deleted edge therefore
 //! pays for the *new or vanished motif instances it participates in*,
@@ -40,9 +40,36 @@
 //! statically from the variable order at construction; maintenance
 //! updates every index in lockstep.
 //!
+//! # Candidate backends: sorted runs vs hash tries
+//!
+//! A sub-index entry holds the candidate values of one variable under a
+//! bound prefix, in one of two interchangeable backends:
+//!
+//! * **Sorted runs** (default) — a `SortedSet`: a large sorted `base`
+//!   run (zero-multiplicity tombstones compacted lazily) plus a small
+//!   sorted `tail` run that absorbs recent deltas and is merged into
+//!   the base when it outgrows its cap, so per-delta maintenance stays
+//!   amortised-logarithmic. The per-variable intersection walks all
+//!   consulted sets **leapfrog-style** with exponential-search
+//!   galloping (`SetCursor::seek_geq`): intersecting a 10-degree
+//!   candidate list against a 10k-degree hub costs O(10·log 10k)
+//!   comparisons instead of the O(10k)-sized hash iteration.
+//! * **Hash tries** — plain `Value → multiplicity` hash maps; the
+//!   intersection iterates the smallest map and probes the rest. O(1)
+//!   per probe but cannot skip, so a hub pays its full degree. Kept as
+//!   the `PGQ_WCOJ_SORTED=0` fallback (see
+//!   [`sorted_wcoj_enabled`](crate::network::sorted_wcoj_enabled)).
+//!
+//! Both backends prune at zero net multiplicity, so presence ⇔ support
+//! and the enumeration logic is backend-agnostic. The `ivm-stats`
+//! counters `gallop_steps` / `intersect_probes` expose the intersection
+//! work for the counter-pinning tests.
+//!
 //! Variable ids double as the elimination order **and** the output
 //! column positions (see [`pgq_algebra::fra::Fra::MultiwayJoin`]), so
 //! the emitted tuple is simply the binding vector.
+
+use std::cmp::Ordering;
 
 use pgq_common::fxhash::FxHashMap;
 use pgq_common::tuple::Tuple;
@@ -50,6 +77,267 @@ use pgq_common::value::Value;
 
 use crate::delta::Delta;
 use crate::stats::counters;
+
+/// Merge the sorted `tail` run into `base` once it exceeds
+/// `TAIL_CAP_MIN + base/8` entries (amortises the O(base) merge over
+/// Ω(base/8) inserts).
+const TAIL_CAP_MIN: usize = 8;
+
+/// Compact `base` tombstones once they outnumber live base entries
+/// (and there are at least this many).
+const COMPACT_MIN: usize = 8;
+
+/// Candidate values of one variable under one bound prefix, as two
+/// sorted runs: `base` (may carry zero-multiplicity tombstones) and a
+/// small `tail` of recent updates. A value lives in **exactly one**
+/// run (a tombstone counts as living in `base`), so updates are a
+/// binary search and intersections never see duplicates.
+#[derive(Clone, Debug, Default)]
+struct SortedSet {
+    /// Main run, ascending by [`Value::total_cmp`]; entries with
+    /// multiplicity 0 are tombstones awaiting compaction.
+    base: Vec<(Value, i64)>,
+    /// Recent updates, ascending, tombstone-free, disjoint from `base`.
+    tail: Vec<(Value, i64)>,
+    /// Tombstones currently in `base`.
+    zeros: usize,
+}
+
+impl SortedSet {
+    fn with_entry(v: Value, m: i64) -> SortedSet {
+        SortedSet {
+            base: vec![(v, m)],
+            tail: Vec::new(),
+            zeros: 0,
+        }
+    }
+
+    /// Live (non-tombstone) candidates.
+    fn len(&self) -> usize {
+        self.base.len() - self.zeros + self.tail.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fold one signed multiplicity update, keeping both runs sorted.
+    fn add(&mut self, v: &Value, m: i64) {
+        if let Ok(i) = self.base.binary_search_by(|(x, _)| x.total_cmp(v)) {
+            let before = self.base[i].1;
+            let after = before + m;
+            self.base[i].1 = after;
+            match (before == 0, after == 0) {
+                (false, true) => {
+                    self.zeros += 1;
+                    if self.zeros >= COMPACT_MIN && self.zeros * 2 > self.base.len() {
+                        self.base.retain(|&(_, c)| c != 0);
+                        self.zeros = 0;
+                    }
+                }
+                (true, false) => self.zeros -= 1,
+                _ => {}
+            }
+            return;
+        }
+        match self.tail.binary_search_by(|(x, _)| x.total_cmp(v)) {
+            Ok(i) => {
+                self.tail[i].1 += m;
+                if self.tail[i].1 == 0 {
+                    self.tail.remove(i);
+                }
+            }
+            Err(i) => {
+                self.tail.insert(i, (v.clone(), m));
+                if self.tail.len() > TAIL_CAP_MIN + self.base.len() / 8 {
+                    self.merge_tail();
+                }
+            }
+        }
+    }
+
+    /// Merge `tail` into `base`, dropping tombstones along the way.
+    fn merge_tail(&mut self) {
+        let mut merged = Vec::with_capacity(self.len());
+        let mut bi = 0;
+        let mut ti = 0;
+        while bi < self.base.len() && ti < self.tail.len() {
+            // Runs are disjoint, so the comparison is never Equal.
+            if self.base[bi].0.total_cmp(&self.tail[ti].0) == Ordering::Less {
+                if self.base[bi].1 != 0 {
+                    merged.push(std::mem::replace(&mut self.base[bi], (Value::Null, 0)));
+                }
+                bi += 1;
+            } else {
+                merged.push(std::mem::replace(&mut self.tail[ti], (Value::Null, 0)));
+                ti += 1;
+            }
+        }
+        for e in &mut self.base[bi..] {
+            if e.1 != 0 {
+                merged.push(std::mem::replace(e, (Value::Null, 0)));
+            }
+        }
+        for e in &mut self.tail[ti..] {
+            merged.push(std::mem::replace(e, (Value::Null, 0)));
+        }
+        self.base = merged;
+        self.tail.clear();
+        self.zeros = 0;
+    }
+}
+
+/// First index in the sorted run `xs[from..]` whose value is ≥ `bound`,
+/// by exponential search from `from` (gallop doublings + binary search
+/// within the last doubled window). Returns the index and the number of
+/// comparison steps taken.
+fn gallop_geq(xs: &[(Value, i64)], from: usize, bound: &Value) -> (usize, u64) {
+    let n = xs.len();
+    if from >= n || xs[from].0.total_cmp(bound) != Ordering::Less {
+        return (from, 1);
+    }
+    let mut steps = 1u64;
+    // Invariant: xs[lo] < bound.
+    let mut lo = from;
+    let mut step = 1usize;
+    while lo + step < n && xs[lo + step].0.total_cmp(bound) == Ordering::Less {
+        lo += step;
+        step *= 2;
+        steps += 1;
+    }
+    let mut hi = (lo + step).min(n);
+    // Binary search (lo, hi]: first index ≥ bound.
+    let mut l = lo + 1;
+    while l < hi {
+        let mid = l + (hi - l) / 2;
+        steps += 1;
+        if xs[mid].0.total_cmp(bound) == Ordering::Less {
+            l = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (l, steps)
+}
+
+/// Leapfrog cursor over one [`SortedSet`]'s two runs, presenting the
+/// merged ascending sequence of live candidates. `bi` always rests on a
+/// live base entry (tombstones are hopped in `settle`).
+struct SetCursor<'a> {
+    base: &'a [(Value, i64)],
+    tail: &'a [(Value, i64)],
+    bi: usize,
+    ti: usize,
+}
+
+impl<'a> SetCursor<'a> {
+    fn new(set: &'a SortedSet) -> SetCursor<'a> {
+        let mut c = SetCursor {
+            base: &set.base,
+            tail: &set.tail,
+            bi: 0,
+            ti: 0,
+        };
+        c.settle();
+        c
+    }
+
+    /// Hop `bi` past tombstones.
+    fn settle(&mut self) {
+        while self.bi < self.base.len() && self.base[self.bi].1 == 0 {
+            self.bi += 1;
+        }
+    }
+
+    /// The smaller of the two run heads, i.e. the current candidate.
+    fn current(&self) -> Option<&'a Value> {
+        match (self.base.get(self.bi), self.tail.get(self.ti)) {
+            (Some((b, _)), Some((t, _))) => {
+                if b.total_cmp(t) == Ordering::Less {
+                    Some(b)
+                } else {
+                    Some(t)
+                }
+            }
+            (Some((b, _)), None) => Some(b),
+            (None, Some((t, _))) => Some(t),
+            (None, None) => None,
+        }
+    }
+
+    /// Gallop both runs to the first candidate ≥ `bound`.
+    fn seek_geq(&mut self, bound: &Value) {
+        let (bi, s1) = gallop_geq(self.base, self.bi, bound);
+        self.bi = bi;
+        let (ti, s2) = gallop_geq(self.tail, self.ti, bound);
+        self.ti = ti;
+        counters::gallop_steps(s1 + s2);
+        self.settle();
+    }
+
+    /// Step past the current candidate.
+    fn advance(&mut self) {
+        match (self.base.get(self.bi), self.tail.get(self.ti)) {
+            (Some((b, _)), Some((t, _))) => {
+                // Runs are disjoint: exactly one holds the current min.
+                if b.total_cmp(t) == Ordering::Less {
+                    self.bi += 1;
+                    self.settle();
+                } else {
+                    self.ti += 1;
+                }
+            }
+            (Some(_), None) => {
+                self.bi += 1;
+                self.settle();
+            }
+            (None, Some(_)) => self.ti += 1,
+            (None, None) => {}
+        }
+    }
+}
+
+/// One sub-index entry: the candidates of one variable under one bound
+/// prefix, in the operator's chosen backend.
+#[derive(Clone, Debug)]
+enum CandidateSet {
+    /// Hash-trie backend: value → summed multiplicity, pruned at zero.
+    Hash(FxHashMap<Value, i64>),
+    /// Sorted-run backend (leapfrog + galloping).
+    Sorted(SortedSet),
+}
+
+impl CandidateSet {
+    fn new_entry(sorted: bool, v: Value, m: i64) -> CandidateSet {
+        if sorted {
+            CandidateSet::Sorted(SortedSet::with_entry(v, m))
+        } else {
+            let mut inner = FxHashMap::default();
+            inner.insert(v, m);
+            CandidateSet::Hash(inner)
+        }
+    }
+
+    fn add(&mut self, v: &Value, m: i64) {
+        match self {
+            CandidateSet::Hash(inner) => {
+                let c = inner.entry(v.clone()).or_insert(0);
+                *c += m;
+                if *c == 0 {
+                    inner.remove(v);
+                }
+            }
+            CandidateSet::Sorted(set) => set.add(v, m),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            CandidateSet::Hash(inner) => inner.is_empty(),
+            CandidateSet::Sorted(set) => set.is_empty(),
+        }
+    }
+}
 
 /// One probe order over an input: bound variables (the lookup key) →
 /// candidate values of one further variable, with summed multiplicities
@@ -64,8 +352,8 @@ struct SubIndex {
     val_var: usize,
     /// Column position of `val_var`.
     val_col: usize,
-    /// Key values (in `key_vars` order) → candidate value → multiplicity.
-    map: FxHashMap<Tuple, FxHashMap<Value, i64>>,
+    /// Key values (in `key_vars` order) → candidate set.
+    map: FxHashMap<Tuple, CandidateSet>,
 }
 
 /// Memory and static wiring of one input position.
@@ -78,6 +366,8 @@ struct InputState {
     /// Column pairs that must agree (the same variable mapped twice);
     /// tuples violating one can never join and are not stored.
     dup_checks: Vec<(usize, usize)>,
+    /// Candidate-set backend: sorted runs (true) or hash tries.
+    sorted: bool,
     /// Full binding (values of `vars`, in order) → multiplicity.
     full: FxHashMap<Tuple, i64>,
     /// Probe orders required by the delta rules and replay.
@@ -113,25 +403,19 @@ impl InputState {
                 v.insert(m);
             }
         }
+        let sorted = self.sorted;
         for idx in &mut self.indexes {
             let kt = Tuple::new(idx.key_cols.iter().map(|&c| t.get(c).clone()).collect());
-            let val = t.get(idx.val_col).clone();
+            let val = t.get(idx.val_col);
             match idx.map.entry(kt) {
                 Entry::Occupied(mut e) => {
-                    let inner = e.get_mut();
-                    let c = inner.entry(val.clone()).or_insert(0);
-                    *c += m;
-                    if *c == 0 {
-                        inner.remove(&val);
-                    }
-                    if inner.is_empty() {
+                    e.get_mut().add(val, m);
+                    if e.get().is_empty() {
                         e.remove();
                     }
                 }
                 Entry::Vacant(v) => {
-                    let mut inner = FxHashMap::default();
-                    inner.insert(val, m);
-                    v.insert(inner);
+                    v.insert(CandidateSet::new_entry(sorted, val.clone(), m));
                 }
             }
         }
@@ -139,7 +423,7 @@ impl InputState {
 }
 
 /// One enumeration position of a rule: the variable to bind and the
-/// `(input, index slot)` pairs whose candidate maps constrain it.
+/// `(input, index slot)` pairs whose candidate sets constrain it.
 #[derive(Clone, Debug)]
 struct Step {
     var: usize,
@@ -265,11 +549,100 @@ fn build_rule(inputs: &mut [InputState], nvars: usize, seed: Option<usize>) -> R
     }
 }
 
+/// Hash-trie intersection: iterate the smallest map, probe the rest.
+#[allow(clippy::too_many_arguments)]
+fn intersect_hash(
+    inputs: &[InputState],
+    rule: &Rule,
+    step_ix: usize,
+    var: usize,
+    maps: &[&FxHashMap<Value, i64>],
+    binding: &mut [Value],
+    scratch: &mut Vec<Value>,
+    mult: i64,
+    out: &mut Delta,
+) {
+    let mut min_ix = 0;
+    for (k, inner) in maps.iter().enumerate() {
+        if inner.len() < maps[min_ix].len() {
+            min_ix = k;
+        }
+    }
+    'vals: for val in maps[min_ix].keys() {
+        for (k, inner) in maps.iter().enumerate() {
+            if k == min_ix {
+                continue;
+            }
+            counters::intersect_probe();
+            if !inner.contains_key(val) {
+                continue 'vals;
+            }
+        }
+        binding[var] = val.clone();
+        enumerate(inputs, rule, step_ix + 1, binding, scratch, mult, out);
+    }
+}
+
+/// Sorted-run intersection: leapfrog all cursors to each common value,
+/// galloping past the gaps.
+#[allow(clippy::too_many_arguments)]
+fn intersect_sorted(
+    inputs: &[InputState],
+    rule: &Rule,
+    step_ix: usize,
+    var: usize,
+    sets: &[&SortedSet],
+    binding: &mut [Value],
+    scratch: &mut Vec<Value>,
+    mult: i64,
+    out: &mut Delta,
+) {
+    let k = sets.len();
+    let mut cursors: Vec<SetCursor> = sets.iter().map(|s| SetCursor::new(s)).collect();
+    if k == 1 {
+        while let Some(v) = cursors[0].current() {
+            binding[var] = v.clone();
+            enumerate(inputs, rule, step_ix + 1, binding, scratch, mult, out);
+            cursors[0].advance();
+        }
+        return;
+    }
+    // Candidate = cursor 0's current; leapfrog the others round-robin
+    // until all k cursors agree on it (raising it whenever a cursor
+    // overshoots) or some cursor exhausts.
+    'outer: while let Some(v0) = cursors[0].current() {
+        let mut hi = v0.clone();
+        let mut agreed = 1usize;
+        let mut idx = 1usize;
+        while agreed < k {
+            let c = &mut cursors[idx % k];
+            counters::intersect_probe();
+            c.seek_geq(&hi);
+            match c.current() {
+                None => break 'outer,
+                Some(v) => {
+                    if v.total_cmp(&hi) == Ordering::Equal {
+                        agreed += 1;
+                    } else {
+                        hi = v.clone();
+                        agreed = 1;
+                    }
+                }
+            }
+            idx += 1;
+        }
+        binding[var] = hi;
+        enumerate(inputs, rule, step_ix + 1, binding, scratch, mult, out);
+        cursors[0].advance();
+    }
+}
+
 /// Enumerate the unbound variables of `rule` (from `step_ix` on) over
 /// the current `binding`, emitting every complete binding with its
 /// multiplicity product. Per variable: look up each consulted input's
-/// candidate map under the bound prefix, iterate the smallest, and keep
-/// only values present in all — the generic-join intersection step.
+/// candidate set under the bound prefix and intersect — leapfrog with
+/// galloping on the sorted backend, iterate-smallest/probe-rest on the
+/// hash backend.
 fn enumerate(
     inputs: &[InputState],
     rule: &Rule,
@@ -291,32 +664,43 @@ fn enumerate(
         out.push(Tuple::from_slice(binding), total);
         return;
     };
-    let mut maps: Vec<&FxHashMap<Value, i64>> = Vec::with_capacity(step.consults.len());
+    let mut sets: Vec<&CandidateSet> = Vec::with_capacity(step.consults.len());
     for &(j, slot) in &step.consults {
         let idx = &inputs[j].indexes[slot];
         scratch.clear();
         scratch.extend(idx.key_vars.iter().map(|&v| binding[v].clone()));
         match idx.map.get(&Tuple::from_slice(scratch)) {
-            Some(inner) => maps.push(inner),
+            Some(set) => sets.push(set),
             None => return,
         }
     }
-    let mut min_ix = 0;
-    for (k, inner) in maps.iter().enumerate() {
-        if inner.len() < maps[min_ix].len() {
-            min_ix = k;
+    // All consulted sets share the operator's backend; dispatch on the
+    // first. (`len` guides nothing on the sorted path — cursors gallop.)
+    match sets[0] {
+        CandidateSet::Hash(_) => {
+            let maps: Vec<&FxHashMap<Value, i64>> = sets
+                .iter()
+                .map(|s| match s {
+                    CandidateSet::Hash(inner) => inner,
+                    CandidateSet::Sorted(_) => unreachable!("mixed candidate backends"),
+                })
+                .collect();
+            intersect_hash(
+                inputs, rule, step_ix, step.var, &maps, binding, scratch, mult, out,
+            );
         }
-    }
-    for val in maps[min_ix].keys() {
-        if maps
-            .iter()
-            .enumerate()
-            .any(|(k, inner)| k != min_ix && !inner.contains_key(val))
-        {
-            continue;
+        CandidateSet::Sorted(_) => {
+            let runs: Vec<&SortedSet> = sets
+                .iter()
+                .map(|s| match s {
+                    CandidateSet::Sorted(set) => set,
+                    CandidateSet::Hash(_) => unreachable!("mixed candidate backends"),
+                })
+                .collect();
+            intersect_sorted(
+                inputs, rule, step_ix, step.var, &runs, binding, scratch, mult, out,
+            );
         }
-        binding[step.var] = val.clone();
-        enumerate(inputs, rule, step_ix + 1, binding, scratch, mult, out);
     }
 }
 
@@ -342,8 +726,14 @@ pub struct MultiwayJoinOp {
 impl MultiwayJoinOp {
     /// Build the operator for inputs whose column `c` carries variable
     /// `var_of[i][c]`; `nvars` output variables double as the
-    /// elimination order.
+    /// elimination order. Uses the sorted-run backend.
     pub fn new(var_of: &[Vec<usize>], nvars: usize) -> MultiwayJoinOp {
+        MultiwayJoinOp::with_backend(var_of, nvars, true)
+    }
+
+    /// [`MultiwayJoinOp::new`] with an explicit candidate backend:
+    /// sorted runs (`true`, the default) or the hash-trie fallback.
+    pub fn with_backend(var_of: &[Vec<usize>], nvars: usize, sorted: bool) -> MultiwayJoinOp {
         let mut inputs: Vec<InputState> = var_of
             .iter()
             .map(|by_col| {
@@ -365,6 +755,7 @@ impl MultiwayJoinOp {
                     vars,
                     cols,
                     dup_checks,
+                    sorted,
                     full: FxHashMap::default(),
                     indexes: Vec::new(),
                 }
@@ -383,6 +774,12 @@ impl MultiwayJoinOp {
             binding: Vec::new(),
             scratch: Vec::new(),
         }
+    }
+
+    /// Does this operator keep sorted-run candidate sets (vs hash
+    /// tries)?
+    pub fn sorted_backend(&self) -> bool {
+        self.inputs.first().is_none_or(|i| i.sorted)
     }
 
     /// Distinct tuples stored across the input memories (full maps; the
@@ -516,40 +913,47 @@ mod tests {
         out
     }
 
-    /// Drive the op with a script of per-input delta batches, checking
-    /// the accumulated output against the naive join of the accumulated
-    /// relations after every batch.
+    /// Drive the op with a script of per-input delta batches — on BOTH
+    /// candidate backends — checking the accumulated output against the
+    /// naive join of the accumulated relations after every batch.
     fn check_script(var_of: Vec<Vec<usize>>, nvars: usize, script: Vec<Vec<Delta>>) {
-        let mut op = MultiwayJoinOp::new(&var_of, nvars);
-        let n = var_of.len();
-        let mut rels: Vec<Vec<(Tuple, i64)>> = vec![Vec::new(); n];
-        let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
-        for batch in script {
-            assert_eq!(batch.len(), n);
-            let mut out = Delta::new();
-            {
-                let refs: Vec<&Delta> = batch.iter().collect();
-                op.apply(&refs, &mut out);
-            }
-            for (i, delta) in batch.iter().enumerate() {
-                for (tu, m) in delta.iter() {
-                    rels[i].push((tu.clone(), *m));
+        for sorted in [true, false] {
+            let mut op = MultiwayJoinOp::with_backend(&var_of, nvars, sorted);
+            assert_eq!(op.sorted_backend(), sorted);
+            let n = var_of.len();
+            let mut rels: Vec<Vec<(Tuple, i64)>> = vec![Vec::new(); n];
+            let mut acc: FxHashMap<Tuple, i64> = FxHashMap::default();
+            for batch in &script {
+                assert_eq!(batch.len(), n);
+                let mut out = Delta::new();
+                {
+                    let refs: Vec<&Delta> = batch.iter().collect();
+                    op.apply(&refs, &mut out);
                 }
+                for (i, delta) in batch.iter().enumerate() {
+                    for (tu, m) in delta.iter() {
+                        rels[i].push((tu.clone(), *m));
+                    }
+                }
+                for (tu, m) in out.iter() {
+                    *acc.entry(tu.clone()).or_insert(0) += m;
+                }
+                acc.retain(|_, m| *m != 0);
+                assert_eq!(
+                    acc,
+                    naive(&rels, &var_of, nvars),
+                    "incremental drifted (sorted={sorted})"
+                );
+                // Replay must agree with the accumulated output.
+                let mut replay = Delta::new();
+                op.replay_into(&mut replay);
+                let mut replay_map: FxHashMap<Tuple, i64> = FxHashMap::default();
+                for (tu, m) in replay.iter() {
+                    *replay_map.entry(tu.clone()).or_insert(0) += m;
+                }
+                replay_map.retain(|_, m| *m != 0);
+                assert_eq!(replay_map, acc, "replay drifted (sorted={sorted})");
             }
-            for (tu, m) in out.iter() {
-                *acc.entry(tu.clone()).or_insert(0) += m;
-            }
-            acc.retain(|_, m| *m != 0);
-            assert_eq!(acc, naive(&rels, &var_of, nvars), "incremental drifted");
-            // Replay must agree with the accumulated output.
-            let mut replay = Delta::new();
-            op.replay_into(&mut replay);
-            let mut replay_map: FxHashMap<Tuple, i64> = FxHashMap::default();
-            for (tu, m) in replay.iter() {
-                *replay_map.entry(tu.clone()).or_insert(0) += m;
-            }
-            replay_map.retain(|_, m| *m != 0);
-            assert_eq!(replay_map, acc, "replay drifted");
         }
     }
 
@@ -689,5 +1093,110 @@ mod tests {
                 vec![d(&[(&[1, 2], -1)]), Delta::new(), d(&[(&[3, 8], 1)])],
             ],
         );
+    }
+
+    #[test]
+    fn hub_intersection_both_backends() {
+        // A 200-degree hub against a handful of closers: every closer
+        // triangle must be found on both backends (and the sorted path
+        // gallops instead of scanning — asserted by the ivm-stats
+        // counter test, not here).
+        let mut spokes: Vec<(Tuple, i64)> = Vec::new();
+        for i in 0..200i64 {
+            spokes.push((t(&[1, 10 + i]), 1));
+        }
+        let r: Delta = spokes.iter().cloned().collect();
+        let s: Delta = (0..200i64).map(|i| (t(&[10 + i, 2]), 1)).collect();
+        let tt: Delta = [(t(&[2, 1]), 1)].into_iter().collect();
+        check_script(
+            tri_vars(),
+            3,
+            vec![
+                vec![r, s, tt],
+                // Deletion-heavy churn across the hub.
+                vec![
+                    d(&[(&[1, 10], -1), (&[1, 150], -1)]),
+                    d(&[(&[110, 2], -1)]),
+                    Delta::new(),
+                ],
+            ],
+        );
+    }
+
+    /// The sorted-run set must agree with a BTreeMap oracle under a
+    /// deterministic churn of inserts/updates/deletes (tombstones,
+    /// compaction, and tail merges all exercised).
+    #[test]
+    fn sorted_set_matches_btree_oracle() {
+        use std::collections::BTreeMap;
+        let mut set = SortedSet::default();
+        let mut oracle: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..4000 {
+            let key = (next() % 257) as i64;
+            let m = if next() % 3 == 0 { -1 } else { 1 };
+            set.add(&Value::Int(key), m);
+            let e = oracle.entry(key).or_insert(0);
+            *e += m;
+            if *e == 0 {
+                oracle.remove(&key);
+            }
+            if next() % 64 == 0 {
+                let want: Vec<i64> = oracle.iter().map(|(&k, _)| k).collect();
+                let mut got = Vec::new();
+                let mut cur = SetCursor::new(&set);
+                while let Some(v) = cur.current() {
+                    match v {
+                        Value::Int(i) => got.push(*i),
+                        other => panic!("unexpected value {other:?}"),
+                    }
+                    cur.advance();
+                }
+                assert_eq!(got, want, "cursor order drifted from oracle");
+                assert_eq!(set.len(), oracle.len());
+            }
+        }
+    }
+
+    /// Galloping seek lands on the first candidate ≥ bound from any
+    /// starting position, across both runs.
+    #[test]
+    fn cursor_seek_geq_is_exact() {
+        let mut set = SortedSet::default();
+        for k in (0..100i64).map(|i| i * 3) {
+            set.add(&Value::Int(k), 1);
+        }
+        // Tombstone a stretch and push tail entries between base ones.
+        for k in (30..60i64).filter(|k| k % 3 == 0) {
+            set.add(&Value::Int(k), -1);
+        }
+        for k in [1i64, 100, 200, 299] {
+            set.add(&Value::Int(k), 1);
+        }
+        let live: Vec<i64> = {
+            let mut v: Vec<i64> = (0..100i64)
+                .map(|i| i * 3)
+                .filter(|&k| !(30..60).contains(&k))
+                .collect();
+            v.extend([1, 100, 200, 299]);
+            v.sort_unstable();
+            v
+        };
+        for bound in 0..310i64 {
+            let mut cur = SetCursor::new(&set);
+            cur.seek_geq(&Value::Int(bound));
+            let want = live.iter().copied().find(|&k| k >= bound);
+            let got = cur.current().map(|v| match v {
+                Value::Int(i) => *i,
+                other => panic!("unexpected value {other:?}"),
+            });
+            assert_eq!(got, want, "seek_geq({bound})");
+        }
     }
 }

@@ -194,6 +194,166 @@ impl MotifGraph {
     }
 }
 
+/// Scale parameters of the hub workload (see [`generate_hub_motifs`]).
+#[derive(Clone, Copy, Debug)]
+pub struct HubMotifParams {
+    /// Spokes per hub: the in-hub gets this many in-edges, the out-hub
+    /// this many out-edges. The galloping claim is certified at
+    /// ≥ 10 000.
+    pub spokes: usize,
+    /// Closing edges `s → in-hub` from the out-hub's spokes — each one
+    /// completes a triangle through the bridge. Kept to ~1% of `spokes`
+    /// so the intersection output is far smaller than either input.
+    pub closers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HubMotifParams {
+    fn default() -> Self {
+        HubMotifParams {
+            spokes: 10_000,
+            closers: 100,
+            seed: 11,
+        }
+    }
+}
+
+impl HubMotifParams {
+    /// A smaller instance for CI smoke runs.
+    pub fn quick() -> HubMotifParams {
+        HubMotifParams {
+            spokes: 400,
+            closers: 8,
+            ..HubMotifParams::default()
+        }
+    }
+}
+
+/// The hub graph plus the handles its churn script draws from.
+pub struct HubMotifGraph {
+    /// The graph.
+    pub graph: PropertyGraph,
+    /// The in-hub `h1`: every first-wave spoke points at it.
+    pub hub_in: VertexId,
+    /// The out-hub `h2`: it points at every second-wave spoke.
+    pub hub_out: VertexId,
+    /// The second-wave spokes (closers are drawn from these).
+    spokes_out: Vec<VertexId>,
+    /// The current bridge edge `h1 → h2` (re-created by churn flaps).
+    bridge: EdgeId,
+    /// Live closing edges `s → h1`, with their source spoke.
+    closer_edges: Vec<(EdgeId, VertexId)>,
+    rng: SmallRng,
+}
+
+/// Generate the adversarial two-hub graph for the galloping-intersection
+/// benchmarks: maintaining [`queries::TRIANGLES`] under a delta on the
+/// bridge edge `h1 → h2` intersects `out(h2)` (`spokes` high-id
+/// vertices) with `in(h1)` (`spokes` low-id vertices plus ~1% closers
+/// drawn from the high range). Both inputs have hub degree, the output
+/// is tiny, and the id ranges are segregated — so a sorted-run cursor
+/// gallops over the entire low block in O(log) steps while a hash-trie
+/// intersection pays one probe per element of a 10k-entry set.
+///
+/// Shape (all vertices labelled `N`, all edges typed `E`):
+/// * first wave: `spokes` vertices `s1_i` with edges `s1_i → h1`;
+/// * second wave: `spokes` vertices `s2_j` with edges `h2 → s2_j`
+///   (created after the first wave, so their ids sort strictly higher);
+/// * `closers` edges `s2_j → h1` from evenly spaced second-wave spokes —
+///   each completes the triangle `h1 → h2 → s2_j → h1`;
+/// * the bridge `h1 → h2`.
+pub fn generate_hub_motifs(params: HubMotifParams) -> HubMotifGraph {
+    assert!(params.spokes >= 2, "hub graphs need at least two spokes");
+    assert!(
+        params.closers <= params.spokes,
+        "cannot close more spokes than exist"
+    );
+    let mut g = PropertyGraph::new();
+    let (h1, _) = g.add_vertex([s("N")], Properties::new());
+    let (h2, _) = g.add_vertex([s("N")], Properties::new());
+    for _ in 0..params.spokes {
+        let (v, _) = g.add_vertex([s("N")], Properties::new());
+        g.add_edge(v, h1, s("E"), Properties::new()).unwrap();
+    }
+    let mut spokes_out = Vec::with_capacity(params.spokes);
+    for _ in 0..params.spokes {
+        let (v, _) = g.add_vertex([s("N")], Properties::new());
+        g.add_edge(h2, v, s("E"), Properties::new()).unwrap();
+        spokes_out.push(v);
+    }
+    let mut closer_edges = Vec::with_capacity(params.closers);
+    if let Some(stride) = params.spokes.checked_div(params.closers) {
+        for k in 0..params.closers {
+            let v = spokes_out[k * stride];
+            let (e, _) = g.add_edge(v, h1, s("E"), Properties::new()).unwrap();
+            closer_edges.push((e, v));
+        }
+    }
+    let (bridge, _) = g.add_edge(h1, h2, s("E"), Properties::new()).unwrap();
+    HubMotifGraph {
+        graph: g,
+        hub_in: h1,
+        hub_out: h2,
+        spokes_out,
+        bridge,
+        closer_edges,
+        rng: SmallRng::seed_from_u64(params.seed),
+    }
+}
+
+impl HubMotifGraph {
+    /// Build a seeded churn script of `n` single-operation transactions,
+    /// deletion-heavy and centred on the expensive deltas: ~40% bridge
+    /// flaps (alternating delete/re-create of `h1 → h2`, each of which
+    /// re-runs the full hub-degree intersection) and ~60% closer churn
+    /// (delete a live closing edge, or re-create one from a random
+    /// second-wave spoke — about half and half, so triangles keep
+    /// appearing and disappearing). Applies cleanly in order.
+    pub fn churn(&mut self, n: usize) -> Vec<Transaction> {
+        let mut txs = Vec::with_capacity(n);
+        let mut shadow = self.graph.clone();
+        let mut bridge_live = Some(self.bridge);
+        for _ in 0..n {
+            let mut tx = Transaction::new();
+            let flap = self.rng.random_range(0..10u32) < 4;
+            if flap {
+                match bridge_live.take() {
+                    Some(e) => {
+                        tx.delete_edge(e);
+                    }
+                    None => {
+                        tx.create_edge(self.hub_in, self.hub_out, s("E"), Properties::new());
+                    }
+                }
+            } else {
+                let delete = !self.closer_edges.is_empty() && self.rng.random_bool(0.55);
+                if delete {
+                    let i = self.rng.random_range(0..self.closer_edges.len());
+                    let (e, _) = self.closer_edges.swap_remove(i);
+                    tx.delete_edge(e);
+                } else {
+                    let v = self.spokes_out[self.rng.random_range(0..self.spokes_out.len())];
+                    tx.create_edge(v, self.hub_in, s("E"), Properties::new());
+                }
+            }
+            let events = shadow.apply(&tx).expect("hub churn tx applies");
+            for ev in &events {
+                if let pgq_graph::delta::ChangeEvent::EdgeAdded { id } = ev {
+                    let d = shadow.edge(*id).expect("created edge exists");
+                    if d.src == self.hub_in {
+                        bridge_live = Some(*id);
+                    } else {
+                        self.closer_edges.push((*id, d.src));
+                    }
+                }
+            }
+            txs.push(tx);
+        }
+        txs
+    }
+}
+
 /// The standing cyclic-motif queries.
 pub mod queries {
     /// Directed triangles — the canonical cyclic pattern. The planner
@@ -277,5 +437,52 @@ mod tests {
         for tx in &script {
             g.apply(tx).expect("churn tx applies");
         }
+    }
+
+    #[test]
+    fn hub_graph_has_hub_degrees_and_triangles() {
+        let params = HubMotifParams::quick();
+        let net = generate_hub_motifs(params);
+        assert_eq!(
+            net.graph.in_edges(net.hub_in).len(),
+            params.spokes + params.closers
+        );
+        assert_eq!(net.graph.out_edges(net.hub_out).len(), params.spokes);
+        // Exactly one triangle per closer: h1 → h2 → s2 → h1.
+        let mut triangles = 0;
+        for &e2 in net.graph.out_edges(net.hub_out) {
+            let s2 = net.graph.edge(e2).unwrap().dst;
+            for &e3 in net.graph.out_edges(s2) {
+                if net.graph.edge(e3).unwrap().dst == net.hub_in {
+                    triangles += 1;
+                }
+            }
+        }
+        assert_eq!(triangles, params.closers);
+    }
+
+    #[test]
+    fn hub_churn_applies_cleanly_and_is_deletion_heavy() {
+        let mut net = generate_hub_motifs(HubMotifParams::quick());
+        let script = net.churn(120);
+        let deletes = script
+            .iter()
+            .filter(|tx| matches!(tx.ops()[0], pgq_graph::tx::TxOp::DeleteEdge { .. }))
+            .count();
+        assert!(
+            deletes * 3 >= script.len(),
+            "hub churn should be deletion-heavy, got {deletes}/120 deletions"
+        );
+        let mut g = net.graph.clone();
+        for tx in &script {
+            g.apply(tx).expect("hub churn tx applies");
+        }
+        // Determinism: same params, same script.
+        let mut again = generate_hub_motifs(HubMotifParams::quick());
+        let script2 = again.churn(120);
+        let render = |txs: &[Transaction]| {
+            format!("{:?}", txs.iter().map(Transaction::ops).collect::<Vec<_>>())
+        };
+        assert_eq!(render(&script2), render(&script));
     }
 }

@@ -711,6 +711,67 @@ fn wcoj_views_stay_correct_under_motif_churn() {
     }
 }
 
+/// Hub-skewed wcoj oracle: the two-hub galloping workload (segregated
+/// id ranges, hub-degree intersections, deletion-heavy churn centred on
+/// the bridge edge) driven through every toggle combination in one
+/// process — forced ⨝ⁿ on the sorted-run backend, forced ⨝ⁿ on the
+/// hash-trie backend, binary join tree, and unplanned — each compared
+/// against a from-scratch evaluation at every checkpoint. (The env-var
+/// spellings of the same combinations, `PGQ_DISABLE_WCOJ` ×
+/// `PGQ_WCOJ_SORTED`, are process-wide; the CI matrix re-runs this
+/// whole suite under each of them.) The hub degree is scaled down from
+/// the certified 10k so the binary twin's Θ(Σ deg²) wedge state stays
+/// test-sized; the sorted/hash cursor machinery it exercises is
+/// degree-independent.
+#[test]
+fn wcoj_hub_views_stay_correct_under_deletion_heavy_churn() {
+    use pgq_workloads::motifs::{generate_hub_motifs, HubMotifParams};
+
+    let mut net = generate_hub_motifs(HubMotifParams {
+        spokes: 150,
+        closers: 6,
+        seed: 11,
+    });
+    let script = net.churn(60);
+    let mut engine = pgq_core::GraphEngine::from_graph(net.graph.clone());
+    let hub_queries = [
+        pgq_workloads::motifs::queries::TRIANGLES,
+        pgq_workloads::motifs::queries::FOUR_CYCLES,
+    ];
+    let mut compiled = Vec::new();
+    for (i, q) in hub_queries.iter().enumerate() {
+        engine
+            .register_view_wcoj_forced(&format!("ws{i}"), q, true)
+            .unwrap();
+        engine
+            .register_view_wcoj_forced(&format!("wh{i}"), q, false)
+            .unwrap();
+        engine.register_view_binary(&format!("bi{i}"), q).unwrap();
+        engine
+            .register_view_unplanned(&format!("un{i}"), q)
+            .unwrap();
+        compiled.push(compile_query(&parse_query(q).unwrap()).unwrap());
+    }
+    for (t, tx) in script.iter().enumerate() {
+        engine.apply(tx).expect("hub churn tx applies");
+        if t % 10 != 0 && t + 1 != script.len() {
+            continue;
+        }
+        for (i, c) in compiled.iter().enumerate() {
+            let want = eval_consolidated(&c.fra, engine.graph());
+            for prefix in ["ws", "wh", "bi", "un"] {
+                let id = engine.view_by_name(&format!("{prefix}{i}")).unwrap();
+                assert_eq!(
+                    engine.view(id).unwrap().results(),
+                    want,
+                    "{prefix} twin diverged at tx {t} on {}",
+                    hub_queries[i]
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn multiplicities_match_for_fanout_joins() {
     // Bag semantics: two parallel REPLY edges double the row.
