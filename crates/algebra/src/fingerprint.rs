@@ -25,10 +25,18 @@
 //! check (`Fra: PartialEq`), so a hash collision can never cause two
 //! different plans to share state.
 //!
-//! Fingerprints are deterministic within a process but **not** across
-//! processes ([`Symbol`](pgq_common::intern::Symbol) identity is
-//! interning-order dependent), which is exactly the lifetime of a
-//! dataflow network.
+//! Fingerprints are **content-derived and cross-process stable**: every
+//! input to the hash is plan content. [`Symbol`](pgq_common::intern::Symbol)s
+//! render their resolved *string* (not the interning-order-dependent
+//! intern id) in `Debug` output, canonicalisation sorts commutative
+//! symbol lists by resolved string, and [`FxHasher`] is unseeded — so
+//! `fingerprint(canon(q))` is a pure function of the query text, however
+//! interning happened to be ordered in the emitting process. The
+//! durability layer relies on this: operator-state snapshots are keyed
+//! by fingerprint and restored by a *different* process
+//! (`pgq_durability`; the cross-process property is asserted by the
+//! `fingerprint_stability` integration test, which re-runs itself as a
+//! child process with a scrambled interner).
 
 use std::hash::{Hash, Hasher};
 
@@ -47,6 +55,20 @@ impl std::fmt::Display for Fingerprint {
     }
 }
 
+/// Hash the plan's full `Debug` rendering into `h` without
+/// materialising an intermediate `String`.
+fn hash_debug(h: &mut FxHasher, fra: &Fra) {
+    struct HashWriter<'a>(&'a mut FxHasher);
+    impl std::fmt::Write for HashWriter<'_> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            s.as_bytes().hash(self.0);
+            Ok(())
+        }
+    }
+    use std::fmt::Write;
+    write!(HashWriter(h), "{fra:?}").expect("Debug never fails");
+}
+
 impl Fra {
     /// Canonical structural fingerprint of this subplan.
     ///
@@ -59,16 +81,22 @@ impl Fra {
     /// initial evaluation a cache miss triggers.
     pub fn fingerprint(&self) -> Fingerprint {
         let mut h = FxHasher::default();
-        // Write through `fmt::Write` so no intermediate String survives.
-        struct HashWriter<'a>(&'a mut FxHasher);
-        impl std::fmt::Write for HashWriter<'_> {
-            fn write_str(&mut self, s: &str) -> std::fmt::Result {
-                s.as_bytes().hash(self.0);
-                Ok(())
-            }
-        }
-        use std::fmt::Write;
-        write!(HashWriter(&mut h), "{self:?}").expect("Debug never fails");
+        hash_debug(&mut h, self);
+        Fingerprint(h.finish())
+    }
+
+    /// A second, domain-separated structural hash over the same
+    /// rendering. In-process hash-consing confirms a fingerprint match
+    /// with a full plan-equality check; durable snapshots cannot ship
+    /// the plan, so they store the `(fingerprint, check)` pair instead
+    /// — a cross-plan collision must now defeat two independent 64-bit
+    /// hashes before foreign operator state could be restored.
+    pub fn snapshot_check(&self) -> Fingerprint {
+        let mut h = FxHasher::default();
+        // Domain separator: makes this hash independent of
+        // `fingerprint()` despite sharing the rendering.
+        b"pgq-snapshot-check".hash(&mut h);
+        hash_debug(&mut h, self);
         Fingerprint(h.finish())
     }
 }
@@ -119,6 +147,36 @@ mod tests {
         assert_ne!(
             scan("n", "Post").fingerprint(),
             scan("m", "Post").fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_interning_order() {
+        // Two distinct label strings interned in opposite orders must
+        // not influence each other's plan fingerprints: the hash reads
+        // resolved strings, never intern ids. (The full cross-process
+        // property is asserted by the `fingerprint_stability`
+        // integration test; this guards the in-process half — symbol
+        // identity is not part of the hash input.)
+        let early = scan("n", "FpEarly");
+        let fp_before = early.fingerprint();
+        // Interning more symbols afterwards shifts every later id but
+        // must leave existing fingerprints untouched.
+        for i in 0..64 {
+            Symbol::intern(&format!("fp-decoy-{i}"));
+        }
+        assert_eq!(scan("n", "FpEarly").fingerprint(), fp_before);
+    }
+
+    #[test]
+    fn snapshot_check_is_independent_of_fingerprint() {
+        let p = scan("n", "Post");
+        // Same rendering, different domain → different hash function.
+        assert_ne!(p.fingerprint(), p.snapshot_check());
+        assert_eq!(p.snapshot_check(), p.clone().snapshot_check());
+        assert_ne!(
+            scan("n", "Post").snapshot_check(),
+            scan("n", "Comm").snapshot_check()
         );
     }
 

@@ -1,0 +1,93 @@
+//! Durability recovery (Criterion): warm restart from a snapshot with
+//! operator state vs the cold baseline — the same image with the state
+//! section stripped, so every network node re-initialises from the
+//! graph. Both sides decode the same snapshot and rebuild the same
+//! graph; the delta is what fingerprint-keyed state restore buys. The
+//! durable image lives on an in-memory Vfs so host disk never enters
+//! the measurement. See `report.rs` for the certified `recovery_*`
+//! numbers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgq_core::GraphEngine;
+use pgq_durability::{MemDisk, Snapshot, Vfs};
+use pgq_graph::tx::{NodeRef, Transaction};
+use pgq_workloads::social::{generate_social, queries as sq, SocialParams};
+
+/// Build a durable image of the social graph with join-heavy standing
+/// views, returning (full image, state-stripped image).
+fn build_images(sf: f64) -> (MemDisk, MemDisk) {
+    let net = generate_social(SocialParams::scale(sf, 42));
+    let disk = MemDisk::new();
+    {
+        let mut engine = GraphEngine::open_durable_with(Arc::new(disk.vfs())).unwrap();
+        let mut tx = Transaction::new();
+        let mut ids: Vec<_> = net.graph.vertex_ids().collect();
+        ids.sort_unstable();
+        let slot: std::collections::HashMap<_, _> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for id in &ids {
+            let v = net.graph.vertex(*id).unwrap();
+            tx.create_vertex(v.labels.iter().copied(), v.props.clone());
+        }
+        let mut eids: Vec<_> = net.graph.edge_ids().collect();
+        eids.sort_unstable();
+        for id in eids {
+            let e = net.graph.edge(id).unwrap();
+            tx.create_edge(
+                NodeRef::New(slot[&e.src]),
+                NodeRef::New(slot[&e.dst]),
+                e.ty,
+                e.props.clone(),
+            );
+        }
+        engine.apply(&tx).unwrap();
+        engine.register_view("likes", sq::FRIEND_LIKES).unwrap();
+        for (i, q) in pgq_workloads::social::OVERLAPPING_QUERIES
+            .iter()
+            .enumerate()
+        {
+            engine.register_view(&format!("ov{i}"), q).unwrap();
+        }
+        engine.snapshot().unwrap();
+    }
+    let cold_disk = MemDisk::new();
+    {
+        let src = disk.vfs();
+        let dst = cold_disk.vfs();
+        let mut snap = Snapshot::load(&src).unwrap().unwrap();
+        snap.states.clear();
+        snap.write(&dst).unwrap();
+        if let Some(bytes) = src.read(pgq_durability::wal::WAL_FILE).unwrap() {
+            dst.append(pgq_durability::wal::WAL_FILE, &bytes).unwrap();
+        }
+    }
+    (disk, cold_disk)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.measurement_time(std::time::Duration::from_millis(2500));
+    for (tag, sf) in [("s", 0.1), ("m", 0.3)] {
+        let (warm_disk, cold_disk) = build_images(sf);
+        let warm_vfs = Arc::new(warm_disk.vfs());
+        let cold_vfs = Arc::new(cold_disk.vfs());
+        group.bench_function(BenchmarkId::new("warm_open", tag), |b| {
+            b.iter(|| {
+                criterion::black_box(GraphEngine::open_durable_with(warm_vfs.clone()).unwrap())
+            })
+        });
+        group.bench_function(BenchmarkId::new("cold_open", tag), |b| {
+            b.iter(|| {
+                criterion::black_box(GraphEngine::open_durable_with(cold_vfs.clone()).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -654,6 +654,143 @@ fn emit_bench_json(quick: bool, path: &str) {
         }
     }
 
+    // recovery_*: warm restart from a durability snapshot (graph +
+    // operator state, WAL tail empty) vs the cold baseline — rebuild
+    // from the same graph by re-registering every view from scratch.
+    // The durable image lives on an in-memory Vfs so the suite measures
+    // the restore machinery, not host disk. Alternate warm/cold inside
+    // each round so drift hits both sides equally.
+    {
+        use pgq_durability::{MemDisk, Vfs};
+        use std::sync::Arc;
+
+        let sizes: &[(&str, f64)] = if quick {
+            &[("s", 0.1)]
+        } else {
+            &[("s", 0.2), ("m", 0.5)]
+        };
+        // Join-heavy standing views: warm restore pays on stateful
+        // operators whose initialisation probes and emits (joins);
+        // variable-length paths recompute either way, so the suite
+        // excludes them to measure the restore machinery, not the
+        // shared recompute floor.
+        let named: Vec<(String, &str)> = std::iter::once(("likes".to_string(), sq::FRIEND_LIKES))
+            .chain(
+                pgq_workloads::social::OVERLAPPING_QUERIES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (format!("ov{i}"), *q)),
+            )
+            .collect();
+        let views: Vec<(&str, &str)> = named.iter().map(|(n, q)| (n.as_str(), *q)).collect();
+        let views: &[(&str, &str)] = &views;
+        for &(tag, sf) in sizes {
+            let net = generate_social(SocialParams::scale(sf, 42));
+            // Bulk-load the generated graph into a durable engine via
+            // one transaction (snapshot ids stay dense, which is all
+            // the loader needs), register the standing views, and cut
+            // the snapshot the warm side will recover from.
+            let disk = MemDisk::new();
+            {
+                let mut engine = GraphEngine::open_durable_with(Arc::new(disk.vfs()))
+                    .expect("open empty durable engine");
+                let mut tx = Transaction::new();
+                let mut ids: Vec<_> = net.graph.vertex_ids().collect();
+                ids.sort_unstable();
+                let slot: std::collections::HashMap<_, _> =
+                    ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+                for id in &ids {
+                    let v = net.graph.vertex(*id).unwrap();
+                    tx.create_vertex(v.labels.iter().copied(), v.props.clone());
+                }
+                let mut eids: Vec<_> = net.graph.edge_ids().collect();
+                eids.sort_unstable();
+                for id in eids {
+                    let e = net.graph.edge(id).unwrap();
+                    tx.create_edge(
+                        pgq_graph::tx::NodeRef::New(slot[&e.src]),
+                        pgq_graph::tx::NodeRef::New(slot[&e.dst]),
+                        e.ty,
+                        e.props.clone(),
+                    );
+                }
+                engine.apply(&tx).unwrap();
+                for (name, q) in views {
+                    engine.register_view(name, q).unwrap();
+                }
+                engine.snapshot().unwrap();
+            }
+            let vfs = Arc::new(disk.vfs());
+
+            // The cold baseline recovers from the SAME image with the
+            // operator-state section stripped: identical snapshot
+            // decode + graph restore, but every network node misses its
+            // stored state and falls back to full re-initialisation
+            // from the graph. The delta between the two suites is
+            // exactly what warm restore buys.
+            let cold_disk = MemDisk::new();
+            {
+                let src = disk.vfs();
+                let dst = cold_disk.vfs();
+                let mut snap = pgq_durability::Snapshot::load(&src)
+                    .expect("reference snapshot readable")
+                    .expect("reference snapshot present");
+                snap.states.clear();
+                snap.write(&dst).unwrap();
+                if let Some(bytes) = src.read(pgq_durability::wal::WAL_FILE).unwrap() {
+                    dst.append(pgq_durability::wal::WAL_FILE, &bytes).unwrap();
+                }
+            }
+            let cold_vfs = Arc::new(cold_disk.vfs());
+
+            // Correctness oracle outside the timing: both recovery
+            // flavors must answer exactly alike.
+            {
+                let warm = GraphEngine::open_durable_with(vfs.clone()).unwrap();
+                let cold = GraphEngine::open_durable_with(cold_vfs.clone()).unwrap();
+                for (name, _) in views {
+                    let rows = |e: &GraphEngine| {
+                        let id = e.view_by_name(name).unwrap();
+                        e.view(id).unwrap().results()
+                    };
+                    assert_eq!(
+                        rows(&warm),
+                        rows(&cold),
+                        "warm recovery diverged from cold rebuild on recovery_{tag}/{name}"
+                    );
+                }
+            }
+
+            let mut warm_us = Vec::with_capacity(rounds);
+            let mut cold_us = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                let t0 = std::time::Instant::now();
+                let e = GraphEngine::open_durable_with(vfs.clone()).unwrap();
+                warm_us.push(t0.elapsed().as_nanos() as f64 / 1000.0);
+                drop(e);
+
+                let t0 = std::time::Instant::now();
+                let e = GraphEngine::open_durable_with(cold_vfs.clone()).unwrap();
+                cold_us.push(t0.elapsed().as_nanos() as f64 / 1000.0);
+                drop(e);
+            }
+            let stats = round_stats(&warm_us);
+            doc.suite(
+                &format!("recovery_warm_{tag}"),
+                "us_per_open",
+                stats,
+                1e6 / stats.median,
+            );
+            let stats = round_stats(&cold_us);
+            doc.suite(
+                &format!("recovery_cold_{tag}"),
+                "us_per_open",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
     std::fs::write(path, doc.render()).expect("write BENCH.json");
     eprintln!("wrote {path}");
 }

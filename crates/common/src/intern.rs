@@ -14,8 +14,21 @@ use parking_lot::RwLock;
 use crate::fxhash::FxHashMap;
 
 /// An interned string. Cheap to copy, O(1) to compare.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Symbol(u32);
+
+impl fmt::Debug for Symbol {
+    /// Renders the **resolved string**, not the intern id. The id is an
+    /// interning-order artefact, different from process to process; every
+    /// consumer that derives `Debug` over symbols (most importantly the
+    /// plan fingerprint in `pgq_algebra`, which hashes the `Debug`
+    /// rendering and keys durable operator-state snapshots) would
+    /// otherwise leak process-local identity into output that must be
+    /// content-stable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_str(|s| write!(f, "Symbol({s:?})"))
+    }
+}
 
 #[derive(Default)]
 struct Interner {

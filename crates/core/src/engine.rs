@@ -1,16 +1,21 @@
 //! The `GraphEngine` façade: graph + views + openCypher execution.
 
+use pgq_algebra::flatten::SchemaMode;
 use pgq_algebra::pipeline::{compile_bindings, compile_query_with, CompileOptions, CompiledQuery};
+use pgq_algebra::plan::WcojMode;
 use pgq_algebra::AlgebraError;
 use pgq_common::intern::Symbol;
 use pgq_common::pool::WorkerPool;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
+use pgq_durability::{wal, FsyncMode, Snapshot, SnapshotView, StdVfs, Vfs, WalTail};
 use pgq_graph::delta::ChangeEvent;
 use pgq_graph::props::Properties;
 use pgq_graph::store::PropertyGraph;
 use pgq_graph::tx::{NodeRef, Transaction};
-use pgq_ivm::{DataflowNetwork, Delta, RegisterOptions, SinkId, TxFootprint, ViewRef};
+use pgq_ivm::{
+    DataflowNetwork, Delta, RegisterOptions, RestoreStates, SinkId, TxFootprint, ViewRef,
+};
 use pgq_parser::ast::{Clause, Expr, Pattern, Query, RemoveItem, SetItem};
 use pgq_parser::parse_query;
 use std::sync::Arc;
@@ -27,6 +32,37 @@ struct ViewEntry {
     sink: SinkId,
     compiled: CompiledQuery,
     query_text: String,
+    /// Compile/register options, kept so a durable snapshot can
+    /// re-register the view mode-faithfully at recovery.
+    compile: CompileOptions,
+    register: RegisterOptions,
+}
+
+/// Durability state of an engine opened via
+/// [`GraphEngine::open_durable`]: the storage handle plus the WAL
+/// record count snapshots use as their replay-skip base.
+struct Durable {
+    vfs: Arc<dyn Vfs>,
+    /// Records currently in the WAL. Monotone within a run; snapshots
+    /// persist it so recovery replays only the log tail after the
+    /// snapshot point.
+    wal_records: u64,
+    /// Auto-snapshot cadence in committed transactions
+    /// (`PGQ_SNAPSHOT_EVERY`; `0` disables the cadence, leaving only
+    /// registration-change and explicit snapshots).
+    snapshot_every: u64,
+    txs_since_snapshot: u64,
+}
+
+fn dur_err(e: impl std::fmt::Display) -> EngineError {
+    EngineError::Durability(e.to_string())
+}
+
+fn snapshot_every_from_env() -> u64 {
+    std::env::var("PGQ_SNAPSHOT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
 }
 
 /// Counters reported by update queries (mirrors Neo4j's summary).
@@ -90,12 +126,18 @@ pub struct GraphEngine {
     /// Lazily-built worker pool, shared (via `Arc`) with clones so a
     /// fleet of engines does not multiply OS threads.
     pool: Option<Arc<WorkerPool>>,
+    /// Durability handle ([`GraphEngine::open_durable`]); `None` for
+    /// in-memory engines, which pay zero logging cost on the hot path.
+    durable: Option<Durable>,
 }
 
 impl Clone for GraphEngine {
     /// Clones the graph and all view state. Subscribers are **not**
     /// cloned (callbacks are tied to the original engine's consumers);
-    /// the worker pool, if any, is shared.
+    /// the worker pool, if any, is shared. Durability is **not**
+    /// cloned either: two engines appending to one WAL would interleave
+    /// their records into an unreplayable log, so a clone is always an
+    /// in-memory engine.
     fn clone(&self) -> GraphEngine {
         GraphEngine {
             graph: self.graph.clone(),
@@ -104,6 +146,7 @@ impl Clone for GraphEngine {
             subscribers: Vec::new(),
             threads: self.threads,
             pool: self.pool.clone(),
+            durable: None,
         }
     }
 }
@@ -171,9 +214,17 @@ impl GraphEngine {
     }
 
     /// Apply a transaction and maintain every registered view.
+    ///
+    /// On a durable engine the committed transaction is appended to the
+    /// WAL *after* the store accepts it — a crash between commit and
+    /// append loses that transaction entirely (async-commit semantics)
+    /// but can never log a transaction that did not commit.
     pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, EngineError> {
         let events = self.graph.apply(tx)?;
+        let logged = self.wal_log(tx);
         self.maintain(&events);
+        logged?;
+        self.maybe_snapshot()?;
         Ok(events)
     }
 
@@ -209,6 +260,15 @@ impl GraphEngine {
                     group_events.extend(events);
                     group_fp.merge(&fp);
                     summary.transactions += 1;
+                    // Each committed member is logged individually, so
+                    // a WAL replay reproduces the exact transaction
+                    // sequence regardless of coalescing.
+                    if let Err(e) = self.wal_log(tx) {
+                        if !group_events.is_empty() {
+                            self.maintain(&group_events);
+                        }
+                        return Err(e);
+                    }
                 }
                 Err(e) => {
                     // Views must reflect the transactions that did land
@@ -224,6 +284,7 @@ impl GraphEngine {
             self.maintain(&group_events);
             summary.passes += 1;
         }
+        self.maybe_snapshot()?;
         Ok(summary)
     }
 
@@ -260,6 +321,7 @@ impl GraphEngine {
         tx: &Transaction,
     ) -> Result<Vec<(ViewId, Delta)>, EngineError> {
         let events = self.graph.apply(tx)?;
+        self.wal_log(tx)?;
         self.propagate(&events);
         let mut out = Vec::new();
         for (i, entry) in self.views.iter().enumerate() {
@@ -392,7 +454,13 @@ impl GraphEngine {
             sink,
             compiled,
             query_text: cypher.to_string(),
+            compile: options,
+            register,
         }));
+        // Registration changes what a recovery must rebuild; persist it
+        // immediately (the snapshot is the DDL log — the WAL carries
+        // only data transactions).
+        self.snapshot()?;
         Ok(id)
     }
 
@@ -403,6 +471,7 @@ impl GraphEngine {
             Some(slot @ Some(_)) => {
                 let entry = slot.take().expect("matched Some");
                 self.network.drop_sink(entry.sink);
+                self.snapshot()?;
                 Ok(())
             }
             _ => Err(EngineError::UnknownView),
@@ -444,6 +513,213 @@ impl GraphEngine {
     /// (read-only; for stats, node-sharing inspection, and tests).
     pub fn network(&self) -> &DataflowNetwork {
         &self.network
+    }
+
+    // ---- durability ----------------------------------------------------------
+
+    /// Open (or create) a durable engine rooted at `dir`: load the
+    /// snapshot if one exists, **warm-restore** every standing view's
+    /// operator state from it, replay the WAL tail, and arm
+    /// per-transaction logging. Fsync behaviour follows `PGQ_FSYNC`
+    /// (`always`/`1`/`true` → fsync every append; default is
+    /// OS-buffered), the auto-snapshot cadence follows
+    /// `PGQ_SNAPSHOT_EVERY` (committed transactions between snapshots;
+    /// default 1024, `0` disables the cadence).
+    pub fn open_durable(dir: impl Into<std::path::PathBuf>) -> Result<GraphEngine, EngineError> {
+        let fsync = match std::env::var("PGQ_FSYNC") {
+            Ok(v) => FsyncMode::from_env_str(&v),
+            Err(_) => FsyncMode::default(),
+        };
+        let vfs = StdVfs::new(dir, fsync).map_err(dur_err)?;
+        GraphEngine::open_durable_with(Arc::new(vfs))
+    }
+
+    /// [`GraphEngine::open_durable`] over an explicit storage layer —
+    /// crash tests drive this with the fault-injectable
+    /// [`pgq_durability::MemVfs`].
+    ///
+    /// Recovery protocol, in order:
+    /// 1. Load the snapshot (corruption is a hard error — the graph
+    ///    dump is load-bearing; an *absent* snapshot is just a cold
+    ///    log replay from genesis).
+    /// 2. Rebuild the graph, then re-register every standing view
+    ///    mode-faithfully into its original slot via
+    ///    [`DataflowNetwork::register_with_restore`], so fingerprint
+    ///    hits skip the initial-evaluation cost.
+    /// 3. Load the WAL; a torn or corrupt tail is quarantined by
+    ///    atomically rewriting the valid prefix, so later appends
+    ///    extend a well-formed log.
+    /// 4. Replay only the records after the snapshot's high-water mark
+    ///    through the normal maintenance path.
+    pub fn open_durable_with(vfs: Arc<dyn Vfs>) -> Result<GraphEngine, EngineError> {
+        let snap = Snapshot::load(vfs.as_ref()).map_err(dur_err)?;
+        let mut engine;
+        let skip;
+        match snap {
+            Some(s) => {
+                engine = GraphEngine::from_graph(s.restore_graph().map_err(dur_err)?);
+                let mut states = RestoreStates::new();
+                for (fp, check, bag) in &s.states {
+                    states.insert(*fp, *check, bag.clone());
+                }
+                let mut views: Vec<&SnapshotView> = s.views.iter().collect();
+                views.sort_by_key(|v| v.slot);
+                for v in views {
+                    engine.register_recovered(v, &states)?;
+                }
+                skip = s.wal_records as usize;
+            }
+            None => {
+                engine = GraphEngine::new();
+                skip = 0;
+            }
+        }
+        let (txs, tail) = wal::load(vfs.as_ref()).map_err(dur_err)?;
+        if let WalTail::Torn { offset } | WalTail::Corrupt { offset } = tail {
+            if let Some(bytes) = vfs.read(wal::WAL_FILE).map_err(dur_err)? {
+                vfs.write_atomic(wal::WAL_FILE, &bytes[..offset.min(bytes.len())])
+                    .map_err(dur_err)?;
+            }
+        }
+        for tx in txs.iter().skip(skip) {
+            let events = engine
+                .graph
+                .apply(tx)
+                .map_err(|e| EngineError::Durability(format!("WAL replay: {e}")))?;
+            engine.maintain(&events);
+        }
+        engine.durable = Some(Durable {
+            vfs,
+            wal_records: txs.len() as u64,
+            snapshot_every: snapshot_every_from_env(),
+            txs_since_snapshot: 0,
+        });
+        Ok(engine)
+    }
+
+    /// Is this engine logging to a durability directory?
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Override the auto-snapshot cadence (`0` disables it). No-op on
+    /// in-memory engines.
+    pub fn set_snapshot_every(&mut self, every: u64) -> &mut Self {
+        if let Some(d) = self.durable.as_mut() {
+            d.snapshot_every = every;
+        }
+        self
+    }
+
+    /// Write a full snapshot now: graph dump, per-view registration
+    /// metadata, and every live operator node's state bag keyed by its
+    /// content-stable plan fingerprint. Atomic (write-to-temp +
+    /// rename): a crash mid-write leaves the previous snapshot intact.
+    /// No-op on in-memory engines.
+    pub fn snapshot(&mut self) -> Result<(), EngineError> {
+        let Some(wal_records) = self.durable.as_ref().map(|d| d.wal_records) else {
+            return Ok(());
+        };
+        let mut snap = Snapshot::capture_graph(&self.graph);
+        snap.wal_records = wal_records;
+        for (i, entry) in self.views.iter().enumerate() {
+            let Some(e) = entry else { continue };
+            snap.views.push(SnapshotView {
+                slot: i as u32,
+                name: self.network.view(e.sink).name().to_string(),
+                query: e.query_text.clone(),
+                schema_mode: match e.compile.schema_mode {
+                    SchemaMode::Inferred => 0,
+                    SchemaMode::CarryMaps => 1,
+                },
+                optimize: e.compile.optimize,
+                plan: e.register.plan,
+                wcoj_mode: match e.register.wcoj {
+                    WcojMode::Disabled => 0,
+                    WcojMode::CostBased => 1,
+                    WcojMode::Forced => 2,
+                },
+                wcoj_sorted: e.register.wcoj_sorted,
+            });
+        }
+        for (fp, check, bag) in self.network.dump_states().iter() {
+            snap.states.push((fp, check, bag.to_vec()));
+        }
+        let d = self.durable.as_mut().expect("checked above");
+        snap.write(d.vfs.as_ref()).map_err(dur_err)?;
+        d.txs_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Append one committed transaction to the WAL (no-op when not
+    /// durable).
+    fn wal_log(&mut self, tx: &Transaction) -> Result<(), EngineError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        wal::append_tx(d.vfs.as_ref(), tx).map_err(dur_err)?;
+        d.wal_records += 1;
+        d.txs_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Snapshot if the auto-cadence is due.
+    fn maybe_snapshot(&mut self) -> Result<(), EngineError> {
+        let due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.snapshot_every > 0 && d.txs_since_snapshot >= d.snapshot_every);
+        if due {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Re-register one snapshot view, mode-faithfully, into its
+    /// original slot, warm-restoring operator state where fingerprints
+    /// hit.
+    fn register_recovered(
+        &mut self,
+        v: &SnapshotView,
+        states: &RestoreStates,
+    ) -> Result<(), EngineError> {
+        let query = parse_query(&v.query)?;
+        let compile = CompileOptions {
+            schema_mode: match v.schema_mode {
+                1 => SchemaMode::CarryMaps,
+                _ => SchemaMode::Inferred,
+            },
+            optimize: v.optimize,
+        };
+        let compiled = compile_query_with(&query, compile)?;
+        let register = RegisterOptions {
+            plan: v.plan,
+            wcoj: match v.wcoj_mode {
+                0 => WcojMode::Disabled,
+                2 => WcojMode::Forced,
+                _ => WcojMode::CostBased,
+            },
+            wcoj_sorted: v.wcoj_sorted,
+        };
+        let sink = self.network.register_with_restore(
+            v.name.clone(),
+            &compiled.fra,
+            &self.graph,
+            register,
+            states,
+        );
+        let slot = v.slot as usize;
+        if self.views.len() <= slot {
+            self.views.resize_with(slot + 1, || None);
+        }
+        self.views[slot] = Some(ViewEntry {
+            sink,
+            compiled,
+            query_text: v.query.clone(),
+            compile,
+            register,
+        });
+        Ok(())
     }
 
     // ---- queries -------------------------------------------------------------

@@ -23,6 +23,10 @@ pub enum EngineError {
     DuplicateView(String),
     /// Valid Cypher the engine's update interpreter does not support.
     Unsupported(String),
+    /// The durability layer failed (WAL append, snapshot write, or a
+    /// corrupt snapshot at recovery). Carries a rendered message so the
+    /// error stays `Clone + PartialEq` like its siblings.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +38,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownView => write!(f, "unknown view"),
             EngineError::DuplicateView(n) => write!(f, "view `{n}` already exists"),
             EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            EngineError::Durability(s) => write!(f, "durability: {s}"),
         }
     }
 }

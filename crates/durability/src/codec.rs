@@ -1,0 +1,666 @@
+//! Hand-rolled binary codec for durable records.
+//!
+//! A small, explicit little-endian format — no external serialization
+//! crates (offline shim rule), no reflection. Every durable structure
+//! (values, property maps, transaction ops, operator-state tuples) has a
+//! matching `encode_*`/`decode_*` pair here, and the WAL/snapshot layers
+//! only ever frame byte blobs produced by this module.
+//!
+//! Two invariants the recovery path depends on:
+//!
+//! - **Symbols encode as their resolved strings**, never as intern ids.
+//!   Intern ids are interning-order artifacts of one process; a recovered
+//!   process re-interns the strings and gets its own ids.
+//! - **Decoding never panics.** Every read is bounds-checked and every
+//!   tag validated, returning [`CodecError`]; recovery treats a decode
+//!   failure like a checksum failure (stop cleanly, fall back).
+
+use std::fmt;
+use std::sync::Arc;
+
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::ordf::OrdF64;
+use pgq_common::path::PathValue;
+use pgq_common::tuple::Tuple;
+use pgq_common::value::Value;
+use pgq_graph::props::Properties;
+use pgq_graph::tx::{NodeRef, Transaction, TxOp};
+
+/// Decode failure. Carries enough to say *what* was malformed without
+/// retaining any of the (possibly corrupt) input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CodecError {
+    /// Input ended before the value being decoded was complete.
+    Eof,
+    /// Unknown tag byte for the named type.
+    BadTag(&'static str, u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the top-level value (framing bug upstream).
+    Trailing,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::BadTag(what, tag) => write!(f, "bad {what} tag {tag:#04x}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string payload"),
+            CodecError::Trailing => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32fast` convention),
+/// hand-rolled so the WAL needs no external checksum crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Little-endian byte-buffer writer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Finish, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a collection length (`u32`).
+    pub fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Read from `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the input was consumed exactly.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag("bool", t)),
+        }
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a collection length, refusing lengths that cannot fit in the
+    /// remaining input (defense against corrupt prefixes: no huge
+    /// preallocations, no long bogus loops).
+    pub fn read_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::Eof);
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.read_len()?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Read a symbol (stored as its resolved string; re-interned here).
+    pub fn symbol(&mut self) -> Result<Symbol, CodecError> {
+        Ok(Symbol::intern(&self.str()?))
+    }
+}
+
+/// Encode a symbol as its resolved string.
+pub fn encode_symbol(e: &mut Encoder, s: Symbol) {
+    s.with_str(|str| e.str(str));
+}
+
+// Value tags.
+const V_NULL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT: u8 = 2;
+const V_FLOAT: u8 = 3;
+const V_STR: u8 = 4;
+const V_NODE: u8 = 5;
+const V_REL: u8 = 6;
+const V_LIST: u8 = 7;
+const V_MAP: u8 = 8;
+const V_PATH: u8 = 9;
+
+/// Encode a [`Value`] (tagged, recursive).
+pub fn encode_value(e: &mut Encoder, v: &Value) {
+    match v {
+        Value::Null => e.u8(V_NULL),
+        Value::Bool(b) => {
+            e.u8(V_BOOL);
+            e.bool(*b);
+        }
+        Value::Int(i) => {
+            e.u8(V_INT);
+            e.i64(*i);
+        }
+        Value::Float(f) => {
+            e.u8(V_FLOAT);
+            e.u64(f.get().to_bits());
+        }
+        Value::Str(s) => {
+            e.u8(V_STR);
+            e.str(s);
+        }
+        Value::Node(v) => {
+            e.u8(V_NODE);
+            e.u64(v.0);
+        }
+        Value::Rel(r) => {
+            e.u8(V_REL);
+            e.u64(r.0);
+        }
+        Value::List(items) => {
+            e.u8(V_LIST);
+            e.len(items.len());
+            for item in items.iter() {
+                encode_value(e, item);
+            }
+        }
+        Value::Map(m) => {
+            e.u8(V_MAP);
+            e.len(m.len());
+            for (k, v) in m.iter() {
+                e.str(k);
+                encode_value(e, v);
+            }
+        }
+        Value::Path(p) => {
+            e.u8(V_PATH);
+            e.len(p.vertices().len());
+            for v in p.vertices() {
+                e.u64(v.0);
+            }
+            e.len(p.edges().len());
+            for ed in p.edges() {
+                e.u64(ed.0);
+            }
+        }
+    }
+}
+
+/// Decode a [`Value`].
+pub fn decode_value(d: &mut Decoder<'_>) -> Result<Value, CodecError> {
+    Ok(match d.u8()? {
+        V_NULL => Value::Null,
+        V_BOOL => Value::Bool(d.bool()?),
+        V_INT => Value::Int(d.i64()?),
+        V_FLOAT => Value::Float(OrdF64(f64::from_bits(d.u64()?))),
+        V_STR => Value::Str(Arc::from(d.str()?)),
+        V_NODE => Value::Node(VertexId(d.u64()?)),
+        V_REL => Value::Rel(EdgeId(d.u64()?)),
+        V_LIST => {
+            let n = d.read_len()?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(d)?);
+            }
+            Value::list(items)
+        }
+        V_MAP => {
+            let n = d.read_len()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = d.str()?;
+                entries.push((k, decode_value(d)?));
+            }
+            Value::map(entries)
+        }
+        V_PATH => {
+            let nv = d.read_len()?;
+            let mut vertices = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                vertices.push(VertexId(d.u64()?));
+            }
+            let ne = d.read_len()?;
+            let mut edges = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                edges.push(EdgeId(d.u64()?));
+            }
+            Value::path(PathValue::new(vertices, edges))
+        }
+        t => return Err(CodecError::BadTag("value", t)),
+    })
+}
+
+/// Encode a property map as `(key-string, value)` pairs.
+pub fn encode_props(e: &mut Encoder, p: &Properties) {
+    e.len(p.len());
+    for (k, v) in p.iter() {
+        encode_symbol(e, k);
+        encode_value(e, v);
+    }
+}
+
+/// Decode a property map.
+pub fn decode_props(d: &mut Decoder<'_>) -> Result<Properties, CodecError> {
+    let n = d.read_len()?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = d.symbol()?;
+        pairs.push((k, decode_value(d)?));
+    }
+    Ok(Properties::from_iter(pairs))
+}
+
+/// Encode a tuple as a value vector.
+pub fn encode_tuple(e: &mut Encoder, t: &Tuple) {
+    e.len(t.arity());
+    for v in t.values() {
+        encode_value(e, v);
+    }
+}
+
+/// Decode a tuple.
+pub fn decode_tuple(d: &mut Decoder<'_>) -> Result<Tuple, CodecError> {
+    let n = d.read_len()?;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(decode_value(d)?);
+    }
+    Ok(Tuple::new(vals))
+}
+
+// NodeRef tags.
+const NR_EXISTING: u8 = 0;
+const NR_NEW: u8 = 1;
+
+fn encode_node_ref(e: &mut Encoder, r: NodeRef) {
+    match r {
+        NodeRef::Existing(v) => {
+            e.u8(NR_EXISTING);
+            e.u64(v.0);
+        }
+        NodeRef::New(i) => {
+            e.u8(NR_NEW);
+            e.u64(i as u64);
+        }
+    }
+}
+
+fn decode_node_ref(d: &mut Decoder<'_>) -> Result<NodeRef, CodecError> {
+    Ok(match d.u8()? {
+        NR_EXISTING => NodeRef::Existing(VertexId(d.u64()?)),
+        NR_NEW => NodeRef::New(d.u64()? as usize),
+        t => return Err(CodecError::BadTag("node-ref", t)),
+    })
+}
+
+// TxOp tags.
+const OP_CREATE_VERTEX: u8 = 0;
+const OP_CREATE_EDGE: u8 = 1;
+const OP_DELETE_VERTEX: u8 = 2;
+const OP_DELETE_EDGE: u8 = 3;
+const OP_SET_VPROP: u8 = 4;
+const OP_SET_EPROP: u8 = 5;
+const OP_ADD_LABEL: u8 = 6;
+const OP_REMOVE_LABEL: u8 = 7;
+
+fn encode_op(e: &mut Encoder, op: &TxOp) {
+    match op {
+        TxOp::CreateVertex { labels, props } => {
+            e.u8(OP_CREATE_VERTEX);
+            e.len(labels.len());
+            for &l in labels {
+                encode_symbol(e, l);
+            }
+            encode_props(e, props);
+        }
+        TxOp::CreateEdge {
+            src,
+            dst,
+            ty,
+            props,
+        } => {
+            e.u8(OP_CREATE_EDGE);
+            encode_node_ref(e, *src);
+            encode_node_ref(e, *dst);
+            encode_symbol(e, *ty);
+            encode_props(e, props);
+        }
+        TxOp::DeleteVertex { id, detach } => {
+            e.u8(OP_DELETE_VERTEX);
+            e.u64(id.0);
+            e.bool(*detach);
+        }
+        TxOp::DeleteEdge { id } => {
+            e.u8(OP_DELETE_EDGE);
+            e.u64(id.0);
+        }
+        TxOp::SetVertexProp { id, key, value } => {
+            e.u8(OP_SET_VPROP);
+            encode_node_ref(e, *id);
+            encode_symbol(e, *key);
+            encode_value(e, value);
+        }
+        TxOp::SetEdgeProp { id, key, value } => {
+            e.u8(OP_SET_EPROP);
+            e.u64(id.0);
+            encode_symbol(e, *key);
+            encode_value(e, value);
+        }
+        TxOp::AddLabel { id, label } => {
+            e.u8(OP_ADD_LABEL);
+            encode_node_ref(e, *id);
+            encode_symbol(e, *label);
+        }
+        TxOp::RemoveLabel { id, label } => {
+            e.u8(OP_REMOVE_LABEL);
+            encode_node_ref(e, *id);
+            encode_symbol(e, *label);
+        }
+    }
+}
+
+fn decode_op(d: &mut Decoder<'_>) -> Result<TxOp, CodecError> {
+    Ok(match d.u8()? {
+        OP_CREATE_VERTEX => {
+            let n = d.read_len()?;
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(d.symbol()?);
+            }
+            TxOp::CreateVertex {
+                labels,
+                props: decode_props(d)?,
+            }
+        }
+        OP_CREATE_EDGE => TxOp::CreateEdge {
+            src: decode_node_ref(d)?,
+            dst: decode_node_ref(d)?,
+            ty: d.symbol()?,
+            props: decode_props(d)?,
+        },
+        OP_DELETE_VERTEX => TxOp::DeleteVertex {
+            id: VertexId(d.u64()?),
+            detach: d.bool()?,
+        },
+        OP_DELETE_EDGE => TxOp::DeleteEdge {
+            id: EdgeId(d.u64()?),
+        },
+        OP_SET_VPROP => TxOp::SetVertexProp {
+            id: decode_node_ref(d)?,
+            key: d.symbol()?,
+            value: decode_value(d)?,
+        },
+        OP_SET_EPROP => TxOp::SetEdgeProp {
+            id: EdgeId(d.u64()?),
+            key: d.symbol()?,
+            value: decode_value(d)?,
+        },
+        OP_ADD_LABEL => TxOp::AddLabel {
+            id: decode_node_ref(d)?,
+            label: d.symbol()?,
+        },
+        OP_REMOVE_LABEL => TxOp::RemoveLabel {
+            id: decode_node_ref(d)?,
+            label: d.symbol()?,
+        },
+        t => return Err(CodecError::BadTag("tx-op", t)),
+    })
+}
+
+/// Encode a whole transaction (the WAL record payload).
+pub fn encode_tx(tx: &Transaction) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.len(tx.len());
+    for op in tx.ops() {
+        encode_op(&mut e, op);
+    }
+    e.into_bytes()
+}
+
+/// Decode a transaction payload, requiring exact consumption.
+pub fn decode_tx(bytes: &[u8]) -> Result<Transaction, CodecError> {
+    let mut d = Decoder::new(bytes);
+    let n = d.read_len()?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(decode_op(&mut d)?);
+    }
+    d.finish()?;
+    Ok(Transaction::from_ops(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    fn roundtrip_value(v: &Value) {
+        let mut e = Encoder::new();
+        encode_value(&mut e, v);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = decode_value(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn value_roundtrips_cover_every_variant() {
+        roundtrip_value(&Value::Null);
+        roundtrip_value(&Value::Bool(true));
+        roundtrip_value(&Value::Int(-42));
+        roundtrip_value(&Value::float(2.5));
+        roundtrip_value(&Value::float(f64::NEG_INFINITY));
+        roundtrip_value(&Value::str("héllo"));
+        roundtrip_value(&Value::Node(VertexId(7)));
+        roundtrip_value(&Value::Rel(EdgeId(9)));
+        roundtrip_value(&Value::list(vec![Value::Int(1), Value::str("x")]));
+        roundtrip_value(&Value::map([
+            ("a".to_string(), Value::Int(1)),
+            ("b".to_string(), Value::Null),
+        ]));
+        roundtrip_value(&Value::path(PathValue::new(
+            vec![VertexId(1), VertexId(2)],
+            vec![EdgeId(5)],
+        )));
+    }
+
+    #[test]
+    fn nan_float_roundtrips_bit_exactly() {
+        let mut e = Encoder::new();
+        encode_value(&mut e, &Value::float(f64::NAN));
+        let bytes = e.into_bytes();
+        let back = decode_value(&mut Decoder::new(&bytes)).unwrap();
+        match back {
+            Value::Float(f) => assert!(f.get().is_nan()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tx_roundtrip_covers_every_op() {
+        let sym = Symbol::intern;
+        let mut tx = Transaction::new();
+        let a = tx.create_vertex(
+            [sym("Post")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        tx.create_edge(a, VertexId(3), sym("REPLY"), Properties::new());
+        tx.delete_vertex(VertexId(9), true);
+        tx.delete_edge(EdgeId(4));
+        tx.set_vertex_prop(a, sym("score"), Value::Int(5));
+        tx.set_edge_prop(EdgeId(2), sym("w"), Value::Null);
+        tx.add_label(a, sym("Hot"));
+        tx.remove_label(VertexId(3), sym("Cold"));
+
+        let bytes = encode_tx(&tx);
+        let back = decode_tx(&bytes).unwrap();
+        assert_eq!(back.len(), tx.len());
+        for (x, y) in back.ops().iter().zip(tx.ops()) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut e = Encoder::new();
+        encode_value(&mut e, &Value::str("hello world"));
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let r = decode_value(&mut Decoder::new(&bytes[..cut]));
+            assert!(r.is_err(), "prefix of {cut} bytes decoded to {r:?}");
+        }
+    }
+
+    #[test]
+    fn bogus_length_is_rejected_without_allocation() {
+        let mut e = Encoder::new();
+        e.u8(7); // list tag
+        e.u32(u32::MAX); // absurd length with no payload behind it
+        let bytes = e.into_bytes();
+        assert_eq!(
+            decode_value(&mut Decoder::new(&bytes)),
+            Err(CodecError::Eof)
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(matches!(
+            decode_value(&mut Decoder::new(&[0xFE])),
+            Err(CodecError::BadTag("value", 0xFE))
+        ));
+        assert!(matches!(
+            decode_tx(&[1, 0, 0, 0, 0xFE]),
+            Err(CodecError::BadTag("tx-op", 0xFE))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_tx(&Transaction::new());
+        bytes.push(0);
+        assert!(matches!(decode_tx(&bytes), Err(CodecError::Trailing)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Durability for the pgq engine: write-ahead logging, snapshots, and
+//! the pieces of crash recovery that live below the engine layer.
+//!
+//! The design follows the classic WAL + checkpoint split, adapted to an
+//! IVM engine whose expensive state is not the *graph* but the *operator
+//! network* maintaining the standing views:
+//!
+//! - [`wal`] appends one checksummed record per committed transaction.
+//!   Replaying the log through the normal transaction path reproduces
+//!   both the graph and (via delta propagation) every view — the log is
+//!   logically complete on its own.
+//! - [`snapshot`] bounds replay: it captures the graph dump, the exact
+//!   id-allocation watermarks, each standing view's registration
+//!   metadata, and every shared operator node's consolidated state bag
+//!   keyed by **content-stable plan fingerprint**. Warm recovery
+//!   restores operator state from those bags instead of recomputing
+//!   joins from scratch, then replays only the WAL tail.
+//! - [`vfs`] is the fault-injection seam: all I/O goes through a tiny
+//!   trait with a real-directory backend and an in-memory backend whose
+//!   write *fuse* kills the simulated process at an arbitrary byte
+//!   boundary, so crash tests can cover torn tails and half-written
+//!   snapshots deterministically.
+//! - [`codec`] is the hand-rolled binary format underneath both files
+//!   (offline-shim rule: no external serialization or checksum crates).
+//!
+//! What lives *above* this crate: the engine decides when to snapshot,
+//! owns the view table being restored, and drives the dataflow network's
+//! state dump/restore. This crate only knows bytes, graphs, and
+//! transactions.
+
+pub mod codec;
+pub mod snapshot;
+pub mod vfs;
+pub mod wal;
+
+pub use codec::CodecError;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotView, StateBag};
+pub use vfs::{FsyncMode, MemDisk, MemVfs, StdVfs, Vfs};
+pub use wal::WalTail;

@@ -1,0 +1,453 @@
+//! Durable snapshots: graph contents plus per-operator network state.
+//!
+//! Layout (all little-endian, via [`crate::codec`]):
+//!
+//! ```text
+//! [magic "PGQSNAP1": 8 bytes][crc32(body): u32][body]
+//! ```
+//!
+//! The body carries, in order: the number of WAL records the snapshot
+//! subsumes (`wal_records` — recovery replays only the log tail after
+//! it), the exact id-allocation watermarks (so replayed creates allocate
+//! the same ids the original process did), the full vertex/edge dump,
+//! per-view registration metadata, and the consolidated state bag of
+//! every live operator node keyed by its **content-stable plan
+//! fingerprint** (`pgq_algebra`'s fingerprints hash resolved strings, so
+//! a different process computes the same keys).
+//!
+//! Snapshots are written with [`Vfs::write_atomic`] — after a crash the
+//! file is either the previous snapshot or the new one, never torn.
+//! Correctness never *depends* on the operator states: a fingerprint
+//! that fails to match at recovery simply falls back to recomputing that
+//! node from its children. The graph dump, by contrast, is
+//! load-bearing, which is why a snapshot that fails its checksum is a
+//! hard [`SnapshotError`] rather than a silent cold start.
+
+use std::fmt;
+use std::io;
+
+use pgq_common::ids::{EdgeId, VertexId};
+use pgq_common::intern::Symbol;
+use pgq_common::tuple::Tuple;
+use pgq_graph::props::Properties;
+use pgq_graph::store::{GraphError, PropertyGraph};
+
+use crate::codec::{
+    crc32, decode_props, decode_tuple, encode_props, encode_symbol, encode_tuple, CodecError,
+    Decoder, Encoder,
+};
+use crate::vfs::Vfs;
+
+/// File name of the snapshot inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+const MAGIC: &[u8; 8] = b"PGQSNAP1";
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The body does not match its checksum.
+    BadChecksum,
+    /// The body bytes do not decode (version skew or corruption the
+    /// checksum happened to miss).
+    Codec(CodecError),
+    /// The decoded graph dump was internally inconsistent (an edge
+    /// referencing a missing endpoint).
+    Graph(GraphError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::BadMagic => write!(f, "snapshot has wrong magic"),
+            SnapshotError::BadChecksum => write!(f, "snapshot failed checksum"),
+            SnapshotError::Codec(e) => write!(f, "snapshot decode: {e}"),
+            SnapshotError::Graph(e) => write!(f, "snapshot graph dump: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+/// Registration metadata for one standing view, enough for the engine to
+/// re-register it mode-faithfully (same schema mode, same planner and
+/// wcoj toggles) in its original slot. The option fields are small ints
+/// the engine maps onto its own enums, keeping this crate independent of
+/// the engine layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotView {
+    /// Original slot index in the engine's view table (view ids must
+    /// survive recovery).
+    pub slot: u32,
+    /// View name.
+    pub name: String,
+    /// Original query text.
+    pub query: String,
+    /// Compile-time schema mode discriminant.
+    pub schema_mode: u8,
+    /// Compile-time algebraic-rewrite toggle.
+    pub optimize: bool,
+    /// Was the cost-based planner used?
+    pub plan: bool,
+    /// Wcoj mode discriminant (disabled / cost-based / forced).
+    pub wcoj_mode: u8,
+    /// Forced wcoj backend choice, if pinned.
+    pub wcoj_sorted: Option<bool>,
+}
+
+/// A consolidated operator-state bag: distinct tuples with non-zero
+/// signed multiplicities.
+pub type StateBag = Vec<(Tuple, i64)>;
+
+/// Everything a snapshot persists.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Number of leading WAL records whose effects this snapshot already
+    /// contains; recovery replays only records after these.
+    pub wal_records: u64,
+    /// Exact vertex-id allocation watermark.
+    pub next_vertex: u64,
+    /// Exact edge-id allocation watermark.
+    pub next_edge: u64,
+    /// Vertex dump: id, labels, properties.
+    pub vertices: Vec<(VertexId, Vec<Symbol>, Properties)>,
+    /// Edge dump: id, src, dst, type, properties.
+    pub edges: Vec<(EdgeId, VertexId, VertexId, Symbol, Properties)>,
+    /// Standing views to re-register.
+    pub views: Vec<SnapshotView>,
+    /// Operator state keyed by content-stable plan fingerprint plus a
+    /// second, domain-separated check hash — the snapshot's stand-in
+    /// for the plan-equality confirmation in-process hash-consing
+    /// performs before sharing state.
+    pub states: Vec<(u64, u64, StateBag)>,
+}
+
+impl Snapshot {
+    /// Capture `g`'s contents (dump + watermarks) into a fresh snapshot;
+    /// views and operator states are filled in by the engine layer.
+    pub fn capture_graph(g: &PropertyGraph) -> Snapshot {
+        let (next_vertex, next_edge) = g.id_watermarks();
+        let mut vertices: Vec<_> = g
+            .vertex_ids()
+            .map(|id| {
+                let data = g.vertex(id).expect("iterated id exists");
+                (id, data.labels.clone(), data.props.clone())
+            })
+            .collect();
+        // Deterministic dump order (iteration order of the id map is
+        // hash-dependent); also lets the loader insert edges after both
+        // endpoints without a fixpoint.
+        vertices.sort_by_key(|(id, _, _)| *id);
+        let mut edges: Vec<_> = g
+            .edge_ids()
+            .map(|id| {
+                let data = g.edge(id).expect("iterated id exists");
+                (id, data.src, data.dst, data.ty, data.props.clone())
+            })
+            .collect();
+        edges.sort_by_key(|(id, _, _, _, _)| *id);
+        Snapshot {
+            wal_records: 0,
+            next_vertex,
+            next_edge,
+            vertices,
+            edges,
+            views: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Rebuild a graph from the dump. Catalog hooks run per insert, so
+    /// the recovered cardinality catalog matches a live-built one and
+    /// re-planning reproduces the original physical plans (which is what
+    /// makes the fingerprint-keyed state restore hit).
+    pub fn restore_graph(&self) -> Result<PropertyGraph, SnapshotError> {
+        let mut g = PropertyGraph::new();
+        for (id, labels, props) in &self.vertices {
+            g.load_vertex(*id, labels.iter().copied(), props.clone());
+        }
+        for (id, src, dst, ty, props) in &self.edges {
+            g.load_edge(*id, *src, *dst, *ty, props.clone())
+                .map_err(SnapshotError::Graph)?;
+        }
+        g.set_id_watermarks(self.next_vertex, self.next_edge);
+        Ok(g)
+    }
+
+    /// Serialize to the on-disk format (magic + checksum + body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(self.wal_records);
+        e.u64(self.next_vertex);
+        e.u64(self.next_edge);
+
+        e.len(self.vertices.len());
+        for (id, labels, props) in &self.vertices {
+            e.u64(id.0);
+            e.len(labels.len());
+            for &l in labels {
+                encode_symbol(&mut e, l);
+            }
+            encode_props(&mut e, props);
+        }
+
+        e.len(self.edges.len());
+        for (id, src, dst, ty, props) in &self.edges {
+            e.u64(id.0);
+            e.u64(src.0);
+            e.u64(dst.0);
+            encode_symbol(&mut e, *ty);
+            encode_props(&mut e, props);
+        }
+
+        e.len(self.views.len());
+        for v in &self.views {
+            e.u32(v.slot);
+            e.str(&v.name);
+            e.str(&v.query);
+            e.u8(v.schema_mode);
+            e.bool(v.optimize);
+            e.bool(v.plan);
+            e.u8(v.wcoj_mode);
+            e.u8(match v.wcoj_sorted {
+                None => 0,
+                Some(false) => 1,
+                Some(true) => 2,
+            });
+        }
+
+        e.len(self.states.len());
+        for (fp, check, bag) in &self.states {
+            e.u64(*fp);
+            e.u64(*check);
+            e.len(bag.len());
+            for (t, m) in bag {
+                encode_tuple(&mut e, t);
+                e.i64(*m);
+            }
+        }
+
+        let body = e.into_bytes();
+        let mut out = Vec::with_capacity(12 + body.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode the on-disk format, validating magic and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 12 || &bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let want = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let body = &bytes[12..];
+        if crc32(body) != want {
+            return Err(SnapshotError::BadChecksum);
+        }
+
+        let mut d = Decoder::new(body);
+        let wal_records = d.u64()?;
+        let next_vertex = d.u64()?;
+        let next_edge = d.u64()?;
+
+        let nv = d.read_len()?;
+        let mut vertices = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            let id = VertexId(d.u64()?);
+            let nl = d.read_len()?;
+            let mut labels = Vec::with_capacity(nl);
+            for _ in 0..nl {
+                labels.push(d.symbol()?);
+            }
+            vertices.push((id, labels, decode_props(&mut d)?));
+        }
+
+        let ne = d.read_len()?;
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let id = EdgeId(d.u64()?);
+            let src = VertexId(d.u64()?);
+            let dst = VertexId(d.u64()?);
+            let ty = d.symbol()?;
+            edges.push((id, src, dst, ty, decode_props(&mut d)?));
+        }
+
+        let nw = d.read_len()?;
+        let mut views = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            views.push(SnapshotView {
+                slot: d.u32()?,
+                name: d.str()?,
+                query: d.str()?,
+                schema_mode: d.u8()?,
+                optimize: d.bool()?,
+                plan: d.bool()?,
+                wcoj_mode: d.u8()?,
+                wcoj_sorted: match d.u8()? {
+                    0 => None,
+                    1 => Some(false),
+                    2 => Some(true),
+                    t => return Err(SnapshotError::Codec(CodecError::BadTag("wcoj-sorted", t))),
+                },
+            });
+        }
+
+        let ns = d.read_len()?;
+        let mut states = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let fp = d.u64()?;
+            let check = d.u64()?;
+            let nb = d.read_len()?;
+            let mut bag = Vec::with_capacity(nb);
+            for _ in 0..nb {
+                let t = decode_tuple(&mut d)?;
+                bag.push((t, d.i64()?));
+            }
+            states.push((fp, check, bag));
+        }
+
+        d.finish().map_err(SnapshotError::Codec)?;
+        Ok(Snapshot {
+            wal_records,
+            next_vertex,
+            next_edge,
+            vertices,
+            edges,
+            views,
+            states,
+        })
+    }
+
+    /// Atomically persist to `vfs`.
+    pub fn write(&self, vfs: &dyn Vfs) -> io::Result<()> {
+        vfs.write_atomic(SNAPSHOT_FILE, &self.encode())
+    }
+
+    /// Load the snapshot, if one exists. Corruption is an error, not a
+    /// silent empty snapshot: the graph dump is load-bearing.
+    pub fn load(vfs: &dyn Vfs) -> Result<Option<Snapshot>, SnapshotError> {
+        match vfs.read(SNAPSHOT_FILE)? {
+            None => Ok(None),
+            Some(bytes) => Snapshot::decode(&bytes).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemDisk;
+    use pgq_common::value::Value;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn sample_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex(
+            [sym("Post")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+        // Burn an id so the watermark outruns max(id)+1.
+        let (c, _) = g.add_vertex([sym("Comm")], Properties::new());
+        let mut tx = pgq_graph::tx::Transaction::new();
+        tx.delete_vertex(c, true);
+        g.apply(&tx).unwrap();
+        g
+    }
+
+    #[test]
+    fn graph_capture_restore_roundtrips_including_watermarks() {
+        let g = sample_graph();
+        let snap = Snapshot::capture_graph(&g);
+        let g2 = snap.restore_graph().unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        // Watermarks restore exactly, not as max(id)+1.
+        assert_eq!(g2.id_watermarks(), g.id_watermarks());
+        let snap2 = Snapshot::capture_graph(&g2);
+        assert_eq!(
+            format!("{:?}", snap.vertices),
+            format!("{:?}", snap2.vertices)
+        );
+        assert_eq!(format!("{:?}", snap.edges), format!("{:?}", snap2.edges));
+    }
+
+    #[test]
+    fn full_snapshot_roundtrips_through_disk() {
+        let mut snap = Snapshot::capture_graph(&sample_graph());
+        snap.wal_records = 17;
+        snap.views.push(SnapshotView {
+            slot: 2,
+            name: "v".into(),
+            query: "MATCH (n) RETURN n".into(),
+            schema_mode: 1,
+            optimize: true,
+            plan: false,
+            wcoj_mode: 2,
+            wcoj_sorted: Some(true),
+        });
+        snap.states.push((
+            0xDEAD_BEEF,
+            0xFACE_FEED,
+            vec![(Tuple::new(vec![Value::Int(1), Value::str("x")]), -3)],
+        ));
+
+        let disk = MemDisk::new();
+        snap.write(&disk.vfs()).unwrap();
+        let back = Snapshot::load(&disk.vfs()).unwrap().unwrap();
+        assert_eq!(back.wal_records, 17);
+        assert_eq!(back.views, snap.views);
+        assert_eq!(back.states.len(), 1);
+        assert_eq!(back.states[0].0, 0xDEAD_BEEF);
+        assert_eq!(back.states[0].1, 0xFACE_FEED);
+        assert_eq!(back.states[0].2, snap.states[0].2);
+        assert_eq!(back.vertices.len(), snap.vertices.len());
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        assert!(Snapshot::load(&MemDisk::new().vfs()).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_a_cold_start() {
+        let snap = Snapshot::capture_graph(&sample_graph());
+        let disk = MemDisk::new();
+        snap.write(&disk.vfs()).unwrap();
+        assert!(disk.corrupt(SNAPSHOT_FILE, 20, 0x01));
+        assert!(matches!(
+            Snapshot::load(&disk.vfs()),
+            Err(SnapshotError::BadChecksum)
+        ));
+        // Magic damage is reported distinctly.
+        let disk2 = MemDisk::new();
+        snap.write(&disk2.vfs()).unwrap();
+        disk2.corrupt(SNAPSHOT_FILE, 0, 0xFF);
+        assert!(matches!(
+            Snapshot::load(&disk2.vfs()),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+}

@@ -1,0 +1,354 @@
+//! Fault-injectable file layer.
+//!
+//! All durability I/O goes through the [`Vfs`] trait so crash-recovery
+//! tests can run against an in-memory disk and kill the "process" at any
+//! byte boundary. Two implementations:
+//!
+//! - [`StdVfs`] — a real directory, used in production. Honors the
+//!   [`FsyncMode`] knob (`PGQ_FSYNC`).
+//! - [`MemVfs`] over a shared [`MemDisk`] — a write **fuse** counts down
+//!   a byte budget; once it blows, writes silently stop landing, exactly
+//!   as if the process had been killed mid-write. Appends tear (a prefix
+//!   of the record lands), atomic writes are all-or-nothing. Recovery
+//!   tests then open a fresh, unlimited handle over the surviving bytes.
+//!
+//! The fuse models a *crash*, not an I/O error: a dying process gets no
+//! error to handle, its writes just never reach the disk. That is why
+//! exhausted-fuse writes return `Ok` — the code under test must not be
+//! able to observe the crash point.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pgq_common::fxhash::FxHashMap;
+
+/// How eagerly durable writes are flushed to stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncMode {
+    /// `fsync` after every WAL append and snapshot write. Survives OS
+    /// crashes, costs a disk round-trip per commit.
+    Always,
+    /// Leave flushing to the OS page cache (survives process crashes,
+    /// not power loss). The default.
+    #[default]
+    Never,
+}
+
+impl FsyncMode {
+    /// Parse the `PGQ_FSYNC` knob: `always`/`1`/`true` → [`FsyncMode::Always`],
+    /// anything else → [`FsyncMode::Never`].
+    pub fn from_env_str(s: &str) -> FsyncMode {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" | "1" | "true" => FsyncMode::Always,
+            _ => FsyncMode::Never,
+        }
+    }
+}
+
+/// Minimal file-system surface the durability layer needs. Names are
+/// flat (no subdirectories).
+pub trait Vfs: Send + Sync {
+    /// Whole-file read; `Ok(None)` when the file does not exist.
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
+    /// Append bytes to the file, creating it if missing.
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically replace the file's contents (write-temp-then-rename):
+    /// after a crash the file holds either the old bytes or the new
+    /// bytes, never a mix.
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Remove the file; fine if it does not exist.
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+/// [`Vfs`] over a real directory (created on construction).
+pub struct StdVfs {
+    dir: PathBuf,
+    fsync: FsyncMode,
+}
+
+impl StdVfs {
+    /// Open (creating if needed) `dir` as a durability directory.
+    pub fn new(dir: impl Into<PathBuf>, fsync: FsyncMode) -> io::Result<StdVfs> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(StdVfs { dir, fsync })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Persist the rename itself; only meaningful under `Always`.
+        if self.fsync == FsyncMode::Always {
+            std::fs::File::open(&self.dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(bytes)?;
+        if self.fsync == FsyncMode::Always {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let tmp = self.path(&format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            if self.fsync == FsyncMode::Always {
+                f.sync_data()?;
+            }
+        }
+        std::fs::rename(&tmp, self.path(name))?;
+        self.sync_dir()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[derive(Default)]
+struct MemDiskInner {
+    files: FxHashMap<String, Vec<u8>>,
+}
+
+/// A shared in-memory "disk" that survives simulated process crashes.
+/// Clones share state; hand one clone to the dying engine (via a fused
+/// [`MemVfs`]) and another to the recovering engine.
+#[derive(Clone, Default)]
+pub struct MemDisk(Arc<Mutex<MemDiskInner>>);
+
+impl MemDisk {
+    /// Fresh empty disk.
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+
+    /// A handle with an unlimited write budget (recovery side).
+    pub fn vfs(&self) -> MemVfs {
+        MemVfs {
+            disk: self.clone(),
+            remaining: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// A handle whose writes stop landing after `budget` bytes — the
+    /// crash-injection side. The budget is shared across all files.
+    pub fn vfs_with_fuse(&self, budget: u64) -> MemVfs {
+        MemVfs {
+            disk: self.clone(),
+            remaining: Arc::new(Mutex::new(Some(budget))),
+        }
+    }
+
+    /// Current length of `name`, if present.
+    pub fn len(&self, name: &str) -> Option<usize> {
+        self.0.lock().files.get(name).map(Vec::len)
+    }
+
+    /// XOR `mask` into byte `offset` of `name` (bit-flip injection).
+    /// Returns false when the file or offset does not exist.
+    pub fn corrupt(&self, name: &str, offset: usize, mask: u8) -> bool {
+        let mut inner = self.0.lock();
+        match inner.files.get_mut(name).and_then(|f| f.get_mut(offset)) {
+            Some(b) => {
+                *b ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Truncate `name` to `new_len` bytes (torn-tail injection).
+    pub fn truncate(&self, name: &str, new_len: usize) {
+        if let Some(f) = self.0.lock().files.get_mut(name) {
+            f.truncate(new_len);
+        }
+    }
+}
+
+/// [`Vfs`] handle over a [`MemDisk`], optionally with a byte fuse.
+pub struct MemVfs {
+    disk: MemDisk,
+    /// Remaining write budget in bytes; `None` = unlimited. Shared so a
+    /// cloned handle (engine + its pool) drains one fuse.
+    remaining: Arc<Mutex<Option<u64>>>,
+}
+
+impl MemVfs {
+    /// Bytes of write budget left (`None` = unlimited).
+    pub fn fuse_remaining(&self) -> Option<u64> {
+        *self.remaining.lock()
+    }
+
+    /// Has the fuse blown (budget exhausted)?
+    pub fn fuse_blown(&self) -> bool {
+        self.fuse_remaining() == Some(0)
+    }
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.disk.0.lock().files.get(name).cloned())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut remaining = self.remaining.lock();
+        let landed = match *remaining {
+            None => bytes.len(),
+            Some(ref mut r) => {
+                // The prefix that fits lands (a torn record); the budget
+                // drains by the full attempt either way.
+                let fit = (*r).min(bytes.len() as u64) as usize;
+                *r = r.saturating_sub(bytes.len() as u64);
+                fit
+            }
+        };
+        if landed > 0 {
+            self.disk
+                .0
+                .lock()
+                .files
+                .entry(name.to_string())
+                .or_default()
+                .extend_from_slice(&bytes[..landed]);
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut remaining = self.remaining.lock();
+        let lands = match *remaining {
+            None => true,
+            Some(ref mut r) => {
+                if *r >= bytes.len() as u64 {
+                    *r -= bytes.len() as u64;
+                    true
+                } else {
+                    // Crashed mid-write: the temp file never got renamed,
+                    // so the visible file is untouched.
+                    *r = 0;
+                    false
+                }
+            }
+        };
+        if lands {
+            self.disk
+                .0
+                .lock()
+                .files
+                .insert(name.to_string(), bytes.to_vec());
+        }
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let alive = !matches!(*self.remaining.lock(), Some(0));
+        if alive {
+            self.disk.0.lock().files.remove(name);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_append_and_read_roundtrip() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        vfs.append("f", b"abc").unwrap();
+        vfs.append("f", b"de").unwrap();
+        assert_eq!(vfs.read("f").unwrap().unwrap(), b"abcde");
+        assert_eq!(vfs.read("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn fuse_tears_appends_at_the_byte() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs_with_fuse(5);
+        vfs.append("f", b"abc").unwrap(); // 3 land, 2 left
+        vfs.append("f", b"defg").unwrap(); // 2 land (torn), fuse blown
+        vfs.append("f", b"hij").unwrap(); // nothing lands
+        assert!(vfs.fuse_blown());
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn fused_atomic_write_is_all_or_nothing() {
+        let disk = MemDisk::new();
+        disk.vfs().write_atomic("s", b"old").unwrap();
+        let vfs = disk.vfs_with_fuse(2);
+        vfs.write_atomic("s", b"newer").unwrap(); // doesn't fit: old survives
+        assert!(vfs.fuse_blown());
+        assert_eq!(disk.vfs().read("s").unwrap().unwrap(), b"old");
+
+        let vfs2 = disk.vfs_with_fuse(100);
+        vfs2.write_atomic("s", b"newer").unwrap();
+        assert_eq!(disk.vfs().read("s").unwrap().unwrap(), b"newer");
+    }
+
+    #[test]
+    fn corruption_injection() {
+        let disk = MemDisk::new();
+        disk.vfs().append("f", b"abc").unwrap();
+        assert!(disk.corrupt("f", 1, 0xFF));
+        assert!(!disk.corrupt("f", 99, 0xFF));
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap()[1], b'b' ^ 0xFF);
+        disk.truncate("f", 1);
+        assert_eq!(disk.len("f"), Some(1));
+    }
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pgq-vfs-test-{}", std::process::id()));
+        let vfs = StdVfs::new(&dir, FsyncMode::Never).unwrap();
+        vfs.append("w", b"ab").unwrap();
+        vfs.append("w", b"c").unwrap();
+        assert_eq!(vfs.read("w").unwrap().unwrap(), b"abc");
+        vfs.write_atomic("s", b"snap").unwrap();
+        assert_eq!(vfs.read("s").unwrap().unwrap(), b"snap");
+        vfs.remove("w").unwrap();
+        vfs.remove("w").unwrap(); // idempotent
+        assert_eq!(vfs.read("w").unwrap(), None);
+        vfs.remove("s").unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn fsync_mode_parsing() {
+        assert_eq!(FsyncMode::from_env_str("always"), FsyncMode::Always);
+        assert_eq!(FsyncMode::from_env_str(" 1 "), FsyncMode::Always);
+        assert_eq!(FsyncMode::from_env_str("never"), FsyncMode::Never);
+        assert_eq!(FsyncMode::from_env_str(""), FsyncMode::Never);
+    }
+}

@@ -1,0 +1,207 @@
+//! Write-ahead log: one framed record per committed transaction.
+//!
+//! Record framing, all little-endian:
+//!
+//! ```text
+//! [payload_len: u32][crc32(payload): u32][payload: payload_len bytes]
+//! ```
+//!
+//! The payload is [`crate::codec::encode_tx`]. Appends are the only
+//! mutation — the log never rewrites in place, so the only corruption a
+//! crash can produce is a **torn tail**: a final record whose frame or
+//! payload is shorter than its header promises. Bit rot (or a torn write
+//! that happens to look complete) is caught by the checksum. Either way
+//! the scan stops **cleanly at the first bad record** and reports how far
+//! it got; everything before that point is trusted. Recovery never
+//! panics on log bytes.
+
+use std::io;
+
+use pgq_graph::tx::Transaction;
+
+use crate::codec::{crc32, decode_tx, encode_tx};
+use crate::vfs::Vfs;
+
+/// File name of the write-ahead log inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Why a WAL scan stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalTail {
+    /// The log ended exactly on a record boundary.
+    Clean,
+    /// The log ended mid-record (classic crash artifact): a frame header
+    /// or payload was cut short at byte `offset`.
+    Torn {
+        /// Byte offset of the incomplete record's frame.
+        offset: usize,
+    },
+    /// A complete-looking record failed its checksum (or decoded to
+    /// garbage) at byte `offset`; it and everything after it is ignored.
+    Corrupt {
+        /// Byte offset of the bad record's frame.
+        offset: usize,
+    },
+}
+
+/// Append one framed record to the log.
+pub fn append_payload(vfs: &dyn Vfs, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    vfs.append(WAL_FILE, &frame)
+}
+
+/// Append a committed transaction to the log.
+pub fn append_tx(vfs: &dyn Vfs, tx: &Transaction) -> io::Result<()> {
+    append_payload(vfs, &encode_tx(tx))
+}
+
+/// Scan raw log bytes into checksum-verified payload slices, stopping at
+/// the first torn or corrupt record.
+pub fn scan(bytes: &[u8]) -> (Vec<&[u8]>, WalTail) {
+    let mut payloads = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 8 {
+            return (payloads, WalTail::Torn { offset: pos });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let want = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if bytes.len() - pos - 8 < len {
+            return (payloads, WalTail::Torn { offset: pos });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != want {
+            return (payloads, WalTail::Corrupt { offset: pos });
+        }
+        payloads.push(payload);
+        pos += 8 + len;
+    }
+    (payloads, WalTail::Clean)
+}
+
+/// Load and decode every trustworthy transaction in the log. A record
+/// whose checksum passes but whose payload fails to decode is treated
+/// like a checksum failure: the scan stops there with
+/// [`WalTail::Corrupt`]. An absent log file is an empty, clean log.
+pub fn load(vfs: &dyn Vfs) -> io::Result<(Vec<Transaction>, WalTail)> {
+    let Some(bytes) = vfs.read(WAL_FILE)? else {
+        return Ok((Vec::new(), WalTail::Clean));
+    };
+    let (payloads, mut tail) = scan(&bytes);
+    let mut txs = Vec::with_capacity(payloads.len());
+    let mut offset = 0;
+    for payload in payloads {
+        match decode_tx(payload) {
+            Ok(tx) => {
+                txs.push(tx);
+                offset += 8 + payload.len();
+            }
+            Err(_) => {
+                tail = WalTail::Corrupt { offset };
+                break;
+            }
+        }
+    }
+    Ok((txs, tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemDisk;
+    use pgq_common::intern::Symbol;
+    use pgq_common::value::Value;
+    use pgq_graph::props::Properties;
+
+    fn sample_tx(i: i64) -> Transaction {
+        let mut tx = Transaction::new();
+        tx.create_vertex(
+            [Symbol::intern("Post")],
+            Properties::from_iter([("n", Value::Int(i))]),
+        );
+        tx
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        for i in 0..5 {
+            append_tx(&vfs, &sample_tx(i)).unwrap();
+        }
+        let (txs, tail) = load(&vfs).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(txs.len(), 5);
+        assert_eq!(txs[3].len(), 1);
+    }
+
+    #[test]
+    fn missing_log_is_empty_and_clean() {
+        let disk = MemDisk::new();
+        let (txs, tail) = load(&disk.vfs()).unwrap();
+        assert!(txs.is_empty());
+        assert_eq!(tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_at_every_cut() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, &sample_tx(1)).unwrap();
+        let first = disk.len(WAL_FILE).unwrap();
+        append_tx(&vfs, &sample_tx(2)).unwrap();
+        let full = disk.len(WAL_FILE).unwrap();
+
+        for cut in first + 1..full {
+            let disk2 = MemDisk::new();
+            let bytes = disk.vfs().read(WAL_FILE).unwrap().unwrap();
+            disk2.vfs().append(WAL_FILE, &bytes[..cut]).unwrap();
+            let (txs, tail) = load(&disk2.vfs()).unwrap();
+            assert_eq!(txs.len(), 1, "cut at {cut}");
+            assert_eq!(tail, WalTail::Torn { offset: first }, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_tail_record_is_quarantined() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, &sample_tx(1)).unwrap();
+        let first = disk.len(WAL_FILE).unwrap();
+        append_tx(&vfs, &sample_tx(2)).unwrap();
+
+        // Flip a payload byte of the second record.
+        assert!(disk.corrupt(WAL_FILE, first + 10, 0x40));
+        let (txs, tail) = load(&vfs).unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(tail, WalTail::Corrupt { offset: first });
+    }
+
+    #[test]
+    fn bogus_length_header_reads_as_torn() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, &sample_tx(1)).unwrap();
+        // A frame header promising far more payload than exists.
+        vfs.append(WAL_FILE, &[0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4, 9])
+            .unwrap();
+        let offset = disk.len(WAL_FILE).unwrap() - 9;
+        let (txs, tail) = load(&vfs).unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(tail, WalTail::Torn { offset });
+    }
+
+    #[test]
+    fn empty_transaction_records_are_fine() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, &Transaction::new()).unwrap();
+        let (txs, tail) = load(&vfs).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(txs.len(), 1);
+        assert!(txs[0].is_empty());
+    }
+}

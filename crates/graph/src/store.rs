@@ -298,6 +298,55 @@ impl PropertyGraph {
         self.next_vertex = self.next_vertex.max(id.0 + 1);
     }
 
+    /// Re-insert a vertex under a specific id — the snapshot-loader
+    /// seam (`pgq_durability`). Ids must not collide with live
+    /// elements; the id watermark advances past `id` and catalog
+    /// counters are maintained as for a normal insert.
+    pub fn load_vertex(
+        &mut self,
+        id: VertexId,
+        labels: impl IntoIterator<Item = Symbol>,
+        props: Properties,
+    ) {
+        self.insert_vertex_raw(id, labels, props);
+    }
+
+    /// Re-insert an edge under a specific id (snapshot-loader seam; see
+    /// [`PropertyGraph::load_vertex`]). Endpoints must already exist.
+    pub fn load_edge(
+        &mut self,
+        id: EdgeId,
+        src: VertexId,
+        dst: VertexId,
+        ty: Symbol,
+        props: Properties,
+    ) -> Result<(), GraphError> {
+        if !self.vertices.contains_key(&src) {
+            return Err(GraphError::VertexNotFound(src));
+        }
+        if !self.vertices.contains_key(&dst) {
+            return Err(GraphError::VertexNotFound(dst));
+        }
+        self.insert_edge_raw(id, src, dst, ty, props);
+        Ok(())
+    }
+
+    /// The id-allocation watermarks `(next_vertex, next_edge)`. Part of
+    /// the durable snapshot: WAL-tail replay must allocate the same ids
+    /// the original process did, and the maximum live id can undershoot
+    /// the watermark when the most recently created elements were
+    /// deleted before the snapshot.
+    pub fn id_watermarks(&self) -> (u64, u64) {
+        (self.next_vertex, self.next_edge)
+    }
+
+    /// Advance the id-allocation watermarks (monotone; loader use only —
+    /// see [`PropertyGraph::id_watermarks`]).
+    pub fn set_id_watermarks(&mut self, next_vertex: u64, next_edge: u64) {
+        self.next_vertex = self.next_vertex.max(next_vertex);
+        self.next_edge = self.next_edge.max(next_edge);
+    }
+
     /// Delete a vertex. With `detach`, incident edges are removed first
     /// (their events precede the vertex event); otherwise incident edges
     /// are an error.

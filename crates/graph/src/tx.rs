@@ -129,6 +129,18 @@ impl Transaction {
         &self.ops
     }
 
+    /// Rebuild a transaction from a decoded operation list (the
+    /// write-ahead-log replay seam). The create counter is re-derived
+    /// from the ops, so `NodeRef::New` references resolve exactly as
+    /// they did when the transaction was first applied.
+    pub fn from_ops(ops: Vec<TxOp>) -> Self {
+        let creates = ops
+            .iter()
+            .filter(|op| matches!(op, TxOp::CreateVertex { .. }))
+            .count();
+        Transaction { ops, creates }
+    }
+
     /// Queue a vertex creation; the returned [`NodeRef`] can be used by
     /// later operations in this transaction.
     pub fn create_vertex(

@@ -133,6 +133,21 @@ impl JoinOp {
         }
     }
 
+    /// Rebuild both memories from full input bags **without probing**
+    /// — the warm-recovery path. Post-state is identical to
+    /// `apply(dl, dr, &mut discard)` (apply's emissions are pure
+    /// output; the memories only ever absorb the inputs), but the
+    /// O(|L ⋈ R|) match enumeration a cold initialisation performs and
+    /// throws away is skipped entirely.
+    pub fn restore(&mut self, dl: &Delta, dr: &Delta) {
+        for (lt, lm) in dl.iter() {
+            self.left_mem.update(lt, *lm);
+        }
+        for (rt, rm) in dr.iter() {
+            self.right_mem.update(rt, *rm);
+        }
+    }
+
     /// Reconstruct the full current output bag from the two memories
     /// (L ⋈ R as of now), appending to `out`. Used when a newly
     /// registered view attaches to an already-populated shared node and

@@ -52,6 +52,6 @@ pub mod wcoj;
 pub use delta::Delta;
 pub use network::{
     plan_stats, planner_enabled, sorted_wcoj_enabled, wcoj_enabled, DataflowNetwork, NodeId,
-    NodeSummary, RegisterOptions, SinkId, TxFootprint, ViewRef,
+    NodeSummary, RegisterOptions, RestoreStates, SinkId, TxFootprint, ViewRef,
 };
 pub use view::MaterializedView;

@@ -745,6 +745,60 @@ impl Default for RegisterOptions {
     }
 }
 
+/// Fingerprint-keyed operator-state bags captured by a durable
+/// snapshot, ready for warm re-registration via
+/// [`DataflowNetwork::register_with_restore`].
+///
+/// Each entry pairs a node's content-stable plan fingerprint with a
+/// second, domain-separated `check` hash
+/// ([`Fra::snapshot_check`](pgq_algebra::fra::Fra::snapshot_check)) —
+/// the stand-in for the full plan-equality confirmation in-process
+/// hash-consing performs, since a snapshot cannot ship the plans
+/// themselves — and the node's consolidated full output bag at
+/// snapshot time.
+#[derive(Clone, Debug, Default)]
+pub struct RestoreStates {
+    map: FxHashMap<u64, (u64, Vec<(Tuple, i64)>)>,
+}
+
+impl RestoreStates {
+    /// Empty state map (every lookup misses, so recovery degrades to
+    /// cold registration).
+    pub fn new() -> RestoreStates {
+        RestoreStates::default()
+    }
+
+    /// Add one node's bag under `(fingerprint, check)`.
+    pub fn insert(&mut self, fingerprint: u64, check: u64, bag: Vec<(Tuple, i64)>) {
+        self.map.insert(fingerprint, (check, bag));
+    }
+
+    /// The bag stored for `fingerprint`, verified against `check`.
+    pub fn lookup(&self, fingerprint: u64, check: u64) -> Option<&[(Tuple, i64)]> {
+        match self.map.get(&fingerprint) {
+            Some((c, bag)) if *c == check => Some(bag.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Iterate all stored `(fingerprint, check, bag)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, &[(Tuple, i64)])> {
+        self.map
+            .iter()
+            .map(|(fp, (check, bag))| (*fp, *check, bag.as_slice()))
+    }
+
+    /// Number of stored node states.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no states are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Is the cost-based planner globally enabled? `PGQ_DISABLE_PLANNER=1`
 /// (or `true`) turns it off for the whole process — the CI fallback job
 /// uses this to keep the unplanned path green. Public so EXPLAIN
@@ -983,6 +1037,41 @@ impl DataflowNetwork {
         g: &PropertyGraph,
         options: RegisterOptions,
     ) -> SinkId {
+        self.register_impl(name.into(), fra, g, options, None)
+    }
+
+    /// Warm-recovery registration: exactly
+    /// [`DataflowNetwork::register_with`], except every operator node
+    /// whose `(fingerprint, check)` pair hits in `states` rebuilds its
+    /// memories probe-free from the snapshot's bags instead of
+    /// recomputing its initial evaluation from scratch, and the sink's
+    /// result bag is seeded from the stored root bag.
+    ///
+    /// **Precondition:** `g` must hold exactly the graph the states
+    /// were dumped against (the durability layer guarantees this by
+    /// replaying the WAL tail only *after* all views are restored).
+    /// Misses degrade to cold initialisation per node — correctness
+    /// never depends on the snapshot's contents, only recovery speed
+    /// does.
+    pub fn register_with_restore(
+        &mut self,
+        name: impl Into<String>,
+        fra: &Fra,
+        g: &PropertyGraph,
+        options: RegisterOptions,
+        states: &RestoreStates,
+    ) -> SinkId {
+        self.register_impl(name.into(), fra, g, options, Some(states))
+    }
+
+    fn register_impl(
+        &mut self,
+        name: String,
+        fra: &Fra,
+        g: &PropertyGraph,
+        options: RegisterOptions,
+        states: Option<&RestoreStates>,
+    ) -> SinkId {
         let planned_storage;
         // Backend default for any ⨝ⁿ node this registration creates:
         // sorted runs on hub-skewed catalogs (galloping pays), hash
@@ -1015,21 +1104,36 @@ impl DataflowNetwork {
         let sorted = options
             .wcoj_sorted
             .unwrap_or_else(|| sorted_wcoj_enabled() && catalog_sorted);
-        let root = self.instantiate(&plan, g, sorted);
-        // Build the sink's result bag from the (possibly shared) root's
-        // full current output.
-        let mut init = self.pool.get();
-        self.replay_into(root, &mut init);
-        init.consolidate_in_place();
+        let root = self.instantiate(&plan, g, sorted, states);
+        // Build the sink's result bag: the root's stored snapshot bag
+        // when warm-restoring (skipping the root's output enumeration
+        // entirely), the (possibly shared) root's full replay otherwise.
+        let stored_root = states.and_then(|s| {
+            let n = self.node(root);
+            s.lookup(n.fingerprint, n.plan.snapshot_check().0)
+        });
         let mut results = FxHashMap::default();
-        for (t, m) in init.iter() {
-            *results.entry(t.clone()).or_insert(0) += m;
+        match stored_root {
+            Some(bag) => {
+                for (t, m) in bag {
+                    *results.entry(t.clone()).or_insert(0) += m;
+                }
+                results.retain(|_, m| *m != 0);
+            }
+            None => {
+                let mut init = self.pool.get();
+                self.replay_into(root, &mut init);
+                init.consolidate_in_place();
+                for (t, m) in init.iter() {
+                    *results.entry(t.clone()).or_insert(0) += m;
+                }
+                results.retain(|_, m| *m != 0);
+                self.pool.put(init);
+            }
         }
-        results.retain(|_, m| *m != 0);
-        self.pool.put(init);
 
         let sink = Sink {
-            name: name.into(),
+            name,
             columns: fra.schema(),
             root,
             results,
@@ -1080,7 +1184,13 @@ impl DataflowNetwork {
     /// it was first created with (both backends maintain the same bag,
     /// so this only matters for benchmarks — which pin one backend per
     /// engine).
-    fn instantiate(&mut self, fra: &Fra, g: &PropertyGraph, sorted: bool) -> NodeId {
+    fn instantiate(
+        &mut self,
+        fra: &Fra,
+        g: &PropertyGraph,
+        sorted: bool,
+        states: Option<&RestoreStates>,
+    ) -> NodeId {
         let fp = fra.fingerprint().0;
         if let Some(cands) = self.cons.get(&fp) {
             for &id in cands {
@@ -1125,8 +1235,8 @@ impl DataflowNetwork {
                 right_keys,
             } => {
                 let op = JoinOp::new(left_keys.clone(), right_keys.clone(), right.schema().len());
-                let l = self.instantiate(left, g, sorted);
-                let r = self.instantiate(right, g, sorted);
+                let l = self.instantiate(left, g, sorted, states);
+                let r = self.instantiate(right, g, sorted, states);
                 NodeKind::Join {
                     left: l,
                     right: r,
@@ -1141,8 +1251,8 @@ impl DataflowNetwork {
                 anti,
             } => {
                 let op = SemiJoinOp::new(left_keys.clone(), right_keys.clone(), *anti);
-                let l = self.instantiate(left, g, sorted);
-                let r = self.instantiate(right, g, sorted);
+                let l = self.instantiate(left, g, sorted, states);
+                let r = self.instantiate(right, g, sorted, states);
                 NodeKind::SemiJoin {
                     left: l,
                     right: r,
@@ -1156,24 +1266,24 @@ impl DataflowNetwork {
                 ..
             } => {
                 let op = Box::new(VarLengthOp::new(left.schema().len(), *src_col, spec));
-                let l = self.instantiate(left, g, sorted);
+                let l = self.instantiate(left, g, sorted, states);
                 NodeKind::VarLength { left: l, op }
             }
             Fra::Filter { input, predicate } => NodeKind::Filter {
-                input: self.instantiate(input, g, sorted),
+                input: self.instantiate(input, g, sorted, states),
                 predicate: predicate.clone(),
             },
             Fra::Project { input, items } => NodeKind::Project {
-                input: self.instantiate(input, g, sorted),
+                input: self.instantiate(input, g, sorted, states),
                 items: items.clone(),
                 scratch: Vec::new(),
             },
             Fra::Distinct { input } => NodeKind::Distinct {
-                input: self.instantiate(input, g, sorted),
+                input: self.instantiate(input, g, sorted, states),
                 op: DistinctOp::new(),
             },
             Fra::Aggregate { input, group, aggs } => NodeKind::Aggregate {
-                input: self.instantiate(input, g, sorted),
+                input: self.instantiate(input, g, sorted, states),
                 op: AggregateOp::new(
                     group.iter().map(|(e, _)| e.clone()).collect(),
                     aggs.iter()
@@ -1182,7 +1292,7 @@ impl DataflowNetwork {
                 ),
             },
             Fra::Unwind { input, expr, .. } => NodeKind::Unwind {
-                input: self.instantiate(input, g, sorted),
+                input: self.instantiate(input, g, sorted, states),
                 expr: expr.clone(),
             },
             Fra::MultiwayJoin {
@@ -1192,7 +1302,7 @@ impl DataflowNetwork {
             } => {
                 let ids: Vec<NodeId> = inputs
                     .iter()
-                    .map(|f| self.instantiate(f, g, sorted))
+                    .map(|f| self.instantiate(f, g, sorted, states))
                     .collect();
                 NodeKind::Multiway {
                     inputs: ids,
@@ -1233,7 +1343,10 @@ impl DataflowNetwork {
             self.node_mut(child).parents.push(id);
         }
         self.cons.entry(fp).or_default().push(id);
-        self.init_node(id, g);
+        match states {
+            Some(s) => self.restore_node(id, g, s),
+            None => self.init_node(id, g),
+        }
         id
     }
 
@@ -1278,6 +1391,126 @@ impl DataflowNetwork {
         for d in child_deltas {
             self.pool.put(d);
         }
+    }
+
+    /// Warm-path twin of [`DataflowNetwork::init_node`]: populate a
+    /// brand-new node's state from snapshot bags when its
+    /// `(fingerprint, check)` pair hits, skipping the probe/enumerate
+    /// work cold initialisation performs *and then discards* —
+    /// `init_node` calls each operator's `apply` only for the state
+    /// side effects, so an insert-only rebuild from the same inputs is
+    /// state-identical at O(inputs) instead of O(output) cost.
+    ///
+    /// Child input bags come from their own stored entries when
+    /// available (a parent's fingerprint being stored implies the
+    /// subtree existed at snapshot time, so in practice they are) or
+    /// from replay otherwise. A miss on the node itself falls back to
+    /// [`DataflowNetwork::init_node`].
+    fn restore_node(&mut self, id: NodeId, g: &PropertyGraph, states: &RestoreStates) {
+        let hit = {
+            let n = self.node(id);
+            states
+                .lookup(n.fingerprint, n.plan.snapshot_check().0)
+                .is_some()
+        };
+        if !hit {
+            crate::stats::counters::restore_miss();
+            self.init_node(id, g);
+            return;
+        }
+        crate::stats::counters::restore_hit();
+        let children = self.node(id).kind.children();
+        let mut child_deltas: Vec<Delta> = Vec::with_capacity(children.len());
+        for c in children {
+            let mut d = self.pool.get();
+            let stored = {
+                let n = self.node(c);
+                states.lookup(n.fingerprint, n.plan.snapshot_check().0)
+            };
+            match stored {
+                Some(bag) => {
+                    for (t, m) in bag {
+                        d.push(t.clone(), *m);
+                    }
+                }
+                None => {
+                    self.replay_into(c, &mut d);
+                    d.consolidate_in_place();
+                }
+            }
+            child_deltas.push(d);
+        }
+        let empty = Delta::new();
+        let dl = child_deltas.first().unwrap_or(&empty);
+        let dr = child_deltas.get(1).unwrap_or(&empty);
+        let mut discard = self.pool.get();
+        match &mut self.nodes[id.ix()].as_mut().expect("live node").kind {
+            NodeKind::Unit { emitted } => *emitted = true,
+            // Scans rebuild directly from the (already restored) graph;
+            // their memories are a projection of it, not of any input.
+            NodeKind::Vertices(scan) => {
+                scan.initial(g);
+            }
+            NodeKind::Edges(scan) => {
+                scan.initial(g);
+            }
+            // Probe-free memory rebuilds.
+            NodeKind::Join { op, .. } => op.restore(dl, dr),
+            NodeKind::SemiJoin { op, .. } => op.restore(dl, dr),
+            // The path store's reachability index is not derivable from
+            // the output bag alone; recompute (documented exception).
+            NodeKind::VarLength { op, .. } => op.initial_into(g, dl, &mut discard),
+            NodeKind::Filter { .. } | NodeKind::Project { .. } | NodeKind::Unwind { .. } => {}
+            // Already linear in the input bag — `apply` *is* the
+            // cheapest rebuild.
+            NodeKind::Distinct { op, .. } => op.apply(dl, &mut discard),
+            NodeKind::Aggregate { op, .. } => op.apply(dl, &mut discard),
+            NodeKind::Multiway { op, .. } => {
+                let refs: Vec<&Delta> = child_deltas.iter().collect();
+                op.restore(&refs);
+            }
+        }
+        self.pool.put(discard);
+        for d in child_deltas {
+            self.pool.put(d);
+        }
+    }
+
+    /// Consolidated full output bag of every live operator node, keyed
+    /// by `(fingerprint, check)` — the payload a durable snapshot
+    /// stores and [`DataflowNetwork::register_with_restore`] later
+    /// consumes in a fresh process.
+    ///
+    /// A fingerprint shared by two *live* nodes means two different
+    /// plans collided in the primary hash (identical plans would have
+    /// been hash-consed into one node); such an ambiguous key is
+    /// dropped entirely rather than risk restoring one plan's state
+    /// into the other's operator, and recovery cold-starts those
+    /// nodes.
+    pub fn dump_states(&mut self) -> RestoreStates {
+        let live: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_some())
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut fp_count: FxHashMap<u64, u32> = FxHashMap::default();
+        for &id in &live {
+            *fp_count.entry(self.node(id).fingerprint).or_insert(0) += 1;
+        }
+        let mut states = RestoreStates::new();
+        for id in live {
+            let fp = self.node(id).fingerprint;
+            if fp_count[&fp] > 1 {
+                continue;
+            }
+            let check = self.node(id).plan.snapshot_check().0;
+            let mut d = self.pool.get();
+            self.replay_into(id, &mut d);
+            d.consolidate_in_place();
+            let bag: Vec<(Tuple, i64)> = d.iter().map(|(t, m)| (t.clone(), *m)).collect();
+            self.pool.put(d);
+            states.insert(fp, check, bag);
+        }
+        states
     }
 
     /// Append the node's full current output bag (as derivable from its

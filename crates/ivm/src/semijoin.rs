@@ -167,6 +167,21 @@ impl SemiJoinOp {
         }
     }
 
+    /// Rebuild the left memory and right support map from full input
+    /// bags without emitting flips or probing membership — the
+    /// warm-recovery path. Post-state is identical to
+    /// `apply(dl, dr, &mut discard)`: apply's two probe phases exist
+    /// only to compute the discarded output, while the memories absorb
+    /// exactly the inputs.
+    pub fn restore(&mut self, dl: &Delta, dr: &Delta) {
+        for (rt, rm) in dr.iter() {
+            self.right_support.update(rt, &self.right_keys, *rm);
+        }
+        for (lt, lm) in dl.iter() {
+            self.left_mem.update(lt, *lm);
+        }
+    }
+
     /// Reconstruct the full current output bag (L ⋉ R / L ▷ R as of
     /// now), appending to `out`.
     pub fn replay_into(&self, out: &mut Delta) {

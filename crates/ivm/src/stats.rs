@@ -64,6 +64,12 @@ pub mod counters {
         /// intersection (hash probes on the hash-trie backend, leapfrog
         /// seeks on the sorted backend).
         pub intersect_probes: u64,
+        /// Operator nodes whose state was restored probe-free from a
+        /// durable snapshot during warm recovery.
+        pub restore_hits: u64,
+        /// Operator nodes that fell back to cold initialisation during
+        /// warm recovery (fingerprint absent from the snapshot).
+        pub restore_misses: u64,
     }
 
     #[cfg(feature = "ivm-stats")]
@@ -79,6 +85,8 @@ pub mod counters {
         pub static WCOJ_TUPLES_EMITTED: AtomicU64 = AtomicU64::new(0);
         pub static GALLOP_STEPS: AtomicU64 = AtomicU64::new(0);
         pub static INTERSECT_PROBES: AtomicU64 = AtomicU64::new(0);
+        pub static RESTORE_HITS: AtomicU64 = AtomicU64::new(0);
+        pub static RESTORE_MISSES: AtomicU64 = AtomicU64::new(0);
 
         pub fn bump(c: &AtomicU64) {
             c.fetch_add(1, Ordering::Relaxed);
@@ -147,6 +155,20 @@ pub mod counters {
         imp::bump(&imp::INTERSECT_PROBES);
     }
 
+    /// Record one operator node restored probe-free from a snapshot.
+    #[inline]
+    pub fn restore_hit() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::RESTORE_HITS);
+    }
+
+    /// Record one operator node cold-initialised during warm recovery.
+    #[inline]
+    pub fn restore_miss() {
+        #[cfg(feature = "ivm-stats")]
+        imp::bump(&imp::RESTORE_MISSES);
+    }
+
     /// Record a hash-map rehash if `after > before` capacity.
     #[inline]
     pub fn rehash_if_grew(before: usize, after: usize) {
@@ -173,6 +195,8 @@ pub mod counters {
                 wcoj_tuples_emitted: imp::WCOJ_TUPLES_EMITTED.load(Ordering::Relaxed),
                 gallop_steps: imp::GALLOP_STEPS.load(Ordering::Relaxed),
                 intersect_probes: imp::INTERSECT_PROBES.load(Ordering::Relaxed),
+                restore_hits: imp::RESTORE_HITS.load(Ordering::Relaxed),
+                restore_misses: imp::RESTORE_MISSES.load(Ordering::Relaxed),
             }
         }
         #[cfg(not(feature = "ivm-stats"))]
@@ -193,6 +217,8 @@ pub mod counters {
             imp::WCOJ_TUPLES_EMITTED.store(0, Ordering::Relaxed);
             imp::GALLOP_STEPS.store(0, Ordering::Relaxed);
             imp::INTERSECT_PROBES.store(0, Ordering::Relaxed);
+            imp::RESTORE_HITS.store(0, Ordering::Relaxed);
+            imp::RESTORE_MISSES.store(0, Ordering::Relaxed);
         }
     }
 }

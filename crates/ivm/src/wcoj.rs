@@ -834,6 +834,22 @@ impl MultiwayJoinOp {
         self.scratch = scratch;
     }
 
+    /// Rebuild every input memory from full input bags without
+    /// enumerating a single motif — the warm-recovery path. Post-state
+    /// is identical to `apply(deltas, &mut discard)`: the seeded
+    /// leapfrog enumeration in apply exists only to compute the
+    /// discarded output (for cyclic patterns it is the dominant cost of
+    /// cold re-registration), while the memories absorb exactly the
+    /// folded inputs.
+    pub fn restore(&mut self, deltas: &[&Delta]) {
+        debug_assert_eq!(deltas.len(), self.inputs.len());
+        for (i, delta) in deltas.iter().enumerate() {
+            for (t, m) in delta.iter() {
+                self.inputs[i].fold(t, *m);
+            }
+        }
+    }
+
     /// Reconstruct the full current output bag from the memories,
     /// appending to `out` (used when a new view attaches to this node).
     pub fn replay_into(&mut self, out: &mut Delta) {

@@ -83,7 +83,18 @@ fn help() {
 }
 
 fn main() {
-    let mut engine = GraphEngine::new();
+    // PGQ_DATA_DIR arms durability: WAL + snapshots in that directory,
+    // with warm recovery of standing views on restart.
+    let mut engine = match std::env::var_os("PGQ_DATA_DIR") {
+        Some(dir) => match GraphEngine::open_durable(std::path::PathBuf::from(dir)) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("failed to open durable engine: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => GraphEngine::new(),
+    };
     let watch_log: Arc<Mutex<Vec<ViewDelta>>> = Arc::new(Mutex::new(Vec::new()));
     let stdin = io::stdin();
     let interactive = atty_stdin();

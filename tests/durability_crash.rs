@@ -1,0 +1,329 @@
+//! Seeded crash-point sweep for the durability subsystem (CI's
+//! `durability-crash` job).
+//!
+//! Each iteration derives a seed, generates a random update script, and
+//! first runs it durably against an unlimited in-memory disk to learn
+//! the total number of bytes the WAL + snapshots write. It then re-runs
+//! the identical script against fresh disks whose write **fuse** blows
+//! after `f` bytes — sweeping `f` across the full range, so the
+//! simulated power cut lands at every phase of the run: mid-snapshot,
+//! between WAL records, and *inside* a WAL record (a torn append).
+//! Writes after the fuse blows are silently dropped, exactly like a
+//! kernel that never flushed them.
+//!
+//! After each simulated crash the engine is recovered from the
+//! surviving bytes and must satisfy:
+//!
+//! 1. **Prefix durability** — the recovered graph equals the state
+//!    after some prefix of the committed transactions (never a torn
+//!    half-transaction, never a reordering).
+//! 2. **View consistency** — every recovered view equals a from-scratch
+//!    evaluation of its plan over the recovered graph.
+//! 3. **Progress** — recovery itself never errors on a torn tail (only
+//!    a corrupt *snapshot* is a hard error, and a fuse cannot corrupt:
+//!    snapshots are written atomically).
+//!
+//! The propagation width comes from `PGQ_THREADS` (the CI job runs the
+//! sweep at widths 1 and 4). `PGQ_STRESS_ITERS` scales the number of
+//! seeded scripts; every assertion message carries the seed so failures
+//! reproduce locally via `PGQ_STRESS_SEED`.
+
+use std::sync::Arc;
+
+use pgq_algebra::pipeline::compile_query;
+use pgq_common::intern::Symbol;
+use pgq_common::value::Value;
+use pgq_core::GraphEngine;
+use pgq_durability::{MemDisk, Snapshot};
+use pgq_graph::props::Properties;
+use pgq_graph::store::PropertyGraph;
+use pgq_graph::tx::Transaction;
+use pgq_parser::parse_query;
+
+const LANGS: &[&str] = &["en", "de", "fr"];
+const TXS_PER_SCRIPT: usize = 16;
+
+/// The standing views every crash must preserve: a filtered join, an
+/// aggregate, and a variable-length path (the three operator-state
+/// shapes — join memories, group table, path store).
+const VIEWS: &[(&str, &str)] = &[
+    (
+        "same_lang",
+        "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+    ),
+    (
+        "by_lang",
+        "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
+    ),
+    (
+        "threads",
+        "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) RETURN p, t",
+    ),
+];
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+/// One random single-op transaction against the current graph.
+fn random_tx(rng: &mut XorShift, g: &PropertyGraph) -> Transaction {
+    let vertices: Vec<_> = {
+        let mut v: Vec<_> = g.vertex_ids().collect();
+        v.sort_unstable();
+        v
+    };
+    let edges: Vec<_> = {
+        let mut e: Vec<_> = g.edge_ids().collect();
+        e.sort_unstable();
+        e
+    };
+    let mut tx = Transaction::new();
+    match rng.below(6) {
+        0 | 1 => {
+            tx.create_vertex(
+                [s("Post")],
+                Properties::from_iter([("lang", Value::str(LANGS[rng.below(LANGS.len())]))]),
+            );
+        }
+        2 if !vertices.is_empty() => {
+            let p = vertices[rng.below(vertices.len())];
+            let c = tx.create_vertex(
+                [s("Comm")],
+                Properties::from_iter([("lang", Value::str(LANGS[rng.below(LANGS.len())]))]),
+            );
+            tx.create_edge(p, c, s("REPLY"), Properties::new());
+        }
+        3 if !vertices.is_empty() => {
+            tx.set_vertex_prop(
+                vertices[rng.below(vertices.len())],
+                s("lang"),
+                Value::str(LANGS[rng.below(LANGS.len())]),
+            );
+        }
+        4 if !edges.is_empty() => {
+            tx.delete_edge(edges[rng.below(edges.len())]);
+        }
+        5 if !vertices.is_empty() => {
+            tx.delete_vertex(vertices[rng.below(vertices.len())], true);
+        }
+        _ => {
+            tx.create_vertex([s("Post")], Properties::new());
+        }
+    }
+    tx
+}
+
+/// Content identity of a graph: the deterministic sorted dump (ids,
+/// labels, properties, endpoints) rendered to one string.
+fn graph_identity(g: &PropertyGraph) -> String {
+    let snap = Snapshot::capture_graph(g);
+    format!("{:?} {:?}", snap.vertices, snap.edges)
+}
+
+/// Run the script durably on `disk`, dropping nothing. Returns the
+/// transactions actually committed.
+fn run_script(disk: &MemDisk, fuse: Option<u64>, seed: u64, threads: usize) -> Vec<Transaction> {
+    let vfs = match fuse {
+        Some(budget) => disk.vfs_with_fuse(budget),
+        None => disk.vfs(),
+    };
+    let mut engine = GraphEngine::open_durable_with(Arc::new(vfs))
+        .unwrap_or_else(|e| panic!("seed={seed:#x}: open failed: {e}"));
+    engine.set_threads(threads);
+    engine.set_snapshot_every(5);
+    for (name, q) in VIEWS {
+        engine
+            .register_view(name, q)
+            .unwrap_or_else(|e| panic!("seed={seed:#x}: register {name} failed: {e}"));
+    }
+    let mut rng = XorShift::new(seed);
+    let mut txs = Vec::with_capacity(TXS_PER_SCRIPT);
+    for t in 0..TXS_PER_SCRIPT {
+        let tx = random_tx(&mut rng, engine.graph());
+        engine
+            .apply(&tx)
+            .unwrap_or_else(|e| panic!("seed={seed:#x} tx {t}: apply failed: {e}"));
+        txs.push(tx);
+    }
+    txs
+}
+
+#[test]
+fn crash_at_swept_byte_fuses_recovers_a_transaction_prefix() {
+    let iters = env_usize("PGQ_STRESS_ITERS", 2);
+    let base_seed = env_usize("PGQ_STRESS_SEED", 0xD00D_FEED) as u64;
+    let threads = env_usize("PGQ_THREADS", 1);
+    let compiled: Vec<_> = VIEWS
+        .iter()
+        .map(|(_, q)| compile_query(&parse_query(q).unwrap()).unwrap())
+        .collect();
+
+    for iter in 0..iters {
+        let seed = base_seed
+            .wrapping_add(iter as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+
+        // Reference run: learn the total write volume and the graph
+        // identity after every transaction prefix (the set of states a
+        // crash may legally recover to).
+        let ref_disk = MemDisk::new();
+        let txs = run_script(&ref_disk, None, seed, threads);
+        let total: u64 = [
+            pgq_durability::wal::WAL_FILE,
+            pgq_durability::snapshot::SNAPSHOT_FILE,
+        ]
+        .iter()
+        .filter_map(|f| ref_disk.len(f))
+        .map(|n| n as u64)
+        .sum();
+        let mut legal = Vec::with_capacity(txs.len() + 1);
+        let mut shadow = PropertyGraph::new();
+        legal.push(graph_identity(&shadow));
+        for tx in &txs {
+            shadow.apply(tx).unwrap();
+            legal.push(graph_identity(&shadow));
+        }
+
+        // Sweep the fuse across the write volume: a dense stride plus
+        // the exact edges (0, 1, total-1, total — the all-dropped and
+        // nothing-dropped crashes).
+        let stride = (total / 64).max(1);
+        let mut fuses: Vec<u64> = (0..=total).step_by(stride as usize).collect();
+        for edge in [0, 1, total.saturating_sub(1), total] {
+            if !fuses.contains(&edge) {
+                fuses.push(edge);
+            }
+        }
+        let mut rng = XorShift::new(seed ^ 0xFACE);
+        for _ in 0..16 {
+            let f = rng.next() % (total + 1);
+            if !fuses.contains(&f) {
+                fuses.push(f);
+            }
+        }
+
+        for &fuse in &fuses {
+            let disk = MemDisk::new();
+            // The doomed run: identical script, writes cut at `fuse`
+            // bytes. The engine itself never observes the cut.
+            let _ = run_script(&disk, Some(fuse), seed, threads);
+
+            // Power comes back: recover from the surviving bytes.
+            let recovered = GraphEngine::open_durable_with(Arc::new(disk.vfs()))
+                .unwrap_or_else(|e| panic!("seed={seed:#x} fuse={fuse}: recovery failed: {e}"));
+
+            // 1. Prefix durability.
+            let identity = graph_identity(recovered.graph());
+            let prefix = legal.iter().position(|l| *l == identity);
+            assert!(
+                prefix.is_some(),
+                "seed={seed:#x} fuse={fuse}: recovered graph is not a transaction prefix \
+                 ({} vertices, {} edges)",
+                recovered.graph().vertex_count(),
+                recovered.graph().edge_count(),
+            );
+
+            // 2. View consistency. Each registration writes its own
+            //    snapshot (the snapshot is the DDL log), so a crash
+            //    mid-registration durably keeps a *prefix* of the
+            //    registered views — never a later view without an
+            //    earlier one.
+            let present: Vec<bool> = VIEWS
+                .iter()
+                .map(|(n, _)| recovered.view_by_name(n).is_some())
+                .collect();
+            let boundary = present.iter().filter(|p| **p).count();
+            assert!(
+                present.iter().take(boundary).all(|p| *p),
+                "seed={seed:#x} fuse={fuse}: recovered views are not a registration prefix \
+                 ({present:?})"
+            );
+            for ((name, _), plan) in VIEWS.iter().zip(&compiled) {
+                let Some(id) = recovered.view_by_name(name) else {
+                    continue;
+                };
+                assert_eq!(
+                    recovered.view(id).unwrap().results(),
+                    pgq_eval::evaluate_consolidated(&plan.fra, recovered.graph()),
+                    "seed={seed:#x} fuse={fuse}: view {name} diverged from recompute"
+                );
+            }
+        }
+        eprintln!(
+            "crash sweep iter {iter}: seed={seed:#x} ok ({} fuse points over {total} bytes, width {threads})",
+            fuses.len()
+        );
+    }
+}
+
+#[test]
+fn recovery_is_idempotent_and_resumable() {
+    // Crash, recover, commit more, crash again, recover again — the
+    // double-recovery path must replay only each tail once.
+    let seed = env_usize("PGQ_STRESS_SEED", 0xBEEF) as u64 | 1;
+    let disk = MemDisk::new();
+    let txs = run_script(&disk, None, seed, 1);
+
+    let mut shadow = PropertyGraph::new();
+    for tx in &txs {
+        shadow.apply(tx).unwrap();
+    }
+
+    let mut engine = GraphEngine::open_durable_with(Arc::new(disk.vfs())).unwrap();
+    assert_eq!(
+        graph_identity(engine.graph()),
+        graph_identity(&shadow),
+        "seed={seed:#x}: first recovery lost transactions"
+    );
+    let mut rng = XorShift::new(seed ^ 0x5EC0);
+    for _ in 0..4 {
+        let tx = random_tx(&mut rng, engine.graph());
+        engine.apply(&tx).unwrap();
+        shadow.apply(&tx).unwrap();
+    }
+    drop(engine);
+
+    let engine = GraphEngine::open_durable_with(Arc::new(disk.vfs())).unwrap();
+    assert_eq!(
+        graph_identity(engine.graph()),
+        graph_identity(&shadow),
+        "seed={seed:#x}: second recovery diverged"
+    );
+    for (name, q) in VIEWS {
+        let id = engine.view_by_name(name).unwrap();
+        let plan = compile_query(&parse_query(q).unwrap()).unwrap();
+        assert_eq!(
+            engine.view(id).unwrap().results(),
+            pgq_eval::evaluate_consolidated(&plan.fra, engine.graph()),
+            "seed={seed:#x}: view {name} diverged after double recovery"
+        );
+    }
+}
