@@ -56,11 +56,19 @@ fn build_images(sf: f64) -> (MemDisk, MemDisk) {
     {
         let src = disk.vfs();
         let dst = cold_disk.vfs();
-        let mut snap = Snapshot::load(&src).unwrap().unwrap();
+        let generation = src
+            .list()
+            .unwrap()
+            .iter()
+            .filter_map(|n| pgq_durability::snapshot::parse_snap_name(n))
+            .max()
+            .expect("reference snapshot present");
+        let mut snap = Snapshot::load(&src, generation).unwrap().unwrap();
         snap.states.clear();
-        snap.write(&dst).unwrap();
-        if let Some(bytes) = src.read(pgq_durability::wal::WAL_FILE).unwrap() {
-            dst.append(pgq_durability::wal::WAL_FILE, &bytes).unwrap();
+        snap.write(&dst, generation).unwrap();
+        let wal = pgq_durability::wal::wal_file(generation);
+        if let Some(bytes) = src.read(&wal).unwrap() {
+            dst.append(&wal, &bytes).unwrap();
         }
     }
     (disk, cold_disk)

@@ -732,13 +732,21 @@ fn emit_bench_json(quick: bool, path: &str) {
             {
                 let src = disk.vfs();
                 let dst = cold_disk.vfs();
-                let mut snap = pgq_durability::Snapshot::load(&src)
+                let generation = src
+                    .list()
+                    .unwrap()
+                    .iter()
+                    .filter_map(|n| pgq_durability::snapshot::parse_snap_name(n))
+                    .max()
+                    .expect("reference snapshot present");
+                let mut snap = pgq_durability::Snapshot::load(&src, generation)
                     .expect("reference snapshot readable")
                     .expect("reference snapshot present");
                 snap.states.clear();
-                snap.write(&dst).unwrap();
-                if let Some(bytes) = src.read(pgq_durability::wal::WAL_FILE).unwrap() {
-                    dst.append(pgq_durability::wal::WAL_FILE, &bytes).unwrap();
+                snap.write(&dst, generation).unwrap();
+                let wal = pgq_durability::wal::wal_file(generation);
+                if let Some(bytes) = src.read(&wal).unwrap() {
+                    dst.append(&wal, &bytes).unwrap();
                 }
             }
             let cold_vfs = Arc::new(cold_disk.vfs());
@@ -785,6 +793,92 @@ fn emit_bench_json(quick: bool, path: &str) {
             doc.suite(
                 &format!("recovery_cold_{tag}"),
                 "us_per_open",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+    }
+
+    // wal_compact_{on,off}: steady churn against a durable engine on
+    // an in-memory Vfs with an aggressive snapshot cadence, compaction
+    // armed vs pinned-generation. Measures the per-tx cost of the
+    // generation-switchover machinery (extra snapshot rename + old-gen
+    // deletion per cadence); the payoff it buys — bounded disk — is
+    // asserted separately in tests/durability_faults.rs.
+    {
+        use pgq_durability::MemDisk;
+        use std::sync::Arc;
+
+        let txs = if quick { 96 } else { 240 };
+        let make_stream = |n: usize| -> Vec<Transaction> {
+            (0..n)
+                .map(|i| {
+                    let mut tx = Transaction::new();
+                    tx.create_vertex(
+                        [Symbol::intern("Post")],
+                        [("lang", Value::Int(i as i64 % 5))]
+                            .into_iter()
+                            .map(|(k, v)| (Symbol::intern(k), v))
+                            .collect(),
+                    );
+                    tx
+                })
+                .collect()
+        };
+        let stream = make_stream(txs);
+        for (tag, compact) in [("on", true), ("off", false)] {
+            let mut us_rounds = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                let disk = MemDisk::new();
+                let mut e = GraphEngine::open_durable_with(Arc::new(disk.vfs())).unwrap();
+                e.set_snapshot_every(8);
+                e.set_wal_compact(compact);
+                let t0 = std::time::Instant::now();
+                for tx in &stream {
+                    e.apply(tx).unwrap();
+                }
+                us_rounds.push(t0.elapsed().as_nanos() as f64 / stream.len() as f64 / 1000.0);
+            }
+            let stats = round_stats(&us_rounds);
+            doc.suite(
+                &format!("wal_compact_{tag}"),
+                "us_per_tx",
+                stats,
+                1e6 / stats.median,
+            );
+        }
+
+        // group_commit_{w1,w8}: fsync-always against the *real*
+        // filesystem (a scratch directory), where sync_data has a true
+        // cost — exactly what an 8-commit flush window amortises. The
+        // snapshot cadence is disabled so the suite isolates
+        // append+fsync.
+        let gtxs = if quick { 32 } else { 96 };
+        let gstream = make_stream(gtxs);
+        for (tag, window) in [("w1", 1u64), ("w8", 8u64)] {
+            let mut us_rounds = Vec::with_capacity(rounds);
+            for round in 0..rounds {
+                let dir = std::env::temp_dir()
+                    .join(format!("pgq_bench_gc_{}_{tag}_{round}", std::process::id()));
+                std::fs::create_dir_all(&dir).unwrap();
+                let vfs =
+                    pgq_durability::StdVfs::new(&dir, pgq_durability::FsyncMode::Always).unwrap();
+                let mut e = GraphEngine::open_durable_with(Arc::new(vfs)).unwrap();
+                e.set_snapshot_every(0);
+                e.set_fsync(pgq_durability::FsyncMode::Always);
+                e.set_flush_window(window);
+                let t0 = std::time::Instant::now();
+                for tx in &gstream {
+                    e.apply(tx).unwrap();
+                }
+                us_rounds.push(t0.elapsed().as_nanos() as f64 / gstream.len() as f64 / 1000.0);
+                drop(e);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let stats = round_stats(&us_rounds);
+            doc.suite(
+                &format!("group_commit_{tag}"),
+                "us_per_tx",
                 stats,
                 1e6 / stats.median,
             );

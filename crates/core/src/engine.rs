@@ -8,7 +8,10 @@ use pgq_common::intern::Symbol;
 use pgq_common::pool::WorkerPool;
 use pgq_common::tuple::Tuple;
 use pgq_common::value::Value;
-use pgq_durability::{wal, FsyncMode, Snapshot, SnapshotView, StdVfs, Vfs, WalTail};
+use pgq_durability::recovery::{self, RecoveryReport};
+use pgq_durability::snapshot::snap_file;
+use pgq_durability::wal::{self, wal_file};
+use pgq_durability::{DurOp, DurabilityError, FsyncMode, Snapshot, SnapshotView, StdVfs, Vfs};
 use pgq_graph::delta::ChangeEvent;
 use pgq_graph::props::Properties;
 use pgq_graph::store::PropertyGraph;
@@ -39,23 +42,77 @@ struct ViewEntry {
 }
 
 /// Durability state of an engine opened via
-/// [`GraphEngine::open_durable`]: the storage handle plus the WAL
-/// record count snapshots use as their replay-skip base.
+/// [`GraphEngine::open_durable`]: the storage handle, the active WAL
+/// generation, and the failure breaker behind read-only degradation.
 struct Durable {
     vfs: Arc<dyn Vfs>,
-    /// Records currently in the WAL. Monotone within a run; snapshots
-    /// persist it so recovery replays only the log tail after the
-    /// snapshot point.
+    /// Active WAL generation: appends go to `wal.<generation>`, and
+    /// compacting snapshots switch to `generation + 1`.
+    generation: u64,
+    /// Records currently in the active generation's log (including
+    /// records a non-compact snapshot already subsumes).
     wal_records: u64,
+    /// Valid byte length of the active log — the engine's mirror of the
+    /// on-disk file, used to rewrite the tail after a failed append.
+    wal_len: u64,
+    /// Compaction armed (`PGQ_WAL_COMPACT`, default on): every snapshot
+    /// switches generations and deletes the subsumed log, keeping disk
+    /// usage O(churn since last snapshot). Off, the single generation-0
+    /// log grows forever and snapshots store a replay-skip count (the
+    /// pre-compaction behaviour, kept for A/B measurement).
+    compact: bool,
+    /// Commit flush policy (`PGQ_FSYNC`).
+    fsync: FsyncMode,
+    /// Group-commit window under [`FsyncMode::Always`]
+    /// (`PGQ_FLUSH_WINDOW`, default 1): `sync_data` once every `n`
+    /// commits instead of per commit. `n > 1` trades a bounded loss
+    /// window (up to `n - 1` acknowledged commits on power loss) for
+    /// amortised sync cost; `apply_batch` always coalesces onto one
+    /// sync per batch regardless.
+    flush_window: u64,
+    /// Commits appended since the last successful sync.
+    unsynced: u64,
     /// Auto-snapshot cadence in committed transactions
     /// (`PGQ_SNAPSHOT_EVERY`; `0` disables the cadence, leaving only
     /// registration-change and explicit snapshots).
     snapshot_every: u64,
     txs_since_snapshot: u64,
+    /// Consecutive failed commits; resets on success.
+    fail_streak: u64,
+    /// Failed commits tolerated before the engine degrades to
+    /// read-only.
+    max_failures: u64,
+    /// When set, the engine is read-only: the durability failure that
+    /// tripped the breaker. Cleared by
+    /// [`GraphEngine::reset_durability`].
+    degraded: Option<DurabilityError>,
+    /// Most recent durability failure (including non-fatal ones, e.g. a
+    /// failed cadence snapshot whose commit was already durable).
+    last_error: Option<DurabilityError>,
+    /// What recovery found and repaired when this engine opened.
+    recovery: RecoveryReport,
 }
 
-fn dur_err(e: impl std::fmt::Display) -> EngineError {
-    EngineError::Durability(e.to_string())
+/// Operator-facing durability status (see
+/// [`GraphEngine::durability_health`]).
+#[derive(Clone, Debug)]
+pub struct DurabilityHealth {
+    /// Read-only degraded, and why. `None` = healthy, writable.
+    pub degraded: Option<DurabilityError>,
+    /// Consecutive failed commits.
+    pub fail_streak: u64,
+    /// Most recent durability failure of any kind.
+    pub last_error: Option<DurabilityError>,
+    /// Active WAL generation.
+    pub generation: u64,
+    /// Records in the active generation's log.
+    pub wal_records: u64,
+    /// Valid bytes in the active generation's log.
+    pub wal_len: u64,
+    /// Is generation-switching compaction armed?
+    pub compact: bool,
+    /// Group-commit flush window.
+    pub flush_window: u64,
 }
 
 fn snapshot_every_from_env() -> u64 {
@@ -63,6 +120,34 @@ fn snapshot_every_from_env() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1024)
+}
+
+/// Strict parse of `PGQ_WAL_COMPACT` (default: on).
+fn compact_from_env() -> Result<bool, DurabilityError> {
+    let Ok(v) = std::env::var("PGQ_WAL_COMPACT") else {
+        return Ok(true);
+    };
+    match v.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "always" | "" => Ok(true),
+        "0" | "false" | "never" => Ok(false),
+        other => Err(DurabilityError::config(format!(
+            "unrecognized PGQ_WAL_COMPACT value `{other}` (expected `1` or `0`)"
+        ))),
+    }
+}
+
+/// Strict parse of `PGQ_FLUSH_WINDOW` (default: 1 = sync every commit
+/// under `PGQ_FSYNC=always`).
+fn flush_window_from_env() -> Result<u64, DurabilityError> {
+    let Ok(v) = std::env::var("PGQ_FLUSH_WINDOW") else {
+        return Ok(1);
+    };
+    match v.trim().parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(DurabilityError::config(format!(
+            "unrecognized PGQ_FLUSH_WINDOW value `{v}` (expected an integer >= 1)"
+        ))),
+    }
 }
 
 /// Counters reported by update queries (mirrors Neo4j's summary).
@@ -218,13 +303,26 @@ impl GraphEngine {
     /// On a durable engine the committed transaction is appended to the
     /// WAL *after* the store accepts it — a crash between commit and
     /// append loses that transaction entirely (async-commit semantics)
-    /// but can never log a transaction that did not commit.
+    /// but can never log a transaction that did not commit. If the
+    /// append (or its covering fsync) **fails**, this commit fails
+    /// cleanly: the in-memory mutation is rolled back, a typed
+    /// [`EngineError::Durability`] is returned, and the engine stays
+    /// usable. Repeated failures trip the breaker into read-only
+    /// degraded mode ([`EngineError::ReadOnly`]); see
+    /// [`GraphEngine::reset_durability`].
     pub fn apply(&mut self, tx: &Transaction) -> Result<Vec<ChangeEvent>, EngineError> {
+        self.check_writable()?;
+        let watermarks = self.graph.id_watermarks();
         let events = self.graph.apply(tx)?;
-        let logged = self.wal_log(tx);
+        if let Err((e, force)) = self.wal_commit(tx) {
+            // The commit never happened: take the in-memory mutation
+            // back (ids included — replay determinism) before erroring.
+            self.graph.unapply(&events, watermarks);
+            return Err(self.commit_failed(e, force));
+        }
+        self.commit_succeeded();
         self.maintain(&events);
-        logged?;
-        self.maybe_snapshot()?;
+        self.maybe_snapshot();
         Ok(events)
     }
 
@@ -243,7 +341,18 @@ impl GraphEngine {
     /// Every transaction is applied atomically as usual; if one fails,
     /// the transactions before it are flushed into the views and the
     /// error is returned (the failed transaction itself rolls back).
+    ///
+    /// Durability uses **group commit**: each member is appended to the
+    /// WAL individually (so replay reproduces the exact transaction
+    /// sequence), but under `PGQ_FSYNC=always` the whole batch shares
+    /// one `sync_data` at the end instead of one per member. A failed
+    /// member append rolls that member back and fails typed like
+    /// [`GraphEngine::apply`]; a failed *batch sync* covers members the
+    /// batch already applied, so the engine degrades to read-only
+    /// (memory is ahead of disk until an operator runs
+    /// [`GraphEngine::reset_durability`]).
     pub fn apply_batch(&mut self, txs: &[Transaction]) -> Result<BatchSummary, EngineError> {
+        self.check_writable()?;
         let mut summary = BatchSummary::default();
         let mut group_events: Vec<ChangeEvent> = Vec::new();
         let mut group_fp = TxFootprint::default();
@@ -255,20 +364,30 @@ impl GraphEngine {
                 summary.passes += 1;
                 group_fp = TxFootprint::default();
             }
+            let watermarks = self.graph.id_watermarks();
             match self.graph.apply(tx) {
                 Ok(events) => {
-                    group_events.extend(events);
-                    group_fp.merge(&fp);
-                    summary.transactions += 1;
-                    // Each committed member is logged individually, so
-                    // a WAL replay reproduces the exact transaction
-                    // sequence regardless of coalescing.
-                    if let Err(e) = self.wal_log(tx) {
+                    if let Err((e, force)) = self.wal_append(tx) {
+                        // This member never committed; the ones before
+                        // it did. Roll it back, flush the others into
+                        // the views, and try to make them durable.
+                        self.graph.unapply(&events, watermarks);
                         if !group_events.is_empty() {
                             self.maintain(&group_events);
                         }
-                        return Err(e);
+                        let flush = self.wal_flush();
+                        let err = self.commit_failed(e, force);
+                        if let Err((fe, _)) = flush {
+                            // Earlier members were already applied and
+                            // cannot be taken back: memory is ahead of
+                            // disk, so the breaker trips immediately.
+                            return Err(self.commit_failed(fe, true));
+                        }
+                        return Err(err);
                     }
+                    group_events.extend(events);
+                    group_fp.merge(&fp);
+                    summary.transactions += 1;
                 }
                 Err(e) => {
                     // Views must reflect the transactions that did land
@@ -284,7 +403,13 @@ impl GraphEngine {
             self.maintain(&group_events);
             summary.passes += 1;
         }
-        self.maybe_snapshot()?;
+        // Group commit: one sync covers every member of the batch.
+        if let Err((e, _)) = self.wal_flush() {
+            // The members are applied and cannot be taken back.
+            return Err(self.commit_failed(e, summary.transactions > 0));
+        }
+        self.commit_succeeded();
+        self.maybe_snapshot();
         Ok(summary)
     }
 
@@ -320,8 +445,14 @@ impl GraphEngine {
         &mut self,
         tx: &Transaction,
     ) -> Result<Vec<(ViewId, Delta)>, EngineError> {
+        self.check_writable()?;
+        let watermarks = self.graph.id_watermarks();
         let events = self.graph.apply(tx)?;
-        self.wal_log(tx)?;
+        if let Err((e, force)) = self.wal_commit(tx) {
+            self.graph.unapply(&events, watermarks);
+            return Err(self.commit_failed(e, force));
+        }
+        self.commit_succeeded();
         self.propagate(&events);
         let mut out = Vec::new();
         for (i, entry) in self.views.iter().enumerate() {
@@ -459,8 +590,13 @@ impl GraphEngine {
         }));
         // Registration changes what a recovery must rebuild; persist it
         // immediately (the snapshot is the DDL log — the WAL carries
-        // only data transactions).
-        self.snapshot()?;
+        // only data transactions). If the snapshot cannot land, the
+        // registration is undone so disk and memory agree.
+        if let Err(e) = self.snapshot() {
+            let entry = self.views.pop().flatten().expect("pushed above");
+            self.network.drop_sink(entry.sink);
+            return Err(e);
+        }
         Ok(id)
     }
 
@@ -517,47 +653,70 @@ impl GraphEngine {
 
     // ---- durability ----------------------------------------------------------
 
-    /// Open (or create) a durable engine rooted at `dir`: load the
-    /// snapshot if one exists, **warm-restore** every standing view's
-    /// operator state from it, replay the WAL tail, and arm
-    /// per-transaction logging. Fsync behaviour follows `PGQ_FSYNC`
-    /// (`always`/`1`/`true` → fsync every append; default is
-    /// OS-buffered), the auto-snapshot cadence follows
-    /// `PGQ_SNAPSHOT_EVERY` (committed transactions between snapshots;
-    /// default 1024, `0` disables the cadence).
+    /// Open (or create) a durable engine rooted at `dir`: recover from
+    /// the generation-numbered `snap.<g>` / `wal.<g>` files,
+    /// **warm-restore** every standing view's operator state, replay
+    /// the WAL chain, and arm per-transaction logging.
+    ///
+    /// Environment knobs, all parsed strictly (a typo is a startup
+    /// error, never a silently different durability level):
+    /// - `PGQ_FSYNC` — `always`/`1`/`true` syncs at every commit flush
+    ///   point; default is OS-buffered.
+    /// - `PGQ_WAL_COMPACT` — default on: every snapshot switches WAL
+    ///   generations and deletes the subsumed log; `0` pins generation
+    ///   0 and lets the log grow (snapshots then store a replay-skip
+    ///   count).
+    /// - `PGQ_FLUSH_WINDOW` — group-commit window under
+    ///   `PGQ_FSYNC=always`: one `sync_data` per `n` commits
+    ///   (default 1; `n > 1` accepts a documented loss window of up to
+    ///   `n - 1` acknowledged commits on power failure).
+    /// - `PGQ_SNAPSHOT_EVERY` — auto-snapshot cadence in committed
+    ///   transactions (default 1024, `0` disables the cadence).
     pub fn open_durable(dir: impl Into<std::path::PathBuf>) -> Result<GraphEngine, EngineError> {
-        let fsync = match std::env::var("PGQ_FSYNC") {
-            Ok(v) => FsyncMode::from_env_str(&v),
-            Err(_) => FsyncMode::default(),
-        };
-        let vfs = StdVfs::new(dir, fsync).map_err(dur_err)?;
+        let fsync = FsyncMode::from_env().map_err(DurabilityError::config)?;
+        let vfs =
+            StdVfs::new(dir, fsync).map_err(|e| DurabilityError::io(DurOp::SnapshotLoad, &e))?;
         GraphEngine::open_durable_with(Arc::new(vfs))
     }
 
     /// [`GraphEngine::open_durable`] over an explicit storage layer —
     /// crash tests drive this with the fault-injectable
-    /// [`pgq_durability::MemVfs`].
+    /// [`pgq_durability::MemVfs`]. Reads the same environment knobs.
     ///
     /// Recovery protocol, in order:
-    /// 1. Load the snapshot (corruption is a hard error — the graph
-    ///    dump is load-bearing; an *absent* snapshot is just a cold
-    ///    log replay from genesis).
+    /// 1. Plan over the directory ([`pgq_durability::recovery`]): pick
+    ///    the newest **readable** snapshot — a corrupt one is
+    ///    quarantined and recovery degrades to the previous
+    ///    generation's snapshot plus a longer replay, or a cold start;
+    ///    never a panic, never a hard error for corruption.
     /// 2. Rebuild the graph, then re-register every standing view
     ///    mode-faithfully into its original slot via
     ///    [`DataflowNetwork::register_with_restore`], so fingerprint
     ///    hits skip the initial-evaluation cost.
-    /// 3. Load the WAL; a torn or corrupt tail is quarantined by
-    ///    atomically rewriting the valid prefix, so later appends
-    ///    extend a well-formed log.
-    /// 4. Replay only the records after the snapshot's high-water mark
-    ///    through the normal maintenance path.
+    /// 3. Replay the WAL chain `wal.<base>..wal.<active>` through the
+    ///    normal maintenance path (the base snapshot's skip count
+    ///    applies to its own generation only). Torn tails were already
+    ///    trimmed by the planner; a record that stops *applying*
+    ///    cleanly mid-replay is treated like tail corruption — the log
+    ///    is trimmed to the last good record, later generations are
+    ///    quarantined, and the engine opens at the committed prefix.
+    /// 4. Arm logging on the active generation. The planner's
+    ///    [`RecoveryReport`] stays inspectable via
+    ///    [`GraphEngine::recovery_report`].
     pub fn open_durable_with(vfs: Arc<dyn Vfs>) -> Result<GraphEngine, EngineError> {
-        let snap = Snapshot::load(vfs.as_ref()).map_err(dur_err)?;
+        let fsync = FsyncMode::from_env().map_err(DurabilityError::config)?;
+        let compact = compact_from_env()?;
+        let flush_window = flush_window_from_env()?;
+
+        let mut plan = recovery::plan(vfs.as_ref())?;
         let mut engine;
         let skip;
-        match snap {
+        match plan.snapshot.take() {
             Some(s) => {
-                engine = GraphEngine::from_graph(s.restore_graph().map_err(dur_err)?);
+                engine =
+                    GraphEngine::from_graph(s.restore_graph().map_err(|e| {
+                        DurabilityError::corrupt(DurOp::SnapshotLoad, e.to_string())
+                    })?);
                 let mut states = RestoreStates::new();
                 for (fp, check, bag) in &s.states {
                     states.insert(*fp, *check, bag.clone());
@@ -574,25 +733,76 @@ impl GraphEngine {
                 skip = 0;
             }
         }
-        let (txs, tail) = wal::load(vfs.as_ref()).map_err(dur_err)?;
-        if let WalTail::Torn { offset } | WalTail::Corrupt { offset } = tail {
-            if let Some(bytes) = vfs.read(wal::WAL_FILE).map_err(dur_err)? {
-                vfs.write_atomic(wal::WAL_FILE, &bytes[..offset.min(bytes.len())])
-                    .map_err(dur_err)?;
+
+        let mut report = plan.report;
+        let mut generation = plan.active_generation;
+        let mut wal_len = plan.active_wal_len;
+        let mut wal_records = plan
+            .replay
+            .last()
+            .map(|(_, l)| l.txs.len() as u64)
+            .unwrap_or(0);
+        'chain: for (idx, (g, log)) in plan.replay.iter().enumerate() {
+            let skip_here = if idx == 0 { skip } else { 0 };
+            for (j, tx) in log.txs.iter().enumerate().skip(skip_here) {
+                match engine.graph.apply(tx) {
+                    Ok(events) => engine.maintain(&events),
+                    Err(e) => {
+                        // The record passed its checksum but does not
+                        // apply to the state it claims to extend —
+                        // semantic corruption. Trim to the last good
+                        // record and refuse everything after the break.
+                        let keep = if j == 0 { 0 } else { log.ends[j - 1] };
+                        report.notes.push(format!(
+                            "wal generation {g} record {j} failed to replay: {e}"
+                        ));
+                        match wal::repair(vfs.as_ref(), *g, keep) {
+                            Ok(()) => report.trimmed.push((*g, log.valid_len() - keep)),
+                            Err(re) => {
+                                report
+                                    .notes
+                                    .push(format!("failed to trim wal generation {g}: {re}"));
+                                report.tail_repair_failed = true;
+                            }
+                        }
+                        for (later, _) in &plan.replay[idx + 1..] {
+                            recovery::quarantine_file(vfs.as_ref(), &wal_file(*later), &mut report);
+                        }
+                        generation = *g;
+                        wal_len = keep;
+                        wal_records = j as u64;
+                        report.active_generation = generation;
+                        break 'chain;
+                    }
+                }
             }
         }
-        for tx in txs.iter().skip(skip) {
-            let events = engine
-                .graph
-                .apply(tx)
-                .map_err(|e| EngineError::Durability(format!("WAL replay: {e}")))?;
-            engine.maintain(&events);
-        }
+
+        // A tail that could not be rewritten must not be appended to —
+        // new records after garbage bytes would be unreadable. Open
+        // degraded; reset_durability switches to a fresh generation.
+        let degraded = report.tail_repair_failed.then(|| {
+            DurabilityError::corrupt(
+                DurOp::WalRepair,
+                "recovered log tail could not be rewritten; appends would extend garbage",
+            )
+        });
         engine.durable = Some(Durable {
             vfs,
-            wal_records: txs.len() as u64,
+            generation,
+            wal_records,
+            wal_len,
+            compact,
+            fsync,
+            flush_window,
+            unsynced: 0,
             snapshot_every: snapshot_every_from_env(),
             txs_since_snapshot: 0,
+            fail_streak: 0,
+            max_failures: 3,
+            degraded,
+            last_error: None,
+            recovery: report,
         });
         Ok(engine)
     }
@@ -615,13 +825,26 @@ impl GraphEngine {
     /// metadata, and every live operator node's state bag keyed by its
     /// content-stable plan fingerprint. Atomic (write-to-temp +
     /// rename): a crash mid-write leaves the previous snapshot intact.
-    /// No-op on in-memory engines.
+    /// With compaction armed this is also a **generation switchover**:
+    /// the snapshot lands as `snap.<g+1>`, appends move to `wal.<g+1>`,
+    /// and the subsumed generation-`g` files are deleted only after the
+    /// snapshot's atomic rename — a crash at any point of the
+    /// switchover still recovers a committed prefix. No-op on in-memory
+    /// engines.
     pub fn snapshot(&mut self) -> Result<(), EngineError> {
+        let compact = self.durable.as_ref().is_some_and(|d| d.compact);
+        self.snapshot_inner(compact).map_err(EngineError::from)
+    }
+
+    fn snapshot_inner(&mut self, switch_generation: bool) -> Result<(), DurabilityError> {
         let Some(wal_records) = self.durable.as_ref().map(|d| d.wal_records) else {
             return Ok(());
         };
         let mut snap = Snapshot::capture_graph(&self.graph);
-        snap.wal_records = wal_records;
+        // A compacting snapshot anchors a fresh generation whose log
+        // starts empty; a pinned-generation snapshot records how many
+        // log records it subsumes instead.
+        snap.wal_records = if switch_generation { 0 } else { wal_records };
         for (i, entry) in self.views.iter().enumerate() {
             let Some(e) = entry else { continue };
             snap.views.push(SnapshotView {
@@ -646,33 +869,276 @@ impl GraphEngine {
             snap.states.push((fp, check, bag.to_vec()));
         }
         let d = self.durable.as_mut().expect("checked above");
-        snap.write(d.vfs.as_ref()).map_err(dur_err)?;
+        let target = if switch_generation {
+            d.generation + 1
+        } else {
+            d.generation
+        };
+        snap.write(d.vfs.as_ref(), target)
+            .map_err(|e| DurabilityError::io(DurOp::SnapshotWrite, &e))?;
+        if switch_generation {
+            // The rename is durable; the old generation is now dead
+            // weight. Deletion is best-effort — a crash (or an error)
+            // here just leaves stale files the next recovery removes.
+            let old = d.generation;
+            d.generation = target;
+            d.wal_records = 0;
+            d.wal_len = 0;
+            d.unsynced = 0;
+            for name in [wal_file(old), snap_file(old)] {
+                if let Err(e) = d.vfs.remove(&name) {
+                    d.last_error = Some(DurabilityError::io(DurOp::Cleanup, &e));
+                }
+            }
+        }
         d.txs_since_snapshot = 0;
         Ok(())
     }
 
-    /// Append one committed transaction to the WAL (no-op when not
-    /// durable).
-    fn wal_log(&mut self, tx: &Transaction) -> Result<(), EngineError> {
+    /// Refuse updates while degraded.
+    fn check_writable(&self) -> Result<(), EngineError> {
+        match self.durable.as_ref().and_then(|d| d.degraded.as_ref()) {
+            Some(e) => Err(EngineError::ReadOnly(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Append one committed transaction and run the flush policy. On
+    /// `Err((error, force_degrade))` the commit did not become durable
+    /// and the caller must roll the in-memory mutation back;
+    /// `force_degrade` means the failure also covered *previously
+    /// acknowledged* commits (group-commit sync failure) and the
+    /// breaker must trip immediately.
+    fn wal_commit(&mut self, tx: &Transaction) -> Result<(), (DurabilityError, bool)> {
+        let pre = self
+            .durable
+            .as_ref()
+            .map(|d| (d.wal_len, d.wal_records))
+            .unwrap_or((0, 0));
+        self.wal_append(tx)?;
         let Some(d) = self.durable.as_mut() else {
             return Ok(());
         };
-        wal::append_tx(d.vfs.as_ref(), tx).map_err(dur_err)?;
-        d.wal_records += 1;
-        d.txs_since_snapshot += 1;
+        if d.fsync == FsyncMode::Always && d.unsynced >= d.flush_window {
+            self.wal_sync(Some(pre))?;
+        }
         Ok(())
     }
 
-    /// Snapshot if the auto-cadence is due.
-    fn maybe_snapshot(&mut self) -> Result<(), EngineError> {
+    /// Append without syncing (the group-commit first half).
+    fn wal_append(&mut self, tx: &Transaction) -> Result<(), (DurabilityError, bool)> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        match wal::append_tx(d.vfs.as_ref(), d.generation, tx) {
+            Ok(frame) => {
+                d.wal_len += frame;
+                d.wal_records += 1;
+                d.txs_since_snapshot += 1;
+                if d.fsync == FsyncMode::Always {
+                    d.unsynced += 1;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // The append may have torn (short write): rewrite the
+                // log back to the last record boundary so the file
+                // stays appendable. If even that fails, the tail is
+                // untrustworthy — degrade immediately.
+                let err = DurabilityError::io(DurOp::WalAppend, &e);
+                let force = wal::repair(d.vfs.as_ref(), d.generation, d.wal_len).is_err();
+                Err((err, force))
+            }
+        }
+    }
+
+    /// Sync the active log if commits are pending (the group-commit
+    /// second half). On failure, post-fsyncgate semantics apply: the
+    /// unsynced bytes are in limbo — the kernel may have kept them, or
+    /// dropped them — so the engine must not trust anything past its
+    /// last known durable prefix. If the only at-risk commit is the
+    /// current one (`rollback` carries the pre-append log boundary),
+    /// the failure is rollbackable: the log is rewritten to that
+    /// boundary so the rejected commit can never resurface at
+    /// recovery. If previously acknowledged commits were covered,
+    /// `force_degrade` is set instead.
+    fn wal_sync(&mut self, rollback: Option<(u64, u64)>) -> Result<(), (DurabilityError, bool)> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        if d.unsynced == 0 {
+            return Ok(());
+        }
+        match d.vfs.sync(&wal_file(d.generation)) {
+            Ok(()) => {
+                d.unsynced = 0;
+                Ok(())
+            }
+            Err(e) => {
+                let err = DurabilityError::io(DurOp::WalSync, &e);
+                match rollback {
+                    Some((len, records)) if d.unsynced == 1 => {
+                        // Only the current commit was at risk: take it
+                        // back from the mirrors and physically rewrite
+                        // the log to the pre-append boundary (whether
+                        // or not the failed fsync kept its bytes).
+                        d.wal_len = len;
+                        d.wal_records = records;
+                        d.txs_since_snapshot = d.txs_since_snapshot.saturating_sub(1);
+                        d.unsynced = 0;
+                        let force = wal::repair(d.vfs.as_ref(), d.generation, len).is_err();
+                        Err((err, force))
+                    }
+                    _ => {
+                        // Acknowledged commits may be gone from disk
+                        // while they live on in memory — unrecoverable
+                        // without operator action.
+                        d.unsynced = 0;
+                        Err((err, true))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush pending group-commit appends (used by `apply_batch` and
+    /// callers that want a durability barrier). A failure here always
+    /// forces degradation: the at-risk commits were already applied
+    /// and maintained, so they cannot be rolled back individually.
+    fn wal_flush(&mut self) -> Result<(), (DurabilityError, bool)> {
+        let fsync = self.durable.as_ref().map(|d| d.fsync);
+        if fsync == Some(FsyncMode::Always) {
+            self.wal_sync(None)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Record a failed commit, trip the breaker when due, and build the
+    /// caller's error.
+    fn commit_failed(&mut self, e: DurabilityError, force_degrade: bool) -> EngineError {
+        if let Some(d) = self.durable.as_mut() {
+            d.fail_streak += 1;
+            d.last_error = Some(e.clone());
+            if d.degraded.is_none() && (force_degrade || d.fail_streak >= d.max_failures) {
+                d.degraded = Some(e.clone());
+            }
+        }
+        EngineError::Durability(e)
+    }
+
+    fn commit_succeeded(&mut self) {
+        if let Some(d) = self.durable.as_mut() {
+            d.fail_streak = 0;
+        }
+    }
+
+    /// Snapshot if the auto-cadence is due. The triggering commit is
+    /// already durable in the WAL, so a failed cadence snapshot is
+    /// recorded in [`DurabilityHealth::last_error`] rather than failing
+    /// the commit; the cadence retries on the next commit.
+    fn maybe_snapshot(&mut self) {
         let due = self
             .durable
             .as_ref()
             .is_some_and(|d| d.snapshot_every > 0 && d.txs_since_snapshot >= d.snapshot_every);
         if due {
-            self.snapshot()?;
+            let compact = self.durable.as_ref().is_some_and(|d| d.compact);
+            if let Err(e) = self.snapshot_inner(compact) {
+                if let Some(d) = self.durable.as_mut() {
+                    d.last_error = Some(e);
+                }
+            }
         }
+    }
+
+    /// Operator-facing durability status: degraded flag, failure
+    /// breaker counters, active generation and log size. `None` on
+    /// in-memory engines.
+    pub fn durability_health(&self) -> Option<DurabilityHealth> {
+        self.durable.as_ref().map(|d| DurabilityHealth {
+            degraded: d.degraded.clone(),
+            fail_streak: d.fail_streak,
+            last_error: d.last_error.clone(),
+            generation: d.generation,
+            wal_records: d.wal_records,
+            wal_len: d.wal_len,
+            compact: d.compact,
+            flush_window: d.flush_window,
+        })
+    }
+
+    /// Is the engine refusing updates after repeated durability
+    /// failures?
+    pub fn is_degraded(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.degraded.is_some())
+    }
+
+    /// What recovery found and repaired when this engine opened
+    /// (quarantined files, trimmed tails, the generation fallback).
+    /// `None` on in-memory engines.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(|d| &d.recovery)
+    }
+
+    /// Operator action: clear read-only degraded mode after the storage
+    /// problem is fixed. Cuts a fresh **generation-switching** snapshot
+    /// of the full in-memory state — even with compaction off — which
+    /// re-baselines disk to memory (healing any divergence a failed
+    /// group-commit sync left behind), then re-arms the failure
+    /// breaker. Fails typed (and stays degraded) if the disk still
+    /// cannot accept the snapshot.
+    pub fn reset_durability(&mut self) -> Result<(), EngineError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        self.snapshot_inner(true).map_err(|e| {
+            if let Some(d) = self.durable.as_mut() {
+                d.last_error = Some(e.clone());
+            }
+            EngineError::Durability(e)
+        })?;
+        let d = self.durable.as_mut().expect("checked above");
+        d.degraded = None;
+        d.fail_streak = 0;
         Ok(())
+    }
+
+    /// Toggle generation-switching WAL compaction (see
+    /// `PGQ_WAL_COMPACT`). No-op on in-memory engines.
+    pub fn set_wal_compact(&mut self, compact: bool) -> &mut Self {
+        if let Some(d) = self.durable.as_mut() {
+            d.compact = compact;
+        }
+        self
+    }
+
+    /// Override the commit flush policy (see `PGQ_FSYNC`). No-op on
+    /// in-memory engines.
+    pub fn set_fsync(&mut self, fsync: FsyncMode) -> &mut Self {
+        if let Some(d) = self.durable.as_mut() {
+            d.fsync = fsync;
+        }
+        self
+    }
+
+    /// Override the group-commit flush window (see `PGQ_FLUSH_WINDOW`;
+    /// clamped to >= 1). No-op on in-memory engines.
+    pub fn set_flush_window(&mut self, window: u64) -> &mut Self {
+        if let Some(d) = self.durable.as_mut() {
+            d.flush_window = window.max(1);
+        }
+        self
+    }
+
+    /// Override how many consecutive failed commits trip the read-only
+    /// breaker (default 3; clamped to >= 1). No-op on in-memory
+    /// engines.
+    pub fn set_max_durability_failures(&mut self, max: u64) -> &mut Self {
+        if let Some(d) = self.durable.as_mut() {
+            d.max_failures = max.max(1);
+        }
+        self
     }
 
     /// Re-register one snapshot view, mode-faithfully, into its

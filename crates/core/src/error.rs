@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pgq_algebra::AlgebraError;
+use pgq_durability::DurabilityError;
 use pgq_graph::store::GraphError;
 use pgq_parser::ParseError;
 
@@ -23,10 +24,17 @@ pub enum EngineError {
     DuplicateView(String),
     /// Valid Cypher the engine's update interpreter does not support.
     Unsupported(String),
-    /// The durability layer failed (WAL append, snapshot write, or a
-    /// corrupt snapshot at recovery). Carries a rendered message so the
-    /// error stays `Clone + PartialEq` like its siblings.
-    Durability(String),
+    /// The durability layer failed. The commit that hit this error did
+    /// **not** happen: the in-memory state was rolled back along with
+    /// the WAL, and the engine stays usable. The typed payload says what
+    /// was attempted and how it failed.
+    Durability(DurabilityError),
+    /// The engine is in read-only degraded mode: repeated durability
+    /// failures (see [`EngineError::Durability`]) tripped the breaker.
+    /// Queries and views keep working; updates are refused until an
+    /// operator clears the condition (fix the disk, then
+    /// `reset_durability`). Carries the failure that tripped it.
+    ReadOnly(DurabilityError),
 }
 
 impl fmt::Display for EngineError {
@@ -38,12 +46,21 @@ impl fmt::Display for EngineError {
             EngineError::UnknownView => write!(f, "unknown view"),
             EngineError::DuplicateView(n) => write!(f, "view `{n}` already exists"),
             EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
-            EngineError::Durability(s) => write!(f, "durability: {s}"),
+            EngineError::Durability(e) => write!(f, "durability: {e}"),
+            EngineError::ReadOnly(e) => {
+                write!(f, "engine is read-only (degraded after: {e})")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<DurabilityError> for EngineError {
+    fn from(e: DurabilityError) -> Self {
+        EngineError::Durability(e)
+    }
+}
 
 impl From<ParseError> for EngineError {
     fn from(e: ParseError) -> Self {

@@ -49,6 +49,8 @@ pub mod engine;
 pub mod error;
 pub mod subscribe;
 
-pub use engine::{BatchSummary, ExecutionResult, GraphEngine, UpdateStats, ViewId};
+pub use engine::{
+    BatchSummary, DurabilityHealth, ExecutionResult, GraphEngine, UpdateStats, ViewId,
+};
 pub use error::EngineError;
 pub use subscribe::ViewDelta;

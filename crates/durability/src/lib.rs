@@ -15,25 +15,39 @@
 //!   keyed by **content-stable plan fingerprint**. Warm recovery
 //!   restores operator state from those bags instead of recomputing
 //!   joins from scratch, then replays only the WAL tail.
+//! - [`recovery`] plans recovery over the generation-numbered
+//!   `snap.<g>` / `wal.<g>` directory: it picks the newest readable
+//!   snapshot (quarantining corrupt ones and falling back a
+//!   generation), trims torn WAL tails, refuses to replay logs beyond a
+//!   broken chain link, and reports every repair it made.
 //! - [`vfs`] is the fault-injection seam: all I/O goes through a tiny
-//!   trait with a real-directory backend and an in-memory backend whose
-//!   write *fuse* kills the simulated process at an arbitrary byte
-//!   boundary, so crash tests can cover torn tails and half-written
-//!   snapshots deterministically.
+//!   trait with a real-directory backend and an in-memory backend that
+//!   can kill the simulated process at an arbitrary byte boundary (the
+//!   write *fuse*) or inject live storage errors — EIO, ENOSPC, short
+//!   writes, failed fsyncs with post-failure loss of unsynced bytes,
+//!   torn renames — at the N-th operation.
+//! - [`error`] classifies every storage failure into a typed
+//!   [`DurabilityError`] the engine's degradation policy is built on.
 //! - [`codec`] is the hand-rolled binary format underneath both files
 //!   (offline-shim rule: no external serialization or checksum crates).
 //!
-//! What lives *above* this crate: the engine decides when to snapshot,
-//! owns the view table being restored, and drives the dataflow network's
-//! state dump/restore. This crate only knows bytes, graphs, and
+//! What lives *above* this crate: the engine decides when to snapshot
+//! and when to switch generations, owns the view table being restored,
+//! drives the dataflow network's state dump/restore, and implements the
+//! commit-rollback / read-only-degraded contract on top of
+//! [`DurabilityError`]. This crate only knows bytes, graphs, and
 //! transactions.
 
 pub mod codec;
+pub mod error;
+pub mod recovery;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
 pub use codec::CodecError;
+pub use error::{DurKind, DurOp, DurabilityError};
+pub use recovery::{RecoveryPlan, RecoveryReport, QUARANTINE_SUFFIX};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotView, StateBag};
-pub use vfs::{FsyncMode, MemDisk, MemVfs, StdVfs, Vfs};
+pub use vfs::{Fault, FsyncMode, MemDisk, MemVfs, StdVfs, Vfs};
 pub use wal::WalTail;

@@ -20,8 +20,16 @@
 //! Correctness never *depends* on the operator states: a fingerprint
 //! that fails to match at recovery simply falls back to recomputing that
 //! node from its children. The graph dump, by contrast, is
-//! load-bearing, which is why a snapshot that fails its checksum is a
-//! hard [`SnapshotError`] rather than a silent cold start.
+//! load-bearing, which is why a snapshot that fails its checksum loads
+//! as a hard [`SnapshotError`] at this layer; [`crate::recovery`] turns
+//! that verdict into a quarantine-and-fall-back rather than a fatal
+//! error.
+//!
+//! Snapshots are **generation-numbered**: generation `g`'s snapshot is
+//! `snap.<g>` ([`snap_file`]) and anchors the replay of `wal.<g>` and
+//! every later generation's log. Generation 0 is genesis — `snap.0`
+//! never exists; recovery without any snapshot replays `wal.0` from an
+//! empty graph.
 
 use std::fmt;
 use std::io;
@@ -38,8 +46,19 @@ use crate::codec::{
 };
 use crate::vfs::Vfs;
 
-/// File name of the snapshot inside a durability directory.
-pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// File name of generation `generation`'s snapshot.
+pub fn snap_file(generation: u64) -> String {
+    format!("snap.{generation}")
+}
+
+/// Parse a `snap.<g>` file name back to its generation number.
+pub fn parse_snap_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snap.")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
 
 const MAGIC: &[u8; 8] = b"PGQSNAP1";
 
@@ -336,15 +355,17 @@ impl Snapshot {
         })
     }
 
-    /// Atomically persist to `vfs`.
-    pub fn write(&self, vfs: &dyn Vfs) -> io::Result<()> {
-        vfs.write_atomic(SNAPSHOT_FILE, &self.encode())
+    /// Atomically persist as generation `generation`'s snapshot.
+    pub fn write(&self, vfs: &dyn Vfs, generation: u64) -> io::Result<()> {
+        vfs.write_atomic(&snap_file(generation), &self.encode())
     }
 
-    /// Load the snapshot, if one exists. Corruption is an error, not a
-    /// silent empty snapshot: the graph dump is load-bearing.
-    pub fn load(vfs: &dyn Vfs) -> Result<Option<Snapshot>, SnapshotError> {
-        match vfs.read(SNAPSHOT_FILE)? {
+    /// Load generation `generation`'s snapshot, if one exists.
+    /// Corruption is an error, not a silent empty snapshot: the graph
+    /// dump is load-bearing, and the caller ([`crate::recovery`])
+    /// decides between quarantine-and-fall-back and reporting.
+    pub fn load(vfs: &dyn Vfs, generation: u64) -> Result<Option<Snapshot>, SnapshotError> {
+        match vfs.read(&snap_file(generation))? {
             None => Ok(None),
             Some(bytes) => Snapshot::decode(&bytes).map(Some),
         }
@@ -415,8 +436,9 @@ mod tests {
         ));
 
         let disk = MemDisk::new();
-        snap.write(&disk.vfs()).unwrap();
-        let back = Snapshot::load(&disk.vfs()).unwrap().unwrap();
+        snap.write(&disk.vfs(), 1).unwrap();
+        assert_eq!(disk.file_names(), vec!["snap.1".to_string()]);
+        let back = Snapshot::load(&disk.vfs(), 1).unwrap().unwrap();
         assert_eq!(back.wal_records, 17);
         assert_eq!(back.views, snap.views);
         assert_eq!(back.states.len(), 1);
@@ -428,25 +450,36 @@ mod tests {
 
     #[test]
     fn missing_snapshot_is_none() {
-        assert!(Snapshot::load(&MemDisk::new().vfs()).unwrap().is_none());
+        assert!(Snapshot::load(&MemDisk::new().vfs(), 0).unwrap().is_none());
+        assert!(Snapshot::load(&MemDisk::new().vfs(), 7).unwrap().is_none());
+    }
+
+    #[test]
+    fn snap_names_roundtrip() {
+        assert_eq!(snap_file(3), "snap.3");
+        assert_eq!(parse_snap_name("snap.3"), Some(3));
+        assert_eq!(parse_snap_name("snap."), None);
+        assert_eq!(parse_snap_name("snap.3x"), None);
+        assert_eq!(parse_snap_name("wal.3"), None);
+        assert_eq!(parse_snap_name("snap.3.quarantined"), None);
     }
 
     #[test]
     fn corrupt_snapshot_is_an_error_not_a_cold_start() {
         let snap = Snapshot::capture_graph(&sample_graph());
         let disk = MemDisk::new();
-        snap.write(&disk.vfs()).unwrap();
-        assert!(disk.corrupt(SNAPSHOT_FILE, 20, 0x01));
+        snap.write(&disk.vfs(), 2).unwrap();
+        assert!(disk.corrupt(&snap_file(2), 20, 0x01));
         assert!(matches!(
-            Snapshot::load(&disk.vfs()),
+            Snapshot::load(&disk.vfs(), 2),
             Err(SnapshotError::BadChecksum)
         ));
         // Magic damage is reported distinctly.
         let disk2 = MemDisk::new();
-        snap.write(&disk2.vfs()).unwrap();
-        disk2.corrupt(SNAPSHOT_FILE, 0, 0xFF);
+        snap.write(&disk2.vfs(), 2).unwrap();
+        disk2.corrupt(&snap_file(2), 0, 0xFF);
         assert!(matches!(
-            Snapshot::load(&disk2.vfs()),
+            Snapshot::load(&disk2.vfs(), 2),
             Err(SnapshotError::BadMagic)
         ));
     }

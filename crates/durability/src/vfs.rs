@@ -2,20 +2,36 @@
 //!
 //! All durability I/O goes through the [`Vfs`] trait so crash-recovery
 //! tests can run against an in-memory disk and kill the "process" at any
-//! byte boundary. Two implementations:
+//! byte boundary — or hand it a *disk that misbehaves*. Two
+//! implementations:
 //!
 //! - [`StdVfs`] — a real directory, used in production. Honors the
-//!   [`FsyncMode`] knob (`PGQ_FSYNC`).
-//! - [`MemVfs`] over a shared [`MemDisk`] — a write **fuse** counts down
-//!   a byte budget; once it blows, writes silently stop landing, exactly
-//!   as if the process had been killed mid-write. Appends tear (a prefix
-//!   of the record lands), atomic writes are all-or-nothing. Recovery
-//!   tests then open a fresh, unlimited handle over the surviving bytes.
+//!   [`FsyncMode`] knob (`PGQ_FSYNC`) for atomic writes; WAL appends
+//!   are flushed explicitly via [`Vfs::sync`] (the engine's
+//!   group-commit flush point).
+//! - [`MemVfs`] over a shared [`MemDisk`] — two independent fault
+//!   modes:
 //!
-//! The fuse models a *crash*, not an I/O error: a dying process gets no
-//! error to handle, its writes just never reach the disk. That is why
-//! exhausted-fuse writes return `Ok` — the code under test must not be
-//! able to observe the crash point.
+//!   **Byte fuse** ([`MemDisk::vfs_with_fuse`]): a write budget counts
+//!   down; once it blows, writes silently stop landing, exactly as if
+//!   the process had been killed mid-write. Appends tear (a prefix of
+//!   the record lands), atomic writes go all-or-nothing. The fuse
+//!   models a *crash*, not an I/O error: a dying process gets no error
+//!   to handle, so exhausted-fuse writes return `Ok` — the code under
+//!   test cannot observe the crash point.
+//!
+//!   **Error injection** ([`MemDisk::vfs_with_fault`]): the N-th
+//!   mutating operation *fails and reports it* — EIO, ENOSPC, a short
+//!   write (a prefix lands, then the error), a failed `fsync` (which
+//!   also drops every byte written since the last successful sync, the
+//!   post-fsyncgate contract), or a torn rename (the destination ends
+//!   up *missing*). This models a live disk returning errors to a
+//!   process that keeps running; the engine's graceful-degradation
+//!   contract is tested against it.
+//!
+//! The disk tracks a per-file **synced watermark**: [`Vfs::sync`]
+//! advances it, and a failed sync truncates the file back to it —
+//! unsynced page-cache bytes are exactly what a failed fsync may lose.
 
 use std::io;
 use std::path::PathBuf;
@@ -27,8 +43,9 @@ use pgq_common::fxhash::FxHashMap;
 /// How eagerly durable writes are flushed to stable storage.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FsyncMode {
-    /// `fsync` after every WAL append and snapshot write. Survives OS
-    /// crashes, costs a disk round-trip per commit.
+    /// `fsync` at every commit flush point (see the engine's
+    /// `PGQ_FLUSH_WINDOW`). Survives OS crashes, costs a disk
+    /// round-trip per flush.
     Always,
     /// Leave flushing to the OS page cache (survives process crashes,
     /// not power loss). The default.
@@ -37,12 +54,27 @@ pub enum FsyncMode {
 }
 
 impl FsyncMode {
-    /// Parse the `PGQ_FSYNC` knob: `always`/`1`/`true` → [`FsyncMode::Always`],
-    /// anything else → [`FsyncMode::Never`].
-    pub fn from_env_str(s: &str) -> FsyncMode {
+    /// Strictly parse the `PGQ_FSYNC` knob: `always`/`1`/`true` →
+    /// [`FsyncMode::Always`], `never`/`0`/`false`/empty →
+    /// [`FsyncMode::Never`]. Anything else is an error — a typo like
+    /// `PGQ_FSYNC=alway` must fail startup loudly instead of silently
+    /// dropping durability.
+    pub fn parse(s: &str) -> Result<FsyncMode, String> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "always" | "1" | "true" => FsyncMode::Always,
-            _ => FsyncMode::Never,
+            "always" | "1" | "true" => Ok(FsyncMode::Always),
+            "never" | "0" | "false" | "" => Ok(FsyncMode::Never),
+            other => Err(format!(
+                "unrecognized PGQ_FSYNC value `{other}` (expected `always` or `never`)"
+            )),
+        }
+    }
+
+    /// [`FsyncMode::parse`] of the `PGQ_FSYNC` environment variable;
+    /// unset means the default ([`FsyncMode::Never`]).
+    pub fn from_env() -> Result<FsyncMode, String> {
+        match std::env::var("PGQ_FSYNC") {
+            Ok(v) => FsyncMode::parse(&v),
+            Err(_) => Ok(FsyncMode::default()),
         }
     }
 }
@@ -60,6 +92,12 @@ pub trait Vfs: Send + Sync {
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
     /// Remove the file; fine if it does not exist.
     fn remove(&self, name: &str) -> io::Result<()>;
+    /// Durably flush previously appended bytes (fsync). After an
+    /// `Err`, callers must assume bytes appended since the last
+    /// successful sync never reached the disk.
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Names of all files present.
+    fn list(&self) -> io::Result<Vec<String>>;
 }
 
 /// [`Vfs`] over a real directory (created on construction).
@@ -104,11 +142,7 @@ impl Vfs for StdVfs {
             .create(true)
             .append(true)
             .open(self.path(name))?;
-        f.write_all(bytes)?;
-        if self.fsync == FsyncMode::Always {
-            f.sync_data()?;
-        }
-        Ok(())
+        f.write_all(bytes)
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
@@ -132,11 +166,84 @@ impl Vfs for StdVfs {
             Err(e) => Err(e),
         }
     }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name))?
+            .sync_data()
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One injectable storage fault (see [`MemDisk::vfs_with_fault`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Generic I/O error; nothing lands.
+    Eio,
+    /// Out of space (classifies as ENOSPC); nothing lands.
+    Enospc,
+    /// Half the bytes land, then the error — a torn-but-reported write.
+    ShortWrite,
+    /// `fsync` fails AND the file's unsynced tail is dropped (the
+    /// post-fsyncgate loss window). On non-sync operations this
+    /// behaves like [`Fault::Eio`].
+    FsyncFail,
+    /// An atomic replace tears: the destination ends up *missing*
+    /// (old unlinked, new never linked) and the error is reported. On
+    /// non-rename operations this behaves like [`Fault::Eio`].
+    TornRename,
+}
+
+impl Fault {
+    /// All injectable faults, for sweep tests.
+    pub const ALL: [Fault; 5] = [
+        Fault::Eio,
+        Fault::Enospc,
+        Fault::ShortWrite,
+        Fault::FsyncFail,
+        Fault::TornRename,
+    ];
+
+    fn to_error(self) -> io::Error {
+        match self {
+            Fault::Enospc => io::Error::from_raw_os_error(28),
+            Fault::ShortWrite => io::Error::new(io::ErrorKind::WriteZero, "injected short write"),
+            Fault::FsyncFail => io::Error::other("injected fsync failure"),
+            Fault::TornRename => io::Error::other("injected torn rename"),
+            Fault::Eio => io::Error::other("injected EIO"),
+        }
+    }
+}
+
+struct FileBuf {
+    bytes: Vec<u8>,
+    /// Length durably flushed; a failed fsync truncates back to it.
+    synced: usize,
 }
 
 #[derive(Default)]
 struct MemDiskInner {
-    files: FxHashMap<String, Vec<u8>>,
+    files: FxHashMap<String, FileBuf>,
+    /// Mutating operations attempted through any handle (append,
+    /// write_atomic, remove, sync) — the index space fault plans fire
+    /// in.
+    ops_attempted: u64,
+    /// Bytes offered to append/write_atomic through any handle,
+    /// whether or not they landed — the index space byte fuses sweep.
+    bytes_attempted: u64,
 }
 
 /// A shared in-memory "disk" that survives simulated process crashes.
@@ -151,11 +258,12 @@ impl MemDisk {
         MemDisk::default()
     }
 
-    /// A handle with an unlimited write budget (recovery side).
+    /// A handle with an unlimited write budget and no faults.
     pub fn vfs(&self) -> MemVfs {
         MemVfs {
             disk: self.clone(),
             remaining: Arc::new(Mutex::new(None)),
+            faults: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -165,19 +273,64 @@ impl MemDisk {
         MemVfs {
             disk: self.clone(),
             remaining: Arc::new(Mutex::new(Some(budget))),
+            faults: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// A handle that injects `fault` at the `op`-th mutating operation
+    /// (0-indexed over the disk-wide [`MemDisk::ops_attempted`]
+    /// counter), then behaves normally. The faulted operation *reports*
+    /// its failure — this is the live-disk error model, not the crash
+    /// model.
+    pub fn vfs_with_fault(&self, op: u64, fault: Fault) -> MemVfs {
+        self.vfs_with_faults(vec![(op, fault)])
+    }
+
+    /// A handle with a scripted fault plan (each entry fires once).
+    pub fn vfs_with_faults(&self, plan: Vec<(u64, Fault)>) -> MemVfs {
+        MemVfs {
+            disk: self.clone(),
+            remaining: Arc::new(Mutex::new(None)),
+            faults: Arc::new(Mutex::new(plan)),
+        }
+    }
+
+    /// Mutating operations attempted so far through any handle.
+    pub fn ops_attempted(&self) -> u64 {
+        self.0.lock().ops_attempted
+    }
+
+    /// Bytes offered to writes so far through any handle.
+    pub fn bytes_attempted(&self) -> u64 {
+        self.0.lock().bytes_attempted
     }
 
     /// Current length of `name`, if present.
     pub fn len(&self, name: &str) -> Option<usize> {
-        self.0.lock().files.get(name).map(Vec::len)
+        self.0.lock().files.get(name).map(|f| f.bytes.len())
+    }
+
+    /// Total bytes currently on the disk (the bounded-disk metric).
+    pub fn total_len(&self) -> usize {
+        self.0.lock().files.values().map(|f| f.bytes.len()).sum()
+    }
+
+    /// Names of all files currently present (sorted).
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.0.lock().files.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// XOR `mask` into byte `offset` of `name` (bit-flip injection).
     /// Returns false when the file or offset does not exist.
     pub fn corrupt(&self, name: &str, offset: usize, mask: u8) -> bool {
         let mut inner = self.0.lock();
-        match inner.files.get_mut(name).and_then(|f| f.get_mut(offset)) {
+        match inner
+            .files
+            .get_mut(name)
+            .and_then(|f| f.bytes.get_mut(offset))
+        {
             Some(b) => {
                 *b ^= mask;
                 true
@@ -189,17 +342,21 @@ impl MemDisk {
     /// Truncate `name` to `new_len` bytes (torn-tail injection).
     pub fn truncate(&self, name: &str, new_len: usize) {
         if let Some(f) = self.0.lock().files.get_mut(name) {
-            f.truncate(new_len);
+            f.bytes.truncate(new_len);
+            f.synced = f.synced.min(new_len);
         }
     }
 }
 
-/// [`Vfs`] handle over a [`MemDisk`], optionally with a byte fuse.
+/// [`Vfs`] handle over a [`MemDisk`], optionally with a byte fuse
+/// and/or a fault plan.
 pub struct MemVfs {
     disk: MemDisk,
     /// Remaining write budget in bytes; `None` = unlimited. Shared so a
     /// cloned handle (engine + its pool) drains one fuse.
     remaining: Arc<Mutex<Option<u64>>>,
+    /// Scripted faults: (disk-wide op index, fault). Entries fire once.
+    faults: Arc<Mutex<Vec<(u64, Fault)>>>,
 }
 
 impl MemVfs {
@@ -212,38 +369,94 @@ impl MemVfs {
     pub fn fuse_blown(&self) -> bool {
         self.fuse_remaining() == Some(0)
     }
+
+    /// Count one mutating op and return the fault scheduled for it, if
+    /// any.
+    fn next_op_fault(&self) -> Option<Fault> {
+        let idx = {
+            let mut inner = self.disk.0.lock();
+            let idx = inner.ops_attempted;
+            inner.ops_attempted += 1;
+            idx
+        };
+        let mut plan = self.faults.lock();
+        let pos = plan.iter().position(|(at, _)| *at == idx)?;
+        Some(plan.swap_remove(pos).1)
+    }
+
+    fn count_bytes(&self, n: usize) {
+        self.disk.0.lock().bytes_attempted += n as u64;
+    }
 }
 
 impl Vfs for MemVfs {
     fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.disk.0.lock().files.get(name).cloned())
+        Ok(self.disk.0.lock().files.get(name).map(|f| f.bytes.clone()))
     }
 
     fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let fault = self.next_op_fault();
+        self.count_bytes(bytes.len());
+        // Error injection: a reported failure, with a torn prefix for
+        // short writes; everything else leaves the file untouched.
+        if let Some(fault) = fault {
+            if fault == Fault::ShortWrite {
+                let cut = bytes.len() / 2;
+                if cut > 0 {
+                    let mut inner = self.disk.0.lock();
+                    inner
+                        .files
+                        .entry(name.to_string())
+                        .or_insert_with(|| FileBuf {
+                            bytes: Vec::new(),
+                            synced: 0,
+                        })
+                        .bytes
+                        .extend_from_slice(&bytes[..cut]);
+                }
+            }
+            return Err(fault.to_error());
+        }
+        // Crash fuse: the prefix that fits lands (a torn record); the
+        // budget drains by the full attempt either way, and the caller
+        // never sees an error.
         let mut remaining = self.remaining.lock();
         let landed = match *remaining {
             None => bytes.len(),
             Some(ref mut r) => {
-                // The prefix that fits lands (a torn record); the budget
-                // drains by the full attempt either way.
                 let fit = (*r).min(bytes.len() as u64) as usize;
                 *r = r.saturating_sub(bytes.len() as u64);
                 fit
             }
         };
         if landed > 0 {
-            self.disk
-                .0
-                .lock()
+            let mut inner = self.disk.0.lock();
+            inner
                 .files
                 .entry(name.to_string())
-                .or_default()
+                .or_insert_with(|| FileBuf {
+                    bytes: Vec::new(),
+                    synced: 0,
+                })
+                .bytes
                 .extend_from_slice(&bytes[..landed]);
         }
         Ok(())
     }
 
     fn write_atomic(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let fault = self.next_op_fault();
+        self.count_bytes(bytes.len());
+        if let Some(fault) = fault {
+            if fault == Fault::TornRename {
+                // The nastiest legal outcome of a torn rename without a
+                // directory sync: old unlinked, new never linked.
+                self.disk.0.lock().files.remove(name);
+            }
+            // Every other fault leaves the visible file untouched (the
+            // temp file absorbed the failure).
+            return Err(fault.to_error());
+        }
         let mut remaining = self.remaining.lock();
         let lands = match *remaining {
             None => true,
@@ -260,21 +473,58 @@ impl Vfs for MemVfs {
             }
         };
         if lands {
-            self.disk
-                .0
-                .lock()
-                .files
-                .insert(name.to_string(), bytes.to_vec());
+            self.disk.0.lock().files.insert(
+                name.to_string(),
+                FileBuf {
+                    bytes: bytes.to_vec(),
+                    synced: bytes.len(),
+                },
+            );
         }
         Ok(())
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
+        if let Some(fault) = self.next_op_fault() {
+            return Err(fault.to_error());
+        }
         let alive = !matches!(*self.remaining.lock(), Some(0));
         if alive {
             self.disk.0.lock().files.remove(name);
         }
         Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let fault = self.next_op_fault();
+        let mut inner = self.disk.0.lock();
+        let Some(f) = inner.files.get_mut(name) else {
+            // Syncing a missing file: report the scheduled fault if
+            // any, otherwise succeed vacuously.
+            return match fault {
+                Some(fault) => Err(fault.to_error()),
+                None => Ok(()),
+            };
+        };
+        match fault {
+            Some(Fault::FsyncFail) => {
+                // Post-fsyncgate: the dirty pages this sync covered are
+                // gone, not retryable. Roll the file back to its last
+                // durable prefix.
+                let synced = f.synced;
+                f.bytes.truncate(synced);
+                Err(Fault::FsyncFail.to_error())
+            }
+            Some(fault) => Err(fault.to_error()),
+            None => {
+                f.synced = f.bytes.len();
+                Ok(())
+            }
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.disk.file_names())
     }
 }
 
@@ -290,6 +540,9 @@ mod tests {
         vfs.append("f", b"de").unwrap();
         assert_eq!(vfs.read("f").unwrap().unwrap(), b"abcde");
         assert_eq!(vfs.read("missing").unwrap(), None);
+        assert_eq!(disk.ops_attempted(), 2);
+        assert_eq!(disk.bytes_attempted(), 5);
+        assert_eq!(vfs.list().unwrap(), vec!["f".to_string()]);
     }
 
     #[test]
@@ -329,14 +582,72 @@ mod tests {
     }
 
     #[test]
+    fn injected_eio_reports_and_leaves_file_untouched() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs_with_fault(1, Fault::Eio);
+        vfs.append("f", b"abc").unwrap(); // op 0
+        let err = vfs.append("f", b"def").unwrap_err(); // op 1: injected
+        assert!(err.to_string().contains("EIO"));
+        vfs.append("f", b"ghi").unwrap(); // op 2: healthy again
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap(), b"abcghi");
+    }
+
+    #[test]
+    fn injected_enospc_classifies_as_out_of_space() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs_with_fault(0, Fault::Enospc);
+        let err = vfs.append("f", b"abc").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(disk.len("f"), None);
+    }
+
+    #[test]
+    fn injected_short_write_tears_and_reports() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs_with_fault(1, Fault::ShortWrite);
+        vfs.append("f", b"abcd").unwrap();
+        assert!(vfs.append("f", b"wxyz").is_err());
+        // Half landed: a torn-but-reported record.
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap(), b"abcdwx");
+    }
+
+    #[test]
+    fn failed_fsync_drops_the_unsynced_tail() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs_with_fault(3, Fault::FsyncFail);
+        vfs.append("f", b"abc").unwrap(); // op 0
+        vfs.sync("f").unwrap(); // op 1: synced = 3
+        vfs.append("f", b"def").unwrap(); // op 2 (unsynced)
+        assert!(vfs.sync("f").is_err()); // op 3: fails, tail dropped
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap(), b"abc");
+        // The disk keeps working afterwards.
+        vfs.append("f", b"ghi").unwrap();
+        vfs.sync("f").unwrap();
+        assert_eq!(disk.vfs().read("f").unwrap().unwrap(), b"abcghi");
+    }
+
+    #[test]
+    fn torn_rename_unlinks_the_destination() {
+        let disk = MemDisk::new();
+        disk.vfs().write_atomic("s", b"old").unwrap();
+        let vfs = disk.vfs_with_fault(1, Fault::TornRename);
+        assert!(vfs.write_atomic("s", b"new").is_err());
+        assert_eq!(disk.vfs().read("s").unwrap(), None);
+    }
+
+    #[test]
     fn std_vfs_roundtrip() {
         let dir = std::env::temp_dir().join(format!("pgq-vfs-test-{}", std::process::id()));
         let vfs = StdVfs::new(&dir, FsyncMode::Never).unwrap();
         vfs.append("w", b"ab").unwrap();
         vfs.append("w", b"c").unwrap();
+        vfs.sync("w").unwrap();
         assert_eq!(vfs.read("w").unwrap().unwrap(), b"abc");
         vfs.write_atomic("s", b"snap").unwrap();
         assert_eq!(vfs.read("s").unwrap().unwrap(), b"snap");
+        let mut names = vfs.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["s".to_string(), "w".to_string()]);
         vfs.remove("w").unwrap();
         vfs.remove("w").unwrap(); // idempotent
         assert_eq!(vfs.read("w").unwrap(), None);
@@ -345,10 +656,16 @@ mod tests {
     }
 
     #[test]
-    fn fsync_mode_parsing() {
-        assert_eq!(FsyncMode::from_env_str("always"), FsyncMode::Always);
-        assert_eq!(FsyncMode::from_env_str(" 1 "), FsyncMode::Always);
-        assert_eq!(FsyncMode::from_env_str("never"), FsyncMode::Never);
-        assert_eq!(FsyncMode::from_env_str(""), FsyncMode::Never);
+    fn fsync_mode_parsing_is_strict() {
+        assert_eq!(FsyncMode::parse("always"), Ok(FsyncMode::Always));
+        assert_eq!(FsyncMode::parse(" 1 "), Ok(FsyncMode::Always));
+        assert_eq!(FsyncMode::parse("true"), Ok(FsyncMode::Always));
+        assert_eq!(FsyncMode::parse("never"), Ok(FsyncMode::Never));
+        assert_eq!(FsyncMode::parse("0"), Ok(FsyncMode::Never));
+        assert_eq!(FsyncMode::parse(""), Ok(FsyncMode::Never));
+        // The typo that used to silently drop durability.
+        assert!(FsyncMode::parse("alway").is_err());
+        assert!(FsyncMode::parse("yes").is_err());
+        assert!(FsyncMode::parse("fsync").is_err());
     }
 }

@@ -14,6 +14,12 @@
 //! the scan stops **cleanly at the first bad record** and reports how far
 //! it got; everything before that point is trusted. Recovery never
 //! panics on log bytes.
+//!
+//! Logs are **generation-numbered**: the file for generation `g` is
+//! `wal.<g>` ([`wal_file`]). Compaction switches to generation `g+1` by
+//! writing snapshot `snap.<g+1>` and only then deleting `wal.<g>` — see
+//! [`crate::recovery`] for how a crash anywhere in that switchover still
+//! recovers a committed prefix.
 
 use std::io;
 
@@ -22,8 +28,19 @@ use pgq_graph::tx::Transaction;
 use crate::codec::{crc32, decode_tx, encode_tx};
 use crate::vfs::Vfs;
 
-/// File name of the write-ahead log inside a durability directory.
-pub const WAL_FILE: &str = "wal.log";
+/// File name of generation `generation`'s write-ahead log.
+pub fn wal_file(generation: u64) -> String {
+    format!("wal.{generation}")
+}
+
+/// Parse a `wal.<g>` file name back to its generation number.
+pub fn parse_wal_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal.")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
 
 /// Why a WAL scan stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,18 +61,35 @@ pub enum WalTail {
     },
 }
 
-/// Append one framed record to the log.
-pub fn append_payload(vfs: &dyn Vfs, payload: &[u8]) -> io::Result<()> {
-    let mut frame = Vec::with_capacity(8 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&crc32(payload).to_le_bytes());
-    frame.extend_from_slice(payload);
-    vfs.append(WAL_FILE, &frame)
+impl WalTail {
+    /// Was the scan clean (no torn or corrupt tail)?
+    pub fn is_clean(&self) -> bool {
+        matches!(self, WalTail::Clean)
+    }
 }
 
-/// Append a committed transaction to the log.
-pub fn append_tx(vfs: &dyn Vfs, tx: &Transaction) -> io::Result<()> {
-    append_payload(vfs, &encode_tx(tx))
+/// Frame a payload for appending: length, checksum, bytes.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(8 + payload.len());
+    f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    f.extend_from_slice(&crc32(payload).to_le_bytes());
+    f.extend_from_slice(payload);
+    f
+}
+
+/// Append one framed record to generation `generation`'s log. Returns
+/// the number of bytes appended (the frame length), so callers can
+/// mirror the on-disk length for tail repair.
+pub fn append_payload(vfs: &dyn Vfs, generation: u64, payload: &[u8]) -> io::Result<u64> {
+    let f = frame(payload);
+    vfs.append(&wal_file(generation), &f)?;
+    Ok(f.len() as u64)
+}
+
+/// Append a committed transaction to generation `generation`'s log.
+/// Returns the frame length in bytes.
+pub fn append_tx(vfs: &dyn Vfs, generation: u64, tx: &Transaction) -> io::Result<u64> {
+    append_payload(vfs, generation, &encode_tx(tx))
 }
 
 /// Scan raw log bytes into checksum-verified payload slices, stopping at
@@ -82,30 +116,69 @@ pub fn scan(bytes: &[u8]) -> (Vec<&[u8]>, WalTail) {
     (payloads, WalTail::Clean)
 }
 
-/// Load and decode every trustworthy transaction in the log. A record
-/// whose checksum passes but whose payload fails to decode is treated
-/// like a checksum failure: the scan stops there with
-/// [`WalTail::Corrupt`]. An absent log file is an empty, clean log.
-pub fn load(vfs: &dyn Vfs) -> io::Result<(Vec<Transaction>, WalTail)> {
-    let Some(bytes) = vfs.read(WAL_FILE)? else {
-        return Ok((Vec::new(), WalTail::Clean));
+/// Decoded contents of one generation's log.
+pub struct WalContents {
+    /// Every trustworthy transaction, in commit order.
+    pub txs: Vec<Transaction>,
+    /// Byte offset just past each record: `ends[i]` is the length of the
+    /// valid prefix covering transactions `0..=i`. Used for tail repair
+    /// and for failing replay mid-log without losing the good prefix.
+    pub ends: Vec<u64>,
+    /// Why the scan stopped.
+    pub tail: WalTail,
+}
+
+impl WalContents {
+    /// Length of the valid prefix (everything before the torn/corrupt
+    /// tail, or the whole file when clean).
+    pub fn valid_len(&self) -> u64 {
+        self.ends.last().copied().unwrap_or(0)
+    }
+}
+
+/// Load and decode every trustworthy transaction in generation
+/// `generation`'s log. A record whose checksum passes but whose payload
+/// fails to decode is treated like a checksum failure: the scan stops
+/// there with [`WalTail::Corrupt`]. An absent log file is an empty,
+/// clean log.
+pub fn load(vfs: &dyn Vfs, generation: u64) -> io::Result<WalContents> {
+    let Some(bytes) = vfs.read(&wal_file(generation))? else {
+        return Ok(WalContents {
+            txs: Vec::new(),
+            ends: Vec::new(),
+            tail: WalTail::Clean,
+        });
     };
     let (payloads, mut tail) = scan(&bytes);
     let mut txs = Vec::with_capacity(payloads.len());
-    let mut offset = 0;
+    let mut ends = Vec::with_capacity(payloads.len());
+    let mut offset = 0u64;
     for payload in payloads {
         match decode_tx(payload) {
             Ok(tx) => {
                 txs.push(tx);
-                offset += 8 + payload.len();
+                offset += 8 + payload.len() as u64;
+                ends.push(offset);
             }
             Err(_) => {
-                tail = WalTail::Corrupt { offset };
+                tail = WalTail::Corrupt {
+                    offset: offset as usize,
+                };
                 break;
             }
         }
     }
-    Ok((txs, tail))
+    Ok(WalContents { txs, ends, tail })
+}
+
+/// Rewrite generation `generation`'s log to its first `valid_len` bytes
+/// (atomically), discarding a torn or poisoned tail so future appends
+/// extend a trustworthy prefix.
+pub fn repair(vfs: &dyn Vfs, generation: u64, valid_len: u64) -> io::Result<()> {
+    let name = wal_file(generation);
+    let bytes = vfs.read(&name)?.unwrap_or_default();
+    let keep = (valid_len as usize).min(bytes.len());
+    vfs.write_atomic(&name, &bytes[..keep])
 }
 
 #[cfg(test)]
@@ -126,42 +199,70 @@ mod tests {
     }
 
     #[test]
+    fn wal_names_roundtrip() {
+        assert_eq!(wal_file(0), "wal.0");
+        assert_eq!(parse_wal_name("wal.0"), Some(0));
+        assert_eq!(parse_wal_name("wal.17"), Some(17));
+        assert_eq!(parse_wal_name("wal."), None);
+        assert_eq!(parse_wal_name("wal.x7"), None);
+        assert_eq!(parse_wal_name("snap.3"), None);
+        assert_eq!(parse_wal_name("wal.3.tmp"), None);
+    }
+
+    #[test]
     fn append_then_load_roundtrips() {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
+        let mut total = 0;
         for i in 0..5 {
-            append_tx(&vfs, &sample_tx(i)).unwrap();
+            total += append_tx(&vfs, 0, &sample_tx(i)).unwrap();
         }
-        let (txs, tail) = load(&vfs).unwrap();
-        assert_eq!(tail, WalTail::Clean);
-        assert_eq!(txs.len(), 5);
-        assert_eq!(txs[3].len(), 1);
+        assert_eq!(disk.len(&wal_file(0)).unwrap() as u64, total);
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.tail, WalTail::Clean);
+        assert_eq!(log.txs.len(), 5);
+        assert_eq!(log.txs[3].len(), 1);
+        assert_eq!(log.valid_len(), total);
+        assert!(log.ends.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn generations_are_independent_files() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, 0, &sample_tx(1)).unwrap();
+        append_tx(&vfs, 1, &sample_tx(2)).unwrap();
+        assert_eq!(load(&vfs, 0).unwrap().txs.len(), 1);
+        assert_eq!(load(&vfs, 1).unwrap().txs.len(), 1);
+        assert_eq!(load(&vfs, 2).unwrap().txs.len(), 0);
     }
 
     #[test]
     fn missing_log_is_empty_and_clean() {
         let disk = MemDisk::new();
-        let (txs, tail) = load(&disk.vfs()).unwrap();
-        assert!(txs.is_empty());
-        assert_eq!(tail, WalTail::Clean);
+        let log = load(&disk.vfs(), 0).unwrap();
+        assert!(log.txs.is_empty());
+        assert_eq!(log.tail, WalTail::Clean);
+        assert_eq!(log.valid_len(), 0);
     }
 
     #[test]
     fn torn_tail_stops_cleanly_at_every_cut() {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
-        append_tx(&vfs, &sample_tx(1)).unwrap();
-        let first = disk.len(WAL_FILE).unwrap();
-        append_tx(&vfs, &sample_tx(2)).unwrap();
-        let full = disk.len(WAL_FILE).unwrap();
+        append_tx(&vfs, 0, &sample_tx(1)).unwrap();
+        let first = disk.len(&wal_file(0)).unwrap();
+        append_tx(&vfs, 0, &sample_tx(2)).unwrap();
+        let full = disk.len(&wal_file(0)).unwrap();
 
         for cut in first + 1..full {
             let disk2 = MemDisk::new();
-            let bytes = disk.vfs().read(WAL_FILE).unwrap().unwrap();
-            disk2.vfs().append(WAL_FILE, &bytes[..cut]).unwrap();
-            let (txs, tail) = load(&disk2.vfs()).unwrap();
-            assert_eq!(txs.len(), 1, "cut at {cut}");
-            assert_eq!(tail, WalTail::Torn { offset: first }, "cut at {cut}");
+            let bytes = disk.vfs().read(&wal_file(0)).unwrap().unwrap();
+            disk2.vfs().append(&wal_file(0), &bytes[..cut]).unwrap();
+            let log = load(&disk2.vfs(), 0).unwrap();
+            assert_eq!(log.txs.len(), 1, "cut at {cut}");
+            assert_eq!(log.tail, WalTail::Torn { offset: first }, "cut at {cut}");
+            assert_eq!(log.valid_len(), first as u64, "cut at {cut}");
         }
     }
 
@@ -169,39 +270,62 @@ mod tests {
     fn bit_flip_in_tail_record_is_quarantined() {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
-        append_tx(&vfs, &sample_tx(1)).unwrap();
-        let first = disk.len(WAL_FILE).unwrap();
-        append_tx(&vfs, &sample_tx(2)).unwrap();
+        append_tx(&vfs, 0, &sample_tx(1)).unwrap();
+        let first = disk.len(&wal_file(0)).unwrap();
+        append_tx(&vfs, 0, &sample_tx(2)).unwrap();
 
         // Flip a payload byte of the second record.
-        assert!(disk.corrupt(WAL_FILE, first + 10, 0x40));
-        let (txs, tail) = load(&vfs).unwrap();
-        assert_eq!(txs.len(), 1);
-        assert_eq!(tail, WalTail::Corrupt { offset: first });
+        assert!(disk.corrupt(&wal_file(0), first + 10, 0x40));
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.txs.len(), 1);
+        assert_eq!(log.tail, WalTail::Corrupt { offset: first });
     }
 
     #[test]
     fn bogus_length_header_reads_as_torn() {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
-        append_tx(&vfs, &sample_tx(1)).unwrap();
+        append_tx(&vfs, 0, &sample_tx(1)).unwrap();
         // A frame header promising far more payload than exists.
-        vfs.append(WAL_FILE, &[0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4, 9])
+        vfs.append(&wal_file(0), &[0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4, 9])
             .unwrap();
-        let offset = disk.len(WAL_FILE).unwrap() - 9;
-        let (txs, tail) = load(&vfs).unwrap();
-        assert_eq!(txs.len(), 1);
-        assert_eq!(tail, WalTail::Torn { offset });
+        let offset = disk.len(&wal_file(0)).unwrap() - 9;
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.txs.len(), 1);
+        assert_eq!(log.tail, WalTail::Torn { offset });
+    }
+
+    #[test]
+    fn repair_discards_the_torn_tail() {
+        let disk = MemDisk::new();
+        let vfs = disk.vfs();
+        append_tx(&vfs, 0, &sample_tx(1)).unwrap();
+        let first = disk.len(&wal_file(0)).unwrap() as u64;
+        append_tx(&vfs, 0, &sample_tx(2)).unwrap();
+        disk.truncate(&wal_file(0), first as usize + 5);
+
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.valid_len(), first);
+        repair(&vfs, 0, log.valid_len()).unwrap();
+        assert_eq!(disk.len(&wal_file(0)).unwrap() as u64, first);
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.tail, WalTail::Clean);
+        assert_eq!(log.txs.len(), 1);
+        // Appends after repair extend a clean prefix.
+        append_tx(&vfs, 0, &sample_tx(3)).unwrap();
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.tail, WalTail::Clean);
+        assert_eq!(log.txs.len(), 2);
     }
 
     #[test]
     fn empty_transaction_records_are_fine() {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
-        append_tx(&vfs, &Transaction::new()).unwrap();
-        let (txs, tail) = load(&vfs).unwrap();
-        assert_eq!(tail, WalTail::Clean);
-        assert_eq!(txs.len(), 1);
-        assert!(txs[0].is_empty());
+        append_tx(&vfs, 0, &Transaction::new()).unwrap();
+        let log = load(&vfs, 0).unwrap();
+        assert_eq!(log.tail, WalTail::Clean);
+        assert_eq!(log.txs.len(), 1);
+        assert!(log.txs[0].is_empty());
     }
 }

@@ -121,9 +121,10 @@ proptest! {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
         for tx in &txs {
-            wal::append_tx(&vfs, tx).unwrap();
+            wal::append_tx(&vfs, 0, tx).unwrap();
         }
-        let (decoded, tail) = wal::load(&vfs).unwrap();
+        let log = wal::load(&vfs, 0).unwrap();
+        let (decoded, tail) = (log.txs, log.tail);
         prop_assert!(matches!(tail, WalTail::Clean), "tail: {tail:?}");
         prop_assert_eq!(decoded.len(), txs.len());
         for (got, want) in decoded.iter().zip(&txs) {
@@ -140,16 +141,17 @@ proptest! {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
         for tx in &txs {
-            wal::append_tx(&vfs, tx).unwrap();
+            wal::append_tx(&vfs, 0, tx).unwrap();
         }
-        let raw = vfs.read(wal::WAL_FILE).unwrap().unwrap();
+        let raw = vfs.read(&wal::wal_file(0)).unwrap().unwrap();
         let bounds = record_bounds(&raw);
         let cut = cut % (raw.len() + 1);
         // Records wholly inside `cut` bytes survive; nothing else can.
         let survivors = bounds.iter().skip(1).filter(|b| **b <= cut).count();
 
-        disk.truncate(wal::WAL_FILE, cut);
-        let (decoded, tail) = wal::load(&vfs).unwrap();
+        disk.truncate(&wal::wal_file(0), cut);
+        let log = wal::load(&vfs, 0).unwrap();
+        let (decoded, tail) = (log.txs, log.tail);
 
         prop_assert_eq!(decoded.len(), survivors, "cut={} bounds={:?}", cut, bounds);
         for (got, want) in decoded.iter().zip(&txs) {
@@ -177,16 +179,17 @@ proptest! {
         let disk = MemDisk::new();
         let vfs = disk.vfs();
         for tx in &txs {
-            wal::append_tx(&vfs, tx).unwrap();
+            wal::append_tx(&vfs, 0, tx).unwrap();
         }
-        let raw = vfs.read(wal::WAL_FILE).unwrap().unwrap();
+        let raw = vfs.read(&wal::wal_file(0)).unwrap().unwrap();
         let bounds = record_bounds(&raw);
         let at = at % raw.len();
         // Index of the record the flipped byte lives in.
         let damaged = bounds.iter().skip(1).filter(|b| **b <= at).count();
 
-        prop_assert!(disk.corrupt(wal::WAL_FILE, at, mask));
-        let (decoded, tail) = wal::load(&vfs).unwrap();
+        prop_assert!(disk.corrupt(&wal::wal_file(0), at, mask));
+        let log = wal::load(&vfs, 0).unwrap();
+        let (decoded, tail) = (log.txs, log.tail);
 
         prop_assert_eq!(decoded.len(), damaged, "at={} bounds={:?}", at, bounds);
         for (got, want) in decoded.iter().zip(&txs) {
@@ -207,14 +210,15 @@ fn flip_in_first_header_is_survivable() {
     let vfs = disk.vfs();
     let mut tx = Transaction::new();
     tx.create_vertex([Symbol::intern("A")], Properties::new());
-    wal::append_tx(&vfs, &tx).unwrap();
+    wal::append_tx(&vfs, 0, &tx).unwrap();
     for at in 0..8 {
         for mask in [0x01, 0x80, 0xFF] {
             let d2 = MemDisk::new();
             let v2 = d2.vfs();
-            wal::append_tx(&v2, &tx).unwrap();
-            assert!(d2.corrupt(wal::WAL_FILE, at, mask));
-            let (decoded, tail) = wal::load(&v2).unwrap();
+            wal::append_tx(&v2, 0, &tx).unwrap();
+            assert!(d2.corrupt(&wal::wal_file(0), at, mask));
+            let log = wal::load(&v2, 0).unwrap();
+            let (decoded, tail) = (log.txs, log.tail);
             assert!(
                 decoded.is_empty(),
                 "at={at} mask={mask:#x}: damaged first record decoded"

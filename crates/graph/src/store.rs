@@ -347,6 +347,16 @@ impl PropertyGraph {
         self.next_edge = self.next_edge.max(next_edge);
     }
 
+    /// Restore the id-allocation watermarks *exactly* — rollback use
+    /// only. Ids are part of the durable contract (WAL replay must
+    /// re-allocate the same ids the original process did), so undoing a
+    /// transaction must also un-burn the ids it allocated; the monotone
+    /// setter above cannot move the watermark backwards.
+    pub(crate) fn rollback_id_watermarks(&mut self, next_vertex: u64, next_edge: u64) {
+        self.next_vertex = next_vertex;
+        self.next_edge = next_edge;
+    }
+
     /// Delete a vertex. With `detach`, incident edges are removed first
     /// (their events precede the vertex event); otherwise incident edges
     /// are an error.

@@ -259,6 +259,7 @@ impl PropertyGraph {
         let mut events: Vec<ChangeEvent> = Vec::with_capacity(tx.len());
         let mut undo: Vec<Undo> = Vec::with_capacity(tx.len());
         let mut created: Vec<VertexId> = Vec::new();
+        let watermarks = self.id_watermarks();
 
         self.begin_catalog_defer();
         let result = (|| -> Result<(), GraphError> {
@@ -373,10 +374,60 @@ impl PropertyGraph {
                         }
                     }
                 }
+                // Un-burn the ids the aborted transaction allocated: a
+                // failed transaction must be invisible to WAL replay,
+                // which re-derives ids from the watermarks.
+                self.rollback_id_watermarks(watermarks.0, watermarks.1);
                 self.end_catalog_defer();
                 Err(e)
             }
         }
+    }
+
+    /// Reverse an already-committed event stream, restoring the graph —
+    /// including the id-allocation watermarks — to its state before the
+    /// transaction that produced `events`. `watermarks` is the
+    /// [`PropertyGraph::id_watermarks`] value captured *before* that
+    /// transaction applied.
+    ///
+    /// This is the durable engine's commit-failure path: the graph
+    /// mutated in memory, but the WAL append failed, so the commit must
+    /// be taken back as if it never happened. Must be called immediately
+    /// after the transaction (no intervening mutations). The normal
+    /// mutators run with catalog hooks live, so the cardinality catalog
+    /// rolls back along with the topology.
+    pub fn unapply(&mut self, events: &[ChangeEvent], watermarks: (u64, u64)) {
+        for ev in events.iter().rev() {
+            match ev {
+                ChangeEvent::VertexAdded { id } => {
+                    self.remove_vertex(*id, true).expect("unapply vertex add");
+                }
+                ChangeEvent::VertexRemoved { id, data } => {
+                    self.insert_vertex_raw(*id, data.labels.iter().copied(), data.props.clone());
+                }
+                ChangeEvent::EdgeAdded { id } => {
+                    self.remove_edge(*id).expect("unapply edge add");
+                }
+                ChangeEvent::EdgeRemoved { id, data } => {
+                    self.insert_edge_raw(*id, data.src, data.dst, data.ty, data.props.clone());
+                }
+                ChangeEvent::VertexPropChanged { id, key, old, .. } => {
+                    self.set_vertex_prop(*id, *key, old.clone())
+                        .expect("unapply vprop");
+                }
+                ChangeEvent::EdgePropChanged { id, key, old, .. } => {
+                    self.set_edge_prop(*id, *key, old.clone())
+                        .expect("unapply eprop");
+                }
+                ChangeEvent::LabelAdded { id, label } => {
+                    self.remove_label(*id, *label).expect("unapply label add");
+                }
+                ChangeEvent::LabelRemoved { id, label } => {
+                    self.add_label(*id, *label).expect("unapply label remove");
+                }
+            }
+        }
+        self.rollback_id_watermarks(watermarks.0, watermarks.1);
     }
 }
 
@@ -437,6 +488,70 @@ mod tests {
         assert!(g.has_edge(e));
         assert_eq!(g.vertex_prop(a, sym("k")), Value::Int(1));
         assert_eq!(g.out_edges(a), &[e]);
+    }
+
+    #[test]
+    fn failed_transaction_unburns_allocated_ids() {
+        let mut g = PropertyGraph::new();
+        g.add_vertex([sym("Post")], Properties::new());
+        let before = g.id_watermarks();
+
+        let mut tx = Transaction::new();
+        tx.create_vertex([sym("Comm")], Properties::new());
+        tx.delete_edge(EdgeId(999)); // fails
+        assert!(g.apply(&tx).is_err());
+        // Replay determinism: the aborted create must not burn an id.
+        assert_eq!(g.id_watermarks(), before);
+
+        let mut ok = Transaction::new();
+        ok.create_vertex([sym("Comm")], Properties::new());
+        let evs = g.apply(&ok).unwrap();
+        assert!(matches!(
+            evs[0],
+            ChangeEvent::VertexAdded { id } if id == VertexId(before.0)
+        ));
+    }
+
+    #[test]
+    fn unapply_reverses_a_committed_event_stream() {
+        use crate::stats::rescan_catalog;
+
+        let mut g = PropertyGraph::new();
+        let (a, _) = g.add_vertex(
+            [sym("Post")],
+            Properties::from_iter([("lang", Value::str("en"))]),
+        );
+        let (b, _) = g.add_vertex([sym("Comm")], Properties::new());
+        let (e, _) = g.add_edge(a, b, sym("REPLY"), Properties::new()).unwrap();
+        let watermarks = g.id_watermarks();
+        let before = format!("{:?} {:?}", g.id_watermarks(), rescan_catalog(&g));
+
+        // A transaction touching every event shape.
+        let mut tx = Transaction::new();
+        let c = tx.create_vertex([sym("Post")], Properties::new());
+        tx.create_edge(c, b, sym("REPLY"), Properties::new());
+        tx.set_vertex_prop(a, sym("lang"), "de".into());
+        tx.add_label(a, sym("Hot"));
+        tx.remove_label(b, sym("Comm"));
+        tx.delete_edge(e);
+        let events = g.apply(&tx).unwrap();
+
+        g.unapply(&events, watermarks);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(e));
+        assert_eq!(g.vertex_prop(a, sym("lang")), Value::str("en"));
+        assert!(!g.vertex(a).unwrap().has_label(sym("Hot")));
+        assert!(g.vertex(b).unwrap().has_label(sym("Comm")));
+        assert_eq!(
+            format!("{:?} {:?}", g.id_watermarks(), rescan_catalog(&g)),
+            before,
+            "watermarks and catalog must roll back too"
+        );
+
+        // And the exact same transaction re-applies with the same ids.
+        let events2 = g.apply(&tx).unwrap();
+        assert_eq!(format!("{events:?}"), format!("{events2:?}"));
     }
 
     #[test]

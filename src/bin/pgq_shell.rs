@@ -75,6 +75,8 @@ fn help() {
          :stats NAME        per-operator memory statistics\n  \
          :save FILE         dump the graph in text format\n  \
          :load FILE         load a graph dump (replaces current graph)\n  \
+         :health            durability status (generation, WAL size, degraded?)\n  \
+         :heal              clear read-only degraded mode (re-snapshots)\n  \
          :help              this text\n  \
          :quit              exit\n\
          EXPLAIN QUERY      like :explain (pipeline + cost-based plan estimates)\n\
@@ -204,6 +206,37 @@ fn main() {
                         Err(e) => println!("parse error: {e}"),
                     },
                     Err(e) => println!("read error: {e}"),
+                },
+                "health" => {
+                    match engine.durability_health() {
+                        Some(h) => {
+                            println!(
+                            "generation {} | {} WAL records ({} bytes) | compaction {} | flush window {}",
+                            h.generation,
+                            h.wal_records,
+                            h.wal_len,
+                            if h.compact { "on" } else { "off" },
+                            h.flush_window,
+                        );
+                            match &h.degraded {
+                            Some(e) => println!("DEGRADED (read-only) after: {e}\nrun :heal once the disk is fixed"),
+                            None => println!("healthy ({} consecutive commit failures)", h.fail_streak),
+                        }
+                            if let Some(e) = &h.last_error {
+                                println!("last durability error: {e}");
+                            }
+                            if let Some(r) = engine.recovery_report() {
+                                if !r.is_pristine() {
+                                    println!("recovery repaired this store at open: {r:?}");
+                                }
+                            }
+                        }
+                        None => println!("in-memory engine (set PGQ_DATA_DIR to arm durability)"),
+                    }
+                }
+                "heal" => match engine.reset_durability() {
+                    Ok(()) => println!("durability reset: fresh snapshot cut, writes re-enabled"),
+                    Err(e) => println!("error: {e}"),
                 },
                 other => println!("unknown command :{other} (:help)"),
             }

@@ -3,178 +3,51 @@
 //!
 //! Each iteration derives a seed, generates a random update script, and
 //! first runs it durably against an unlimited in-memory disk to learn
-//! the total number of bytes the WAL + snapshots write. It then re-runs
-//! the identical script against fresh disks whose write **fuse** blows
-//! after `f` bytes — sweeping `f` across the full range, so the
-//! simulated power cut lands at every phase of the run: mid-snapshot,
-//! between WAL records, and *inside* a WAL record (a torn append).
-//! Writes after the fuse blows are silently dropped, exactly like a
-//! kernel that never flushed them.
+//! the total number of bytes the run *attempts* to write (WAL appends,
+//! snapshot renames, generation switchovers — everything). It then
+//! re-runs the identical script against fresh disks whose write
+//! **fuse** blows after `f` bytes — sweeping `f` across the full range,
+//! so the simulated power cut lands at every phase of the run:
+//! mid-snapshot, between WAL records, *inside* a WAL record (a torn
+//! append), and — with compaction armed and a low snapshot cadence —
+//! in the middle of a generation switchover (new snapshot durable but
+//! old generation not yet deleted, or neither). Writes after the fuse
+//! blows are silently dropped, exactly like a kernel that never flushed
+//! them.
 //!
 //! After each simulated crash the engine is recovered from the
 //! surviving bytes and must satisfy:
 //!
 //! 1. **Prefix durability** — the recovered graph equals the state
 //!    after some prefix of the committed transactions (never a torn
-//!    half-transaction, never a reordering).
+//!    half-transaction, never a reordering), no matter which
+//!    generation recovery lands on.
 //! 2. **View consistency** — every recovered view equals a from-scratch
-//!    evaluation of its plan over the recovered graph.
-//! 3. **Progress** — recovery itself never errors on a torn tail (only
-//!    a corrupt *snapshot* is a hard error, and a fuse cannot corrupt:
-//!    snapshots are written atomically).
+//!    evaluation of its plan over the recovered graph, and the set of
+//!    recovered views is a registration-order prefix.
+//! 3. **Progress** — recovery itself never errors and never panics: a
+//!    torn switchover leaves either generation recoverable, and stale
+//!    files from the old generation are swept.
 //!
 //! The propagation width comes from `PGQ_THREADS` (the CI job runs the
 //! sweep at widths 1 and 4). `PGQ_STRESS_ITERS` scales the number of
 //! seeded scripts; every assertion message carries the seed so failures
-//! reproduce locally via `PGQ_STRESS_SEED`.
+//! reproduce locally via `PGQ_STRESS_SEED`. The live-disk *error*
+//! model (reported failures instead of silent crashes) is swept in
+//! `durability_faults.rs`.
+
+mod durability_script;
 
 use std::sync::Arc;
 
+use durability_script::{graph_identity, run_script, RunMode, TXS_PER_SCRIPT, VIEWS};
 use pgq_algebra::pipeline::compile_query;
-use pgq_common::intern::Symbol;
-use pgq_common::value::Value;
 use pgq_core::GraphEngine;
-use pgq_durability::{MemDisk, Snapshot};
-use pgq_graph::props::Properties;
+use pgq_durability::MemDisk;
 use pgq_graph::store::PropertyGraph;
-use pgq_graph::tx::Transaction;
 use pgq_parser::parse_query;
 
-const LANGS: &[&str] = &["en", "de", "fr"];
-const TXS_PER_SCRIPT: usize = 16;
-
-/// The standing views every crash must preserve: a filtered join, an
-/// aggregate, and a variable-length path (the three operator-state
-/// shapes — join memories, group table, path store).
-const VIEWS: &[(&str, &str)] = &[
-    (
-        "same_lang",
-        "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
-    ),
-    (
-        "by_lang",
-        "MATCH (p:Post) RETURN p.lang AS lang, count(*) AS n",
-    ),
-    (
-        "threads",
-        "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) RETURN p, t",
-    ),
-];
-
-struct XorShift(u64);
-
-impl XorShift {
-    fn new(seed: u64) -> XorShift {
-        XorShift(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-}
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn s(x: &str) -> Symbol {
-    Symbol::intern(x)
-}
-
-/// One random single-op transaction against the current graph.
-fn random_tx(rng: &mut XorShift, g: &PropertyGraph) -> Transaction {
-    let vertices: Vec<_> = {
-        let mut v: Vec<_> = g.vertex_ids().collect();
-        v.sort_unstable();
-        v
-    };
-    let edges: Vec<_> = {
-        let mut e: Vec<_> = g.edge_ids().collect();
-        e.sort_unstable();
-        e
-    };
-    let mut tx = Transaction::new();
-    match rng.below(6) {
-        0 | 1 => {
-            tx.create_vertex(
-                [s("Post")],
-                Properties::from_iter([("lang", Value::str(LANGS[rng.below(LANGS.len())]))]),
-            );
-        }
-        2 if !vertices.is_empty() => {
-            let p = vertices[rng.below(vertices.len())];
-            let c = tx.create_vertex(
-                [s("Comm")],
-                Properties::from_iter([("lang", Value::str(LANGS[rng.below(LANGS.len())]))]),
-            );
-            tx.create_edge(p, c, s("REPLY"), Properties::new());
-        }
-        3 if !vertices.is_empty() => {
-            tx.set_vertex_prop(
-                vertices[rng.below(vertices.len())],
-                s("lang"),
-                Value::str(LANGS[rng.below(LANGS.len())]),
-            );
-        }
-        4 if !edges.is_empty() => {
-            tx.delete_edge(edges[rng.below(edges.len())]);
-        }
-        5 if !vertices.is_empty() => {
-            tx.delete_vertex(vertices[rng.below(vertices.len())], true);
-        }
-        _ => {
-            tx.create_vertex([s("Post")], Properties::new());
-        }
-    }
-    tx
-}
-
-/// Content identity of a graph: the deterministic sorted dump (ids,
-/// labels, properties, endpoints) rendered to one string.
-fn graph_identity(g: &PropertyGraph) -> String {
-    let snap = Snapshot::capture_graph(g);
-    format!("{:?} {:?}", snap.vertices, snap.edges)
-}
-
-/// Run the script durably on `disk`, dropping nothing. Returns the
-/// transactions actually committed.
-fn run_script(disk: &MemDisk, fuse: Option<u64>, seed: u64, threads: usize) -> Vec<Transaction> {
-    let vfs = match fuse {
-        Some(budget) => disk.vfs_with_fuse(budget),
-        None => disk.vfs(),
-    };
-    let mut engine = GraphEngine::open_durable_with(Arc::new(vfs))
-        .unwrap_or_else(|e| panic!("seed={seed:#x}: open failed: {e}"));
-    engine.set_threads(threads);
-    engine.set_snapshot_every(5);
-    for (name, q) in VIEWS {
-        engine
-            .register_view(name, q)
-            .unwrap_or_else(|e| panic!("seed={seed:#x}: register {name} failed: {e}"));
-    }
-    let mut rng = XorShift::new(seed);
-    let mut txs = Vec::with_capacity(TXS_PER_SCRIPT);
-    for t in 0..TXS_PER_SCRIPT {
-        let tx = random_tx(&mut rng, engine.graph());
-        engine
-            .apply(&tx)
-            .unwrap_or_else(|e| panic!("seed={seed:#x} tx {t}: apply failed: {e}"));
-        txs.push(tx);
-    }
-    txs
-}
+use durability_script::{env_usize, XorShift};
 
 #[test]
 fn crash_at_swept_byte_fuses_recovers_a_transaction_prefix() {
@@ -191,19 +64,16 @@ fn crash_at_swept_byte_fuses_recovers_a_transaction_prefix() {
             .wrapping_add(iter as u64)
             .wrapping_mul(0x9e37_79b9_7f4a_7c15);
 
-        // Reference run: learn the total write volume and the graph
-        // identity after every transaction prefix (the set of states a
-        // crash may legally recover to).
+        // Reference run: learn the total attempted write volume and the
+        // graph identity after every transaction prefix (the set of
+        // states a crash may legally recover to). `bytes_attempted`
+        // counts every byte the engine *tried* to write — including
+        // snapshots whose generation was later compacted away — which
+        // is exactly the fuse's index space.
         let ref_disk = MemDisk::new();
-        let txs = run_script(&ref_disk, None, seed, threads);
-        let total: u64 = [
-            pgq_durability::wal::WAL_FILE,
-            pgq_durability::snapshot::SNAPSHOT_FILE,
-        ]
-        .iter()
-        .filter_map(|f| ref_disk.len(f))
-        .map(|n| n as u64)
-        .sum();
+        let ref_run = run_script(ref_disk.vfs(), seed, threads, RunMode::Strict);
+        let txs = ref_run.committed;
+        let total = ref_disk.bytes_attempted();
         let mut legal = Vec::with_capacity(txs.len() + 1);
         let mut shadow = PropertyGraph::new();
         legal.push(graph_identity(&shadow));
@@ -234,7 +104,7 @@ fn crash_at_swept_byte_fuses_recovers_a_transaction_prefix() {
             let disk = MemDisk::new();
             // The doomed run: identical script, writes cut at `fuse`
             // bytes. The engine itself never observes the cut.
-            let _ = run_script(&disk, Some(fuse), seed, threads);
+            let _ = run_script(disk.vfs_with_fuse(fuse), seed, threads, RunMode::Strict);
 
             // Power comes back: recover from the surviving bytes.
             let recovered = GraphEngine::open_durable_with(Arc::new(disk.vfs()))
@@ -287,13 +157,14 @@ fn crash_at_swept_byte_fuses_recovers_a_transaction_prefix() {
 #[test]
 fn recovery_is_idempotent_and_resumable() {
     // Crash, recover, commit more, crash again, recover again — the
-    // double-recovery path must replay only each tail once.
+    // double-recovery path must replay only each tail once, across
+    // generation switchovers.
     let seed = env_usize("PGQ_STRESS_SEED", 0xBEEF) as u64 | 1;
     let disk = MemDisk::new();
-    let txs = run_script(&disk, None, seed, 1);
+    let run = run_script(disk.vfs(), seed, 1, RunMode::Strict);
 
     let mut shadow = PropertyGraph::new();
-    for tx in &txs {
+    for tx in &run.committed {
         shadow.apply(tx).unwrap();
     }
 
@@ -305,7 +176,7 @@ fn recovery_is_idempotent_and_resumable() {
     );
     let mut rng = XorShift::new(seed ^ 0x5EC0);
     for _ in 0..4 {
-        let tx = random_tx(&mut rng, engine.graph());
+        let tx = durability_script::random_tx(&mut rng, engine.graph());
         engine.apply(&tx).unwrap();
         shadow.apply(&tx).unwrap();
     }
@@ -324,6 +195,45 @@ fn recovery_is_idempotent_and_resumable() {
             engine.view(id).unwrap().results(),
             pgq_eval::evaluate_consolidated(&plan.fra, engine.graph()),
             "seed={seed:#x}: view {name} diverged after double recovery"
+        );
+    }
+}
+
+#[test]
+fn pinned_generation_mode_round_trips() {
+    // Compaction off (PR 9 semantics): everything stays in generation
+    // 0, snapshots record a skip count instead of switching logs. The
+    // same script must round-trip through a restart.
+    let seed = 0x00A1_1CE5 | 1;
+    let disk = MemDisk::new();
+    let run = run_script(disk.vfs(), seed, 1, RunMode::NoCompact);
+    assert_eq!(run.committed.len(), TXS_PER_SCRIPT);
+
+    // Generation never moved: the only files are wal.0 / snap.0.
+    for name in disk.file_names() {
+        assert!(
+            name == "wal.0" || name == "snap.0",
+            "pinned-generation run created unexpected file {name}"
+        );
+    }
+
+    let mut shadow = PropertyGraph::new();
+    for tx in &run.committed {
+        shadow.apply(tx).unwrap();
+    }
+    let engine = GraphEngine::open_durable_with(Arc::new(disk.vfs())).unwrap();
+    assert_eq!(
+        graph_identity(engine.graph()),
+        graph_identity(&shadow),
+        "pinned-generation recovery diverged"
+    );
+    for (name, q) in VIEWS {
+        let id = engine.view_by_name(name).unwrap();
+        let plan = compile_query(&parse_query(q).unwrap()).unwrap();
+        assert_eq!(
+            engine.view(id).unwrap().results(),
+            pgq_eval::evaluate_consolidated(&plan.fra, engine.graph()),
+            "pinned-generation view {name} diverged from recompute"
         );
     }
 }
